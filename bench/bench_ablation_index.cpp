@@ -1,0 +1,97 @@
+// Ablation B: genomic hash table and seeding (google-benchmark).
+//
+// Sweeps the mer size k around the paper's default (k=10) and the seeding
+// step, measuring index build throughput, lookup cost, and per-read
+// candidate counts.  Larger k -> fewer, more specific candidates (cheaper
+// downstream PHMM work) but less mismatch tolerance.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "gnumap/index/hash_index.hpp"
+#include "gnumap/index/seeder.hpp"
+#include "gnumap/sim/read_sim.hpp"
+#include "gnumap/sim/reference_gen.hpp"
+#include "gnumap/util/rng.hpp"
+
+namespace {
+
+using namespace gnumap;
+
+const Genome& bench_genome() {
+  static const Genome genome = [] {
+    ReferenceGenOptions options;
+    options.length = 500'000;
+    options.repeat_fraction = 0.03;
+    return generate_reference(options);
+  }();
+  return genome;
+}
+
+const std::vector<SimulatedRead>& bench_reads() {
+  static const std::vector<SimulatedRead> reads = [] {
+    ReadSimOptions options;
+    options.coverage = 0.5;
+    return simulate_reads(bench_genome(), options);
+  }();
+  return reads;
+}
+
+void BM_IndexBuild(benchmark::State& state) {
+  HashIndexOptions options;
+  options.k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const HashIndex index(bench_genome(), options);
+    benchmark::DoNotOptimize(index.num_entries());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(bench_genome().num_bases()));
+}
+BENCHMARK(BM_IndexBuild)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_SeederCandidates(benchmark::State& state) {
+  HashIndexOptions index_options;
+  index_options.k = static_cast<int>(state.range(0));
+  const HashIndex index(bench_genome(), index_options);
+  SeederOptions seeder_options;
+  seeder_options.step = static_cast<int>(state.range(1));
+  const Seeder seeder(index, seeder_options);
+  const auto& reads = bench_reads();
+
+  std::size_t r = 0;
+  std::uint64_t total_candidates = 0;
+  std::uint64_t seeded_reads = 0;
+  for (auto _ : state) {
+    const auto candidates = seeder.candidates(reads[r].read);
+    total_candidates += candidates.size();
+    ++seeded_reads;
+    r = (r + 1) % reads.size();
+    benchmark::DoNotOptimize(candidates.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["cand/read"] =
+      static_cast<double>(total_candidates) /
+      static_cast<double>(seeded_reads ? seeded_reads : 1);
+}
+BENCHMARK(BM_SeederCandidates)
+    ->Args({8, 2})
+    ->Args({10, 1})
+    ->Args({10, 2})
+    ->Args({10, 4})
+    ->Args({12, 2});
+
+void BM_IndexLookup(benchmark::State& state) {
+  HashIndexOptions options;
+  options.k = 10;
+  const HashIndex index(bench_genome(), options);
+  Rng rng(33);
+  for (auto _ : state) {
+    const Kmer kmer = rng.next_u64() & ((Kmer{1} << 20) - 1);
+    benchmark::DoNotOptimize(index.lookup(kmer).size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_IndexLookup);
+
+}  // namespace

@@ -1,0 +1,142 @@
+// Ablation E: the marginal-alignment design choices, on a workload built to
+// separate them.
+//
+// The paper's central methodological claims: integrating base quality into
+// the emissions (the PWM extension) and marginalizing over *all*
+// high-scoring alignments beat committing to called bases / one alignment —
+// "especially ... in repeat regions".  Divergent repeats already
+// disambiguate placement, so this bench constructs the hard case directly:
+// a genome with PERFECT two-copy repeats and a SNP inside one copy of each.
+//
+// Reads covering such a SNP map ambiguously (posterior ~0.5 per copy), so
+// each copy accumulates ~half alt + ~half ref evidence — a het-looking
+// signal at both copies.  The diploid LRT (used for every variant here)
+// still fires on that signal, so the marginal variants *detect* the
+// variant (at both copies — localization inside a perfect repeat is
+// information-theoretically impossible).  "Single best site" keeps a site
+// only above 0.5 posterior: perfect ties are dropped, the evidence never
+// lands anywhere, and the in-repeat SNPs vanish — the failure mode the
+// paper attributes to single-alignment pipelines.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_common.hpp"
+#include "gnumap/core/evaluation.hpp"
+#include "gnumap/core/pipeline.hpp"
+#include "gnumap/sim/mutator.hpp"
+#include "gnumap/sim/read_sim.hpp"
+#include "gnumap/util/rng.hpp"
+
+using namespace gnumap;
+using namespace gnumap::bench;
+
+int main(int argc, char** argv) {
+  std::uint64_t unique_span = 200'000;
+  if (argc > 1) unique_span = std::strtoull(argv[1], nullptr, 10);
+
+  // Genome layout: [copyA1..A4][unique][copyB1..B4], copyBi == copyAi.
+  Rng rng(555);
+  const std::size_t kCopies = 4;
+  const std::size_t kBlock = 2000;
+  std::vector<std::string> blocks;
+  for (std::size_t b = 0; b < kCopies; ++b) {
+    std::string block;
+    for (std::size_t i = 0; i < kBlock; ++i) block += "ACGT"[rng.next_below(4)];
+    blocks.push_back(std::move(block));
+  }
+  std::string unique;
+  for (std::uint64_t i = 0; i < unique_span; ++i) {
+    unique += "ACGT"[rng.next_below(4)];
+  }
+  std::string sequence;
+  for (const auto& block : blocks) sequence += block;
+  sequence += unique;
+  for (const auto& block : blocks) sequence += block;
+  Genome reference;
+  reference.add_contig("chrSim", sequence);
+  const std::uint64_t repeat_head = kCopies * kBlock;
+
+  // Catalog: one SNP mid-block in each first copy, plus matched unique SNPs.
+  SnpCatalog catalog;
+  auto plant = [&](std::uint64_t pos) {
+    CatalogEntry entry;
+    entry.contig = "chrSim";
+    entry.position = pos;
+    entry.ref = reference.at(pos);
+    if (entry.ref >= 4) return;
+    entry.alt = static_cast<std::uint8_t>(entry.ref ^ 2);
+    catalog.push_back(entry);
+  };
+  for (std::size_t b = 0; b < kCopies; ++b) {
+    plant(b * kBlock + kBlock / 2);
+  }
+  const std::size_t in_repeat = catalog.size();
+  for (std::size_t s = 0; s < kCopies; ++s) {
+    plant(repeat_head + (s + 1) * unique_span / (kCopies + 1));
+  }
+  const Genome individual = apply_catalog(reference, catalog);
+
+  ReadSimOptions sim_options;
+  sim_options.coverage = 16.0;
+  sim_options.seed = 556;
+  const auto reads = strip_metadata(simulate_reads(individual, sim_options));
+
+  std::printf("=== Ablation: marginal-alignment design choices ===\n");
+  std::printf("genome %.2f Mbp with %zu perfect 2-copy repeat blocks | "
+              "%zu reads at 16x | %zu SNPs in repeats + %zu unique | "
+              "diploid LRT\n\n",
+              static_cast<double>(sequence.size()) / 1e6, kCopies,
+              reads.size(), in_repeat, catalog.size() - in_repeat);
+
+  struct Variant {
+    const char* name;
+    ProbMode prob_mode;
+    Normalization normalization;
+    double min_site_posterior;
+  };
+  const Variant variants[] = {
+      {"pwm + raw mass (default)", ProbMode::kPwmWeighted,
+       Normalization::kRawMass, 1e-3},
+      {"called-base indicator", ProbMode::kCalledBase,
+       Normalization::kRawMass, 1e-3},
+      {"pwm + column normalized", ProbMode::kPwmWeighted,
+       Normalization::kColumn, 1e-3},
+      {"single best site only", ProbMode::kPwmWeighted,
+       Normalization::kRawMass, 0.51},
+  };
+
+  const SnpCatalog repeat_truth(
+      catalog.begin(), catalog.begin() + static_cast<std::ptrdiff_t>(in_repeat));
+  const SnpCatalog unique_truth(
+      catalog.begin() + static_cast<std::ptrdiff_t>(in_repeat), catalog.end());
+
+  print_rule();
+  std::printf("%-28s %16s %16s %12s\n", "variant", "repeat recall",
+              "unique recall", "other calls");
+  print_rule();
+  for (const auto& variant : variants) {
+    PipelineConfig config = default_pipeline_config();
+    config.ploidy = Ploidy::kDiploid;
+    config.marginal.prob_mode = variant.prob_mode;
+    config.marginal.normalization = variant.normalization;
+    config.min_site_posterior = variant.min_site_posterior;
+    const auto result = run_pipeline(reference, reads, config);
+    const auto repeat_eval = evaluate_calls(result.calls, repeat_truth);
+    const auto unique_eval = evaluate_calls(result.calls, unique_truth);
+    // Calls matching neither truth subset: dominated by the mirrored copy
+    // of each in-repeat SNP (genuinely ambiguous evidence).
+    const std::uint64_t other =
+        result.calls.size() - repeat_eval.tp - unique_eval.tp;
+    std::printf("%-28s %15.1f%% %15.1f%% %12llu\n", variant.name,
+                repeat_eval.recall() * 100.0, unique_eval.recall() * 100.0,
+                static_cast<unsigned long long>(other));
+  }
+  print_rule();
+  std::printf("expected: every variant recovers the unique SNPs; the "
+              "marginal variants also detect the in-repeat SNPs (mirrored "
+              "onto both copies — localization inside a perfect repeat is "
+              "impossible), while single-best-site drops the tied reads and "
+              "loses them entirely.\n");
+  return 0;
+}

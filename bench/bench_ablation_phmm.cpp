@@ -1,0 +1,117 @@
+// Ablation A: Pair-HMM kernel throughput (google-benchmark).
+//
+// Measures DP cells/second for the forward/backward marginal alignment, the
+// Viterbi decoder, and the Needleman-Wunsch baseline across read lengths,
+// plus the marginal condensation and the quantized accumulator adds.  These
+// kernels dominate the pipeline's compute, so the Figure 4/5 rates trace
+// back to these numbers.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "gnumap/accum/accumulator.hpp"
+#include "gnumap/genome/sequence.hpp"
+#include "gnumap/phmm/forward_backward.hpp"
+#include "gnumap/phmm/marginal.hpp"
+#include "gnumap/phmm/nw.hpp"
+#include "gnumap/phmm/viterbi.hpp"
+#include "gnumap/util/rng.hpp"
+
+namespace {
+
+using namespace gnumap;
+
+struct Fixture {
+  Read read;
+  std::vector<std::uint8_t> window;
+  Pwm pwm;
+
+  explicit Fixture(std::size_t read_len) {
+    Rng rng(4242);
+    std::string window_seq;
+    const std::size_t window_len = read_len + 24;
+    for (std::size_t j = 0; j < window_len; ++j) {
+      window_seq += "ACGT"[rng.next_below(4)];
+    }
+    read.name = "bench";
+    read.bases = encode_sequence(window_seq.substr(12, read_len));
+    read.quals.assign(read_len, 35);
+    // Sprinkle a few errors so the DP is not degenerate.
+    for (std::size_t i = 0; i < read_len; i += 17) {
+      read.bases[i] = static_cast<std::uint8_t>((read.bases[i] + 1) % 4);
+    }
+    window = encode_sequence(window_seq);
+    pwm = Pwm::from_read(read);
+  }
+
+  std::size_t cells() const {
+    return (read.length() + 1) * (window.size() + 1);
+  }
+};
+
+void BM_ForwardBackward(benchmark::State& state) {
+  const Fixture fx(static_cast<std::size_t>(state.range(0)));
+  const PairHmm hmm((PhmmParams()));
+  AlignmentMatrices mats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hmm.align(fx.pwm, fx.window, mats));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fx.cells()));
+  state.counters["cells"] = static_cast<double>(fx.cells());
+}
+BENCHMARK(BM_ForwardBackward)->Arg(36)->Arg(62)->Arg(100)->Arg(150);
+
+void BM_MarginalCondense(benchmark::State& state) {
+  const Fixture fx(static_cast<std::size_t>(state.range(0)));
+  const PairHmm hmm((PhmmParams()));
+  AlignmentMatrices mats;
+  hmm.align(fx.pwm, fx.window, mats);
+  const MarginalOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(condense_marginals(hmm, fx.pwm, mats, options));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fx.cells()));
+}
+BENCHMARK(BM_MarginalCondense)->Arg(62);
+
+void BM_Viterbi(benchmark::State& state) {
+  const Fixture fx(static_cast<std::size_t>(state.range(0)));
+  const PairHmm hmm((PhmmParams()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(viterbi_align(hmm, fx.pwm, fx.window));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fx.cells()));
+}
+BENCHMARK(BM_Viterbi)->Arg(62);
+
+void BM_NeedlemanWunsch(benchmark::State& state) {
+  const Fixture fx(static_cast<std::size_t>(state.range(0)));
+  const NwParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nw_align(fx.read, fx.window, params));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fx.cells()));
+}
+BENCHMARK(BM_NeedlemanWunsch)->Arg(62);
+
+void BM_AccumulatorAdd(benchmark::State& state) {
+  const auto kind = static_cast<AccumKind>(state.range(0));
+  const auto accum = make_accumulator(kind, 0, 4096);
+  Rng rng(7);
+  TrackVector delta{0.9f, 0.05f, 0.03f, 0.01f, 0.01f};
+  std::uint64_t pos = 0;
+  for (auto _ : state) {
+    accum->add(pos, delta);
+    pos = (pos + 61) & 4095;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel(accum_kind_name(kind));
+}
+BENCHMARK(BM_AccumulatorAdd)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace

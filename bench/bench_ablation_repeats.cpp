@@ -1,0 +1,84 @@
+// Ablation F: repeat regions — the paper's headline qualitative claim.
+//
+// "Our results show that GNUMAP-SNP has both high sensitivity and high
+//  specificity throughout the genome, which is especially true in repeat
+//  regions or in areas with low read coverage."
+//
+// Setup: a genome whose repeat content is swept from 0% to 30% (2 kbp
+// blocks at 0.5% divergence — young repeats; older, more divergent copies
+// are easy for any mapper).  SNPs are planted genome-wide; reads from
+// repeat copies map near-ambiguously.  Compared callers:
+//   * GNUMAP-SNP (marginal alignment: ambiguous reads split their weight)
+//   * MAQ-like, drop multimapped (reads with low mapQ discarded)
+//   * MAQ-like, random-assign (ambiguous reads placed at a random tie)
+// Expected: all three are comparable at 0% repeats; as repeat content
+// grows, the baseline's recall decays markedly faster than GNUMAP-SNP's.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.hpp"
+#include "gnumap/baseline/maq_like.hpp"
+#include "gnumap/core/evaluation.hpp"
+#include "gnumap/core/pipeline.hpp"
+
+using namespace gnumap;
+using namespace gnumap::bench;
+
+int main(int argc, char** argv) {
+  std::uint64_t genome_length = 250'000;
+  if (argc > 1) genome_length = std::strtoull(argv[1], nullptr, 10);
+
+  std::printf("=== Ablation: accuracy vs repeat content ===\n");
+  std::printf("genome %.2f Mbp | 12x coverage | recall%% / precision%%\n\n",
+              static_cast<double>(genome_length) / 1e6);
+
+  print_rule();
+  std::printf("%8s %22s %22s %22s\n", "repeats", "GNUMAP-SNP",
+              "MAQ-like (drop)", "MAQ-like (random)");
+  print_rule();
+  for (const double repeat_fraction : {0.0, 0.1, 0.2, 0.3}) {
+    WorkloadOptions options;
+    options.genome_length = genome_length;
+    options.repeat_fraction = repeat_fraction;
+    options.repeat_divergence = 0.005;
+    const Workload w = make_workload(options);
+
+    PipelineConfig gnumap_config = default_pipeline_config();
+    gnumap_config.seeder.max_candidates = 24;  // bound repeat-read cost
+    // Evidence from multireads arrives fractionally, so in-repeat sites sit
+    // lower on the LRT scale; alpha=1e-2 keeps them while still costing no
+    // precision (see the alpha sweep in bench_ablation_coverage: even
+    // alpha=0.1 produces zero false positives on this error model — the
+    // background comparison is doing the filtering, not the cutoff).
+    gnumap_config.alpha = 1e-2;
+    const auto gnumap_result =
+        run_pipeline(w.reference, w.reads, gnumap_config);
+    const auto gnumap_eval = evaluate_calls(gnumap_result.calls, w.catalog);
+
+    MaqLikeConfig drop_config;
+    drop_config.index.k = 10;
+    drop_config.seeder.max_candidates = 24;
+    const auto drop = run_maq_like(w.reference, w.reads, drop_config);
+    const auto drop_eval = evaluate_calls(drop.calls, w.catalog);
+
+    MaqLikeConfig random_config = drop_config;
+    random_config.random_assign_multimapped = true;
+    const auto random = run_maq_like(w.reference, w.reads, random_config);
+    const auto random_eval = evaluate_calls(random.calls, w.catalog);
+
+    auto cell = [](const EvalResult& e) {
+      static char buffer[4][32];
+      static int slot = 0;
+      slot = (slot + 1) % 4;
+      std::snprintf(buffer[slot], sizeof(buffer[slot]), "%5.1f / %5.1f",
+                    e.recall() * 100.0, e.precision() * 100.0);
+      return buffer[slot];
+    };
+    std::printf("%7.0f%% %22s %22s %22s\n", repeat_fraction * 100.0,
+                cell(gnumap_eval), cell(drop_eval), cell(random_eval));
+  }
+  print_rule();
+  std::printf("expected: GNUMAP-SNP's recall degrades most slowly as "
+              "repeat content grows.\n");
+  return 0;
+}

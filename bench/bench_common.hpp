@@ -1,0 +1,91 @@
+// Shared workload construction for the paper-reproduction benches.
+//
+// The paper's evaluation: human chrX (155 Mbp), dbSNP-derived catalog of
+// 14,501 evenly spaced SNPs (~1 per 10.7 kbp), 31M 62-bp MetaSim reads at
+// ~12x coverage.  The benches scale the genome down (single-core host) but
+// keep the same SNP density, read length, coverage, and error profile, so
+// the reported *shapes* are comparable.  Every bench prints its scaled
+// parameters next to the paper's originals.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gnumap/core/config.hpp"
+#include "gnumap/genome/genome.hpp"
+#include "gnumap/io/read.hpp"
+#include "gnumap/io/snp_catalog.hpp"
+#include "gnumap/sim/catalog_gen.hpp"
+#include "gnumap/sim/mutator.hpp"
+#include "gnumap/sim/read_sim.hpp"
+#include "gnumap/sim/reference_gen.hpp"
+
+namespace gnumap::bench {
+
+/// Paper constants the workloads scale from.
+inline constexpr double kPaperSnpSpacing = 153.0e6 / 14501.0;  // ~10.6 kbp
+inline constexpr std::uint32_t kPaperReadLength = 62;
+inline constexpr double kPaperCoverage = 12.0;
+
+struct Workload {
+  Genome reference;
+  SnpCatalog catalog;
+  std::vector<Read> reads;
+  std::uint64_t genome_length = 0;
+  double coverage = 0.0;
+};
+
+struct WorkloadOptions {
+  std::uint64_t genome_length = 2'000'000;
+  double coverage = kPaperCoverage;
+  double repeat_fraction = 0.03;   // keep some repeats: the paper stresses them
+  double repeat_divergence = 0.02; // per-base divergence between copies
+  double n_fraction = 0.001;
+  std::uint64_t seed = 20120521;
+};
+
+inline Workload make_workload(const WorkloadOptions& options) {
+  Workload w;
+  w.genome_length = options.genome_length;
+  w.coverage = options.coverage;
+
+  ReferenceGenOptions ref_options;
+  ref_options.length = options.genome_length;
+  ref_options.repeat_fraction = options.repeat_fraction;
+  ref_options.repeat_divergence = options.repeat_divergence;
+  ref_options.n_fraction = options.n_fraction;
+  ref_options.seed = options.seed;
+  w.reference = generate_reference(ref_options);
+
+  CatalogGenOptions catalog_options;
+  catalog_options.count = std::max<std::uint64_t>(
+      10, static_cast<std::uint64_t>(
+              static_cast<double>(options.genome_length) / kPaperSnpSpacing));
+  catalog_options.seed = options.seed + 1;
+  w.catalog = generate_catalog(w.reference, catalog_options);
+
+  const Genome individual = apply_catalog(w.reference, w.catalog);
+  ReadSimOptions sim_options;
+  sim_options.read_length = kPaperReadLength;
+  sim_options.coverage = options.coverage;
+  sim_options.seed = options.seed + 2;
+  w.reads = strip_metadata(simulate_reads(individual, sim_options));
+  return w;
+}
+
+inline PipelineConfig default_pipeline_config() {
+  PipelineConfig config;
+  config.index.k = 10;  // the paper's default mer size
+  config.alpha = 1e-4;
+  config.min_coverage = 3.0;
+  return config;
+}
+
+/// Prints an aligned row of a plain-text table.
+inline void print_rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace gnumap::bench

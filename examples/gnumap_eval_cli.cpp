@@ -1,0 +1,107 @@
+// gnumap_eval_cli — score a calls file against a truth catalog.
+//
+//   gnumap_eval_cli --calls calls.tsv --truth truth.catalog [--no-allele]
+//
+// Reads the native TSV produced by gnumap_snp_cli / write_snps_tsv and the
+// catalog format of gnumap_sim_cli, prints TP/FP/FN, precision, recall, F1
+// (the Table I metrics).
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "gnumap/core/evaluation.hpp"
+#include "gnumap/genome/sequence.hpp"
+#include "gnumap/io/snp_catalog.hpp"
+#include "gnumap/util/error.hpp"
+#include "gnumap/util/string_util.hpp"
+
+using namespace gnumap;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0, const std::string& error = "") {
+  if (!error.empty()) std::fprintf(stderr, "error: %s\n\n", error.c_str());
+  std::fprintf(stderr,
+               "usage: %s --calls calls.tsv --truth truth.catalog "
+               "[--no-allele]\n",
+               argv0);
+  std::exit(2);
+}
+
+/// Parses the native TSV written by write_snps_tsv.
+std::vector<SnpCall> read_calls_tsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ParseError("cannot open calls file: " + path);
+  std::vector<SnpCall> calls;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto text = strip(line);
+    if (text.empty() || text[0] == '#') continue;
+    const auto fields = split(text, '\t');
+    if (fields.size() < 8) {
+      throw ParseError("calls line " + std::to_string(line_no) +
+                       ": expected 8 tab-separated fields");
+    }
+    SnpCall call;
+    call.contig = std::string(fields[0]);
+    call.position = parse_u64(fields[1]);
+    call.ref = encode_base(fields[2][0]);
+    call.allele1 = encode_base(fields[3][0]);
+    call.allele2 = encode_base(fields[4][0]);
+    call.coverage = parse_double(fields[5]);
+    call.lrt_stat = parse_double(fields[6]);
+    call.p_value = parse_double(fields[7]);
+    calls.push_back(std::move(call));
+  }
+  return calls;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string calls_path, truth_path;
+  bool require_allele = true;
+
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(argv[0], std::string(argv[i]) + " needs a value");
+    return argv[++i];
+  };
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--calls") {
+        calls_path = need_value(i);
+      } else if (arg == "--truth") {
+        truth_path = need_value(i);
+      } else if (arg == "--no-allele") {
+        require_allele = false;
+      } else if (arg == "--help" || arg == "-h") {
+        usage(argv[0]);
+      } else {
+        usage(argv[0], "unknown option: " + arg);
+      }
+    }
+    if (calls_path.empty() || truth_path.empty()) {
+      usage(argv[0], "--calls and --truth are required");
+    }
+    const auto calls = read_calls_tsv(calls_path);
+    const auto truth = read_catalog_file(truth_path);
+    const auto eval = evaluate_calls(calls, truth, require_allele);
+
+    std::printf("calls: %zu | truth: %zu\n", calls.size(), truth.size());
+    std::printf("TP %llu  FP %llu  FN %llu\n",
+                static_cast<unsigned long long>(eval.tp),
+                static_cast<unsigned long long>(eval.fp),
+                static_cast<unsigned long long>(eval.fn));
+    std::printf("precision %s  recall %s  F1 %s\n",
+                format_percent(eval.precision()).c_str(),
+                format_percent(eval.recall()).c_str(),
+                format_percent(eval.f1()).c_str());
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "gnumap_eval_cli: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,153 @@
+// gnumap_sim_cli — synthetic resequencing workload generator (the MetaSim
+// substitute as a standalone tool).
+//
+//   gnumap_sim_cli --out DIR [options]
+//
+// Writes DIR/reference.fa, DIR/truth.catalog, DIR/reads.fastq, and for
+// --ploidy 2 also DIR/hap1.fa, DIR/hap2.fa.
+//
+// Options:
+//   --length N        reference length in bp          (default 1000000)
+//   --snps N          catalog size                    (default length/10600)
+//   --coverage X      read coverage                   (default 12)
+//   --read-length N   read length in bp               (default 62)
+//   --ploidy 1|2      monoploid or diploid individual (default 1)
+//   --het-fraction X  het site fraction for --ploidy 2 (default 0.5)
+//   --repeats X       genome repeat fraction          (default 0.03)
+//   --error-start X   5' substitution error rate      (default 0.002)
+//   --error-end X     3' substitution error rate      (default 0.02)
+//   --indel-rate X    per-base indel rate             (default 0.0005)
+//   --seed N          master seed                     (default 20120521)
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "gnumap/genome/sequence.hpp"
+#include "gnumap/io/fasta.hpp"
+#include "gnumap/io/fastq.hpp"
+#include "gnumap/io/snp_catalog.hpp"
+#include "gnumap/sim/catalog_gen.hpp"
+#include "gnumap/sim/mutator.hpp"
+#include "gnumap/sim/read_sim.hpp"
+#include "gnumap/sim/reference_gen.hpp"
+#include "gnumap/util/error.hpp"
+#include "gnumap/util/string_util.hpp"
+
+using namespace gnumap;
+namespace fs = std::filesystem;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0, const std::string& error = "") {
+  if (!error.empty()) std::fprintf(stderr, "error: %s\n\n", error.c_str());
+  std::fprintf(stderr,
+               "usage: %s --out DIR [--length N] [--snps N] [--coverage X]\n"
+               "  [--read-length N] [--ploidy 1|2] [--het-fraction X]\n"
+               "  [--repeats X] [--error-start X] [--error-end X]\n"
+               "  [--indel-rate X] [--seed N]\n",
+               argv0);
+  std::exit(2);
+}
+
+std::string genome_to_fasta_seq(const Genome& genome, std::uint32_t contig) {
+  std::string seq;
+  seq.reserve(genome.contig_size(contig));
+  const auto start = genome.contig_start(contig);
+  for (std::uint64_t i = 0; i < genome.contig_size(contig); ++i) {
+    seq += decode_base(genome.at(start + i));
+  }
+  return seq;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path out_dir;
+  ReferenceGenOptions ref_options;
+  CatalogGenOptions catalog_options;
+  ReadSimOptions read_options;
+  int ploidy = 1;
+  std::uint64_t snps = 0;
+
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(argv[0], std::string(argv[i]) + " needs a value");
+    return argv[++i];
+  };
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--out") {
+        out_dir = need_value(i);
+      } else if (arg == "--length") {
+        ref_options.length = parse_u64(need_value(i));
+      } else if (arg == "--snps") {
+        snps = parse_u64(need_value(i));
+      } else if (arg == "--coverage") {
+        read_options.coverage = parse_double(need_value(i));
+      } else if (arg == "--read-length") {
+        read_options.read_length =
+            static_cast<std::uint32_t>(parse_u64(need_value(i)));
+      } else if (arg == "--ploidy") {
+        ploidy = static_cast<int>(parse_u64(need_value(i)));
+        if (ploidy != 1 && ploidy != 2) usage(argv[0], "--ploidy must be 1|2");
+      } else if (arg == "--het-fraction") {
+        catalog_options.het_fraction = parse_double(need_value(i));
+      } else if (arg == "--repeats") {
+        ref_options.repeat_fraction = parse_double(need_value(i));
+      } else if (arg == "--error-start") {
+        read_options.error_rate_start = parse_double(need_value(i));
+      } else if (arg == "--error-end") {
+        read_options.error_rate_end = parse_double(need_value(i));
+      } else if (arg == "--indel-rate") {
+        read_options.indel_rate = parse_double(need_value(i));
+      } else if (arg == "--seed") {
+        const auto seed = parse_u64(need_value(i));
+        ref_options.seed = seed;
+        catalog_options.seed = seed + 1;
+        read_options.seed = seed + 2;
+      } else if (arg == "--help" || arg == "-h") {
+        usage(argv[0]);
+      } else {
+        usage(argv[0], "unknown option: " + arg);
+      }
+    }
+    if (out_dir.empty()) usage(argv[0], "--out is required");
+    fs::create_directories(out_dir);
+    if (snps == 0) snps = std::max<std::uint64_t>(1, ref_options.length / 10'600);
+    catalog_options.count = snps;
+    if (ploidy == 1) catalog_options.het_fraction = 0.0;
+
+    const Genome reference = generate_reference(ref_options);
+    const SnpCatalog catalog = generate_catalog(reference, catalog_options);
+    write_fasta_file((out_dir / "reference.fa").string(),
+                     {{"chrSim", genome_to_fasta_seq(reference, 0)}});
+    write_catalog_file((out_dir / "truth.catalog").string(), catalog);
+
+    std::vector<Read> reads;
+    if (ploidy == 1) {
+      const Genome individual = apply_catalog(reference, catalog);
+      reads = strip_metadata(simulate_reads(individual, read_options));
+    } else {
+      const auto individual = apply_catalog_diploid(reference, catalog);
+      write_fasta_file((out_dir / "hap1.fa").string(),
+                       {{"chrSim", genome_to_fasta_seq(individual.hap1, 0)}});
+      write_fasta_file((out_dir / "hap2.fa").string(),
+                       {{"chrSim", genome_to_fasta_seq(individual.hap2, 0)}});
+      reads = strip_metadata(simulate_reads_diploid(
+          individual.hap1, individual.hap2, read_options));
+    }
+    write_fastq_file((out_dir / "reads.fastq").string(), reads);
+
+    std::printf("wrote %s: %.2f Mbp reference, %zu SNPs, %zu reads "
+                "(%ux bp at %.1fx)\n",
+                out_dir.c_str(),
+                static_cast<double>(ref_options.length) / 1e6, catalog.size(),
+                reads.size(), read_options.read_length,
+                read_options.coverage);
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "gnumap_sim_cli: %s\n", e.what());
+    return 1;
+  }
+}

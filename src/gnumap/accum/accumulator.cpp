@@ -1,0 +1,42 @@
+#include "gnumap/accum/accumulator.hpp"
+
+#include "gnumap/accum/centdisc_accumulator.hpp"
+#include "gnumap/accum/chardisc_accumulator.hpp"
+#include "gnumap/accum/norm_accumulator.hpp"
+#include "gnumap/util/error.hpp"
+
+namespace gnumap {
+
+AccumKind accum_kind_from_string(const std::string& name) {
+  if (name == "norm") return AccumKind::kNorm;
+  if (name == "chardisc") return AccumKind::kCharDisc;
+  if (name == "centdisc") return AccumKind::kCentDisc;
+  throw ConfigError("unknown accumulator kind: '" + name +
+                    "' (expected norm|chardisc|centdisc)");
+}
+
+const char* accum_kind_name(AccumKind kind) {
+  switch (kind) {
+    case AccumKind::kNorm:     return "NORM";
+    case AccumKind::kCharDisc: return "CHARDISC";
+    case AccumKind::kCentDisc: return "CENTDISC";
+  }
+  return "?";
+}
+
+std::unique_ptr<Accumulator> make_accumulator(
+    AccumKind kind, std::uint64_t begin, std::uint64_t size,
+    CentDiscQuantize centdisc_quantize) {
+  switch (kind) {
+    case AccumKind::kNorm:
+      return std::make_unique<NormAccumulator>(begin, size);
+    case AccumKind::kCharDisc:
+      return std::make_unique<CharDiscAccumulator>(begin, size);
+    case AccumKind::kCentDisc:
+      return std::make_unique<CentDiscAccumulator>(begin, size,
+                                                   centdisc_quantize);
+  }
+  throw ConfigError("make_accumulator: invalid kind");
+}
+
+}  // namespace gnumap

@@ -1,0 +1,82 @@
+// Genome accumulation buffers.
+//
+// "an array of floats representing the entire genomic sequence is stored in
+//  the program's memory, with space allocated for each nucleotide... As each
+//  read is aligned to the genome, probabilities are summed to obtain a
+//  complete alignment."  (paper, Section VI-A)
+//
+// Three concrete layouts reproduce Section VI-B:
+//  * NORM      — five floats per position (A, C, G, T, gap).
+//  * CHARDISC  — one float (total mass) + five bytes (fractions of 255).
+//  * CENTDISC  — one byte per position indexing a 256-centroid codebook,
+//                plus one float for the total; adds go through repeated
+//                nearest-centroid requantization (faithfully lossy).
+//
+// The interface is deliberately narrow: the mapper only ever adds a 5-vector
+// at a position, the caller only ever reads a 5-vector back, and the mpsim
+// reduction only ever merges two buffers of the same kind and range.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gnumap {
+
+/// Track vector at one genome position: expected read mass per
+/// A, C, G, T, gap.
+using TrackVector = std::array<float, 5>;
+
+enum class AccumKind : std::uint8_t { kNorm = 0, kCharDisc = 1, kCentDisc = 2 };
+
+/// Parses "norm" / "chardisc" / "centdisc"; throws ConfigError otherwise.
+AccumKind accum_kind_from_string(const std::string& name);
+const char* accum_kind_name(AccumKind kind);
+
+class Accumulator {
+ public:
+  virtual ~Accumulator() = default;
+
+  /// Number of positions covered ([begin, begin+size) in global coords).
+  virtual std::uint64_t size() const = 0;
+  /// Global genome position of slot 0.
+  virtual std::uint64_t begin() const = 0;
+
+  /// Adds `delta` (nonnegative mass per track) at global position `pos`.
+  /// Positions outside [begin, begin+size) are ignored (the genome-partition
+  /// mode clips window flanks that spill past a segment).
+  virtual void add(std::uint64_t pos, const TrackVector& delta) = 0;
+
+  /// Reads back the accumulated 5-vector at global position `pos`.
+  virtual TrackVector counts(std::uint64_t pos) const = 0;
+
+  /// Merges another buffer of the same kind and range into this one.
+  /// Throws ConfigError on kind/range mismatch.
+  virtual void merge(const Accumulator& other) = 0;
+
+  /// Serializes to bytes for the mpsim reduction; deserialize with the
+  /// factory's `from_bytes`.
+  virtual std::vector<std::uint8_t> to_bytes() const = 0;
+  virtual void from_bytes(const std::vector<std::uint8_t>& bytes) = 0;
+
+  /// Bytes of storage per genome position for this layout (the Table II
+  /// quantity), excluding fixed overhead shared across positions.
+  virtual double bytes_per_position() const = 0;
+  /// Actual heap bytes held by this buffer.
+  virtual std::uint64_t memory_bytes() const = 0;
+
+  virtual AccumKind kind() const = 0;
+};
+
+/// How CENTDISC converts real-valued vectors into centroid space; see
+/// centdisc_accumulator.hpp.  Ignored by the other layouts.
+enum class CentDiscQuantize : std::uint8_t { kApproximate = 0, kNearest = 1 };
+
+/// Creates a buffer of `kind` covering [begin, begin+size).
+std::unique_ptr<Accumulator> make_accumulator(
+    AccumKind kind, std::uint64_t begin, std::uint64_t size,
+    CentDiscQuantize centdisc_quantize = CentDiscQuantize::kApproximate);
+
+}  // namespace gnumap

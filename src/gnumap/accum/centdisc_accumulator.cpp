@@ -1,0 +1,121 @@
+#include "gnumap/accum/centdisc_accumulator.hpp"
+
+#include <cstring>
+
+#include "gnumap/util/error.hpp"
+
+namespace gnumap {
+
+CentDiscAccumulator::CentDiscAccumulator(std::uint64_t begin,
+                                         std::uint64_t size,
+                                         CentDiscQuantize mode)
+    : codebook_(CentroidCodebook::instance()),
+      mode_(mode),
+      begin_(begin),
+      size_(size),
+      totals_(size, 0.0f),
+      codes_(size, CentroidCodebook::kEmptyCode) {}
+
+std::uint8_t CentDiscAccumulator::approximate_code(
+    const CentroidCodebook& codebook, const TrackVector& values) {
+  float total = 0.0f;
+  for (const float v : values) total += v;
+  if (!(total > 0.0f)) return CentroidCodebook::kEmptyCode;
+
+  // Top two tracks.
+  int major = 0, minor = 1;
+  if (values[1] > values[0]) { major = 1; minor = 0; }
+  for (int k = 2; k < 5; ++k) {
+    const auto ks = static_cast<std::size_t>(k);
+    if (values[ks] > values[static_cast<std::size_t>(major)]) {
+      minor = major;
+      major = k;
+    } else if (values[ks] > values[static_cast<std::size_t>(minor)]) {
+      minor = k;
+    }
+  }
+  const float top2 = values[static_cast<std::size_t>(major)] +
+                     values[static_cast<std::size_t>(minor)];
+  const float minor_frac =
+      top2 > 0.0f ? values[static_cast<std::size_t>(minor)] / top2 : 0.0f;
+  // Background check: if the top two tracks carry less than 60% of the
+  // mass the composition is noise.
+  if (top2 < 0.6f * total) return codebook.uniform_code();
+  if (minor_frac < 0.08f) return codebook.pure_code(major);
+  if (minor_frac < 0.35f) {
+    // "A SNP from <major> to <minor>": per the paper's example the state's
+    // majority sits on the destination base.
+    return codebook.snp_code(major, minor);
+  }
+  return codebook.het_code(major, minor);
+}
+
+void CentDiscAccumulator::add(std::uint64_t pos, const TrackVector& delta) {
+  if (pos < begin_ || pos >= begin_ + size_) return;
+  const std::uint64_t slot = pos - begin_;
+  const float old_total = totals_[slot];
+  const TrackVector& centroid = codebook_.centroid(codes_[slot]);
+
+  TrackVector real;
+  float new_total = 0.0f;
+  for (int k = 0; k < 5; ++k) {
+    const auto ks = static_cast<std::size_t>(k);
+    real[ks] = old_total * centroid[ks] + delta[ks];
+    new_total += real[ks];
+  }
+  if (!(new_total > 0.0f)) return;
+  codes_[slot] = mode_ == CentDiscQuantize::kNearest
+                     ? codebook_.quantize(real)
+                     : approximate_code(codebook_, real);
+  totals_[slot] = new_total;
+}
+
+TrackVector CentDiscAccumulator::counts(std::uint64_t pos) const {
+  TrackVector out{};
+  if (pos < begin_ || pos >= begin_ + size_) return out;
+  const std::uint64_t slot = pos - begin_;
+  const TrackVector& centroid = codebook_.centroid(codes_[slot]);
+  for (int k = 0; k < 5; ++k) {
+    const auto ks = static_cast<std::size_t>(k);
+    out[ks] = totals_[slot] * centroid[ks];
+  }
+  return out;
+}
+
+void CentDiscAccumulator::merge(const Accumulator& other) {
+  require(other.kind() == AccumKind::kCentDisc &&
+              other.begin() == begin_ && other.size() == size_,
+          "CentDiscAccumulator::merge: kind/range mismatch");
+  const auto& rhs = static_cast<const CentDiscAccumulator&>(other);
+  for (std::uint64_t slot = 0; slot < size_; ++slot) {
+    // Paper-faithful reduction: composition via the equal-weight table,
+    // totals added exactly.
+    codes_[slot] = codebook_.merge(codes_[slot], rhs.codes_[slot]);
+    totals_[slot] += rhs.totals_[slot];
+  }
+}
+
+std::uint8_t CentDiscAccumulator::code_at(std::uint64_t pos) const {
+  require(pos >= begin_ && pos < begin_ + size_,
+          "CentDiscAccumulator::code_at: position out of range");
+  return codes_[pos - begin_];
+}
+
+std::vector<std::uint8_t> CentDiscAccumulator::to_bytes() const {
+  std::vector<std::uint8_t> bytes(totals_.size() * sizeof(float) +
+                                  codes_.size());
+  std::memcpy(bytes.data(), totals_.data(), totals_.size() * sizeof(float));
+  std::memcpy(bytes.data() + totals_.size() * sizeof(float), codes_.data(),
+              codes_.size());
+  return bytes;
+}
+
+void CentDiscAccumulator::from_bytes(const std::vector<std::uint8_t>& bytes) {
+  require(bytes.size() == totals_.size() * sizeof(float) + codes_.size(),
+          "CentDiscAccumulator::from_bytes: size mismatch");
+  std::memcpy(totals_.data(), bytes.data(), totals_.size() * sizeof(float));
+  std::memcpy(codes_.data(), bytes.data() + totals_.size() * sizeof(float),
+              codes_.size());
+}
+
+}  // namespace gnumap

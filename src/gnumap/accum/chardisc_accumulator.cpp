@@ -1,0 +1,114 @@
+#include "gnumap/accum/chardisc_accumulator.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "gnumap/util/error.hpp"
+
+namespace gnumap {
+
+CharDiscAccumulator::CharDiscAccumulator(std::uint64_t begin,
+                                         std::uint64_t size)
+    : begin_(begin), size_(size), totals_(size, 0.0f), shares_(size * 5, 0) {}
+
+std::array<std::uint8_t, 5> CharDiscAccumulator::quantize(
+    const TrackVector& values, float total) {
+  std::array<std::uint8_t, 5> shares{};
+  if (!(total > 0.0f)) return shares;
+  // Largest-remainder method: floor each share, then hand the leftover
+  // units to the largest remainders so the shares sum to exactly 255.
+  std::array<float, 5> exact;
+  std::array<int, 5> base;
+  int used = 0;
+  for (int k = 0; k < 5; ++k) {
+    const auto ks = static_cast<std::size_t>(k);
+    exact[ks] = std::clamp(values[ks] / total, 0.0f, 1.0f) * 255.0f;
+    base[ks] = static_cast<int>(exact[ks]);
+    used += base[ks];
+  }
+  std::array<int, 5> order{0, 1, 2, 3, 4};
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const float ra = exact[static_cast<std::size_t>(a)] -
+                     static_cast<float>(base[static_cast<std::size_t>(a)]);
+    const float rb = exact[static_cast<std::size_t>(b)] -
+                     static_cast<float>(base[static_cast<std::size_t>(b)]);
+    return ra > rb;
+  });
+  int leftover = 255 - used;
+  for (int idx = 0; idx < 5 && leftover > 0; ++idx, --leftover) {
+    ++base[static_cast<std::size_t>(order[static_cast<std::size_t>(idx)])];
+  }
+  for (int k = 0; k < 5; ++k) {
+    shares[static_cast<std::size_t>(k)] = static_cast<std::uint8_t>(
+        std::clamp(base[static_cast<std::size_t>(k)], 0, 255));
+  }
+  return shares;
+}
+
+void CharDiscAccumulator::add(std::uint64_t pos, const TrackVector& delta) {
+  if (pos < begin_ || pos >= begin_ + size_) return;
+  const std::uint64_t slot = pos - begin_;
+  const float old_total = totals_[slot];
+  std::uint8_t* share = &shares_[slot * 5];
+
+  // Back to real space: share/255 * total, then add the delta.
+  TrackVector real;
+  float new_total = 0.0f;
+  for (int k = 0; k < 5; ++k) {
+    const auto ks = static_cast<std::size_t>(k);
+    real[ks] = old_total * static_cast<float>(share[k]) / 255.0f + delta[ks];
+    new_total += real[ks];
+  }
+  const auto quantized = quantize(real, new_total);
+  for (int k = 0; k < 5; ++k) share[k] = quantized[static_cast<std::size_t>(k)];
+  totals_[slot] = new_total;
+}
+
+TrackVector CharDiscAccumulator::counts(std::uint64_t pos) const {
+  TrackVector out{};
+  if (pos < begin_ || pos >= begin_ + size_) return out;
+  const std::uint64_t slot = pos - begin_;
+  const float total = totals_[slot];
+  const std::uint8_t* share = &shares_[slot * 5];
+  for (int k = 0; k < 5; ++k) {
+    out[static_cast<std::size_t>(k)] =
+        total * static_cast<float>(share[k]) / 255.0f;
+  }
+  return out;
+}
+
+void CharDiscAccumulator::merge(const Accumulator& other) {
+  require(other.kind() == AccumKind::kCharDisc &&
+              other.begin() == begin_ && other.size() == size_,
+          "CharDiscAccumulator::merge: kind/range mismatch");
+  const auto& rhs = static_cast<const CharDiscAccumulator&>(other);
+  for (std::uint64_t slot = 0; slot < size_; ++slot) {
+    if (!(rhs.totals_[slot] > 0.0f)) continue;
+    const std::uint8_t* share = &rhs.shares_[slot * 5];
+    TrackVector delta;
+    for (int k = 0; k < 5; ++k) {
+      delta[static_cast<std::size_t>(k)] =
+          rhs.totals_[slot] * static_cast<float>(share[k]) / 255.0f;
+    }
+    add(begin_ + slot, delta);
+  }
+}
+
+std::vector<std::uint8_t> CharDiscAccumulator::to_bytes() const {
+  std::vector<std::uint8_t> bytes(totals_.size() * sizeof(float) +
+                                  shares_.size());
+  std::memcpy(bytes.data(), totals_.data(), totals_.size() * sizeof(float));
+  std::memcpy(bytes.data() + totals_.size() * sizeof(float), shares_.data(),
+              shares_.size());
+  return bytes;
+}
+
+void CharDiscAccumulator::from_bytes(const std::vector<std::uint8_t>& bytes) {
+  require(bytes.size() == totals_.size() * sizeof(float) + shares_.size(),
+          "CharDiscAccumulator::from_bytes: size mismatch");
+  std::memcpy(totals_.data(), bytes.data(), totals_.size() * sizeof(float));
+  std::memcpy(shares_.data(), bytes.data() + totals_.size() * sizeof(float),
+              shares_.size());
+}
+
+}  // namespace gnumap

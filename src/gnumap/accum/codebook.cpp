@@ -1,0 +1,237 @@
+#include "gnumap/accum/codebook.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gnumap {
+
+namespace {
+
+/// Smooths a raw composition with epsilon mass on every track, normalized.
+TrackVector smoothed(const TrackVector& raw, float epsilon) {
+  TrackVector out;
+  float sum = 0.0f;
+  for (int k = 0; k < 5; ++k) {
+    out[static_cast<std::size_t>(k)] =
+        raw[static_cast<std::size_t>(k)] + epsilon;
+    sum += out[static_cast<std::size_t>(k)];
+  }
+  for (auto& v : out) v /= sum;
+  return out;
+}
+
+float distance2(const TrackVector& a, const TrackVector& b) {
+  float d2 = 0.0f;
+  for (int k = 0; k < 5; ++k) {
+    const float d = a[static_cast<std::size_t>(k)] -
+                    b[static_cast<std::size_t>(k)];
+    d2 += d * d;
+  }
+  return d2;
+}
+
+bool nearly_equal(const TrackVector& a, const TrackVector& b) {
+  return distance2(a, b) < 1e-6f;
+}
+
+}  // namespace
+
+CentroidCodebook::CentroidCodebook() {
+  std::vector<TrackVector> candidates;
+  candidates.reserve(512);
+
+  // Code 0: the empty state.
+  candidates.push_back(TrackVector{});
+
+  // Smoothed pure states (paper's single-'a' example uses epsilon = 0.05
+  // pre-normalization: 0.84 / 0.04).
+  for (int base = 0; base < 5; ++base) {
+    TrackVector raw{};
+    raw[static_cast<std::size_t>(base)] = 1.0f;
+    candidates.push_back(smoothed(raw, 0.05f));
+  }
+  // Uniform background.
+  candidates.push_back(TrackVector{0.2f, 0.2f, 0.2f, 0.2f, 0.2f});
+
+  // Two-base mixtures.  Transition pairs get a denser level grid than
+  // transversion pairs (biological weighting); base-gap pairs are sparser
+  // still.  Levels are the minor-allele fraction.
+  auto add_pair = [&](int major, int minor, int levels) {
+    for (int step = 1; step <= levels; ++step) {
+      const float minor_frac =
+          0.5f * static_cast<float>(step) / static_cast<float>(levels);
+      TrackVector raw{};
+      raw[static_cast<std::size_t>(major)] = 1.0f - minor_frac;
+      raw[static_cast<std::size_t>(minor)] = minor_frac;
+      candidates.push_back(smoothed(raw, 0.05f));
+    }
+  };
+  const std::array<std::array<int, 2>, 2> transitions{{{0, 2}, {1, 3}}};
+  const std::array<std::array<int, 2>, 4> transversions{
+      {{0, 1}, {0, 3}, {1, 2}, {2, 3}}};
+  for (const auto& pair : transitions) {
+    add_pair(pair[0], pair[1], 24);
+    add_pair(pair[1], pair[0], 24);
+  }
+  for (const auto& pair : transversions) {
+    add_pair(pair[0], pair[1], 10);
+    add_pair(pair[1], pair[0], 10);
+  }
+  for (int base = 0; base < 4; ++base) {
+    add_pair(base, 4, 6);  // base + gap
+    add_pair(4, base, 2);  // gap-major states are rare
+  }
+
+  // Base + uniform noise blends (mapping errors spread mass everywhere).
+  for (int base = 0; base < 4; ++base) {
+    for (const float noise : {0.15f, 0.3f, 0.45f, 0.6f}) {
+      TrackVector raw{};
+      for (int k = 0; k < 5; ++k) {
+        raw[static_cast<std::size_t>(k)] = noise / 5.0f;
+      }
+      raw[static_cast<std::size_t>(base)] += 1.0f - noise;
+      candidates.push_back(smoothed(raw, 0.0f));
+    }
+  }
+
+  // Heterozygous-style 50/50 states for every base pair (diploid calling).
+  for (int a = 0; a < 4; ++a) {
+    for (int b = a + 1; b < 4; ++b) {
+      TrackVector raw{};
+      raw[static_cast<std::size_t>(a)] = 0.5f;
+      raw[static_cast<std::size_t>(b)] = 0.5f;
+      candidates.push_back(smoothed(raw, 0.02f));
+    }
+  }
+
+  // Deduplicate preserving order, then take the first 256.
+  std::size_t count = 0;
+  for (const auto& candidate : candidates) {
+    bool duplicate = false;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (nearly_equal(centroids_[i], candidate)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) {
+      centroids_[count++] = candidate;
+      if (count == kSize) break;
+    }
+  }
+  // Fill any remaining slots with deterministic lattices over 3-base
+  // compositions so the table is always full (several ratio families, so
+  // duplicates elsewhere cannot leave empty codes).
+  const std::array<std::array<float, 3>, 4> ratio_families{{
+      {0.60f, 0.25f, 0.15f},
+      {0.45f, 0.35f, 0.20f},
+      {0.70f, 0.20f, 0.10f},
+      {0.50f, 0.30f, 0.20f},
+  }};
+  for (const auto& ratios : ratio_families) {
+    for (int a = 0; a < 4 && count < kSize; ++a) {
+      for (int b = 0; b < 4 && count < kSize; ++b) {
+        for (int c = 0; c < 4 && count < kSize; ++c) {
+          if (a == b || b == c || a == c) continue;
+          TrackVector raw{};
+          raw[static_cast<std::size_t>(a)] = ratios[0];
+          raw[static_cast<std::size_t>(b)] = ratios[1];
+          raw[static_cast<std::size_t>(c)] = ratios[2];
+          const auto candidate = smoothed(raw, 0.02f);
+          bool duplicate = false;
+          for (std::size_t i = 0; i < count; ++i) {
+            if (nearly_equal(centroids_[i], candidate)) {
+              duplicate = true;
+              break;
+            }
+          }
+          if (!duplicate) centroids_[count++] = candidate;
+        }
+      }
+    }
+    if (count == kSize) break;
+  }
+
+  // Resolve the anchor codes used by the approximate converter.  Each is
+  // the nearest centroid to its canonical composition, so the anchors are
+  // guaranteed to exist in the table.
+  for (int track = 0; track < 5; ++track) {
+    TrackVector raw{};
+    raw[static_cast<std::size_t>(track)] = 1.0f;
+    pure_codes_[static_cast<std::size_t>(track)] = quantize(smoothed(raw, 0.05f));
+  }
+  uniform_code_ = quantize(TrackVector{0.2f, 0.2f, 0.2f, 0.2f, 0.2f});
+  for (int from = 0; from < 5; ++from) {
+    for (int to = 0; to < 5; ++to) {
+      const auto slot = static_cast<std::size_t>(from) * 5 +
+                        static_cast<std::size_t>(to);
+      if (from == to) {
+        snp_codes_[slot] = pure_codes_[static_cast<std::size_t>(from)];
+        het_codes_[slot] = pure_codes_[static_cast<std::size_t>(from)];
+        continue;
+      }
+      // The paper's SNP-event state: majority on the destination base.
+      TrackVector snp{0.08f, 0.08f, 0.08f, 0.08f, 0.08f};
+      snp[static_cast<std::size_t>(from)] = 0.28f;
+      snp[static_cast<std::size_t>(to)] = 0.48f;
+      snp_codes_[slot] = quantize(snp);
+      TrackVector het{};
+      het[static_cast<std::size_t>(from)] = 0.5f;
+      het[static_cast<std::size_t>(to)] = 0.5f;
+      het_codes_[slot] = quantize(smoothed(het, 0.02f));
+    }
+  }
+
+  // Merge table: nearest centroid to the unweighted average of each pair.
+  merge_table_.resize(static_cast<std::size_t>(kSize) * kSize);
+  for (int a = 0; a < kSize; ++a) {
+    for (int b = 0; b < kSize; ++b) {
+      if (a == kEmptyCode) {
+        merge_table_[static_cast<std::size_t>(a) * kSize + b] =
+            static_cast<std::uint8_t>(b);
+        continue;
+      }
+      if (b == kEmptyCode) {
+        merge_table_[static_cast<std::size_t>(a) * kSize + b] =
+            static_cast<std::uint8_t>(a);
+        continue;
+      }
+      TrackVector avg;
+      for (int k = 0; k < 5; ++k) {
+        const auto ks = static_cast<std::size_t>(k);
+        avg[ks] = 0.5f * (centroids_[static_cast<std::size_t>(a)][ks] +
+                          centroids_[static_cast<std::size_t>(b)][ks]);
+      }
+      merge_table_[static_cast<std::size_t>(a) * kSize + b] = quantize(avg);
+    }
+  }
+}
+
+const CentroidCodebook& CentroidCodebook::instance() {
+  static const CentroidCodebook codebook;
+  return codebook;
+}
+
+std::uint8_t CentroidCodebook::quantize(const TrackVector& values) const {
+  float sum = 0.0f;
+  for (const float v : values) sum += v;
+  if (!(sum > 0.0f)) return kEmptyCode;
+  TrackVector norm;
+  for (int k = 0; k < 5; ++k) {
+    norm[static_cast<std::size_t>(k)] =
+        values[static_cast<std::size_t>(k)] / sum;
+  }
+  // Skip the empty state (code 0): it is not a probability vector.
+  std::uint8_t best = 1;
+  float best_d2 = distance2(norm, centroids_[1]);
+  for (int code = 2; code < kSize; ++code) {
+    const float d2 = distance2(norm, centroids_[static_cast<std::size_t>(code)]);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = static_cast<std::uint8_t>(code);
+    }
+  }
+  return best;
+}
+
+}  // namespace gnumap

@@ -1,0 +1,91 @@
+// Centroid codebook for the CENTDISC accumulator (paper, Section VI-B.2).
+//
+// 256 five-dimensional probability vectors chosen deterministically with the
+// paper's biological weighting: "sampling biologically-relevant states at a
+// higher rate than those which are not as likely".  Concretely:
+//  * smoothed pure states, e.g. a single 'a' -> [0.84, 0.04, 0.04, 0.04, 0.04]
+//    (the paper's own example);
+//  * two-base mixtures, with transition pairs (A<->G, C<->T) sampled at
+//    roughly twice the rate of transversion pairs — including asymmetric
+//    "SNP states" like the paper's a->g example [0.28, 0.08, 0.48, 0.08, 0.08];
+//  * base+gap mixtures;
+//  * base+uniform-noise blends and the uniform background.
+//
+// The codebook also precomputes the 256 x 256 equal-weight merge table the
+// paper describes for the MPI reduction phase ("the sum can be a pre-computed
+// table lookup").  Ignoring the relative totals of the two operands is part
+// of what makes CENTDISC lossy; we reproduce it as described.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "gnumap/accum/accumulator.hpp"
+
+namespace gnumap {
+
+class CentroidCodebook {
+ public:
+  static constexpr int kSize = 256;
+
+  /// Deterministic construction; identical on every rank/process.
+  CentroidCodebook();
+
+  /// The process-wide shared instance (construction is cheap but the merge
+  /// table makes sharing worthwhile).
+  static const CentroidCodebook& instance();
+
+  const TrackVector& centroid(std::uint8_t code) const {
+    return centroids_[code];
+  }
+
+  /// Nearest centroid (squared Euclidean distance) to a probability vector.
+  /// `values` need not be normalized; it is normalized by its sum first.
+  /// All-zero input maps to the dedicated empty state (code 0).
+  std::uint8_t quantize(const TrackVector& values) const;
+
+  /// Equal-weight merge: code of the centroid nearest to the average of the
+  /// two operand centroids.  Precomputed.
+  std::uint8_t merge(std::uint8_t a, std::uint8_t b) const {
+    return merge_table_[static_cast<std::size_t>(a) * kSize + b];
+  }
+
+  /// Code 0 is reserved for "no mass yet".
+  static constexpr std::uint8_t kEmptyCode = 0;
+
+  // Anchor states used by the *approximate* converter (see
+  // CentDiscAccumulator).  The paper notes that converting into gamma space
+  // "either requires approximation or a somewhat exhaustive search"; its
+  // worked example labels an a->g SNP event with the state
+  // [0.28, 0.08, 0.48, 0.08, 0.08] — majority on the *destination* base.
+  /// Smoothed pure state for a track (base code or kGapTrack).
+  std::uint8_t pure_code(int track) const { return pure_codes_[static_cast<std::size_t>(track)]; }
+  /// The "SNP from a to b" state: [0.28 a, 0.48 b, 0.08 rest].
+  std::uint8_t snp_code(int from, int to) const {
+    return snp_codes_[static_cast<std::size_t>(from) * 5 +
+                      static_cast<std::size_t>(to)];
+  }
+  /// 50/50 heterozygous state for two tracks.
+  std::uint8_t het_code(int a, int b) const {
+    return het_codes_[static_cast<std::size_t>(a) * 5 +
+                      static_cast<std::size_t>(b)];
+  }
+  /// Uniform background state.
+  std::uint8_t uniform_code() const { return uniform_code_; }
+
+  /// Memory of the shared tables (Table II bookkeeping).
+  std::uint64_t memory_bytes() const {
+    return centroids_.size() * sizeof(TrackVector) + merge_table_.size();
+  }
+
+ private:
+  std::array<TrackVector, kSize> centroids_{};
+  std::vector<std::uint8_t> merge_table_;
+  std::array<std::uint8_t, 5> pure_codes_{};
+  std::array<std::uint8_t, 25> snp_codes_{};
+  std::array<std::uint8_t, 25> het_codes_{};
+  std::uint8_t uniform_code_ = 0;
+};
+
+}  // namespace gnumap

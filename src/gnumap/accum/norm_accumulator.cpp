@@ -1,0 +1,46 @@
+#include "gnumap/accum/norm_accumulator.hpp"
+
+#include <cstring>
+
+#include "gnumap/util/error.hpp"
+
+namespace gnumap {
+
+NormAccumulator::NormAccumulator(std::uint64_t begin, std::uint64_t size)
+    : begin_(begin), size_(size), data_(size * 5, 0.0f) {}
+
+void NormAccumulator::add(std::uint64_t pos, const TrackVector& delta) {
+  if (pos < begin_ || pos >= begin_ + size_) return;
+  float* slot = &data_[(pos - begin_) * 5];
+  for (int k = 0; k < 5; ++k) slot[k] += delta[static_cast<std::size_t>(k)];
+}
+
+TrackVector NormAccumulator::counts(std::uint64_t pos) const {
+  TrackVector out{};
+  if (pos < begin_ || pos >= begin_ + size_) return out;
+  const float* slot = &data_[(pos - begin_) * 5];
+  for (int k = 0; k < 5; ++k) out[static_cast<std::size_t>(k)] = slot[k];
+  return out;
+}
+
+void NormAccumulator::merge(const Accumulator& other) {
+  require(other.kind() == AccumKind::kNorm &&
+              other.begin() == begin_ && other.size() == size_,
+          "NormAccumulator::merge: kind/range mismatch");
+  const auto& rhs = static_cast<const NormAccumulator&>(other);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+}
+
+std::vector<std::uint8_t> NormAccumulator::to_bytes() const {
+  std::vector<std::uint8_t> bytes(data_.size() * sizeof(float));
+  std::memcpy(bytes.data(), data_.data(), bytes.size());
+  return bytes;
+}
+
+void NormAccumulator::from_bytes(const std::vector<std::uint8_t>& bytes) {
+  require(bytes.size() == data_.size() * sizeof(float),
+          "NormAccumulator::from_bytes: size mismatch");
+  std::memcpy(data_.data(), bytes.data(), bytes.size());
+}
+
+}  // namespace gnumap

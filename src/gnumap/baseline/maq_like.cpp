@@ -1,0 +1,204 @@
+#include "gnumap/baseline/maq_like.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "gnumap/genome/sequence.hpp"
+#include "gnumap/io/quality.hpp"
+#include "gnumap/util/error.hpp"
+#include "gnumap/util/rng.hpp"
+#include "gnumap/util/timer.hpp"
+
+namespace gnumap {
+
+namespace {
+
+/// Per-position consensus state: quality mass per base + read depth.
+struct ConsensusColumn {
+  std::array<float, 4> quality_mass{};
+  float depth = 0.0f;
+};
+
+struct Placement {
+  GenomePos window_begin = 0;
+  double score = 0.0;
+  bool reverse = false;
+  NwResult alignment;
+};
+
+/// Applies one placed read to the consensus columns.
+void pile_up(const Read& oriented, const Placement& placement,
+             std::vector<ConsensusColumn>& columns) {
+  std::size_t i = 0;                                  // read cursor
+  GenomePos g = placement.window_begin + placement.alignment.window_begin;
+  for (const AlignOp op : placement.alignment.ops) {
+    switch (op) {
+      case AlignOp::kMatch: {
+        if (g < columns.size() && oriented.bases[i] < 4) {
+          auto& column = columns[static_cast<std::size_t>(g)];
+          const std::uint8_t q =
+              i < oriented.quals.size() ? oriented.quals[i] : 30;
+          column.quality_mass[oriented.bases[i]] += static_cast<float>(q);
+          column.depth += 1.0f;
+        }
+        ++i;
+        ++g;
+        break;
+      }
+      case AlignOp::kReadGap:
+        ++i;
+        break;
+      case AlignOp::kGenomeGap:
+        ++g;
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+MaqLikeResult run_maq_like(const Genome& genome,
+                           const std::vector<Read>& reads,
+                           const MaqLikeConfig& config,
+                           const HashIndex* shared_index) {
+  MaqLikeResult result;
+  Timer timer;
+  Rng rng(config.seed);
+
+  std::optional<HashIndex> own_index;
+  const HashIndex* index = shared_index;
+  if (index == nullptr) {
+    own_index.emplace(genome, config.index);
+    index = &*own_index;
+  } else {
+    require(index->k() == config.index.k,
+            "run_maq_like: shared index k does not match config");
+  }
+  const Seeder seeder(*index, config.seeder);
+
+  std::vector<ConsensusColumn> columns(genome.padded_size());
+  const auto pad = static_cast<GenomePos>(config.window_pad);
+
+  timer.reset();
+  for (const Read& read : reads) {
+    ++result.stats.reads_total;
+    const auto candidates = seeder.candidates(read);
+    if (candidates.empty()) continue;
+
+    // Align every candidate; keep the best and second-best scores.
+    std::optional<Read> rc;
+    std::vector<Placement> placements;
+    placements.reserve(candidates.size());
+    for (const Candidate& candidate : candidates) {
+      const GenomePos win_begin =
+          candidate.diagonal >= pad ? candidate.diagonal - pad : 0;
+      const GenomePos win_end =
+          candidate.diagonal + static_cast<GenomePos>(read.length()) + pad;
+      const auto window = genome.window(win_begin, win_end);
+      if (window.size() < read.length() / 2) continue;
+      ++result.stats.candidates_evaluated;
+      result.stats.dp_cells += (read.length() + 1) * (window.size() + 1);
+
+      const Read* oriented = &read;
+      if (candidate.reverse) {
+        if (!rc) {
+          Read flipped;
+          flipped.name = read.name;
+          flipped.bases = reverse_complement(read.bases);
+          flipped.quals.assign(read.quals.rbegin(), read.quals.rend());
+          rc = std::move(flipped);
+        }
+        oriented = &*rc;
+      }
+      Placement placement;
+      placement.window_begin = win_begin;
+      placement.reverse = candidate.reverse;
+      placement.alignment = nw_align(*oriented, window, config.nw);
+      placement.score = placement.alignment.score;
+      placements.push_back(std::move(placement));
+    }
+    if (placements.empty()) continue;
+
+    std::sort(placements.begin(), placements.end(),
+              [](const Placement& a, const Placement& b) {
+                return a.score > b.score;
+              });
+    const Placement* best = &placements.front();
+    if (best->score <
+        config.min_score_per_base * static_cast<double>(read.length())) {
+      continue;
+    }
+    // Mapping quality from the best/second-best gap (MAQ's core idea, here
+    // in score units scaled to a Phred-like range).
+    double mapq = 60.0;
+    if (placements.size() > 1) {
+      mapq = std::clamp((best->score - placements[1].score) * 10.0, 0.0, 60.0);
+    }
+    if (mapq < config.mapq_threshold) {
+      if (!config.random_assign_multimapped) {
+        ++result.reads_dropped_multimapped;
+        continue;
+      }
+      // Randomly assign among the near-ties.
+      std::size_t tie_count = 1;
+      while (tie_count < placements.size() &&
+             best->score - placements[tie_count].score < 1e-9) {
+        ++tie_count;
+      }
+      best = &placements[rng.next_below(tie_count)];
+      ++result.reads_random_assigned;
+    }
+    ++result.stats.reads_mapped;
+    ++result.stats.sites_accumulated;
+    pile_up(best->reverse && rc ? *rc : read, *best, columns);
+  }
+  result.map_seconds = timer.seconds();
+  result.consensus_memory_bytes = columns.size() * sizeof(ConsensusColumn);
+
+  // Consensus calling with fixed cutoffs.
+  timer.reset();
+  for (GenomePos pos = 0; pos < columns.size(); ++pos) {
+    const auto& column = columns[static_cast<std::size_t>(pos)];
+    if (column.depth < config.min_depth) continue;
+    const std::uint8_t ref = genome.at(pos);
+    if (ref >= 4 || !genome.in_contig(pos)) continue;
+
+    int consensus = 0;
+    for (int b = 1; b < 4; ++b) {
+      if (column.quality_mass[static_cast<std::size_t>(b)] >
+          column.quality_mass[static_cast<std::size_t>(consensus)]) {
+        consensus = b;
+      }
+    }
+    if (static_cast<std::uint8_t>(consensus) == ref) continue;
+    double runner_up = 0.0;
+    for (int b = 0; b < 4; ++b) {
+      if (b == consensus) continue;
+      runner_up = std::max(
+          runner_up,
+          static_cast<double>(column.quality_mass[static_cast<std::size_t>(b)]));
+    }
+    const double margin =
+        static_cast<double>(
+            column.quality_mass[static_cast<std::size_t>(consensus)]) -
+        runner_up;
+    if (margin < config.min_consensus_margin) continue;
+
+    const ContigCoord coord = genome.resolve(pos);
+    SnpCall call;
+    call.contig = genome.contig_name(coord.contig_id);
+    call.position = coord.offset;
+    call.ref = ref;
+    call.allele1 = static_cast<std::uint8_t>(consensus);
+    call.allele2 = call.allele1;
+    call.coverage = column.depth;
+    call.lrt_stat = margin;  // consensus margin, not an LRT
+    call.p_value = 1.0;      // this method does not produce p-values
+    result.calls.push_back(std::move(call));
+  }
+  result.call_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace gnumap

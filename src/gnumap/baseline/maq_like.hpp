@@ -1,0 +1,72 @@
+// MAQ-like baseline mapper and SNP caller.
+//
+// The paper compares GNUMAP-SNP against MAQ (Li, Ruan & Durbin 2008).  MAQ
+// itself is a closed pipeline from 2008; this module reimplements the two
+// design decisions the paper contrasts with, using the same index/seeding
+// substrate so the comparison isolates the calling methodology:
+//
+//  * Single best alignment.  Each read is placed at its single best-scoring
+//    candidate (quality-weighted Needleman-Wunsch); a mapping quality is
+//    derived from the gap between the best and second-best scores; reads
+//    below the mapQ threshold are dropped — or randomly assigned among the
+//    tied best sites ("remove or randomly assign reads that map to multiple
+//    locations", as the paper puts it).
+//
+//  * Ad hoc consensus cutoffs.  Per-position consensus is the quality-
+//    weighted plurality base; a SNP is reported when the consensus differs
+//    from the reference and the quality margin over the runner-up exceeds a
+//    fixed threshold.  No background-noise model, no p-value — exactly the
+//    property the paper's LRT framework adds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gnumap/core/config.hpp"
+#include "gnumap/genome/genome.hpp"
+#include "gnumap/index/hash_index.hpp"
+#include "gnumap/index/seeder.hpp"
+#include "gnumap/io/read.hpp"
+#include "gnumap/io/snp_writer.hpp"
+#include "gnumap/phmm/nw.hpp"
+
+namespace gnumap {
+
+struct MaqLikeConfig {
+  HashIndexOptions index;
+  SeederOptions seeder;
+  NwParams nw;
+  int window_pad = 12;
+  /// Phred-scaled mapping-quality threshold; lower-mapQ reads are dropped
+  /// unless random_assign_multimapped is set.
+  int mapq_threshold = 10;
+  bool random_assign_multimapped = false;
+  /// Minimum NW score per read base for a placement to count at all.
+  double min_score_per_base = 0.35;
+  /// Ad hoc SNP cutoff: quality margin (consensus minus runner-up summed
+  /// Phred mass) required to report a SNP.
+  double min_consensus_margin = 40.0;
+  /// Minimum read depth at a position.
+  double min_depth = 3.0;
+  std::uint64_t seed = 11;
+};
+
+struct MaqLikeResult {
+  std::vector<SnpCall> calls;  ///< lrt_stat carries the consensus margin;
+                               ///< p_value is not produced by this method (1.0)
+  MapStats stats;
+  std::uint64_t reads_dropped_multimapped = 0;
+  std::uint64_t reads_random_assigned = 0;
+  double map_seconds = 0.0;
+  double call_seconds = 0.0;
+  std::uint64_t consensus_memory_bytes = 0;
+};
+
+/// Runs the full MAQ-like pipeline.  Pass `shared_index` to reuse an index
+/// built with the same HashIndexOptions (it is validated).
+MaqLikeResult run_maq_like(const Genome& genome,
+                           const std::vector<Read>& reads,
+                           const MaqLikeConfig& config,
+                           const HashIndex* shared_index = nullptr);
+
+}  // namespace gnumap

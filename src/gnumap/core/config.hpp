@@ -1,0 +1,75 @@
+// Pipeline configuration: one struct that threads every knob through the
+// three-step GNUMAP-SNP approach (hash/seed -> PHMM marginal alignment ->
+// LRT SNP calling).
+#pragma once
+
+#include <cstdint>
+
+#include "gnumap/accum/accumulator.hpp"
+#include "gnumap/index/hash_index.hpp"
+#include "gnumap/index/seeder.hpp"
+#include "gnumap/phmm/marginal.hpp"
+#include "gnumap/phmm/params.hpp"
+#include "gnumap/stats/lrt.hpp"
+
+namespace gnumap {
+
+struct PipelineConfig {
+  // Step 1: genomic hash table + seeding.
+  HashIndexOptions index;
+  SeederOptions seeder;
+
+  // Step 2: PHMM marginal alignment.
+  PhmmParams phmm;
+  MarginalOptions marginal;
+  /// Extra genome bases on each side of a candidate window (absorbs indels
+  /// and diagonal binning slack).
+  int window_pad = 12;
+  /// A read is considered mapped when its best candidate's log-likelihood
+  /// per read base exceeds this (a perfectly matching read scores ~ -1.5;
+  /// a random placement ~ -2.8 under default parameters).
+  double min_loglik_per_base = -2.0;
+  /// Candidate sites whose mapping posterior falls below this are dropped
+  /// from the marginal accumulation.
+  double min_site_posterior = 1e-3;
+
+  // Genome accumulation (Section VI-B).
+  AccumKind accum_kind = AccumKind::kNorm;
+  /// CENTDISC only: paper-style approximate conversion vs exact
+  /// nearest-centroid (our extension).
+  CentDiscQuantize centdisc_quantize = CentDiscQuantize::kApproximate;
+
+  // Step 3: LRT SNP calling.
+  Ploidy ploidy = Ploidy::kMonoploid;
+  /// SNP-wise false-positive rate; the decision threshold is the
+  /// (1 - alpha/5) quantile of chi^2_1.
+  double alpha = 1e-4;
+  /// If true, Benjamini-Hochberg at level fdr_q replaces the fixed cutoff.
+  bool use_fdr = false;
+  double fdr_q = 0.05;
+  /// Minimum accumulated mass n at a position before the LRT is attempted.
+  double min_coverage = 3.0;
+
+  /// Worker threads for shared-memory mapping (1 = serial).
+  int threads = 1;
+};
+
+/// Counters describing one mapping run.
+struct MapStats {
+  std::uint64_t reads_total = 0;
+  std::uint64_t reads_mapped = 0;
+  std::uint64_t candidates_evaluated = 0;
+  std::uint64_t sites_accumulated = 0;
+  std::uint64_t dp_cells = 0;
+
+  MapStats& operator+=(const MapStats& other) {
+    reads_total += other.reads_total;
+    reads_mapped += other.reads_mapped;
+    candidates_evaluated += other.candidates_evaluated;
+    sites_accumulated += other.sites_accumulated;
+    dp_cells += other.dp_cells;
+    return *this;
+  }
+};
+
+}  // namespace gnumap

@@ -1,0 +1,443 @@
+#include "gnumap/core/dist_modes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <mutex>
+#include <optional>
+
+#include "gnumap/core/read_mapper.hpp"
+#include "gnumap/core/snp_caller.hpp"
+#include "gnumap/genome/partition.hpp"
+#include "gnumap/mpsim/communicator.hpp"
+#include "gnumap/util/error.hpp"
+#include "gnumap/util/timer.hpp"
+
+namespace gnumap {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Binary (de)serialization helpers for broadcast/gather payloads.
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  const std::size_t at = out.size();
+  out.resize(at + sizeof(v));
+  std::memcpy(out.data() + at, &v, sizeof(v));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  const std::size_t at = out.size();
+  out.resize(at + sizeof(v));
+  std::memcpy(out.data() + at, &v, sizeof(v));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  const std::size_t at = out.size();
+  out.resize(at + sizeof(v));
+  std::memcpy(out.data() + at, &v, sizeof(v));
+}
+
+struct Cursor {
+  const std::vector<std::uint8_t>& data;
+  std::size_t at = 0;
+
+  template <typename T>
+  T take() {
+    require(at + sizeof(T) <= data.size(), "deserialize: truncated payload");
+    T v;
+    std::memcpy(&v, data.data() + at, sizeof(T));
+    at += sizeof(T);
+    return v;
+  }
+  std::vector<std::uint8_t> take_bytes(std::size_t n) {
+    require(at + n <= data.size(), "deserialize: truncated payload");
+    std::vector<std::uint8_t> v(data.begin() + static_cast<std::ptrdiff_t>(at),
+                                data.begin() + static_cast<std::ptrdiff_t>(at + n));
+    at += n;
+    return v;
+  }
+  std::string take_string(std::size_t n) {
+    require(at + n <= data.size(), "deserialize: truncated payload");
+    std::string s(reinterpret_cast<const char*>(data.data() + at), n);
+    at += n;
+    return s;
+  }
+};
+
+std::vector<std::uint8_t> serialize_reads(const std::vector<Read>& reads,
+                                          std::size_t begin,
+                                          std::size_t end) {
+  std::vector<std::uint8_t> out;
+  put_u64(out, end - begin);
+  for (std::size_t r = begin; r < end; ++r) {
+    const Read& read = reads[r];
+    put_u32(out, static_cast<std::uint32_t>(read.name.size()));
+    out.insert(out.end(), read.name.begin(), read.name.end());
+    put_u32(out, static_cast<std::uint32_t>(read.bases.size()));
+    out.insert(out.end(), read.bases.begin(), read.bases.end());
+    out.insert(out.end(), read.quals.begin(), read.quals.end());
+  }
+  return out;
+}
+
+std::vector<Read> deserialize_reads(const std::vector<std::uint8_t>& bytes) {
+  Cursor cursor{bytes};
+  const std::uint64_t count = cursor.take<std::uint64_t>();
+  std::vector<Read> reads;
+  reads.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Read read;
+    const auto name_len = cursor.take<std::uint32_t>();
+    read.name = cursor.take_string(name_len);
+    const auto len = cursor.take<std::uint32_t>();
+    read.bases = cursor.take_bytes(len);
+    read.quals = cursor.take_bytes(len);
+    reads.push_back(std::move(read));
+  }
+  return reads;
+}
+
+std::vector<std::uint8_t> serialize_calls(const std::vector<SnpCall>& calls) {
+  std::vector<std::uint8_t> out;
+  put_u64(out, calls.size());
+  for (const auto& call : calls) {
+    put_u32(out, static_cast<std::uint32_t>(call.contig.size()));
+    out.insert(out.end(), call.contig.begin(), call.contig.end());
+    put_u64(out, call.position);
+    out.push_back(call.ref);
+    out.push_back(call.allele1);
+    out.push_back(call.allele2);
+    put_f64(out, call.coverage);
+    put_f64(out, call.lrt_stat);
+    put_f64(out, call.p_value);
+  }
+  return out;
+}
+
+std::vector<SnpCall> deserialize_calls(const std::vector<std::uint8_t>& bytes) {
+  Cursor cursor{bytes};
+  const std::uint64_t count = cursor.take<std::uint64_t>();
+  std::vector<SnpCall> calls;
+  calls.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    SnpCall call;
+    const auto len = cursor.take<std::uint32_t>();
+    call.contig = cursor.take_string(len);
+    call.position = cursor.take<std::uint64_t>();
+    call.ref = cursor.take<std::uint8_t>();
+    call.allele1 = cursor.take<std::uint8_t>();
+    call.allele2 = cursor.take<std::uint8_t>();
+    call.coverage = cursor.take<double>();
+    call.lrt_stat = cursor.take<double>();
+    call.p_value = cursor.take<double>();
+    calls.push_back(std::move(call));
+  }
+  return calls;
+}
+
+/// Runs `fn` as this rank's compute turn.  When `serialize` is set, ranks
+/// take strictly ordered turns (barrier-separated) so wall-clock attribution
+/// on a single core is clean; the stopwatch brackets only this rank's work.
+template <typename Fn>
+void compute_turn(Communicator& comm, bool serialize, Stopwatch& clock,
+                  Fn&& fn) {
+  if (!serialize) {
+    clock.start();
+    fn();
+    clock.stop();
+    return;
+  }
+  for (int turn = 0; turn < comm.size(); ++turn) {
+    if (turn == comm.rank()) {
+      clock.start();
+      fn();
+      clock.stop();
+    }
+    comm.barrier();
+  }
+}
+
+}  // namespace
+
+DistResult run_distributed(const Genome& genome,
+                           const std::vector<Read>& reads,
+                           const PipelineConfig& config,
+                           const DistOptions& options,
+                           const HashIndex* shared_index) {
+  require(options.ranks >= 1, "run_distributed: ranks must be >= 1");
+  require(options.batch_size >= 1, "run_distributed: batch_size must be >= 1");
+
+  DistResult result;
+  result.costs.resize(static_cast<std::size_t>(options.ranks));
+  std::mutex result_mutex;
+  Timer wall;
+
+  const auto body = [&](Communicator& comm) {
+    const int rank = comm.rank();
+    const int p = comm.size();
+    Stopwatch& clock = comm.compute_clock();
+
+    if (options.mode == DistMode::kReadPartition) {
+      // --- Shared-genome mode: map a read shard, reduce accumulators. ---
+      std::optional<HashIndex> own_index;
+      const HashIndex* index = shared_index;
+      if (index == nullptr) {
+        compute_turn(comm, options.serialize_compute, clock, [&] {
+          own_index.emplace(genome, config.index);
+        });
+        index = &*own_index;
+      }
+      const ReadMapper mapper(genome, *index, config);
+      auto accum =
+          make_accumulator(config.accum_kind, 0, genome.padded_size(),
+                       config.centdisc_quantize);
+
+      const std::size_t shard_begin =
+          reads.size() * static_cast<std::size_t>(rank) /
+          static_cast<std::size_t>(p);
+      const std::size_t shard_end =
+          reads.size() * (static_cast<std::size_t>(rank) + 1) /
+          static_cast<std::size_t>(p);
+      MapStats stats;
+      compute_turn(comm, options.serialize_compute, clock, [&] {
+        MapperWorkspace ws;
+        for (std::size_t r = shard_begin; r < shard_end; ++r) {
+          mapper.map_read(reads[r], *accum, ws, stats);
+        }
+      });
+
+      // Reduce the genome state at rank 0 (the end-of-run communication).
+      auto reduced = comm.reduce(
+          0, accum->to_bytes(),
+          [&](std::vector<std::uint8_t> a, std::vector<std::uint8_t> b) {
+            auto left =
+                make_accumulator(config.accum_kind, 0, genome.padded_size(),
+                       config.centdisc_quantize);
+            auto right =
+                make_accumulator(config.accum_kind, 0, genome.padded_size(),
+                       config.centdisc_quantize);
+            left->from_bytes(a);
+            right->from_bytes(b);
+            left->merge(*right);
+            return left->to_bytes();
+          });
+
+      std::vector<SnpCall> calls;
+      if (rank == 0) {
+        accum->from_bytes(reduced);
+        clock.start();
+        calls = call_snps(genome, *accum, config);
+        clock.stop();
+      }
+
+      std::lock_guard<std::mutex> lock(result_mutex);
+      result.stats += stats;
+      result.costs[static_cast<std::size_t>(rank)].compute_seconds =
+          clock.total_seconds();
+      result.max_rank_accum_bytes =
+          std::max(result.max_rank_accum_bytes, accum->memory_bytes());
+      result.total_accum_bytes += accum->memory_bytes();
+      if (index != nullptr) {
+        result.max_rank_index_bytes =
+            std::max(result.max_rank_index_bytes, index->memory_bytes());
+      }
+      if (rank == 0) result.calls = std::move(calls);
+      return;
+    }
+
+    // --- Spread-memory mode: genome segments, reads broadcast. ---
+    std::uint32_t max_read_len = 0;
+    for (const auto& read : reads) {
+      max_read_len =
+          std::max(max_read_len, static_cast<std::uint32_t>(read.length()));
+    }
+    const std::uint64_t margin =
+        static_cast<std::uint64_t>(max_read_len) +
+        static_cast<std::uint64_t>(config.window_pad) +
+        static_cast<std::uint64_t>(config.seeder.band_width);
+    const auto segments = partition_genome(genome, p, margin);
+    // The halo exchange below assumes halos only reach into *adjacent*
+    // cores; require every segment to be at least one margin long.
+    for (const auto& s : segments) {
+      require(s.core_end - s.core_begin >= margin,
+              "run_distributed: genome too small for this many ranks "
+              "(segment shorter than the read-length margin)");
+    }
+    const GenomeSegment& seg = segments[static_cast<std::size_t>(rank)];
+
+    std::optional<HashIndex> index;
+    compute_turn(comm, options.serialize_compute, clock, [&] {
+      index.emplace(genome, config.index, seg.store_begin, seg.store_end);
+    });
+    const ReadMapper mapper(genome, *index, config);
+    // The rank accumulates over its core plus halos: a read whose diagonal
+    // this rank owns can contribute to positions just inside a neighbor's
+    // core.  Halo slices are exchanged after mapping (below) so every
+    // position's owner sees the full evidence.
+    auto accum = make_accumulator(config.accum_kind, seg.core_begin,
+                                  seg.core_end - seg.core_begin,
+                                  config.centdisc_quantize);
+    std::unique_ptr<Accumulator> left_halo, right_halo;
+    if (seg.store_begin < seg.core_begin) {
+      left_halo = make_accumulator(config.accum_kind, seg.store_begin,
+                                   seg.core_begin - seg.store_begin,
+                                   config.centdisc_quantize);
+    }
+    if (seg.store_end > seg.core_end) {
+      right_halo = make_accumulator(config.accum_kind, seg.core_end,
+                                    seg.store_end - seg.core_end,
+                                    config.centdisc_quantize);
+    }
+    auto accumulate_everywhere = [&](const ScoredSite& site) {
+      ReadMapper::accumulate_site(site, *accum);
+      if (left_halo) ReadMapper::accumulate_site(site, *left_halo);
+      if (right_halo) ReadMapper::accumulate_site(site, *right_halo);
+    };
+
+    MapStats stats;
+    std::uint64_t mapped_reads = 0;
+    const std::size_t total_reads = reads.size();
+    MapperWorkspace ws;
+    for (std::size_t batch_begin = 0; batch_begin < total_reads;
+         batch_begin += options.batch_size) {
+      const std::size_t batch_end =
+          std::min(total_reads, batch_begin + options.batch_size);
+      // Rank 0 broadcasts the batch; every rank pays the communication.
+      std::vector<std::uint8_t> payload;
+      if (rank == 0) payload = serialize_reads(reads, batch_begin, batch_end);
+      payload = comm.bcast(0, std::move(payload));
+      const std::vector<Read> batch = deserialize_reads(payload);
+
+      // Score local candidates; collect per-read raw likelihood sums.
+      std::vector<double> likelihood_sum(batch.size(), 0.0);
+      std::vector<std::vector<ScoredSite>> scored(batch.size());
+      compute_turn(comm, options.serialize_compute, clock, [&] {
+        for (std::size_t r = 0; r < batch.size(); ++r) {
+          scored[r] = mapper.score_read(batch[r], ws, stats, seg.core_begin,
+                                        seg.core_end);
+          // score_read already applied the per-read softmax locally; undo
+          // nothing — we need raw likelihoods, which it kept in
+          // log_likelihood.  Recompute the local raw sum.
+          for (const auto& site : scored[r]) {
+            likelihood_sum[r] += std::exp(site.log_likelihood);
+          }
+        }
+      });
+
+      // Cross-machine score normalization (the paper's "calculates the
+      // final score" traffic): total likelihood across all segments.
+      comm.allreduce_sum(likelihood_sum);
+
+      compute_turn(comm, options.serialize_compute, clock, [&] {
+        for (std::size_t r = 0; r < batch.size(); ++r) {
+          const double total = likelihood_sum[r];
+          if (!(total > 0.0)) continue;
+          // Global mapped test mirrors the serial per-base cutoff.
+          const double cutoff = std::exp(
+              config.min_loglik_per_base *
+              static_cast<double>(batch[r].length()));
+          if (total < cutoff) continue;
+          if (rank == 0) ++mapped_reads;
+          for (auto& site : scored[r]) {
+            const double weight = std::exp(site.log_likelihood) / total;
+            if (weight < config.min_site_posterior) continue;
+            site.weight = weight;
+            accumulate_everywhere(site);
+          }
+        }
+      });
+    }
+
+    // Halo exchange: ship the slices that spilled past this rank's core to
+    // their owners, and fold the neighbors' spill into this core.  One
+    // message to each neighbor; merged position-by-position because the
+    // halo range is a sub-range of the receiver's core.
+    constexpr int kHaloLeftTag = 101;   // payload heading to rank - 1
+    constexpr int kHaloRightTag = 102;  // payload heading to rank + 1
+    auto fold_halo = [&](const std::vector<std::uint8_t>& bytes,
+                         GenomePos begin, GenomePos end) {
+      if (bytes.empty()) return;
+      auto temp = make_accumulator(config.accum_kind, begin, end - begin,
+                                   config.centdisc_quantize);
+      temp->from_bytes(bytes);
+      for (GenomePos pos = begin; pos < end; ++pos) {
+        const TrackVector counts = temp->counts(pos);
+        bool any = false;
+        for (const float v : counts) any |= v > 0.0f;
+        if (any) accum->add(pos, counts);
+      }
+    };
+    if (p > 1) {
+      // Even/odd phases avoid send/recv ordering deadlock... not needed:
+      // mpsim sends are buffered, so everyone sends first, then receives.
+      if (rank > 0) {
+        comm.send(rank - 1, kHaloLeftTag,
+                  left_halo ? left_halo->to_bytes()
+                            : std::vector<std::uint8_t>{});
+      }
+      if (rank + 1 < p) {
+        comm.send(rank + 1, kHaloRightTag,
+                  right_halo ? right_halo->to_bytes()
+                             : std::vector<std::uint8_t>{});
+      }
+      if (rank + 1 < p) {
+        // Neighbor r+1's left halo covers [their store_begin, their
+        // core_begin) = a suffix of this rank's core.
+        const auto& next = segments[static_cast<std::size_t>(rank + 1)];
+        fold_halo(comm.recv(rank + 1, kHaloLeftTag), next.store_begin,
+                  next.core_begin);
+      }
+      if (rank > 0) {
+        const auto& prev = segments[static_cast<std::size_t>(rank - 1)];
+        fold_halo(comm.recv(rank - 1, kHaloRightTag), prev.core_end,
+                  prev.store_end);
+      }
+    }
+
+    // Each rank calls SNPs on the segment it owns; gather at rank 0.
+    std::vector<SnpCall> local_calls;
+    compute_turn(comm, options.serialize_compute, clock, [&] {
+      local_calls =
+          call_snps(genome, *accum, config, seg.core_begin, seg.core_end);
+    });
+    auto gathered = comm.gather(0, serialize_calls(local_calls));
+
+    std::lock_guard<std::mutex> lock(result_mutex);
+    // In this mode every rank sees every read; count the stream once.
+    stats.reads_total = rank == 0 ? total_reads : 0;
+    stats.reads_mapped = rank == 0 ? mapped_reads : 0;
+    result.stats += stats;
+    result.costs[static_cast<std::size_t>(rank)].compute_seconds =
+        clock.total_seconds();
+    result.max_rank_accum_bytes =
+        std::max(result.max_rank_accum_bytes, accum->memory_bytes());
+    result.total_accum_bytes += accum->memory_bytes();
+    result.max_rank_index_bytes =
+        std::max(result.max_rank_index_bytes, index->memory_bytes());
+    if (rank == 0) {
+      std::vector<SnpCall> all;
+      for (auto& payload : gathered) {
+        auto calls = deserialize_calls(payload);
+        all.insert(all.end(), std::make_move_iterator(calls.begin()),
+                   std::make_move_iterator(calls.end()));
+      }
+      std::sort(all.begin(), all.end(),
+                [](const SnpCall& a, const SnpCall& b) {
+                  if (a.contig != b.contig) return a.contig < b.contig;
+                  return a.position < b.position;
+                });
+      result.calls = std::move(all);
+    }
+  };
+
+  const auto comm_stats = run_world(options.ranks, body);
+  for (int r = 0; r < options.ranks; ++r) {
+    result.costs[static_cast<std::size_t>(r)].comm =
+        comm_stats[static_cast<std::size_t>(r)];
+  }
+  result.wall_seconds = wall.seconds();
+  return result;
+}
+
+}  // namespace gnumap

@@ -1,0 +1,71 @@
+// The paper's two distributed-memory strategies (Section VI, Step 1), run
+// over the mpsim message-passing substrate:
+//
+//  * kReadPartition ("shared memory mode" in Figure 4): every rank holds the
+//    full genome, hash table, and accumulation buffer, and maps a 1/p shard
+//    of the reads.  "At the end of the run, each of the machines will
+//    communicate the state of their genome" — a reduction of the
+//    accumulation buffers — "and SNPs will be called accordingly."
+//
+//  * kGenomePartition ("spread memory mode"): the genome is split into equal
+//    segments with an overlap margin; every rank sees *all* reads (broadcast
+//    from rank 0, counted as communication) but only seeds/aligns candidates
+//    whose diagonal it owns.  Per-read mapping posteriors need the total
+//    alignment likelihood across every rank's candidate sites, obtained with
+//    a batched allreduce — the cross-machine score normalization the paper
+//    describes.  Each rank then calls SNPs on its own segment and the calls
+//    are gathered at rank 0.
+//
+// Because the host is one physical core, per-rank compute is measured with
+// ranks' compute phases serialized (barrier-separated turns); communication
+// volumes are exact.  The cost model turns (compute, comm) into simulated
+// cluster wall-clock for the Figure 4/5 reproductions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gnumap/core/config.hpp"
+#include "gnumap/genome/genome.hpp"
+#include "gnumap/index/hash_index.hpp"
+#include "gnumap/io/read.hpp"
+#include "gnumap/io/snp_writer.hpp"
+#include "gnumap/mpsim/cost_model.hpp"
+
+namespace gnumap {
+
+enum class DistMode { kReadPartition, kGenomePartition };
+
+struct DistResult {
+  std::vector<SnpCall> calls;
+  MapStats stats;               ///< aggregated over ranks
+  std::vector<RankCost> costs;  ///< per-rank measured compute + counted comm
+  double wall_seconds = 0.0;    ///< host wall time (diagnostic only)
+  /// Per-rank accumulator memory: equal on every rank in read-partition
+  /// mode, segment-sized in genome-partition mode.
+  std::uint64_t max_rank_accum_bytes = 0;
+  std::uint64_t total_accum_bytes = 0;
+  std::uint64_t max_rank_index_bytes = 0;
+};
+
+struct DistOptions {
+  int ranks = 4;
+  DistMode mode = DistMode::kReadPartition;
+  /// Serialize rank compute phases for clean per-rank timing (see above).
+  bool serialize_compute = true;
+  /// Batch size for the genome-partition score-normalization allreduce.
+  std::uint32_t batch_size = 512;
+};
+
+/// Runs the pipeline distributed.  `shared_index` may be passed for
+/// read-partition mode to avoid rebuilding one identical index per rank on
+/// this single-core host (a real cluster would build it once per machine);
+/// pass nullptr to have each rank build its own (timed as compute).
+/// In genome-partition mode each rank always builds its segment index.
+DistResult run_distributed(const Genome& genome,
+                           const std::vector<Read>& reads,
+                           const PipelineConfig& config,
+                           const DistOptions& options,
+                           const HashIndex* shared_index = nullptr);
+
+}  // namespace gnumap

@@ -1,0 +1,39 @@
+#include "gnumap/core/evaluation.hpp"
+
+#include <map>
+#include <string>
+#include <utility>
+
+namespace gnumap {
+
+EvalResult evaluate_calls(const std::vector<SnpCall>& calls,
+                          const SnpCatalog& truth,
+                          bool require_allele_match) {
+  std::map<std::pair<std::string, std::uint64_t>, const CatalogEntry*> index;
+  for (const auto& entry : truth) {
+    index[{entry.contig, entry.position}] = &entry;
+  }
+
+  EvalResult result;
+  std::map<std::pair<std::string, std::uint64_t>, bool> hit;
+  for (const auto& call : calls) {
+    const auto it = index.find({call.contig, call.position});
+    const bool position_match = it != index.end();
+    const bool allele_match =
+        position_match && (call.allele1 == it->second->alt ||
+                           call.allele2 == it->second->alt);
+    if (position_match && (allele_match || !require_allele_match)) {
+      // Count each truth site at most once even if called repeatedly.
+      if (!hit[{call.contig, call.position}]) {
+        ++result.tp;
+        hit[{call.contig, call.position}] = true;
+      }
+    } else {
+      ++result.fp;
+    }
+  }
+  result.fn = truth.size() - result.tp;
+  return result;
+}
+
+}  // namespace gnumap

@@ -1,0 +1,42 @@
+// Scoring called SNPs against the planted truth (Table I / Table III
+// metrics: TP, FP, FN, precision).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gnumap/io/snp_catalog.hpp"
+#include "gnumap/io/snp_writer.hpp"
+
+namespace gnumap {
+
+struct EvalResult {
+  std::uint64_t tp = 0;  ///< calls matching a truth site (position + allele)
+  std::uint64_t fp = 0;  ///< calls with no matching truth site
+  std::uint64_t fn = 0;  ///< truth sites never called
+
+  double precision() const {
+    return tp + fp == 0 ? 0.0
+                        : static_cast<double>(tp) /
+                              static_cast<double>(tp + fp);
+  }
+  double recall() const {
+    return tp + fn == 0 ? 0.0
+                        : static_cast<double>(tp) /
+                              static_cast<double>(tp + fn);
+  }
+  double f1() const {
+    const double p = precision();
+    const double r = recall();
+    return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+};
+
+/// A call is a true positive when a truth entry exists at the same contig
+/// and position and the called allele set contains the truth alt allele.
+/// When `require_allele_match` is false, position agreement suffices.
+EvalResult evaluate_calls(const std::vector<SnpCall>& calls,
+                          const SnpCatalog& truth,
+                          bool require_allele_match = true);
+
+}  // namespace gnumap

@@ -1,0 +1,106 @@
+#include "gnumap/core/pipeline.hpp"
+
+#include <mutex>
+#include <ostream>
+
+#include "gnumap/core/read_mapper.hpp"
+#include "gnumap/core/sam_export.hpp"
+#include "gnumap/core/snp_caller.hpp"
+#include "gnumap/io/sam.hpp"
+#include "gnumap/index/hash_index.hpp"
+#include "gnumap/util/log.hpp"
+#include "gnumap/util/thread_pool.hpp"
+#include "gnumap/util/timer.hpp"
+
+namespace gnumap {
+
+PipelineResult run_pipeline_with_accumulator(
+    const Genome& genome, const std::vector<Read>& reads,
+    const PipelineConfig& config, std::unique_ptr<Accumulator>* accum_out,
+    std::ostream* sam_out) {
+  PipelineResult result;
+  Timer timer;
+
+  const HashIndex index(genome, config.index);
+  result.index_seconds = timer.seconds();
+  result.index_memory_bytes = index.memory_bytes();
+  GNUMAP_LOG(kInfo) << "index built: " << index.num_entries()
+                    << " entries over " << genome.num_bases() << " bases in "
+                    << result.index_seconds << " s";
+
+  const ReadMapper mapper(genome, index, config);
+  auto accum = make_accumulator(config.accum_kind, 0, genome.padded_size(),
+                       config.centdisc_quantize);
+
+  if (sam_out != nullptr) write_sam_header(*sam_out, genome);
+
+  timer.reset();
+  const int threads = std::max(1, config.threads);
+  if (threads == 1 || reads.size() < 64) {
+    MapperWorkspace ws;
+    for (const Read& read : reads) {
+      if (sam_out == nullptr) {
+        mapper.map_read(read, *accum, ws, result.stats);
+        continue;
+      }
+      const auto sites = mapper.score_read(read, ws, result.stats);
+      ReadMapper::accumulate(sites, *accum);
+      for (const auto& record :
+           to_sam_records(genome, read, sites, config)) {
+        write_sam_record(*sam_out, genome, record);
+      }
+    }
+  } else {
+    // Dynamic read partition across threads.  Scoring (the PHMM DP) is the
+    // dominant cost and runs lock-free with thread-local workspaces; the
+    // cheap accumulation step drains each chunk's scored sites under one
+    // lock, which keeps a single shared accumulator correct without
+    // per-position atomics or per-thread genome-sized buffers.
+    std::mutex accum_mutex;
+    parallel_for(
+        static_cast<std::size_t>(threads), 0, reads.size(), 64,
+        [&](std::size_t begin, std::size_t end) {
+          thread_local MapperWorkspace ws;
+          MapStats local_stats;
+          std::vector<std::vector<ScoredSite>> scored;
+          scored.reserve(end - begin);
+          for (std::size_t r = begin; r < end; ++r) {
+            scored.push_back(mapper.score_read(reads[r], ws, local_stats));
+          }
+          std::lock_guard<std::mutex> lock(accum_mutex);
+          for (std::size_t r = begin; r < end; ++r) {
+            const auto& sites = scored[r - begin];
+            ReadMapper::accumulate(sites, *accum);
+            if (sam_out != nullptr) {
+              for (const auto& record :
+                   to_sam_records(genome, reads[r], sites, config)) {
+                write_sam_record(*sam_out, genome, record);
+              }
+            }
+          }
+          result.stats += local_stats;
+        });
+  }
+  result.map_seconds = timer.seconds();
+  result.accum_memory_bytes = accum->memory_bytes();
+  GNUMAP_LOG(kInfo) << "mapped " << result.stats.reads_mapped << "/"
+                    << result.stats.reads_total << " reads in "
+                    << result.map_seconds << " s";
+
+  timer.reset();
+  result.calls = call_snps(genome, *accum, config);
+  result.call_seconds = timer.seconds();
+  GNUMAP_LOG(kInfo) << "called " << result.calls.size() << " SNPs in "
+                    << result.call_seconds << " s";
+
+  if (accum_out != nullptr) *accum_out = std::move(accum);
+  return result;
+}
+
+PipelineResult run_pipeline(const Genome& genome,
+                            const std::vector<Read>& reads,
+                            const PipelineConfig& config) {
+  return run_pipeline_with_accumulator(genome, reads, config, nullptr);
+}
+
+}  // namespace gnumap

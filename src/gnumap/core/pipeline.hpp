@@ -1,0 +1,48 @@
+// The shared-memory GNUMAP-SNP pipeline: build the hash table, map every
+// read through the PHMM, accumulate, then LRT-call SNPs.
+//
+// Shared-memory parallelism follows the read-partition pattern: each worker
+// thread maps a dynamic shard of the reads into a private accumulator
+// (avoiding per-position locking) and the shards are merged before calling.
+// For distributed-memory execution over mpsim see dist_modes.hpp.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gnumap/accum/accumulator.hpp"
+#include "gnumap/core/config.hpp"
+#include "gnumap/genome/genome.hpp"
+#include "gnumap/io/read.hpp"
+#include "gnumap/io/snp_writer.hpp"
+
+namespace gnumap {
+
+struct PipelineResult {
+  std::vector<SnpCall> calls;
+  MapStats stats;
+  double index_seconds = 0.0;
+  double map_seconds = 0.0;
+  double call_seconds = 0.0;
+  /// Heap bytes of the accumulation buffer (Table II / III `MEM` column
+  /// counts this plus genome + index, reported separately by the bench).
+  std::uint64_t accum_memory_bytes = 0;
+  std::uint64_t index_memory_bytes = 0;
+};
+
+/// Runs the full pipeline.  The accumulator covers the whole padded genome.
+PipelineResult run_pipeline(const Genome& genome,
+                            const std::vector<Read>& reads,
+                            const PipelineConfig& config);
+
+/// As run_pipeline, but also returns the final accumulator (for tests and
+/// for experiments that inspect the accumulated z vectors directly), and
+/// optionally streams SAM alignment records for every read to `sam_out`
+/// (header included; unmapped reads get unmapped records).  With threads>1
+/// the record order follows chunk completion, not input order.
+PipelineResult run_pipeline_with_accumulator(
+    const Genome& genome, const std::vector<Read>& reads,
+    const PipelineConfig& config, std::unique_ptr<Accumulator>* accum_out,
+    std::ostream* sam_out = nullptr);
+
+}  // namespace gnumap

@@ -1,0 +1,131 @@
+#include "gnumap/core/read_mapper.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gnumap/phmm/marginal.hpp"
+
+namespace gnumap {
+
+ReadMapper::ReadMapper(const Genome& genome, const HashIndex& index,
+                       const PipelineConfig& config)
+    : genome_(genome),
+      index_(index),
+      config_(config),
+      seeder_(index, config.seeder),
+      hmm_(config.phmm, BoundaryMode::kSemiGlobal) {}
+
+std::vector<ScoredSite> ReadMapper::score_read(const Read& read,
+                                               MapperWorkspace& ws,
+                                               MapStats& stats,
+                                               GenomePos diagonal_begin,
+                                               GenomePos diagonal_end) const {
+  ++stats.reads_total;
+  std::vector<ScoredSite> sites;
+  if (read.length() < static_cast<std::size_t>(index_.k())) return sites;
+
+  const bool restrict_diagonals = diagonal_end > diagonal_begin;
+  const auto candidates = seeder_.candidates(read);
+  if (candidates.empty()) return sites;
+
+  // PWMs for both orientations, built lazily.
+  const Pwm fwd = Pwm::from_read(read);
+  Pwm rev;
+  bool have_rev = false;
+
+  const auto pad = static_cast<GenomePos>(config_.window_pad);
+  const auto read_len = static_cast<GenomePos>(read.length());
+
+  for (const Candidate& candidate : candidates) {
+    if (restrict_diagonals && (candidate.diagonal < diagonal_begin ||
+                               candidate.diagonal >= diagonal_end)) {
+      continue;
+    }
+    const GenomePos win_begin =
+        candidate.diagonal >= pad ? candidate.diagonal - pad : 0;
+    const GenomePos win_end = candidate.diagonal + read_len + pad;
+    const auto window = genome_.window(win_begin, win_end);
+    if (window.size() < read.length() / 2) continue;
+
+    ++stats.candidates_evaluated;
+    const Pwm* pwm = &fwd;
+    if (candidate.reverse) {
+      if (!have_rev) {
+        rev = Pwm::from_read_reverse(read);
+        have_rev = true;
+      }
+      pwm = &rev;
+    }
+    if (!hmm_.align(*pwm, window, ws.mats)) continue;
+    stats.dp_cells += (read.length() + 1) * (window.size() + 1);
+
+    ScoredSite site;
+    site.window_begin = win_begin;
+    site.log_likelihood = ws.mats.log_likelihood;
+    site.reverse = candidate.reverse;
+    site.contributions = condense_marginals(hmm_, *pwm, ws.mats,
+                                            config_.marginal);
+    sites.push_back(std::move(site));
+  }
+  if (sites.empty()) return sites;
+
+  // Mapped-at-all test: best per-base log-likelihood above the cutoff.
+  double best_ll = sites.front().log_likelihood;
+  for (const auto& site : sites) best_ll = std::max(best_ll, site.log_likelihood);
+  if (best_ll < config_.min_loglik_per_base *
+                    static_cast<double>(read.length())) {
+    sites.clear();
+    return sites;
+  }
+
+  // Posterior mapping weights: softmax of the site log-likelihoods.
+  double norm = 0.0;
+  for (const auto& site : sites) {
+    norm += std::exp(site.log_likelihood - best_ll);
+  }
+  for (auto& site : sites) {
+    site.weight = std::exp(site.log_likelihood - best_ll) / norm;
+  }
+  // Prune negligible sites, then renormalize the survivors.
+  std::erase_if(sites, [&](const ScoredSite& site) {
+    return site.weight < config_.min_site_posterior;
+  });
+  double kept = 0.0;
+  for (const auto& site : sites) kept += site.weight;
+  if (kept > 0.0) {
+    for (auto& site : sites) site.weight /= kept;
+  }
+  if (!sites.empty()) ++stats.reads_mapped;
+  stats.sites_accumulated += sites.size();
+  return sites;
+}
+
+void ReadMapper::accumulate_site(const ScoredSite& site, Accumulator& accum) {
+  const auto weight = static_cast<float>(site.weight);
+  const auto& tracks = site.contributions.tracks;
+  for (std::size_t j = 0; j < tracks.size(); ++j) {
+    TrackVector delta;
+    bool any = false;
+    for (int k = 0; k < kNumTracks; ++k) {
+      const auto ks = static_cast<std::size_t>(k);
+      delta[ks] = tracks[j][ks] * weight;
+      any |= delta[ks] > 0.0f;
+    }
+    if (any) accum.add(site.window_begin + j, delta);
+  }
+}
+
+void ReadMapper::accumulate(const std::vector<ScoredSite>& sites,
+                            Accumulator& accum) {
+  for (const auto& site : sites) accumulate_site(site, accum);
+}
+
+bool ReadMapper::map_read(const Read& read, Accumulator& accum,
+                          MapperWorkspace& ws, MapStats& stats) const {
+  const auto sites = score_read(read, ws, stats);
+  if (sites.empty()) return false;
+  accumulate(sites, accum);
+  return true;
+}
+
+}  // namespace gnumap

@@ -1,0 +1,77 @@
+// Mapping one read: seed -> PHMM forward/backward per candidate ->
+// posterior-weighted marginal accumulation.
+//
+// This is the paper's Figure 1 steps (A) and (B).  The posterior mapping
+// weight is what distinguishes GNUMAP from single-alignment mappers: each
+// candidate site s contributes with weight
+//     w_s = P_s / sum_s' P_s'
+// (P_s = the site's total alignment likelihood), so reads mapping to
+// repeats spread their evidence instead of being dropped or randomly
+// assigned.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gnumap/accum/accumulator.hpp"
+#include "gnumap/core/config.hpp"
+#include "gnumap/genome/genome.hpp"
+#include "gnumap/index/hash_index.hpp"
+#include "gnumap/index/seeder.hpp"
+#include "gnumap/io/read.hpp"
+#include "gnumap/phmm/forward_backward.hpp"
+
+namespace gnumap {
+
+/// Scratch state reused across map_read calls; one per worker thread.
+struct MapperWorkspace {
+  AlignmentMatrices mats;
+};
+
+/// One scored candidate site with its condensed contributions.
+struct ScoredSite {
+  GenomePos window_begin = 0;
+  double log_likelihood = 0.0;
+  double weight = 0.0;  ///< posterior across the read's candidate sites
+  bool reverse = false;
+  ColumnContributions contributions;
+};
+
+class ReadMapper {
+ public:
+  /// The mapper holds references; genome/index/config must outlive it.
+  ReadMapper(const Genome& genome, const HashIndex& index,
+             const PipelineConfig& config);
+
+  /// Scores every candidate site of `read`.  Sites are pruned to those with
+  /// posterior weight >= config.min_site_posterior; weights sum to 1 over
+  /// the returned set.  Empty result = unmapped read.
+  /// When `diagonal_begin`/`diagonal_end` are set (genome-partition mode),
+  /// only candidates whose diagonal falls in [begin, end) are considered.
+  std::vector<ScoredSite> score_read(const Read& read, MapperWorkspace& ws,
+                                     MapStats& stats,
+                                     GenomePos diagonal_begin = 0,
+                                     GenomePos diagonal_end = 0) const;
+
+  /// Adds one site's contributions, scaled by its weight, into `accum`.
+  static void accumulate_site(const ScoredSite& site, Accumulator& accum);
+
+  /// Adds every site's contributions, scaled by its weight, into `accum`.
+  static void accumulate(const std::vector<ScoredSite>& sites,
+                         Accumulator& accum);
+
+  /// Convenience: score + accumulate; returns true if the read mapped.
+  bool map_read(const Read& read, Accumulator& accum, MapperWorkspace& ws,
+                MapStats& stats) const;
+
+  const Seeder& seeder() const { return seeder_; }
+
+ private:
+  const Genome& genome_;
+  const HashIndex& index_;
+  const PipelineConfig& config_;
+  Seeder seeder_;
+  PairHmm hmm_;
+};
+
+}  // namespace gnumap

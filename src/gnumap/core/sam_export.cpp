@@ -1,0 +1,87 @@
+#include "gnumap/core/sam_export.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gnumap/genome/sequence.hpp"
+#include "gnumap/phmm/viterbi.hpp"
+
+namespace gnumap {
+
+namespace {
+
+std::uint8_t mapq_from_weight(double weight) {
+  // Phred-scaled probability that the placement is wrong.
+  const double wrong = std::clamp(1.0 - weight, 1e-6, 1.0);
+  const double q = -10.0 * std::log10(wrong);
+  return static_cast<std::uint8_t>(std::clamp(q, 0.0, 60.0));
+}
+
+}  // namespace
+
+std::vector<SamRecord> to_sam_records(const Genome& genome, const Read& read,
+                                      const std::vector<ScoredSite>& sites,
+                                      const PipelineConfig& config) {
+  std::vector<SamRecord> records;
+  if (sites.empty()) {
+    SamRecord record;
+    record.qname = read.name;
+    record.flags = SamRecord::kUnmapped;
+    record.bases = read.bases;
+    record.quals = read.quals;
+    records.push_back(std::move(record));
+    return records;
+  }
+
+  // Strongest site is the primary alignment.
+  std::size_t primary = 0;
+  for (std::size_t s = 1; s < sites.size(); ++s) {
+    if (sites[s].weight > sites[primary].weight) primary = s;
+  }
+
+  const PairHmm hmm(config.phmm, BoundaryMode::kSemiGlobal);
+  for (std::size_t s = 0; s < sites.size(); ++s) {
+    const ScoredSite& site = sites[s];
+    SamRecord record;
+    record.qname = read.name;
+    record.weight = site.weight;
+    record.mapq = mapq_from_weight(site.weight);
+    if (s != primary) record.flags |= SamRecord::kSecondary;
+
+    // Alignment-orientation sequence.
+    if (site.reverse) {
+      record.flags |= SamRecord::kReverse;
+      record.bases = reverse_complement(read.bases);
+      record.quals.assign(read.quals.rbegin(), read.quals.rend());
+    } else {
+      record.bases = read.bases;
+      record.quals = read.quals;
+    }
+
+    // CIGAR from the most probable path through the site's window.
+    const Pwm pwm = site.reverse ? Pwm::from_read_reverse(read)
+                                 : Pwm::from_read(read);
+    const std::uint64_t window_len =
+        site.contributions.tracks.size();
+    const auto window =
+        genome.window(site.window_begin, site.window_begin + window_len);
+    const ViterbiResult best = viterbi_align(hmm, pwm, window);
+    record.cigar = best.ops;
+
+    const GenomePos start = site.window_begin + best.window_begin;
+    if (!genome.in_contig(start)) {
+      // Window began in padding (read overhangs a contig edge); emit as
+      // unmapped rather than fabricate coordinates.
+      record.flags |= SamRecord::kUnmapped;
+      records.push_back(std::move(record));
+      continue;
+    }
+    const ContigCoord coord = genome.resolve(start);
+    record.contig_id = coord.contig_id;
+    record.position = coord.offset;
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+}  // namespace gnumap

@@ -1,0 +1,73 @@
+#include "gnumap/core/snp_caller.hpp"
+
+#include <algorithm>
+
+#include "gnumap/stats/fdr.hpp"
+#include "gnumap/stats/lrt.hpp"
+
+namespace gnumap {
+
+std::vector<SnpCall> call_snps(const Genome& genome, const Accumulator& accum,
+                               const PipelineConfig& config,
+                               GenomePos begin, GenomePos end) {
+  const GenomePos accum_begin = accum.begin();
+  const GenomePos accum_end = accum.begin() + accum.size();
+  begin = std::max(begin, accum_begin);
+  end = end == 0 ? accum_end : std::min(end, accum_end);
+
+  std::vector<SnpCall> candidates;
+  for (GenomePos pos = begin; pos < end; ++pos) {
+    const std::uint8_t ref = genome.at(pos);
+    // Skip N reference positions (assembly gaps) and inter-contig padding:
+    // a "SNP" against an unknown base is meaningless.
+    if (ref >= 4) continue;
+    if (!genome.in_contig(pos)) continue;
+
+    const TrackVector counts = accum.counts(pos);
+    TrackCounts z;
+    double n = 0.0;
+    for (int k = 0; k < kNumTracks; ++k) {
+      const auto ks = static_cast<std::size_t>(k);
+      z[ks] = static_cast<double>(counts[ks]);
+      n += z[ks];
+    }
+    if (n < config.min_coverage) continue;
+
+    const LrtResult lrt = lrt_test(z, config.ploidy);
+    // SNP condition: significant AND the called allele set differs from the
+    // reference base.  (Significance filtering happens below, jointly for
+    // the fixed-alpha and FDR paths.)
+    const bool differs = lrt.allele1 != ref || lrt.allele2 != ref;
+    if (!differs) continue;
+
+    const ContigCoord coord = genome.resolve(pos);
+    SnpCall call;
+    call.contig = genome.contig_name(coord.contig_id);
+    call.position = coord.offset;
+    call.ref = ref;
+    call.allele1 = lrt.allele1;
+    call.allele2 = lrt.allele2;
+    call.coverage = n;
+    call.lrt_stat = lrt.statistic;
+    call.p_value = lrt.p_adjusted;
+    candidates.push_back(std::move(call));
+  }
+
+  std::vector<SnpCall> calls;
+  if (config.use_fdr) {
+    std::vector<double> p_values;
+    p_values.reserve(candidates.size());
+    for (const auto& call : candidates) p_values.push_back(call.p_value);
+    const auto keep = benjamini_hochberg(p_values, config.fdr_q);
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (keep[i]) calls.push_back(std::move(candidates[i]));
+    }
+  } else {
+    for (auto& call : candidates) {
+      if (call.p_value < config.alpha) calls.push_back(std::move(call));
+    }
+  }
+  return calls;
+}
+
+}  // namespace gnumap

@@ -1,0 +1,31 @@
+#include "gnumap/genome/align_ops.hpp"
+
+namespace gnumap {
+
+std::string ops_to_cigar(const std::vector<AlignOp>& ops) {
+  std::string cigar;
+  std::size_t run = 0;
+  AlignOp current = AlignOp::kMatch;
+  auto flush = [&] {
+    if (run == 0) return;
+    cigar += std::to_string(run);
+    switch (current) {
+      case AlignOp::kMatch:     cigar += 'M'; break;
+      case AlignOp::kReadGap:   cigar += 'I'; break;
+      case AlignOp::kGenomeGap: cigar += 'D'; break;
+    }
+  };
+  for (const AlignOp op : ops) {
+    if (run > 0 && op == current) {
+      ++run;
+    } else {
+      flush();
+      current = op;
+      run = 1;
+    }
+  }
+  flush();
+  return cigar;
+}
+
+}  // namespace gnumap

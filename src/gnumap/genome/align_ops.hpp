@@ -1,0 +1,21 @@
+// Alignment operations shared by the aligners (phmm) and writers (io).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gnumap {
+
+/// One column of a pairwise alignment between a read and the genome.
+enum class AlignOp : std::uint8_t {
+  kMatch,      ///< read base aligned to a genome base (match or mismatch)
+  kReadGap,    ///< read base against a gap (insertion relative to genome)
+  kGenomeGap,  ///< genome base against a gap (deletion in the read)
+};
+
+/// Renders an alignment as CIGAR text ("42M1I19M").  kMatch -> M,
+/// kReadGap -> I, kGenomeGap -> D.
+std::string ops_to_cigar(const std::vector<AlignOp>& ops);
+
+}  // namespace gnumap

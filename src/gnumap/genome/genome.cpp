@@ -1,0 +1,59 @@
+#include "gnumap/genome/genome.hpp"
+
+#include <algorithm>
+
+#include "gnumap/util/error.hpp"
+
+namespace gnumap {
+
+std::uint32_t Genome::add_contig(std::string name,
+                                 std::vector<std::uint8_t> codes) {
+  require(!name.empty(), "contig name must not be empty");
+  for (const auto& existing : names_) {
+    require(existing != name, "duplicate contig name: " + name);
+  }
+  const std::uint64_t start = data_.size();
+  data_.insert(data_.end(), codes.begin(), codes.end());
+  data_.insert(data_.end(), kContigPad, kBaseN);
+  names_.push_back(std::move(name));
+  starts_.push_back(start);
+  ends_.push_back(start + codes.size());
+  num_bases_ += codes.size();
+  return static_cast<std::uint32_t>(names_.size() - 1);
+}
+
+std::uint32_t Genome::add_contig(std::string name, std::string_view ascii) {
+  return add_contig(std::move(name), encode_sequence(ascii));
+}
+
+std::span<const std::uint8_t> Genome::window(GenomePos begin,
+                                             GenomePos end) const {
+  begin = std::min<GenomePos>(begin, data_.size());
+  end = std::clamp<GenomePos>(end, begin, data_.size());
+  return {data_.data() + begin, static_cast<std::size_t>(end - begin)};
+}
+
+bool Genome::in_contig(GenomePos pos) const {
+  for (std::size_t i = 0; i < starts_.size(); ++i) {
+    if (pos >= starts_[i] && pos < ends_[i]) return true;
+  }
+  return false;
+}
+
+ContigCoord Genome::resolve(GenomePos pos) const {
+  // Contigs are sorted by construction; binary-search the start array.
+  const auto it = std::upper_bound(starts_.begin(), starts_.end(), pos);
+  require(it != starts_.begin(), "position before first contig");
+  const auto id = static_cast<std::uint32_t>(it - starts_.begin() - 1);
+  require(pos < ends_[id], "position falls in inter-contig padding");
+  return ContigCoord{id, pos - starts_[id]};
+}
+
+GenomePos Genome::global_pos(std::uint32_t contig_id,
+                             std::uint64_t offset) const {
+  require(contig_id < names_.size(), "contig id out of range");
+  require(offset < contig_size(contig_id), "offset past end of contig");
+  return starts_[contig_id] + offset;
+}
+
+}  // namespace gnumap

@@ -1,0 +1,80 @@
+// Reference genome container.
+//
+// Contigs are concatenated into one coded byte array with an N-padding gap
+// between contigs so k-mers never straddle a contig boundary.  Positions used
+// throughout the mapper are *global* offsets into this array; helpers convert
+// to (contig, local offset) coordinates for reporting.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gnumap/genome/sequence.hpp"
+
+namespace gnumap {
+
+/// Global genome position.
+using GenomePos = std::uint64_t;
+
+/// Position resolved into contig coordinates.
+struct ContigCoord {
+  std::uint32_t contig_id = 0;
+  std::uint64_t offset = 0;  ///< 0-based offset within the contig
+};
+
+class Genome {
+ public:
+  Genome() = default;
+
+  /// Appends a contig; returns its id.  Name must be unique.
+  std::uint32_t add_contig(std::string name, std::vector<std::uint8_t> codes);
+  std::uint32_t add_contig(std::string name, std::string_view ascii);
+
+  std::uint32_t num_contigs() const {
+    return static_cast<std::uint32_t>(names_.size());
+  }
+  /// Total bases across contigs (excludes inter-contig padding).
+  std::uint64_t num_bases() const { return num_bases_; }
+  /// Size of the concatenated coded array (includes padding).
+  std::uint64_t padded_size() const { return data_.size(); }
+
+  const std::string& contig_name(std::uint32_t id) const { return names_[id]; }
+  std::uint64_t contig_size(std::uint32_t id) const {
+    return ends_[id] - starts_[id];
+  }
+  /// Global position of the first base of a contig.
+  GenomePos contig_start(std::uint32_t id) const { return starts_[id]; }
+
+  /// Base code at a global position (N for padding).
+  std::uint8_t at(GenomePos pos) const { return data_[pos]; }
+
+  /// Read-only view of the concatenated coded array.
+  std::span<const std::uint8_t> data() const { return {data_.data(), data_.size()}; }
+
+  /// View of a window [begin, end) clamped to the array.
+  std::span<const std::uint8_t> window(GenomePos begin, GenomePos end) const;
+
+  /// True if `pos` falls inside a real contig (not padding).
+  bool in_contig(GenomePos pos) const;
+
+  /// Resolves a global position; throws ConfigError for padding positions.
+  ContigCoord resolve(GenomePos pos) const;
+
+  /// Global position from contig coordinates.
+  GenomePos global_pos(std::uint32_t contig_id, std::uint64_t offset) const;
+
+  /// Bases between contigs (and after the final one) to isolate k-mers.
+  static constexpr std::uint64_t kContigPad = 32;
+
+ private:
+  std::vector<std::uint8_t> data_;
+  std::vector<std::string> names_;
+  std::vector<std::uint64_t> starts_;  // global start of each contig
+  std::vector<std::uint64_t> ends_;    // global one-past-end of each contig
+  std::uint64_t num_bases_ = 0;
+};
+
+}  // namespace gnumap

@@ -1,0 +1,36 @@
+#include "gnumap/genome/partition.hpp"
+
+#include <algorithm>
+
+#include "gnumap/util/error.hpp"
+
+namespace gnumap {
+
+std::vector<GenomeSegment> partition_genome(const Genome& genome,
+                                            int num_ranks,
+                                            std::uint64_t margin) {
+  require(num_ranks >= 1, "partition_genome: need at least one rank");
+  const std::uint64_t total = genome.padded_size();
+  const auto ranks = static_cast<std::uint64_t>(num_ranks);
+
+  std::vector<GenomeSegment> segments;
+  segments.reserve(ranks);
+  // Distribute the remainder one base at a time so sizes differ by <= 1.
+  const std::uint64_t base_size = ranks ? total / ranks : 0;
+  const std::uint64_t remainder = ranks ? total % ranks : 0;
+
+  GenomePos cursor = 0;
+  for (std::uint64_t r = 0; r < ranks; ++r) {
+    GenomeSegment seg;
+    seg.rank = static_cast<int>(r);
+    seg.core_begin = cursor;
+    seg.core_end = cursor + base_size + (r < remainder ? 1 : 0);
+    seg.store_begin = seg.core_begin >= margin ? seg.core_begin - margin : 0;
+    seg.store_end = std::min<GenomePos>(seg.core_end + margin, total);
+    segments.push_back(seg);
+    cursor = seg.core_end;
+  }
+  return segments;
+}
+
+}  // namespace gnumap

@@ -1,0 +1,37 @@
+// Genome partitioning for the spread-memory (genome-partition) MPI mode.
+//
+// "the genome is split into equal segments and distributed across the
+//  participating machines so no one machine performs more work than any
+//  other" (paper, Step 1).
+//
+// Each segment carries an overlap margin on both sides so reads seeded near a
+// boundary can still be aligned locally; ownership of accumulated positions is
+// exclusive (half-open core range) so no base is double-called.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gnumap/genome/genome.hpp"
+
+namespace gnumap {
+
+struct GenomeSegment {
+  /// Rank that owns this segment.
+  int rank = 0;
+  /// Owned core range [core_begin, core_end) in global coordinates.
+  GenomePos core_begin = 0;
+  GenomePos core_end = 0;
+  /// Stored range including the overlap margin.
+  GenomePos store_begin = 0;
+  GenomePos store_end = 0;
+};
+
+/// Splits [0, genome.padded_size()) into `num_ranks` near-equal core ranges
+/// with `margin` bases of overlap on each side.  Every position belongs to
+/// exactly one core range; segments never extend past the array.
+std::vector<GenomeSegment> partition_genome(const Genome& genome,
+                                            int num_ranks,
+                                            std::uint64_t margin);
+
+}  // namespace gnumap

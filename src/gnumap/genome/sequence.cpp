@@ -1,0 +1,29 @@
+#include "gnumap/genome/sequence.hpp"
+
+#include <algorithm>
+
+namespace gnumap {
+
+std::vector<std::uint8_t> encode_sequence(std::string_view text) {
+  std::vector<std::uint8_t> codes(text.size());
+  std::transform(text.begin(), text.end(), codes.begin(),
+                 [](char c) { return encode_base(c); });
+  return codes;
+}
+
+std::string decode_sequence(const std::vector<std::uint8_t>& codes) {
+  std::string text(codes.size(), 'N');
+  std::transform(codes.begin(), codes.end(), text.begin(),
+                 [](std::uint8_t code) { return decode_base(code); });
+  return text;
+}
+
+std::vector<std::uint8_t> reverse_complement(
+    const std::vector<std::uint8_t>& codes) {
+  std::vector<std::uint8_t> out(codes.size());
+  std::transform(codes.rbegin(), codes.rend(), out.begin(),
+                 [](std::uint8_t code) { return complement(code); });
+  return out;
+}
+
+}  // namespace gnumap

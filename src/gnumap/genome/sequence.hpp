@@ -1,0 +1,71 @@
+// Nucleotide alphabet and sequence helpers.
+//
+// The library works over the 5-letter alphabet {A, C, G, T, N}.  N marks
+// ambiguous reference positions; following the paper, per-position genome
+// state is a 5-vector (A, C, G, T, gap) and reads carry per-base quality.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gnumap {
+
+/// Number of concrete nucleotides.
+inline constexpr int kNumBases = 4;
+/// Size of the accumulation vector per genome position: A, C, G, T, gap.
+/// (The paper stores "five floating-point values" per position.)
+inline constexpr int kNumTracks = 5;
+/// Index of the gap track inside a 5-vector.
+inline constexpr int kGapTrack = 4;
+
+/// Base codes.  A..T are 0..3 so they index emission tables directly.
+enum class Base : std::uint8_t { A = 0, C = 1, G = 2, T = 3, N = 4 };
+
+inline constexpr std::uint8_t kBaseN = 4;
+
+/// Encodes an ASCII nucleotide (case-insensitive); anything unknown -> N.
+constexpr std::uint8_t encode_base(char c) {
+  switch (c) {
+    case 'A': case 'a': return 0;
+    case 'C': case 'c': return 1;
+    case 'G': case 'g': return 2;
+    case 'T': case 't': return 3;
+    default:            return kBaseN;
+  }
+}
+
+/// Decodes a base code back to an upper-case ASCII character.
+constexpr char decode_base(std::uint8_t code) {
+  constexpr char kLetters[] = {'A', 'C', 'G', 'T', 'N'};
+  return code <= 4 ? kLetters[code] : 'N';
+}
+
+/// Watson-Crick complement; N maps to N.
+constexpr std::uint8_t complement(std::uint8_t code) {
+  return code < 4 ? static_cast<std::uint8_t>(3 - code) : kBaseN;
+}
+
+/// True for purines (A, G).  Transitions (purine<->purine or
+/// pyrimidine<->pyrimidine) are biologically more frequent than
+/// transversions; the centroid codebook and catalog generator use this.
+constexpr bool is_purine(std::uint8_t code) { return code == 0 || code == 2; }
+
+/// True if a->b is a transition (both purine or both pyrimidine, a != b).
+constexpr bool is_transition(std::uint8_t a, std::uint8_t b) {
+  return a != b && a < 4 && b < 4 && is_purine(a) == is_purine(b);
+}
+
+/// Encodes an ASCII sequence into base codes.
+std::vector<std::uint8_t> encode_sequence(std::string_view text);
+
+/// Decodes base codes into an ASCII string.
+std::string decode_sequence(const std::vector<std::uint8_t>& codes);
+
+/// Reverse complement of a coded sequence.
+std::vector<std::uint8_t> reverse_complement(
+    const std::vector<std::uint8_t>& codes);
+
+}  // namespace gnumap

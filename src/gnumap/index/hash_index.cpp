@@ -1,0 +1,174 @@
+#include "gnumap/index/hash_index.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "gnumap/util/error.hpp"
+
+namespace gnumap {
+
+HashIndex::HashIndex(const Genome& genome, const HashIndexOptions& options,
+                     GenomePos begin, GenomePos end)
+    : options_(options) {
+  require(options.k >= 4 && options.k <= 13,
+          "HashIndex: k must be in [4, 13] for the dense CSR layout");
+  require(options.max_positions >= 1, "HashIndex: max_positions must be >= 1");
+  if (end == 0) end = genome.padded_size();
+  require(begin <= end && end <= genome.padded_size(),
+          "HashIndex: invalid build range");
+
+  const auto data = genome.data();
+  const int k = options.k;
+  const std::uint64_t space = kmer_space(k);
+  offsets_.assign(space + 1, 0);
+  masked_.assign(space, false);
+
+  if (end - begin < static_cast<std::uint64_t>(k)) {
+    return;  // nothing indexable
+  }
+  const GenomePos last = end - static_cast<std::uint64_t>(k);
+
+  // Pass 1: count occurrences per k-mer with a rolling pack.  `valid` tracks
+  // how many of the trailing bases are concrete (non-N).
+  std::vector<std::uint32_t> counts(space, 0);
+  Kmer kmer = 0;
+  int valid = 0;
+  for (GenomePos pos = begin; pos <= last + k - 1 && pos < end; ++pos) {
+    const std::uint8_t base = data[pos];
+    if (base >= 4) {
+      valid = 0;
+      kmer = 0;
+      continue;
+    }
+    kmer = roll_kmer(kmer, base, k);
+    if (++valid >= k) {
+      ++counts[kmer];
+    }
+  }
+
+  // Mask repeats and compute prefix offsets.
+  std::uint64_t total = 0;
+  for (std::uint64_t key = 0; key < space; ++key) {
+    if (counts[key] > 0) ++distinct_;
+    if (counts[key] > options.max_positions) {
+      masked_[key] = true;
+      counts[key] = 0;
+    }
+    offsets_[key] = total;
+    total += counts[key];
+  }
+  offsets_[space] = total;
+
+  // Pass 2: fill positions.  Fill cursors reuse the counts array.
+  positions_.resize(total);
+  std::vector<std::uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  kmer = 0;
+  valid = 0;
+  for (GenomePos pos = begin; pos <= last + k - 1 && pos < end; ++pos) {
+    const std::uint8_t base = data[pos];
+    if (base >= 4) {
+      valid = 0;
+      kmer = 0;
+      continue;
+    }
+    kmer = roll_kmer(kmer, base, k);
+    if (++valid >= k && !masked_[kmer]) {
+      // The k-mer ends at `pos`; its start is pos - k + 1.
+      positions_[cursor[kmer]++] = pos - static_cast<GenomePos>(k) + 1;
+    }
+  }
+}
+
+std::span<const GenomePos> HashIndex::lookup(Kmer kmer) const {
+  if (kmer >= masked_.size()) return {};
+  const std::uint64_t begin = offsets_[kmer];
+  const std::uint64_t end = offsets_[kmer + 1];
+  return {positions_.data() + begin, static_cast<std::size_t>(end - begin)};
+}
+
+bool HashIndex::is_repeat_masked(Kmer kmer) const {
+  return kmer < masked_.size() && masked_[kmer];
+}
+
+std::uint64_t HashIndex::memory_bytes() const {
+  return offsets_.size() * sizeof(std::uint64_t) +
+         positions_.size() * sizeof(GenomePos) + masked_.size() / 8;
+}
+
+namespace {
+constexpr std::uint64_t kIndexMagic = 0x474e55494458'01ull;  // "GNUIDX" v1
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw ParseError("HashIndex::load: truncated stream");
+  return value;
+}
+}  // namespace
+
+void HashIndex::save(std::ostream& out) const {
+  write_pod(out, kIndexMagic);
+  write_pod(out, static_cast<std::uint32_t>(options_.k));
+  write_pod(out, options_.max_positions);
+  write_pod(out, distinct_);
+  write_pod(out, static_cast<std::uint64_t>(offsets_.size()));
+  out.write(reinterpret_cast<const char*>(offsets_.data()),
+            static_cast<std::streamsize>(offsets_.size() * sizeof(std::uint64_t)));
+  write_pod(out, static_cast<std::uint64_t>(positions_.size()));
+  out.write(reinterpret_cast<const char*>(positions_.data()),
+            static_cast<std::streamsize>(positions_.size() * sizeof(GenomePos)));
+  // vector<bool> has no contiguous storage; pack manually.
+  write_pod(out, static_cast<std::uint64_t>(masked_.size()));
+  std::vector<std::uint8_t> packed((masked_.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < masked_.size(); ++i) {
+    if (masked_[i]) packed[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+  }
+  out.write(reinterpret_cast<const char*>(packed.data()),
+            static_cast<std::streamsize>(packed.size()));
+}
+
+HashIndex HashIndex::load(std::istream& in) {
+  if (read_pod<std::uint64_t>(in) != kIndexMagic) {
+    throw ParseError("HashIndex::load: bad magic (not an index file?)");
+  }
+  HashIndex index;
+  index.options_.k = static_cast<int>(read_pod<std::uint32_t>(in));
+  index.options_.max_positions = read_pod<std::uint32_t>(in);
+  require(index.options_.k >= 4 && index.options_.k <= 13,
+          "HashIndex::load: k out of range");
+  index.distinct_ = read_pod<std::uint64_t>(in);
+
+  const auto offsets_size = read_pod<std::uint64_t>(in);
+  require(offsets_size == kmer_space(index.options_.k) + 1,
+          "HashIndex::load: offsets array size mismatch");
+  index.offsets_.resize(offsets_size);
+  in.read(reinterpret_cast<char*>(index.offsets_.data()),
+          static_cast<std::streamsize>(offsets_size * sizeof(std::uint64_t)));
+
+  const auto positions_size = read_pod<std::uint64_t>(in);
+  index.positions_.resize(positions_size);
+  in.read(reinterpret_cast<char*>(index.positions_.data()),
+          static_cast<std::streamsize>(positions_size * sizeof(GenomePos)));
+
+  const auto masked_size = read_pod<std::uint64_t>(in);
+  require(masked_size == kmer_space(index.options_.k),
+          "HashIndex::load: mask size mismatch");
+  std::vector<std::uint8_t> packed((masked_size + 7) / 8, 0);
+  in.read(reinterpret_cast<char*>(packed.data()),
+          static_cast<std::streamsize>(packed.size()));
+  if (!in) throw ParseError("HashIndex::load: truncated stream");
+  index.masked_.assign(masked_size, false);
+  for (std::uint64_t i = 0; i < masked_size; ++i) {
+    index.masked_[i] = (packed[i / 8] >> (i % 8)) & 1u;
+  }
+  return index;
+}
+
+}  // namespace gnumap

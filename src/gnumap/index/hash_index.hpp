@@ -1,0 +1,73 @@
+// Genomic hash table: k-mer -> sorted list of genome positions.
+//
+// Step 1 of the paper's approach: "create a genomic hash table of k-mers
+// (default k=10), and then reference k-mers in the reads into this hash for
+// efficient identification of putative mapping regions."
+//
+// Layout is CSR (one offsets array over a dense 4^k key space for k <= 13,
+// or an open-addressing table for larger k): cache-friendly, built in two
+// passes, and trivially serializable for the genome-partition MPI mode.
+// K-mers occurring more often than `max_positions` (repeats) keep an empty
+// list but are flagged, so the seeder can distinguish "repeat" from "absent".
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "gnumap/genome/genome.hpp"
+#include "gnumap/index/kmer.hpp"
+
+namespace gnumap {
+
+struct HashIndexOptions {
+  int k = kDefaultK;
+  /// K-mers with more genomic occurrences than this are masked as repeats.
+  std::uint32_t max_positions = 1024;
+};
+
+class HashIndex {
+ public:
+  /// Builds over every indexable position of [begin, end) in the genome.
+  /// The default range covers the whole padded array (padding k-mers contain
+  /// N and index nothing).
+  HashIndex(const Genome& genome, const HashIndexOptions& options,
+            GenomePos begin = 0, GenomePos end = 0);
+
+  int k() const { return options_.k; }
+  const HashIndexOptions& options() const { return options_; }
+
+  /// Positions where this k-mer occurs (empty if absent or repeat-masked).
+  std::span<const GenomePos> lookup(Kmer kmer) const;
+
+  /// True if the k-mer was masked for exceeding max_positions.
+  bool is_repeat_masked(Kmer kmer) const;
+
+  /// Number of indexed (k-mer, position) pairs.
+  std::uint64_t num_entries() const { return positions_.size(); }
+  /// Number of distinct k-mers present (including masked ones).
+  std::uint64_t num_distinct_kmers() const { return distinct_; }
+  /// Approximate memory footprint in bytes.
+  std::uint64_t memory_bytes() const;
+
+  /// Serializes the index (binary, versioned).  Building the hash table for
+  /// a large genome dominates startup, so GNUMAP persists it between runs.
+  void save(std::ostream& out) const;
+  /// Loads an index previously written by save(); throws ParseError on a
+  /// damaged or incompatible stream.
+  static HashIndex load(std::istream& in);
+
+ private:
+  HashIndex() = default;  // for load()
+
+  HashIndexOptions options_;
+  // Dense CSR over the 4^k key space (k <= 13 keeps the offsets array within
+  // a few hundred MB for the genome sizes we target; larger k is rejected).
+  std::vector<std::uint64_t> offsets_;  // size 4^k + 1
+  std::vector<GenomePos> positions_;
+  std::vector<bool> masked_;
+  std::uint64_t distinct_ = 0;
+};
+
+}  // namespace gnumap

@@ -1,0 +1,31 @@
+#include "gnumap/index/kmer.hpp"
+
+namespace gnumap {
+
+std::optional<Kmer> pack_kmer(std::span<const std::uint8_t> bases, int k) {
+  if (static_cast<int>(bases.size()) < k) return std::nullopt;
+  Kmer kmer = 0;
+  for (int i = 0; i < k; ++i) {
+    if (bases[i] >= 4) return std::nullopt;
+    kmer = (kmer << 2) | bases[i];
+  }
+  return kmer;
+}
+
+void unpack_kmer(Kmer kmer, int k, std::uint8_t* out) {
+  for (int i = k - 1; i >= 0; --i) {
+    out[i] = static_cast<std::uint8_t>(kmer & 3);
+    kmer >>= 2;
+  }
+}
+
+Kmer revcomp_kmer(Kmer kmer, int k) {
+  Kmer out = 0;
+  for (int i = 0; i < k; ++i) {
+    out = (out << 2) | (3 - (kmer & 3));
+    kmer >>= 2;
+  }
+  return out;
+}
+
+}  // namespace gnumap

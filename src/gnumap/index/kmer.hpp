@@ -1,0 +1,39 @@
+// 2-bit k-mer packing.
+//
+// The genomic hash table keys on k-mers packed two bits per base (A=0..T=3).
+// K-mers containing N are not indexable.  Default k matches the paper's
+// "mer-size of 10".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+namespace gnumap {
+
+using Kmer = std::uint64_t;
+
+/// Default mer size (paper: "default k=10").
+inline constexpr int kDefaultK = 10;
+/// Largest k that fits a 64-bit packed word.
+inline constexpr int kMaxK = 31;
+
+/// Packs `k` base codes starting at `bases[0]`; nullopt if any base is N.
+std::optional<Kmer> pack_kmer(std::span<const std::uint8_t> bases, int k);
+
+/// Unpacks into `out[0..k)`.
+void unpack_kmer(Kmer kmer, int k, std::uint8_t* out);
+
+/// Rolls one base onto the right end of a packed k-mer, dropping the left.
+constexpr Kmer roll_kmer(Kmer kmer, std::uint8_t base, int k) {
+  const Kmer mask = (k >= 32) ? ~Kmer{0} : ((Kmer{1} << (2 * k)) - 1);
+  return ((kmer << 2) | base) & mask;
+}
+
+/// Packed reverse complement of a k-mer.
+Kmer revcomp_kmer(Kmer kmer, int k);
+
+/// Number of distinct k-mers (4^k).
+constexpr std::uint64_t kmer_space(int k) { return std::uint64_t{1} << (2 * k); }
+
+}  // namespace gnumap

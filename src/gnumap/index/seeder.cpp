@@ -1,0 +1,74 @@
+#include "gnumap/index/seeder.hpp"
+
+#include <algorithm>
+
+#include "gnumap/genome/sequence.hpp"
+#include "gnumap/util/error.hpp"
+
+namespace gnumap {
+
+Seeder::Seeder(const HashIndex& index, const SeederOptions& options)
+    : index_(index), options_(options) {
+  require(options.step >= 1, "Seeder: step must be >= 1");
+  require(options.min_votes >= 1, "Seeder: min_votes must be >= 1");
+  require(options.band_width >= 0, "Seeder: band_width must be >= 0");
+  require(options.max_candidates >= 1, "Seeder: max_candidates must be >= 1");
+}
+
+std::vector<Candidate> Seeder::candidates_for_sequence(
+    const std::vector<std::uint8_t>& bases, bool reverse) const {
+  const int k = index_.k();
+  std::vector<Candidate> out;
+  if (static_cast<int>(bases.size()) < k) return out;
+
+  // Collect raw diagonal votes.  A hit of the k-mer starting at read offset
+  // `i` at genome position `p` implies the read start maps near `p - i`.
+  std::vector<GenomePos> diagonals;
+  const std::span<const std::uint8_t> view(bases.data(), bases.size());
+  for (std::size_t i = 0; i + k <= bases.size();
+       i += static_cast<std::size_t>(options_.step)) {
+    const auto packed = pack_kmer(view.subspan(i), k);
+    if (!packed) continue;
+    for (const GenomePos pos : index_.lookup(*packed)) {
+      if (pos >= i) diagonals.push_back(pos - i);
+    }
+  }
+  if (diagonals.empty()) return out;
+
+  // Bin sorted diagonals into bands of width band_width.
+  std::sort(diagonals.begin(), diagonals.end());
+  const auto band = static_cast<GenomePos>(options_.band_width);
+  std::size_t run_start = 0;
+  for (std::size_t i = 1; i <= diagonals.size(); ++i) {
+    if (i == diagonals.size() || diagonals[i] - diagonals[i - 1] > band) {
+      Candidate c;
+      // Representative diagonal: the smallest in the band, so the window
+      // extraction margin covers the whole band.
+      c.diagonal = diagonals[run_start];
+      c.votes = static_cast<int>(i - run_start);
+      c.reverse = reverse;
+      if (c.votes >= options_.min_votes) out.push_back(c);
+      run_start = i;
+    }
+  }
+  return out;
+}
+
+std::vector<Candidate> Seeder::candidates(const Read& read) const {
+  auto fwd = candidates_for_sequence(read.bases, /*reverse=*/false);
+  const auto rc = reverse_complement(read.bases);
+  auto rev = candidates_for_sequence(rc, /*reverse=*/true);
+  fwd.insert(fwd.end(), rev.begin(), rev.end());
+
+  std::sort(fwd.begin(), fwd.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.votes != b.votes) return a.votes > b.votes;
+    if (a.diagonal != b.diagonal) return a.diagonal < b.diagonal;
+    return a.reverse < b.reverse;
+  });
+  if (static_cast<int>(fwd.size()) > options_.max_candidates) {
+    fwd.resize(static_cast<std::size_t>(options_.max_candidates));
+  }
+  return fwd;
+}
+
+}  // namespace gnumap

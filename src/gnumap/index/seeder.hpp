@@ -1,0 +1,59 @@
+// Seed-and-vote candidate region identification.
+//
+// For each read, k-mers sampled every `step` bases are looked up in the
+// genomic hash table on both strands.  Hits vote for the *diagonal*
+// (genome position minus read offset); diagonals gathering at least
+// `min_votes` votes become candidate windows handed to the PHMM.  Nearby
+// diagonals are merged (indels shift the diagonal by the indel length), so a
+// single window covers alignments with small gaps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gnumap/index/hash_index.hpp"
+#include "gnumap/io/read.hpp"
+
+namespace gnumap {
+
+struct SeederOptions {
+  /// Sample a k-mer starting at every `step`-th read offset.
+  int step = 2;
+  /// Minimum k-mer votes a diagonal band must gather.
+  int min_votes = 2;
+  /// Diagonals within this distance merge into one candidate (indel slack).
+  int band_width = 6;
+  /// Upper bound on candidates returned per read (strongest first).
+  int max_candidates = 64;
+};
+
+/// One candidate mapping region.
+struct Candidate {
+  /// Genome position the read's first base would map to (may be adjusted by
+  /// band_width by the aligner when extracting the window).
+  GenomePos diagonal = 0;
+  /// Number of supporting k-mer votes.
+  int votes = 0;
+  /// True if the read maps in reverse-complement orientation.
+  bool reverse = false;
+};
+
+class Seeder {
+ public:
+  Seeder(const HashIndex& index, const SeederOptions& options);
+
+  /// Candidate regions for a read, both orientations, strongest first.
+  /// The returned vector is deduplicated by (diagonal band, strand).
+  std::vector<Candidate> candidates(const Read& read) const;
+
+  /// As above but restricted to one precomputed coded sequence (no reverse
+  /// strand handling); used internally and by tests.
+  std::vector<Candidate> candidates_for_sequence(
+      const std::vector<std::uint8_t>& bases, bool reverse) const;
+
+ private:
+  const HashIndex& index_;
+  SeederOptions options_;
+};
+
+}  // namespace gnumap

@@ -1,0 +1,75 @@
+#include "gnumap/io/fasta.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "gnumap/util/error.hpp"
+#include "gnumap/util/string_util.hpp"
+
+namespace gnumap {
+
+std::vector<FastaRecord> read_fasta(std::istream& in) {
+  std::vector<FastaRecord> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto text = strip(line);
+    if (text.empty()) continue;
+    if (text[0] == '>') {
+      // Name is the first whitespace-delimited token after '>'.
+      auto header = text.substr(1);
+      const auto space = header.find_first_of(" \t");
+      auto name = std::string(
+          space == std::string_view::npos ? header : header.substr(0, space));
+      if (name.empty()) throw ParseError("FASTA header with empty name");
+      records.emplace_back(std::move(name), std::string());
+    } else {
+      if (records.empty()) {
+        throw ParseError("FASTA sequence data before any '>' header");
+      }
+      records.back().second.append(text);
+    }
+  }
+  return records;
+}
+
+std::vector<FastaRecord> read_fasta_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ParseError("cannot open FASTA file: " + path);
+  return read_fasta(in);
+}
+
+Genome genome_from_fasta(std::istream& in) {
+  Genome genome;
+  for (auto& [name, seq] : read_fasta(in)) {
+    genome.add_contig(std::move(name), std::string_view(seq));
+  }
+  return genome;
+}
+
+Genome genome_from_fasta_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ParseError("cannot open FASTA file: " + path);
+  return genome_from_fasta(in);
+}
+
+void write_fasta(std::ostream& out, const std::vector<FastaRecord>& records,
+                 std::size_t line_width) {
+  if (line_width == 0) line_width = 70;
+  for (const auto& [name, seq] : records) {
+    out << '>' << name << '\n';
+    for (std::size_t pos = 0; pos < seq.size(); pos += line_width) {
+      out << std::string_view(seq).substr(pos, line_width) << '\n';
+    }
+  }
+}
+
+void write_fasta_file(const std::string& path,
+                      const std::vector<FastaRecord>& records,
+                      std::size_t line_width) {
+  std::ofstream out(path);
+  if (!out) throw ParseError("cannot open FASTA file for writing: " + path);
+  write_fasta(out, records, line_width);
+}
+
+}  // namespace gnumap

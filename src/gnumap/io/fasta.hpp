@@ -1,0 +1,33 @@
+// FASTA reading and writing.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gnumap/genome/genome.hpp"
+
+namespace gnumap {
+
+/// One FASTA record: (name up to first whitespace, raw sequence).
+using FastaRecord = std::pair<std::string, std::string>;
+
+/// Parses all records from a stream; throws ParseError on malformed input.
+std::vector<FastaRecord> read_fasta(std::istream& in);
+
+/// Parses a file by path.
+std::vector<FastaRecord> read_fasta_file(const std::string& path);
+
+/// Builds a Genome directly from FASTA input.
+Genome genome_from_fasta(std::istream& in);
+Genome genome_from_fasta_file(const std::string& path);
+
+/// Writes records with fixed line width.
+void write_fasta(std::ostream& out, const std::vector<FastaRecord>& records,
+                 std::size_t line_width = 70);
+void write_fasta_file(const std::string& path,
+                      const std::vector<FastaRecord>& records,
+                      std::size_t line_width = 70);
+
+}  // namespace gnumap

@@ -1,0 +1,83 @@
+#include "gnumap/io/fastq.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "gnumap/genome/sequence.hpp"
+#include "gnumap/io/quality.hpp"
+#include "gnumap/util/error.hpp"
+#include "gnumap/util/string_util.hpp"
+
+namespace gnumap {
+
+FastqReader::FastqReader(std::istream& in, int phred_offset)
+    : in_(in), offset_(phred_offset) {}
+
+bool FastqReader::next(Read& read) {
+  std::string header, seq, plus, qual;
+  // Skip blank lines between records (some tools emit them).
+  do {
+    if (!std::getline(in_, header)) return false;
+  } while (strip(header).empty());
+  if (header.empty() || header[0] != '@') {
+    throw ParseError("FASTQ record " + std::to_string(count_ + 1) +
+                     ": header does not start with '@'");
+  }
+  if (!std::getline(in_, seq) || !std::getline(in_, plus) ||
+      !std::getline(in_, qual)) {
+    throw ParseError("FASTQ record " + std::to_string(count_ + 1) +
+                     ": truncated record");
+  }
+  if (plus.empty() || plus[0] != '+') {
+    throw ParseError("FASTQ record " + std::to_string(count_ + 1) +
+                     ": separator line does not start with '+'");
+  }
+  const auto seq_text = strip(seq);
+  const auto qual_text = strip(qual);
+  if (seq_text.size() != qual_text.size()) {
+    throw ParseError("FASTQ record " + std::to_string(count_ + 1) +
+                     ": sequence/quality length mismatch");
+  }
+  auto name_field = strip(header).substr(1);
+  const auto space = name_field.find_first_of(" \t");
+  read.name = std::string(space == std::string_view::npos
+                              ? name_field
+                              : name_field.substr(0, space));
+  read.bases = encode_sequence(seq_text);
+  read.quals = decode_quals(qual_text, offset_);
+  ++count_;
+  return true;
+}
+
+std::vector<Read> read_fastq(std::istream& in, int phred_offset) {
+  FastqReader reader(in, phred_offset);
+  std::vector<Read> reads;
+  Read read;
+  while (reader.next(read)) reads.push_back(read);
+  return reads;
+}
+
+std::vector<Read> read_fastq_file(const std::string& path, int phred_offset) {
+  std::ifstream in(path);
+  if (!in) throw ParseError("cannot open FASTQ file: " + path);
+  return read_fastq(in, phred_offset);
+}
+
+void write_fastq(std::ostream& out, const std::vector<Read>& reads,
+                 int phred_offset) {
+  for (const auto& read : reads) {
+    out << '@' << read.name << '\n'
+        << decode_sequence(read.bases) << "\n+\n"
+        << encode_quals(read.quals, phred_offset) << '\n';
+  }
+}
+
+void write_fastq_file(const std::string& path, const std::vector<Read>& reads,
+                      int phred_offset) {
+  std::ofstream out(path);
+  if (!out) throw ParseError("cannot open FASTQ file for writing: " + path);
+  write_fastq(out, reads, phred_offset);
+}
+
+}  // namespace gnumap

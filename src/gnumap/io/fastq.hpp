@@ -1,0 +1,40 @@
+// FASTQ reading and writing.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "gnumap/io/read.hpp"
+
+namespace gnumap {
+
+/// Streaming FASTQ parser.  Throws ParseError on structural damage
+/// (truncated records, length mismatch between sequence and quality lines).
+class FastqReader {
+ public:
+  explicit FastqReader(std::istream& in, int phred_offset = 33);
+
+  /// Reads the next record into `read`; returns false at clean EOF.
+  bool next(Read& read);
+
+  std::size_t records_read() const { return count_; }
+
+ private:
+  std::istream& in_;
+  int offset_;
+  std::size_t count_ = 0;
+};
+
+/// Reads every record from a stream or file.
+std::vector<Read> read_fastq(std::istream& in, int phred_offset = 33);
+std::vector<Read> read_fastq_file(const std::string& path,
+                                  int phred_offset = 33);
+
+/// Writes records in 4-line FASTQ form.
+void write_fastq(std::ostream& out, const std::vector<Read>& reads,
+                 int phred_offset = 33);
+void write_fastq_file(const std::string& path, const std::vector<Read>& reads,
+                      int phred_offset = 33);
+
+}  // namespace gnumap

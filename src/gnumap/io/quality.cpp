@@ -1,0 +1,51 @@
+#include "gnumap/io/quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gnumap/util/error.hpp"
+
+namespace gnumap {
+
+double phred_to_error(std::uint8_t q) {
+  return std::pow(10.0, -static_cast<double>(q) / 10.0);
+}
+
+std::uint8_t error_to_phred(double error) {
+  if (!(error > 0.0)) return kMaxPhred;
+  const double q = -10.0 * std::log10(error);
+  return static_cast<std::uint8_t>(
+      std::clamp(q + 0.5, 0.0, static_cast<double>(kMaxPhred)));
+}
+
+std::vector<std::uint8_t> decode_quals(std::string_view ascii, int offset) {
+  std::vector<std::uint8_t> quals(ascii.size());
+  for (std::size_t i = 0; i < ascii.size(); ++i) {
+    const int q = static_cast<unsigned char>(ascii[i]) - offset;
+    if (q < 0 || q > 93) {
+      throw ParseError("quality character out of range: '" +
+                       std::string(1, ascii[i]) + "'");
+    }
+    quals[i] = static_cast<std::uint8_t>(std::min<int>(q, kMaxPhred));
+  }
+  return quals;
+}
+
+std::string encode_quals(const std::vector<std::uint8_t>& quals, int offset) {
+  std::string ascii(quals.size(), '!');
+  for (std::size_t i = 0; i < quals.size(); ++i) {
+    ascii[i] = static_cast<char>(offset + std::min(quals[i], kMaxPhred));
+  }
+  return ascii;
+}
+
+std::array<float, 4> base_weights(std::uint8_t base, std::uint8_t qual) {
+  if (base >= 4) return {0.25f, 0.25f, 0.25f, 0.25f};
+  const auto error = static_cast<float>(phred_to_error(qual));
+  std::array<float, 4> w;
+  w.fill(error / 3.0f);
+  w[base] = 1.0f - error;
+  return w;
+}
+
+}  // namespace gnumap

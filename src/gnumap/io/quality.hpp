@@ -1,0 +1,42 @@
+// Phred quality score conversions.
+//
+// A Phred score Q encodes an error probability e = 10^(-Q/10).  The PHMM's
+// position-weight matrix is built from these probabilities: the called base
+// gets weight 1-e and each alternative gets e/3 (uniform error model), which
+// is the continuous emission vector the paper's PWM extension consumes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gnumap {
+
+/// Standard Sanger/Illumina-1.8 ASCII offset.
+inline constexpr int kPhred33 = 33;
+/// Legacy Illumina-1.3 offset.
+inline constexpr int kPhred64 = 64;
+/// Highest Phred score we store.
+inline constexpr std::uint8_t kMaxPhred = 60;
+
+/// Error probability for a Phred score.
+double phred_to_error(std::uint8_t q);
+
+/// Phred score for an error probability (clamped to [0, kMaxPhred]).
+std::uint8_t error_to_phred(double error);
+
+/// Decodes an ASCII quality string; throws ParseError on out-of-range chars.
+std::vector<std::uint8_t> decode_quals(std::string_view ascii,
+                                       int offset = kPhred33);
+
+/// Encodes Phred scores into an ASCII quality string.
+std::string encode_quals(const std::vector<std::uint8_t>& quals,
+                         int offset = kPhred33);
+
+/// Per-base emission weights for one read base: called base gets 1-e, the
+/// other three get e/3 each.  N bases get a uniform 0.25 vector.
+std::array<float, 4> base_weights(std::uint8_t base, std::uint8_t qual);
+
+}  // namespace gnumap

@@ -1,0 +1,18 @@
+// A sequencing read: coded bases plus per-base Phred qualities.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gnumap {
+
+struct Read {
+  std::string name;
+  std::vector<std::uint8_t> bases;   ///< base codes (see sequence.hpp)
+  std::vector<std::uint8_t> quals;   ///< Phred scores (not ASCII-offset)
+
+  std::size_t length() const { return bases.size(); }
+};
+
+}  // namespace gnumap

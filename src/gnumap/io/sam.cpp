@@ -1,0 +1,66 @@
+#include "gnumap/io/sam.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+#include "gnumap/genome/sequence.hpp"
+#include "gnumap/io/quality.hpp"
+#include "gnumap/util/error.hpp"
+
+namespace gnumap {
+
+void write_sam_header(std::ostream& out, const Genome& genome,
+                      const std::string& program) {
+  out << "@HD\tVN:1.6\tSO:unknown\n";
+  for (std::uint32_t c = 0; c < genome.num_contigs(); ++c) {
+    out << "@SQ\tSN:" << genome.contig_name(c) << "\tLN:"
+        << genome.contig_size(c) << '\n';
+  }
+  out << "@PG\tID:" << program << "\tPN:" << program << '\n';
+}
+
+void write_sam_record(std::ostream& out, const Genome& genome,
+                      const SamRecord& record) {
+  const bool unmapped = (record.flags & SamRecord::kUnmapped) != 0;
+  out << (record.qname.empty() ? "*" : record.qname.c_str()) << '\t'
+      << record.flags << '\t';
+  if (unmapped) {
+    out << "*\t0\t0\t*\t";
+  } else {
+    require(record.contig_id < genome.num_contigs(),
+            "write_sam_record: contig id out of range");
+    out << genome.contig_name(record.contig_id) << '\t'
+        << record.position + 1 << '\t'  // SAM POS is 1-based
+        << static_cast<int>(record.mapq) << '\t';
+    if (record.cigar.empty()) {
+      out << "*\t";
+    } else {
+      out << ops_to_cigar(record.cigar) << '\t';
+    }
+  }
+  out << "*\t0\t0\t";  // RNEXT/PNEXT/TLEN: unpaired
+  if (record.bases.empty()) {
+    out << "*\t*";
+  } else {
+    out << decode_sequence(record.bases) << '\t';
+    if (record.quals.size() == record.bases.size()) {
+      out << encode_quals(record.quals);
+    } else {
+      out << '*';
+    }
+  }
+  char tag[32];
+  std::snprintf(tag, sizeof(tag), "\tZW:f:%.6g", record.weight);
+  out << tag << '\n';
+}
+
+void write_sam(std::ostream& out, const Genome& genome,
+               const std::vector<SamRecord>& records,
+               const std::string& program) {
+  write_sam_header(out, genome, program);
+  for (const auto& record : records) {
+    write_sam_record(out, genome, record);
+  }
+}
+
+}  // namespace gnumap

@@ -1,0 +1,52 @@
+// Minimal SAM (Sequence Alignment/Map) output.
+//
+// GNUMAP emits its read placements alongside the SNP calls; this writer
+// produces the subset of SAM 1.6 the mapper can populate: header with @HD
+// and @SQ lines, then one alignment line per placed read with POS, MAPQ,
+// CIGAR, SEQ and QUAL.  Multi-mapped reads under the probabilistic model
+// are emitted as one record per retained site, with the posterior weight in
+// the ZW:f tag and secondary-alignment flag on all but the strongest site.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "gnumap/genome/align_ops.hpp"
+#include "gnumap/genome/genome.hpp"
+#include "gnumap/io/read.hpp"
+
+namespace gnumap {
+
+/// One alignment record ready for SAM serialization.
+struct SamRecord {
+  std::string qname;
+  std::uint16_t flags = 0;          ///< 0x4 unmapped, 0x10 reverse, 0x100 secondary
+  std::uint32_t contig_id = 0;      ///< index into the genome's contigs
+  std::uint64_t position = 0;       ///< 0-based leftmost aligned base
+  std::uint8_t mapq = 0;
+  std::vector<AlignOp> cigar;       ///< empty for unmapped
+  std::vector<std::uint8_t> bases;  ///< in alignment orientation
+  std::vector<std::uint8_t> quals;
+  double weight = 1.0;              ///< posterior site weight (ZW:f tag)
+
+  static constexpr std::uint16_t kUnmapped = 0x4;
+  static constexpr std::uint16_t kReverse = 0x10;
+  static constexpr std::uint16_t kSecondary = 0x100;
+};
+
+/// Writes the @HD/@SQ/@PG header for `genome`.
+void write_sam_header(std::ostream& out, const Genome& genome,
+                      const std::string& program = "gnumap-snp");
+
+/// Writes one record.  Unmapped records emit `*` placeholders.
+void write_sam_record(std::ostream& out, const Genome& genome,
+                      const SamRecord& record);
+
+/// Convenience: header + all records.
+void write_sam(std::ostream& out, const Genome& genome,
+               const std::vector<SamRecord>& records,
+               const std::string& program = "gnumap-snp");
+
+}  // namespace gnumap

@@ -1,0 +1,76 @@
+#include "gnumap/io/snp_catalog.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "gnumap/genome/sequence.hpp"
+#include "gnumap/util/error.hpp"
+#include "gnumap/util/string_util.hpp"
+
+namespace gnumap {
+
+SnpCatalog read_catalog(std::istream& in) {
+  SnpCatalog catalog;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto text = strip(line);
+    if (text.empty() || text[0] == '#') continue;
+    const auto fields = split(text, '\t');
+    if (fields.size() < 4) {
+      throw ParseError("catalog line " + std::to_string(line_no) +
+                       ": expected >=4 tab-separated fields");
+    }
+    CatalogEntry entry;
+    entry.contig = std::string(fields[0]);
+    entry.position = parse_u64(fields[1]);
+    if (fields[2].size() != 1 || fields[3].size() != 1) {
+      throw ParseError("catalog line " + std::to_string(line_no) +
+                       ": alleles must be single characters");
+    }
+    entry.ref = encode_base(fields[2][0]);
+    entry.alt = encode_base(fields[3][0]);
+    if (entry.ref > 3 || entry.alt > 3) {
+      throw ParseError("catalog line " + std::to_string(line_no) +
+                       ": alleles must be A/C/G/T");
+    }
+    if (fields.size() >= 5) {
+      const auto z = strip(fields[4]);
+      if (z == "het") {
+        entry.zygosity = Zygosity::kHet;
+      } else if (z == "hom") {
+        entry.zygosity = Zygosity::kHom;
+      } else {
+        throw ParseError("catalog line " + std::to_string(line_no) +
+                         ": zygosity must be 'hom' or 'het'");
+      }
+    }
+    catalog.push_back(std::move(entry));
+  }
+  return catalog;
+}
+
+SnpCatalog read_catalog_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ParseError("cannot open catalog file: " + path);
+  return read_catalog(in);
+}
+
+void write_catalog(std::ostream& out, const SnpCatalog& catalog) {
+  out << "# contig\tposition\tref\talt\tzygosity\n";
+  for (const auto& entry : catalog) {
+    out << entry.contig << '\t' << entry.position << '\t'
+        << decode_base(entry.ref) << '\t' << decode_base(entry.alt) << '\t'
+        << (entry.zygosity == Zygosity::kHet ? "het" : "hom") << '\n';
+  }
+}
+
+void write_catalog_file(const std::string& path, const SnpCatalog& catalog) {
+  std::ofstream out(path);
+  if (!out) throw ParseError("cannot open catalog file for writing: " + path);
+  write_catalog(out, catalog);
+}
+
+}  // namespace gnumap

@@ -1,0 +1,35 @@
+// SNP catalog: the dbSNP-style list of known/planted variant sites.
+//
+// The paper drew 14,501 evenly-spaced SNPs from dbSNP build 37 to create its
+// simulated individual.  Our catalog file is a TSV with one site per line:
+//   contig <tab> position(0-based) <tab> ref_allele <tab> alt_allele [<tab> zygosity]
+// zygosity is "hom" or "het" (diploid simulation); absent means hom.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gnumap {
+
+enum class Zygosity : std::uint8_t { kHom = 0, kHet = 1 };
+
+struct CatalogEntry {
+  std::string contig;
+  std::uint64_t position = 0;  ///< 0-based offset within the contig
+  std::uint8_t ref = 0;        ///< base code
+  std::uint8_t alt = 0;        ///< base code
+  Zygosity zygosity = Zygosity::kHom;
+};
+
+using SnpCatalog = std::vector<CatalogEntry>;
+
+/// Parses a catalog; throws ParseError on malformed lines.
+SnpCatalog read_catalog(std::istream& in);
+SnpCatalog read_catalog_file(const std::string& path);
+
+void write_catalog(std::ostream& out, const SnpCatalog& catalog);
+void write_catalog_file(const std::string& path, const SnpCatalog& catalog);
+
+}  // namespace gnumap

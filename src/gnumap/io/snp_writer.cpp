@@ -1,0 +1,69 @@
+#include "gnumap/io/snp_writer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "gnumap/genome/sequence.hpp"
+#include "gnumap/util/error.hpp"
+
+namespace gnumap {
+
+void write_snps_tsv(std::ostream& out, const std::vector<SnpCall>& calls) {
+  out << "# contig\tposition\tref\tallele1\tallele2\tcoverage\tlrt\tp_value\n";
+  char buffer[64];
+  for (const auto& call : calls) {
+    out << call.contig << '\t' << call.position << '\t'
+        << decode_base(call.ref) << '\t' << decode_base(call.allele1) << '\t'
+        << decode_base(call.allele2) << '\t';
+    std::snprintf(buffer, sizeof(buffer), "%.2f\t%.4f\t%.3e", call.coverage,
+                  call.lrt_stat, call.p_value);
+    out << buffer << '\n';
+  }
+}
+
+void write_snps_tsv_file(const std::string& path,
+                         const std::vector<SnpCall>& calls) {
+  std::ofstream out(path);
+  if (!out) throw ParseError("cannot open SNP file for writing: " + path);
+  write_snps_tsv(out, calls);
+}
+
+void write_snps_vcf(std::ostream& out, const std::vector<SnpCall>& calls,
+                    const std::string& sample_name) {
+  out << "##fileformat=VCFv4.2\n"
+      << "##source=gnumap-snp\n"
+      << "##INFO=<ID=DP,Number=1,Type=Float,Description=\"Read depth\">\n"
+      << "##INFO=<ID=LRT,Number=1,Type=Float,Description=\"-2 log lambda\">\n"
+      << "##FORMAT=<ID=GT,Number=1,Type=String,Description=\"Genotype\">\n"
+      << "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\t"
+      << sample_name << '\n';
+  char buffer[96];
+  for (const auto& call : calls) {
+    // ALT lists the non-reference alleles; genotype indexes REF=0, ALTs=1..
+    std::string alt;
+    int gt1 = 0, gt2 = 0;
+    auto alt_index = [&](std::uint8_t allele) {
+      if (allele == call.ref) return 0;
+      const std::string letter(1, decode_base(allele));
+      const auto pos = alt.find(letter);
+      if (pos != std::string::npos) return static_cast<int>(pos / 2) + 1;
+      if (!alt.empty()) alt += ',';
+      alt += letter;
+      return static_cast<int>((alt.size() + 1) / 2);
+    };
+    gt1 = alt_index(call.allele1);
+    gt2 = alt_index(call.allele2);
+    if (alt.empty()) alt.push_back('.');
+    // VCF positions are 1-based.
+    std::snprintf(buffer, sizeof(buffer), "DP=%.1f;LRT=%.3f", call.coverage,
+                  call.lrt_stat);
+    out << call.contig << '\t' << call.position + 1 << "\t.\t"
+        << decode_base(call.ref) << '\t' << alt << '\t'
+        << static_cast<int>(std::min(999.0, call.lrt_stat)) << "\tPASS\t"
+        << buffer << "\tGT\t" << gt1 << '/' << gt2 << '\n';
+  }
+}
+
+}  // namespace gnumap

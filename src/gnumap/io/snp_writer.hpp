@@ -1,0 +1,37 @@
+// Output of called SNPs.
+//
+// Step (D) of the paper's workflow: "If the p-value passes a specified
+// cutoff, ... print this location to a file."  Two formats are provided: a
+// native TSV mirroring the information the caller computed, and a minimal
+// VCF 4.2 body for interoperability.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gnumap {
+
+/// One called variant site.
+struct SnpCall {
+  std::string contig;
+  std::uint64_t position = 0;   ///< 0-based
+  std::uint8_t ref = 0;         ///< reference base code
+  std::uint8_t allele1 = 0;     ///< called allele (code)
+  std::uint8_t allele2 = 0;     ///< second allele; == allele1 when homozygous
+  double coverage = 0.0;        ///< n = sum of the z vector at this site
+  double lrt_stat = 0.0;        ///< -2 log lambda
+  double p_value = 1.0;         ///< multiple-testing-adjusted p-value
+};
+
+/// Writes the native TSV format (one header line, then one site per line).
+void write_snps_tsv(std::ostream& out, const std::vector<SnpCall>& calls);
+void write_snps_tsv_file(const std::string& path,
+                         const std::vector<SnpCall>& calls);
+
+/// Writes a minimal VCF body (no contig headers beyond the mandatory lines).
+void write_snps_vcf(std::ostream& out, const std::vector<SnpCall>& calls,
+                    const std::string& sample_name = "sample");
+
+}  // namespace gnumap

@@ -1,0 +1,303 @@
+#include "gnumap/mpsim/communicator.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <exception>
+#include <thread>
+
+#include "gnumap/util/error.hpp"
+
+namespace gnumap {
+
+namespace {
+/// Tags below this are available to applications; collectives use the space
+/// above, keyed by a per-communicator sequence number.
+constexpr int kCollectiveTagBase = 1 << 20;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// World
+
+World::World(int size) {
+  require(size >= 1, "World: size must be >= 1");
+  mailboxes_.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+void World::deliver(int dest, int source, int tag,
+                    std::vector<std::uint8_t> payload) {
+  require(dest >= 0 && dest < size(), "send: destination rank out of range");
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dest)];
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.queue.push_back(Message{source, tag, std::move(payload)});
+  }
+  box.arrived.notify_all();
+}
+
+std::vector<std::uint8_t> World::await(int dest, int source, int tag) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dest)];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  for (;;) {
+    const auto it = std::find_if(
+        box.queue.begin(), box.queue.end(), [&](const Message& m) {
+          return m.source == source && m.tag == tag;
+        });
+    if (it != box.queue.end()) {
+      std::vector<std::uint8_t> payload = std::move(it->payload);
+      box.queue.erase(it);
+      return payload;
+    }
+    box.arrived.wait(lock);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Communicator
+
+Communicator::Communicator(World& world, int rank)
+    : world_(world), rank_(rank) {}
+
+int Communicator::size() const { return world_.size(); }
+
+void Communicator::send(int dest, int tag, std::vector<std::uint8_t> payload) {
+  require(tag >= 0 && tag < kCollectiveTagBase,
+          "send: application tags must be < 2^20");
+  ++stats_.messages_sent;
+  stats_.bytes_sent += payload.size();
+  world_.deliver(dest, rank_, tag, std::move(payload));
+}
+
+std::vector<std::uint8_t> Communicator::recv(int source, int tag) {
+  auto payload = world_.await(rank_, source, tag);
+  ++stats_.messages_received;
+  stats_.bytes_received += payload.size();
+  return payload;
+}
+
+void Communicator::send_u64(int dest, int tag, std::uint64_t value) {
+  std::vector<std::uint8_t> payload(sizeof(value));
+  std::memcpy(payload.data(), &value, sizeof(value));
+  send(dest, tag, std::move(payload));
+}
+
+std::uint64_t Communicator::recv_u64(int source, int tag) {
+  const auto payload = recv(source, tag);
+  require(payload.size() == sizeof(std::uint64_t),
+          "recv_u64: payload size mismatch");
+  std::uint64_t value = 0;
+  std::memcpy(&value, payload.data(), sizeof(value));
+  return value;
+}
+
+void Communicator::send_doubles(int dest, int tag,
+                                std::span<const double> values) {
+  std::vector<std::uint8_t> payload(values.size() * sizeof(double));
+  std::memcpy(payload.data(), values.data(), payload.size());
+  send(dest, tag, std::move(payload));
+}
+
+std::vector<double> Communicator::recv_doubles(int source, int tag) {
+  const auto payload = recv(source, tag);
+  require(payload.size() % sizeof(double) == 0,
+          "recv_doubles: payload size not a multiple of 8");
+  std::vector<double> values(payload.size() / sizeof(double));
+  std::memcpy(values.data(), payload.data(), payload.size());
+  return values;
+}
+
+int Communicator::collective_tag() {
+  // Each collective call consumes one tag; SPMD ordering keeps ranks in
+  // lockstep.  Internal sends bypass the application-tag range check.
+  return kCollectiveTagBase + (collective_seq_++ & 0xFFFFF);
+}
+
+namespace {
+/// Raw tagged send used by collectives (skips the app-tag range check).
+void raw_send(World& world, CommStats& stats, int from, int dest, int tag,
+              std::vector<std::uint8_t> payload) {
+  ++stats.messages_sent;
+  stats.bytes_sent += payload.size();
+  world.deliver(dest, from, tag, std::move(payload));
+}
+}  // namespace
+
+void Communicator::barrier() {
+  // Reduce-then-broadcast over empty payloads on a binomial tree.
+  const int tag = collective_tag();
+  const int p = size();
+  // Fan-in.
+  for (int step = 1; step < p; step <<= 1) {
+    if ((rank_ & step) != 0) {
+      raw_send(world_, stats_, rank_, rank_ - step, tag, {});
+      break;
+    }
+    if (rank_ + step < p) {
+      auto payload = world_.await(rank_, rank_ + step, tag);
+      ++stats_.messages_received;
+    }
+  }
+  // Fan-out.
+  const int tag2 = collective_tag();
+  int mask = 1;
+  while (mask < p) mask <<= 1;
+  for (mask >>= 1; mask > 0; mask >>= 1) {
+    if ((rank_ & (mask - 1)) == 0) {
+      if ((rank_ & mask) == 0) {
+        if (rank_ + mask < p) {
+          raw_send(world_, stats_, rank_, rank_ + mask, tag2, {});
+        }
+      } else {
+        auto payload = world_.await(rank_, rank_ - mask, tag2);
+        ++stats_.messages_received;
+      }
+    }
+  }
+}
+
+std::vector<std::uint8_t> Communicator::bcast(int root,
+                                              std::vector<std::uint8_t> data) {
+  require(root >= 0 && root < size(), "bcast: root out of range");
+  const int tag = collective_tag();
+  const int p = size();
+  // Rotate ranks so the tree is rooted at `root`.
+  const int vrank = (rank_ - root + p) % p;
+  int mask = 1;
+  while (mask < p) mask <<= 1;
+  // Receive from parent (if not the root), then forward down the tree.
+  if (vrank != 0) {
+    int parent_mask = 1;
+    while ((vrank & parent_mask) == 0) parent_mask <<= 1;
+    const int vparent = vrank & ~parent_mask;
+    const int parent = (vparent + root) % p;
+    data = world_.await(rank_, parent, tag);
+    stats_.bytes_received += data.size();
+    ++stats_.messages_received;
+  }
+  int child_mask = 1;
+  while ((vrank & child_mask) == 0 && child_mask < p) child_mask <<= 1;
+  for (int m = child_mask >> 1; m > 0; m >>= 1) {
+    const int vchild = vrank | m;
+    if (vchild < p && vchild != vrank) {
+      const int child = (vchild + root) % p;
+      raw_send(world_, stats_, rank_, child, tag, data);
+    }
+  }
+  return data;
+}
+
+std::vector<std::uint8_t> Communicator::reduce(int root,
+                                               std::vector<std::uint8_t> local,
+                                               const Combine& combine) {
+  require(root >= 0 && root < size(), "reduce: root out of range");
+  const int tag = collective_tag();
+  const int p = size();
+  const int vrank = (rank_ - root + p) % p;
+  for (int step = 1; step < p; step <<= 1) {
+    if ((vrank & step) != 0) {
+      const int vparent = vrank - step;
+      const int parent = (vparent + root) % p;
+      raw_send(world_, stats_, rank_, parent, tag, std::move(local));
+      return {};
+    }
+    const int vchild = vrank + step;
+    if (vchild < p) {
+      const int child = (vchild + root) % p;
+      auto incoming = world_.await(rank_, child, tag);
+      stats_.bytes_received += incoming.size();
+      ++stats_.messages_received;
+      local = combine(std::move(local), std::move(incoming));
+    }
+  }
+  return local;
+}
+
+void Communicator::reduce_sum(std::span<double> inout, int root) {
+  std::vector<std::uint8_t> local(inout.size() * sizeof(double));
+  std::memcpy(local.data(), inout.data(), local.size());
+  auto combined = reduce(
+      root, std::move(local),
+      [](std::vector<std::uint8_t> a, std::vector<std::uint8_t> b) {
+        require(a.size() == b.size(), "reduce_sum: size mismatch");
+        auto* da = reinterpret_cast<double*>(a.data());
+        const auto* db = reinterpret_cast<const double*>(b.data());
+        for (std::size_t i = 0; i < a.size() / sizeof(double); ++i) {
+          da[i] += db[i];
+        }
+        return a;
+      });
+  if (rank_ == root) {
+    require(combined.size() == inout.size() * sizeof(double),
+            "reduce_sum: result size mismatch");
+    std::memcpy(inout.data(), combined.data(), combined.size());
+  }
+}
+
+void Communicator::allreduce_sum(std::span<double> inout) {
+  reduce_sum(inout, 0);
+  std::vector<std::uint8_t> bytes;
+  if (rank_ == 0) {
+    bytes.resize(inout.size() * sizeof(double));
+    std::memcpy(bytes.data(), inout.data(), bytes.size());
+  }
+  bytes = bcast(0, std::move(bytes));
+  require(bytes.size() == inout.size() * sizeof(double),
+          "allreduce_sum: broadcast size mismatch");
+  std::memcpy(inout.data(), bytes.data(), bytes.size());
+}
+
+std::vector<std::vector<std::uint8_t>> Communicator::gather(
+    int root, std::vector<std::uint8_t> data) {
+  require(root >= 0 && root < size(), "gather: root out of range");
+  const int tag = collective_tag();
+  const int p = size();
+  std::vector<std::vector<std::uint8_t>> out;
+  if (rank_ == root) {
+    out.resize(static_cast<std::size_t>(p));
+    out[static_cast<std::size_t>(rank_)] = std::move(data);
+    for (int r = 0; r < p; ++r) {
+      if (r == root) continue;
+      out[static_cast<std::size_t>(r)] = world_.await(rank_, r, tag);
+      stats_.bytes_received += out[static_cast<std::size_t>(r)].size();
+      ++stats_.messages_received;
+    }
+  } else {
+    raw_send(world_, stats_, rank_, root, tag, std::move(data));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// run_world
+
+std::vector<CommStats> run_world(
+    int world_size, const std::function<void(Communicator&)>& body) {
+  require(world_size >= 1, "run_world: world_size must be >= 1");
+  World world(world_size);
+  std::vector<CommStats> stats(static_cast<std::size_t>(world_size));
+  std::vector<std::exception_ptr> errors(
+      static_cast<std::size_t>(world_size));
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(world_size));
+  for (int r = 0; r < world_size; ++r) {
+    threads.emplace_back([&, r] {
+      Communicator comm(world, r);
+      try {
+        body(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+      stats[static_cast<std::size_t>(r)] = comm.stats();
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  return stats;
+}
+
+}  // namespace gnumap

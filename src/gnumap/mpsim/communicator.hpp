@@ -1,0 +1,121 @@
+// In-process message-passing runtime: the cluster substrate.
+//
+// The paper runs GNUMAP over MPI on up to 30 machines.  This host has no
+// MPI and one core, so ranks are threads with mailbox queues and the MPI
+// subset GNUMAP needs is implemented on top: point-to-point send/recv,
+// barrier, broadcast, reduce, allreduce, gather — the collectives using
+// binomial trees like a real MPI implementation, so the *message pattern*
+// (who talks to whom, how many bytes) matches what a cluster would see.
+// Every byte is counted per rank; the cost model (cost_model.hpp) turns the
+// counts plus measured compute time into simulated cluster wall-clock.
+//
+// Programming model is SPMD exactly as in MPI: every rank runs the same
+// function and must call collectives in the same order.  Collective calls
+// are sequence-numbered to keep back-to-back collectives from cross-talking.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "gnumap/util/timer.hpp"
+
+namespace gnumap {
+
+/// Per-rank communication counters (for the cost model).
+struct CommStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+class World;
+
+class Communicator {
+ public:
+  Communicator(World& world, int rank);
+
+  int rank() const { return rank_; }
+  int size() const;
+
+  /// Blocking tagged send (buffered: never deadlocks on unmatched sends).
+  void send(int dest, int tag, std::vector<std::uint8_t> payload);
+  /// Blocking receive matching (source, tag); FIFO per (source, tag) pair.
+  std::vector<std::uint8_t> recv(int source, int tag);
+
+  /// Typed convenience wrappers.
+  void send_u64(int dest, int tag, std::uint64_t value);
+  std::uint64_t recv_u64(int source, int tag);
+  void send_doubles(int dest, int tag, std::span<const double> values);
+  std::vector<double> recv_doubles(int source, int tag);
+
+  /// Binomial-tree collectives.  All ranks must participate in order.
+  void barrier();
+  std::vector<std::uint8_t> bcast(int root, std::vector<std::uint8_t> data);
+  /// Element-wise sum of double vectors; result valid on root only.
+  void reduce_sum(std::span<double> inout, int root);
+  /// Element-wise sum, result on all ranks.
+  void allreduce_sum(std::span<double> inout);
+  /// Generic reduce with a user combine on opaque byte payloads (used for
+  /// accumulator merges).  Result valid on root only.
+  using Combine = std::function<std::vector<std::uint8_t>(
+      std::vector<std::uint8_t>, std::vector<std::uint8_t>)>;
+  std::vector<std::uint8_t> reduce(int root, std::vector<std::uint8_t> local,
+                                   const Combine& combine);
+  /// Gathers each rank's payload at root (index = rank); empty elsewhere.
+  std::vector<std::vector<std::uint8_t>> gather(
+      int root, std::vector<std::uint8_t> data);
+
+  const CommStats& stats() const { return stats_; }
+
+  /// Compute-time attribution for the cost model; the application brackets
+  /// its compute phases with start()/stop().
+  Stopwatch& compute_clock() { return compute_clock_; }
+
+ private:
+  int collective_tag();
+
+  World& world_;
+  int rank_;
+  CommStats stats_;
+  Stopwatch compute_clock_;
+  int collective_seq_ = 0;
+};
+
+/// Owns the mailboxes; created by run_world.
+class World {
+ public:
+  explicit World(int size);
+
+  int size() const { return static_cast<int>(mailboxes_.size()); }
+  void deliver(int dest, int source, int tag,
+               std::vector<std::uint8_t> payload);
+  std::vector<std::uint8_t> await(int dest, int source, int tag);
+
+ private:
+  struct Message {
+    int source;
+    int tag;
+    std::vector<std::uint8_t> payload;
+  };
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable arrived;
+    std::deque<Message> queue;
+  };
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+};
+
+/// Runs `body` on `world_size` rank-threads; returns each rank's final
+/// communication counters (indexed by rank).  Exceptions thrown by any rank
+/// are rethrown (first one wins) after all ranks have been joined.
+std::vector<CommStats> run_world(
+    int world_size, const std::function<void(Communicator&)>& body);
+
+}  // namespace gnumap

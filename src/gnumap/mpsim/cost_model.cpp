@@ -1,0 +1,36 @@
+#include "gnumap/mpsim/cost_model.hpp"
+
+#include <algorithm>
+
+#include "gnumap/util/error.hpp"
+
+namespace gnumap {
+
+double rank_time(const RankCost& cost, const CostModelParams& params) {
+  require(params.alpha >= 0.0 && params.beta > 0.0,
+          "CostModelParams: alpha >= 0 and beta > 0 required");
+  const double comm =
+      static_cast<double>(cost.comm.messages_sent) * params.alpha +
+      static_cast<double>(cost.comm.bytes_sent) / params.beta;
+  return cost.compute_seconds + comm;
+}
+
+double simulated_makespan(const std::vector<RankCost>& costs,
+                          const CostModelParams& params) {
+  double makespan = 0.0;
+  for (const auto& cost : costs) {
+    makespan = std::max(makespan, rank_time(cost, params));
+  }
+  return makespan;
+}
+
+double total_comm_seconds(const std::vector<RankCost>& costs,
+                          const CostModelParams& params) {
+  double total = 0.0;
+  for (const auto& cost : costs) {
+    total += rank_time(cost, params) - cost.compute_seconds;
+  }
+  return total;
+}
+
+}  // namespace gnumap

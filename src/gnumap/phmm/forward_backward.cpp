@@ -1,0 +1,204 @@
+#include "gnumap/phmm/forward_backward.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "gnumap/util/error.hpp"
+
+namespace gnumap {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// Rescales one row of the three matrices by a common factor so that their
+/// combined sum is one.  Returns log of the factor removed (0 if the row is
+/// entirely zero).
+double scale_row(std::vector<double>& a, std::vector<double>& b,
+                 std::vector<double>& c, std::size_t row_begin,
+                 std::size_t row_len) {
+  double sum = 0.0;
+  for (std::size_t j = 0; j < row_len; ++j) {
+    sum += a[row_begin + j] + b[row_begin + j] + c[row_begin + j];
+  }
+  if (!(sum > 0.0)) return 0.0;
+  const double inv = 1.0 / sum;
+  for (std::size_t j = 0; j < row_len; ++j) {
+    a[row_begin + j] *= inv;
+    b[row_begin + j] *= inv;
+    c[row_begin + j] *= inv;
+  }
+  return std::log(sum);
+}
+}  // namespace
+
+PairHmm::PairHmm(const PhmmParams& params, BoundaryMode mode)
+    : params_(params), mode_(mode) {
+  params_.validate();
+}
+
+bool PairHmm::align(const Pwm& pwm, std::span<const std::uint8_t> window,
+                    AlignmentMatrices& mats) const {
+  const std::size_t n = pwm.length();
+  const std::size_t m = window.size();
+  mats.n = n;
+  mats.m = m;
+  const std::size_t cells = (n + 1) * (m + 1);
+  for (auto* mat : {&mats.fm, &mats.fgx, &mats.fgy, &mats.bm, &mats.bgx,
+                    &mats.bgy}) {
+    mat->assign(cells, 0.0);
+  }
+  mats.log_likelihood = kNegInf;
+  if (n == 0 || m == 0) return false;
+
+  // p*(i, y_j) flattened as pstar[(i-1) * (m+1) + j] for 1-based i, j.
+  // (Row 0 / column 0 are never read.)
+  const std::vector<double> mixed = pwm.mixed_emissions(params_);
+  std::vector<double> pstar(n * (m + 1), 0.0);
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      const std::uint8_t y = std::min<std::uint8_t>(window[j - 1], 4);
+      pstar[(i - 1) * (m + 1) + j] = mixed[(i - 1) * 5 + y];
+    }
+  }
+
+  double log_scale = 0.0;
+  run_forward(pstar, mats, log_scale);
+
+  // Total likelihood: sum of terminal states.  Global mode terminates at
+  // (N, M); semi-global sums over every genome end column (free suffix).
+  double terminal = 0.0;
+  if (mode_ == BoundaryMode::kGlobal) {
+    terminal = mats.at(mats.fm, n, m) + mats.at(mats.fgx, n, m) +
+               mats.at(mats.fgy, n, m);
+  } else {
+    for (std::size_t j = 0; j <= m; ++j) {
+      terminal += mats.at(mats.fm, n, j) + mats.at(mats.fgx, n, j);
+    }
+  }
+  if (!(terminal > 0.0)) return false;
+  mats.log_likelihood = std::log(terminal) + log_scale;
+
+  run_backward(pstar, mats);
+  return true;
+}
+
+void PairHmm::run_forward(const std::vector<double>& pstar,
+                          AlignmentMatrices& mats, double& log_scale) const {
+  const std::size_t n = mats.n;
+  const std::size_t m = mats.m;
+  const std::size_t stride = m + 1;
+  const double t_mm = params_.t_mm();
+  const double t_mg = params_.t_mg();
+  const double t_gm = params_.t_gm();
+  const double t_gg = params_.t_gg();
+  const double q = params_.q;
+
+  auto& fm = mats.fm;
+  auto& fgx = mats.fgx;
+  auto& fgy = mats.fgy;
+
+  // Initialization.  Global: only (0,0) is live.  Semi-global: the read may
+  // start after any free genome prefix, so every f_M(0, j) is live.
+  if (mode_ == BoundaryMode::kGlobal) {
+    fm[0] = 1.0;
+  } else {
+    for (std::size_t j = 0; j <= m; ++j) fm[j] = 1.0;
+  }
+
+  log_scale = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    const std::size_t row = i * stride;
+    const std::size_t prev = row - stride;
+    const double* p_row = &pstar[(i - 1) * stride];
+    for (std::size_t j = 1; j <= m; ++j) {
+      // Durbin et al.: every predecessor of a match sits at (i-1, j-1).
+      fm[row + j] = p_row[j] * (t_mm * fm[prev + j - 1] +
+                                t_gm * (fgx[prev + j - 1] + fgy[prev + j - 1]));
+      // Read base x_i against a gap: consumes x only.
+      fgx[row + j] = q * (t_mg * fm[prev + j] + t_gg * fgx[prev + j]);
+      // Genome base y_j against a gap: consumes y only (within-row).
+      fgy[row + j] = q * (t_mg * fm[row + j - 1] + t_gg * fgy[row + j - 1]);
+    }
+    // Column 0 of row i: leading read gaps (G_X before any genome base).
+    // The paper's global initialization pins the whole column to zero (an
+    // alignment must open with a match); semi-global allows them so a read
+    // overhanging the window start can still align.
+    if (mode_ == BoundaryMode::kSemiGlobal) {
+      fgx[row] = q * (t_mg * fm[prev] + t_gg * fgx[prev]);
+    }
+    log_scale += scale_row(fm, fgx, fgy, row, stride);
+  }
+}
+
+void PairHmm::run_backward(const std::vector<double>& pstar,
+                           AlignmentMatrices& mats) const {
+  const std::size_t n = mats.n;
+  const std::size_t m = mats.m;
+  const std::size_t stride = m + 1;
+  const double t_mm = params_.t_mm();
+  const double t_mg = params_.t_mg();
+  const double t_gm = params_.t_gm();
+  const double t_gg = params_.t_gg();
+  const double q = params_.q;
+
+  auto& bm = mats.bm;
+  auto& bgx = mats.bgx;
+  auto& bgy = mats.bgy;
+
+  // Termination row.
+  const std::size_t last = n * stride;
+  if (mode_ == BoundaryMode::kGlobal) {
+    bm[last + m] = 1.0;
+    bgx[last + m] = 1.0;
+    bgy[last + m] = 1.0;
+    // Within row N, paths may still consume trailing genome gaps (G_Y).
+    for (std::size_t j = m; j-- > 0;) {
+      bm[last + j] = q * t_mg * bgy[last + j + 1];
+      bgy[last + j] = q * t_gg * bgy[last + j + 1];
+      // bgx stays 0: a G_X state would need to consume another read base.
+    }
+  } else {
+    // Free genome suffix: finishing anywhere in row N costs nothing.  A path
+    // may not *end* in G_Y (the suffix is unaligned rather than gapped).
+    for (std::size_t j = 0; j <= m; ++j) {
+      bm[last + j] = 1.0;
+      bgx[last + j] = 1.0;
+    }
+  }
+  scale_row(bm, bgx, bgy, last, stride);
+
+  for (std::size_t i = n; i-- > 0;) {
+    const std::size_t row = i * stride;
+    const std::size_t next = row + stride;
+    const double* p_next = &pstar[i * stride];  // p*(i+1, .)
+    for (std::size_t j = m + 1; j-- > 0;) {
+      const double match_next = j < m ? p_next[j + 1] * bm[next + j + 1] : 0.0;
+      const double gx_next = q * bgx[next + j];
+      const double gy_next = j < m ? q * bgy[row + j + 1] : 0.0;
+      bm[row + j] = t_mm * match_next + t_mg * (gx_next + gy_next);
+      bgx[row + j] = t_gm * match_next + t_gg * gx_next;
+      bgy[row + j] = t_gm * match_next + t_gg * gy_next;
+    }
+    scale_row(bm, bgx, bgy, row, stride);
+  }
+}
+
+std::vector<double> PairHmm::row_masses(const AlignmentMatrices& mats) const {
+  const std::size_t n = mats.n;
+  const std::size_t m = mats.m;
+  const std::size_t stride = m + 1;
+  std::vector<double> masses(n + 1, 0.0);
+  for (std::size_t i = 1; i <= n; ++i) {
+    const std::size_t row = i * stride;
+    double c = 0.0;
+    for (std::size_t j = 0; j <= m; ++j) {
+      c += mats.fm[row + j] * mats.bm[row + j] +
+           mats.fgx[row + j] * mats.bgx[row + j];
+    }
+    masses[i] = c;
+  }
+  return masses;
+}
+
+}  // namespace gnumap

@@ -1,0 +1,85 @@
+// Pair-HMM forward/backward algorithm (the paper's Step 2).
+//
+// Implements the recursions of Section VI Step 2 with two deviations,
+// both documented in DESIGN.md:
+//  * The printed forward recursion feeds the match state from f_GX(i-1, j)
+//    and f_GY(i, j-1); that is dimensionally inconsistent with the paper's
+//    own backward recursion (each match consumes one x and one y symbol).
+//    We use the standard formulation from Durbin et al. — the reference the
+//    paper itself cites for its notation — where all three predecessors of
+//    f_M(i,j) sit at (i-1, j-1).
+//  * Rows are rescaled to sum to one as they are produced (the classic
+//    HMM scaling trick); raw probabilities for 100 bp reads underflow
+//    doubles in the worst case.  Scaling factors are identical across the
+//    three matrices within a row, so posterior ratios are exact.
+//
+// Boundary modes:
+//  * kGlobal — exactly the paper's initialization: the alignment starts at
+//    (0,0) and ends at (N,M).
+//  * kSemiGlobal — the mode the mapper uses: the read is globally aligned
+//    but the genome window has free (unscored) flanks, so the read may start
+//    and end anywhere inside the candidate window.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gnumap/phmm/params.hpp"
+#include "gnumap/phmm/pwm.hpp"
+
+namespace gnumap {
+
+enum class BoundaryMode { kGlobal, kSemiGlobal };
+
+/// DP state for one (read, window) alignment.  Reusable across calls to
+/// avoid reallocation; matrices are (n+1) x (m+1), row-major.
+struct AlignmentMatrices {
+  std::size_t n = 0;  ///< read length
+  std::size_t m = 0;  ///< window length
+  std::vector<double> fm, fgx, fgy;  ///< scaled forward matrices
+  std::vector<double> bm, bgx, bgy;  ///< scaled backward matrices
+  /// log of the total alignment likelihood P(x, y); -inf when no path.
+  double log_likelihood = 0.0;
+
+  std::size_t stride() const { return m + 1; }
+  double& at(std::vector<double>& mat, std::size_t i, std::size_t j) {
+    return mat[i * stride() + j];
+  }
+  double at(const std::vector<double>& mat, std::size_t i,
+            std::size_t j) const {
+    return mat[i * stride() + j];
+  }
+};
+
+class PairHmm {
+ public:
+  explicit PairHmm(const PhmmParams& params,
+                   BoundaryMode mode = BoundaryMode::kSemiGlobal);
+
+  const PhmmParams& params() const { return params_; }
+  BoundaryMode mode() const { return mode_; }
+
+  /// Runs forward + backward for `pwm` against `window`.
+  /// Returns false (and sets log_likelihood to -inf) if no alignment path
+  /// has nonzero probability; `mats` is then unusable for posteriors.
+  bool align(const Pwm& pwm, std::span<const std::uint8_t> window,
+             AlignmentMatrices& mats) const;
+
+  /// Posterior P(x_i diamond y_j | x, y) for 1-based i, j.  Valid after a
+  /// successful align().  `row_mass` must be row_masses()[i].
+  /// Row masses: c_i = sum_j (fm*bm + fgx*bgx)(i, j).  Dividing the scaled
+  /// products by c_i yields exact posteriors (see scaling note above).
+  std::vector<double> row_masses(const AlignmentMatrices& mats) const;
+
+ private:
+  void run_forward(const std::vector<double>& pstar,
+                   AlignmentMatrices& mats, double& log_scale) const;
+  void run_backward(const std::vector<double>& pstar,
+                    AlignmentMatrices& mats) const;
+
+  PhmmParams params_;
+  BoundaryMode mode_;
+};
+
+}  // namespace gnumap

@@ -1,0 +1,75 @@
+#include "gnumap/phmm/marginal.hpp"
+
+namespace gnumap {
+
+ColumnContributions condense_marginals(const PairHmm& hmm, const Pwm& pwm,
+                                       const AlignmentMatrices& mats,
+                                       const MarginalOptions& options) {
+  const std::size_t n = mats.n;
+  const std::size_t m = mats.m;
+  const std::size_t stride = m + 1;
+
+  ColumnContributions out;
+  out.tracks.assign(m, {});
+  out.column_mass.assign(m, 0.0f);
+  if (n == 0 || m == 0) return out;
+
+  const std::vector<double> masses = hmm.row_masses(mats);
+
+  // Accumulate raw posterior mass per column.
+  for (std::size_t i = 1; i <= n; ++i) {
+    const double c = masses[i];
+    if (!(c > 0.0)) continue;
+    const double inv_c = 1.0 / c;
+    const std::size_t row = i * stride;
+    const auto& weights = pwm.row(i - 1);
+    const std::uint8_t called = pwm.called_base(i - 1);
+    for (std::size_t j = 1; j <= m; ++j) {
+      const double post_match =
+          mats.fm[row + j] * mats.bm[row + j] * inv_c;
+      const double post_ygap =
+          mats.fgy[row + j] * mats.bgy[row + j] * inv_c;
+      if (post_match > 0.0) {
+        auto& t = out.tracks[j - 1];
+        if (options.prob_mode == ProbMode::kPwmWeighted) {
+          for (int k = 0; k < kNumBases; ++k) {
+            t[static_cast<std::size_t>(k)] +=
+                static_cast<float>(post_match) * weights[static_cast<std::size_t>(k)];
+          }
+        } else {
+          t[called] += static_cast<float>(post_match);
+        }
+      }
+      if (post_ygap > 0.0) {
+        out.tracks[j - 1][kGapTrack] += static_cast<float>(post_ygap);
+      }
+    }
+  }
+
+  for (std::size_t j = 0; j < m; ++j) {
+    float mass = 0.0f;
+    for (int k = 0; k < kNumTracks; ++k) {
+      mass += out.tracks[j][static_cast<std::size_t>(k)];
+    }
+    out.column_mass[j] = mass;
+  }
+
+  if (options.normalization == Normalization::kColumn) {
+    for (std::size_t j = 0; j < m; ++j) {
+      const float mass = out.column_mass[j];
+      if (mass < options.min_column_mass || !(mass > 0.0f)) {
+        out.tracks[j] = {};
+        out.column_mass[j] = 0.0f;
+        continue;
+      }
+      const float inv = 1.0f / mass;
+      for (int k = 0; k < kNumTracks; ++k) {
+        out.tracks[j][static_cast<std::size_t>(k)] *= inv;
+      }
+      out.column_mass[j] = 1.0f;
+    }
+  }
+  return out;
+}
+
+}  // namespace gnumap

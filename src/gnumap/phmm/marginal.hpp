@@ -1,0 +1,59 @@
+// Condensing alignment posteriors into per-genome-position nucleotide
+// contributions — the z_k vectors of the paper's Step 2/3 boundary.
+//
+// For a fixed genome column j the paper defines
+//   z_kA = sum_{i: x_i = A} P(x_i <> y_j) / denom(j)
+// and analogously for C/G/T/gap.  Two generalizations, both configurable:
+//
+//  * Base identity.  The paper's own PWM extension replaces the indicator
+//    {x_i = A} with the quality-derived weight r_iA; that is the default
+//    (ProbMode::kPwmWeighted).  ProbMode::kCalledBase reproduces the printed
+//    indicator form.
+//  * Normalization.  The printed denominator mixes match posteriors with
+//    x-gap posteriors, which does not measure "what aligns to column j".
+//    The column-exact denominator (match + genome-gap posteriors for column
+//    j; every path contributes exactly once per consumed genome base) is
+//    available as Normalization::kColumn.  The default, kRawMass, skips the
+//    division entirely: contributions are raw posterior mass, so a window
+//    column the read barely overlaps contributes almost nothing instead of a
+//    full unit vote, and for well-covered columns (denominator ~= 1) the
+//    result coincides with the paper's normalized form.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gnumap/genome/sequence.hpp"
+#include "gnumap/phmm/forward_backward.hpp"
+
+namespace gnumap {
+
+enum class ProbMode : std::uint8_t { kPwmWeighted, kCalledBase };
+enum class Normalization : std::uint8_t { kRawMass, kColumn };
+
+struct MarginalOptions {
+  ProbMode prob_mode = ProbMode::kPwmWeighted;
+  Normalization normalization = Normalization::kRawMass;
+  /// kColumn only: columns with less aligned mass than this are dropped
+  /// rather than inflated to a unit vote.
+  double min_column_mass = 0.2;
+};
+
+/// Per-window-column track contributions from one (read, window) alignment.
+struct ColumnContributions {
+  /// tracks[j][k]: mass for track k (A,C,G,T,gap) at window column j
+  /// (0-based; column j corresponds to DP column j+1).
+  std::vector<std::array<float, kNumTracks>> tracks;
+  /// Total aligned mass per column (the column denominator), for diagnostics.
+  std::vector<float> column_mass;
+};
+
+/// Computes the z contributions from a completed forward/backward run.
+/// `pwm` and `mats` must come from the same PairHmm::align call.
+ColumnContributions condense_marginals(const PairHmm& hmm, const Pwm& pwm,
+                                       const AlignmentMatrices& mats,
+                                       const MarginalOptions& options);
+
+}  // namespace gnumap

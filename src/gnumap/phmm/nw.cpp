@@ -1,0 +1,160 @@
+#include "gnumap/phmm/nw.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "gnumap/genome/sequence.hpp"
+#include "gnumap/io/quality.hpp"
+
+namespace gnumap {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+enum State : std::uint8_t { kM = 0, kGX = 1, kGY = 2 };
+}  // namespace
+
+NwResult nw_align(const Read& read, std::span<const std::uint8_t> window,
+                  const NwParams& params) {
+  const std::size_t n = read.length();
+  const std::size_t m = window.size();
+  NwResult result;
+  result.score = kNegInf;
+  if (n == 0 || m == 0) return result;
+  const std::size_t stride = m + 1;
+
+  // Three-state affine DP (Gotoh).  sm: best score ending in a match at
+  // (i,j); sx: read-gap; sy: genome-gap.
+  std::vector<double> sm((n + 1) * stride, kNegInf);
+  std::vector<double> sx((n + 1) * stride, kNegInf);
+  std::vector<double> sy((n + 1) * stride, kNegInf);
+  std::vector<std::uint8_t> pm((n + 1) * stride, 0);
+  std::vector<std::uint8_t> px((n + 1) * stride, 0);
+  std::vector<std::uint8_t> py((n + 1) * stride, 0);
+
+  // Row 0: free genome prefix (semi-global) or scored genome gaps (global).
+  sm[0] = 0.0;
+  for (std::size_t j = 1; j <= m; ++j) {
+    if (params.free_genome_flanks) {
+      sm[j] = 0.0;
+    } else {
+      sy[j] = params.gap_open + params.gap_extend * static_cast<double>(j - 1);
+      py[j] = j == 1 ? kM : kGY;
+    }
+  }
+  // Column 0: leading read gaps are always scored.
+  for (std::size_t i = 1; i <= n; ++i) {
+    sx[i * stride] =
+        params.gap_open + params.gap_extend * static_cast<double>(i - 1);
+    px[i * stride] = i == 1 ? kM : kGX;
+  }
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    const std::size_t row = i * stride;
+    const std::size_t prev = row - stride;
+    const std::uint8_t x = read.bases[i - 1];
+    const std::uint8_t q = i - 1 < read.quals.size() ? read.quals[i - 1] : 30;
+    const double weight =
+        params.quality_weighted ? 1.0 - phred_to_error(q) : 1.0;
+    for (std::size_t j = 1; j <= m; ++j) {
+      const std::uint8_t y = window[j - 1];
+      const bool match = x < 4 && x == y;
+      const double sub =
+          (match ? params.match : params.mismatch) * weight;
+      // Match state.
+      {
+        double best = sm[prev + j - 1];
+        std::uint8_t who = kM;
+        if (sx[prev + j - 1] > best) { best = sx[prev + j - 1]; who = kGX; }
+        if (sy[prev + j - 1] > best) { best = sy[prev + j - 1]; who = kGY; }
+        sm[row + j] = best + sub;
+        pm[row + j] = who;
+      }
+      // Read gap.
+      {
+        const double open = sm[prev + j] + params.gap_open;
+        const double extend = sx[prev + j] + params.gap_extend;
+        sx[row + j] = std::max(open, extend);
+        px[row + j] = open >= extend ? kM : kGX;
+      }
+      // Genome gap.
+      {
+        const double open = sm[row + j - 1] + params.gap_open;
+        const double extend = sy[row + j - 1] + params.gap_extend;
+        sy[row + j] = std::max(open, extend);
+        py[row + j] = open >= extend ? kM : kGY;
+      }
+    }
+  }
+
+  // Terminal: free genome suffix scans row n; global requires column m.
+  std::size_t end_j = m;
+  State end_state = kM;
+  double best = kNegInf;
+  auto consider = [&](State s, std::size_t j, double value) {
+    if (value > best) {
+      best = value;
+      end_state = s;
+      end_j = j;
+    }
+  };
+  if (params.free_genome_flanks) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      consider(kM, j, sm[n * stride + j]);
+      consider(kGX, j, sx[n * stride + j]);
+    }
+  } else {
+    consider(kM, m, sm[n * stride + m]);
+    consider(kGX, m, sx[n * stride + m]);
+    consider(kGY, m, sy[n * stride + m]);
+  }
+  if (best == kNegInf) return result;
+  result.score = best;
+
+  // Traceback.
+  std::size_t i = n;
+  std::size_t j = end_j;
+  State state = end_state;
+  std::vector<AlignOp> rops;
+  while (i > 0 || (!params.free_genome_flanks && state == kGY && j > 0)) {
+    std::uint8_t from;
+    switch (state) {
+      case kM: {
+        rops.push_back(AlignOp::kMatch);
+        const std::uint8_t x = read.bases[i - 1];
+        const std::uint8_t y = window[j - 1];
+        if (!(x < 4 && x == y)) {
+          ++result.mismatches;
+          result.mismatch_quality_sum +=
+              i - 1 < read.quals.size() ? read.quals[i - 1] : 30;
+        }
+        from = pm[i * stride + j];
+        --i;
+        --j;
+        break;
+      }
+      case kGX:
+        rops.push_back(AlignOp::kReadGap);
+        from = px[i * stride + j];
+        --i;
+        break;
+      case kGY:
+        rops.push_back(AlignOp::kGenomeGap);
+        from = py[i * stride + j];
+        --j;
+        break;
+      default:
+        from = kM;
+        break;
+    }
+    if (i == 0 && (state == kM || state == kGX)) {
+      if (params.free_genome_flanks || j == 0) break;
+    }
+    state = static_cast<State>(from);
+  }
+  result.window_begin = j;
+  result.window_end = end_j;
+  result.ops.assign(rops.rbegin(), rops.rend());
+  return result;
+}
+
+}  // namespace gnumap

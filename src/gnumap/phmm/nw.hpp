@@ -1,0 +1,50 @@
+// Needleman-Wunsch affine-gap alignment.
+//
+// The paper positions PHMMs as "a common alternative for sequence alignment
+// to the standard Needleman-Wunsch Algorithm".  This implementation is the
+// substrate for the MAQ-like baseline (which commits to a single best
+// alignment) and serves as a comparison point in the ablation benches.
+// Scores are additive; a quality-weighted scheme matching the baseline's
+// needs is provided alongside the plain match/mismatch one.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gnumap/genome/align_ops.hpp"
+#include "gnumap/io/read.hpp"
+
+namespace gnumap {
+
+struct NwParams {
+  /// Score for a matching base pair (scaled by base quality if enabled).
+  double match = 1.0;
+  /// Penalty (negative score) for a mismatching pair.
+  double mismatch = -3.0;
+  double gap_open = -5.0;
+  double gap_extend = -2.0;
+  /// If true, match/mismatch scores are scaled by 1 - error(quality), so
+  /// low-quality bases neither help nor hurt much — the MAQ-style weighting.
+  bool quality_weighted = true;
+  /// Semi-global: no penalty for unaligned genome flanks (read is global).
+  bool free_genome_flanks = true;
+};
+
+struct NwResult {
+  double score = 0.0;
+  std::vector<AlignOp> ops;
+  /// 0-based first/one-past-last aligned window columns.
+  std::size_t window_begin = 0;
+  std::size_t window_end = 0;
+  /// Number of aligned pairs whose bases differ.
+  int mismatches = 0;
+  /// Sum of Phred qualities at mismatching read bases (MAQ's sum-of-quals).
+  int mismatch_quality_sum = 0;
+};
+
+/// Aligns `read` against `window`; returns the best-scoring alignment.
+NwResult nw_align(const Read& read, std::span<const std::uint8_t> window,
+                  const NwParams& params);
+
+}  // namespace gnumap

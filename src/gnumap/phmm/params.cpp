@@ -1,0 +1,17 @@
+#include "gnumap/phmm/params.hpp"
+
+#include "gnumap/util/error.hpp"
+
+namespace gnumap {
+
+void PhmmParams::validate() const {
+  require(gap_open > 0.0 && gap_open < 0.5,
+          "PhmmParams: gap_open must be in (0, 0.5)");
+  require(gap_extend > 0.0 && gap_extend < 1.0,
+          "PhmmParams: gap_extend must be in (0, 1)");
+  require(mismatch_mass > 0.0 && mismatch_mass < 1.0,
+          "PhmmParams: mismatch_mass must be in (0, 1)");
+  require(q > 0.0 && q <= 1.0, "PhmmParams: q must be in (0, 1]");
+}
+
+}  // namespace gnumap

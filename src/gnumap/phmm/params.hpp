@@ -1,0 +1,44 @@
+// Pair-HMM parameters.
+//
+// Three hidden states as in the paper: M (match), G_X (read base against a
+// gap), G_Y (genome base against a gap).  Transition probabilities follow the
+// paper's notation T_MM, T_MG, T_GM, T_GG and are derived from a gap-open /
+// gap-extend pair so they stay a proper distribution:
+//   from M:  T_MM = 1 - 2*gap_open,  T_MG = gap_open   (to either gap state)
+//   from G:  T_GM = 1 - gap_extend,  T_GG = gap_extend (no G_X <-> G_Y moves)
+// Emissions: a match state emits the pair (x_i, y_j) with joint probability
+// p_xy (diagonal-heavy), gap states emit a single nucleotide with q = 1/4.
+#pragma once
+
+#include <array>
+
+#include "gnumap/genome/sequence.hpp"
+
+namespace gnumap {
+
+struct PhmmParams {
+  double gap_open = 0.02;    ///< delta: M -> G_X or M -> G_Y
+  double gap_extend = 0.30;  ///< epsilon: G -> G
+  /// Probability mass of mismatching pairs in the match emission
+  /// (the per-pair mismatch rate; diagonal entries share 1 - mismatch_mass).
+  double mismatch_mass = 0.08;
+  /// Gap-state emission probability per nucleotide.
+  double q = 0.25;
+
+  double t_mm() const { return 1.0 - 2.0 * gap_open; }
+  double t_mg() const { return gap_open; }
+  double t_gm() const { return 1.0 - gap_extend; }
+  double t_gg() const { return gap_extend; }
+
+  /// Joint match-emission probability p_xy.  Rows/columns are base codes;
+  /// any N participant falls back to background 1/16.
+  double emission(std::uint8_t x, std::uint8_t y) const {
+    if (x >= 4 || y >= 4) return 1.0 / 16.0;
+    return x == y ? (1.0 - mismatch_mass) / 4.0 : mismatch_mass / 12.0;
+  }
+
+  /// Throws ConfigError unless every derived probability is valid.
+  void validate() const;
+};
+
+}  // namespace gnumap

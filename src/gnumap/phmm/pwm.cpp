@@ -1,0 +1,63 @@
+#include "gnumap/phmm/pwm.hpp"
+
+#include <algorithm>
+
+#include "gnumap/io/quality.hpp"
+
+namespace gnumap {
+
+Pwm Pwm::from_read(const Read& read) {
+  Pwm pwm;
+  pwm.rows_.resize(read.length());
+  for (std::size_t i = 0; i < read.length(); ++i) {
+    const std::uint8_t qual = i < read.quals.size() ? read.quals[i] : 0;
+    pwm.rows_[i] = base_weights(read.bases[i], qual);
+  }
+  return pwm;
+}
+
+Pwm Pwm::from_read_reverse(const Read& read) {
+  Pwm pwm;
+  const std::size_t n = read.length();
+  pwm.rows_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Position i of the reverse-complement read corresponds to position
+    // n-1-i of the original; weights permute through the complement map.
+    const std::size_t src = n - 1 - i;
+    const std::uint8_t qual = src < read.quals.size() ? read.quals[src] : 0;
+    const auto fwd = base_weights(read.bases[src], qual);
+    for (int b = 0; b < kNumBases; ++b) {
+      pwm.rows_[i][static_cast<std::size_t>(complement(
+          static_cast<std::uint8_t>(b)))] = fwd[static_cast<std::size_t>(b)];
+    }
+  }
+  return pwm;
+}
+
+Pwm Pwm::from_rows(std::vector<std::array<float, 4>> rows) {
+  Pwm pwm;
+  pwm.rows_ = std::move(rows);
+  return pwm;
+}
+
+std::uint8_t Pwm::called_base(std::size_t i) const {
+  const auto& row = rows_[i];
+  return static_cast<std::uint8_t>(
+      std::max_element(row.begin(), row.end()) - row.begin());
+}
+
+std::vector<double> Pwm::mixed_emissions(const PhmmParams& params) const {
+  std::vector<double> table(rows_.size() * 5);
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    for (std::uint8_t y = 0; y < 5; ++y) {
+      double p = 0.0;
+      for (std::uint8_t k = 0; k < 4; ++k) {
+        p += static_cast<double>(rows_[i][k]) * params.emission(k, y);
+      }
+      table[i * 5 + y] = p;
+    }
+  }
+  return table;
+}
+
+}  // namespace gnumap

@@ -1,0 +1,48 @@
+// Position-weight matrix built from a read's quality scores.
+//
+// "the probability from each nucleotide obtained from base quality scores is
+//  used to create a position-weight matrix (PWM) for each read" (paper,
+//  Step 2).  Row i holds r_iA..r_iT: the probability that the true template
+//  base at read position i is A/C/G/T, given the called base and its Phred
+//  score.  The PHMM consumes these through the paper's mixed emission
+//    p*(i, y) = sum_k r_ik * p_{k,y}.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "gnumap/io/read.hpp"
+#include "gnumap/phmm/params.hpp"
+
+namespace gnumap {
+
+class Pwm {
+ public:
+  Pwm() = default;
+
+  /// Builds from called bases + qualities (1-e for the call, e/3 elsewhere).
+  static Pwm from_read(const Read& read);
+
+  /// Builds for the reverse-complement orientation of the same read.
+  static Pwm from_read_reverse(const Read& read);
+
+  /// Builds from explicit rows (rows need not be normalized; they are not
+  /// renormalized here — callers own the semantics).
+  static Pwm from_rows(std::vector<std::array<float, 4>> rows);
+
+  std::size_t length() const { return rows_.size(); }
+  const std::array<float, 4>& row(std::size_t i) const { return rows_[i]; }
+
+  /// Most probable base at position i (ties break to the lower code).
+  std::uint8_t called_base(std::size_t i) const;
+
+  /// Precomputes the mixed emissions p*(i, y) for all 5 genome symbols
+  /// (A, C, G, T, N) under `params`.  Result is length() x 5, row-major.
+  std::vector<double> mixed_emissions(const PhmmParams& params) const;
+
+ private:
+  std::vector<std::array<float, 4>> rows_;
+};
+
+}  // namespace gnumap

@@ -1,0 +1,150 @@
+#include "gnumap/phmm/viterbi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace gnumap {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+enum State : std::uint8_t { kM = 0, kGX = 1, kGY = 2, kNone = 3 };
+}  // namespace
+
+ViterbiResult viterbi_align(const PairHmm& hmm, const Pwm& pwm,
+                            std::span<const std::uint8_t> window) {
+  const auto& params = hmm.params();
+  const std::size_t n = pwm.length();
+  const std::size_t m = window.size();
+  ViterbiResult result;
+  result.log_prob = kNegInf;
+  if (n == 0 || m == 0) return result;
+
+  const std::size_t stride = m + 1;
+  const std::vector<double> mixed = pwm.mixed_emissions(params);
+  const double lt_mm = std::log(params.t_mm());
+  const double lt_mg = std::log(params.t_mg());
+  const double lt_gm = std::log(params.t_gm());
+  const double lt_gg = std::log(params.t_gg());
+  const double lq = std::log(params.q);
+
+  std::vector<double> vm((n + 1) * stride, kNegInf);
+  std::vector<double> vgx((n + 1) * stride, kNegInf);
+  std::vector<double> vgy((n + 1) * stride, kNegInf);
+  // Backpointers: predecessor state per cell per state.
+  std::vector<std::uint8_t> pm((n + 1) * stride, kNone);
+  std::vector<std::uint8_t> pgx((n + 1) * stride, kNone);
+  std::vector<std::uint8_t> pgy((n + 1) * stride, kNone);
+
+  if (hmm.mode() == BoundaryMode::kGlobal) {
+    vm[0] = 0.0;
+  } else {
+    for (std::size_t j = 0; j <= m; ++j) vm[j] = 0.0;
+  }
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    const std::size_t row = i * stride;
+    const std::size_t prev = row - stride;
+    for (std::size_t j = 1; j <= m; ++j) {
+      const std::uint8_t y = std::min<std::uint8_t>(window[j - 1], 4);
+      const double lp = std::log(mixed[(i - 1) * 5 + y]);
+      // Match.
+      {
+        const double from_m = lt_mm + vm[prev + j - 1];
+        const double from_gx = lt_gm + vgx[prev + j - 1];
+        const double from_gy = lt_gm + vgy[prev + j - 1];
+        double best = from_m;
+        std::uint8_t who = kM;
+        if (from_gx > best) { best = from_gx; who = kGX; }
+        if (from_gy > best) { best = from_gy; who = kGY; }
+        vm[row + j] = lp + best;
+        pm[row + j] = who;
+      }
+      // Read gap (G_X): consumes x only.
+      {
+        const double from_m = lt_mg + vm[prev + j];
+        const double from_gx = lt_gg + vgx[prev + j];
+        vgx[row + j] = lq + std::max(from_m, from_gx);
+        pgx[row + j] = from_m >= from_gx ? kM : kGX;
+      }
+      // Genome gap (G_Y): consumes y only.
+      {
+        const double from_m = lt_mg + vm[row + j - 1];
+        const double from_gy = lt_gg + vgy[row + j - 1];
+        vgy[row + j] = lq + std::max(from_m, from_gy);
+        pgy[row + j] = from_m >= from_gy ? kM : kGY;
+      }
+    }
+    // Column 0: leading read gaps, allowed in semi-global mode only (the
+    // paper's global initialization zeroes the whole column).
+    if (hmm.mode() == BoundaryMode::kSemiGlobal) {
+      vgx[row] = lq + std::max(lt_mg + vm[prev], lt_gg + vgx[prev]);
+      pgx[row] = (lt_mg + vm[prev]) >= (lt_gg + vgx[prev]) ? kM : kGX;
+    }
+  }
+
+  // Pick the terminal cell.
+  std::size_t end_j = m;
+  State end_state = kM;
+  double best = kNegInf;
+  auto consider = [&](State s, std::size_t j, double value) {
+    if (value > best) {
+      best = value;
+      end_state = s;
+      end_j = j;
+    }
+  };
+  if (hmm.mode() == BoundaryMode::kGlobal) {
+    // Trailing genome gaps would be needed to reach column m; emulate the
+    // forward terminal by allowing G_Y chains from any column (scored).
+    consider(kM, m, vm[n * stride + m]);
+    consider(kGX, m, vgx[n * stride + m]);
+    consider(kGY, m, vgy[n * stride + m]);
+  } else {
+    for (std::size_t j = 1; j <= m; ++j) {
+      consider(kM, j, vm[n * stride + j]);
+      consider(kGX, j, vgx[n * stride + j]);
+    }
+  }
+  if (best == kNegInf) return result;
+  result.log_prob = best;
+
+  // Traceback.
+  std::size_t i = n;
+  std::size_t j = end_j;
+  State state = end_state;
+  std::vector<AlignOp> rops;
+  while (i > 0 || (hmm.mode() == BoundaryMode::kGlobal && state == kGY)) {
+    std::uint8_t from = kNone;
+    switch (state) {
+      case kM:
+        rops.push_back(AlignOp::kMatch);
+        from = pm[i * stride + j];
+        --i;
+        --j;
+        break;
+      case kGX:
+        rops.push_back(AlignOp::kReadGap);
+        from = pgx[i * stride + j];
+        --i;
+        break;
+      case kGY:
+        rops.push_back(AlignOp::kGenomeGap);
+        from = pgy[i * stride + j];
+        --j;
+        break;
+      default:
+        i = 0;
+        break;
+    }
+    if (i == 0 && (state == kM || state == kGX)) break;
+    if (from == kNone) break;
+    state = static_cast<State>(from);
+  }
+  result.window_begin = j;
+  result.window_end = end_j;
+  result.ops.assign(rops.rbegin(), rops.rend());
+  return result;
+}
+
+}  // namespace gnumap

@@ -1,0 +1,35 @@
+// Viterbi decoding of the Pair-HMM: the single most probable alignment.
+//
+// Not used by the probabilistic caller (which marginalizes over alignments),
+// but needed as a reference point: the paper's critique of existing methods
+// is precisely that they commit to this one path.  Tests also use the
+// invariant  viterbi log-prob <= forward log-likelihood.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gnumap/genome/align_ops.hpp"
+#include "gnumap/phmm/forward_backward.hpp"
+
+namespace gnumap {
+
+struct ViterbiResult {
+  /// log probability of the best state path; -inf if none exists.
+  double log_prob = 0.0;
+  /// Operations from the start of the alignment.  kReadGap: a read base
+  /// aligned against a gap (G_X); kGenomeGap: a genome base against a gap.
+  std::vector<AlignOp> ops;
+  /// For semi-global mode: 0-based window column where the alignment begins.
+  std::size_t window_begin = 0;
+  /// One-past the last aligned window column.
+  std::size_t window_end = 0;
+};
+
+/// Runs Viterbi with the same parameters/boundary semantics as `hmm`.
+ViterbiResult viterbi_align(const PairHmm& hmm, const Pwm& pwm,
+                            std::span<const std::uint8_t> window);
+
+}  // namespace gnumap

@@ -1,0 +1,74 @@
+#include "gnumap/sim/catalog_gen.hpp"
+
+#include <algorithm>
+
+#include "gnumap/util/error.hpp"
+
+namespace gnumap {
+
+namespace {
+
+/// Picks an alternate allele: a transition with probability
+/// `transition_prob`, otherwise one of the two transversions.
+std::uint8_t pick_alt(std::uint8_t ref, double transition_prob, Rng& rng) {
+  // Transition partner: A<->G, C<->T.
+  const std::uint8_t transition = ref < 4
+      ? static_cast<std::uint8_t>(ref ^ 2)  // 0<->2, 1<->3
+      : std::uint8_t{0};
+  if (rng.bernoulli(transition_prob)) return transition;
+  // Two transversion partners: the two bases that are neither ref nor its
+  // transition partner.
+  std::uint8_t options[2];
+  int count = 0;
+  for (std::uint8_t b = 0; b < 4; ++b) {
+    if (b != ref && b != transition) options[count++] = b;
+  }
+  return options[rng.next_below(2)];
+}
+
+}  // namespace
+
+SnpCatalog generate_catalog(const Genome& genome,
+                            const CatalogGenOptions& options) {
+  require(options.count >= 1, "generate_catalog: count must be >= 1");
+  require(options.jitter >= 0.0 && options.jitter < 1.0,
+          "generate_catalog: jitter must be in [0, 1)");
+  require(genome.num_bases() > 0, "generate_catalog: empty genome");
+
+  Rng rng(options.seed);
+  SnpCatalog catalog;
+  catalog.reserve(options.count);
+
+  // Distribute sites across contigs proportionally to their size.
+  for (std::uint32_t contig = 0; contig < genome.num_contigs(); ++contig) {
+    const std::uint64_t contig_size = genome.contig_size(contig);
+    const std::uint64_t contig_count = std::max<std::uint64_t>(
+        1, options.count * contig_size / genome.num_bases());
+    const double spacing = static_cast<double>(contig_size) /
+                           static_cast<double>(contig_count);
+    if (spacing < 2.0) continue;  // contig too small to place SNPs sensibly
+
+    for (std::uint64_t i = 0; i < contig_count; ++i) {
+      const double center = (static_cast<double>(i) + 0.5) * spacing;
+      const double offset_jitter =
+          (rng.next_double() - 0.5) * options.jitter * spacing;
+      const auto offset = static_cast<std::uint64_t>(std::clamp(
+          center + offset_jitter, 0.0, static_cast<double>(contig_size - 1)));
+      const std::uint8_t ref =
+          genome.at(genome.global_pos(contig, offset));
+      if (ref >= 4) continue;  // never mutate N positions
+
+      CatalogEntry entry;
+      entry.contig = genome.contig_name(contig);
+      entry.position = offset;
+      entry.ref = ref;
+      entry.alt = pick_alt(ref, options.transition_prob, rng);
+      entry.zygosity = rng.bernoulli(options.het_fraction) ? Zygosity::kHet
+                                                           : Zygosity::kHom;
+      catalog.push_back(std::move(entry));
+    }
+  }
+  return catalog;
+}
+
+}  // namespace gnumap

@@ -1,0 +1,35 @@
+// Synthetic SNP catalog generation (the dbSNP substitute).
+//
+// The paper "randomly selected 14,501 evenly-spaced SNPs from the X
+// chromosome".  This generator reproduces that construction on a synthetic
+// reference: sites are evenly spaced with jitter, alternate alleles follow
+// the empirical transition:transversion ratio of ~2:1, and a configurable
+// fraction of sites is heterozygous for diploid experiments.
+#pragma once
+
+#include <cstdint>
+
+#include "gnumap/genome/genome.hpp"
+#include "gnumap/io/snp_catalog.hpp"
+#include "gnumap/util/rng.hpp"
+
+namespace gnumap {
+
+struct CatalogGenOptions {
+  /// Number of SNP sites to place.
+  std::uint64_t count = 1000;
+  /// Fractional jitter around even spacing (0 = perfectly even).
+  double jitter = 0.25;
+  /// Probability that a SNP is a transition (dbSNP empirical ~ 2/3).
+  double transition_prob = 2.0 / 3.0;
+  /// Fraction of heterozygous sites (diploid experiments; 0 for monoploid).
+  double het_fraction = 0.0;
+  std::uint64_t seed = 20120521;  // IPDPS workshop date, arbitrary constant
+};
+
+/// Generates a catalog over every contig of `genome`.  Sites always fall on
+/// concrete (non-N) reference bases; ref alleles match the genome.
+SnpCatalog generate_catalog(const Genome& genome,
+                            const CatalogGenOptions& options);
+
+}  // namespace gnumap

@@ -1,0 +1,97 @@
+#include "gnumap/sim/mutator.hpp"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gnumap/util/error.hpp"
+#include "gnumap/util/rng.hpp"
+
+namespace gnumap {
+
+namespace {
+
+/// Rebuilds a genome applying per-contig substitutions.
+/// apply(entry) decides which haplotype(s) receive the alt allele.
+Genome rebuild(const Genome& reference, const SnpCatalog& catalog,
+               const std::vector<bool>& take) {
+  // Group substitutions per contig name.
+  std::map<std::string, std::vector<std::pair<std::uint64_t, std::uint8_t>>>
+      by_contig;
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    if (!take[i]) continue;
+    by_contig[catalog[i].contig].emplace_back(catalog[i].position,
+                                              catalog[i].alt);
+  }
+
+  Genome out;
+  for (std::uint32_t contig = 0; contig < reference.num_contigs(); ++contig) {
+    const std::string& name = reference.contig_name(contig);
+    const std::uint64_t size = reference.contig_size(contig);
+    std::vector<std::uint8_t> codes(size);
+    const auto start = reference.contig_start(contig);
+    for (std::uint64_t i = 0; i < size; ++i) {
+      codes[i] = reference.at(start + i);
+    }
+    const auto it = by_contig.find(name);
+    if (it != by_contig.end()) {
+      for (const auto& [pos, alt] : it->second) {
+        require(pos < size, "apply_catalog: position past end of contig " +
+                                name);
+        codes[pos] = alt;
+      }
+    }
+    out.add_contig(name, std::move(codes));
+  }
+  return out;
+}
+
+void check_refs(const Genome& reference, const SnpCatalog& catalog) {
+  // Build name -> id map once.
+  std::map<std::string, std::uint32_t> ids;
+  for (std::uint32_t c = 0; c < reference.num_contigs(); ++c) {
+    ids[reference.contig_name(c)] = c;
+  }
+  for (const auto& entry : catalog) {
+    const auto it = ids.find(entry.contig);
+    require(it != ids.end(),
+            "apply_catalog: unknown contig " + entry.contig);
+    require(entry.position < reference.contig_size(it->second),
+            "apply_catalog: position out of range in " + entry.contig);
+    const std::uint8_t ref =
+        reference.at(reference.global_pos(it->second, entry.position));
+    require(ref == entry.ref,
+            "apply_catalog: catalog ref allele does not match the genome at " +
+                entry.contig + ":" + std::to_string(entry.position));
+  }
+}
+
+}  // namespace
+
+Genome apply_catalog(const Genome& reference, const SnpCatalog& catalog) {
+  check_refs(reference, catalog);
+  std::vector<bool> all(catalog.size(), true);
+  return rebuild(reference, catalog, all);
+}
+
+DiploidGenome apply_catalog_diploid(const Genome& reference,
+                                    const SnpCatalog& catalog,
+                                    std::uint64_t seed) {
+  check_refs(reference, catalog);
+  Rng rng(seed);
+  std::vector<bool> take1(catalog.size(), false);
+  std::vector<bool> take2(catalog.size(), false);
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    if (catalog[i].zygosity == Zygosity::kHom) {
+      take1[i] = take2[i] = true;
+    } else if (rng.bernoulli(0.5)) {
+      take1[i] = true;
+    } else {
+      take2[i] = true;
+    }
+  }
+  return DiploidGenome{rebuild(reference, catalog, take1),
+                       rebuild(reference, catalog, take2)};
+}
+
+}  // namespace gnumap

@@ -1,0 +1,32 @@
+// Applying a SNP catalog to a reference: the simulated individual.
+//
+// Monoploid: one mutated genome (every catalog site gets its alt allele).
+// Diploid: two haplotypes; hom sites carry the alt on both, het sites on
+// exactly one (chosen deterministically from the seed).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "gnumap/genome/genome.hpp"
+#include "gnumap/io/snp_catalog.hpp"
+
+namespace gnumap {
+
+/// Applies every catalog entry to a copy of `reference`.
+/// Throws ConfigError if an entry's contig/position/ref does not match.
+Genome apply_catalog(const Genome& reference, const SnpCatalog& catalog);
+
+/// Diploid individual: a pair of haplotypes.
+struct DiploidGenome {
+  Genome hap1;
+  Genome hap2;
+};
+
+/// Hom sites mutate both haplotypes; het sites mutate hap1 or hap2 with
+/// equal probability under `seed`.
+DiploidGenome apply_catalog_diploid(const Genome& reference,
+                                    const SnpCatalog& catalog,
+                                    std::uint64_t seed = 7);
+
+}  // namespace gnumap

@@ -1,0 +1,158 @@
+#include "gnumap/sim/read_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "gnumap/genome/sequence.hpp"
+#include "gnumap/io/quality.hpp"
+#include "gnumap/util/error.hpp"
+
+namespace gnumap {
+
+namespace {
+
+/// Per-position true substitution-error probability: linear ramp.
+double error_at(const ReadSimOptions& options, std::uint32_t i) {
+  const double t = options.read_length > 1
+      ? static_cast<double>(i) / static_cast<double>(options.read_length - 1)
+      : 0.0;
+  return options.error_rate_start +
+         t * (options.error_rate_end - options.error_rate_start);
+}
+
+/// Simulates one read starting at `origin` on `contig` of `genome`.
+/// Returns false if the template window contains an N.
+bool simulate_one(const Genome& genome, std::uint32_t contig,
+                  std::uint64_t origin, bool reverse,
+                  const ReadSimOptions& options, Rng& rng, std::uint64_t serial,
+                  SimulatedRead& out) {
+  const std::uint64_t contig_size = genome.contig_size(contig);
+  // Template may need a few extra bases when deletions occur.
+  const std::uint64_t slack = 8;
+  if (origin + options.read_length + slack > contig_size) return false;
+
+  // Copy the template (forward orientation).
+  std::vector<std::uint8_t> tmpl(options.read_length + slack);
+  const auto start = genome.global_pos(contig, origin);
+  for (std::uint64_t i = 0; i < tmpl.size(); ++i) {
+    tmpl[i] = genome.at(start + i);
+    if (tmpl[i] >= 4) return false;
+  }
+
+  // Phase 1: consume the forward template with indels only, so the read
+  // covers genome span [origin, origin + consumed) on either strand.
+  std::vector<std::uint8_t> emitted;
+  emitted.reserve(options.read_length);
+  std::uint64_t t = 0;
+  while (emitted.size() < options.read_length && t < tmpl.size()) {
+    if (options.indel_rate > 0.0 && rng.bernoulli(options.indel_rate)) {
+      if (rng.bernoulli(0.5)) {
+        emitted.push_back(static_cast<std::uint8_t>(rng.next_below(4)));
+        continue;  // insertion: emit without consuming
+      }
+      ++t;  // deletion: consume without emitting
+      continue;
+    }
+    emitted.push_back(tmpl[t++]);
+  }
+  if (emitted.size() < options.read_length) return false;
+
+  // Phase 2: orient, then apply the substitution-error/quality ramp in
+  // *read* coordinates (3' degradation follows the sequencing direction).
+  if (reverse) emitted = reverse_complement(emitted);
+  Read read;
+  read.bases.reserve(options.read_length);
+  read.quals.reserve(options.read_length);
+  for (std::uint32_t i = 0; i < options.read_length; ++i) {
+    const double true_error = error_at(options, i);
+    std::uint8_t base = emitted[i];
+    if (rng.bernoulli(true_error)) {
+      base = static_cast<std::uint8_t>((base + 1 + rng.next_below(3)) % 4);
+    }
+    // Reported quality: lognormal dispersion around the true error rate.
+    const double reported_error = std::min(
+        0.75, true_error * std::exp(options.quality_dispersion *
+                                    rng.next_gaussian()));
+    read.bases.push_back(base);
+    read.quals.push_back(error_to_phred(reported_error));
+  }
+
+  read.name = genome.contig_name(contig) + ":" + std::to_string(origin) +
+              ":" + (reverse ? "-" : "+") + ":" + std::to_string(serial);
+  out.read = std::move(read);
+  out.contig = contig;
+  out.origin = origin;
+  out.reverse = reverse;
+  return true;
+}
+
+std::vector<SimulatedRead> simulate_from(const Genome& genome,
+                                         const ReadSimOptions& options,
+                                         double coverage, Rng& rng,
+                                         std::uint64_t serial_base) {
+  std::vector<SimulatedRead> reads;
+  const std::uint64_t total_bases = genome.num_bases();
+  const auto target = static_cast<std::uint64_t>(
+      coverage * static_cast<double>(total_bases) /
+      static_cast<double>(options.read_length));
+  reads.reserve(target);
+
+  std::uint64_t serial = serial_base;
+  std::uint64_t attempts = 0;
+  const std::uint64_t max_attempts = target * 4 + 1000;
+  while (reads.size() < target && attempts < max_attempts) {
+    ++attempts;
+    // Pick a contig proportional to size, then an offset.
+    const std::uint64_t global = rng.next_below(total_bases);
+    std::uint32_t contig = 0;
+    std::uint64_t remaining = global;
+    while (contig < genome.num_contigs() &&
+           remaining >= genome.contig_size(contig)) {
+      remaining -= genome.contig_size(contig);
+      ++contig;
+    }
+    if (contig >= genome.num_contigs()) continue;
+    const bool reverse = rng.bernoulli(0.5);
+    SimulatedRead sim;
+    if (simulate_one(genome, contig, remaining, reverse, options, rng,
+                     serial, sim)) {
+      ++serial;
+      reads.push_back(std::move(sim));
+    }
+  }
+  return reads;
+}
+
+}  // namespace
+
+std::vector<SimulatedRead> simulate_reads(const Genome& genome,
+                                          const ReadSimOptions& options) {
+  require(options.read_length >= 16,
+          "simulate_reads: read_length must be >= 16");
+  require(options.coverage > 0.0, "simulate_reads: coverage must be > 0");
+  Rng rng(options.seed);
+  return simulate_from(genome, options, options.coverage, rng, 0);
+}
+
+std::vector<SimulatedRead> simulate_reads_diploid(
+    const Genome& hap1, const Genome& hap2, const ReadSimOptions& options) {
+  require(options.read_length >= 16,
+          "simulate_reads_diploid: read_length must be >= 16");
+  Rng rng(options.seed);
+  auto reads = simulate_from(hap1, options, options.coverage / 2.0, rng, 0);
+  auto reads2 = simulate_from(hap2, options, options.coverage / 2.0, rng,
+                              reads.size());
+  reads.insert(reads.end(), std::make_move_iterator(reads2.begin()),
+               std::make_move_iterator(reads2.end()));
+  return reads;
+}
+
+std::vector<Read> strip_metadata(const std::vector<SimulatedRead>& reads) {
+  std::vector<Read> out;
+  out.reserve(reads.size());
+  for (const auto& sim : reads) out.push_back(sim.read);
+  return out;
+}
+
+}  // namespace gnumap

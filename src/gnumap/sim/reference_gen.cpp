@@ -1,0 +1,70 @@
+#include "gnumap/sim/reference_gen.hpp"
+
+#include <algorithm>
+
+#include "gnumap/util/error.hpp"
+
+namespace gnumap {
+
+Genome generate_reference(const ReferenceGenOptions& options,
+                          const std::string& name) {
+  require(options.length >= 1000, "generate_reference: length must be >= 1k");
+  require(options.repeat_fraction >= 0.0 && options.repeat_fraction < 0.9,
+          "generate_reference: repeat_fraction must be in [0, 0.9)");
+  require(options.gc_content > 0.0 && options.gc_content < 1.0,
+          "generate_reference: gc_content must be in (0, 1)");
+
+  Rng rng(options.seed);
+  std::vector<std::uint8_t> codes(options.length);
+
+  // Base composition: GC split between C and G, AT between A and T.
+  auto draw_base = [&]() -> std::uint8_t {
+    const double u = rng.next_double();
+    const double half_gc = options.gc_content / 2.0;
+    if (u < half_gc) return 1;               // C
+    if (u < options.gc_content) return 2;    // G
+    return u < options.gc_content + (1.0 - options.gc_content) / 2.0
+               ? std::uint8_t{0}             // A
+               : std::uint8_t{3};            // T
+  };
+  for (auto& code : codes) code = draw_base();
+
+  // Repeat blocks: copy an earlier window with light divergence.
+  const auto repeat_bases = static_cast<std::uint64_t>(
+      options.repeat_fraction * static_cast<double>(options.length));
+  std::uint64_t placed = 0;
+  while (placed + options.repeat_block <= repeat_bases &&
+         options.repeat_block * 4 < options.length) {
+    const std::uint64_t src =
+        rng.next_below(options.length - options.repeat_block);
+    const std::uint64_t dst =
+        rng.next_below(options.length - options.repeat_block);
+    for (std::uint64_t i = 0; i < options.repeat_block; ++i) {
+      std::uint8_t base = codes[src + i];
+      if (rng.bernoulli(options.repeat_divergence)) {
+        base = static_cast<std::uint8_t>((base + 1 + rng.next_below(3)) % 4);
+      }
+      codes[dst + i] = base;
+    }
+    placed += options.repeat_block;
+  }
+
+  // N runs (assembly gaps).
+  const auto n_bases = static_cast<std::uint64_t>(
+      options.n_fraction * static_cast<double>(options.length));
+  for (std::uint64_t placed_n = 0;
+       placed_n + options.n_run <= n_bases &&
+       options.n_run * 4 < options.length;
+       placed_n += options.n_run) {
+    const std::uint64_t start = rng.next_below(options.length - options.n_run);
+    std::fill(codes.begin() + static_cast<std::ptrdiff_t>(start),
+              codes.begin() + static_cast<std::ptrdiff_t>(start + options.n_run),
+              kBaseN);
+  }
+
+  Genome genome;
+  genome.add_contig(name, std::move(codes));
+  return genome;
+}
+
+}  // namespace gnumap

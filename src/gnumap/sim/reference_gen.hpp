@@ -1,0 +1,37 @@
+// Synthetic reference genome generation.
+//
+// The benches cannot ship the 155 Mbp human X chromosome, so they build a
+// synthetic reference with the properties the paper's evaluation leans on:
+// mostly unique sequence, plus configurable *repeat regions* — the paper
+// highlights sensitivity "especially ... in repeat regions" — created by
+// copying earlier blocks with light divergence, plus occasional N runs.
+#pragma once
+
+#include <cstdint>
+
+#include "gnumap/genome/genome.hpp"
+#include "gnumap/util/rng.hpp"
+
+namespace gnumap {
+
+struct ReferenceGenOptions {
+  std::uint64_t length = 1'000'000;
+  /// Fraction of the genome occupied by repeat copies.
+  double repeat_fraction = 0.05;
+  /// Length of each repeat block.
+  std::uint64_t repeat_block = 2000;
+  /// Per-base divergence of a repeat copy from its source block.
+  double repeat_divergence = 0.02;
+  /// Fraction of the genome covered by N runs (assembly gaps).
+  double n_fraction = 0.002;
+  std::uint64_t n_run = 100;
+  std::uint64_t seed = 41;
+  /// GC content (A/T share the rest).
+  double gc_content = 0.41;  // human-like
+};
+
+/// Generates a single-contig genome named `name`.
+Genome generate_reference(const ReferenceGenOptions& options,
+                          const std::string& name = "chrSim");
+
+}  // namespace gnumap

@@ -1,0 +1,104 @@
+#include "gnumap/stats/chi2.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "gnumap/util/error.hpp"
+
+namespace gnumap {
+
+namespace {
+
+constexpr int kMaxIterations = 500;
+constexpr double kEpsilon = 1e-15;
+constexpr double kTiny = 1e-300;
+
+/// Series expansion of P(a, x); converges quickly for x < a + 1.
+double gamma_p_series(double a, double x) {
+  double term = 1.0 / a;
+  double sum = term;
+  double ap = a;
+  for (int i = 0; i < kMaxIterations; ++i) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::fabs(term) < std::fabs(sum) * kEpsilon) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/// Modified Lentz continued fraction for Q(a, x); converges for x >= a + 1.
+double gamma_q_cf(double a, double x) {
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIterations; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < kEpsilon) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+}  // namespace
+
+double gamma_p(double a, double x) {
+  require(a > 0.0, "gamma_p: a must be positive");
+  require(x >= 0.0, "gamma_p: x must be nonnegative");
+  if (x == 0.0) return 0.0;
+  return x < a + 1.0 ? gamma_p_series(a, x) : 1.0 - gamma_q_cf(a, x);
+}
+
+double gamma_q(double a, double x) {
+  require(a > 0.0, "gamma_q: a must be positive");
+  require(x >= 0.0, "gamma_q: x must be nonnegative");
+  if (x == 0.0) return 1.0;
+  return x < a + 1.0 ? 1.0 - gamma_p_series(a, x) : gamma_q_cf(a, x);
+}
+
+double chi2_cdf(double x, double dof) {
+  require(dof > 0.0, "chi2_cdf: dof must be positive");
+  if (x <= 0.0) return 0.0;
+  return gamma_p(dof / 2.0, x / 2.0);
+}
+
+double chi2_sf(double x, double dof) {
+  require(dof > 0.0, "chi2_sf: dof must be positive");
+  if (x <= 0.0) return 1.0;
+  return gamma_q(dof / 2.0, x / 2.0);
+}
+
+double chi2_quantile(double p, double dof) {
+  require(p >= 0.0 && p < 1.0, "chi2_quantile: p must be in [0, 1)");
+  require(dof > 0.0, "chi2_quantile: dof must be positive");
+  if (p == 0.0) return 0.0;
+
+  // Bracket, then bisect.  The CDF is monotone; 128 halvings are plenty for
+  // full double precision.
+  double lo = 0.0;
+  double hi = dof + 10.0;
+  while (chi2_cdf(hi, dof) < p) {
+    hi *= 2.0;
+    if (hi > 1e6) break;
+  }
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (chi2_cdf(mid, dof) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-12 * (1.0 + hi)) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace gnumap

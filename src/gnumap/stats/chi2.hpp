@@ -1,0 +1,26 @@
+// Chi-square distribution via the regularized incomplete gamma function.
+//
+// The paper's significance machinery rests on  -2 log(lambda) -> chi^2_1;
+// SNP calls compare the statistic with the (1 - alpha/5) quantile.  The
+// implementation is self-contained (series + Lentz continued fraction,
+// Numerical Recipes style) and exact enough for p-values down to ~1e-300.
+#pragma once
+
+namespace gnumap {
+
+/// Regularized lower incomplete gamma P(a, x), a > 0, x >= 0.
+double gamma_p(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double gamma_q(double a, double x);
+
+/// Chi-square CDF with `dof` degrees of freedom.
+double chi2_cdf(double x, double dof);
+
+/// Survival function 1 - CDF, computed directly (no cancellation for large x).
+double chi2_sf(double x, double dof);
+
+/// Quantile: smallest x with CDF(x) >= p.  p in [0, 1); dof > 0.
+double chi2_quantile(double p, double dof);
+
+}  // namespace gnumap

@@ -1,0 +1,38 @@
+#include "gnumap/stats/fdr.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "gnumap/util/error.hpp"
+
+namespace gnumap {
+
+double benjamini_hochberg_threshold(const std::vector<double>& p_values,
+                                    double q) {
+  require(q > 0.0 && q < 1.0, "benjamini_hochberg: q must be in (0, 1)");
+  const std::size_t m = p_values.size();
+  if (m == 0) return 0.0;
+
+  std::vector<double> sorted(p_values);
+  std::sort(sorted.begin(), sorted.end());
+  double threshold = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double bound =
+        q * static_cast<double>(i + 1) / static_cast<double>(m);
+    if (sorted[i] <= bound) threshold = sorted[i];
+  }
+  return threshold;
+}
+
+std::vector<bool> benjamini_hochberg(const std::vector<double>& p_values,
+                                     double q) {
+  const double threshold = benjamini_hochberg_threshold(p_values, q);
+  std::vector<bool> rejected(p_values.size(), false);
+  if (threshold <= 0.0) return rejected;
+  for (std::size_t i = 0; i < p_values.size(); ++i) {
+    rejected[i] = p_values[i] <= threshold;
+  }
+  return rejected;
+}
+
+}  // namespace gnumap

@@ -1,0 +1,21 @@
+// Benjamini-Hochberg false discovery rate control.
+//
+// The paper offers "a p-value cutoff or a false discovery control" as the
+// two SNP-calling decision rules; this implements the latter.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gnumap {
+
+/// Returns a keep/reject mask (true = rejected null = called significant)
+/// controlling FDR at level `q` over `p_values` via Benjamini-Hochberg.
+std::vector<bool> benjamini_hochberg(const std::vector<double>& p_values,
+                                     double q);
+
+/// The largest p-value threshold selected by BH (0 if nothing is rejected).
+double benjamini_hochberg_threshold(const std::vector<double>& p_values,
+                                    double q);
+
+}  // namespace gnumap

@@ -1,0 +1,53 @@
+// Likelihood ratio tests for base calling (paper, Step 3).
+//
+// z = (z_A, z_C, z_G, z_T, z_gap) is modeled as a continuous negative
+// multinomial with proportions p_A..p_gap.  The monoploid test asks whether
+// the largest proportion rises above a uniform background; the diploid test
+// adds a heterozygous alternative where the top *two* proportions rise.
+// The statistic -2 log(lambda) is referred to chi^2_1, with the paper's
+// alpha/5 multiple-testing adjustment (one test per track).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace gnumap {
+
+enum class Ploidy : std::uint8_t { kMonoploid = 1, kDiploid = 2 };
+
+/// Accumulated track masses at one genome position, as doubles.
+using TrackCounts = std::array<double, 5>;
+
+struct LrtResult {
+  /// -2 log(lambda); 0 when there is no information (n == 0).
+  double statistic = 0.0;
+  /// Unadjusted chi^2_1 upper-tail probability of `statistic`.
+  double p_raw = 1.0;
+  /// Bonferroni-adjusted p-value: min(1, 5 * p_raw) — the paper's "test each
+  /// base vs background (5 tests)" correction.
+  double p_adjusted = 1.0;
+  /// Winning alternative's alleles as track indices (0..3 = base, 4 = gap).
+  /// For a homozygous/monoploid call allele2 == allele1.
+  std::uint8_t allele1 = 0;
+  std::uint8_t allele2 = 0;
+  /// Diploid only: true when the heterozygous alternative won.
+  bool heterozygous = false;
+  /// Total mass n.
+  double n = 0.0;
+};
+
+/// Monoploid LRT (paper Eq. for lambda(z)).
+LrtResult lrt_monoploid(const TrackCounts& z);
+
+/// Diploid LRT: max over the homozygous and heterozygous alternatives.
+LrtResult lrt_diploid(const TrackCounts& z);
+
+/// Dispatch on ploidy.
+LrtResult lrt_test(const TrackCounts& z, Ploidy ploidy);
+
+/// The decision threshold the paper prescribes: the (1 - alpha/5) quantile
+/// of chi^2_1.  A site is significant when statistic > threshold, which is
+/// equivalent to p_adjusted < alpha.
+double lrt_threshold(double alpha);
+
+}  // namespace gnumap

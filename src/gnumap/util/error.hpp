@@ -1,0 +1,35 @@
+// Error hierarchy for the gnumap library.
+//
+// The library throws exceptions for unrecoverable misuse (bad configuration,
+// malformed input files); hot paths never throw and report via return values.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gnumap {
+
+/// Base class for every error thrown by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed or truncated input data (FASTA/FASTQ/catalog files, ...).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// Invalid configuration or API misuse detected at a checked boundary.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// Throws ConfigError if `cond` is false.  Used at API boundaries only.
+inline void require(bool cond, const std::string& what) {
+  if (!cond) throw ConfigError(what);
+}
+
+}  // namespace gnumap

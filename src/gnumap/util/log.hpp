@@ -1,0 +1,49 @@
+// Minimal leveled logger.
+//
+// The library itself logs sparingly (progress of long pipeline phases,
+// warnings about degenerate inputs).  Output goes to stderr; the level is a
+// process-wide atomic so examples and benches can silence it.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace gnumap {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the process-wide minimum level that is actually emitted.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}  // namespace detail
+
+/// Stream-style log statement: LOG(kInfo) << "mapped " << n << " reads";
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { detail::log_emit(level_, stream_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace gnumap
+
+#define GNUMAP_LOG(level)                                  \
+  if (static_cast<int>(::gnumap::LogLevel::level) <        \
+      static_cast<int>(::gnumap::log_level())) {           \
+  } else                                                   \
+    ::gnumap::LogLine(::gnumap::LogLevel::level)

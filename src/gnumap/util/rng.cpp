@@ -1,0 +1,59 @@
+#include "gnumap/util/rng.hpp"
+
+#include <cmath>
+
+namespace gnumap {
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  // Lemire (2019): unbiased bounded integers without division on the fast
+  // path.  128-bit multiply keeps the high word as the candidate.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::next_gaussian() {
+  if (gauss_cached_) {
+    gauss_cached_ = false;
+    return gauss_cache_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * next_double() - 1.0;
+    v = 2.0 * next_double() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  gauss_cache_ = v * factor;
+  gauss_cached_ = true;
+  return u * factor;
+}
+
+unsigned Rng::next_poisson(double lambda) {
+  if (lambda <= 0.0) return 0;
+  if (lambda > 64.0) {
+    // Normal approximation with continuity correction; adequate for the
+    // coverage-sampling use case.
+    const double x = lambda + std::sqrt(lambda) * next_gaussian() + 0.5;
+    return x < 0.0 ? 0u : static_cast<unsigned>(x);
+  }
+  const double limit = std::exp(-lambda);
+  double product = next_double();
+  unsigned count = 0;
+  while (product > limit) {
+    ++count;
+    product *= next_double();
+  }
+  return count;
+}
+
+}  // namespace gnumap

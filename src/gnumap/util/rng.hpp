@@ -1,0 +1,86 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of the library (read simulator, mutation
+// placement, tie breaking) draw from Xoshiro256**, seeded through SplitMix64
+// so that a single 64-bit seed reproduces an entire experiment bit-for-bit
+// regardless of platform.  <random> engines are avoided because their
+// distributions are not specified to be identical across standard libraries.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace gnumap {
+
+/// SplitMix64: used to expand a user seed into engine state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: fast, high-quality 64-bit generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x6e75736e70ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound).  `bound` must be nonzero.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool bernoulli(double p) { return next_double() < p; }
+
+  /// Standard normal via Marsaglia polar method.
+  double next_gaussian();
+
+  /// Poisson-distributed count with mean `lambda` (Knuth for small lambda,
+  /// normal approximation above 64).
+  unsigned next_poisson(double lambda);
+
+  /// Derive an independent child stream (for per-thread determinism).
+  Rng split() { return Rng(next_u64() ^ 0x9e3779b97f4a7c15ULL); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  // Cached second Gaussian deviate from the polar method.
+  double gauss_cache_ = 0.0;
+  bool gauss_cached_ = false;
+};
+
+}  // namespace gnumap

@@ -1,0 +1,92 @@
+#include "gnumap/util/string_util.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "gnumap/util/error.hpp"
+
+namespace gnumap {
+
+std::vector<std::string_view> split(std::string_view text, char delim) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t pos = text.find(delim, start);
+    if (pos == std::string_view::npos) {
+      fields.push_back(text.substr(start));
+      return fields;
+    }
+    fields.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view strip(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::uint64_t parse_u64(std::string_view text) {
+  text = strip(text);
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    throw ParseError("not an unsigned integer: '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+double parse_double(std::string_view text) {
+  text = strip(text);
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    throw ParseError("not a number: '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2f %s", value, kUnits[unit]);
+  return buffer;
+}
+
+std::string format_percent(double fraction, int decimals) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.*f%%", decimals, fraction * 100.0);
+  return buffer;
+}
+
+std::string format_hms(double seconds) {
+  if (seconds < 0.0 || !std::isfinite(seconds)) seconds = 0.0;
+  const auto total = static_cast<std::uint64_t>(seconds + 0.5);
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%02llu:%02llu:%02llu",
+                static_cast<unsigned long long>(total / 3600),
+                static_cast<unsigned long long>((total / 60) % 60),
+                static_cast<unsigned long long>(total % 60));
+  return buffer;
+}
+
+}  // namespace gnumap

@@ -1,0 +1,37 @@
+// Small string helpers used by the text-format parsers and report printers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gnumap {
+
+/// Splits on a single delimiter; keeps empty fields.
+std::vector<std::string_view> split(std::string_view text, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view strip(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+inline bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+/// Parses a non-negative integer; throws ParseError on junk.
+std::uint64_t parse_u64(std::string_view text);
+
+/// Parses a double; throws ParseError on junk.
+double parse_double(std::string_view text);
+
+/// Human-readable byte count ("4.76 GB").
+std::string format_bytes(std::uint64_t bytes);
+
+/// Fixed-point formatting helper ("93.2%").
+std::string format_percent(double fraction, int decimals = 1);
+
+/// "HH:MM:SS" from seconds, mirroring the paper's wall-clock column.
+std::string format_hms(double seconds);
+
+}  // namespace gnumap

@@ -1,0 +1,114 @@
+#include "gnumap/util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace gnumap {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ with an empty queue
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  grain = std::max<std::size_t>(1, grain);
+  auto next = std::make_shared<std::atomic<std::size_t>>(begin);
+
+  auto drain = [next, end, grain, &fn] {
+    for (;;) {
+      const std::size_t chunk_begin = next->fetch_add(grain);
+      if (chunk_begin >= end) return;
+      fn(chunk_begin, std::min(end, chunk_begin + grain));
+    }
+  };
+
+  // Workers pull chunks; the caller also participates so a 1-thread pool
+  // still makes progress while this thread would otherwise idle.
+  const std::size_t helpers = workers_.size();
+  std::atomic<std::size_t> done{0};
+  std::mutex m;
+  std::condition_variable cv;
+  for (std::size_t i = 0; i < helpers; ++i) {
+    submit([&] {
+      drain();
+      if (done.fetch_add(1) + 1 == helpers) {
+        std::lock_guard<std::mutex> lock(m);
+        cv.notify_all();
+      }
+    });
+  }
+  drain();
+  std::unique_lock<std::mutex> lock(m);
+  cv.wait(lock, [&] { return done.load() == helpers; });
+}
+
+void parallel_for(std::size_t num_threads, std::size_t begin, std::size_t end,
+                  std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  num_threads = std::max<std::size_t>(1, num_threads);
+  grain = std::max<std::size_t>(1, grain);
+  std::atomic<std::size_t> next{begin};
+  auto drain = [&] {
+    for (;;) {
+      const std::size_t chunk_begin = next.fetch_add(grain);
+      if (chunk_begin >= end) return;
+      fn(chunk_begin, std::min(end, chunk_begin + grain));
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads - 1);
+  for (std::size_t i = 1; i < num_threads; ++i) threads.emplace_back(drain);
+  drain();
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace gnumap

@@ -1,0 +1,62 @@
+// Fixed-size thread pool with a blocking parallel_for.
+//
+// The shared-memory parallelism in the pipeline (mapping reads within one
+// rank) is expressed as parallel_for over read batches, mirroring the
+// OpenMP-style worksharing the paper uses on shared-memory nodes.  Chunks are
+// distributed dynamically (atomic counter) so uneven per-read cost — reads
+// hitting repeat regions align against many candidate windows — balances out.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace gnumap {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers.  0 means "hardware concurrency".
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues one task; returns immediately.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  /// Runs fn(begin..end) split into dynamic chunks across the pool, including
+  /// the calling thread.  Blocks until complete.  `grain` is the chunk size.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Standalone dynamic-chunk parallel_for that spins up transient threads.
+/// Convenient for callers that do not want to hold a pool.
+void parallel_for(std::size_t num_threads, std::size_t begin, std::size_t end,
+                  std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& fn);
+
+}  // namespace gnumap

@@ -1,0 +1,52 @@
+// Monotonic wall-clock timing.
+#pragma once
+
+#include <chrono>
+
+namespace gnumap {
+
+/// Simple stopwatch around std::chrono::steady_clock.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulating timer: sums disjoint timed intervals.  Used by the mpsim cost
+/// model to attribute compute time to individual ranks.
+class Stopwatch {
+ public:
+  void start() { timer_.reset(); running_ = true; }
+
+  void stop() {
+    if (running_) {
+      total_ += timer_.seconds();
+      running_ = false;
+    }
+  }
+
+  /// Total accumulated seconds (excluding a currently running interval).
+  double total_seconds() const { return total_; }
+
+  void add_seconds(double s) { total_ += s; }
+  void reset() { total_ = 0.0; running_ = false; }
+
+ private:
+  Timer timer_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace gnumap

@@ -1,0 +1,165 @@
+// Tests for the MAQ-like baseline mapper/caller.
+#include <gtest/gtest.h>
+
+#include "gnumap/baseline/maq_like.hpp"
+#include "gnumap/core/evaluation.hpp"
+#include "gnumap/sim/catalog_gen.hpp"
+#include "gnumap/sim/mutator.hpp"
+#include "gnumap/sim/read_sim.hpp"
+#include "gnumap/sim/reference_gen.hpp"
+#include "gnumap/util/error.hpp"
+
+namespace gnumap {
+namespace {
+
+MaqLikeConfig test_config() {
+  MaqLikeConfig config;
+  config.index.k = 9;
+  return config;
+}
+
+TEST(MaqLike, RecoversPlantedSnps) {
+  ReferenceGenOptions ref_options;
+  ref_options.length = 50000;
+  ref_options.repeat_fraction = 0.0;
+  ref_options.n_fraction = 0.0;
+  const Genome ref = generate_reference(ref_options);
+
+  CatalogGenOptions catalog_options;
+  catalog_options.count = 25;
+  const auto catalog = generate_catalog(ref, catalog_options);
+  const Genome individual = apply_catalog(ref, catalog);
+
+  ReadSimOptions sim_options;
+  sim_options.coverage = 12.0;
+  const auto reads = strip_metadata(simulate_reads(individual, sim_options));
+
+  const auto result = run_maq_like(ref, reads, test_config());
+  const auto eval = evaluate_calls(result.calls, catalog);
+  EXPECT_GT(eval.recall(), 0.75) << "tp=" << eval.tp << " fn=" << eval.fn;
+  EXPECT_GT(eval.precision(), 0.8) << "fp=" << eval.fp;
+  EXPECT_GT(result.stats.reads_mapped, result.stats.reads_total * 7 / 10);
+}
+
+TEST(MaqLike, NoSnpsOnCleanGenome) {
+  ReferenceGenOptions ref_options;
+  ref_options.length = 30000;
+  ref_options.repeat_fraction = 0.0;
+  ref_options.n_fraction = 0.0;
+  const Genome ref = generate_reference(ref_options);
+  ReadSimOptions sim_options;
+  sim_options.coverage = 10.0;
+  const auto reads = strip_metadata(simulate_reads(ref, sim_options));
+  const auto result = run_maq_like(ref, reads, test_config());
+  EXPECT_LE(result.calls.size(), 2u);
+}
+
+TEST(MaqLike, DropsMultimappedReadsByDefault) {
+  // Genome with two identical 600 bp copies: reads from inside a copy are
+  // perfectly ambiguous and must be dropped (mapQ 0).
+  Rng rng(5);
+  std::string unit;
+  for (int i = 0; i < 600; ++i) unit += "ACGT"[rng.next_below(4)];
+  std::string filler;
+  for (int i = 0; i < 2000; ++i) filler += "ACGT"[rng.next_below(4)];
+  Genome g;
+  g.add_contig("chr1", unit + filler + unit);
+
+  ReadSimOptions sim_options;
+  sim_options.coverage = 4.0;
+  sim_options.indel_rate = 0.0;
+  sim_options.error_rate_start = 0.0;
+  sim_options.error_rate_end = 0.0;
+  const auto sims = simulate_reads(g, sim_options);
+  const auto reads = strip_metadata(sims);
+
+  const auto dropped = run_maq_like(g, reads, test_config());
+  EXPECT_GT(dropped.reads_dropped_multimapped, 0u);
+  EXPECT_EQ(dropped.reads_random_assigned, 0u);
+
+  MaqLikeConfig random_config = test_config();
+  random_config.random_assign_multimapped = true;
+  const auto assigned = run_maq_like(g, reads, random_config);
+  EXPECT_EQ(assigned.reads_dropped_multimapped, 0u);
+  EXPECT_GT(assigned.reads_random_assigned, 0u);
+  EXPECT_GT(assigned.stats.reads_mapped, dropped.stats.reads_mapped);
+}
+
+TEST(MaqLike, MissesSnpsInPerfectRepeats) {
+  // A SNP inside one copy of a perfect repeat is invisible to the baseline
+  // (reads covering it are dropped as multimapped) — this is precisely the
+  // weakness the paper's marginal-alignment approach addresses.
+  Rng rng(7);
+  std::string unit;
+  for (int i = 0; i < 800; ++i) unit += "ACGT"[rng.next_below(4)];
+  std::string filler;
+  for (int i = 0; i < 3000; ++i) filler += "ACGT"[rng.next_below(4)];
+  Genome ref;
+  ref.add_contig("chr1", unit + filler + unit);
+
+  // Plant one SNP in the middle of the first copy.
+  SnpCatalog catalog;
+  CatalogEntry entry;
+  entry.contig = "chr1";
+  entry.position = 400;
+  entry.ref = ref.at(400);
+  entry.alt = static_cast<std::uint8_t>((entry.ref + 2) % 4);
+  catalog.push_back(entry);
+  const Genome individual = apply_catalog(ref, catalog);
+
+  ReadSimOptions sim_options;
+  sim_options.coverage = 14.0;
+  const auto reads = strip_metadata(simulate_reads(individual, sim_options));
+  const auto result = run_maq_like(ref, reads, test_config());
+  const auto eval = evaluate_calls(result.calls, catalog);
+  EXPECT_EQ(eval.tp, 0u);  // the baseline cannot see it
+}
+
+TEST(MaqLike, ConsensusMarginCutoffControlsCalls) {
+  ReferenceGenOptions ref_options;
+  ref_options.length = 30000;
+  ref_options.repeat_fraction = 0.0;
+  ref_options.n_fraction = 0.0;
+  const Genome ref = generate_reference(ref_options);
+  CatalogGenOptions catalog_options;
+  catalog_options.count = 15;
+  const auto catalog = generate_catalog(ref, catalog_options);
+  const Genome individual = apply_catalog(ref, catalog);
+  ReadSimOptions sim_options;
+  sim_options.coverage = 10.0;
+  const auto reads = strip_metadata(simulate_reads(individual, sim_options));
+
+  MaqLikeConfig loose = test_config();
+  loose.min_consensus_margin = 20.0;
+  MaqLikeConfig strict = test_config();
+  strict.min_consensus_margin = 100000.0;  // absurd cutoff kills everything
+  EXPECT_GT(run_maq_like(ref, reads, loose).calls.size(),
+            run_maq_like(ref, reads, strict).calls.size());
+  EXPECT_TRUE(run_maq_like(ref, reads, strict).calls.empty());
+}
+
+TEST(MaqLike, SharedIndexValidated) {
+  ReferenceGenOptions ref_options;
+  ref_options.length = 20000;
+  const Genome ref = generate_reference(ref_options);
+  MaqLikeConfig config = test_config();
+  HashIndexOptions other;
+  other.k = 10;
+  const HashIndex wrong_k(ref, other);
+  EXPECT_THROW(run_maq_like(ref, {}, config, &wrong_k), ConfigError);
+
+  const HashIndex right(ref, config.index);
+  EXPECT_NO_THROW(run_maq_like(ref, {}, config, &right));
+}
+
+TEST(MaqLike, EmptyReadsProduceNothing) {
+  ReferenceGenOptions ref_options;
+  ref_options.length = 20000;
+  const Genome ref = generate_reference(ref_options);
+  const auto result = run_maq_like(ref, {}, test_config());
+  EXPECT_TRUE(result.calls.empty());
+  EXPECT_EQ(result.stats.reads_total, 0u);
+}
+
+}  // namespace
+}  // namespace gnumap

@@ -1,0 +1,186 @@
+// Unit tests for gnumap/genome: alphabet, Genome container, partitioning.
+#include <gtest/gtest.h>
+
+#include "gnumap/genome/genome.hpp"
+#include "gnumap/genome/partition.hpp"
+#include "gnumap/genome/sequence.hpp"
+#include "gnumap/util/error.hpp"
+
+namespace gnumap {
+namespace {
+
+TEST(Sequence, EncodeDecodeRoundTrip) {
+  const std::string text = "ACGTNacgtnXZ-";
+  const auto codes = encode_sequence(text);
+  ASSERT_EQ(codes.size(), text.size());
+  EXPECT_EQ(decode_sequence(codes), "ACGTNACGTNNNN");
+}
+
+TEST(Sequence, EncodeValues) {
+  EXPECT_EQ(encode_base('A'), 0);
+  EXPECT_EQ(encode_base('c'), 1);
+  EXPECT_EQ(encode_base('G'), 2);
+  EXPECT_EQ(encode_base('t'), 3);
+  EXPECT_EQ(encode_base('N'), kBaseN);
+  EXPECT_EQ(encode_base('?'), kBaseN);
+}
+
+TEST(Sequence, Complement) {
+  EXPECT_EQ(complement(encode_base('A')), encode_base('T'));
+  EXPECT_EQ(complement(encode_base('C')), encode_base('G'));
+  EXPECT_EQ(complement(encode_base('G')), encode_base('C'));
+  EXPECT_EQ(complement(encode_base('T')), encode_base('A'));
+  EXPECT_EQ(complement(kBaseN), kBaseN);
+}
+
+TEST(Sequence, ReverseComplement) {
+  const auto codes = encode_sequence("AACGT");
+  EXPECT_EQ(decode_sequence(reverse_complement(codes)), "ACGTT");
+  // Involution.
+  EXPECT_EQ(reverse_complement(reverse_complement(codes)), codes);
+}
+
+TEST(Sequence, TransitionClassification) {
+  // A<->G and C<->T are transitions.
+  EXPECT_TRUE(is_transition(0, 2));
+  EXPECT_TRUE(is_transition(2, 0));
+  EXPECT_TRUE(is_transition(1, 3));
+  EXPECT_FALSE(is_transition(0, 1));
+  EXPECT_FALSE(is_transition(0, 0));
+  EXPECT_FALSE(is_transition(0, kBaseN));
+}
+
+TEST(Genome, SingleContigBasics) {
+  Genome g;
+  const auto id = g.add_contig("chr1", "ACGTACGT");
+  EXPECT_EQ(id, 0u);
+  EXPECT_EQ(g.num_contigs(), 1u);
+  EXPECT_EQ(g.num_bases(), 8u);
+  EXPECT_EQ(g.contig_size(0), 8u);
+  EXPECT_EQ(g.padded_size(), 8u + Genome::kContigPad);
+  EXPECT_EQ(g.at(0), encode_base('A'));
+  EXPECT_EQ(g.at(3), encode_base('T'));
+  EXPECT_EQ(g.at(8), kBaseN);  // padding
+}
+
+TEST(Genome, MultiContigCoordinates) {
+  Genome g;
+  g.add_contig("chr1", "AAAA");
+  g.add_contig("chr2", "CCCCCC");
+  const GenomePos chr2_start = g.contig_start(1);
+  EXPECT_EQ(chr2_start, 4u + Genome::kContigPad);
+  EXPECT_EQ(g.at(chr2_start), encode_base('C'));
+
+  const auto coord = g.resolve(chr2_start + 3);
+  EXPECT_EQ(coord.contig_id, 1u);
+  EXPECT_EQ(coord.offset, 3u);
+  EXPECT_EQ(g.global_pos(1, 3), chr2_start + 3);
+}
+
+TEST(Genome, ResolveRoundTripsEverywhere) {
+  Genome g;
+  g.add_contig("a", "ACG");
+  g.add_contig("b", "TTTTT");
+  g.add_contig("c", "GG");
+  for (std::uint32_t c = 0; c < g.num_contigs(); ++c) {
+    for (std::uint64_t off = 0; off < g.contig_size(c); ++off) {
+      const auto pos = g.global_pos(c, off);
+      EXPECT_TRUE(g.in_contig(pos));
+      const auto coord = g.resolve(pos);
+      EXPECT_EQ(coord.contig_id, c);
+      EXPECT_EQ(coord.offset, off);
+    }
+  }
+}
+
+TEST(Genome, PaddingIsNotInContig) {
+  Genome g;
+  g.add_contig("a", "ACG");
+  EXPECT_FALSE(g.in_contig(3));
+  EXPECT_THROW(g.resolve(3), ConfigError);
+}
+
+TEST(Genome, RejectsDuplicateNames) {
+  Genome g;
+  g.add_contig("chr1", "AC");
+  EXPECT_THROW(g.add_contig("chr1", "GT"), ConfigError);
+}
+
+TEST(Genome, RejectsEmptyName) {
+  Genome g;
+  EXPECT_THROW(g.add_contig("", "ACGT"), ConfigError);
+}
+
+TEST(Genome, GlobalPosBoundsChecked) {
+  Genome g;
+  g.add_contig("chr1", "ACGT");
+  EXPECT_THROW(g.global_pos(1, 0), ConfigError);
+  EXPECT_THROW(g.global_pos(0, 4), ConfigError);
+}
+
+TEST(Genome, WindowClamps) {
+  Genome g;
+  g.add_contig("chr1", "ACGT");
+  const auto full = g.window(0, 1000);
+  EXPECT_EQ(full.size(), g.padded_size());
+  const auto empty = g.window(1000, 2000);
+  EXPECT_TRUE(empty.empty());
+  const auto mid = g.window(1, 3);
+  ASSERT_EQ(mid.size(), 2u);
+  EXPECT_EQ(mid[0], encode_base('C'));
+}
+
+class PartitionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionTest, CoversExactlyOnceWithMargins) {
+  Genome g;
+  std::string seq(10000, 'A');
+  g.add_contig("chr1", seq);
+  const int ranks = GetParam();
+  const auto segments = partition_genome(g, ranks, 100);
+  ASSERT_EQ(segments.size(), static_cast<std::size_t>(ranks));
+
+  // Core ranges tile [0, padded_size) exactly.
+  GenomePos cursor = 0;
+  for (const auto& seg : segments) {
+    EXPECT_EQ(seg.core_begin, cursor);
+    EXPECT_GE(seg.core_end, seg.core_begin);
+    // Stored range includes the core plus margins, clamped.
+    EXPECT_LE(seg.store_begin, seg.core_begin);
+    EXPECT_GE(seg.store_end, seg.core_end);
+    EXPECT_LE(seg.store_end, g.padded_size());
+    cursor = seg.core_end;
+  }
+  EXPECT_EQ(cursor, g.padded_size());
+
+  // Near-equal sizes (differ by at most 1).
+  std::uint64_t min_size = ~0ull, max_size = 0;
+  for (const auto& seg : segments) {
+    const auto size = seg.core_end - seg.core_begin;
+    min_size = std::min(min_size, size);
+    max_size = std::max(max_size, size);
+  }
+  EXPECT_LE(max_size - min_size, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, PartitionTest,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 16, 30));
+
+TEST(Partition, RejectsZeroRanks) {
+  Genome g;
+  g.add_contig("chr1", "ACGT");
+  EXPECT_THROW(partition_genome(g, 0, 10), ConfigError);
+}
+
+TEST(Partition, MarginLargerThanSegment) {
+  Genome g;
+  g.add_contig("chr1", "ACGTACGTAC");
+  const auto segments = partition_genome(g, 4, 1000);
+  for (const auto& seg : segments) {
+    EXPECT_EQ(seg.store_begin, 0u);
+    EXPECT_EQ(seg.store_end, g.padded_size());
+  }
+}
+
+}  // namespace
+}  // namespace gnumap

@@ -1,0 +1,356 @@
+// Unit tests for gnumap/index: k-mer packing, the genomic hash table, and
+// seed-and-vote candidate identification.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "gnumap/genome/sequence.hpp"
+#include "gnumap/index/hash_index.hpp"
+#include "gnumap/index/kmer.hpp"
+#include "gnumap/index/seeder.hpp"
+#include "gnumap/util/error.hpp"
+#include "gnumap/util/rng.hpp"
+
+namespace gnumap {
+namespace {
+
+// ---------------------------------------------------------------------------
+// K-mers
+
+TEST(Kmer, PackUnpackRoundTrip) {
+  Rng rng(3);
+  for (int k = 4; k <= 13; ++k) {
+    std::vector<std::uint8_t> bases(static_cast<std::size_t>(k));
+    for (auto& b : bases) b = static_cast<std::uint8_t>(rng.next_below(4));
+    const auto packed = pack_kmer(bases, k);
+    ASSERT_TRUE(packed.has_value());
+    std::vector<std::uint8_t> unpacked(static_cast<std::size_t>(k));
+    unpack_kmer(*packed, k, unpacked.data());
+    EXPECT_EQ(unpacked, bases) << "k=" << k;
+  }
+}
+
+TEST(Kmer, NBlocksPacking) {
+  const auto bases = encode_sequence("ACGNT");
+  EXPECT_FALSE(pack_kmer(bases, 5).has_value());
+  EXPECT_FALSE(pack_kmer(std::span(bases).subspan(2), 3).has_value());
+  EXPECT_TRUE(pack_kmer(bases, 3).has_value());
+}
+
+TEST(Kmer, TooShortSequence) {
+  const auto bases = encode_sequence("AC");
+  EXPECT_FALSE(pack_kmer(bases, 3).has_value());
+}
+
+TEST(Kmer, RollMatchesRepack) {
+  const auto bases = encode_sequence("ACGTACGGTTCA");
+  const int k = 5;
+  auto kmer = *pack_kmer(bases, k);
+  for (std::size_t i = 1; i + k <= bases.size(); ++i) {
+    kmer = roll_kmer(kmer, bases[i + k - 1], k);
+    EXPECT_EQ(kmer, *pack_kmer(std::span(bases).subspan(i), k)) << i;
+  }
+}
+
+TEST(Kmer, RevCompInvolution) {
+  Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int k = 4 + static_cast<int>(rng.next_below(10));
+    const Kmer kmer = rng.next_u64() & ((Kmer{1} << (2 * k)) - 1);
+    EXPECT_EQ(revcomp_kmer(revcomp_kmer(kmer, k), k), kmer);
+  }
+}
+
+TEST(Kmer, RevCompMatchesSequence) {
+  const auto bases = encode_sequence("AACGGT");
+  const auto rc = reverse_complement(bases);
+  EXPECT_EQ(revcomp_kmer(*pack_kmer(bases, 6), 6), *pack_kmer(rc, 6));
+}
+
+// ---------------------------------------------------------------------------
+// Hash index
+
+Genome small_genome() {
+  Genome g;
+  g.add_contig("chr1", "ACGTACGTAAACCCGGGTTTACGT");
+  return g;
+}
+
+TEST(HashIndex, FindsEveryOccurrence) {
+  const Genome g = small_genome();
+  HashIndexOptions options;
+  options.k = 4;
+  const HashIndex index(g, options);
+
+  const auto acgt = *pack_kmer(encode_sequence("ACGT"), 4);
+  const auto hits = index.lookup(acgt);
+  // ACGT occurs at 0, 4, 20.
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0], 0u);
+  EXPECT_EQ(hits[1], 4u);
+  EXPECT_EQ(hits[2], 20u);
+}
+
+TEST(HashIndex, AbsentKmerEmpty) {
+  const Genome g = small_genome();
+  HashIndexOptions options;
+  options.k = 4;
+  const HashIndex index(g, options);
+  // TTTT does not occur... wait, GGGTTT contains TTT only 3 long; check TGCA.
+  const auto missing = *pack_kmer(encode_sequence("TGCA"), 4);
+  EXPECT_TRUE(index.lookup(missing).empty());
+  EXPECT_FALSE(index.is_repeat_masked(missing));
+}
+
+TEST(HashIndex, ExhaustiveAgainstNaiveScan) {
+  Rng rng(17);
+  std::string seq(500, 'A');
+  for (auto& c : seq) c = "ACGT"[rng.next_below(4)];
+  Genome g;
+  g.add_contig("chr1", seq);
+  HashIndexOptions options;
+  options.k = 6;
+  const HashIndex index(g, options);
+
+  const auto codes = encode_sequence(seq);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t at = rng.next_below(seq.size() - 6);
+    const auto kmer = *pack_kmer(std::span(codes).subspan(at), 6);
+    // Naive scan.
+    std::vector<GenomePos> expected;
+    for (std::size_t i = 0; i + 6 <= codes.size(); ++i) {
+      if (*pack_kmer(std::span(codes).subspan(i), 6) == kmer) {
+        expected.push_back(i);
+      }
+    }
+    const auto hits = index.lookup(kmer);
+    ASSERT_EQ(hits.size(), expected.size());
+    EXPECT_TRUE(std::equal(hits.begin(), hits.end(), expected.begin()));
+  }
+}
+
+TEST(HashIndex, RepeatMasking) {
+  // 50 copies of ACGT back to back: every 4-mer inside is highly repeated.
+  std::string seq;
+  for (int i = 0; i < 50; ++i) seq += "ACGT";
+  Genome g;
+  g.add_contig("chr1", seq);
+  HashIndexOptions options;
+  options.k = 4;
+  options.max_positions = 10;
+  const HashIndex index(g, options);
+  const auto acgt = *pack_kmer(encode_sequence("ACGT"), 4);
+  EXPECT_TRUE(index.lookup(acgt).empty());
+  EXPECT_TRUE(index.is_repeat_masked(acgt));
+}
+
+TEST(HashIndex, RangeRestrictedBuild) {
+  const Genome g = small_genome();
+  HashIndexOptions options;
+  options.k = 4;
+  const HashIndex full(g, options);
+  const HashIndex partial(g, options, 4, 12);
+  const auto acgt = *pack_kmer(encode_sequence("ACGT"), 4);
+  const auto hits = partial.lookup(acgt);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 4u);
+  EXPECT_LE(partial.num_entries(), full.num_entries());
+}
+
+TEST(HashIndex, NeverIndexesAcrossN) {
+  Genome g;
+  g.add_contig("chr1", "ACGTNACGT");
+  HashIndexOptions options;
+  options.k = 4;
+  const HashIndex index(g, options);
+  // Windows overlapping the N (positions 1..4) must be absent.
+  const auto cgtn = pack_kmer(encode_sequence("CGTA"), 4);
+  ASSERT_TRUE(cgtn.has_value());
+  EXPECT_TRUE(index.lookup(*cgtn).empty());
+  const auto acgt = *pack_kmer(encode_sequence("ACGT"), 4);
+  EXPECT_EQ(index.lookup(acgt).size(), 2u);
+}
+
+TEST(HashIndex, RejectsBadK) {
+  const Genome g = small_genome();
+  HashIndexOptions options;
+  options.k = 3;
+  EXPECT_THROW(HashIndex(g, options), ConfigError);
+  options.k = 14;
+  EXPECT_THROW(HashIndex(g, options), ConfigError);
+}
+
+TEST(HashIndex, EmptyGenome) {
+  Genome g;
+  g.add_contig("tiny", "AC");
+  HashIndexOptions options;
+  options.k = 10;
+  const HashIndex index(g, options);
+  EXPECT_EQ(index.num_entries(), 0u);
+}
+
+TEST(HashIndex, SaveLoadRoundTrip) {
+  Rng rng(61);
+  std::string seq(2000, 'A');
+  for (auto& c : seq) c = "ACGT"[rng.next_below(4)];
+  Genome g;
+  g.add_contig("chr1", seq);
+  HashIndexOptions options;
+  options.k = 7;
+  options.max_positions = 5;
+  const HashIndex original(g, options);
+
+  std::stringstream buffer;
+  original.save(buffer);
+  const HashIndex loaded = HashIndex::load(buffer);
+
+  EXPECT_EQ(loaded.k(), original.k());
+  EXPECT_EQ(loaded.num_entries(), original.num_entries());
+  EXPECT_EQ(loaded.num_distinct_kmers(), original.num_distinct_kmers());
+  for (Kmer kmer = 0; kmer < kmer_space(7); kmer += 13) {
+    const auto a = original.lookup(kmer);
+    const auto b = loaded.lookup(kmer);
+    ASSERT_EQ(a.size(), b.size()) << kmer;
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+    EXPECT_EQ(original.is_repeat_masked(kmer), loaded.is_repeat_masked(kmer));
+  }
+}
+
+TEST(HashIndex, LoadRejectsGarbage) {
+  std::stringstream buffer("this is not an index");
+  EXPECT_THROW(HashIndex::load(buffer), ParseError);
+  std::stringstream empty;
+  EXPECT_THROW(HashIndex::load(empty), ParseError);
+}
+
+TEST(HashIndex, LoadRejectsTruncation) {
+  Genome g;
+  g.add_contig("chr1", "ACGTACGTACGTAAAGGG");
+  HashIndexOptions options;
+  options.k = 4;
+  const HashIndex original(g, options);
+  std::stringstream buffer;
+  original.save(buffer);
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(HashIndex::load(truncated), ParseError);
+}
+
+// ---------------------------------------------------------------------------
+// Seeder
+
+Read make_read(const std::string& seq) {
+  Read read;
+  read.name = "r";
+  read.bases = encode_sequence(seq);
+  read.quals.assign(read.bases.size(), 40);
+  return read;
+}
+
+TEST(Seeder, FindsPlantedForwardRead) {
+  Rng rng(29);
+  std::string seq(2000, 'A');
+  for (auto& c : seq) c = "ACGT"[rng.next_below(4)];
+  Genome g;
+  g.add_contig("chr1", seq);
+  HashIndexOptions iopt;
+  iopt.k = 8;
+  const HashIndex index(g, iopt);
+  const Seeder seeder(index, SeederOptions{});
+
+  const std::size_t origin = 700;
+  const Read read = make_read(seq.substr(origin, 40));
+  const auto candidates = seeder.candidates(read);
+  ASSERT_FALSE(candidates.empty());
+  EXPECT_EQ(candidates[0].diagonal, origin);
+  EXPECT_FALSE(candidates[0].reverse);
+}
+
+TEST(Seeder, FindsPlantedReverseRead) {
+  Rng rng(31);
+  std::string seq(2000, 'A');
+  for (auto& c : seq) c = "ACGT"[rng.next_below(4)];
+  Genome g;
+  g.add_contig("chr1", seq);
+  HashIndexOptions iopt;
+  iopt.k = 8;
+  const HashIndex index(g, iopt);
+  const Seeder seeder(index, SeederOptions{});
+
+  const std::size_t origin = 1200;
+  Read read = make_read(seq.substr(origin, 40));
+  read.bases = reverse_complement(read.bases);
+  const auto candidates = seeder.candidates(read);
+  ASSERT_FALSE(candidates.empty());
+  EXPECT_EQ(candidates[0].diagonal, origin);
+  EXPECT_TRUE(candidates[0].reverse);
+}
+
+TEST(Seeder, ToleratesMismatches) {
+  Rng rng(37);
+  std::string seq(3000, 'A');
+  for (auto& c : seq) c = "ACGT"[rng.next_below(4)];
+  Genome g;
+  g.add_contig("chr1", seq);
+  HashIndexOptions iopt;
+  iopt.k = 8;
+  const HashIndex index(g, iopt);
+  const Seeder seeder(index, SeederOptions{});
+
+  const std::size_t origin = 500;
+  std::string fragment = seq.substr(origin, 60);
+  // Two mismatches spread apart still leave enough intact k-mers.
+  fragment[15] = fragment[15] == 'A' ? 'C' : 'A';
+  fragment[45] = fragment[45] == 'G' ? 'T' : 'G';
+  const auto candidates = seeder.candidates(make_read(fragment));
+  ASSERT_FALSE(candidates.empty());
+  EXPECT_EQ(candidates[0].diagonal, origin);
+}
+
+TEST(Seeder, RespectsMaxCandidates) {
+  std::string seq;
+  for (int i = 0; i < 200; ++i) seq += "ACGTACGTGG";
+  Genome g;
+  g.add_contig("chr1", seq);
+  HashIndexOptions iopt;
+  iopt.k = 8;
+  iopt.max_positions = 100000;
+  const HashIndex index(g, iopt);
+  SeederOptions sopt;
+  sopt.max_candidates = 5;
+  const Seeder seeder(index, sopt);
+  const auto candidates = seeder.candidates(make_read("ACGTACGTGGACGTACGTGG"));
+  EXPECT_LE(candidates.size(), 5u);
+}
+
+TEST(Seeder, ShortReadYieldsNothing) {
+  const Genome g = small_genome();
+  HashIndexOptions iopt;
+  iopt.k = 10;
+  const HashIndex index(g, iopt);
+  const Seeder seeder(index, SeederOptions{});
+  EXPECT_TRUE(seeder.candidates(make_read("ACGT")).empty());
+}
+
+TEST(Seeder, VotesSortedDescending) {
+  Rng rng(41);
+  std::string seq(4000, 'A');
+  for (auto& c : seq) c = "ACGT"[rng.next_below(4)];
+  Genome g;
+  g.add_contig("chr1", seq);
+  HashIndexOptions iopt;
+  iopt.k = 8;
+  const HashIndex index(g, iopt);
+  SeederOptions sopt;
+  sopt.min_votes = 1;
+  const Seeder seeder(index, sopt);
+  const auto candidates = seeder.candidates(make_read(seq.substr(100, 50)));
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    EXPECT_GE(candidates[i - 1].votes, candidates[i].votes);
+  }
+}
+
+}  // namespace
+}  // namespace gnumap

@@ -1,0 +1,311 @@
+// Cross-module integration tests: multi-contig genomes, file-based
+// round-trips, determinism, and degenerate-input robustness.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "gnumap/core/evaluation.hpp"
+#include "gnumap/core/pipeline.hpp"
+#include "gnumap/genome/sequence.hpp"
+#include "gnumap/io/fasta.hpp"
+#include "gnumap/io/fastq.hpp"
+#include "gnumap/sim/catalog_gen.hpp"
+#include "gnumap/sim/mutator.hpp"
+#include "gnumap/sim/read_sim.hpp"
+#include "gnumap/sim/reference_gen.hpp"
+
+namespace gnumap {
+namespace {
+
+namespace fs = std::filesystem;
+
+PipelineConfig test_config() {
+  PipelineConfig config;
+  config.index.k = 9;
+  config.alpha = 1e-4;
+  return config;
+}
+
+TEST(Integration, MultiContigGenomeCallsOnEveryContig) {
+  // Three contigs of different sizes; catalog spread across all of them.
+  Genome reference;
+  Rng rng(321);
+  for (const auto& [name, size] :
+       std::vector<std::pair<std::string, std::size_t>>{
+           {"chr1", 30000}, {"chr2", 20000}, {"chr3", 12000}}) {
+    std::string seq(size, 'A');
+    for (auto& c : seq) c = "ACGT"[rng.next_below(4)];
+    reference.add_contig(name, seq);
+  }
+
+  CatalogGenOptions catalog_options;
+  catalog_options.count = 30;
+  const auto catalog = generate_catalog(reference, catalog_options);
+  // Truth must touch all three contigs.
+  std::set<std::string> contigs;
+  for (const auto& entry : catalog) contigs.insert(entry.contig);
+  ASSERT_EQ(contigs.size(), 3u);
+
+  const Genome individual = apply_catalog(reference, catalog);
+  ReadSimOptions sim_options;
+  sim_options.coverage = 12.0;
+  const auto reads = strip_metadata(simulate_reads(individual, sim_options));
+
+  const auto result = run_pipeline(reference, reads, test_config());
+  const auto eval = evaluate_calls(result.calls, catalog);
+  EXPECT_GT(eval.recall(), 0.8);
+  EXPECT_GT(eval.precision(), 0.85);
+
+  // Calls report contig-local coordinates with the right names.
+  std::set<std::string> called_contigs;
+  for (const auto& call : result.calls) called_contigs.insert(call.contig);
+  EXPECT_GE(called_contigs.size(), 2u);
+  for (const auto& call : result.calls) {
+    EXPECT_TRUE(call.contig == "chr1" || call.contig == "chr2" ||
+                call.contig == "chr3");
+  }
+}
+
+TEST(Integration, FileRoundTripMatchesInMemory) {
+  ReferenceGenOptions ref_options;
+  ref_options.length = 30000;
+  ref_options.n_fraction = 0.0;
+  const Genome reference = generate_reference(ref_options);
+  CatalogGenOptions catalog_options;
+  catalog_options.count = 12;
+  const auto catalog = generate_catalog(reference, catalog_options);
+  const Genome individual = apply_catalog(reference, catalog);
+  ReadSimOptions sim_options;
+  sim_options.coverage = 10.0;
+  const auto reads = strip_metadata(simulate_reads(individual, sim_options));
+
+  // Serialize reference + reads to disk and load back.
+  const fs::path dir =
+      fs::temp_directory_path() / "gnumap_test_roundtrip";
+  fs::create_directories(dir);
+  std::string seq;
+  for (std::uint64_t i = 0; i < reference.contig_size(0); ++i) {
+    seq += decode_base(reference.at(i));
+  }
+  write_fasta_file((dir / "ref.fa").string(), {{"chrSim", seq}});
+  write_fastq_file((dir / "reads.fq").string(), reads);
+
+  const Genome loaded_ref = genome_from_fasta_file((dir / "ref.fa").string());
+  const auto loaded_reads = read_fastq_file((dir / "reads.fq").string());
+  ASSERT_EQ(loaded_ref.num_bases(), reference.num_bases());
+  ASSERT_EQ(loaded_reads.size(), reads.size());
+
+  const auto mem_result = run_pipeline(reference, reads, test_config());
+  const auto file_result =
+      run_pipeline(loaded_ref, loaded_reads, test_config());
+  ASSERT_EQ(mem_result.calls.size(), file_result.calls.size());
+  for (std::size_t i = 0; i < mem_result.calls.size(); ++i) {
+    EXPECT_EQ(mem_result.calls[i].position, file_result.calls[i].position);
+    EXPECT_EQ(mem_result.calls[i].allele1, file_result.calls[i].allele1);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(Integration, PipelineIsDeterministic) {
+  ReferenceGenOptions ref_options;
+  ref_options.length = 25000;
+  const Genome reference = generate_reference(ref_options);
+  CatalogGenOptions catalog_options;
+  catalog_options.count = 10;
+  const auto catalog = generate_catalog(reference, catalog_options);
+  const Genome individual = apply_catalog(reference, catalog);
+  ReadSimOptions sim_options;
+  sim_options.coverage = 10.0;
+  const auto reads = strip_metadata(simulate_reads(individual, sim_options));
+
+  const auto a = run_pipeline(reference, reads, test_config());
+  const auto b = run_pipeline(reference, reads, test_config());
+  ASSERT_EQ(a.calls.size(), b.calls.size());
+  for (std::size_t i = 0; i < a.calls.size(); ++i) {
+    EXPECT_EQ(a.calls[i].position, b.calls[i].position);
+    EXPECT_DOUBLE_EQ(a.calls[i].lrt_stat, b.calls[i].lrt_stat);
+  }
+}
+
+TEST(Integration, DegenerateReadsAreHandled) {
+  ReferenceGenOptions ref_options;
+  ref_options.length = 20000;
+  const Genome reference = generate_reference(ref_options);
+
+  std::vector<Read> reads;
+  // Empty read.
+  reads.push_back(Read{"empty", {}, {}});
+  // Shorter than k.
+  reads.push_back(Read{"short", encode_sequence("ACGT"), {40, 40, 40, 40}});
+  // All N.
+  Read all_n;
+  all_n.name = "ns";
+  all_n.bases.assign(62, kBaseN);
+  all_n.quals.assign(62, 2);
+  reads.push_back(all_n);
+  // Quals missing (shorter than bases) — mapper treats missing as Q0.
+  Read no_quals;
+  no_quals.name = "noq";
+  for (int i = 0; i < 62; ++i) {
+    no_quals.bases.push_back(static_cast<std::uint8_t>(i % 4));
+  }
+  reads.push_back(no_quals);
+
+  const auto result = run_pipeline(reference, reads, test_config());
+  EXPECT_EQ(result.stats.reads_mapped, 0u);
+  EXPECT_TRUE(result.calls.empty());
+}
+
+TEST(Integration, EmptyReadSetProducesNoCalls) {
+  ReferenceGenOptions ref_options;
+  ref_options.length = 20000;
+  const Genome reference = generate_reference(ref_options);
+  const auto result = run_pipeline(reference, {}, test_config());
+  EXPECT_TRUE(result.calls.empty());
+  EXPECT_EQ(result.stats.reads_total, 0u);
+}
+
+TEST(Integration, ReadsLongerThanTypicalWindowStillMap) {
+  // 150 bp reads (beyond the paper's 62) exercise the scaling path.
+  ReferenceGenOptions ref_options;
+  ref_options.length = 40000;
+  ref_options.n_fraction = 0.0;
+  const Genome reference = generate_reference(ref_options);
+  CatalogGenOptions catalog_options;
+  catalog_options.count = 10;
+  const auto catalog = generate_catalog(reference, catalog_options);
+  const Genome individual = apply_catalog(reference, catalog);
+  ReadSimOptions sim_options;
+  sim_options.read_length = 150;
+  sim_options.coverage = 10.0;
+  const auto reads = strip_metadata(simulate_reads(individual, sim_options));
+
+  const auto result = run_pipeline(reference, reads, test_config());
+  EXPECT_GT(result.stats.reads_mapped, result.stats.reads_total * 8 / 10);
+  const auto eval = evaluate_calls(result.calls, catalog);
+  EXPECT_GT(eval.recall(), 0.7);
+}
+
+TEST(Integration, HighErrorReadsDegradeGracefully) {
+  ReferenceGenOptions ref_options;
+  ref_options.length = 30000;
+  const Genome reference = generate_reference(ref_options);
+  CatalogGenOptions catalog_options;
+  catalog_options.count = 10;
+  const auto catalog = generate_catalog(reference, catalog_options);
+  const Genome individual = apply_catalog(reference, catalog);
+
+  ReadSimOptions sim_options;
+  sim_options.coverage = 12.0;
+  sim_options.error_rate_start = 0.05;
+  sim_options.error_rate_end = 0.12;  // very noisy platform
+  const auto reads = strip_metadata(simulate_reads(individual, sim_options));
+
+  const auto result = run_pipeline(reference, reads, test_config());
+  // Precision must hold even when recall suffers: the LRT's background
+  // comparison is exactly what filters error noise.
+  const auto eval = evaluate_calls(result.calls, catalog);
+  if (eval.tp + eval.fp > 0) {
+    EXPECT_GT(eval.precision(), 0.7);
+  }
+}
+
+TEST(Integration, DeletionAccumulatesGapEvidence) {
+  // Delete one base from the individual's genome: reads spanning the site
+  // align with a genome gap there, so the gap track at the deleted
+  // reference position must carry substantially more mass than elsewhere,
+  // and the LRT should call the gap allele.
+  ReferenceGenOptions ref_options;
+  ref_options.length = 20000;
+  ref_options.n_fraction = 0.0;
+  ref_options.repeat_fraction = 0.0;
+  const Genome reference = generate_reference(ref_options);
+  // Pick a deletion site whose neighbors differ from it: deleting a base
+  // inside a homopolymer (e.g. the first G of "GG") leaves the gap position
+  // ambiguous, so the posterior splits across the run and no single
+  // position accumulates majority gap mass — correct marginal-alignment
+  // behaviour, but not what this test probes.
+  std::uint64_t deleted_pos = 10000;
+  while (reference.at(deleted_pos) == reference.at(deleted_pos - 1) ||
+         reference.at(deleted_pos) == reference.at(deleted_pos + 1)) {
+    ++deleted_pos;
+  }
+
+  // Individual = reference minus one base.
+  std::string individual_seq;
+  for (GenomePos pos = 0; pos < reference.num_bases(); ++pos) {
+    if (pos == deleted_pos) continue;
+    individual_seq += decode_base(reference.at(pos));
+  }
+  Genome individual;
+  individual.add_contig("chrSim", individual_seq);
+
+  ReadSimOptions sim_options;
+  sim_options.coverage = 20.0;
+  sim_options.indel_rate = 0.0;
+  const auto reads = strip_metadata(simulate_reads(individual, sim_options));
+
+  PipelineConfig config = test_config();
+  std::unique_ptr<Accumulator> accum;
+  const auto result =
+      run_pipeline_with_accumulator(reference, reads, config, &accum);
+  ASSERT_NE(accum, nullptr);
+
+  const float gap_at_site = accum->counts(deleted_pos)[kGapTrack];
+  // Background gap mass at a handful of control positions.
+  float background = 0.0f;
+  for (const GenomePos pos : {5000ull, 7500ull, 12500ull, 15000ull}) {
+    background = std::max(background, accum->counts(pos)[kGapTrack]);
+  }
+  EXPECT_GT(gap_at_site, 5.0f * (background + 0.5f))
+      << "gap=" << gap_at_site << " background=" << background;
+
+  // The caller reports a gap-allele site at (or immediately adjacent to)
+  // the deletion: with homopolymer context the PHMM may place the genome
+  // gap one base off.
+  bool called_deletion = false;
+  for (const auto& call : result.calls) {
+    const auto distance = call.position > deleted_pos
+                              ? call.position - deleted_pos
+                              : deleted_pos - call.position;
+    if (distance <= 1 &&
+        (call.allele1 == kGapTrack || call.allele2 == kGapTrack)) {
+      called_deletion = true;
+    }
+  }
+  EXPECT_TRUE(called_deletion) << "calls near the deletion: ";
+}
+
+TEST(Integration, AccumulatorOutputMatchesCoverage) {
+  // The accumulated mass at a well-covered position approximates the local
+  // read depth (the paper's z vectors sum to ~coverage).
+  ReferenceGenOptions ref_options;
+  ref_options.length = 20000;
+  ref_options.n_fraction = 0.0;
+  ref_options.repeat_fraction = 0.0;
+  const Genome reference = generate_reference(ref_options);
+  ReadSimOptions sim_options;
+  sim_options.coverage = 10.0;
+  const auto reads = strip_metadata(simulate_reads(reference, sim_options));
+
+  std::unique_ptr<Accumulator> accum;
+  run_pipeline_with_accumulator(reference, reads, test_config(), &accum);
+  ASSERT_NE(accum, nullptr);
+
+  double total_mass = 0.0;
+  std::uint64_t sampled = 0;
+  for (GenomePos pos = 1000; pos + 1000 < reference.num_bases();
+       pos += 97) {
+    const auto counts = accum->counts(pos);
+    for (const float v : counts) total_mass += v;
+    ++sampled;
+  }
+  const double mean_mass = total_mass / static_cast<double>(sampled);
+  EXPECT_NEAR(mean_mass, 10.0, 2.5);
+}
+
+}  // namespace
+}  // namespace gnumap

@@ -1,0 +1,266 @@
+// Unit tests for gnumap/io: FASTA, FASTQ, qualities, catalogs, SNP output.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gnumap/genome/sequence.hpp"
+#include "gnumap/io/fasta.hpp"
+#include "gnumap/io/fastq.hpp"
+#include "gnumap/io/quality.hpp"
+#include "gnumap/io/snp_catalog.hpp"
+#include "gnumap/io/snp_writer.hpp"
+#include "gnumap/util/error.hpp"
+
+namespace gnumap {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Quality codecs
+
+TEST(Quality, PhredErrorRoundTrip) {
+  for (std::uint8_t q = 0; q <= kMaxPhred; ++q) {
+    EXPECT_EQ(error_to_phred(phred_to_error(q)), q);
+  }
+}
+
+TEST(Quality, KnownValues) {
+  EXPECT_DOUBLE_EQ(phred_to_error(0), 1.0);
+  EXPECT_DOUBLE_EQ(phred_to_error(10), 0.1);
+  EXPECT_DOUBLE_EQ(phred_to_error(20), 0.01);
+  EXPECT_DOUBLE_EQ(phred_to_error(30), 0.001);
+}
+
+TEST(Quality, ErrorToPhredClamps) {
+  EXPECT_EQ(error_to_phred(0.0), kMaxPhred);
+  EXPECT_EQ(error_to_phred(2.0), 0);
+}
+
+TEST(Quality, DecodeEncodeAscii) {
+  const std::string ascii = "!I5#";
+  const auto quals = decode_quals(ascii);
+  ASSERT_EQ(quals.size(), 4u);
+  EXPECT_EQ(quals[0], 0);
+  EXPECT_EQ(quals[1], 40);
+  EXPECT_EQ(encode_quals(quals), ascii);
+}
+
+TEST(Quality, DecodeRejectsOutOfRange) {
+  EXPECT_THROW(decode_quals("\x01"), ParseError);
+}
+
+TEST(Quality, BaseWeightsSumToOne) {
+  for (std::uint8_t base = 0; base < 5; ++base) {
+    for (std::uint8_t q : {0, 10, 20, 40, 60}) {
+      const auto w = base_weights(base, q);
+      float sum = 0.0f;
+      for (const float v : w) sum += v;
+      EXPECT_NEAR(sum, 1.0f, 1e-5f);
+    }
+  }
+}
+
+TEST(Quality, BaseWeightsFavorCalledBase) {
+  const auto w = base_weights(2, 30);
+  EXPECT_NEAR(w[2], 0.999f, 1e-4f);
+  EXPECT_NEAR(w[0], 0.001f / 3.0f, 1e-5f);
+}
+
+TEST(Quality, NBaseIsUniform) {
+  const auto w = base_weights(kBaseN, 40);
+  for (const float v : w) EXPECT_FLOAT_EQ(v, 0.25f);
+}
+
+// ---------------------------------------------------------------------------
+// FASTA
+
+TEST(Fasta, ParsesMultiRecord) {
+  std::istringstream in(">chr1 description here\nACGT\nACG\n>chr2\nTTTT\n");
+  const auto records = read_fasta(in);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].first, "chr1");
+  EXPECT_EQ(records[0].second, "ACGTACG");
+  EXPECT_EQ(records[1].first, "chr2");
+  EXPECT_EQ(records[1].second, "TTTT");
+}
+
+TEST(Fasta, RoundTrip) {
+  const std::vector<FastaRecord> records = {
+      {"a", std::string(150, 'A')}, {"b", "CGT"}};
+  std::ostringstream out;
+  write_fasta(out, records, 70);
+  std::istringstream in(out.str());
+  EXPECT_EQ(read_fasta(in), records);
+}
+
+TEST(Fasta, RejectsDataBeforeHeader) {
+  std::istringstream in("ACGT\n>chr1\nACGT\n");
+  EXPECT_THROW(read_fasta(in), ParseError);
+}
+
+TEST(Fasta, RejectsEmptyName) {
+  std::istringstream in(">\nACGT\n");
+  EXPECT_THROW(read_fasta(in), ParseError);
+}
+
+TEST(Fasta, GenomeFromFasta) {
+  std::istringstream in(">chr1\nACGT\n>chr2\nGG\n");
+  const Genome g = genome_from_fasta(in);
+  EXPECT_EQ(g.num_contigs(), 2u);
+  EXPECT_EQ(g.contig_name(0), "chr1");
+  EXPECT_EQ(g.contig_size(1), 2u);
+}
+
+TEST(Fasta, EmptyInputYieldsNoRecords) {
+  std::istringstream in("");
+  EXPECT_TRUE(read_fasta(in).empty());
+}
+
+// ---------------------------------------------------------------------------
+// FASTQ
+
+TEST(Fastq, ParsesRecords) {
+  std::istringstream in(
+      "@read1 extra\nACGT\n+\nIIII\n@read2\nGGTT\n+read2\n!!!!\n");
+  const auto reads = read_fastq(in);
+  ASSERT_EQ(reads.size(), 2u);
+  EXPECT_EQ(reads[0].name, "read1");
+  EXPECT_EQ(decode_sequence(reads[0].bases), "ACGT");
+  EXPECT_EQ(reads[0].quals[0], 40);
+  EXPECT_EQ(reads[1].quals[3], 0);
+}
+
+TEST(Fastq, RoundTrip) {
+  std::vector<Read> reads(2);
+  reads[0].name = "r1";
+  reads[0].bases = encode_sequence("ACGTN");
+  reads[0].quals = {30, 30, 20, 10, 0};
+  reads[1].name = "r2";
+  reads[1].bases = encode_sequence("TT");
+  reads[1].quals = {40, 40};
+  std::ostringstream out;
+  write_fastq(out, reads);
+  std::istringstream in(out.str());
+  const auto parsed = read_fastq(in);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].bases, reads[0].bases);
+  EXPECT_EQ(parsed[0].quals, reads[0].quals);
+  EXPECT_EQ(parsed[1].name, "r2");
+}
+
+TEST(Fastq, RejectsTruncatedRecord) {
+  std::istringstream in("@read1\nACGT\n+\n");
+  Read read;
+  FastqReader reader(in);
+  EXPECT_THROW(reader.next(read), ParseError);
+}
+
+TEST(Fastq, RejectsLengthMismatch) {
+  std::istringstream in("@read1\nACGT\n+\nII\n");
+  EXPECT_THROW(read_fastq(in), ParseError);
+}
+
+TEST(Fastq, RejectsBadHeader) {
+  std::istringstream in("read1\nACGT\n+\nIIII\n");
+  EXPECT_THROW(read_fastq(in), ParseError);
+}
+
+TEST(Fastq, RejectsBadSeparator) {
+  std::istringstream in("@read1\nACGT\nIIII\nIIII\n");
+  EXPECT_THROW(read_fastq(in), ParseError);
+}
+
+TEST(Fastq, SkipsBlankLinesBetweenRecords) {
+  std::istringstream in("@r1\nAC\n+\nII\n\n\n@r2\nGT\n+\nII\n");
+  EXPECT_EQ(read_fastq(in).size(), 2u);
+}
+
+TEST(Fastq, Phred64Offset) {
+  std::istringstream in("@r\nAC\n+\nhh\n");
+  const auto reads = read_fastq(in, kPhred64);
+  EXPECT_EQ(reads[0].quals[0], 40);
+}
+
+// ---------------------------------------------------------------------------
+// SNP catalog
+
+TEST(Catalog, RoundTrip) {
+  SnpCatalog catalog;
+  catalog.push_back({"chr1", 100, encode_base('A'), encode_base('G'),
+                     Zygosity::kHom});
+  catalog.push_back({"chr2", 5, encode_base('C'), encode_base('T'),
+                     Zygosity::kHet});
+  std::ostringstream out;
+  write_catalog(out, catalog);
+  std::istringstream in(out.str());
+  const auto parsed = read_catalog(in);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].contig, "chr1");
+  EXPECT_EQ(parsed[0].position, 100u);
+  EXPECT_EQ(parsed[0].ref, encode_base('A'));
+  EXPECT_EQ(parsed[1].zygosity, Zygosity::kHet);
+}
+
+TEST(Catalog, RejectsShortLines) {
+  std::istringstream in("chr1\t100\tA\n");
+  EXPECT_THROW(read_catalog(in), ParseError);
+}
+
+TEST(Catalog, RejectsNAllele) {
+  std::istringstream in("chr1\t100\tN\tA\n");
+  EXPECT_THROW(read_catalog(in), ParseError);
+}
+
+TEST(Catalog, RejectsBadZygosity) {
+  std::istringstream in("chr1\t100\tA\tG\tmaybe\n");
+  EXPECT_THROW(read_catalog(in), ParseError);
+}
+
+TEST(Catalog, SkipsCommentsAndBlanks) {
+  std::istringstream in("# header\n\nchr1\t1\tA\tG\n");
+  EXPECT_EQ(read_catalog(in).size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// SNP writers
+
+SnpCall make_call() {
+  SnpCall call;
+  call.contig = "chr1";
+  call.position = 41;
+  call.ref = encode_base('A');
+  call.allele1 = encode_base('G');
+  call.allele2 = encode_base('G');
+  call.coverage = 13.5;
+  call.lrt_stat = 22.1;
+  call.p_value = 1.2e-5;
+  return call;
+}
+
+TEST(SnpWriter, TsvContainsFields) {
+  std::ostringstream out;
+  write_snps_tsv(out, {make_call()});
+  const std::string text = out.str();
+  EXPECT_NE(text.find("chr1\t41\tA\tG\tG"), std::string::npos);
+  EXPECT_NE(text.find("13.50"), std::string::npos);
+}
+
+TEST(SnpWriter, VcfHomozygousAltGenotype) {
+  std::ostringstream out;
+  write_snps_vcf(out, {make_call()});
+  const std::string text = out.str();
+  EXPECT_NE(text.find("##fileformat=VCFv4.2"), std::string::npos);
+  // VCF is 1-based.
+  EXPECT_NE(text.find("chr1\t42\t.\tA\tG"), std::string::npos);
+  EXPECT_NE(text.find("1/1"), std::string::npos);
+}
+
+TEST(SnpWriter, VcfHeterozygousGenotype) {
+  auto call = make_call();
+  call.allele1 = call.ref;  // ref/alt het
+  std::ostringstream out;
+  write_snps_vcf(out, {call});
+  EXPECT_NE(out.str().find("0/1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gnumap

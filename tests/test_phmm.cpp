@@ -1,0 +1,641 @@
+// Tests for the Pair-HMM: forward/backward against brute-force path
+// enumeration, posterior invariants, marginal condensation, Viterbi, NW.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <tuple>
+
+#include "gnumap/genome/sequence.hpp"
+#include "gnumap/io/quality.hpp"
+#include "gnumap/phmm/forward_backward.hpp"
+#include "gnumap/phmm/marginal.hpp"
+#include "gnumap/phmm/nw.hpp"
+#include "gnumap/phmm/params.hpp"
+#include "gnumap/phmm/pwm.hpp"
+#include "gnumap/phmm/viterbi.hpp"
+#include "gnumap/util/error.hpp"
+#include "gnumap/util/rng.hpp"
+
+namespace gnumap {
+namespace {
+
+Read make_read(const std::string& seq, std::uint8_t qual = 40) {
+  Read read;
+  read.name = "r";
+  read.bases = encode_sequence(seq);
+  read.quals.assign(read.bases.size(), qual);
+  return read;
+}
+
+// ---------------------------------------------------------------------------
+// Brute-force path enumeration (exact reference for tiny instances).
+
+enum BfState { kBfM = 0, kBfGX = 1, kBfGY = 2 };
+
+struct BruteForce {
+  const PhmmParams& params;
+  std::vector<double> pstar;  // (i-1) * (m+1) + j, like the library
+  std::size_t n, m;
+  BoundaryMode mode;
+
+  double total = 0.0;
+  // Posterior numerators keyed by (state, i, j).
+  std::map<std::tuple<int, std::size_t, std::size_t>, double> cell_mass;
+
+  BruteForce(const PhmmParams& p, const Pwm& pwm,
+             std::span<const std::uint8_t> window, BoundaryMode bmode)
+      : params(p), n(pwm.length()), m(window.size()), mode(bmode) {
+    const auto mixed = pwm.mixed_emissions(params);
+    pstar.assign(n * (m + 1), 0.0);
+    for (std::size_t i = 1; i <= n; ++i) {
+      for (std::size_t j = 1; j <= m; ++j) {
+        pstar[(i - 1) * (m + 1) + j] =
+            mixed[(i - 1) * 5 + std::min<std::uint8_t>(window[j - 1], 4)];
+      }
+    }
+  }
+
+  void run() {
+    if (mode == BoundaryMode::kGlobal) {
+      extend(kBfM, 0, 0, 1.0, {});
+    } else {
+      for (std::size_t j0 = 0; j0 <= m; ++j0) extend(kBfM, 0, j0, 1.0, {});
+    }
+  }
+
+  // `visited` records cells consumed by this path for posterior credit.
+  void extend(
+      int state, std::size_t i, std::size_t j, double prob,
+      std::vector<std::tuple<int, std::size_t, std::size_t>> visited) {
+    const bool at_end = mode == BoundaryMode::kGlobal
+                            ? (i == n && j == m)
+                            : (i == n && (state == kBfM || state == kBfGX));
+    if (at_end) {
+      total += prob;
+      for (const auto& cell : visited) cell_mass[cell] += prob;
+      return;
+    }
+    if (i > n || j > m) return;
+    if (mode != BoundaryMode::kGlobal && i == n) return;  // dead GY tail
+
+    const double t_mm = params.t_mm(), t_mg = params.t_mg();
+    const double t_gm = params.t_gm(), t_gg = params.t_gg();
+    const double q = params.q;
+
+    auto go = [&](int next, std::size_t ni, std::size_t nj, double step) {
+      if (ni > n || nj > m || step <= 0.0) return;
+      auto v = visited;
+      v.emplace_back(next, ni, nj);
+      extend(next, ni, nj, prob * step, std::move(v));
+    };
+
+    const double to_m = state == kBfM ? t_mm : t_gm;
+    if (i + 1 <= n && j + 1 <= m) {
+      go(kBfM, i + 1, j + 1, to_m * pstar[i * (m + 1) + j + 1]);
+    }
+    // Boundary semantics mirror the library: in global mode the alignment
+    // must open with a match (the paper zeroes row 0 and column 0); in
+    // semi-global mode a leading read gap is allowed but a leading genome
+    // gap is not (the free prefix covers genome skipping instead).
+    const bool at_start = i == 0;
+    const bool global = mode == BoundaryMode::kGlobal;
+    // G_X reachable from M and G_X; G_Y from M and G_Y.
+    if ((state == kBfM || state == kBfGX) && !(at_start && global)) {
+      go(kBfGX, i + 1, j, (state == kBfM ? t_mg : t_gg) * q);
+    }
+    if ((state == kBfM || state == kBfGY) && !at_start) {
+      go(kBfGY, i, j + 1, (state == kBfM ? t_mg : t_gg) * q);
+    }
+  }
+
+  double posterior(int state, std::size_t i, std::size_t j) const {
+    const auto it = cell_mass.find({state, i, j});
+    return it == cell_mass.end() ? 0.0 : it->second / total;
+  }
+};
+
+/// Library posteriors: scaled f*b normalized by the row mass.
+struct LibPosteriors {
+  PairHmm hmm;
+  AlignmentMatrices mats;
+  std::vector<double> masses;
+  bool ok;
+
+  LibPosteriors(const PhmmParams& params, BoundaryMode mode, const Pwm& pwm,
+                std::span<const std::uint8_t> window)
+      : hmm(params, mode) {
+    ok = hmm.align(pwm, window, mats);
+    if (ok) masses = hmm.row_masses(mats);
+  }
+
+  double at(int state, std::size_t i, std::size_t j) const {
+    const std::size_t idx = i * mats.stride() + j;
+    double u = 0.0;
+    switch (state) {
+      case kBfM:  u = mats.fm[idx] * mats.bm[idx]; break;
+      case kBfGX: u = mats.fgx[idx] * mats.bgx[idx]; break;
+      case kBfGY: u = mats.fgy[idx] * mats.bgy[idx]; break;
+    }
+    return masses[i] > 0.0 ? u / masses[i] : 0.0;
+  }
+};
+
+class BruteForceCompare
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BruteForceCompare, GlobalTotalsAndPosteriors) {
+  const auto [seed, mode_index] = GetParam();
+  const auto mode =
+      mode_index == 0 ? BoundaryMode::kGlobal : BoundaryMode::kSemiGlobal;
+  Rng rng(static_cast<std::uint64_t>(seed));
+  const std::size_t n = 2 + rng.next_below(2);  // 2..3
+  const std::size_t m = 2 + rng.next_below(3);  // 2..4
+
+  std::string read_seq, window_seq;
+  for (std::size_t i = 0; i < n; ++i) read_seq += "ACGT"[rng.next_below(4)];
+  for (std::size_t j = 0; j < m; ++j) window_seq += "ACGT"[rng.next_below(4)];
+  const Read read = make_read(read_seq, 25);
+  const Pwm pwm = Pwm::from_read(read);
+  const auto window = encode_sequence(window_seq);
+
+  PhmmParams params;
+  params.gap_open = 0.08;
+  params.gap_extend = 0.4;
+
+  BruteForce bf(params, pwm, window, mode);
+  bf.run();
+  ASSERT_GT(bf.total, 0.0);
+
+  LibPosteriors lib(params, mode, pwm, window);
+  ASSERT_TRUE(lib.ok);
+  EXPECT_NEAR(lib.mats.log_likelihood, std::log(bf.total),
+              1e-9 * std::fabs(std::log(bf.total)) + 1e-9);
+
+  for (int state : {kBfM, kBfGX, kBfGY}) {
+    for (std::size_t i = 1; i <= n; ++i) {
+      for (std::size_t j = 0; j <= m; ++j) {
+        EXPECT_NEAR(lib.at(state, i, j), bf.posterior(state, i, j), 1e-9)
+            << "state=" << state << " i=" << i << " j=" << j
+            << " mode=" << mode_index;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, BruteForceCompare,
+    ::testing::Combine(::testing::Range(1, 13), ::testing::Values(0, 1)));
+
+// ---------------------------------------------------------------------------
+// Invariants on larger random instances.
+
+class PhmmInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(PhmmInvariants, RowMassesEqualAndPosteriorsNormalized) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 20 + rng.next_below(40);
+  const std::size_t m = n + 10 + rng.next_below(20);
+  std::string read_seq, window_seq;
+  for (std::size_t i = 0; i < n; ++i) read_seq += "ACGT"[rng.next_below(4)];
+  for (std::size_t j = 0; j < m; ++j) window_seq += "ACGT"[rng.next_below(4)];
+
+  const Read read = make_read(read_seq, 30);
+  const Pwm pwm = Pwm::from_read(read);
+  const auto window = encode_sequence(window_seq);
+
+  for (const auto mode :
+       {BoundaryMode::kGlobal, BoundaryMode::kSemiGlobal}) {
+    LibPosteriors lib(PhmmParams{}, mode, pwm, window);
+    ASSERT_TRUE(lib.ok);
+    // Row masses c_i are all the (scaled) total likelihood; their pairwise
+    // ratios must be 1 because scaling is uniform within a row.
+    // Posteriors per read row must sum to one over {match, read-gap}.
+    for (std::size_t i = 1; i <= n; ++i) {
+      double row_sum = 0.0;
+      for (std::size_t j = 0; j <= m; ++j) {
+        row_sum += lib.at(kBfM, i, j) + lib.at(kBfGX, i, j);
+      }
+      EXPECT_NEAR(row_sum, 1.0, 1e-9) << "i=" << i;
+    }
+  }
+}
+
+TEST_P(PhmmInvariants, PerfectReadPeaksOnDiagonal) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 977);
+  const std::size_t m = 90;
+  std::string window_seq;
+  for (std::size_t j = 0; j < m; ++j) window_seq += "ACGT"[rng.next_below(4)];
+  const std::size_t offset = 12;
+  const std::size_t n = 50;
+  const Read read = make_read(window_seq.substr(offset, n), 40);
+  const Pwm pwm = Pwm::from_read(read);
+  const auto window = encode_sequence(window_seq);
+
+  LibPosteriors lib(PhmmParams{}, BoundaryMode::kSemiGlobal, pwm, window);
+  ASSERT_TRUE(lib.ok);
+  // Posterior of the true match cells should dominate.
+  double diag_mass = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    diag_mass += lib.at(kBfM, i, offset + i);
+  }
+  EXPECT_GT(diag_mass / static_cast<double>(n), 0.9);
+  // Per-base log likelihood for a perfect read is far above the mapping
+  // threshold used by the pipeline.
+  EXPECT_GT(lib.mats.log_likelihood / static_cast<double>(n), -2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PhmmInvariants, ::testing::Range(1, 9));
+
+TEST(PhmmInvariantsExtra, GlobalColumnSumsToOne) {
+  // In global mode every path consumes each genome base exactly once, so
+  // for every column j: sum_i [P(match at (i,j)) + P(y_j gapped at i)] = 1.
+  // This is the invariant behind the per-column z normalization option.
+  Rng rng(4242);
+  for (int trial = 0; trial < 4; ++trial) {
+    const std::size_t n = 15 + rng.next_below(10);
+    const std::size_t m = n + rng.next_below(6);
+    std::string read_seq, window_seq;
+    for (std::size_t i = 0; i < n; ++i) read_seq += "ACGT"[rng.next_below(4)];
+    for (std::size_t j = 0; j < m; ++j) window_seq += "ACGT"[rng.next_below(4)];
+    const Read read = make_read(read_seq, 25);
+    const Pwm pwm = Pwm::from_read(read);
+    const auto window = encode_sequence(window_seq);
+
+    LibPosteriors lib(PhmmParams{}, BoundaryMode::kGlobal, pwm, window);
+    ASSERT_TRUE(lib.ok);
+    for (std::size_t j = 1; j <= m; ++j) {
+      double column = 0.0;
+      for (std::size_t i = 1; i <= n; ++i) {
+        column += lib.at(kBfM, i, j) + lib.at(kBfGY, i, j);
+      }
+      EXPECT_NEAR(column, 1.0, 1e-9) << "j=" << j << " trial=" << trial;
+    }
+  }
+}
+
+// Parameter-grid property sweep: the invariants must hold at every corner
+// of the parameter space, not just the defaults.
+class PhmmParamGrid
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(PhmmParamGrid, InvariantsHoldEverywhere) {
+  const auto [gap_open, gap_extend, mismatch_mass] = GetParam();
+  PhmmParams params;
+  params.gap_open = gap_open;
+  params.gap_extend = gap_extend;
+  params.mismatch_mass = mismatch_mass;
+  ASSERT_NO_THROW(params.validate());
+
+  Rng rng(static_cast<std::uint64_t>(gap_open * 1e6) +
+          static_cast<std::uint64_t>(gap_extend * 1e3) + 7);
+  std::string read_seq, window_seq;
+  for (int i = 0; i < 30; ++i) read_seq += "ACGT"[rng.next_below(4)];
+  for (int j = 0; j < 45; ++j) window_seq += "ACGT"[rng.next_below(4)];
+  const Read read = make_read(read_seq, 25);
+  const Pwm pwm = Pwm::from_read(read);
+  const auto window = encode_sequence(window_seq);
+
+  for (const auto mode : {BoundaryMode::kGlobal, BoundaryMode::kSemiGlobal}) {
+    LibPosteriors lib(params, mode, pwm, window);
+    ASSERT_TRUE(lib.ok);
+    EXPECT_TRUE(std::isfinite(lib.mats.log_likelihood));
+    // Per-row posterior normalization.
+    for (std::size_t i = 1; i <= read_seq.size(); ++i) {
+      double row_sum = 0.0;
+      for (std::size_t j = 0; j <= window_seq.size(); ++j) {
+        const double m = lib.at(kBfM, i, j);
+        const double gx = lib.at(kBfGX, i, j);
+        const double gy = lib.at(kBfGY, i, j);
+        EXPECT_GE(m, -1e-12);
+        EXPECT_GE(gx, -1e-12);
+        EXPECT_GE(gy, -1e-12);
+        EXPECT_LE(m, 1.0 + 1e-9);
+        row_sum += m + gx;
+      }
+      ASSERT_NEAR(row_sum, 1.0, 1e-9);
+    }
+    // Viterbi path never beats the marginal likelihood.
+    const auto vit = viterbi_align(lib.hmm, pwm, window);
+    if (std::isfinite(vit.log_prob)) {
+      EXPECT_LE(vit.log_prob, lib.mats.log_likelihood + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PhmmParamGrid,
+    ::testing::Combine(::testing::Values(0.005, 0.02, 0.1, 0.3),
+                       ::testing::Values(0.1, 0.3, 0.7),
+                       ::testing::Values(0.02, 0.08, 0.3)));
+
+TEST(PairHmm, EmptyInputsFail) {
+  const Pwm empty;
+  AlignmentMatrices mats;
+  PairHmm hmm((PhmmParams()));
+  const auto window = encode_sequence("ACGT");
+  EXPECT_FALSE(hmm.align(empty, window, mats));
+
+  const Pwm pwm = Pwm::from_read(make_read("ACG"));
+  EXPECT_FALSE(hmm.align(pwm, {}, mats));
+}
+
+TEST(PairHmm, AllNWindowStillAligns) {
+  // N genome bases emit background probability; alignment exists.
+  const Pwm pwm = Pwm::from_read(make_read("ACGT"));
+  AlignmentMatrices mats;
+  PairHmm hmm((PhmmParams()));
+  const std::vector<std::uint8_t> window(10, kBaseN);
+  EXPECT_TRUE(hmm.align(pwm, window, mats));
+}
+
+TEST(PhmmParams, ValidateRejectsBadValues) {
+  PhmmParams p;
+  p.gap_open = 0.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = PhmmParams{};
+  p.gap_open = 0.5;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = PhmmParams{};
+  p.gap_extend = 1.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = PhmmParams{};
+  p.mismatch_mass = 0.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+  EXPECT_NO_THROW(PhmmParams{}.validate());
+}
+
+TEST(PhmmParams, EmissionSumsToOne) {
+  const PhmmParams p;
+  double sum = 0.0;
+  for (std::uint8_t x = 0; x < 4; ++x) {
+    for (std::uint8_t y = 0; y < 4; ++y) sum += p.emission(x, y);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// PWM
+
+TEST(Pwm, RowsMatchBaseWeights) {
+  Read read = make_read("ACGT");
+  read.quals = {10, 20, 30, 40};
+  const Pwm pwm = Pwm::from_read(read);
+  ASSERT_EQ(pwm.length(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto expected = base_weights(read.bases[i], read.quals[i]);
+    for (int k = 0; k < 4; ++k) {
+      EXPECT_FLOAT_EQ(pwm.row(i)[static_cast<std::size_t>(k)],
+                      expected[static_cast<std::size_t>(k)]);
+    }
+    EXPECT_EQ(pwm.called_base(i), read.bases[i]);
+  }
+}
+
+TEST(Pwm, ReverseComplementPermutation) {
+  Read read = make_read("AACG");
+  read.quals = {10, 20, 30, 40};
+  const Pwm fwd = Pwm::from_read(read);
+  const Pwm rev = Pwm::from_read_reverse(read);
+  ASSERT_EQ(rev.length(), 4u);
+  const std::size_t n = 4;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::uint8_t b = 0; b < 4; ++b) {
+      EXPECT_FLOAT_EQ(rev.row(i)[complement(b)], fwd.row(n - 1 - i)[b])
+          << "i=" << i << " b=" << int(b);
+    }
+  }
+}
+
+TEST(Pwm, MixedEmissionsManualCheck) {
+  Read read = make_read("A");
+  read.quals = {60};  // essentially error-free
+  const Pwm pwm = Pwm::from_read(read);
+  const PhmmParams params;
+  const auto mixed = pwm.mixed_emissions(params);
+  ASSERT_EQ(mixed.size(), 5u);
+  EXPECT_NEAR(mixed[0], params.emission(0, 0), 1e-4);  // vs genome A
+  EXPECT_NEAR(mixed[1], params.emission(0, 1), 1e-4);  // vs genome C
+  EXPECT_NEAR(mixed[4], 1.0 / 16.0, 1e-6);             // vs genome N
+}
+
+// ---------------------------------------------------------------------------
+// Marginal condensation
+
+TEST(Marginal, PerfectReadGivesCorrectBases) {
+  Rng rng(55);
+  std::string window_seq;
+  for (int j = 0; j < 80; ++j) window_seq += "ACGT"[rng.next_below(4)];
+  const std::size_t offset = 10;
+  const std::size_t n = 40;
+  const Read read = make_read(window_seq.substr(offset, n), 40);
+  const Pwm pwm = Pwm::from_read(read);
+  const auto window = encode_sequence(window_seq);
+
+  PairHmm hmm((PhmmParams()));
+  AlignmentMatrices mats;
+  ASSERT_TRUE(hmm.align(pwm, window, mats));
+  const auto result = condense_marginals(hmm, pwm, mats, MarginalOptions{});
+  ASSERT_EQ(result.tracks.size(), window.size());
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t col = offset + i;
+    const std::uint8_t expect = window[col];
+    // The correct base dominates its column.
+    float best = 0.0f;
+    int best_k = -1;
+    for (int k = 0; k < kNumTracks; ++k) {
+      if (result.tracks[col][static_cast<std::size_t>(k)] > best) {
+        best = result.tracks[col][static_cast<std::size_t>(k)];
+        best_k = k;
+      }
+    }
+    EXPECT_EQ(best_k, expect) << "col=" << col;
+    EXPECT_GT(best, 0.5f);
+  }
+}
+
+TEST(Marginal, ColumnMassNeverExceedsOne) {
+  Rng rng(77);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::string window_seq, read_seq;
+    for (int j = 0; j < 60; ++j) window_seq += "ACGT"[rng.next_below(4)];
+    for (int i = 0; i < 30; ++i) read_seq += "ACGT"[rng.next_below(4)];
+    const Read read = make_read(read_seq, 20);
+    const Pwm pwm = Pwm::from_read(read);
+    const auto window = encode_sequence(window_seq);
+    PairHmm hmm((PhmmParams()));
+    AlignmentMatrices mats;
+    if (!hmm.align(pwm, window, mats)) continue;
+    const auto result = condense_marginals(hmm, pwm, mats, MarginalOptions{});
+    for (const float mass : result.column_mass) {
+      EXPECT_LE(mass, 1.0f + 1e-4f);
+      EXPECT_GE(mass, 0.0f);
+    }
+  }
+}
+
+TEST(Marginal, ColumnNormalizationUnitSums) {
+  Rng rng(78);
+  std::string window_seq;
+  for (int j = 0; j < 70; ++j) window_seq += "ACGT"[rng.next_below(4)];
+  const Read read = make_read(window_seq.substr(15, 35), 35);
+  const Pwm pwm = Pwm::from_read(read);
+  const auto window = encode_sequence(window_seq);
+  PairHmm hmm((PhmmParams()));
+  AlignmentMatrices mats;
+  ASSERT_TRUE(hmm.align(pwm, window, mats));
+
+  MarginalOptions options;
+  options.normalization = Normalization::kColumn;
+  const auto result = condense_marginals(hmm, pwm, mats, options);
+  for (std::size_t j = 0; j < result.tracks.size(); ++j) {
+    float sum = 0.0f;
+    for (int k = 0; k < kNumTracks; ++k) {
+      sum += result.tracks[j][static_cast<std::size_t>(k)];
+    }
+    if (result.column_mass[j] > 0.0f) {
+      EXPECT_NEAR(sum, 1.0f, 1e-4f) << "col " << j;
+    } else {
+      EXPECT_FLOAT_EQ(sum, 0.0f);
+    }
+  }
+}
+
+TEST(Marginal, CalledBaseModeRoutesAllMassToCall) {
+  const Read read = make_read("AAAA", 10);  // low quality
+  const Pwm pwm = Pwm::from_read(read);
+  const auto window = encode_sequence("GGAAAAGG");
+  PairHmm hmm((PhmmParams()));
+  AlignmentMatrices mats;
+  ASSERT_TRUE(hmm.align(pwm, window, mats));
+
+  MarginalOptions options;
+  options.prob_mode = ProbMode::kCalledBase;
+  const auto result = condense_marginals(hmm, pwm, mats, options);
+  // Only the A track and the gap track may carry mass.
+  for (std::size_t j = 0; j < result.tracks.size(); ++j) {
+    EXPECT_FLOAT_EQ(result.tracks[j][1], 0.0f);
+    EXPECT_FLOAT_EQ(result.tracks[j][2], 0.0f);
+    EXPECT_FLOAT_EQ(result.tracks[j][3], 0.0f);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Viterbi
+
+TEST(Viterbi, BoundedByForwardLikelihood) {
+  Rng rng(91);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::string window_seq, read_seq;
+    for (int j = 0; j < 50; ++j) window_seq += "ACGT"[rng.next_below(4)];
+    for (int i = 0; i < 25; ++i) read_seq += "ACGT"[rng.next_below(4)];
+    const Read read = make_read(read_seq, 30);
+    const Pwm pwm = Pwm::from_read(read);
+    const auto window = encode_sequence(window_seq);
+
+    PairHmm hmm((PhmmParams()));
+    AlignmentMatrices mats;
+    ASSERT_TRUE(hmm.align(pwm, window, mats));
+    const auto vit = viterbi_align(hmm, pwm, window);
+    EXPECT_LE(vit.log_prob, mats.log_likelihood + 1e-9);
+  }
+}
+
+TEST(Viterbi, PerfectMatchIsAllMatches) {
+  Rng rng(93);
+  std::string window_seq;
+  for (int j = 0; j < 60; ++j) window_seq += "ACGT"[rng.next_below(4)];
+  const std::size_t offset = 9;
+  const Read read = make_read(window_seq.substr(offset, 30), 40);
+  const Pwm pwm = Pwm::from_read(read);
+  const auto window = encode_sequence(window_seq);
+
+  PairHmm hmm((PhmmParams()));
+  const auto vit = viterbi_align(hmm, pwm, window);
+  ASSERT_EQ(vit.ops.size(), 30u);
+  for (const auto op : vit.ops) EXPECT_EQ(op, AlignOp::kMatch);
+  EXPECT_EQ(vit.window_begin, offset);
+  EXPECT_EQ(vit.window_end, offset + 30);
+  EXPECT_EQ(ops_to_cigar(vit.ops), "30M");
+}
+
+TEST(Viterbi, CigarRendering) {
+  const std::vector<AlignOp> ops = {
+      AlignOp::kMatch, AlignOp::kMatch, AlignOp::kReadGap,
+      AlignOp::kGenomeGap, AlignOp::kGenomeGap, AlignOp::kMatch};
+  EXPECT_EQ(ops_to_cigar(ops), "2M1I2D1M");
+  EXPECT_EQ(ops_to_cigar({}), "");
+}
+
+// ---------------------------------------------------------------------------
+// Needleman-Wunsch
+
+TEST(Nw, PerfectMatchScore) {
+  const Read read = make_read("ACGTACGT", 60);
+  const auto window = encode_sequence("TTACGTACGTTT");
+  NwParams params;
+  params.quality_weighted = false;
+  const auto result = nw_align(read, window, params);
+  EXPECT_NEAR(result.score, 8.0, 1e-9);
+  EXPECT_EQ(result.mismatches, 0);
+  EXPECT_EQ(ops_to_cigar(result.ops), "8M");
+  EXPECT_EQ(result.window_begin, 2u);
+}
+
+TEST(Nw, CountsMismatches) {
+  const Read read = make_read("ACGTACGT", 30);
+  const auto window = encode_sequence("ACGAACGT");  // T->A at index 3
+  NwParams params;
+  params.quality_weighted = false;
+  params.free_genome_flanks = false;
+  const auto result = nw_align(read, window, params);
+  EXPECT_EQ(result.mismatches, 1);
+  EXPECT_EQ(result.mismatch_quality_sum, 30);
+  EXPECT_NEAR(result.score, 7.0 * 1.0 - 3.0, 1e-9);
+}
+
+TEST(Nw, FindsDeletion) {
+  // Read is the window with 2 bases deleted.
+  const Read read = make_read("ACGTACACGGTT", 40);
+  const auto window = encode_sequence("ACGTACGGACGGTT");
+  NwParams params;
+  params.quality_weighted = false;
+  params.free_genome_flanks = false;
+  const auto result = nw_align(read, window, params);
+  int genome_gaps = 0;
+  for (const auto op : result.ops) {
+    genome_gaps += op == AlignOp::kGenomeGap ? 1 : 0;
+  }
+  EXPECT_EQ(genome_gaps, 2);
+}
+
+TEST(Nw, QualityWeightingDiscountsLowQualityMismatch) {
+  const Read low = make_read("ACGTACGT", 2);
+  const Read high = make_read("ACGTACGT", 40);
+  const auto perfect = encode_sequence("ACGTACGT");
+  const auto mutated = encode_sequence("ACGAACGT");
+  NwParams params;
+  params.free_genome_flanks = false;
+  // The score *drop* caused by the mismatch is smaller when the read base
+  // is low quality: unreliable evidence should barely count either way.
+  const double low_drop = nw_align(low, perfect, params).score -
+                          nw_align(low, mutated, params).score;
+  const double high_drop = nw_align(high, perfect, params).score -
+                           nw_align(high, mutated, params).score;
+  EXPECT_GT(high_drop, low_drop);
+  EXPECT_GT(low_drop, 0.0);
+}
+
+TEST(Nw, EmptyInputs) {
+  const Read read = make_read("ACGT");
+  const auto result = nw_align(read, {}, NwParams{});
+  EXPECT_TRUE(result.ops.empty());
+  Read empty;
+  const auto window = encode_sequence("ACGT");
+  const auto result2 = nw_align(empty, window, NwParams{});
+  EXPECT_TRUE(result2.ops.empty());
+}
+
+}  // namespace
+}  // namespace gnumap

@@ -1,0 +1,351 @@
+// Tests for gnumap/sim: reference generation, catalogs, mutation, reads.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "gnumap/genome/sequence.hpp"
+#include "gnumap/io/quality.hpp"
+#include "gnumap/sim/catalog_gen.hpp"
+#include "gnumap/sim/mutator.hpp"
+#include "gnumap/sim/read_sim.hpp"
+#include "gnumap/sim/reference_gen.hpp"
+#include "gnumap/util/error.hpp"
+
+namespace gnumap {
+namespace {
+
+ReferenceGenOptions small_ref_options() {
+  ReferenceGenOptions options;
+  options.length = 50000;
+  options.n_fraction = 0.0;
+  options.repeat_fraction = 0.0;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Reference generation
+
+TEST(ReferenceGen, DeterministicForSeed) {
+  const Genome a = generate_reference(small_ref_options());
+  const Genome b = generate_reference(small_ref_options());
+  ASSERT_EQ(a.num_bases(), b.num_bases());
+  for (GenomePos pos = 0; pos < a.num_bases(); ++pos) {
+    ASSERT_EQ(a.at(pos), b.at(pos));
+  }
+}
+
+TEST(ReferenceGen, GcContentApproximatelyHonored) {
+  auto options = small_ref_options();
+  options.length = 200000;
+  options.gc_content = 0.41;
+  const Genome g = generate_reference(options);
+  std::uint64_t gc = 0;
+  for (GenomePos pos = 0; pos < g.num_bases(); ++pos) {
+    const auto base = g.at(pos);
+    gc += (base == 1 || base == 2) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(gc) / g.num_bases(), 0.41, 0.01);
+}
+
+TEST(ReferenceGen, NRunsPresentWhenRequested) {
+  auto options = small_ref_options();
+  options.n_fraction = 0.01;
+  options.n_run = 50;
+  const Genome g = generate_reference(options);
+  std::uint64_t n_count = 0;
+  for (GenomePos pos = 0; pos < g.num_bases(); ++pos) {
+    n_count += g.at(pos) == kBaseN ? 1 : 0;
+  }
+  EXPECT_GT(n_count, 0u);
+  EXPECT_LT(n_count, g.num_bases() / 20);
+}
+
+TEST(ReferenceGen, RejectsBadOptions) {
+  ReferenceGenOptions options;
+  options.length = 10;
+  EXPECT_THROW(generate_reference(options), ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// Catalog generation
+
+TEST(CatalogGen, PlacesRequestedCount) {
+  const Genome g = generate_reference(small_ref_options());
+  CatalogGenOptions options;
+  options.count = 50;
+  const auto catalog = generate_catalog(g, options);
+  // Count is approximate per contig, but close for one contig.
+  EXPECT_NEAR(static_cast<double>(catalog.size()), 50.0, 5.0);
+}
+
+TEST(CatalogGen, RefAllelesMatchGenome) {
+  const Genome g = generate_reference(small_ref_options());
+  CatalogGenOptions options;
+  options.count = 100;
+  for (const auto& entry : generate_catalog(g, options)) {
+    EXPECT_EQ(entry.ref, g.at(g.global_pos(0, entry.position)));
+    EXPECT_NE(entry.ref, entry.alt);
+    EXPECT_LT(entry.alt, 4);
+  }
+}
+
+TEST(CatalogGen, SitesRoughlyEvenlySpaced) {
+  const Genome g = generate_reference(small_ref_options());
+  CatalogGenOptions options;
+  options.count = 100;
+  options.jitter = 0.0;
+  const auto catalog = generate_catalog(g, options);
+  ASSERT_GT(catalog.size(), 10u);
+  const double spacing = static_cast<double>(g.num_bases()) /
+                         static_cast<double>(catalog.size());
+  for (std::size_t i = 1; i < catalog.size(); ++i) {
+    const double gap = static_cast<double>(catalog[i].position) -
+                       static_cast<double>(catalog[i - 1].position);
+    EXPECT_NEAR(gap, spacing, spacing * 0.5) << "i=" << i;
+  }
+}
+
+TEST(CatalogGen, TransitionRatioApproximatelyTwoToOne) {
+  auto ref_options = small_ref_options();
+  ref_options.length = 400000;
+  const Genome g = generate_reference(ref_options);
+  CatalogGenOptions options;
+  options.count = 2000;
+  int transitions = 0, total = 0;
+  for (const auto& entry : generate_catalog(g, options)) {
+    transitions += is_transition(entry.ref, entry.alt) ? 1 : 0;
+    ++total;
+  }
+  EXPECT_NEAR(static_cast<double>(transitions) / total, 2.0 / 3.0, 0.05);
+}
+
+TEST(CatalogGen, HetFractionHonored) {
+  const Genome g = generate_reference(small_ref_options());
+  CatalogGenOptions options;
+  options.count = 400;
+  options.het_fraction = 0.5;
+  int het = 0, total = 0;
+  for (const auto& entry : generate_catalog(g, options)) {
+    het += entry.zygosity == Zygosity::kHet ? 1 : 0;
+    ++total;
+  }
+  EXPECT_NEAR(static_cast<double>(het) / total, 0.5, 0.12);
+}
+
+TEST(CatalogGen, NeverOnNPositions) {
+  auto ref_options = small_ref_options();
+  ref_options.n_fraction = 0.05;
+  ref_options.n_run = 200;
+  const Genome g = generate_reference(ref_options);
+  CatalogGenOptions options;
+  options.count = 300;
+  for (const auto& entry : generate_catalog(g, options)) {
+    EXPECT_LT(g.at(g.global_pos(0, entry.position)), 4);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mutation
+
+TEST(Mutator, AppliesEverySite) {
+  const Genome ref = generate_reference(small_ref_options());
+  CatalogGenOptions options;
+  options.count = 80;
+  const auto catalog = generate_catalog(ref, options);
+  const Genome mutated = apply_catalog(ref, catalog);
+
+  ASSERT_EQ(mutated.num_bases(), ref.num_bases());
+  std::set<std::uint64_t> sites;
+  for (const auto& entry : catalog) {
+    sites.insert(entry.position);
+    EXPECT_EQ(mutated.at(mutated.global_pos(0, entry.position)), entry.alt);
+  }
+  // Nothing else changed.
+  for (GenomePos pos = 0; pos < ref.num_bases(); ++pos) {
+    if (!sites.count(pos)) {
+      ASSERT_EQ(mutated.at(pos), ref.at(pos)) << pos;
+    }
+  }
+}
+
+TEST(Mutator, RejectsMismatchedRef) {
+  const Genome ref = generate_reference(small_ref_options());
+  SnpCatalog catalog;
+  CatalogEntry entry;
+  entry.contig = "chrSim";
+  entry.position = 10;
+  entry.ref = static_cast<std::uint8_t>((ref.at(10) + 1) % 4);  // wrong
+  entry.alt = static_cast<std::uint8_t>((ref.at(10) + 2) % 4);
+  catalog.push_back(entry);
+  EXPECT_THROW(apply_catalog(ref, catalog), ConfigError);
+}
+
+TEST(Mutator, RejectsUnknownContig) {
+  const Genome ref = generate_reference(small_ref_options());
+  SnpCatalog catalog;
+  catalog.push_back({"nope", 1, 0, 1, Zygosity::kHom});
+  EXPECT_THROW(apply_catalog(ref, catalog), ConfigError);
+}
+
+TEST(Mutator, DiploidHomOnBothHaplotypes) {
+  const Genome ref = generate_reference(small_ref_options());
+  CatalogGenOptions options;
+  options.count = 60;
+  options.het_fraction = 0.5;
+  const auto catalog = generate_catalog(ref, options);
+  const auto individual = apply_catalog_diploid(ref, catalog);
+
+  for (const auto& entry : catalog) {
+    const auto pos = ref.global_pos(0, entry.position);
+    const bool in1 = individual.hap1.at(pos) == entry.alt;
+    const bool in2 = individual.hap2.at(pos) == entry.alt;
+    if (entry.zygosity == Zygosity::kHom) {
+      EXPECT_TRUE(in1 && in2);
+    } else {
+      EXPECT_TRUE(in1 != in2);  // exactly one haplotype carries the alt
+      EXPECT_TRUE((individual.hap1.at(pos) == entry.ref) ||
+                  (individual.hap2.at(pos) == entry.ref));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Read simulation
+
+TEST(ReadSim, HitsTargetCoverage) {
+  const Genome g = generate_reference(small_ref_options());
+  ReadSimOptions options;
+  options.coverage = 8.0;
+  options.read_length = 50;
+  const auto reads = simulate_reads(g, options);
+  const double achieved = static_cast<double>(reads.size()) * 50.0 /
+                          static_cast<double>(g.num_bases());
+  EXPECT_NEAR(achieved, 8.0, 0.5);
+}
+
+TEST(ReadSim, ReadsMatchOriginWithFewErrors) {
+  const Genome g = generate_reference(small_ref_options());
+  ReadSimOptions options;
+  options.coverage = 2.0;
+  options.read_length = 62;
+  options.indel_rate = 0.0;
+  const auto reads = simulate_reads(g, options);
+  ASSERT_FALSE(reads.empty());
+
+  double total_mismatch = 0.0;
+  for (const auto& sim : reads) {
+    ASSERT_EQ(sim.read.length(), 62u);
+    auto tmpl = std::vector<std::uint8_t>(62);
+    for (std::size_t i = 0; i < 62; ++i) {
+      tmpl[i] = g.at(g.global_pos(sim.contig, sim.origin + i));
+    }
+    if (sim.reverse) tmpl = reverse_complement(tmpl);
+    int mismatches = 0;
+    for (std::size_t i = 0; i < 62; ++i) {
+      mismatches += tmpl[i] != sim.read.bases[i] ? 1 : 0;
+    }
+    total_mismatch += mismatches;
+    // Error rate tops out ~2%; 15 mismatches in 62 bases would be absurd.
+    EXPECT_LT(mismatches, 15);
+  }
+  // Mean mismatch rate should be near the configured ramp average (~1.1%).
+  const double rate = total_mismatch / (62.0 * static_cast<double>(reads.size()));
+  EXPECT_NEAR(rate, 0.011, 0.006);
+}
+
+TEST(ReadSim, QualityTracksErrorRamp) {
+  const Genome g = generate_reference(small_ref_options());
+  ReadSimOptions options;
+  options.coverage = 2.0;
+  options.read_length = 60;
+  const auto reads = simulate_reads(g, options);
+  ASSERT_FALSE(reads.empty());
+  // Average quality near the 5' end exceeds the 3' end.
+  double q_head = 0.0, q_tail = 0.0;
+  for (const auto& sim : reads) {
+    q_head += sim.read.quals.front();
+    q_tail += sim.read.quals.back();
+  }
+  EXPECT_GT(q_head, q_tail);
+}
+
+TEST(ReadSim, BothStrandsSampled) {
+  const Genome g = generate_reference(small_ref_options());
+  ReadSimOptions options;
+  options.coverage = 2.0;
+  const auto reads = simulate_reads(g, options);
+  int reverse = 0;
+  for (const auto& sim : reads) reverse += sim.reverse ? 1 : 0;
+  const double fraction = static_cast<double>(reverse) / reads.size();
+  EXPECT_NEAR(fraction, 0.5, 0.05);
+}
+
+TEST(ReadSim, NamesEncodeOrigin) {
+  const Genome g = generate_reference(small_ref_options());
+  ReadSimOptions options;
+  options.coverage = 0.5;
+  const auto reads = simulate_reads(g, options);
+  ASSERT_FALSE(reads.empty());
+  const auto& sim = reads.front();
+  const std::string expected_prefix =
+      "chrSim:" + std::to_string(sim.origin) + ":" +
+      (sim.reverse ? "-" : "+");
+  EXPECT_EQ(sim.read.name.rfind(expected_prefix, 0), 0u) << sim.read.name;
+}
+
+TEST(ReadSim, DiploidDrawsFromBothHaplotypes) {
+  const Genome ref = generate_reference(small_ref_options());
+  CatalogGenOptions catalog_options;
+  catalog_options.count = 40;
+  catalog_options.het_fraction = 1.0;  // all het
+  const auto catalog = generate_catalog(ref, catalog_options);
+  const auto individual = apply_catalog_diploid(ref, catalog);
+  ReadSimOptions options;
+  options.coverage = 6.0;
+  const auto reads =
+      simulate_reads_diploid(individual.hap1, individual.hap2, options);
+  const double achieved = static_cast<double>(reads.size()) * 62.0 /
+                          static_cast<double>(ref.num_bases());
+  EXPECT_NEAR(achieved, 6.0, 0.5);
+}
+
+TEST(ReadSim, StripMetadata) {
+  const Genome g = generate_reference(small_ref_options());
+  ReadSimOptions options;
+  options.coverage = 0.5;
+  const auto sims = simulate_reads(g, options);
+  const auto reads = strip_metadata(sims);
+  ASSERT_EQ(reads.size(), sims.size());
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    EXPECT_EQ(reads[i].name, sims[i].read.name);
+    EXPECT_EQ(reads[i].bases, sims[i].read.bases);
+  }
+}
+
+TEST(ReadSim, RejectsBadOptions) {
+  const Genome g = generate_reference(small_ref_options());
+  ReadSimOptions options;
+  options.read_length = 4;
+  EXPECT_THROW(simulate_reads(g, options), ConfigError);
+  options = ReadSimOptions{};
+  options.coverage = 0.0;
+  EXPECT_THROW(simulate_reads(g, options), ConfigError);
+}
+
+TEST(ReadSim, DeterministicForSeed) {
+  const Genome g = generate_reference(small_ref_options());
+  ReadSimOptions options;
+  options.coverage = 1.0;
+  const auto a = simulate_reads(g, options);
+  const auto b = simulate_reads(g, options);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].read.bases, b[i].read.bases);
+    ASSERT_EQ(a[i].read.quals, b[i].read.quals);
+  }
+}
+
+}  // namespace
+}  // namespace gnumap

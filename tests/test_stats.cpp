@@ -1,0 +1,262 @@
+// Tests for gnumap/stats: chi-square, LRT, FDR.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gnumap/stats/chi2.hpp"
+#include "gnumap/stats/fdr.hpp"
+#include "gnumap/stats/lrt.hpp"
+#include "gnumap/util/error.hpp"
+#include "gnumap/util/rng.hpp"
+
+namespace gnumap {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Chi-square
+
+TEST(Chi2, KnownQuantiles) {
+  // Textbook chi^2_1 critical values.
+  EXPECT_NEAR(chi2_quantile(0.95, 1.0), 3.841, 5e-3);
+  EXPECT_NEAR(chi2_quantile(0.99, 1.0), 6.635, 5e-3);
+  EXPECT_NEAR(chi2_quantile(0.999, 1.0), 10.828, 5e-3);
+  EXPECT_NEAR(chi2_quantile(0.95, 2.0), 5.991, 5e-3);
+  EXPECT_NEAR(chi2_quantile(0.95, 5.0), 11.070, 5e-3);
+}
+
+TEST(Chi2, KnownCdfValues) {
+  // chi^2_1 CDF(x) = erf(sqrt(x/2)).
+  for (const double x : {0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0}) {
+    EXPECT_NEAR(chi2_cdf(x, 1.0), std::erf(std::sqrt(x / 2.0)), 1e-10) << x;
+  }
+  // chi^2_2 CDF(x) = 1 - exp(-x/2).
+  for (const double x : {0.1, 1.0, 4.0, 20.0}) {
+    EXPECT_NEAR(chi2_cdf(x, 2.0), 1.0 - std::exp(-x / 2.0), 1e-12) << x;
+  }
+}
+
+TEST(Chi2, SurvivalComplementsCdf) {
+  for (const double x : {0.01, 0.5, 3.0, 12.0, 40.0}) {
+    for (const double dof : {1.0, 2.0, 4.0, 10.0}) {
+      EXPECT_NEAR(chi2_cdf(x, dof) + chi2_sf(x, dof), 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(Chi2, SurvivalAccurateInDeepTail) {
+  // Deep-tail values would cancel to 0 via 1-CDF; sf computes directly.
+  const double sf = chi2_sf(100.0, 1.0);
+  EXPECT_GT(sf, 0.0);
+  EXPECT_LT(sf, 1e-20);
+}
+
+TEST(Chi2, QuantileCdfRoundTrip) {
+  for (const double p : {0.01, 0.25, 0.5, 0.9, 0.99, 0.9999}) {
+    for (const double dof : {1.0, 3.0, 7.0}) {
+      EXPECT_NEAR(chi2_cdf(chi2_quantile(p, dof), dof), p, 1e-9)
+          << "p=" << p << " dof=" << dof;
+    }
+  }
+}
+
+TEST(Chi2, EdgeCases) {
+  EXPECT_DOUBLE_EQ(chi2_cdf(0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(chi2_cdf(-1.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(chi2_sf(0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(chi2_quantile(0.0, 1.0), 0.0);
+  EXPECT_THROW(chi2_cdf(1.0, 0.0), ConfigError);
+  EXPECT_THROW(chi2_quantile(1.0, 1.0), ConfigError);
+}
+
+TEST(GammaP, MatchesClosedForms) {
+  // P(1, x) = 1 - exp(-x).
+  for (const double x : {0.1, 1.0, 5.0}) {
+    EXPECT_NEAR(gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+  EXPECT_NEAR(gamma_q(1.0, 2.0), std::exp(-2.0), 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// LRT
+
+TEST(LrtMonoploid, UniformIsNull) {
+  const LrtResult r = lrt_monoploid({4, 4, 4, 4, 4});
+  EXPECT_NEAR(r.statistic, 0.0, 1e-9);
+  EXPECT_NEAR(r.p_adjusted, 1.0, 1e-9);
+}
+
+TEST(LrtMonoploid, PureBaseIsHighlySignificant) {
+  const LrtResult r = lrt_monoploid({20, 0, 0, 0, 0});
+  // lambda = 0.2^20 / 1 => stat = -2 * 20 * log(0.2).
+  EXPECT_NEAR(r.statistic, -40.0 * std::log(0.2), 1e-9);
+  EXPECT_LT(r.p_adjusted, 1e-10);
+  EXPECT_EQ(r.allele1, 0);
+  EXPECT_EQ(r.allele2, 0);
+}
+
+TEST(LrtMonoploid, PaperExampleVector) {
+  // The paper's z = (14, 1, 3, 2, 0) with n = 20.
+  const LrtResult r = lrt_monoploid({14, 1, 3, 2, 0});
+  const double n = 20, z5 = 14;
+  const double expected =
+      2.0 * (z5 * std::log(z5 / n) +
+             (n - z5) * std::log((n - z5) / (4 * n)) - n * std::log(0.2));
+  EXPECT_NEAR(r.statistic, expected, 1e-9);
+  EXPECT_EQ(r.allele1, 0);  // A has the max
+  EXPECT_LT(r.p_adjusted, 0.01);
+}
+
+TEST(LrtMonoploid, MonotoneInDominance) {
+  // Fixing n, the statistic grows as the top proportion grows.
+  double last = -1.0;
+  for (double z5 = 5.0; z5 <= 20.0; z5 += 1.0) {
+    const double rest = (20.0 - z5) / 4.0;
+    const LrtResult r = lrt_monoploid({z5, rest, rest, rest, rest});
+    EXPECT_GE(r.statistic, last - 1e-12);
+    last = r.statistic;
+  }
+}
+
+TEST(LrtMonoploid, ScalesWithCoverage) {
+  // Same composition, more coverage => more significance.
+  const LrtResult lo = lrt_monoploid({8, 1, 1, 0, 0});
+  const LrtResult hi = lrt_monoploid({80, 10, 10, 0, 0});
+  EXPECT_GT(hi.statistic, lo.statistic);
+  EXPECT_LT(hi.p_adjusted, lo.p_adjusted);
+}
+
+TEST(LrtMonoploid, EmptyCountsAreNull) {
+  const LrtResult r = lrt_monoploid({0, 0, 0, 0, 0});
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+  EXPECT_DOUBLE_EQ(r.p_adjusted, 1.0);
+  EXPECT_DOUBLE_EQ(r.n, 0.0);
+}
+
+TEST(LrtMonoploid, GapCanWin) {
+  const LrtResult r = lrt_monoploid({1, 0, 0, 0, 19});
+  EXPECT_EQ(r.allele1, 4);
+  EXPECT_LT(r.p_adjusted, 1e-6);
+}
+
+TEST(LrtDiploid, HeterozygousBeatsHomozygousOn5050) {
+  const LrtResult r = lrt_diploid({10, 10, 0, 0, 0});
+  EXPECT_TRUE(r.heterozygous);
+  EXPECT_NE(r.allele1, r.allele2);
+  // Alleles are the top two tracks (A and C).
+  EXPECT_TRUE((r.allele1 == 0 && r.allele2 == 1) ||
+              (r.allele1 == 1 && r.allele2 == 0));
+  EXPECT_LT(r.p_adjusted, 1e-6);
+}
+
+TEST(LrtDiploid, HomozygousOnPureBase) {
+  const LrtResult r = lrt_diploid({20, 1, 0, 0, 0});
+  EXPECT_FALSE(r.heterozygous);
+  EXPECT_EQ(r.allele1, r.allele2);
+  EXPECT_EQ(r.allele1, 0);
+}
+
+TEST(LrtDiploid, AtLeastAsLargeAsMonoploid) {
+  Rng rng(31);
+  for (int trial = 0; trial < 200; ++trial) {
+    TrackCounts z;
+    for (auto& v : z) v = rng.next_double() * 20.0;
+    const LrtResult mono = lrt_monoploid(z);
+    const LrtResult dip = lrt_diploid(z);
+    // The diploid alternative is a superset: max over more models.
+    EXPECT_GE(dip.statistic, mono.statistic - 1e-9);
+  }
+}
+
+TEST(LrtDiploid, HetRequiresBothAllelesSubstantial) {
+  const LrtResult r = lrt_diploid({18, 2, 0, 0, 0});
+  EXPECT_FALSE(r.heterozygous);
+}
+
+TEST(Lrt, ThresholdMatchesQuantile) {
+  for (const double alpha : {0.05, 0.01, 1e-4}) {
+    EXPECT_NEAR(lrt_threshold(alpha),
+                chi2_quantile(1.0 - alpha / 5.0, 1.0), 1e-9);
+  }
+}
+
+TEST(Lrt, SignificanceEquivalence) {
+  // statistic > threshold(alpha)  <=>  p_adjusted < alpha (both derived
+  // from the same chi^2_1 tail with the 5x correction).
+  Rng rng(37);
+  const double alpha = 1e-3;
+  const double threshold = lrt_threshold(alpha);
+  for (int trial = 0; trial < 300; ++trial) {
+    TrackCounts z{};
+    for (auto& v : z) v = rng.next_double() * 10.0;
+    z[rng.next_below(5)] += rng.next_double() * 20.0;
+    const LrtResult r = lrt_monoploid(z);
+    EXPECT_EQ(r.statistic > threshold, r.p_adjusted < alpha)
+        << "stat=" << r.statistic << " p=" << r.p_adjusted;
+  }
+}
+
+TEST(Lrt, DispatchOnPloidy) {
+  const TrackCounts z = {10, 10, 0, 0, 0};
+  EXPECT_FALSE(lrt_test(z, Ploidy::kMonoploid).heterozygous);
+  EXPECT_TRUE(lrt_test(z, Ploidy::kDiploid).heterozygous);
+}
+
+// ---------------------------------------------------------------------------
+// FDR
+
+TEST(Fdr, RejectsObviousSignals) {
+  std::vector<double> p = {1e-10, 1e-8, 0.4, 0.6, 0.9};
+  const auto keep = benjamini_hochberg(p, 0.05);
+  EXPECT_TRUE(keep[0]);
+  EXPECT_TRUE(keep[1]);
+  EXPECT_FALSE(keep[2]);
+  EXPECT_FALSE(keep[3]);
+  EXPECT_FALSE(keep[4]);
+}
+
+TEST(Fdr, NothingSignificant) {
+  std::vector<double> p = {0.5, 0.7, 0.9};
+  const auto keep = benjamini_hochberg(p, 0.05);
+  for (const bool k : keep) EXPECT_FALSE(k);
+  EXPECT_DOUBLE_EQ(benjamini_hochberg_threshold(p, 0.05), 0.0);
+}
+
+TEST(Fdr, EmptyInput) {
+  EXPECT_TRUE(benjamini_hochberg({}, 0.05).empty());
+}
+
+TEST(Fdr, StepUpProperty) {
+  // p_i = q * i / m exactly on the boundary: all rejected.
+  const double q = 0.1;
+  const std::size_t m = 20;
+  std::vector<double> p;
+  for (std::size_t i = 1; i <= m; ++i) {
+    p.push_back(q * static_cast<double>(i) / static_cast<double>(m));
+  }
+  const auto keep = benjamini_hochberg(p, q);
+  for (const bool k : keep) EXPECT_TRUE(k);
+}
+
+TEST(Fdr, ControlsFalseDiscoveryOnUniformNulls) {
+  // With pure-null uniform p-values, BH rejects nothing most of the time;
+  // across repetitions the false discovery proportion stays near q.
+  Rng rng(43);
+  int total_rejections = 0;
+  const int reps = 200;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::vector<double> p(50);
+    for (auto& x : p) x = rng.next_double();
+    const auto keep = benjamini_hochberg(p, 0.05);
+    for (const bool k : keep) total_rejections += k ? 1 : 0;
+  }
+  // Expected rejections under the null are well below 5% of all tests.
+  EXPECT_LT(total_rejections, reps * 50 * 0.05);
+}
+
+TEST(Fdr, RejectsInvalidQ) {
+  EXPECT_THROW(benjamini_hochberg({0.5}, 0.0), ConfigError);
+  EXPECT_THROW(benjamini_hochberg({0.5}, 1.0), ConfigError);
+}
+
+}  // namespace
+}  // namespace gnumap

@@ -1,0 +1,209 @@
+// Unit tests for gnumap/util: RNG, strings, timers, thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "gnumap/util/error.hpp"
+#include "gnumap/util/rng.hpp"
+#include "gnumap/util/string_util.hpp"
+#include "gnumap/util/thread_pool.hpp"
+#include "gnumap/util/timer.hpp"
+
+namespace gnumap {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(9);
+  for (const std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000003ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(21);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.next_gaussian();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng(23);
+  for (const double lambda : {0.5, 4.0, 30.0, 100.0}) {
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += rng.next_poisson(lambda);
+    EXPECT_NEAR(sum / n, lambda, lambda * 0.1 + 0.05) << "lambda=" << lambda;
+  }
+}
+
+TEST(Rng, PoissonZeroLambda) {
+  Rng rng(1);
+  EXPECT_EQ(rng.next_poisson(0.0), 0u);
+  EXPECT_EQ(rng.next_poisson(-1.0), 0u);
+}
+
+TEST(Rng, SplitStreamsIndependent) {
+  Rng parent(5);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(StringUtil, SplitKeepsEmptyFields) {
+  const auto fields = split("a\t\tb\t", '\t');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[2], "b");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(StringUtil, StripWhitespace) {
+  EXPECT_EQ(strip("  hi \t\r\n"), "hi");
+  EXPECT_EQ(strip(""), "");
+  EXPECT_EQ(strip(" \t "), "");
+  EXPECT_EQ(strip("x"), "x");
+}
+
+TEST(StringUtil, ParseU64) {
+  EXPECT_EQ(parse_u64("12345"), 12345u);
+  EXPECT_EQ(parse_u64(" 7 "), 7u);
+  EXPECT_THROW(parse_u64("12x"), ParseError);
+  EXPECT_THROW(parse_u64(""), ParseError);
+  EXPECT_THROW(parse_u64("-3"), ParseError);
+}
+
+TEST(StringUtil, ParseDouble) {
+  EXPECT_DOUBLE_EQ(parse_double("1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(parse_double("-2e3"), -2000.0);
+  EXPECT_THROW(parse_double("abc"), ParseError);
+}
+
+TEST(StringUtil, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512.00 B");
+  EXPECT_EQ(format_bytes(2048), "2.00 KB");
+  EXPECT_EQ(format_bytes(5ull * 1024 * 1024 * 1024), "5.00 GB");
+}
+
+TEST(StringUtil, FormatPercent) {
+  EXPECT_EQ(format_percent(0.932), "93.2%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+}
+
+TEST(StringUtil, FormatHms) {
+  EXPECT_EQ(format_hms(0.0), "00:00:00");
+  EXPECT_EQ(format_hms(3661.0), "01:01:01");
+  EXPECT_EQ(format_hms(15955.0), "04:25:55");  // paper's NORM wall clock
+}
+
+TEST(Timer, MeasuresElapsed) {
+  Timer timer;
+  volatile double x = 0.0;
+  for (int i = 0; i < 100000; ++i) x = x + 1.0;
+  EXPECT_GE(timer.seconds(), 0.0);
+}
+
+TEST(Stopwatch, Accumulates) {
+  Stopwatch sw;
+  sw.add_seconds(1.5);
+  sw.add_seconds(0.5);
+  EXPECT_DOUBLE_EQ(sw.total_seconds(), 2.0);
+  sw.reset();
+  EXPECT_DOUBLE_EQ(sw.total_seconds(), 0.0);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), 7, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, 1, [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, SubmitAndWait) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(FreeParallelFor, SingleThreadWorks) {
+  std::vector<int> hits(100, 0);
+  parallel_for(1, 0, hits.size(), 10, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) ++hits[i];
+  });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(FreeParallelFor, ManyThreadsCoverOnce) {
+  std::vector<std::atomic<int>> hits(5000);
+  parallel_for(8, 0, hits.size(), 13, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Error, RequireThrows) {
+  EXPECT_NO_THROW(require(true, "fine"));
+  EXPECT_THROW(require(false, "boom"), ConfigError);
+}
+
+}  // namespace
+}  // namespace gnumap
