@@ -103,5 +103,8 @@ int main(int argc, char** argv) {
   } catch (const Error& e) {
     std::fprintf(stderr, "gnumap_eval_cli: %s\n", e.what());
     return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gnumap_eval_cli: internal error: %s\n", e.what());
+    return 1;
   }
 }

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <mutex>
 #include <optional>
+#include <set>
+#include <utility>
 
 #include "gnumap/core/read_mapper.hpp"
 #include "gnumap/core/snp_caller.hpp"
@@ -158,7 +160,460 @@ void compute_turn(Communicator& comm, bool serialize, Stopwatch& clock,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Checkpointing.
+//
+// Each rank periodically serializes its recoverable state — accumulator
+// bytes, shard/batch cursor, mapping statistics — to an in-process store
+// standing in for the stable storage a real cluster would use.  After an
+// aborted attempt the next attempt restores from these snapshots instead of
+// starting over.  Accumulator (de)serialization round-trips floats exactly,
+// so a restarted run replays into bit-identical state.
+
+struct Checkpoint {
+  /// Reads completed: within the rank's shard (read-partition) or the
+  /// global read offset of the last finished batch (genome-partition).
+  std::uint64_t progress = 0;
+  std::vector<std::uint8_t> accum;
+  std::vector<std::uint8_t> left_halo;   // genome-partition only
+  std::vector<std::uint8_t> right_halo;  // genome-partition only
+  MapStats stats;
+  std::uint64_t mapped_reads = 0;  // genome-partition, rank 0 only
+};
+
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(int ranks)
+      : per_rank_(static_cast<std::size_t>(ranks)) {}
+
+  /// `keep_history` retains earlier snapshots so the genome-partition mode
+  /// can rewind every rank to a common batch boundary; the read-partition
+  /// mode only ever needs the latest snapshot per rank.
+  void save(int rank, Checkpoint cp, bool keep_history) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& history = per_rank_[static_cast<std::size_t>(rank)];
+    if (!keep_history) history.clear();
+    history.push_back(std::move(cp));
+  }
+
+  std::optional<Checkpoint> latest(int rank) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto& history = per_rank_[static_cast<std::size_t>(rank)];
+    if (history.empty()) return std::nullopt;
+    return history.back();
+  }
+
+  std::optional<Checkpoint> at(int rank, std::uint64_t progress) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto& history = per_rank_[static_cast<std::size_t>(rank)];
+    for (auto it = history.rbegin(); it != history.rend(); ++it) {
+      if (it->progress == progress) return *it;
+    }
+    return std::nullopt;
+  }
+
+  std::uint64_t latest_progress(int rank) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto& history = per_rank_[static_cast<std::size_t>(rank)];
+    return history.empty() ? 0 : history.back().progress;
+  }
+
+  /// Highest progress value every rank has a snapshot for.  Ranks take
+  /// snapshots at identical deterministic boundaries, so the minimum of the
+  /// per-rank maxima is reachable by every rank (0 = start over).
+  std::uint64_t common_progress() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t common = UINT64_MAX;
+    for (const auto& history : per_rank_) {
+      common = std::min(common, history.empty() ? 0 : history.back().progress);
+    }
+    return common == UINT64_MAX ? 0 : common;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::vector<Checkpoint>> per_rank_;
+};
+
+/// Read-index ranges reclaimed from dead ranks, per surviving rank.
+using ExtraRanges = std::vector<std::vector<std::pair<std::size_t, std::size_t>>>;
+
+std::pair<std::size_t, std::size_t> shard_of(std::size_t total_reads, int rank,
+                                             int ranks) {
+  const std::size_t begin = total_reads * static_cast<std::size_t>(rank) /
+                            static_cast<std::size_t>(ranks);
+  const std::size_t end = total_reads * (static_cast<std::size_t>(rank) + 1) /
+                          static_cast<std::size_t>(ranks);
+  return {begin, end};
+}
+
+/// Everything one attempt's rank bodies need, fixed for that attempt.
+struct AttemptContext {
+  const Genome& genome;
+  const std::vector<Read>& reads;
+  const PipelineConfig& config;
+  const DistOptions& options;
+  const HashIndex* shared_index;
+  CheckpointStore& store;
+  bool fault_mode = false;
+  std::uint64_t checkpoint_interval = 0;
+  /// Ranks lost to kReclaimReads: they restore their last checkpoint and
+  /// contribute it to the reduction, but map nothing further.
+  const std::set<int>& lost;
+  const ExtraRanges& extra;      ///< reclaimed read ranges per rank
+  std::uint64_t resume_reads = 0;  ///< genome-partition common resume offset
+  DistResult& result;
+  std::mutex& result_mutex;
+};
+
+// ---------------------------------------------------------------------------
+// Read-partition mode ("shared memory mode"): every rank holds the full
+// genome and maps a shard of the reads; accumulators reduce at rank 0.
+
+void run_read_partition_rank(Communicator& comm, const AttemptContext& ctx) {
+  const int rank = comm.rank();
+  const int p = comm.size();
+  const PipelineConfig& config = ctx.config;
+  Stopwatch& clock = comm.compute_clock();
+
+  std::optional<HashIndex> own_index;
+  const HashIndex* index = ctx.shared_index;
+  if (index == nullptr) {
+    compute_turn(comm, ctx.options.serialize_compute, clock, [&] {
+      own_index.emplace(ctx.genome, config.index);
+    });
+    index = &*own_index;
+  }
+  const ReadMapper mapper(ctx.genome, *index, config);
+  auto accum = make_accumulator(config.accum_kind, 0, ctx.genome.padded_size(),
+                                config.centdisc_quantize);
+
+  const auto [shard_begin, shard_end] =
+      shard_of(ctx.reads.size(), rank, p);
+  const std::uint64_t shard_size = shard_end - shard_begin;
+  const bool ghost = ctx.lost.count(rank) > 0;
+
+  MapStats stats;
+  std::uint64_t done = 0;  // reads of this rank's shard completed
+  if (ctx.fault_mode) {
+    if (const auto cp = ctx.store.latest(rank)) {
+      accum->from_bytes(cp->accum);
+      stats = cp->stats;
+      done = cp->progress;
+    }
+  }
+
+  compute_turn(comm, ctx.options.serialize_compute, clock, [&] {
+    if (ghost) return;  // recovered from stable storage; shard reclaimed
+    MapperWorkspace ws;
+    for (std::size_t r = shard_begin + done; r < shard_end; ++r) {
+      mapper.map_read(ctx.reads[r], *accum, ws, stats);
+      ++done;
+      comm.step();
+      if (ctx.fault_mode && ctx.checkpoint_interval > 0 &&
+          done % ctx.checkpoint_interval == 0 && done < shard_size) {
+        ctx.store.save(rank, Checkpoint{done, accum->to_bytes(), {}, {},
+                                        stats, 0},
+                       /*keep_history=*/false);
+      }
+    }
+    if (ctx.fault_mode) {
+      // Final shard snapshot: a crash during the reduction restarts
+      // without redoing any mapping.  Taken before reclaimed ranges so a
+      // later restore never double-counts them.
+      ctx.store.save(rank, Checkpoint{done, accum->to_bytes(), {}, {},
+                                      stats, 0},
+                     /*keep_history=*/false);
+    }
+    for (const auto& [extra_begin, extra_end] :
+         ctx.extra[static_cast<std::size_t>(rank)]) {
+      for (std::size_t r = extra_begin; r < extra_end; ++r) {
+        mapper.map_read(ctx.reads[r], *accum, ws, stats);
+        comm.step();
+      }
+    }
+  });
+
+  // Reduce the genome state at rank 0 (the end-of-run communication).
+  auto reduced = comm.reduce(
+      0, accum->to_bytes(),
+      [&](std::vector<std::uint8_t> a, std::vector<std::uint8_t> b) {
+        auto left = make_accumulator(config.accum_kind, 0,
+                                     ctx.genome.padded_size(),
+                                     config.centdisc_quantize);
+        auto right = make_accumulator(config.accum_kind, 0,
+                                      ctx.genome.padded_size(),
+                                      config.centdisc_quantize);
+        left->from_bytes(a);
+        right->from_bytes(b);
+        left->merge(*right);
+        return left->to_bytes();
+      });
+
+  std::vector<SnpCall> calls;
+  if (rank == 0) {
+    accum->from_bytes(reduced);
+    clock.start();
+    calls = call_snps(ctx.genome, *accum, config);
+    clock.stop();
+  }
+
+  std::lock_guard<std::mutex> lock(ctx.result_mutex);
+  ctx.result.stats += stats;
+  ctx.result.max_rank_accum_bytes =
+      std::max(ctx.result.max_rank_accum_bytes, accum->memory_bytes());
+  ctx.result.total_accum_bytes += accum->memory_bytes();
+  if (index != nullptr) {
+    ctx.result.max_rank_index_bytes =
+        std::max(ctx.result.max_rank_index_bytes, index->memory_bytes());
+  }
+  if (rank == 0) ctx.result.calls = std::move(calls);
+}
+
+// ---------------------------------------------------------------------------
+// Genome-partition mode ("spread memory mode"): genome segments, reads
+// broadcast, per-read score normalization via allreduce, halo exchange.
+
+void run_genome_partition_rank(Communicator& comm, const AttemptContext& ctx) {
+  const int rank = comm.rank();
+  const int p = comm.size();
+  const PipelineConfig& config = ctx.config;
+  const std::vector<Read>& reads = ctx.reads;
+  Stopwatch& clock = comm.compute_clock();
+
+  std::uint32_t max_read_len = 0;
+  for (const auto& read : reads) {
+    max_read_len =
+        std::max(max_read_len, static_cast<std::uint32_t>(read.length()));
+  }
+  const std::uint64_t margin =
+      static_cast<std::uint64_t>(max_read_len) +
+      static_cast<std::uint64_t>(config.window_pad) +
+      static_cast<std::uint64_t>(config.seeder.band_width);
+  const auto segments = partition_genome(ctx.genome, p, margin);
+  // The halo exchange below assumes halos only reach into *adjacent*
+  // cores; require every segment to be at least one margin long.
+  for (const auto& s : segments) {
+    require(s.core_end - s.core_begin >= margin,
+            "run_distributed: genome too small for this many ranks "
+            "(segment shorter than the read-length margin)");
+  }
+  const GenomeSegment& seg = segments[static_cast<std::size_t>(rank)];
+
+  std::optional<HashIndex> index;
+  compute_turn(comm, ctx.options.serialize_compute, clock, [&] {
+    index.emplace(ctx.genome, config.index, seg.store_begin, seg.store_end);
+  });
+  const ReadMapper mapper(ctx.genome, *index, config);
+  // The rank accumulates over its core plus halos: a read whose diagonal
+  // this rank owns can contribute to positions just inside a neighbor's
+  // core.  Halo slices are exchanged after mapping (below) so every
+  // position's owner sees the full evidence.
+  auto accum = make_accumulator(config.accum_kind, seg.core_begin,
+                                seg.core_end - seg.core_begin,
+                                config.centdisc_quantize);
+  std::unique_ptr<Accumulator> left_halo, right_halo;
+  if (seg.store_begin < seg.core_begin) {
+    left_halo = make_accumulator(config.accum_kind, seg.store_begin,
+                                 seg.core_begin - seg.store_begin,
+                                 config.centdisc_quantize);
+  }
+  if (seg.store_end > seg.core_end) {
+    right_halo = make_accumulator(config.accum_kind, seg.core_end,
+                                  seg.store_end - seg.core_end,
+                                  config.centdisc_quantize);
+  }
+  auto accumulate_everywhere = [&](const ScoredSite& site) {
+    ReadMapper::accumulate_site(site, *accum);
+    if (left_halo) ReadMapper::accumulate_site(site, *left_halo);
+    if (right_halo) ReadMapper::accumulate_site(site, *right_halo);
+  };
+
+  MapStats stats;
+  std::uint64_t mapped_reads = 0;
+  const std::size_t total_reads = reads.size();
+  std::size_t resume_begin = 0;
+  if (ctx.fault_mode && ctx.resume_reads > 0) {
+    const auto cp = ctx.store.at(rank, ctx.resume_reads);
+    require(cp.has_value(),
+            "run_distributed: missing checkpoint at common resume point");
+    accum->from_bytes(cp->accum);
+    if (left_halo && !cp->left_halo.empty()) {
+      left_halo->from_bytes(cp->left_halo);
+    }
+    if (right_halo && !cp->right_halo.empty()) {
+      right_halo->from_bytes(cp->right_halo);
+    }
+    stats = cp->stats;
+    mapped_reads = cp->mapped_reads;
+    resume_begin = ctx.resume_reads;
+  }
+
+  MapperWorkspace ws;
+  for (std::size_t batch_begin = resume_begin; batch_begin < total_reads;
+       batch_begin += ctx.options.batch_size) {
+    const std::size_t batch_end =
+        std::min(total_reads, batch_begin + ctx.options.batch_size);
+    // Rank 0 broadcasts the batch; every rank pays the communication.
+    std::vector<std::uint8_t> payload;
+    if (rank == 0) payload = serialize_reads(reads, batch_begin, batch_end);
+    payload = comm.bcast(0, std::move(payload));
+    const std::vector<Read> batch = deserialize_reads(payload);
+
+    // Score local candidates; collect per-read raw likelihood sums.
+    std::vector<double> likelihood_sum(batch.size(), 0.0);
+    std::vector<std::vector<ScoredSite>> scored(batch.size());
+    compute_turn(comm, ctx.options.serialize_compute, clock, [&] {
+      for (std::size_t r = 0; r < batch.size(); ++r) {
+        scored[r] = mapper.score_read(batch[r], ws, stats, seg.core_begin,
+                                      seg.core_end);
+        // score_read already applied the per-read softmax locally; undo
+        // nothing — we need raw likelihoods, which it kept in
+        // log_likelihood.  Recompute the local raw sum.
+        for (const auto& site : scored[r]) {
+          likelihood_sum[r] += std::exp(site.log_likelihood);
+        }
+      }
+    });
+
+    // Cross-machine score normalization (the paper's "calculates the
+    // final score" traffic): total likelihood across all segments.
+    comm.allreduce_sum(likelihood_sum);
+
+    compute_turn(comm, ctx.options.serialize_compute, clock, [&] {
+      for (std::size_t r = 0; r < batch.size(); ++r) {
+        const double total = likelihood_sum[r];
+        if (!(total > 0.0)) continue;
+        // Global mapped test mirrors the serial per-base cutoff.
+        const double cutoff = std::exp(
+            config.min_loglik_per_base *
+            static_cast<double>(batch[r].length()));
+        if (total < cutoff) continue;
+        if (rank == 0) ++mapped_reads;
+        for (auto& site : scored[r]) {
+          const double weight = std::exp(site.log_likelihood) / total;
+          if (weight < config.min_site_posterior) continue;
+          site.weight = weight;
+          accumulate_everywhere(site);
+        }
+      }
+    });
+
+    comm.step();
+    if (ctx.fault_mode && ctx.checkpoint_interval > 0) {
+      // Batch boundaries are a fixed grid (multiples of batch_size), so
+      // every rank snapshots at the same `progress` values across
+      // attempts — the invariant common_progress() relies on.
+      const std::uint64_t batches_done =
+          (batch_end + ctx.options.batch_size - 1) / ctx.options.batch_size;
+      if (batches_done % ctx.checkpoint_interval == 0 ||
+          batch_end == total_reads) {
+        ctx.store.save(
+            rank,
+            Checkpoint{batch_end, accum->to_bytes(),
+                       left_halo ? left_halo->to_bytes()
+                                 : std::vector<std::uint8_t>{},
+                       right_halo ? right_halo->to_bytes()
+                                  : std::vector<std::uint8_t>{},
+                       stats, mapped_reads},
+            /*keep_history=*/true);
+      }
+    }
+  }
+
+  // Halo exchange: ship the slices that spilled past this rank's core to
+  // their owners, and fold the neighbors' spill into this core.  One
+  // message to each neighbor; merged position-by-position because the
+  // halo range is a sub-range of the receiver's core.
+  constexpr int kHaloLeftTag = 101;   // payload heading to rank - 1
+  constexpr int kHaloRightTag = 102;  // payload heading to rank + 1
+  auto fold_halo = [&](const std::vector<std::uint8_t>& bytes,
+                       GenomePos begin, GenomePos end) {
+    if (bytes.empty()) return;
+    auto temp = make_accumulator(config.accum_kind, begin, end - begin,
+                                 config.centdisc_quantize);
+    temp->from_bytes(bytes);
+    for (GenomePos pos = begin; pos < end; ++pos) {
+      const TrackVector counts = temp->counts(pos);
+      bool any = false;
+      for (const float v : counts) any |= v > 0.0f;
+      if (any) accum->add(pos, counts);
+    }
+  };
+  if (p > 1) {
+    // Even/odd phases avoid send/recv ordering deadlock... not needed:
+    // mpsim sends are buffered, so everyone sends first, then receives.
+    if (rank > 0) {
+      comm.send(rank - 1, kHaloLeftTag,
+                left_halo ? left_halo->to_bytes()
+                          : std::vector<std::uint8_t>{});
+    }
+    if (rank + 1 < p) {
+      comm.send(rank + 1, kHaloRightTag,
+                right_halo ? right_halo->to_bytes()
+                           : std::vector<std::uint8_t>{});
+    }
+    if (rank + 1 < p) {
+      // Neighbor r+1's left halo covers [their store_begin, their
+      // core_begin) = a suffix of this rank's core.
+      const auto& next = segments[static_cast<std::size_t>(rank + 1)];
+      fold_halo(comm.recv(rank + 1, kHaloLeftTag), next.store_begin,
+                next.core_begin);
+    }
+    if (rank > 0) {
+      const auto& prev = segments[static_cast<std::size_t>(rank - 1)];
+      fold_halo(comm.recv(rank - 1, kHaloRightTag), prev.core_end,
+                prev.store_end);
+    }
+  }
+
+  // Each rank calls SNPs on the segment it owns; gather at rank 0.
+  std::vector<SnpCall> local_calls;
+  compute_turn(comm, ctx.options.serialize_compute, clock, [&] {
+    local_calls =
+        call_snps(ctx.genome, *accum, config, seg.core_begin, seg.core_end);
+  });
+  auto gathered = comm.gather(0, serialize_calls(local_calls));
+
+  std::lock_guard<std::mutex> lock(ctx.result_mutex);
+  // In this mode every rank sees every read; count the stream once.
+  stats.reads_total = rank == 0 ? total_reads : 0;
+  stats.reads_mapped = rank == 0 ? mapped_reads : 0;
+  ctx.result.stats += stats;
+  ctx.result.max_rank_accum_bytes =
+      std::max(ctx.result.max_rank_accum_bytes, accum->memory_bytes());
+  ctx.result.total_accum_bytes += accum->memory_bytes();
+  ctx.result.max_rank_index_bytes =
+      std::max(ctx.result.max_rank_index_bytes, index->memory_bytes());
+  if (rank == 0) {
+    std::vector<SnpCall> all;
+    for (auto& payload : gathered) {
+      auto calls = deserialize_calls(payload);
+      all.insert(all.end(), std::make_move_iterator(calls.begin()),
+                 std::make_move_iterator(calls.end()));
+    }
+    std::sort(all.begin(), all.end(),
+              [](const SnpCall& a, const SnpCall& b) {
+                if (a.contig != b.contig) return a.contig < b.contig;
+                return a.position < b.position;
+              });
+    ctx.result.calls = std::move(all);
+  }
+}
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// run_distributed: the recovery driver.
+//
+// Fault-free runs execute the world exactly once, with no timeouts and no
+// checkpoints — bit-identical to the substrate without this layer.  With a
+// FaultPlan, the driver loops: each attempt runs the world with a recv
+// timeout and periodic checkpoints; if the attempt aborts on a CommError
+// (injected crash, dropped message, peer death), the next attempt restores
+// from the checkpoints — restarting the failed rank, or, under
+// kReclaimReads, redistributing its unprocessed reads over the survivors.
+// Non-communication exceptions (real bugs) propagate immediately.
 
 DistResult run_distributed(const Genome& genome,
                            const std::vector<Read>& reads,
@@ -167,277 +622,130 @@ DistResult run_distributed(const Genome& genome,
                            const HashIndex* shared_index) {
   require(options.ranks >= 1, "run_distributed: ranks must be >= 1");
   require(options.batch_size >= 1, "run_distributed: batch_size must be >= 1");
+  require(options.max_attempts >= 1,
+          "run_distributed: max_attempts must be >= 1");
 
-  DistResult result;
-  result.costs.resize(static_cast<std::size_t>(options.ranks));
-  std::mutex result_mutex;
+  const bool fault_mode = !options.faults.empty();
+  FaultState fault_state(options.faults);
+  WorldOptions world_options;
+  world_options.faults = fault_mode ? &fault_state : nullptr;
+  world_options.recv_timeout_seconds =
+      options.recv_timeout_seconds > 0.0
+          ? options.recv_timeout_seconds
+          : (fault_mode ? 5.0 : 0.0);
+
+  std::uint64_t checkpoint_interval = options.checkpoint_interval;
+  if (fault_mode && checkpoint_interval == 0) {
+    if (options.mode == DistMode::kReadPartition) {
+      // ~4 checkpoints per shard.
+      checkpoint_interval = std::max<std::uint64_t>(
+          1, reads.size() / static_cast<std::size_t>(options.ranks) / 4);
+    } else {
+      checkpoint_interval = 1;  // every broadcast batch
+    }
+  }
+
+  const bool reclaim = options.recovery == RecoveryPolicy::kReclaimReads &&
+                       options.mode == DistMode::kReadPartition;
+  const int max_attempts = fault_mode ? options.max_attempts : 1;
+
+  CheckpointStore store(options.ranks);
+  std::set<int> lost;
+  std::vector<int> failed_ranks;
+  std::vector<std::vector<RankCost>> attempt_costs;
   Timer wall;
 
-  const auto body = [&](Communicator& comm) {
-    const int rank = comm.rank();
-    const int p = comm.size();
-    Stopwatch& clock = comm.compute_clock();
+  for (int attempt = 0;; ++attempt) {
+    DistResult result;
+    result.costs.resize(static_cast<std::size_t>(options.ranks));
+    std::mutex result_mutex;
 
-    if (options.mode == DistMode::kReadPartition) {
-      // --- Shared-genome mode: map a read shard, reduce accumulators. ---
-      std::optional<HashIndex> own_index;
-      const HashIndex* index = shared_index;
-      if (index == nullptr) {
-        compute_turn(comm, options.serialize_compute, clock, [&] {
-          own_index.emplace(genome, config.index);
+    // Reclaimed shard ranges for this attempt: each lost rank's reads past
+    // its last checkpoint, split contiguously over the survivors.
+    ExtraRanges extra(static_cast<std::size_t>(options.ranks));
+    if (reclaim && !lost.empty()) {
+      std::vector<int> survivors;
+      for (int r = 0; r < options.ranks; ++r) {
+        if (lost.count(r) == 0) survivors.push_back(r);
+      }
+      require(!survivors.empty(),
+              "run_distributed: every rank failed; nothing left to reclaim");
+      for (const int f : lost) {
+        const auto [f_begin, f_end] = shard_of(reads.size(), f, options.ranks);
+        const std::size_t todo_begin = f_begin + store.latest_progress(f);
+        const std::size_t n = f_end > todo_begin ? f_end - todo_begin : 0;
+        const std::size_t m = survivors.size();
+        for (std::size_t k = 0; k < m; ++k) {
+          const std::size_t piece_begin = todo_begin + n * k / m;
+          const std::size_t piece_end = todo_begin + n * (k + 1) / m;
+          if (piece_begin < piece_end) {
+            extra[static_cast<std::size_t>(survivors[k])].emplace_back(
+                piece_begin, piece_end);
+          }
+        }
+      }
+    }
+
+    AttemptContext ctx{genome,
+                       reads,
+                       config,
+                       options,
+                       shared_index,
+                       store,
+                       fault_mode,
+                       checkpoint_interval,
+                       lost,
+                       extra,
+                       /*resume_reads=*/
+                       (fault_mode && options.mode == DistMode::kGenomePartition)
+                           ? store.common_progress()
+                           : 0,
+                       result,
+                       result_mutex};
+
+    const WorldRun run = run_world_collect(
+        options.ranks, world_options, [&](Communicator& comm) {
+          if (options.mode == DistMode::kReadPartition) {
+            run_read_partition_rank(comm, ctx);
+          } else {
+            run_genome_partition_rank(comm, ctx);
+          }
         });
-        index = &*own_index;
-      }
-      const ReadMapper mapper(genome, *index, config);
-      auto accum =
-          make_accumulator(config.accum_kind, 0, genome.padded_size(),
-                       config.centdisc_quantize);
 
-      const std::size_t shard_begin =
-          reads.size() * static_cast<std::size_t>(rank) /
-          static_cast<std::size_t>(p);
-      const std::size_t shard_end =
-          reads.size() * (static_cast<std::size_t>(rank) + 1) /
-          static_cast<std::size_t>(p);
-      MapStats stats;
-      compute_turn(comm, options.serialize_compute, clock, [&] {
-        MapperWorkspace ws;
-        for (std::size_t r = shard_begin; r < shard_end; ++r) {
-          mapper.map_read(reads[r], *accum, ws, stats);
-        }
-      });
+    std::vector<RankCost> costs(static_cast<std::size_t>(options.ranks));
+    for (int r = 0; r < options.ranks; ++r) {
+      costs[static_cast<std::size_t>(r)].compute_seconds =
+          run.compute_seconds[static_cast<std::size_t>(r)];
+      costs[static_cast<std::size_t>(r)].comm =
+          run.stats[static_cast<std::size_t>(r)];
+    }
+    attempt_costs.push_back(std::move(costs));
 
-      // Reduce the genome state at rank 0 (the end-of-run communication).
-      auto reduced = comm.reduce(
-          0, accum->to_bytes(),
-          [&](std::vector<std::uint8_t> a, std::vector<std::uint8_t> b) {
-            auto left =
-                make_accumulator(config.accum_kind, 0, genome.padded_size(),
-                       config.centdisc_quantize);
-            auto right =
-                make_accumulator(config.accum_kind, 0, genome.padded_size(),
-                       config.centdisc_quantize);
-            left->from_bytes(a);
-            right->from_bytes(b);
-            left->merge(*right);
-            return left->to_bytes();
-          });
-
-      std::vector<SnpCall> calls;
-      if (rank == 0) {
-        accum->from_bytes(reduced);
-        clock.start();
-        calls = call_snps(genome, *accum, config);
-        clock.stop();
-      }
-
-      std::lock_guard<std::mutex> lock(result_mutex);
-      result.stats += stats;
-      result.costs[static_cast<std::size_t>(rank)].compute_seconds =
-          clock.total_seconds();
-      result.max_rank_accum_bytes =
-          std::max(result.max_rank_accum_bytes, accum->memory_bytes());
-      result.total_accum_bytes += accum->memory_bytes();
-      if (index != nullptr) {
-        result.max_rank_index_bytes =
-            std::max(result.max_rank_index_bytes, index->memory_bytes());
-      }
-      if (rank == 0) result.calls = std::move(calls);
-      return;
+    if (!run.error) {
+      result.costs = attempt_costs.back();
+      result.recovery.attempts = attempt + 1;
+      result.recovery.failed_ranks = failed_ranks;
+      const RecoveryCost rc = recovery_cost(attempt_costs, CostModelParams{});
+      result.recovery.resent_messages = rc.resent_messages;
+      result.recovery.resent_bytes = rc.resent_bytes;
+      result.recovery.redone_compute_seconds = rc.redone_compute_seconds;
+      result.attempt_costs = std::move(attempt_costs);
+      result.wall_seconds = wall.seconds();
+      return result;
     }
 
-    // --- Spread-memory mode: genome segments, reads broadcast. ---
-    std::uint32_t max_read_len = 0;
-    for (const auto& read : reads) {
-      max_read_len =
-          std::max(max_read_len, static_cast<std::uint32_t>(read.length()));
+    failed_ranks.push_back(run.failed_rank);
+    try {
+      std::rethrow_exception(run.error);
+    } catch (const CommError&) {
+      // Retryable: injected crash, dropped-message timeout, or the
+      // cascade of RankFailedErrors a dying peer causes.
+      if (attempt + 1 >= max_attempts) throw;
     }
-    const std::uint64_t margin =
-        static_cast<std::uint64_t>(max_read_len) +
-        static_cast<std::uint64_t>(config.window_pad) +
-        static_cast<std::uint64_t>(config.seeder.band_width);
-    const auto segments = partition_genome(genome, p, margin);
-    // The halo exchange below assumes halos only reach into *adjacent*
-    // cores; require every segment to be at least one margin long.
-    for (const auto& s : segments) {
-      require(s.core_end - s.core_begin >= margin,
-              "run_distributed: genome too small for this many ranks "
-              "(segment shorter than the read-length margin)");
-    }
-    const GenomeSegment& seg = segments[static_cast<std::size_t>(rank)];
-
-    std::optional<HashIndex> index;
-    compute_turn(comm, options.serialize_compute, clock, [&] {
-      index.emplace(genome, config.index, seg.store_begin, seg.store_end);
-    });
-    const ReadMapper mapper(genome, *index, config);
-    // The rank accumulates over its core plus halos: a read whose diagonal
-    // this rank owns can contribute to positions just inside a neighbor's
-    // core.  Halo slices are exchanged after mapping (below) so every
-    // position's owner sees the full evidence.
-    auto accum = make_accumulator(config.accum_kind, seg.core_begin,
-                                  seg.core_end - seg.core_begin,
-                                  config.centdisc_quantize);
-    std::unique_ptr<Accumulator> left_halo, right_halo;
-    if (seg.store_begin < seg.core_begin) {
-      left_halo = make_accumulator(config.accum_kind, seg.store_begin,
-                                   seg.core_begin - seg.store_begin,
-                                   config.centdisc_quantize);
-    }
-    if (seg.store_end > seg.core_end) {
-      right_halo = make_accumulator(config.accum_kind, seg.core_end,
-                                    seg.store_end - seg.core_end,
-                                    config.centdisc_quantize);
-    }
-    auto accumulate_everywhere = [&](const ScoredSite& site) {
-      ReadMapper::accumulate_site(site, *accum);
-      if (left_halo) ReadMapper::accumulate_site(site, *left_halo);
-      if (right_halo) ReadMapper::accumulate_site(site, *right_halo);
-    };
-
-    MapStats stats;
-    std::uint64_t mapped_reads = 0;
-    const std::size_t total_reads = reads.size();
-    MapperWorkspace ws;
-    for (std::size_t batch_begin = 0; batch_begin < total_reads;
-         batch_begin += options.batch_size) {
-      const std::size_t batch_end =
-          std::min(total_reads, batch_begin + options.batch_size);
-      // Rank 0 broadcasts the batch; every rank pays the communication.
-      std::vector<std::uint8_t> payload;
-      if (rank == 0) payload = serialize_reads(reads, batch_begin, batch_end);
-      payload = comm.bcast(0, std::move(payload));
-      const std::vector<Read> batch = deserialize_reads(payload);
-
-      // Score local candidates; collect per-read raw likelihood sums.
-      std::vector<double> likelihood_sum(batch.size(), 0.0);
-      std::vector<std::vector<ScoredSite>> scored(batch.size());
-      compute_turn(comm, options.serialize_compute, clock, [&] {
-        for (std::size_t r = 0; r < batch.size(); ++r) {
-          scored[r] = mapper.score_read(batch[r], ws, stats, seg.core_begin,
-                                        seg.core_end);
-          // score_read already applied the per-read softmax locally; undo
-          // nothing — we need raw likelihoods, which it kept in
-          // log_likelihood.  Recompute the local raw sum.
-          for (const auto& site : scored[r]) {
-            likelihood_sum[r] += std::exp(site.log_likelihood);
-          }
-        }
-      });
-
-      // Cross-machine score normalization (the paper's "calculates the
-      // final score" traffic): total likelihood across all segments.
-      comm.allreduce_sum(likelihood_sum);
-
-      compute_turn(comm, options.serialize_compute, clock, [&] {
-        for (std::size_t r = 0; r < batch.size(); ++r) {
-          const double total = likelihood_sum[r];
-          if (!(total > 0.0)) continue;
-          // Global mapped test mirrors the serial per-base cutoff.
-          const double cutoff = std::exp(
-              config.min_loglik_per_base *
-              static_cast<double>(batch[r].length()));
-          if (total < cutoff) continue;
-          if (rank == 0) ++mapped_reads;
-          for (auto& site : scored[r]) {
-            const double weight = std::exp(site.log_likelihood) / total;
-            if (weight < config.min_site_posterior) continue;
-            site.weight = weight;
-            accumulate_everywhere(site);
-          }
-        }
-      });
-    }
-
-    // Halo exchange: ship the slices that spilled past this rank's core to
-    // their owners, and fold the neighbors' spill into this core.  One
-    // message to each neighbor; merged position-by-position because the
-    // halo range is a sub-range of the receiver's core.
-    constexpr int kHaloLeftTag = 101;   // payload heading to rank - 1
-    constexpr int kHaloRightTag = 102;  // payload heading to rank + 1
-    auto fold_halo = [&](const std::vector<std::uint8_t>& bytes,
-                         GenomePos begin, GenomePos end) {
-      if (bytes.empty()) return;
-      auto temp = make_accumulator(config.accum_kind, begin, end - begin,
-                                   config.centdisc_quantize);
-      temp->from_bytes(bytes);
-      for (GenomePos pos = begin; pos < end; ++pos) {
-        const TrackVector counts = temp->counts(pos);
-        bool any = false;
-        for (const float v : counts) any |= v > 0.0f;
-        if (any) accum->add(pos, counts);
-      }
-    };
-    if (p > 1) {
-      // Even/odd phases avoid send/recv ordering deadlock... not needed:
-      // mpsim sends are buffered, so everyone sends first, then receives.
-      if (rank > 0) {
-        comm.send(rank - 1, kHaloLeftTag,
-                  left_halo ? left_halo->to_bytes()
-                            : std::vector<std::uint8_t>{});
-      }
-      if (rank + 1 < p) {
-        comm.send(rank + 1, kHaloRightTag,
-                  right_halo ? right_halo->to_bytes()
-                             : std::vector<std::uint8_t>{});
-      }
-      if (rank + 1 < p) {
-        // Neighbor r+1's left halo covers [their store_begin, their
-        // core_begin) = a suffix of this rank's core.
-        const auto& next = segments[static_cast<std::size_t>(rank + 1)];
-        fold_halo(comm.recv(rank + 1, kHaloLeftTag), next.store_begin,
-                  next.core_begin);
-      }
-      if (rank > 0) {
-        const auto& prev = segments[static_cast<std::size_t>(rank - 1)];
-        fold_halo(comm.recv(rank - 1, kHaloRightTag), prev.core_end,
-                  prev.store_end);
-      }
-    }
-
-    // Each rank calls SNPs on the segment it owns; gather at rank 0.
-    std::vector<SnpCall> local_calls;
-    compute_turn(comm, options.serialize_compute, clock, [&] {
-      local_calls =
-          call_snps(genome, *accum, config, seg.core_begin, seg.core_end);
-    });
-    auto gathered = comm.gather(0, serialize_calls(local_calls));
-
-    std::lock_guard<std::mutex> lock(result_mutex);
-    // In this mode every rank sees every read; count the stream once.
-    stats.reads_total = rank == 0 ? total_reads : 0;
-    stats.reads_mapped = rank == 0 ? mapped_reads : 0;
-    result.stats += stats;
-    result.costs[static_cast<std::size_t>(rank)].compute_seconds =
-        clock.total_seconds();
-    result.max_rank_accum_bytes =
-        std::max(result.max_rank_accum_bytes, accum->memory_bytes());
-    result.total_accum_bytes += accum->memory_bytes();
-    result.max_rank_index_bytes =
-        std::max(result.max_rank_index_bytes, index->memory_bytes());
-    if (rank == 0) {
-      std::vector<SnpCall> all;
-      for (auto& payload : gathered) {
-        auto calls = deserialize_calls(payload);
-        all.insert(all.end(), std::make_move_iterator(calls.begin()),
-                   std::make_move_iterator(calls.end()));
-      }
-      std::sort(all.begin(), all.end(),
-                [](const SnpCall& a, const SnpCall& b) {
-                  if (a.contig != b.contig) return a.contig < b.contig;
-                  return a.position < b.position;
-                });
-      result.calls = std::move(all);
-    }
-  };
-
-  const auto comm_stats = run_world(options.ranks, body);
-  for (int r = 0; r < options.ranks; ++r) {
-    result.costs[static_cast<std::size_t>(r)].comm =
-        comm_stats[static_cast<std::size_t>(r)];
+    // Anything that is not a CommError escaped the catch above and has
+    // already propagated: real bugs are not retried.
+    if (reclaim && run.failed_rank >= 0) lost.insert(run.failed_rank);
   }
-  result.wall_seconds = wall.seconds();
-  return result;
 }
 
 }  // namespace gnumap

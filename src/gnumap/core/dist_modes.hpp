@@ -36,16 +36,42 @@ namespace gnumap {
 
 enum class DistMode { kReadPartition, kGenomePartition };
 
+/// How run_distributed recovers when a rank dies mid-run (fault injection).
+enum class RecoveryPolicy {
+  /// Restart the failed rank from its last checkpoint (both modes); the
+  /// survivors also rewind to their checkpoints and the attempt replays.
+  kRestartRank,
+  /// Read-partition only: the failed rank's recovered checkpoint is merged
+  /// as-is and its *unprocessed* reads are redistributed across the
+  /// surviving ranks (graceful degradation).  Falls back to kRestartRank in
+  /// genome-partition mode, where a segment cannot be reclaimed without
+  /// re-indexing.
+  kReclaimReads,
+};
+
+/// What recovering from injected faults cost, summarized per run.
+struct RecoverySummary {
+  int attempts = 1;               ///< total world executions (>= 1)
+  std::vector<int> failed_ranks;  ///< first failed rank of each aborted attempt
+  std::uint64_t resent_messages = 0;  ///< traffic of aborted attempts
+  std::uint64_t resent_bytes = 0;
+  double redone_compute_seconds = 0.0;  ///< compute burned in aborted attempts
+};
+
 struct DistResult {
   std::vector<SnpCall> calls;
   MapStats stats;               ///< aggregated over ranks
-  std::vector<RankCost> costs;  ///< per-rank measured compute + counted comm
+  std::vector<RankCost> costs;  ///< per-rank costs of the final attempt
   double wall_seconds = 0.0;    ///< host wall time (diagnostic only)
   /// Per-rank accumulator memory: equal on every rank in read-partition
   /// mode, segment-sized in genome-partition mode.
   std::uint64_t max_rank_accum_bytes = 0;
   std::uint64_t total_accum_bytes = 0;
   std::uint64_t max_rank_index_bytes = 0;
+  /// Every attempt's per-rank costs (aborted attempts included), for
+  /// simulated_makespan_with_recovery; attempt_costs.back() == costs.
+  std::vector<std::vector<RankCost>> attempt_costs;
+  RecoverySummary recovery;
 };
 
 struct DistOptions {
@@ -55,6 +81,23 @@ struct DistOptions {
   bool serialize_compute = true;
   /// Batch size for the genome-partition score-normalization allreduce.
   std::uint32_t batch_size = 512;
+
+  // --- Fault tolerance (no effect when `faults` is empty) ---------------
+  /// Injected faults for this run; an empty plan reproduces the fault-free
+  /// substrate bit-for-bit (no timeouts, no checkpoints, identical comm
+  /// counts).
+  FaultPlan faults;
+  /// Blocking-wait bound while injecting faults; 0 picks a generous
+  /// default.  Needed so dropped messages surface as CommError instead of
+  /// hanging a collective.
+  double recv_timeout_seconds = 0.0;
+  /// Checkpoint every N reads of a rank's shard (read-partition) or every
+  /// N broadcast batches (genome-partition); 0 picks a default.
+  std::uint64_t checkpoint_interval = 0;
+  /// World executions allowed before the fault is considered permanent and
+  /// the first failure is rethrown.
+  int max_attempts = 5;
+  RecoveryPolicy recovery = RecoveryPolicy::kRestartRank;
 };
 
 /// Runs the pipeline distributed.  `shared_index` may be passed for

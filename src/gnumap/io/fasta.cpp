@@ -12,7 +12,12 @@ namespace gnumap {
 std::vector<FastaRecord> read_fasta(std::istream& in) {
   std::vector<FastaRecord> records;
   std::string line;
+  bool first_line = true;
   while (std::getline(in, line)) {
+    if (first_line) {
+      strip_bom(line);
+      first_line = false;
+    }
     const auto text = strip(line);
     if (text.empty()) continue;
     if (text[0] == '>') {

@@ -19,8 +19,12 @@ bool FastqReader::next(Read& read) {
   // Skip blank lines between records (some tools emit them).
   do {
     if (!std::getline(in_, header)) return false;
+    if (count_ == 0) strip_bom(header);
   } while (strip(header).empty());
-  if (header.empty() || header[0] != '@') {
+  // Strip before the structural checks so CRLF line endings and stray
+  // surrounding whitespace never masquerade as malformed records.
+  const auto header_text = strip(header);
+  if (header_text[0] != '@') {
     throw ParseError("FASTQ record " + std::to_string(count_ + 1) +
                      ": header does not start with '@'");
   }
@@ -29,7 +33,8 @@ bool FastqReader::next(Read& read) {
     throw ParseError("FASTQ record " + std::to_string(count_ + 1) +
                      ": truncated record");
   }
-  if (plus.empty() || plus[0] != '+') {
+  const auto plus_text = strip(plus);
+  if (plus_text.empty() || plus_text[0] != '+') {
     throw ParseError("FASTQ record " + std::to_string(count_ + 1) +
                      ": separator line does not start with '+'");
   }
@@ -39,7 +44,7 @@ bool FastqReader::next(Read& read) {
     throw ParseError("FASTQ record " + std::to_string(count_ + 1) +
                      ": sequence/quality length mismatch");
   }
-  auto name_field = strip(header).substr(1);
+  auto name_field = header_text.substr(1);
   const auto space = name_field.find_first_of(" \t");
   read.name = std::string(space == std::string_view::npos
                               ? name_field

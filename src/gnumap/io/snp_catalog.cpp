@@ -16,6 +16,7 @@ SnpCatalog read_catalog(std::istream& in) {
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
+    if (line_no == 1) strip_bom(line);
     const auto text = strip(line);
     if (text.empty() || text[0] == '#') continue;
     const auto fields = split(text, '\t');

@@ -1,8 +1,10 @@
 #include "gnumap/mpsim/communicator.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <exception>
+#include <string>
 #include <thread>
 
 #include "gnumap/util/error.hpp"
@@ -18,11 +20,15 @@ constexpr int kCollectiveTagBase = 1 << 20;
 // ---------------------------------------------------------------------------
 // World
 
-World::World(int size) {
+World::World(int size, WorldOptions options) : options_(options) {
   require(size >= 1, "World: size must be >= 1");
+  require(options_.recv_timeout_seconds >= 0.0,
+          "World: recv_timeout_seconds must be >= 0");
   mailboxes_.reserve(static_cast<std::size_t>(size));
+  rank_state_.reserve(static_cast<std::size_t>(size));
   for (int i = 0; i < size; ++i) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
+    rank_state_.push_back(std::make_unique<std::atomic<std::uint8_t>>(kRunning));
   }
 }
 
@@ -37,8 +43,36 @@ void World::deliver(int dest, int source, int tag,
   box.arrived.notify_all();
 }
 
+void World::abort(int rank) {
+  int expected = -1;
+  first_failed_.compare_exchange_strong(expected, rank);
+  rank_state_[static_cast<std::size_t>(rank)]->store(kFailed);
+  wake_all();
+}
+
+void World::mark_finished(int rank) {
+  auto& state = *rank_state_[static_cast<std::size_t>(rank)];
+  std::uint8_t expected = kRunning;
+  state.compare_exchange_strong(expected, kFinished);
+  wake_all();
+}
+
+void World::wake_all() {
+  // Acquire each mailbox mutex before notifying so a receiver that checked
+  // the liveness flags and is about to wait cannot miss the wakeup.
+  for (auto& box : mailboxes_) {
+    { std::lock_guard<std::mutex> lock(box->mutex); }
+    box->arrived.notify_all();
+  }
+}
+
 std::vector<std::uint8_t> World::await(int dest, int source, int tag) {
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dest)];
+  const bool bounded = options_.recv_timeout_seconds > 0.0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(options_.recv_timeout_seconds));
   std::unique_lock<std::mutex> lock(box.mutex);
   for (;;) {
     const auto it = std::find_if(
@@ -50,7 +84,45 @@ std::vector<std::uint8_t> World::await(int dest, int source, int tag) {
       box.queue.erase(it);
       return payload;
     }
-    box.arrived.wait(lock);
+    // No matching message: fail fast if it can never arrive.
+    const int failed = first_failed_.load();
+    if (failed >= 0) {
+      throw RankFailedError(
+          "rank " + std::to_string(dest) + ": peer rank " +
+              std::to_string(failed) + " failed while awaiting (source=" +
+              std::to_string(source) + ", tag=" + std::to_string(tag) + ")",
+          failed);
+    }
+    if (rank_state_[static_cast<std::size_t>(source)]->load() == kFinished) {
+      throw RankFailedError(
+          "rank " + std::to_string(dest) + ": peer rank " +
+              std::to_string(source) +
+              " exited without sending the awaited message (tag=" +
+              std::to_string(tag) + ")",
+          source);
+    }
+    if (bounded) {
+      if (box.arrived.wait_until(lock, deadline) ==
+          std::cv_status::timeout) {
+        // Re-scan once: the message may have raced the deadline.
+        const auto late = std::find_if(
+            box.queue.begin(), box.queue.end(), [&](const Message& m) {
+              return m.source == source && m.tag == tag;
+            });
+        if (late != box.queue.end()) {
+          std::vector<std::uint8_t> payload = std::move(late->payload);
+          box.queue.erase(late);
+          return payload;
+        }
+        throw CommError(
+            "rank " + std::to_string(dest) + ": recv timeout after " +
+            std::to_string(options_.recv_timeout_seconds) +
+            "s waiting for rank " + std::to_string(source) + " (tag=" +
+            std::to_string(tag) + ")");
+      }
+    } else {
+      box.arrived.wait(lock);
+    }
   }
 }
 
@@ -62,17 +134,68 @@ Communicator::Communicator(World& world, int rank)
 
 int Communicator::size() const { return world_.size(); }
 
-void Communicator::send(int dest, int tag, std::vector<std::uint8_t> payload) {
-  require(tag >= 0 && tag < kCollectiveTagBase,
-          "send: application tags must be < 2^20");
+void Communicator::fault_step() {
+  const std::uint64_t step = step_count_++;
+  FaultState* faults = world_.options().faults;
+  if (faults != nullptr && faults->should_crash(rank_, step)) {
+    throw InjectedCrash("injected crash: rank " + std::to_string(rank_) +
+                            " at step " + std::to_string(step),
+                        rank_);
+  }
+}
+
+void Communicator::step() { fault_step(); }
+
+double Communicator::scaled_compute_seconds() const {
+  const FaultState* faults = world_.options().faults;
+  const double scale = faults != nullptr ? faults->compute_scale(rank_) : 1.0;
+  return compute_clock_.total_seconds() * scale;
+}
+
+void Communicator::raw_send(int dest, int tag,
+                            std::vector<std::uint8_t> payload) {
   ++stats_.messages_sent;
   stats_.bytes_sent += payload.size();
+  FaultState* faults = world_.options().faults;
+  const std::uint64_t index = send_count_++;
+  if (faults != nullptr) {
+    double delay = 0.0;
+    const auto action = faults->on_send(rank_, index, &delay);
+    if (action == FaultState::SendAction::kDrop) {
+      // Lost on the wire: the sender paid for it, nobody receives it.
+      return;
+    }
+    if (delay > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+    }
+  }
   world_.deliver(dest, rank_, tag, std::move(payload));
 }
 
+std::vector<std::uint8_t> Communicator::await_msg(int source, int tag) {
+  try {
+    auto payload = world_.await(rank_, source, tag);
+    ++stats_.messages_received;
+    return payload;
+  } catch (const RankFailedError&) {
+    ++stats_.peer_failures_seen;
+    throw;
+  } catch (const CommError&) {
+    ++stats_.recv_timeouts;
+    throw;
+  }
+}
+
+void Communicator::send(int dest, int tag, std::vector<std::uint8_t> payload) {
+  require(tag >= 0 && tag < kCollectiveTagBase,
+          "send: application tags must be < 2^20");
+  fault_step();
+  raw_send(dest, tag, std::move(payload));
+}
+
 std::vector<std::uint8_t> Communicator::recv(int source, int tag) {
-  auto payload = world_.await(rank_, source, tag);
-  ++stats_.messages_received;
+  fault_step();
+  auto payload = await_msg(source, tag);
   stats_.bytes_received += payload.size();
   return payload;
 }
@@ -114,29 +237,19 @@ int Communicator::collective_tag() {
   return kCollectiveTagBase + (collective_seq_++ & 0xFFFFF);
 }
 
-namespace {
-/// Raw tagged send used by collectives (skips the app-tag range check).
-void raw_send(World& world, CommStats& stats, int from, int dest, int tag,
-              std::vector<std::uint8_t> payload) {
-  ++stats.messages_sent;
-  stats.bytes_sent += payload.size();
-  world.deliver(dest, from, tag, std::move(payload));
-}
-}  // namespace
-
 void Communicator::barrier() {
   // Reduce-then-broadcast over empty payloads on a binomial tree.
+  fault_step();
   const int tag = collective_tag();
   const int p = size();
   // Fan-in.
   for (int step = 1; step < p; step <<= 1) {
     if ((rank_ & step) != 0) {
-      raw_send(world_, stats_, rank_, rank_ - step, tag, {});
+      raw_send(rank_ - step, tag, {});
       break;
     }
     if (rank_ + step < p) {
-      auto payload = world_.await(rank_, rank_ + step, tag);
-      ++stats_.messages_received;
+      auto payload = await_msg(rank_ + step, tag);
     }
   }
   // Fan-out.
@@ -147,11 +260,10 @@ void Communicator::barrier() {
     if ((rank_ & (mask - 1)) == 0) {
       if ((rank_ & mask) == 0) {
         if (rank_ + mask < p) {
-          raw_send(world_, stats_, rank_, rank_ + mask, tag2, {});
+          raw_send(rank_ + mask, tag2, {});
         }
       } else {
-        auto payload = world_.await(rank_, rank_ - mask, tag2);
-        ++stats_.messages_received;
+        auto payload = await_msg(rank_ - mask, tag2);
       }
     }
   }
@@ -160,6 +272,7 @@ void Communicator::barrier() {
 std::vector<std::uint8_t> Communicator::bcast(int root,
                                               std::vector<std::uint8_t> data) {
   require(root >= 0 && root < size(), "bcast: root out of range");
+  fault_step();
   const int tag = collective_tag();
   const int p = size();
   // Rotate ranks so the tree is rooted at `root`.
@@ -172,9 +285,8 @@ std::vector<std::uint8_t> Communicator::bcast(int root,
     while ((vrank & parent_mask) == 0) parent_mask <<= 1;
     const int vparent = vrank & ~parent_mask;
     const int parent = (vparent + root) % p;
-    data = world_.await(rank_, parent, tag);
+    data = await_msg(parent, tag);
     stats_.bytes_received += data.size();
-    ++stats_.messages_received;
   }
   int child_mask = 1;
   while ((vrank & child_mask) == 0 && child_mask < p) child_mask <<= 1;
@@ -182,7 +294,7 @@ std::vector<std::uint8_t> Communicator::bcast(int root,
     const int vchild = vrank | m;
     if (vchild < p && vchild != vrank) {
       const int child = (vchild + root) % p;
-      raw_send(world_, stats_, rank_, child, tag, data);
+      raw_send(child, tag, data);
     }
   }
   return data;
@@ -192,6 +304,7 @@ std::vector<std::uint8_t> Communicator::reduce(int root,
                                                std::vector<std::uint8_t> local,
                                                const Combine& combine) {
   require(root >= 0 && root < size(), "reduce: root out of range");
+  fault_step();
   const int tag = collective_tag();
   const int p = size();
   const int vrank = (rank_ - root + p) % p;
@@ -199,15 +312,14 @@ std::vector<std::uint8_t> Communicator::reduce(int root,
     if ((vrank & step) != 0) {
       const int vparent = vrank - step;
       const int parent = (vparent + root) % p;
-      raw_send(world_, stats_, rank_, parent, tag, std::move(local));
+      raw_send(parent, tag, std::move(local));
       return {};
     }
     const int vchild = vrank + step;
     if (vchild < p) {
       const int child = (vchild + root) % p;
-      auto incoming = world_.await(rank_, child, tag);
+      auto incoming = await_msg(child, tag);
       stats_.bytes_received += incoming.size();
-      ++stats_.messages_received;
       local = combine(std::move(local), std::move(incoming));
     }
   }
@@ -251,6 +363,7 @@ void Communicator::allreduce_sum(std::span<double> inout) {
 std::vector<std::vector<std::uint8_t>> Communicator::gather(
     int root, std::vector<std::uint8_t> data) {
   require(root >= 0 && root < size(), "gather: root out of range");
+  fault_step();
   const int tag = collective_tag();
   const int p = size();
   std::vector<std::vector<std::uint8_t>> out;
@@ -259,12 +372,11 @@ std::vector<std::vector<std::uint8_t>> Communicator::gather(
     out[static_cast<std::size_t>(rank_)] = std::move(data);
     for (int r = 0; r < p; ++r) {
       if (r == root) continue;
-      out[static_cast<std::size_t>(r)] = world_.await(rank_, r, tag);
+      out[static_cast<std::size_t>(r)] = await_msg(r, tag);
       stats_.bytes_received += out[static_cast<std::size_t>(r)].size();
-      ++stats_.messages_received;
     }
   } else {
-    raw_send(world_, stats_, rank_, root, tag, std::move(data));
+    raw_send(root, tag, std::move(data));
   }
   return out;
 }
@@ -272,11 +384,13 @@ std::vector<std::vector<std::uint8_t>> Communicator::gather(
 // ---------------------------------------------------------------------------
 // run_world
 
-std::vector<CommStats> run_world(
-    int world_size, const std::function<void(Communicator&)>& body) {
+WorldRun run_world_collect(int world_size, const WorldOptions& options,
+                           const std::function<void(Communicator&)>& body) {
   require(world_size >= 1, "run_world: world_size must be >= 1");
-  World world(world_size);
-  std::vector<CommStats> stats(static_cast<std::size_t>(world_size));
+  World world(world_size, options);
+  WorldRun run;
+  run.stats.resize(static_cast<std::size_t>(world_size));
+  run.compute_seconds.resize(static_cast<std::size_t>(world_size), 0.0);
   std::vector<std::exception_ptr> errors(
       static_cast<std::size_t>(world_size));
 
@@ -287,17 +401,41 @@ std::vector<CommStats> run_world(
       Communicator comm(world, r);
       try {
         body(comm);
+        world.mark_finished(r);
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
+        // Wake every peer blocked on this rank *before* exiting, so a
+        // failure never requires the other ranks to drain their mailboxes.
+        world.abort(r);
       }
-      stats[static_cast<std::size_t>(r)] = comm.stats();
+      comm.compute_clock().stop();  // capture a turn cut short by a throw
+      run.stats[static_cast<std::size_t>(r)] = comm.stats();
+      run.compute_seconds[static_cast<std::size_t>(r)] =
+          comm.scaled_compute_seconds();
     });
   }
   for (auto& t : threads) t.join();
-  for (const auto& error : errors) {
-    if (error) std::rethrow_exception(error);
+
+  run.failed_rank = world.first_failed_rank();
+  if (run.failed_rank >= 0) {
+    // First failure wins: secondary RankFailedErrors on the woken peers
+    // are a consequence, not the cause.
+    run.error = errors[static_cast<std::size_t>(run.failed_rank)];
   }
-  return stats;
+  return run;
+}
+
+std::vector<CommStats> run_world(
+    int world_size, const WorldOptions& options,
+    const std::function<void(Communicator&)>& body) {
+  WorldRun run = run_world_collect(world_size, options, body);
+  if (run.error) std::rethrow_exception(run.error);
+  return std::move(run.stats);
+}
+
+std::vector<CommStats> run_world(
+    int world_size, const std::function<void(Communicator&)>& body) {
+  return run_world(world_size, WorldOptions{}, body);
 }
 
 }  // namespace gnumap

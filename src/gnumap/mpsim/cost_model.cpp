@@ -33,4 +33,30 @@ double total_comm_seconds(const std::vector<RankCost>& costs,
   return total;
 }
 
+RecoveryCost recovery_cost(const std::vector<std::vector<RankCost>>& attempts,
+                           const CostModelParams& params) {
+  RecoveryCost out;
+  if (attempts.size() < 2) return out;
+  out.restarts = static_cast<int>(attempts.size()) - 1;
+  for (std::size_t a = 0; a + 1 < attempts.size(); ++a) {
+    for (const auto& cost : attempts[a]) {
+      out.resent_messages += cost.comm.messages_sent;
+      out.resent_bytes += cost.comm.bytes_sent;
+      out.redone_compute_seconds += cost.compute_seconds;
+    }
+    out.recovery_seconds += simulated_makespan(attempts[a], params);
+  }
+  return out;
+}
+
+double simulated_makespan_with_recovery(
+    const std::vector<std::vector<RankCost>>& attempts,
+    const CostModelParams& params) {
+  double total = 0.0;
+  for (const auto& attempt : attempts) {
+    total += simulated_makespan(attempt, params);
+  }
+  return total;
+}
+
 }  // namespace gnumap

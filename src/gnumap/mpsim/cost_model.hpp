@@ -51,4 +51,35 @@ double simulated_makespan(const std::vector<RankCost>& costs,
 double total_comm_seconds(const std::vector<RankCost>& costs,
                           const CostModelParams& params);
 
+// ---------------------------------------------------------------------------
+// Recovery accounting (fault-injected runs).
+//
+// A faulty run is a sequence of attempts: zero or more aborted ones (a rank
+// crashed, a message was lost) followed by the attempt that completed from
+// the last checkpoints.  Every byte moved and every compute second burned in
+// an aborted attempt is recovery cost: the bytes must be re-sent and the
+// uncheckpointed compute redone.  run_distributed records the per-attempt
+// RankCost vectors so the Figure-4 style reproductions can report simulated
+// wall-clock under injected faults, not just the fault-free makespan.
+
+/// What the failed attempts cost (everything before the final attempt).
+struct RecoveryCost {
+  int restarts = 0;  ///< number of aborted attempts
+  std::uint64_t resent_messages = 0;
+  std::uint64_t resent_bytes = 0;
+  double redone_compute_seconds = 0.0;
+  /// α–β seconds of the aborted attempts (each attempt's makespan).
+  double recovery_seconds = 0.0;
+};
+
+/// Sums the cost of every attempt except the final (successful) one.
+RecoveryCost recovery_cost(const std::vector<std::vector<RankCost>>& attempts,
+                           const CostModelParams& params);
+
+/// Simulated wall-clock of the whole faulty run: failure detection and
+/// restart serialize, so attempts' makespans add.
+double simulated_makespan_with_recovery(
+    const std::vector<std::vector<RankCost>>& attempts,
+    const CostModelParams& params);
+
 }  // namespace gnumap

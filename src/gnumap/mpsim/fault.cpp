@@ -1,0 +1,115 @@
+#include "gnumap/mpsim/fault.hpp"
+
+#include <random>
+
+namespace gnumap {
+
+FaultPlan& FaultPlan::crash(int rank, std::uint64_t at_step) {
+  require(rank >= 0, "FaultPlan::crash: rank must be >= 0");
+  events_.push_back({FaultKind::kCrash, rank, at_step, 0.0, 1.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::drop(int rank, std::uint64_t at_send) {
+  require(rank >= 0, "FaultPlan::drop: rank must be >= 0");
+  events_.push_back({FaultKind::kDropMessage, rank, at_send, 0.0, 1.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::delay(int rank, std::uint64_t at_send, double seconds) {
+  require(rank >= 0, "FaultPlan::delay: rank must be >= 0");
+  require(seconds >= 0.0, "FaultPlan::delay: seconds must be >= 0");
+  events_.push_back({FaultKind::kDelayMessage, rank, at_send, seconds, 1.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::slow(int rank, double factor) {
+  require(rank >= 0, "FaultPlan::slow: rank must be >= 0");
+  require(factor >= 1.0, "FaultPlan::slow: factor must be >= 1");
+  events_.push_back({FaultKind::kSlowCompute, rank, 0, 0.0, factor});
+  return *this;
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, int world_size,
+                            const RandomFaultOptions& options) {
+  require(world_size >= 1, "FaultPlan::random: world_size must be >= 1");
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> rank_dist(0, world_size - 1);
+  std::uniform_int_distribution<std::uint64_t> step_dist(
+      1, options.max_step > 0 ? options.max_step : 1);
+  std::uniform_int_distribution<std::uint64_t> send_dist(
+      0, options.max_send > 0 ? options.max_send - 1 : 0);
+  std::uniform_real_distribution<double> delay_dist(
+      0.0, options.max_delay_seconds);
+
+  FaultPlan plan;
+  for (int i = 0; i < options.crashes; ++i) {
+    plan.crash(rank_dist(rng), step_dist(rng));
+  }
+  for (int i = 0; i < options.drops; ++i) {
+    plan.drop(rank_dist(rng), send_dist(rng));
+  }
+  for (int i = 0; i < options.delays; ++i) {
+    plan.delay(rank_dist(rng), send_dist(rng), delay_dist(rng));
+  }
+  return plan;
+}
+
+FaultState::FaultState(FaultPlan plan)
+    : events_(plan.events()), fired_(events_.size(), 0) {}
+
+bool FaultState::should_crash(int rank, std::uint64_t step) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const FaultEvent& e = events_[i];
+    if (fired_[i] || e.kind != FaultKind::kCrash) continue;
+    // `>=` rather than `==`: after a restart the step sequence replays from
+    // the checkpoint, so a rank may skip past the exact step it was doomed
+    // at; an unfired crash still takes effect at the first opportunity.
+    if (e.rank == rank && step >= e.at) {
+      fired_[i] = 1;
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultState::SendAction FaultState::on_send(int rank, std::uint64_t send_index,
+                                           double* delay_seconds) {
+  *delay_seconds = 0.0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const FaultEvent& e = events_[i];
+    if (fired_[i] || e.rank != rank || e.at != send_index) continue;
+    if (e.kind == FaultKind::kDropMessage) {
+      fired_[i] = 1;
+      return SendAction::kDrop;
+    }
+    if (e.kind == FaultKind::kDelayMessage) {
+      fired_[i] = 1;
+      *delay_seconds = e.seconds;
+      return SendAction::kDeliver;
+    }
+  }
+  return SendAction::kDeliver;
+}
+
+double FaultState::compute_scale(int rank) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  double scale = 1.0;
+  for (const FaultEvent& e : events_) {
+    if (e.kind == FaultKind::kSlowCompute && e.rank == rank) {
+      scale *= e.factor;
+    }
+  }
+  return scale;
+}
+
+std::uint64_t FaultState::fired_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t n = 0;
+  for (const char f : fired_) n += f != 0;
+  return n;
+}
+
+}  // namespace gnumap

@@ -13,6 +13,18 @@ constexpr int kMaxIterations = 500;
 constexpr double kEpsilon = 1e-15;
 constexpr double kTiny = 1e-300;
 
+/// glibc's lgamma writes the global `signgam`, a data race when SNP calling
+/// runs on several rank-threads at once; use the reentrant form where the
+/// platform provides one.
+double lgamma_threadsafe(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
 /// Series expansion of P(a, x); converges quickly for x < a + 1.
 double gamma_p_series(double a, double x) {
   double term = 1.0 / a;
@@ -24,7 +36,7 @@ double gamma_p_series(double a, double x) {
     sum += term;
     if (std::fabs(term) < std::fabs(sum) * kEpsilon) break;
   }
-  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  return sum * std::exp(-x + a * std::log(x) - lgamma_threadsafe(a));
 }
 
 /// Modified Lentz continued fraction for Q(a, x); converges for x >= a + 1.
@@ -45,7 +57,7 @@ double gamma_q_cf(double a, double x) {
     h *= delta;
     if (std::fabs(delta - 1.0) < kEpsilon) break;
   }
-  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  return h * std::exp(-x + a * std::log(x) - lgamma_threadsafe(a));
 }
 
 }  // namespace

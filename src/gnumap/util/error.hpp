@@ -27,6 +27,27 @@ class ConfigError : public Error {
   explicit ConfigError(const std::string& what) : Error(what) {}
 };
 
+/// Communication failure in the mpsim runtime: a blocking receive or
+/// collective timed out, or a peer exited without sending an expected
+/// message.  Retryable — the distributed driver restarts from checkpoints.
+class CommError : public Error {
+ public:
+  explicit CommError(const std::string& what) : Error(what) {}
+};
+
+/// A peer rank died (crashed, or threw out of its rank body) while this
+/// rank was blocked on it; thrown by every receiver the abort wakes.
+class RankFailedError : public CommError {
+ public:
+  RankFailedError(const std::string& what, int rank)
+      : CommError(what), rank_(rank) {}
+  /// The rank whose failure aborted the wait.
+  int rank() const { return rank_; }
+
+ private:
+  int rank_;
+};
+
 /// Throws ConfigError if `cond` is false.  Used at API boundaries only.
 inline void require(bool cond, const std::string& what) {
   if (!cond) throw ConfigError(what);

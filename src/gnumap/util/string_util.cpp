@@ -37,6 +37,13 @@ std::string_view strip(std::string_view text) {
   return text.substr(begin, end - begin);
 }
 
+void strip_bom(std::string& line) {
+  if (line.size() >= 3 && line[0] == '\xEF' && line[1] == '\xBB' &&
+      line[2] == '\xBF') {
+    line.erase(0, 3);
+  }
+}
+
 std::uint64_t parse_u64(std::string_view text) {
   text = strip(text);
   std::uint64_t value = 0;

@@ -14,6 +14,10 @@ std::vector<std::string_view> split(std::string_view text, char delim);
 /// Removes leading and trailing ASCII whitespace.
 std::string_view strip(std::string_view text);
 
+/// Removes a leading UTF-8 byte-order mark, if present (Windows tools
+/// sometimes prepend one to otherwise-plain text files).
+void strip_bom(std::string& line);
+
 /// True if `text` begins with `prefix`.
 inline bool starts_with(std::string_view text, std::string_view prefix) {
   return text.substr(0, prefix.size()) == prefix;

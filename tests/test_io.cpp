@@ -115,6 +115,22 @@ TEST(Fasta, EmptyInputYieldsNoRecords) {
   EXPECT_TRUE(read_fasta(in).empty());
 }
 
+TEST(Fasta, HandlesCrlfAndMissingTrailingNewline) {
+  std::istringstream in(">chr1 desc\r\nACGT\r\nTTAA\r\n>chr2\r\nGG");
+  const auto records = read_fasta(in);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].first, "chr1");
+  EXPECT_EQ(records[0].second, "ACGTTTAA");
+  EXPECT_EQ(records[1].second, "GG");
+}
+
+TEST(Fasta, SkipsUtf8ByteOrderMark) {
+  std::istringstream in("\xEF\xBB\xBF>chr1\nACGT\n");
+  const auto records = read_fasta(in);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].first, "chr1");
+}
+
 // ---------------------------------------------------------------------------
 // FASTQ
 
@@ -180,6 +196,64 @@ TEST(Fastq, Phred64Offset) {
   EXPECT_EQ(reads[0].quals[0], 40);
 }
 
+TEST(Fastq, HandlesCrlfLineEndings) {
+  std::istringstream in(
+      "@read1 extra\r\nACGT\r\n+\r\nIIII\r\n@read2\r\nGGTT\r\n+\r\n!!!!\r\n");
+  const auto reads = read_fastq(in);
+  ASSERT_EQ(reads.size(), 2u);
+  EXPECT_EQ(reads[0].name, "read1");
+  EXPECT_EQ(decode_sequence(reads[0].bases), "ACGT");
+  EXPECT_EQ(reads[1].name, "read2");
+  EXPECT_EQ(reads[1].quals[3], 0);
+}
+
+TEST(Fastq, HandlesMissingTrailingNewline) {
+  std::istringstream in("@r1\nACGT\n+\nIIII");
+  const auto reads = read_fastq(in);
+  ASSERT_EQ(reads.size(), 1u);
+  EXPECT_EQ(reads[0].quals.size(), 4u);
+}
+
+TEST(Fastq, HandlesCrlfWithMissingTrailingNewline) {
+  std::istringstream in("@r1\r\nACGT\r\n+\r\nIIII");
+  const auto reads = read_fastq(in);
+  ASSERT_EQ(reads.size(), 1u);
+  EXPECT_EQ(decode_sequence(reads[0].bases), "ACGT");
+}
+
+TEST(Fastq, SkipsUtf8ByteOrderMark) {
+  std::istringstream in("\xEF\xBB\xBF@r1\nAC\n+\nII\n");
+  const auto reads = read_fastq(in);
+  ASSERT_EQ(reads.size(), 1u);
+  EXPECT_EQ(reads[0].name, "r1");
+}
+
+TEST(Fastq, CrlfStillRejectsGenuinelyBadHeader) {
+  // CRLF tolerance must not soften structural checks: the exact ParseError
+  // message for a missing '@' is preserved.
+  std::istringstream in("read1\r\nACGT\r\n+\r\nIIII\r\n");
+  try {
+    read_fastq(in);
+    FAIL() << "no exception";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("does not start with '@'"),
+              std::string::npos);
+  }
+}
+
+TEST(Fastq, CrlfStillRejectsTruncatedRecord) {
+  std::istringstream in("@r1\r\nACGT\r\n+\r\n");
+  Read read;
+  FastqReader reader(in);
+  try {
+    reader.next(read);
+    FAIL() << "no exception";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated record"),
+              std::string::npos);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // SNP catalog
 
@@ -217,6 +291,19 @@ TEST(Catalog, RejectsBadZygosity) {
 
 TEST(Catalog, SkipsCommentsAndBlanks) {
   std::istringstream in("# header\n\nchr1\t1\tA\tG\n");
+  EXPECT_EQ(read_catalog(in).size(), 1u);
+}
+
+TEST(Catalog, HandlesCrlfAndMissingTrailingNewline) {
+  std::istringstream in("# header\r\nchr1\t1\tA\tG\r\nchr1\t9\tC\tT\thet");
+  const auto parsed = read_catalog(in);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].alt, encode_base('G'));
+  EXPECT_EQ(parsed[1].zygosity, Zygosity::kHet);
+}
+
+TEST(Catalog, SkipsUtf8ByteOrderMark) {
+  std::istringstream in("\xEF\xBB\xBF# header\nchr1\t1\tA\tG\n");
   EXPECT_EQ(read_catalog(in).size(), 1u);
 }
 

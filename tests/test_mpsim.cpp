@@ -180,6 +180,28 @@ TEST(Mpsim, ExceptionsPropagate) {
                ConfigError);
 }
 
+TEST(Mpsim, RankFailureWakesPeersBlockedInCollectives) {
+  // The deadlock hazard this layer exists to fix: rank 2 dies while every
+  // other rank is blocked in a barrier (and rank 0 additionally in a recv).
+  // All peers must wake, and the *original* exception must win the rethrow
+  // over the secondary RankFailedErrors the wakeups produce.
+  try {
+    run_world(4, [](Communicator& comm) {
+      if (comm.rank() == 2) {
+        throw ConfigError("rank 2 exploded");
+      }
+      if (comm.rank() == 0) comm.recv(2, 17);  // never sent
+      comm.barrier();
+      FAIL() << "rank " << comm.rank() << " survived a dead world";
+    });
+    FAIL() << "run_world did not rethrow";
+  } catch (const RankFailedError&) {
+    FAIL() << "secondary peer-death error shadowed the root cause";
+  } catch (const ConfigError& e) {
+    EXPECT_STREQ(e.what(), "rank 2 exploded");
+  }
+}
+
 TEST(Mpsim, RejectsInvalidArgs) {
   EXPECT_THROW(run_world(0, [](Communicator&) {}), ConfigError);
   run_world(1, [](Communicator& comm) {
