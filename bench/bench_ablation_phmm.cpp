@@ -12,6 +12,7 @@
 
 #include "gnumap/accum/accumulator.hpp"
 #include "gnumap/genome/sequence.hpp"
+#include "gnumap/phmm/batched.hpp"
 #include "gnumap/phmm/forward_backward.hpp"
 #include "gnumap/phmm/marginal.hpp"
 #include "gnumap/phmm/nw.hpp"
@@ -62,6 +63,49 @@ void BM_ForwardBackward(benchmark::State& state) {
   state.counters["cells"] = static_cast<double>(fx.cells());
 }
 BENCHMARK(BM_ForwardBackward)->Arg(36)->Arg(62)->Arg(100)->Arg(150);
+
+/// Batched SIMD engine over a 32-task batch at one dispatch level.
+/// range(0) = read length, range(1) = SimdLevel (0 scalar / 1 sse2 / 2 avx2).
+/// Compare cells/s ("items") against BM_ForwardBackward at the same read
+/// length for the batching + vectorization speedup; results are
+/// bit-identical across levels, so this is a pure throughput knob.
+void BM_BatchedForwardBackward(benchmark::State& state) {
+  const auto level = static_cast<phmm::SimdLevel>(state.range(1));
+  if (phmm::resolve_simd_level(level) != level) {
+    state.SkipWithError("SIMD level not supported on this host");
+    return;
+  }
+  constexpr std::size_t kBatch = 32;
+  // Distinct fixtures per slot so lanes carry independent problems, as in
+  // the mapper (every candidate window differs).
+  std::vector<Fixture> fixtures;
+  fixtures.reserve(kBatch);
+  for (std::size_t t = 0; t < kBatch; ++t) {
+    fixtures.emplace_back(static_cast<std::size_t>(state.range(0)));
+  }
+  phmm::BatchedForward batch((PhmmParams()), BoundaryMode::kSemiGlobal,
+                             level);
+  // Drain mode, as the mapper uses it: each pack's matrices are recycled
+  // from a hot pool and handed to the consumer — the analogue of the
+  // scalar loop above reusing one AlignmentMatrices.
+  double sink = 0.0;
+  const auto consume = [&](std::size_t task) {
+    sink += batch.matrices(task).log_likelihood;
+  };
+  for (auto _ : state) {
+    batch.clear();
+    for (const Fixture& fx : fixtures) batch.add(fx.pwm, fx.window);
+    batch.run(consume);
+    benchmark::DoNotOptimize(sink);
+  }
+  const std::size_t batch_cells = fixtures.front().cells() * kBatch;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch_cells));
+  state.counters["cells"] = static_cast<double>(batch_cells);
+  state.SetLabel(phmm::simd_level_name(level));
+}
+BENCHMARK(BM_BatchedForwardBackward)
+    ->ArgsProduct({{36, 62, 100, 150}, {0, 1, 2}});
 
 void BM_MarginalCondense(benchmark::State& state) {
   const Fixture fx(static_cast<std::size_t>(state.range(0)));

@@ -77,6 +77,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(eval.tp),
                 static_cast<unsigned long long>(eval.fp),
                 eval.precision() * 100.0);
+    std::printf("%-12s   phmm kernel %.3fs fwd + %.3fs bwd over %llu DP "
+                "cells (%s)\n", "",
+                result.stats.phmm_forward_seconds,
+                result.stats.phmm_backward_seconds,
+                static_cast<unsigned long long>(result.stats.dp_cells),
+                phmm::simd_level_name(
+                    phmm::resolve_simd_level(config.simd)));
   }
   print_rule();
   std::printf("paper: NORM 4.76GB/04:25:55/1309/127/91%% | "

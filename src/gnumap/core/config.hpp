@@ -8,6 +8,7 @@
 #include "gnumap/accum/accumulator.hpp"
 #include "gnumap/index/hash_index.hpp"
 #include "gnumap/index/seeder.hpp"
+#include "gnumap/phmm/batched.hpp"
 #include "gnumap/phmm/marginal.hpp"
 #include "gnumap/phmm/params.hpp"
 #include "gnumap/stats/lrt.hpp"
@@ -22,6 +23,11 @@ struct PipelineConfig {
   // Step 2: PHMM marginal alignment.
   PhmmParams phmm;
   MarginalOptions marginal;
+  /// SIMD dispatch level for the batched PHMM kernel.  kAuto defers to the
+  /// GNUMAP_SIMD environment variable, then to the best level the host
+  /// supports; every level produces bit-identical results (see
+  /// docs/KERNELS.md), so this is purely a speed knob.
+  phmm::SimdLevel simd = phmm::SimdLevel::kAuto;
   /// Extra genome bases on each side of a candidate window (absorbs indels
   /// and diagonal binning slack).
   int window_pad = 12;
@@ -61,6 +67,11 @@ struct MapStats {
   std::uint64_t candidates_evaluated = 0;
   std::uint64_t sites_accumulated = 0;
   std::uint64_t dp_cells = 0;
+  /// Wall-clock seconds inside the batched PHMM kernels (score_reads path
+  /// only; the scalar score_read path is untimed).  Feeds the alpha-beta
+  /// cost model and the Figure-4 / Table-3 benches.
+  double phmm_forward_seconds = 0.0;
+  double phmm_backward_seconds = 0.0;
 
   MapStats& operator+=(const MapStats& other) {
     reads_total += other.reads_total;
@@ -68,6 +79,8 @@ struct MapStats {
     candidates_evaluated += other.candidates_evaluated;
     sites_accumulated += other.sites_accumulated;
     dp_cells += other.dp_cells;
+    phmm_forward_seconds += other.phmm_forward_seconds;
+    phmm_backward_seconds += other.phmm_backward_seconds;
     return *this;
   }
 };

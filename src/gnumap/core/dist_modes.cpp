@@ -6,6 +6,7 @@
 #include <mutex>
 #include <optional>
 #include <set>
+#include <span>
 #include <utility>
 
 #include "gnumap/core/read_mapper.hpp"
@@ -306,17 +307,37 @@ void run_read_partition_rank(Communicator& comm, const AttemptContext& ctx) {
   compute_turn(comm, ctx.options.serialize_compute, clock, [&] {
     if (ghost) return;  // recovered from stable storage; shard reclaimed
     MapperWorkspace ws;
-    for (std::size_t r = shard_begin + done; r < shard_end; ++r) {
-      mapper.map_read(ctx.reads[r], *accum, ws, stats);
-      ++done;
-      comm.step();
-      if (ctx.fault_mode && ctx.checkpoint_interval > 0 &&
-          done % ctx.checkpoint_interval == 0 && done < shard_size) {
-        ctx.store.save(rank, Checkpoint{done, accum->to_bytes(), {}, {},
-                                        stats, 0},
-                       /*keep_history=*/false);
+    // Reads are scored in SIMD batches, but accumulated — and stepped past
+    // the fault-injection clock — one at a time, so checkpoint contents and
+    // crash points land exactly where the per-read loop put them.
+    constexpr std::size_t kScoreBatch = 32;
+    auto map_range = [&](std::size_t range_begin, std::size_t range_end,
+                         bool checkpointing) {
+      std::size_t r = range_begin;
+      while (r < range_end) {
+        const std::size_t len =
+            std::min<std::size_t>(kScoreBatch, range_end - r);
+        const auto scored = mapper.score_reads(
+            std::span<const Read>(ctx.reads.data() + r, len), ws, stats);
+        for (const auto& sites : scored) {
+          ReadMapper::accumulate(sites, *accum);
+          if (checkpointing) {
+            ++done;
+            comm.step();
+            if (ctx.fault_mode && ctx.checkpoint_interval > 0 &&
+                done % ctx.checkpoint_interval == 0 && done < shard_size) {
+              ctx.store.save(rank, Checkpoint{done, accum->to_bytes(), {},
+                                              {}, stats, 0},
+                             /*keep_history=*/false);
+            }
+          } else {
+            comm.step();
+          }
+        }
+        r += len;
       }
-    }
+    };
+    map_range(shard_begin + done, shard_end, /*checkpointing=*/true);
     if (ctx.fault_mode) {
       // Final shard snapshot: a crash during the reduction restarts
       // without redoing any mapping.  Taken before reclaimed ranges so a
@@ -327,10 +348,7 @@ void run_read_partition_rank(Communicator& comm, const AttemptContext& ctx) {
     }
     for (const auto& [extra_begin, extra_end] :
          ctx.extra[static_cast<std::size_t>(rank)]) {
-      for (std::size_t r = extra_begin; r < extra_end; ++r) {
-        mapper.map_read(ctx.reads[r], *accum, ws, stats);
-        comm.step();
-      }
+      map_range(extra_begin, extra_end, /*checkpointing=*/false);
     }
   });
 
@@ -460,16 +478,18 @@ void run_genome_partition_rank(Communicator& comm, const AttemptContext& ctx) {
     payload = comm.bcast(0, std::move(payload));
     const std::vector<Read> batch = deserialize_reads(payload);
 
-    // Score local candidates; collect per-read raw likelihood sums.
+    // Score local candidates (one SIMD batch per broadcast batch); collect
+    // per-read raw likelihood sums.
     std::vector<double> likelihood_sum(batch.size(), 0.0);
     std::vector<std::vector<ScoredSite>> scored(batch.size());
     compute_turn(comm, ctx.options.serialize_compute, clock, [&] {
+      scored = mapper.score_reads(
+          std::span<const Read>(batch.data(), batch.size()), ws, stats,
+          seg.core_begin, seg.core_end);
+      // score_reads already applied the per-read softmax locally; undo
+      // nothing — we need raw likelihoods, which it kept in
+      // log_likelihood.  Recompute the local raw sum.
       for (std::size_t r = 0; r < batch.size(); ++r) {
-        scored[r] = mapper.score_read(batch[r], ws, stats, seg.core_begin,
-                                      seg.core_end);
-        // score_read already applied the per-read softmax locally; undo
-        // nothing — we need raw likelihoods, which it kept in
-        // log_likelihood.  Recompute the local raw sum.
         for (const auto& site : scored[r]) {
           likelihood_sum[r] += std::exp(site.log_likelihood);
         }

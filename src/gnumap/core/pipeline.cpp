@@ -1,7 +1,9 @@
 #include "gnumap/core/pipeline.hpp"
 
+#include <algorithm>
 #include <mutex>
 #include <ostream>
+#include <span>
 
 #include "gnumap/core/read_mapper.hpp"
 #include "gnumap/core/sam_export.hpp"
@@ -37,36 +39,40 @@ PipelineResult run_pipeline_with_accumulator(
   timer.reset();
   const int threads = std::max(1, config.threads);
   if (threads == 1 || reads.size() < 64) {
+    // Serial path, chunked so the batched SIMD PHMM engine always has
+    // enough independent alignment problems to fill its lanes.
+    constexpr std::size_t kMapBatch = 32;
     MapperWorkspace ws;
-    for (const Read& read : reads) {
-      if (sam_out == nullptr) {
-        mapper.map_read(read, *accum, ws, result.stats);
-        continue;
-      }
-      const auto sites = mapper.score_read(read, ws, result.stats);
-      ReadMapper::accumulate(sites, *accum);
-      for (const auto& record :
-           to_sam_records(genome, read, sites, config)) {
-        write_sam_record(*sam_out, genome, record);
+    for (std::size_t begin = 0; begin < reads.size(); begin += kMapBatch) {
+      const std::size_t end = std::min(reads.size(), begin + kMapBatch);
+      const std::span<const Read> chunk(reads.data() + begin, end - begin);
+      const auto scored = mapper.score_reads(chunk, ws, result.stats);
+      for (std::size_t r = 0; r < chunk.size(); ++r) {
+        ReadMapper::accumulate(scored[r], *accum);
+        if (sam_out != nullptr) {
+          for (const auto& record :
+               to_sam_records(genome, chunk[r], scored[r], config)) {
+            write_sam_record(*sam_out, genome, record);
+          }
+        }
       }
     }
   } else {
     // Dynamic read partition across threads.  Scoring (the PHMM DP) is the
-    // dominant cost and runs lock-free with thread-local workspaces; the
-    // cheap accumulation step drains each chunk's scored sites under one
-    // lock, which keeps a single shared accumulator correct without
-    // per-position atomics or per-thread genome-sized buffers.
+    // dominant cost and runs lock-free with thread-local workspaces — each
+    // grain is one SIMD batch — while the cheap accumulation step drains
+    // each chunk's scored sites under one lock, which keeps a single shared
+    // accumulator correct without per-position atomics or per-thread
+    // genome-sized buffers.
     std::mutex accum_mutex;
     parallel_for(
         static_cast<std::size_t>(threads), 0, reads.size(), 64,
         [&](std::size_t begin, std::size_t end) {
           thread_local MapperWorkspace ws;
           MapStats local_stats;
-          std::vector<std::vector<ScoredSite>> scored;
-          scored.reserve(end - begin);
-          for (std::size_t r = begin; r < end; ++r) {
-            scored.push_back(mapper.score_read(reads[r], ws, local_stats));
-          }
+          const auto scored = mapper.score_reads(
+              std::span<const Read>(reads.data() + begin, end - begin), ws,
+              local_stats);
           std::lock_guard<std::mutex> lock(accum_mutex);
           for (std::size_t r = begin; r < end; ++r) {
             const auto& sites = scored[r - begin];

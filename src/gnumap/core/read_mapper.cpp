@@ -13,25 +13,19 @@ ReadMapper::ReadMapper(const Genome& genome, const HashIndex& index,
       index_(index),
       config_(config),
       seeder_(index, config.seeder),
-      hmm_(config.phmm, BoundaryMode::kSemiGlobal) {}
+      hmm_(config.phmm, BoundaryMode::kSemiGlobal),
+      simd_level_(phmm::resolve_simd_level(config.simd)) {}
 
-std::vector<ScoredSite> ReadMapper::score_read(const Read& read,
-                                               MapperWorkspace& ws,
-                                               MapStats& stats,
-                                               GenomePos diagonal_begin,
-                                               GenomePos diagonal_end) const {
+std::vector<ReadMapper::CandidateWindow> ReadMapper::gather_candidates(
+    const Read& read, ReadPwms& pwms, MapStats& stats,
+    GenomePos diagonal_begin, GenomePos diagonal_end) const {
   ++stats.reads_total;
-  std::vector<ScoredSite> sites;
-  if (read.length() < static_cast<std::size_t>(index_.k())) return sites;
+  std::vector<CandidateWindow> out;
+  if (read.length() < static_cast<std::size_t>(index_.k())) return out;
 
   const bool restrict_diagonals = diagonal_end > diagonal_begin;
   const auto candidates = seeder_.candidates(read);
-  if (candidates.empty()) return sites;
-
-  // PWMs for both orientations, built lazily.
-  const Pwm fwd = Pwm::from_read(read);
-  Pwm rev;
-  bool have_rev = false;
+  if (candidates.empty()) return out;
 
   const auto pad = static_cast<GenomePos>(config_.window_pad);
   const auto read_len = static_cast<GenomePos>(read.length());
@@ -48,26 +42,29 @@ std::vector<ScoredSite> ReadMapper::score_read(const Read& read,
     if (window.size() < read.length() / 2) continue;
 
     ++stats.candidates_evaluated;
-    const Pwm* pwm = &fwd;
+    const Pwm* pwm;
     if (candidate.reverse) {
-      if (!have_rev) {
-        rev = Pwm::from_read_reverse(read);
-        have_rev = true;
+      if (!pwms.have_rev) {
+        pwms.rev = Pwm::from_read_reverse(read);
+        pwms.have_rev = true;
       }
-      pwm = &rev;
+      pwm = &pwms.rev;
+    } else {
+      if (!pwms.have_fwd) {
+        pwms.fwd = Pwm::from_read(read);
+        pwms.have_fwd = true;
+      }
+      pwm = &pwms.fwd;
     }
-    if (!hmm_.align(*pwm, window, ws.mats)) continue;
-    stats.dp_cells += (read.length() + 1) * (window.size() + 1);
-
-    ScoredSite site;
-    site.window_begin = win_begin;
-    site.log_likelihood = ws.mats.log_likelihood;
-    site.reverse = candidate.reverse;
-    site.contributions = condense_marginals(hmm_, *pwm, ws.mats,
-                                            config_.marginal);
-    sites.push_back(std::move(site));
+    out.push_back(CandidateWindow{win_begin, window, pwm, candidate.reverse});
   }
-  if (sites.empty()) return sites;
+  return out;
+}
+
+void ReadMapper::finalize_sites(const Read& read,
+                                std::vector<ScoredSite>& sites,
+                                MapStats& stats) const {
+  if (sites.empty()) return;
 
   // Mapped-at-all test: best per-base log-likelihood above the cutoff.
   double best_ll = sites.front().log_likelihood;
@@ -75,7 +72,7 @@ std::vector<ScoredSite> ReadMapper::score_read(const Read& read,
   if (best_ll < config_.min_loglik_per_base *
                     static_cast<double>(read.length())) {
     sites.clear();
-    return sites;
+    return;
   }
 
   // Posterior mapping weights: softmax of the site log-likelihoods.
@@ -97,7 +94,97 @@ std::vector<ScoredSite> ReadMapper::score_read(const Read& read,
   }
   if (!sites.empty()) ++stats.reads_mapped;
   stats.sites_accumulated += sites.size();
+}
+
+std::vector<ScoredSite> ReadMapper::score_read(const Read& read,
+                                               MapperWorkspace& ws,
+                                               MapStats& stats,
+                                               GenomePos diagonal_begin,
+                                               GenomePos diagonal_end) const {
+  ReadPwms pwms;
+  const auto candidates =
+      gather_candidates(read, pwms, stats, diagonal_begin, diagonal_end);
+
+  std::vector<ScoredSite> sites;
+  for (const CandidateWindow& cw : candidates) {
+    if (!hmm_.align(*cw.pwm, cw.window, ws.mats)) continue;
+    stats.dp_cells += (read.length() + 1) * (cw.window.size() + 1);
+
+    ScoredSite site;
+    site.window_begin = cw.window_begin;
+    site.log_likelihood = ws.mats.log_likelihood;
+    site.reverse = cw.reverse;
+    site.contributions = condense_marginals(hmm_, *cw.pwm, ws.mats,
+                                            config_.marginal);
+    sites.push_back(std::move(site));
+  }
+  finalize_sites(read, sites, stats);
   return sites;
+}
+
+std::vector<std::vector<ScoredSite>> ReadMapper::score_reads(
+    std::span<const Read> reads, MapperWorkspace& ws, MapStats& stats,
+    GenomePos diagonal_begin, GenomePos diagonal_end) const {
+  std::vector<std::vector<ScoredSite>> scored(reads.size());
+  if (reads.empty()) return scored;
+
+  // Phase 1: seed every read and queue all candidate alignments.  PWM and
+  // candidate storage is pre-sized so the pointers the batch borrows stay
+  // put until run() returns.
+  ws.batch.configure(config_.phmm, BoundaryMode::kSemiGlobal, simd_level_);
+  std::vector<ReadPwms> pwms(reads.size());
+  std::vector<std::vector<CandidateWindow>> candidates(reads.size());
+  struct Pending {
+    std::size_t read;
+    std::size_t cand;
+  };
+  std::vector<Pending> pending;
+  for (std::size_t r = 0; r < reads.size(); ++r) {
+    candidates[r] = gather_candidates(reads[r], pwms[r], stats,
+                                      diagonal_begin, diagonal_end);
+    for (std::size_t c = 0; c < candidates[r].size(); ++c) {
+      ws.batch.add(*candidates[r][c].pwm, candidates[r][c].window);
+      pending.push_back(Pending{r, c});
+    }
+  }
+
+  // Phase 2: one vectorized forward/backward sweep over the whole chunk,
+  // draining each SIMD pack through posterior extraction while its matrices
+  // are still cache-hot (the engine recycles a width-sized matrix pool).
+  // Tasks drain in shape-grouped pack order, so results land in positional
+  // slots keyed by task id.
+  std::vector<ScoredSite> task_sites(pending.size());
+  std::vector<unsigned char> task_scored(pending.size(), 0);
+  ws.batch.run([&](std::size_t task) {
+    if (!ws.batch.outcome(task).ok) return;
+    const Read& read = reads[pending[task].read];
+    const CandidateWindow& cw =
+        candidates[pending[task].read][pending[task].cand];
+    stats.dp_cells += (read.length() + 1) * (cw.window.size() + 1);
+
+    ScoredSite& site = task_sites[task];
+    site.window_begin = cw.window_begin;
+    site.log_likelihood = ws.batch.outcome(task).log_likelihood;
+    site.reverse = cw.reverse;
+    site.contributions = condense_marginals(hmm_, *cw.pwm,
+                                            ws.batch.matrices(task),
+                                            config_.marginal);
+    task_scored[task] = 1;
+  });
+  stats.phmm_forward_seconds += ws.batch.timings().forward_seconds;
+  stats.phmm_backward_seconds += ws.batch.timings().backward_seconds;
+
+  // Phase 3: tasks were added read-major, so walking the slots in id order
+  // rebuilds each read's site list in exactly the order the scalar path
+  // produces — the accumulation downstream is order-sensitive in float.
+  for (std::size_t task = 0; task < pending.size(); ++task) {
+    if (task_scored[task] == 0) continue;
+    scored[pending[task].read].push_back(std::move(task_sites[task]));
+  }
+  for (std::size_t r = 0; r < reads.size(); ++r) {
+    finalize_sites(reads[r], scored[r], stats);
+  }
+  return scored;
 }
 
 void ReadMapper::accumulate_site(const ScoredSite& site, Accumulator& accum) {
@@ -126,6 +213,19 @@ bool ReadMapper::map_read(const Read& read, Accumulator& accum,
   if (sites.empty()) return false;
   accumulate(sites, accum);
   return true;
+}
+
+std::size_t ReadMapper::map_reads(std::span<const Read> reads,
+                                  Accumulator& accum, MapperWorkspace& ws,
+                                  MapStats& stats) const {
+  const auto scored = score_reads(reads, ws, stats);
+  std::size_t mapped = 0;
+  for (const auto& sites : scored) {
+    if (sites.empty()) continue;
+    accumulate(sites, accum);
+    ++mapped;
+  }
+  return mapped;
 }
 
 }  // namespace gnumap

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "gnumap/accum/accumulator.hpp"
@@ -19,13 +20,18 @@
 #include "gnumap/index/hash_index.hpp"
 #include "gnumap/index/seeder.hpp"
 #include "gnumap/io/read.hpp"
+#include "gnumap/phmm/batched.hpp"
 #include "gnumap/phmm/forward_backward.hpp"
 
 namespace gnumap {
 
-/// Scratch state reused across map_read calls; one per worker thread.
+/// Scratch state reused across map_read / score_reads calls; one per worker
+/// thread (neither member is thread-safe).  Both members retain capacity
+/// across calls, so a long-lived workspace stops allocating once it has seen
+/// the largest read/window shape.
 struct MapperWorkspace {
-  AlignmentMatrices mats;
+  AlignmentMatrices mats;       ///< scalar path (score_read / map_read)
+  phmm::BatchedForward batch;   ///< batched path (score_reads / map_reads)
 };
 
 /// One scored candidate site with its condensed contributions.
@@ -53,6 +59,21 @@ class ReadMapper {
                                      GenomePos diagonal_begin = 0,
                                      GenomePos diagonal_end = 0) const;
 
+  /// Batched twin of score_read: scores `reads` together so every candidate
+  /// alignment of the chunk runs through the SIMD Pair-HMM engine in one
+  /// sweep (inter-task parallelism; see phmm::BatchedForward).  Returns one
+  /// site vector per read, in input order.  Results are bit-identical to
+  /// calling score_read on each read in sequence — candidate enumeration,
+  /// kernel arithmetic, and the posterior softmax all happen in the same
+  /// order — and kernel time is recorded in stats.phmm_{forward,backward}_
+  /// seconds.  The dispatch level comes from PipelineConfig::simd.
+  /// Internally drains the engine's recycled matrix pool (run(consume)),
+  /// condensing each task's marginals while its matrices are cache-hot;
+  /// see docs/KERNELS.md §5.
+  std::vector<std::vector<ScoredSite>> score_reads(
+      std::span<const Read> reads, MapperWorkspace& ws, MapStats& stats,
+      GenomePos diagonal_begin = 0, GenomePos diagonal_end = 0) const;
+
   /// Adds one site's contributions, scaled by its weight, into `accum`.
   static void accumulate_site(const ScoredSite& site, Accumulator& accum);
 
@@ -64,14 +85,54 @@ class ReadMapper {
   bool map_read(const Read& read, Accumulator& accum, MapperWorkspace& ws,
                 MapStats& stats) const;
 
+  /// Batched convenience: score_reads + accumulate.  Returns the number of
+  /// reads that mapped.
+  std::size_t map_reads(std::span<const Read> reads, Accumulator& accum,
+                        MapperWorkspace& ws, MapStats& stats) const;
+
   const Seeder& seeder() const { return seeder_; }
 
+  /// Concrete SIMD level the batched path executes at (never kAuto).
+  phmm::SimdLevel simd_level() const { return simd_level_; }
+
  private:
+  /// One candidate alignment problem, ready for the PHMM.  `window` views
+  /// genome storage and `pwm` points into a ReadPwms; both stay valid for
+  /// the scoring call that produced them.
+  struct CandidateWindow {
+    GenomePos window_begin = 0;
+    std::span<const std::uint8_t> window;
+    const Pwm* pwm = nullptr;
+    bool reverse = false;
+  };
+  /// Lazily-built per-orientation PWMs for one read.
+  struct ReadPwms {
+    Pwm fwd, rev;
+    bool have_fwd = false, have_rev = false;
+  };
+
+  /// Seeds `read` and materializes every surviving candidate window.  The
+  /// single source of candidate enumeration: both the scalar and the
+  /// batched scoring paths consume its output, which is what keeps them
+  /// bit-identical.  Updates reads_total / candidates_evaluated.
+  std::vector<CandidateWindow> gather_candidates(const Read& read,
+                                                 ReadPwms& pwms,
+                                                 MapStats& stats,
+                                                 GenomePos diagonal_begin,
+                                                 GenomePos diagonal_end) const;
+
+  /// The per-read epilogue shared by both paths: mapped-at-all cutoff,
+  /// posterior softmax, pruning, renormalization, and the mapped/site
+  /// counters.  Empties `sites` for unmapped reads.
+  void finalize_sites(const Read& read, std::vector<ScoredSite>& sites,
+                      MapStats& stats) const;
+
   const Genome& genome_;
   const HashIndex& index_;
   const PipelineConfig& config_;
   Seeder seeder_;
   PairHmm hmm_;
+  phmm::SimdLevel simd_level_ = phmm::SimdLevel::kScalar;
 };
 
 }  // namespace gnumap

@@ -1,0 +1,329 @@
+#include "gnumap/phmm/batched.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstdlib>
+#include <limits>
+#include <numeric>
+#include <string>
+
+#include "gnumap/phmm/batched_kernels.hpp"
+#include "gnumap/util/timer.hpp"
+
+namespace gnumap::phmm {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+detail::KernelBackend backend_for(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAvx2:
+      return detail::avx2_backend();
+    case SimdLevel::kSse2:
+      return detail::sse2_backend();
+    default:
+      return detail::scalar_backend();
+  }
+}
+
+/// Sizes `v` to exactly `size` elements without clearing existing contents
+/// (only a grown tail is value-initialized).  Used where every retained
+/// element is overwritten before it is read.
+void resize_for_overwrite(std::vector<double>& v, std::size_t size) {
+  if (v.size() != size) v.resize(size);
+}
+
+/// Parses a GNUMAP_SIMD value; returns kAuto for unknown/empty strings (the
+/// documented "ignored" behavior — a typo must not silently de-vectorize).
+SimdLevel parse_simd_env(const char* value) {
+  if (value == nullptr) return SimdLevel::kAuto;
+  std::string lowered(value);
+  for (char& ch : lowered) {
+    ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+  }
+  if (lowered == "scalar" || lowered == "0") return SimdLevel::kScalar;
+  if (lowered == "sse2" || lowered == "1") return SimdLevel::kSse2;
+  if (lowered == "avx2" || lowered == "2") return SimdLevel::kAvx2;
+  return SimdLevel::kAuto;
+}
+
+}  // namespace
+
+const char* simd_level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse2:
+      return "sse2";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    default:
+      return "auto";
+  }
+}
+
+SimdLevel max_supported_simd_level() {
+  if (detail::avx2_backend().width != 0 && detail::cpu_supports_avx2()) {
+    return SimdLevel::kAvx2;
+  }
+  if (detail::sse2_backend().width != 0 && detail::cpu_supports_sse2()) {
+    return SimdLevel::kSse2;
+  }
+  return SimdLevel::kScalar;
+}
+
+SimdLevel resolve_simd_level(SimdLevel requested) {
+  if (requested == SimdLevel::kAuto) {
+    requested = parse_simd_env(std::getenv("GNUMAP_SIMD"));
+  }
+  const SimdLevel best = max_supported_simd_level();
+  if (requested == SimdLevel::kAuto || requested > best) return best;
+  return requested;
+}
+
+BatchedForward::BatchedForward(const PhmmParams& params, BoundaryMode mode,
+                               SimdLevel level) {
+  configure(params, mode, level);
+}
+
+void BatchedForward::configure(const PhmmParams& params, BoundaryMode mode,
+                               SimdLevel level) {
+  params.validate();
+  params_ = params;
+  mode_ = mode;
+  level_ = resolve_simd_level(level);
+  clear();
+}
+
+void BatchedForward::clear() {
+  tasks_.clear();
+  outcomes_.clear();
+  order_.clear();
+  timings_ = KernelTimings{};
+  // mats_ and the SoA scratch are deliberately kept: they are the capacity
+  // cache that makes a long-lived engine allocation-free in steady state.
+}
+
+std::size_t BatchedForward::add(const Pwm& pwm,
+                                std::span<const std::uint8_t> window,
+                                std::uint64_t tag) {
+  tasks_.push_back(Task{&pwm, window, tag});
+  return tasks_.size() - 1;
+}
+
+void BatchedForward::run() { run_impl(nullptr); }
+
+void BatchedForward::run(const TaskConsumer& consume) { run_impl(&consume); }
+
+const AlignmentMatrices& BatchedForward::matrices(std::size_t task) const {
+  // Inside a run(consume) callback the task's matrices live in a pool slot;
+  // packs are at most kMaxWidth wide, so a linear scan is cheapest.
+  for (std::size_t k = 0; k < pack_count_; ++k) {
+    if (pack_task_[k] == task) return *pack_mats_[k];
+  }
+  return mats_[task];
+}
+
+void BatchedForward::run_impl(const TaskConsumer* consume) {
+  const std::size_t count = tasks_.size();
+  outcomes_.assign(count, BatchOutcome{});
+  if (consume != nullptr) {
+    if (pool_.size() < kMaxWidth) pool_.resize(kMaxWidth);
+  } else if (mats_.size() < count) {
+    mats_.resize(count);  // never shrinks: capacity pool
+  }
+
+  // Group tasks by identical DP shape: every lane of a pack must share
+  // (n, m) or per-row rescaling would mix unrelated problems.
+  order_.resize(count);
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+  auto shape = [this](std::size_t t) {
+    return std::pair<std::size_t, std::size_t>(tasks_[t].pwm->length(),
+                                               tasks_[t].window.size());
+  };
+  std::stable_sort(order_.begin(), order_.end(),
+                   [&](std::size_t a, std::size_t b) { return shape(a) < shape(b); });
+
+  const std::size_t width = backend_for(level_).width;
+  std::size_t begin = 0;
+  while (begin < count) {
+    const auto [n, m] = shape(order_[begin]);
+    std::size_t end = begin + 1;
+    while (end < count && shape(order_[end]) == std::pair(n, m)) ++end;
+
+    if (n == 0 || m == 0) {
+      // Degenerate tasks mirror a failed PairHmm::align: zeroed matrices of
+      // the nominal shape, -inf likelihood, no sweep.
+      for (std::size_t k = begin; k < end; ++k) {
+        const std::size_t t = order_[k];
+        AlignmentMatrices& dst = consume != nullptr ? pool_[0] : mats_[t];
+        dst.reset(n, m);
+        outcomes_[t] = BatchOutcome{tasks_[t].tag, kNegInf, false};
+        ++timings_.tasks;
+        if (consume != nullptr) {
+          pack_task_[0] = t;
+          pack_mats_[0] = &dst;
+          pack_count_ = 1;
+          (*consume)(t);
+          pack_count_ = 0;
+        }
+      }
+    } else {
+      for (std::size_t k = begin; k < end; k += width) {
+        const std::size_t lanes = std::min(width, end - k);
+        run_pack(std::span<const std::size_t>(order_.data() + k, lanes), n, m,
+                 consume);
+      }
+    }
+    begin = end;
+  }
+}
+
+void BatchedForward::run_pack(std::span<const std::size_t> task_ids,
+                              std::size_t n, std::size_t m,
+                              const TaskConsumer* consume) {
+  const detail::KernelBackend backend = backend_for(level_);
+  const std::size_t W = backend.width;
+  const std::size_t active = task_ids.size();
+  const std::size_t stride = m + 1;
+  const std::size_t cells = (n + 1) * stride;
+  const std::size_t row_w = stride * W;  // lane-interleaved row
+
+  // The kernels keep only two lane-interleaved rows per matrix (ping-pong)
+  // and stream each finished row straight into the per-task matrices, so the
+  // scratch footprint is one full emission table plus 12 rows.  Padding
+  // lanes of a partial pack stage zero emissions (so no stale mass, or NaN
+  // from reused scratch, ever enters them) and get a trash matrix to absorb
+  // their streamed output.
+  resize_for_overwrite(pstar_, n * row_w);
+  for (auto* buf : {&fm_, &fgx_, &fgy_, &bm_, &bgx_, &bgy_}) {
+    resize_for_overwrite(*buf, 2 * row_w);
+  }
+  if (active < W) resize_for_overwrite(trash_, cells);
+
+  // p*(i, y_j) per lane, flattened as pstar[((i-1)*(m+1) + j)*W + l] for
+  // 1-based i, j — the lane-interleaved twin of the scalar kernel's layout.
+  // Per lane: decode the window symbols once and compute the mixed-emission
+  // table into reusable scratch; then each DP row is gathered contiguously
+  // and interleaved into pstar_ with the backend's vector transpose.  The
+  // j == 0 slots of each interleaved row are left untouched — neither sweep
+  // reads them (emissions are 1-based in j).
+  resize_for_overwrite(row_stage_, W * m);
+  if (ycodes_.size() != W * m) ycodes_.resize(W * m);
+  std::fill(row_stage_.begin() + active * m, row_stage_.end(), 0.0);
+  const double* stage[kMaxWidth];
+  for (std::size_t l = 0; l < W; ++l) stage[l] = row_stage_.data() + l * m;
+  for (std::size_t l = 0; l < active; ++l) {
+    const Task& task = tasks_[task_ids[l]];
+    task.pwm->mixed_emissions(params_, mixed_[l]);
+    std::uint8_t* codes = ycodes_.data() + l * m;
+    for (std::size_t j = 0; j < m; ++j) {
+      codes[j] = std::min<std::uint8_t>(task.window[j], 4);
+    }
+  }
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t l = 0; l < active; ++l) {
+      const double* mixed_row = &mixed_[l][(i - 1) * 5];
+      const std::uint8_t* codes = ycodes_.data() + l * m;
+      double* out = row_stage_.data() + l * m;
+      for (std::size_t j = 0; j < m; ++j) out[j] = mixed_row[codes[j]];
+    }
+    backend.interleave(&pstar_[(i - 1) * row_w + W], stage, m);
+  }
+
+  // Size the destination matrices up front: the kernels stream every
+  // finished row directly into them (all (n+1)*(m+1) cells of all six
+  // matrices are written, boundary zeros included).  Padding lanes point at
+  // the shared trash matrix.  In drain mode the destinations are the
+  // recycled pool slots — after the first pack of a shape they are L2-hot,
+  // which is precisely the point.
+  AlignmentMatrices* dst[kMaxWidth];
+  std::array<double*, kMaxWidth> out_fm, out_fgx, out_fgy, out_bm, out_bgx,
+      out_bgy;
+  for (std::size_t l = 0; l < W; ++l) {
+    if (l < active) {
+      dst[l] = consume != nullptr ? &pool_[l] : &mats_[task_ids[l]];
+      AlignmentMatrices& mats = *dst[l];
+      mats.n = n;
+      mats.m = m;
+      for (auto field : {&AlignmentMatrices::fm, &AlignmentMatrices::fgx,
+                         &AlignmentMatrices::fgy, &AlignmentMatrices::bm,
+                         &AlignmentMatrices::bgx, &AlignmentMatrices::bgy}) {
+        resize_for_overwrite(mats.*field, cells);
+      }
+      out_fm[l] = mats.fm.data();
+      out_fgx[l] = mats.fgx.data();
+      out_fgy[l] = mats.fgy.data();
+      out_bm[l] = mats.bm.data();
+      out_bgx[l] = mats.bgx.data();
+      out_bgy[l] = mats.bgy.data();
+    } else {
+      out_fm[l] = out_fgx[l] = out_fgy[l] = trash_.data();
+      out_bm[l] = out_bgx[l] = out_bgy[l] = trash_.data();
+    }
+  }
+
+  const detail::PackConstants constants{
+      params_.t_mm(), params_.t_mg(), params_.t_gm(), params_.t_gg(),
+      params_.q,      mode_ == BoundaryMode::kSemiGlobal};
+  alignas(32) std::array<double, kMaxWidth> log_scale{};
+  alignas(32) std::array<double, kMaxWidth> log_likelihood{};
+  std::array<std::uint8_t, kMaxWidth> ok{};
+  detail::PackState state;
+  state.n = n;
+  state.m = m;
+  state.active = active;
+  state.pstar = pstar_.data();
+  state.fm = fm_.data();
+  state.fgx = fgx_.data();
+  state.fgy = fgy_.data();
+  state.bm = bm_.data();
+  state.bgx = bgx_.data();
+  state.bgy = bgy_.data();
+  state.out_fm = out_fm.data();
+  state.out_fgx = out_fgx.data();
+  state.out_fgy = out_fgy.data();
+  state.out_bm = out_bm.data();
+  state.out_bgx = out_bgx.data();
+  state.out_bgy = out_bgy.data();
+  state.log_scale = log_scale.data();
+  state.log_likelihood = log_likelihood.data();
+  state.ok = ok.data();
+
+  Timer forward_timer;
+  backend.forward(constants, state);
+  timings_.forward_seconds += forward_timer.seconds();
+  Timer backward_timer;
+  backend.backward(constants, state);
+  timings_.backward_seconds += backward_timer.seconds();
+
+  for (std::size_t l = 0; l < active; ++l) {
+    const std::size_t t = task_ids[l];
+    AlignmentMatrices& mats = *dst[l];
+    mats.log_likelihood = log_likelihood[l];
+    outcomes_[t] = BatchOutcome{tasks_[t].tag, log_likelihood[l], ok[l] != 0};
+    timings_.cells += cells;
+    if (ok[l] == 0) {
+      // A failed scalar align never runs the backward sweep, leaving those
+      // matrices zeroed; discard what the lane computed to match.
+      mats.bm.assign(cells, 0.0);
+      mats.bgx.assign(cells, 0.0);
+      mats.bgy.assign(cells, 0.0);
+    }
+  }
+  timings_.tasks += active;
+
+  if (consume != nullptr) {
+    for (std::size_t l = 0; l < active; ++l) {
+      pack_task_[l] = task_ids[l];
+      pack_mats_[l] = dst[l];
+    }
+    pack_count_ = active;
+    for (std::size_t l = 0; l < active; ++l) (*consume)(task_ids[l]);
+    pack_count_ = 0;
+  }
+}
+
+}  // namespace gnumap::phmm

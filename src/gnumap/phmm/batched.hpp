@@ -1,0 +1,222 @@
+// Batched, vectorized Pair-HMM forward/backward — the mapper's hot kernel.
+//
+// The scalar PairHmm (forward_backward.hpp) sweeps one (read, window) DP at
+// a time; the within-row dependency chain of f_GY (each cell reads its left
+// neighbour) caps its throughput well below what the hardware allows.  This
+// engine instead exploits *inter-task* parallelism: many independent
+// alignment problems are collected into a batch and swept together, with one
+// SIMD lane per problem, in structure-of-arrays form — the layout gpuPairHMM
+// and Endeavor use.  Lanes never interact, so every per-lane arithmetic
+// operation happens in exactly the same order as the scalar kernel and (FMA
+// contraction being deliberately avoided) the results are bit-identical to
+// PairHmm::align at every dispatch level, not merely "close".  The scalar
+// routines in forward_backward.cpp remain the reference oracle; the
+// equivalence suite (tests/test_phmm_batched.cpp) holds the two together.
+//
+// The full kernel-math spec — the recursion actually implemented, the two
+// documented deviations from the paper's printed equations, the row-
+// rescaling invariant, the SoA batch layout, and the dispatch matrix — lives
+// in docs/KERNELS.md.
+//
+// Dispatch: scalar (1 lane), SSE2 (2 lanes), AVX2 (4 lanes), selected at
+// runtime from CPUID.  The GNUMAP_SIMD environment variable ("scalar",
+// "sse2", "avx2", "auto") overrides the automatic choice for any component
+// that asks for SimdLevel::kAuto; an explicit non-auto request (tests,
+// benchmarks) wins over the environment.  Requests above what the host
+// supports are clamped, never rejected.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "gnumap/phmm/forward_backward.hpp"
+#include "gnumap/phmm/params.hpp"
+#include "gnumap/phmm/pwm.hpp"
+
+namespace gnumap::phmm {
+
+/// Vector instruction tier the batched kernel runs at.  Values are ordered:
+/// a level can always be clamped downward to a supported one.
+enum class SimdLevel : std::uint8_t {
+  kScalar = 0,  ///< one lane; portable reference path
+  kSse2 = 1,    ///< 2 x f64 lanes (baseline on x86-64)
+  kAvx2 = 2,    ///< 4 x f64 lanes
+  kAuto = 3,    ///< resolve from GNUMAP_SIMD, else the best supported level
+};
+
+/// Human-readable name ("scalar", "sse2", "avx2", "auto").
+const char* simd_level_name(SimdLevel level);
+
+/// Best level this binary + CPU can execute (compile-time backend presence
+/// AND runtime CPUID check; never returns kAuto).
+SimdLevel max_supported_simd_level();
+
+/// Resolves `requested` to a concrete, supported level.
+///  * kAuto: the GNUMAP_SIMD environment variable decides if set (unknown
+///    values are ignored); otherwise max_supported_simd_level().
+///  * explicit levels are honoured but clamped to what the host supports.
+SimdLevel resolve_simd_level(SimdLevel requested = SimdLevel::kAuto);
+
+/// Wall-clock accounting for one batch of kernel sweeps.  Feeds MapStats and
+/// from there the alpha-beta cost model and the Figure-4/Table-3 benches.
+struct KernelTimings {
+  /// Time inside the forward sweeps, including streaming finished rows into
+  /// the per-task result matrices (the copy-out is fused into the sweep).
+  double forward_seconds = 0.0;
+  double backward_seconds = 0.0;  ///< likewise for the backward sweeps
+  std::uint64_t cells = 0;        ///< DP cells swept, (n+1)*(m+1) per task
+  std::uint64_t tasks = 0;        ///< alignment problems processed
+
+  KernelTimings& operator+=(const KernelTimings& other) {
+    forward_seconds += other.forward_seconds;
+    backward_seconds += other.backward_seconds;
+    cells += other.cells;
+    tasks += other.tasks;
+    return *this;
+  }
+};
+
+/// Per-task result header.  ok == false means no alignment path has nonzero
+/// probability (or the task was degenerate: empty read or empty window); the
+/// task's matrices then hold zeroed backward state exactly as a failed
+/// PairHmm::align would leave them, and must not be used for posteriors.
+struct BatchOutcome {
+  std::uint64_t tag = 0;  ///< caller-supplied identifier, returned verbatim
+  double log_likelihood = 0.0;  ///< log P(x, y); -inf when !ok
+  bool ok = false;
+};
+
+/// Batched forward/backward engine.
+///
+/// Usage:
+///   BatchedForward batch(params, BoundaryMode::kSemiGlobal);
+///   batch.add(pwm_a, window_a, tag_a);   // pwm/window must outlive run()
+///   batch.add(pwm_b, window_b, tag_b);
+///   batch.run();
+///   batch.outcome(0), batch.matrices(0), ...
+///
+/// Reuse contract: the engine owns per-task AlignmentMatrices and all SoA
+/// scratch, and retains their capacity across clear()/configure() cycles —
+/// a long-lived instance (one per worker thread, inside MapperWorkspace)
+/// stops allocating once it has seen the largest problem shape.  The Pwm and
+/// window storage passed to add() is borrowed, not copied; it must stay
+/// valid until run() returns.  Results are indexed by the task id add()
+/// returned, in insertion order, regardless of how tasks were grouped into
+/// SIMD packs internally.  Not thread-safe; use one instance per thread.
+class BatchedForward {
+ public:
+  /// Default-constructed engines hold default parameters; call configure()
+  /// (or the value constructor) before add()/run().
+  BatchedForward() = default;
+
+  explicit BatchedForward(const PhmmParams& params,
+                          BoundaryMode mode = BoundaryMode::kSemiGlobal,
+                          SimdLevel level = SimdLevel::kAuto);
+
+  /// Re-points the engine at (params, mode, level) and clears any pending
+  /// tasks, results, and timings.  Scratch capacity is retained.  Throws
+  /// ConfigError if the parameters are invalid.
+  void configure(const PhmmParams& params, BoundaryMode mode,
+                 SimdLevel level = SimdLevel::kAuto);
+
+  /// Drops pending tasks, results, and timings; keeps configuration and
+  /// scratch capacity.
+  void clear();
+
+  /// Enqueues one (read-PWM, genome-window) alignment problem and returns
+  /// its task id (dense, insertion-ordered).  `pwm` and the bytes behind
+  /// `window` are borrowed until run() returns.
+  std::size_t add(const Pwm& pwm, std::span<const std::uint8_t> window,
+                  std::uint64_t tag = 0);
+
+  /// Invoked once per task by the draining run() overload, in pack
+  /// completion order (NOT insertion order).  matrices(task) is valid only
+  /// for the duration of the call; outcome(task) stays valid afterwards.
+  using TaskConsumer = std::function<void(std::size_t task)>;
+
+  /// Sweeps every pending task: groups tasks of identical (n, m) shape into
+  /// SIMD packs, runs the forward and backward recursions lane-parallel,
+  /// and streams the results into per-task matrices that stay valid until
+  /// the next clear()/configure().  Idempotent per batch: call once after
+  /// the last add().
+  void run();
+
+  /// Like run(), but recycles a width-sized matrix pool instead of
+  /// materializing every task: `consume` is called for each task as its
+  /// pack finishes, while the matrices are still cache-hot, and the pool is
+  /// reused for the next pack.  This is the mapper's path — per-task DRAM
+  /// round trips would otherwise dominate large batches.  Tasks arrive in
+  /// shape-grouped pack order, not insertion order; callers that need
+  /// ordered results should write into positional slots keyed by task id.
+  /// add()/run() must not be called from inside `consume`.
+  void run(const TaskConsumer& consume);
+
+  std::size_t size() const { return tasks_.size(); }
+
+  /// Valid after run(), indexed by task id.
+  const BatchOutcome& outcome(std::size_t task) const {
+    return outcomes_[task];
+  }
+
+  /// The six scaled DP matrices for `task`, laid out exactly as
+  /// PairHmm::align produces them (valid for posterior extraction through
+  /// condense_marginals / PairHmm::row_masses when outcome(task).ok).
+  /// After run(): valid for every task.  Inside a run(consume) callback:
+  /// valid only for the task being consumed (pool-backed).
+  const AlignmentMatrices& matrices(std::size_t task) const;
+
+  /// Timings accumulated since the last configure()/clear().
+  const KernelTimings& timings() const { return timings_; }
+
+  /// The concrete dispatch level the engine executes at (never kAuto).
+  SimdLevel level() const { return level_; }
+  const PhmmParams& params() const { return params_; }
+  BoundaryMode mode() const { return mode_; }
+
+ private:
+  struct Task {
+    const Pwm* pwm;
+    std::span<const std::uint8_t> window;
+    std::uint64_t tag;
+  };
+
+  /// Upper bound on any backend's lane width (AVX-512 would be 8 f64).
+  static constexpr std::size_t kMaxWidth = 8;
+
+  void run_impl(const TaskConsumer* consume);
+  void run_pack(std::span<const std::size_t> task_ids, std::size_t n,
+                std::size_t m, const TaskConsumer* consume);
+
+  PhmmParams params_;
+  BoundaryMode mode_ = BoundaryMode::kSemiGlobal;
+  SimdLevel level_ = SimdLevel::kScalar;
+
+  std::vector<Task> tasks_;
+  std::vector<BatchOutcome> outcomes_;
+  std::vector<AlignmentMatrices> mats_;  // materialize-all storage (run())
+  std::vector<AlignmentMatrices> pool_;  // recycled pack slots (run(consume))
+  std::vector<std::size_t> order_;  // task ids sorted by shape
+  // Pack currently being drained through a TaskConsumer: task id -> pool
+  // slot, consulted by matrices() before mats_.
+  std::size_t pack_task_[kMaxWidth] = {};
+  const AlignmentMatrices* pack_mats_[kMaxWidth] = {};
+  std::size_t pack_count_ = 0;
+
+  // Lane-interleaved scratch for the pack currently being swept: the full
+  // emission table (pstar_), two ping-pong DP rows per matrix (fm_..bgy_),
+  // and a write-only trash matrix that absorbs padding-lane output.
+  std::vector<double> pstar_, fm_, fgx_, fgy_, bm_, bgx_, bgy_, trash_;
+  // Emission-fill scratch: per-lane mixed-emission tables, decoded window
+  // symbols (lane-major, kMaxWidth x m), and the contiguous per-lane rows
+  // staged for interleaving into pstar_.
+  std::array<std::vector<double>, kMaxWidth> mixed_;
+  std::vector<std::uint8_t> ycodes_;
+  std::vector<double> row_stage_;
+
+  KernelTimings timings_;
+};
+
+}  // namespace gnumap::phmm

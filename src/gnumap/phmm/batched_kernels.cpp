@@ -1,0 +1,104 @@
+// Scalar and SSE2 backends for the batched Pair-HMM kernels, plus the
+// runtime CPU feature checks.  The AVX2 backend lives in
+// batched_kernels_avx2.cpp (compiled with -mavx2).
+#include "gnumap/phmm/batched_kernels.hpp"
+
+#include "gnumap/phmm/batched_kernels_impl.hpp"
+
+#if defined(__SSE2__) || (defined(_M_X64) && !defined(_M_ARM64EC))
+#define GNUMAP_KERNEL_SSE2 1
+#include <emmintrin.h>
+#endif
+
+namespace gnumap::phmm::detail {
+
+namespace {
+
+struct ScalarV {
+  static constexpr std::size_t width = 1;
+  using reg = double;
+  static reg load(const double* p) { return *p; }
+  static void store(double* p, reg v) { *p = v; }
+  static reg set1(double x) { return x; }
+  static reg zero() { return 0.0; }
+  static reg add(reg a, reg b) { return a + b; }
+  static reg mul(reg a, reg b) { return a * b; }
+  static void transpose(reg (&)[1]) {}  // 1x1: nothing to do
+};
+
+void scalar_forward(const PackConstants& c, const PackState& s) {
+  forward_pack<ScalarV>(c, s);
+}
+void scalar_backward(const PackConstants& c, const PackState& s) {
+  backward_pack<ScalarV>(c, s);
+}
+void scalar_interleave(double* dst, const double* const* src,
+                       std::size_t count) {
+  interleave_row<ScalarV>(dst, src, count);
+}
+
+#if GNUMAP_KERNEL_SSE2
+struct Sse2V {
+  static constexpr std::size_t width = 2;
+  using reg = __m128d;
+  static reg load(const double* p) { return _mm_loadu_pd(p); }
+  static void store(double* p, reg v) { _mm_storeu_pd(p, v); }
+  static reg set1(double x) { return _mm_set1_pd(x); }
+  static reg zero() { return _mm_setzero_pd(); }
+  static reg add(reg a, reg b) { return _mm_add_pd(a, b); }
+  static reg mul(reg a, reg b) { return _mm_mul_pd(a, b); }
+  static void transpose(reg (&r)[2]) {
+    const reg t0 = _mm_unpacklo_pd(r[0], r[1]);
+    const reg t1 = _mm_unpackhi_pd(r[0], r[1]);
+    r[0] = t0;
+    r[1] = t1;
+  }
+};
+
+void sse2_forward(const PackConstants& c, const PackState& s) {
+  forward_pack<Sse2V>(c, s);
+}
+void sse2_backward(const PackConstants& c, const PackState& s) {
+  backward_pack<Sse2V>(c, s);
+}
+void sse2_interleave(double* dst, const double* const* src,
+                     std::size_t count) {
+  interleave_row<Sse2V>(dst, src, count);
+}
+#endif  // GNUMAP_KERNEL_SSE2
+
+}  // namespace
+
+KernelBackend scalar_backend() {
+  return KernelBackend{1, &scalar_forward, &scalar_backward,
+                       &scalar_interleave};
+}
+
+KernelBackend sse2_backend() {
+#if GNUMAP_KERNEL_SSE2
+  return KernelBackend{2, &sse2_forward, &sse2_backward, &sse2_interleave};
+#else
+  return KernelBackend{};
+#endif
+}
+
+bool cpu_supports_sse2() {
+#if GNUMAP_KERNEL_SSE2
+  // SSE2 is part of the x86-64 baseline; if this TU compiled with it, the
+  // host (which is running this binary) has it.
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool cpu_supports_avx2() {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace gnumap::phmm::detail

@@ -1,0 +1,86 @@
+// Internal backend interface for the batched Pair-HMM kernels.
+//
+// A backend is a (width, forward, backward) triple operating on one SIMD
+// pack: `width` independent alignment problems of identical (n, m) shape.
+// DP rows are lane-interleaved while being computed (cell j of lane l lives
+// at [j * width + l] within the row) and transposed into per-lane row-major
+// destination matrices as each row is finished.  Backends are compiled per
+// instruction set — the AVX2 one in its own translation unit with -mavx2 —
+// and selected at runtime by BatchedForward; a backend whose ISA was not
+// compiled in reports width 0.  See batched_kernels_impl.hpp for the shared
+// templated kernel body and docs/KERNELS.md for the math.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gnumap::phmm::detail {
+
+/// Transition/emission constants shared by every lane of a pack.
+struct PackConstants {
+  double t_mm, t_mg, t_gm, t_gg, q;
+  bool semi_global;
+};
+
+/// One pack's state.
+///
+/// The DP recursions only ever look one row back (forward) or one row ahead
+/// (backward), so the kernels keep just two lane-interleaved rows of scratch
+/// per matrix and transpose each finished, rescaled row straight into the
+/// per-lane destination matrices while it is still hot in L1.  That fused
+/// copy-out is what makes batching pay: a separate de-interleave pass over
+/// full (n+1)*(m+1)*width buffers used to cost more than the sweeps.
+///
+/// `fm`..`bgy` therefore point at 2*(m+1)*width doubles of ping-pong scratch
+/// (row i lives at parity i&1); `pstar` is the full n*(m+1)*width emission
+/// table.  `out_*[l]` is the base of lane l's destination matrix, row stride
+/// (m+1); the kernels write every one of its (n+1)*(m+1) cells, including
+/// boundary zeros.  Padding lanes (l >= active) must point at a caller-owned
+/// trash matrix of the same extent, and their pstar lanes must be zero so no
+/// probability mass (or stray NaN) ever enters them.
+struct PackState {
+  std::size_t n = 0;       ///< read length (>= 1)
+  std::size_t m = 0;       ///< window length (>= 1)
+  std::size_t active = 0;  ///< live lanes, 1 <= active <= width
+  const double* pstar = nullptr;  ///< mixed emissions p*(i, y_j)
+  double* fm = nullptr;   ///< ping-pong scratch, 2*(m+1)*width each
+  double* fgx = nullptr;
+  double* fgy = nullptr;
+  double* bm = nullptr;
+  double* bgx = nullptr;
+  double* bgy = nullptr;
+  double* const* out_fm = nullptr;  ///< [width] per-lane destinations
+  double* const* out_fgx = nullptr;
+  double* const* out_fgy = nullptr;
+  double* const* out_bm = nullptr;
+  double* const* out_bgx = nullptr;
+  double* const* out_bgy = nullptr;
+  double* log_scale = nullptr;       ///< [width] accumulated log row scales
+  double* log_likelihood = nullptr;  ///< [width] out: log P(x, y)
+  std::uint8_t* ok = nullptr;        ///< [width] out: alignment path exists
+};
+
+using PackFn = void (*)(const PackConstants&, const PackState&);
+
+/// Interleaves `width` contiguous source rows (`src[l][j]`, `count` cells)
+/// into one lane-interleaved row (`dst[j * width + l]`) — the inverse of the
+/// kernels' row transpose, used to build the pstar table with vector stores.
+using InterleaveFn = void (*)(double* dst, const double* const* src,
+                              std::size_t count);
+
+struct KernelBackend {
+  std::size_t width = 0;  ///< lanes; 0 = backend not compiled in
+  PackFn forward = nullptr;
+  PackFn backward = nullptr;
+  InterleaveFn interleave = nullptr;
+};
+
+KernelBackend scalar_backend();
+KernelBackend sse2_backend();
+KernelBackend avx2_backend();
+
+/// Runtime CPUID checks (always false on non-x86 builds).
+bool cpu_supports_sse2();
+bool cpu_supports_avx2();
+
+}  // namespace gnumap::phmm::detail

@@ -1,0 +1,67 @@
+// AVX2 backend for the batched Pair-HMM kernels.
+//
+// This translation unit is compiled with -mavx2 when the compiler supports
+// it (see src/CMakeLists.txt); callers must gate on cpu_supports_avx2()
+// before dispatching here.  Deliberately compiled WITHOUT -mfma: the kernels
+// must not contract multiply-add pairs, or lane results would drift from the
+// scalar oracle (see batched_kernels_impl.hpp).
+#include "gnumap/phmm/batched_kernels.hpp"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+
+#include "gnumap/phmm/batched_kernels_impl.hpp"
+
+namespace gnumap::phmm::detail {
+
+namespace {
+
+struct Avx2V {
+  static constexpr std::size_t width = 4;
+  using reg = __m256d;
+  static reg load(const double* p) { return _mm256_loadu_pd(p); }
+  static void store(double* p, reg v) { _mm256_storeu_pd(p, v); }
+  static reg set1(double x) { return _mm256_set1_pd(x); }
+  static reg zero() { return _mm256_setzero_pd(); }
+  static reg add(reg a, reg b) { return _mm256_add_pd(a, b); }
+  static reg mul(reg a, reg b) { return _mm256_mul_pd(a, b); }
+  static void transpose(reg (&r)[4]) {
+    const reg t0 = _mm256_unpacklo_pd(r[0], r[1]);
+    const reg t1 = _mm256_unpackhi_pd(r[0], r[1]);
+    const reg t2 = _mm256_unpacklo_pd(r[2], r[3]);
+    const reg t3 = _mm256_unpackhi_pd(r[2], r[3]);
+    r[0] = _mm256_permute2f128_pd(t0, t2, 0x20);
+    r[1] = _mm256_permute2f128_pd(t1, t3, 0x20);
+    r[2] = _mm256_permute2f128_pd(t0, t2, 0x31);
+    r[3] = _mm256_permute2f128_pd(t1, t3, 0x31);
+  }
+};
+
+void avx2_forward(const PackConstants& c, const PackState& s) {
+  forward_pack<Avx2V>(c, s);
+}
+void avx2_backward(const PackConstants& c, const PackState& s) {
+  backward_pack<Avx2V>(c, s);
+}
+void avx2_interleave(double* dst, const double* const* src,
+                     std::size_t count) {
+  interleave_row<Avx2V>(dst, src, count);
+}
+
+}  // namespace
+
+KernelBackend avx2_backend() {
+  return KernelBackend{4, &avx2_forward, &avx2_backward, &avx2_interleave};
+}
+
+}  // namespace gnumap::phmm::detail
+
+#else  // !defined(__AVX2__)
+
+namespace gnumap::phmm::detail {
+
+KernelBackend avx2_backend() { return KernelBackend{}; }
+
+}  // namespace gnumap::phmm::detail
+
+#endif

@@ -1,0 +1,405 @@
+// Shared templated body of the batched Pair-HMM forward/backward kernels.
+//
+// Instantiated once per backend (scalar / SSE2 / AVX2) over a vector-traits
+// type V providing `width`, `reg`, load/store/set1/zero/add/mul, and an
+// in-register `transpose` of width x width cells.  The per-lane arithmetic
+// mirrors the scalar kernel in forward_backward.cpp operation for operation
+// — same expression trees, same summation order, no fused multiply-add — so
+// every lane's result is bit-identical to a scalar PairHmm::align on the
+// same task regardless of the lane width.  Any change here must be mirrored
+// there (and in docs/KERNELS.md) to keep the oracle property of the
+// equivalence suite meaningful.
+//
+// Memory layout: the sweeps keep only two lane-interleaved rows per matrix
+// (the recursions look exactly one row back/ahead) and stream each finished,
+// rescaled row into the per-lane destination matrices via deinterleave_row
+// while it is still in L1.  Writing boundary zeros is part of the kernels'
+// contract: every destination cell is stored exactly once.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+#include "gnumap/phmm/batched_kernels.hpp"
+
+namespace gnumap::phmm::detail {
+
+/// Transposes one lane-interleaved row (`src[j * width + l]`, `row_len`
+/// cells) into `width` per-lane row-major rows `dst[l][j]`.  Pure data
+/// movement — stored bits are the loaded bits.
+template <class V>
+inline void deinterleave_row(const double* src, double* const* dst,
+                             std::size_t row_len) {
+  constexpr std::size_t W = V::width;
+  std::size_t j = 0;
+  if constexpr (W > 1) {
+    for (; j + W <= row_len; j += W) {
+      typename V::reg r[W];
+      for (std::size_t k = 0; k < W; ++k) r[k] = V::load(src + (j + k) * W);
+      V::transpose(r);
+      for (std::size_t k = 0; k < W; ++k) V::store(dst[k] + j, r[k]);
+    }
+  }
+  for (; j < row_len; ++j) {
+    for (std::size_t k = 0; k < W; ++k) dst[k][j] = src[j * W + k];
+  }
+}
+
+/// Inverse of deinterleave_row: packs `width` contiguous per-lane rows into
+/// one lane-interleaved row.  The same in-register transpose works in both
+/// directions (it is an involution on a width x width tile).
+template <class V>
+inline void interleave_row(double* dst, const double* const* src,
+                           std::size_t count) {
+  constexpr std::size_t W = V::width;
+  std::size_t j = 0;
+  if constexpr (W > 1) {
+    for (; j + W <= count; j += W) {
+      typename V::reg r[W];
+      for (std::size_t k = 0; k < W; ++k) r[k] = V::load(src[k] + j);
+      V::transpose(r);
+      for (std::size_t k = 0; k < W; ++k) V::store(dst + (j + k) * W, r[k]);
+    }
+  }
+  for (; j < count; ++j) {
+    for (std::size_t k = 0; k < W; ++k) dst[j * W + k] = src[k][j];
+  }
+}
+
+/// Per-lane combined sum of three lane-interleaved rows, ascending j with
+/// the same per-cell expression tree as scale_row() in forward_backward.cpp
+/// ((a + b) + c, accumulated in j order), so the bits match the scalar sum.
+template <class V>
+inline typename V::reg pack_row_sum(const double* a, const double* b,
+                                    const double* c, std::size_t row_len) {
+  using reg = typename V::reg;
+  constexpr std::size_t W = V::width;
+  reg sum = V::zero();
+  for (std::size_t j = 0; j < row_len; ++j) {
+    sum = V::add(sum, V::add(V::add(V::load(a + j * W), V::load(b + j * W)),
+                             V::load(c + j * W)));
+  }
+  return sum;
+}
+
+/// Converts per-lane row sums into rescale factors: 1/sum for lanes with
+/// positive mass (logging the removed factor into `log_scale_acc` when
+/// non-null), exactly 1.0 otherwise — x * 1.0 is exact, so zero-mass lanes
+/// match the scalar kernel's early return.  Also spills the factors to
+/// `invs` for the scalar tail of scale_deinterleave_row.
+template <class V>
+inline typename V::reg row_scale_inverse(typename V::reg sum, double* invs,
+                                         double* log_scale_acc) {
+  constexpr std::size_t W = V::width;
+  alignas(32) double sums[W];
+  V::store(sums, sum);
+  for (std::size_t l = 0; l < W; ++l) {
+    if (sums[l] > 0.0) {
+      invs[l] = 1.0 / sums[l];
+      if (log_scale_acc != nullptr) log_scale_acc[l] += std::log(sums[l]);
+    } else {
+      invs[l] = 1.0;
+    }
+  }
+  return V::load(invs);
+}
+
+/// Rescale + flush, fused: multiplies a lane-interleaved row by the per-lane
+/// factors, stores the scaled row back into `src` (the recursions read it
+/// for the adjacent row), and transposes it into the per-lane destination
+/// rows — all in one pass over the row.  Each cell is multiplied exactly
+/// once, so the stored bits match a separate scale-then-copy.
+template <class V>
+inline void scale_deinterleave_row(double* src, typename V::reg inv,
+                                   const double* invs, double* const* dst,
+                                   std::size_t row_len) {
+  constexpr std::size_t W = V::width;
+  std::size_t j = 0;
+  if constexpr (W > 1) {
+    for (; j + W <= row_len; j += W) {
+      typename V::reg r[W];
+      for (std::size_t k = 0; k < W; ++k) {
+        r[k] = V::mul(V::load(src + (j + k) * W), inv);
+        V::store(src + (j + k) * W, r[k]);
+      }
+      V::transpose(r);
+      for (std::size_t k = 0; k < W; ++k) V::store(dst[k] + j, r[k]);
+    }
+  }
+  for (; j < row_len; ++j) {
+    for (std::size_t k = 0; k < W; ++k) {
+      const double v = src[j * W + k] * invs[k];
+      src[j * W + k] = v;
+      dst[k][j] = v;
+    }
+  }
+}
+
+/// Forward sweep + termination.  Streams scaled fm/fgx/fgy rows into the
+/// out_* matrices and fills log_scale, log_likelihood, and ok.  Mirrors
+/// PairHmm::run_forward + the terminal sum in PairHmm::align.
+template <class V>
+void forward_pack(const PackConstants& C, const PackState& S) {
+  using reg = typename V::reg;
+  constexpr std::size_t W = V::width;
+  const std::size_t n = S.n;
+  const std::size_t m = S.m;
+  const std::size_t SW = (m + 1) * W;  // one lane-interleaved row
+
+  const reg t_mm = V::set1(C.t_mm);
+  const reg t_mg = V::set1(C.t_mg);
+  const reg t_gm = V::set1(C.t_gm);
+  const reg t_gg = V::set1(C.t_gg);
+  const reg q = V::set1(C.q);
+  const reg zero = V::zero();
+
+  // Per-lane destination cursors, advanced one row per sweep step.
+  double* dst_fm[W];
+  double* dst_fgx[W];
+  double* dst_fgy[W];
+  for (std::size_t l = 0; l < W; ++l) {
+    dst_fm[l] = S.out_fm[l];
+    dst_fgx[l] = S.out_fgx[l];
+    dst_fgy[l] = S.out_fgy[l];
+  }
+  const auto advance = [&] {
+    for (std::size_t l = 0; l < W; ++l) {
+      dst_fm[l] += m + 1;
+      dst_fgx[l] += m + 1;
+      dst_fgy[l] += m + 1;
+    }
+  };
+
+  // Row-0 initialization.  Global: only (0, 0) is live.  Semi-global: the
+  // read may start after any free genome prefix, so every f_M(0, j) is
+  // live.  Padding lanes stay zero so they never acquire probability mass.
+  {
+    double* fm_row = S.fm;
+    double* fgx_row = S.fgx;
+    double* fgy_row = S.fgy;
+    alignas(32) double init[W];
+    for (std::size_t l = 0; l < W; ++l) init[l] = l < S.active ? 1.0 : 0.0;
+    const reg one = V::load(init);
+    for (std::size_t j = 0; j <= m; ++j) {
+      V::store(fm_row + j * W, C.semi_global || j == 0 ? one : zero);
+      V::store(fgx_row + j * W, zero);
+      V::store(fgy_row + j * W, zero);
+    }
+    deinterleave_row<V>(fm_row, dst_fm, m + 1);
+    deinterleave_row<V>(fgx_row, dst_fgx, m + 1);
+    deinterleave_row<V>(fgy_row, dst_fgy, m + 1);
+    advance();
+  }
+  for (std::size_t l = 0; l < W; ++l) S.log_scale[l] = 0.0;
+
+  alignas(32) double invs[W];
+  for (std::size_t i = 1; i <= n; ++i) {
+    const std::size_t cur = (i & 1) * SW;
+    const std::size_t prev = SW - cur;
+    double* fm_row = S.fm + cur;
+    double* fgx_row = S.fgx + cur;
+    double* fgy_row = S.fgy + cur;
+    const double* fm_prev = S.fm + prev;
+    const double* fgx_prev = S.fgx + prev;
+    const double* fgy_prev = S.fgy + prev;
+    const double* p_row = S.pstar + (i - 1) * SW;
+    // Column 0 first: fm/fgy are zero (no leading-gap mass in those states;
+    // the j = 1 recurrence reads them) and fgx carries leading read gaps in
+    // semi-global mode only (see the scalar kernel).
+    V::store(fm_row, zero);
+    V::store(fgy_row, zero);
+    const reg fgx_0 =
+        C.semi_global ? V::mul(q, V::add(V::mul(t_mg, V::load(fm_prev)),
+                                         V::mul(t_gg, V::load(fgx_prev))))
+                      : zero;
+    V::store(fgx_row, fgx_0);
+    // The row sum for rescaling accumulates in-register as cells are
+    // produced, ascending j with the scalar kernel's (fm + fgx) + fgy tree —
+    // column 0's fm/fgy terms are exact +0.0 adds, so the bits match a
+    // separate ascending sweep over the stored row.  Column j-1 values roll
+    // through registers (same bits as a reload, minus the reload — and
+    // minus the store-forward stall on the serial within-row fgy chain).
+    reg sum = V::add(V::zero(), V::add(V::add(zero, fgx_0), zero));
+    reg fm_pm1 = V::load(fm_prev);    // fm_prev[j-1]
+    reg fgx_pm1 = V::load(fgx_prev);  // fgx_prev[j-1]
+    reg fgy_pm1 = V::load(fgy_prev);  // fgy_prev[j-1]
+    reg fm_cm1 = zero;                // fm_row[j-1]
+    reg fgy_cm1 = zero;               // fgy_row[j-1]
+    for (std::size_t j = 1; j <= m; ++j) {
+      const reg fm_pj = V::load(fm_prev + j * W);
+      const reg fgx_pj = V::load(fgx_prev + j * W);
+      const reg fgy_pj = V::load(fgy_prev + j * W);
+      // Durbin et al.: every predecessor of a match sits at (i-1, j-1).
+      const reg diag_gaps = V::add(fgx_pm1, fgy_pm1);
+      const reg fm_j = V::mul(
+          V::load(p_row + j * W),
+          V::add(V::mul(t_mm, fm_pm1), V::mul(t_gm, diag_gaps)));
+      V::store(fm_row + j * W, fm_j);
+      // Read base x_i against a gap: consumes x only.
+      const reg fgx_j =
+          V::mul(q, V::add(V::mul(t_mg, fm_pj), V::mul(t_gg, fgx_pj)));
+      V::store(fgx_row + j * W, fgx_j);
+      // Genome base y_j against a gap: consumes y only (within-row).
+      const reg fgy_j =
+          V::mul(q, V::add(V::mul(t_mg, fm_cm1), V::mul(t_gg, fgy_cm1)));
+      V::store(fgy_row + j * W, fgy_j);
+      sum = V::add(sum, V::add(V::add(fm_j, fgx_j), fgy_j));
+      fm_pm1 = fm_pj;
+      fgx_pm1 = fgx_pj;
+      fgy_pm1 = fgy_pj;
+      fm_cm1 = fm_j;
+      fgy_cm1 = fgy_j;
+    }
+    const reg inv = row_scale_inverse<V>(sum, invs, S.log_scale);
+    scale_deinterleave_row<V>(fm_row, inv, invs, dst_fm, m + 1);
+    scale_deinterleave_row<V>(fgx_row, inv, invs, dst_fgx, m + 1);
+    scale_deinterleave_row<V>(fgy_row, inv, invs, dst_fgy, m + 1);
+    advance();
+  }
+
+  // Termination: global ends at (N, M); semi-global sums every genome end
+  // column (free suffix) in ascending-j order like the scalar kernel.
+  alignas(32) double term[W];
+  const double* fm_last = S.fm + (n & 1) * SW;
+  const double* fgx_last = S.fgx + (n & 1) * SW;
+  const double* fgy_last = S.fgy + (n & 1) * SW;
+  if (C.semi_global) {
+    reg t = V::zero();
+    for (std::size_t j = 0; j <= m; ++j) {
+      t = V::add(t, V::add(V::load(fm_last + j * W), V::load(fgx_last + j * W)));
+    }
+    V::store(term, t);
+  } else {
+    V::store(term, V::add(V::add(V::load(fm_last + m * W),
+                                 V::load(fgx_last + m * W)),
+                          V::load(fgy_last + m * W)));
+  }
+  for (std::size_t l = 0; l < W; ++l) {
+    if (l < S.active && term[l] > 0.0) {
+      S.ok[l] = 1;
+      S.log_likelihood[l] = std::log(term[l]) + S.log_scale[l];
+    } else {
+      S.ok[l] = 0;
+      S.log_likelihood[l] = -std::numeric_limits<double>::infinity();
+    }
+  }
+}
+
+/// Backward sweep.  Streams scaled bm/bgx/bgy rows into the out_* matrices
+/// from row n down to row 0.  Mirrors PairHmm::run_backward; lanes whose
+/// forward pass failed still compute (the caller re-zeroes their backward
+/// matrices afterwards, matching the scalar kernel's zeroed backward state
+/// for failed alignments).
+template <class V>
+void backward_pack(const PackConstants& C, const PackState& S) {
+  using reg = typename V::reg;
+  constexpr std::size_t W = V::width;
+  const std::size_t n = S.n;
+  const std::size_t m = S.m;
+  const std::size_t SW = (m + 1) * W;
+
+  const reg t_mm = V::set1(C.t_mm);
+  const reg t_mg = V::set1(C.t_mg);
+  const reg t_gm = V::set1(C.t_gm);
+  const reg t_gg = V::set1(C.t_gg);
+  const reg q = V::set1(C.q);
+  const reg zero = V::zero();
+
+  double* dst_bm[W];
+  double* dst_bgx[W];
+  double* dst_bgy[W];
+  for (std::size_t l = 0; l < W; ++l) {
+    dst_bm[l] = S.out_bm[l] + n * (m + 1);
+    dst_bgx[l] = S.out_bgx[l] + n * (m + 1);
+    dst_bgy[l] = S.out_bgy[l] + n * (m + 1);
+  }
+  // The backward recursion runs j descending while the scalar row sum is
+  // accumulated ascending, so the sum stays a separate (read-only) pass; the
+  // rescale multiply is still fused into the transpose flush.
+  alignas(32) double invs[W];
+  const auto scale_flush_row = [&](double* bm_row, double* bgx_row,
+                                   double* bgy_row) {
+    const reg inv = row_scale_inverse<V>(
+        pack_row_sum<V>(bm_row, bgx_row, bgy_row, m + 1), invs, nullptr);
+    scale_deinterleave_row<V>(bm_row, inv, invs, dst_bm, m + 1);
+    scale_deinterleave_row<V>(bgx_row, inv, invs, dst_bgx, m + 1);
+    scale_deinterleave_row<V>(bgy_row, inv, invs, dst_bgy, m + 1);
+    for (std::size_t l = 0; l < W; ++l) {
+      dst_bm[l] -= m + 1;
+      dst_bgx[l] -= m + 1;
+      dst_bgy[l] -= m + 1;
+    }
+  };
+
+  double* bm_last = S.bm + (n & 1) * SW;
+  double* bgx_last = S.bgx + (n & 1) * SW;
+  double* bgy_last = S.bgy + (n & 1) * SW;
+  {
+    alignas(32) double init[W];
+    for (std::size_t l = 0; l < W; ++l) init[l] = l < S.active ? 1.0 : 0.0;
+    const reg one = V::load(init);
+    if (C.semi_global) {
+      // Free genome suffix: finishing anywhere in row N costs nothing; a
+      // path may not *end* in G_Y (the suffix is unaligned, not gapped).
+      for (std::size_t j = 0; j <= m; ++j) {
+        V::store(bm_last + j * W, one);
+        V::store(bgx_last + j * W, one);
+        V::store(bgy_last + j * W, zero);
+      }
+    } else {
+      V::store(bm_last + m * W, one);
+      V::store(bgx_last + m * W, one);
+      V::store(bgy_last + m * W, one);
+      // Within row N, paths may still consume trailing genome gaps (G_Y).
+      const reg q_t_mg = V::mul(q, t_mg);
+      const reg q_t_gg = V::mul(q, t_gg);
+      for (std::size_t j = m; j-- > 0;) {
+        const reg gy_next = V::load(bgy_last + (j + 1) * W);
+        V::store(bm_last + j * W, V::mul(q_t_mg, gy_next));
+        V::store(bgy_last + j * W, V::mul(q_t_gg, gy_next));
+        // bgx stays 0: a G_X state would need another read base.
+        V::store(bgx_last + j * W, zero);
+      }
+    }
+  }
+  scale_flush_row(bm_last, bgx_last, bgy_last);
+
+  for (std::size_t i = n; i-- > 0;) {
+    const std::size_t cur = (i & 1) * SW;
+    const std::size_t next = SW - cur;
+    double* bm_row = S.bm + cur;
+    double* bgx_row = S.bgx + cur;
+    double* bgy_row = S.bgy + cur;
+    const double* bm_next = S.bm + next;
+    const double* bgx_next = S.bgx + next;
+    const double* p_next = S.pstar + i * SW;  // p*(i+1, .)
+    // Column j+1 values roll through registers between the descending
+    // iterations (same bits as a reload): the next row's p* and bm for the
+    // match term, and the current row's just-computed bgy (the serial
+    // within-row chain, spared its store-forward stall).
+    reg p_jp1 = zero;     // p_next[j+1]; unused at j = m
+    reg bm_n_jp1 = zero;  // bm_next[j+1]; unused at j = m
+    reg bgy_jp1 = zero;   // bgy_row[j+1]; unused at j = m
+    for (std::size_t j = m + 1; j-- > 0;) {
+      const reg match_next = j < m ? V::mul(p_jp1, bm_n_jp1) : V::zero();
+      const reg gx_next = V::mul(q, V::load(bgx_next + j * W));
+      const reg gy_next = j < m ? V::mul(q, bgy_jp1) : V::zero();
+      V::store(bm_row + j * W, V::add(V::mul(t_mm, match_next),
+                                      V::mul(t_mg, V::add(gx_next, gy_next))));
+      V::store(bgx_row + j * W,
+               V::add(V::mul(t_gm, match_next), V::mul(t_gg, gx_next)));
+      const reg bgy_j =
+          V::add(V::mul(t_gm, match_next), V::mul(t_gg, gy_next));
+      V::store(bgy_row + j * W, bgy_j);
+      if (j > 0) {
+        p_jp1 = V::load(p_next + j * W);
+        bm_n_jp1 = V::load(bm_next + j * W);
+      }
+      bgy_jp1 = bgy_j;
+    }
+    scale_flush_row(bm_row, bgx_row, bgy_row);
+  }
+}
+
+}  // namespace gnumap::phmm::detail

@@ -32,6 +32,21 @@ double scale_row(std::vector<double>& a, std::vector<double>& b,
 }
 }  // namespace
 
+void AlignmentMatrices::reset(std::size_t read_len, std::size_t window_len) {
+  n = read_len;
+  m = window_len;
+  const std::size_t cells = (n + 1) * (m + 1);
+  for (auto* mat : {&fm, &fgx, &fgy, &bm, &bgx, &bgy}) {
+    if (mat->capacity() < cells) {
+      // Grow geometrically so a workspace cycling through slowly increasing
+      // window sizes does not reallocate on every call.
+      mat->reserve(std::max(cells, mat->capacity() + mat->capacity() / 2));
+    }
+    mat->assign(cells, 0.0);
+  }
+  log_likelihood = kNegInf;
+}
+
 PairHmm::PairHmm(const PhmmParams& params, BoundaryMode mode)
     : params_(params), mode_(mode) {
   params_.validate();
@@ -41,14 +56,7 @@ bool PairHmm::align(const Pwm& pwm, std::span<const std::uint8_t> window,
                     AlignmentMatrices& mats) const {
   const std::size_t n = pwm.length();
   const std::size_t m = window.size();
-  mats.n = n;
-  mats.m = m;
-  const std::size_t cells = (n + 1) * (m + 1);
-  for (auto* mat : {&mats.fm, &mats.fgx, &mats.fgy, &mats.bm, &mats.bgx,
-                    &mats.bgy}) {
-    mat->assign(cells, 0.0);
-  }
-  mats.log_likelihood = kNegInf;
+  mats.reset(n, m);
   if (n == 0 || m == 0) return false;
 
   // p*(i, y_j) flattened as pstar[(i-1) * (m+1) + j] for 1-based i, j.

@@ -19,6 +19,13 @@
 //  * kSemiGlobal — the mode the mapper uses: the read is globally aligned
 //    but the genome window has free (unscored) flanks, so the read may start
 //    and end anywhere inside the candidate window.
+//
+// This scalar implementation is the reference oracle for the batched SIMD
+// engine (phmm/batched.hpp), which must remain bit-identical to it at every
+// dispatch level.  The full kernel-math spec — recursions, deviations,
+// scaling invariant, and the batched layout — is docs/KERNELS.md; changes
+// to the math must land here, there, and in batched_kernels_impl.hpp
+// together.
 #pragma once
 
 #include <cstdint>
@@ -32,15 +39,29 @@ namespace gnumap {
 
 enum class BoundaryMode { kGlobal, kSemiGlobal };
 
-/// DP state for one (read, window) alignment.  Reusable across calls to
-/// avoid reallocation; matrices are (n+1) x (m+1), row-major.
+/// DP state for one (read, window) alignment.  Matrices are (n+1) x (m+1),
+/// row-major, holding *scaled* probabilities (each row of the forward and
+/// backward triples sums to one; see the scaling note above).
+///
+/// Reuse contract: instances are designed to be long-lived — one per worker
+/// workspace — and recycled across alignments of varying shape.  reset()
+/// (called by PairHmm::align and the batched engine) tracks the logical
+/// (n, m) dimensions while retaining each vector's capacity, so after the
+/// largest problem shape has been seen once, re-aligning allocates nothing.
+/// Only the first (n+1)*(m+1) elements of each matrix are meaningful.
 struct AlignmentMatrices {
-  std::size_t n = 0;  ///< read length
-  std::size_t m = 0;  ///< window length
+  std::size_t n = 0;  ///< read length (logical; vectors may hold more)
+  std::size_t m = 0;  ///< window length (logical; vectors may hold more)
   std::vector<double> fm, fgx, fgy;  ///< scaled forward matrices
   std::vector<double> bm, bgx, bgy;  ///< scaled backward matrices
   /// log of the total alignment likelihood P(x, y); -inf when no path.
   double log_likelihood = 0.0;
+
+  /// Re-dimensions to (n+1) x (m+1), zero-fills the logical extent of all
+  /// six matrices, and sets log_likelihood to -inf ("no path yet").
+  /// Capacity is kept (and grown geometrically when it must grow) so a
+  /// recycled instance stops touching the allocator in steady state.
+  void reset(std::size_t read_len, std::size_t window_len);
 
   std::size_t stride() const { return m + 1; }
   double& at(std::vector<double>& mat, std::size_t i, std::size_t j) {

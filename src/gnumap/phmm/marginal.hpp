@@ -51,7 +51,11 @@ struct ColumnContributions {
 };
 
 /// Computes the z contributions from a completed forward/backward run.
-/// `pwm` and `mats` must come from the same PairHmm::align call.
+/// `pwm` and `mats` must come from the same PairHmm::align call (or an
+/// ok batched task — BatchedForward produces bit-identical matrices).
+/// Correctness leans on the shared row-scaling invariant (docs/KERNELS.md
+/// §3): forward and backward rows carry the same unknown scale factors, so
+/// the posterior ratios formed here are exact.
 ColumnContributions condense_marginals(const PairHmm& hmm, const Pwm& pwm,
                                        const AlignmentMatrices& mats,
                                        const MarginalOptions& options);

@@ -47,17 +47,23 @@ std::uint8_t Pwm::called_base(std::size_t i) const {
 }
 
 std::vector<double> Pwm::mixed_emissions(const PhmmParams& params) const {
-  std::vector<double> table(rows_.size() * 5);
+  std::vector<double> table;
+  mixed_emissions(params, table);
+  return table;
+}
+
+void Pwm::mixed_emissions(const PhmmParams& params,
+                          std::vector<double>& out) const {
+  out.resize(rows_.size() * 5);
   for (std::size_t i = 0; i < rows_.size(); ++i) {
     for (std::uint8_t y = 0; y < 5; ++y) {
       double p = 0.0;
       for (std::uint8_t k = 0; k < 4; ++k) {
         p += static_cast<double>(rows_[i][k]) * params.emission(k, y);
       }
-      table[i * 5 + y] = p;
+      out[i * 5 + y] = p;
     }
   }
-  return table;
 }
 
 }  // namespace gnumap

@@ -41,6 +41,11 @@ class Pwm {
   /// (A, C, G, T, N) under `params`.  Result is length() x 5, row-major.
   std::vector<double> mixed_emissions(const PhmmParams& params) const;
 
+  /// Allocation-free variant: writes the same table into `out` (resized to
+  /// length() x 5).  Hot-path engines keep `out` as reusable scratch.
+  void mixed_emissions(const PhmmParams& params,
+                       std::vector<double>& out) const;
+
  private:
   std::vector<std::array<float, 4>> rows_;
 };
