@@ -14,11 +14,13 @@
 #include "bench_common.hpp"
 #include "gnumap/core/evaluation.hpp"
 #include "gnumap/core/pipeline.hpp"
+#include "gnumap/obs/obs_cli.hpp"
 
 using namespace gnumap;
 using namespace gnumap::bench;
 
 int main(int argc, char** argv) {
+  gnumap::obs::strip_cli_flags(argc, argv);
   WorkloadOptions base;
   base.genome_length = 250'000;
   if (argc > 1) base.genome_length = std::strtoull(argv[1], nullptr, 10);

@@ -24,6 +24,7 @@
 #include "bench_common.hpp"
 #include "gnumap/core/evaluation.hpp"
 #include "gnumap/core/pipeline.hpp"
+#include "gnumap/obs/obs_cli.hpp"
 #include "gnumap/sim/mutator.hpp"
 #include "gnumap/sim/read_sim.hpp"
 #include "gnumap/util/rng.hpp"
@@ -32,6 +33,7 @@ using namespace gnumap;
 using namespace gnumap::bench;
 
 int main(int argc, char** argv) {
+  gnumap::obs::strip_cli_flags(argc, argv);
   std::uint64_t unique_span = 200'000;
   if (argc > 1) unique_span = std::strtoull(argv[1], nullptr, 10);
 

@@ -12,6 +12,7 @@
 
 #include "gnumap/accum/accumulator.hpp"
 #include "gnumap/genome/sequence.hpp"
+#include "gnumap/obs/metrics.hpp"
 #include "gnumap/phmm/batched.hpp"
 #include "gnumap/phmm/forward_backward.hpp"
 #include "gnumap/phmm/marginal.hpp"
@@ -92,12 +93,28 @@ void BM_BatchedForwardBackward(benchmark::State& state) {
   const auto consume = [&](std::size_t task) {
     sink += batch.matrices(task).log_likelihood;
   };
+  double forward_seconds = 0.0, backward_seconds = 0.0;
   for (auto _ : state) {
-    batch.clear();
+    batch.clear();  // also resets timings: accumulate them per iteration
     for (const Fixture& fx : fixtures) batch.add(fx.pwm, fx.window);
     batch.run(consume);
+    forward_seconds += batch.timings().forward_seconds;
+    backward_seconds += batch.timings().backward_seconds;
     benchmark::DoNotOptimize(sink);
   }
+  // Mirror the kernel timings into the metrics registry so a --metrics-out
+  // export carries the BENCH_phmm.json numbers under the shared schema.
+  const std::string labels = std::string("{level=\"") +
+                             phmm::simd_level_name(level) + "\",read_len=\"" +
+                             std::to_string(state.range(0)) + "\"}";
+  obs::registry()
+      .gauge("gnumap_bench_phmm_forward_seconds" + labels,
+             "Total forward-sweep kernel seconds over all iterations")
+      .set(forward_seconds);
+  obs::registry()
+      .gauge("gnumap_bench_phmm_backward_seconds" + labels,
+             "Total backward-sweep kernel seconds over all iterations")
+      .set(backward_seconds);
   const std::size_t batch_cells = fixtures.front().cells() * kBatch;
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(batch_cells));

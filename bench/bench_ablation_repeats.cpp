@@ -20,11 +20,13 @@
 #include "gnumap/baseline/maq_like.hpp"
 #include "gnumap/core/evaluation.hpp"
 #include "gnumap/core/pipeline.hpp"
+#include "gnumap/obs/obs_cli.hpp"
 
 using namespace gnumap;
 using namespace gnumap::bench;
 
 int main(int argc, char** argv) {
+  gnumap::obs::strip_cli_flags(argc, argv);
   std::uint64_t genome_length = 250'000;
   if (argc > 1) genome_length = std::strtoull(argv[1], nullptr, 10);
 

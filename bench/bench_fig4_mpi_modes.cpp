@@ -18,11 +18,13 @@
 #include "bench_common.hpp"
 #include "gnumap/core/dist_modes.hpp"
 #include "gnumap/mpsim/cost_model.hpp"
+#include "gnumap/obs/obs_cli.hpp"
 
 using namespace gnumap;
 using namespace gnumap::bench;
 
 int main(int argc, char** argv) {
+  gnumap::obs::strip_cli_flags(argc, argv);
   WorkloadOptions options;
   options.genome_length = 400'000;
   options.coverage = 6.0;

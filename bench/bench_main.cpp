@@ -1,0 +1,23 @@
+// Custom google-benchmark main for the ablation benches: peels off the
+// shared observability flags (--trace-out / --metrics-out) before gbench
+// parses the remainder, and stamps the resolved SIMD dispatch level into
+// the export context so a --metrics-out file carries the same identity
+// fields (host, cpus, build, SIMD level) as the committed BENCH_*.json
+// gbench outputs.
+#include <benchmark/benchmark.h>
+
+#include "gnumap/obs/obs_cli.hpp"
+#include "gnumap/obs/trace.hpp"
+#include "gnumap/phmm/batched.hpp"
+
+int main(int argc, char** argv) {
+  gnumap::obs::strip_cli_flags(argc, argv);
+  gnumap::obs::set_trace_metadata(
+      "simd_level",
+      gnumap::phmm::simd_level_name(gnumap::phmm::resolve_simd_level()));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

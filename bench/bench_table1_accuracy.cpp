@@ -16,12 +16,14 @@
 #include "gnumap/baseline/maq_like.hpp"
 #include "gnumap/core/evaluation.hpp"
 #include "gnumap/core/pipeline.hpp"
+#include "gnumap/obs/obs_cli.hpp"
 #include "gnumap/util/timer.hpp"
 
 using namespace gnumap;
 using namespace gnumap::bench;
 
 int main(int argc, char** argv) {
+  gnumap::obs::strip_cli_flags(argc, argv);
   WorkloadOptions options;
   if (argc > 1) options.genome_length = std::strtoull(argv[1], nullptr, 10);
 

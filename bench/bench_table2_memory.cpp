@@ -18,12 +18,14 @@
 #include "gnumap/accum/accumulator.hpp"
 #include "gnumap/accum/codebook.hpp"
 #include "gnumap/index/hash_index.hpp"
+#include "gnumap/obs/obs_cli.hpp"
 #include "gnumap/util/string_util.hpp"
 
 using namespace gnumap;
 using namespace gnumap::bench;
 
 int main(int argc, char** argv) {
+  gnumap::obs::strip_cli_flags(argc, argv);
   WorkloadOptions options;
   options.genome_length = 1'000'000;
   options.coverage = 4.0;  // memory does not depend on coverage

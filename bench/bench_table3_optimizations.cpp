@@ -18,6 +18,7 @@
 #include "bench_common.hpp"
 #include "gnumap/core/dist_modes.hpp"
 #include "gnumap/core/evaluation.hpp"
+#include "gnumap/obs/obs_cli.hpp"
 #include "gnumap/util/string_util.hpp"
 #include "gnumap/util/timer.hpp"
 
@@ -25,6 +26,7 @@ using namespace gnumap;
 using namespace gnumap::bench;
 
 int main(int argc, char** argv) {
+  gnumap::obs::strip_cli_flags(argc, argv);
   WorkloadOptions options;
   options.genome_length = 1'000'000;
   if (argc > 1) options.genome_length = std::strtoull(argv[1], nullptr, 10);

@@ -12,6 +12,7 @@
 #include "gnumap/core/evaluation.hpp"
 #include "gnumap/core/pipeline.hpp"
 #include "gnumap/genome/sequence.hpp"
+#include "gnumap/obs/obs_cli.hpp"
 #include "gnumap/sim/catalog_gen.hpp"
 #include "gnumap/sim/mutator.hpp"
 #include "gnumap/sim/read_sim.hpp"
@@ -20,6 +21,7 @@
 using namespace gnumap;
 
 int main(int argc, char** argv) {
+  gnumap::obs::strip_cli_flags(argc, argv);
   const std::uint64_t genome_bp =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200'000;
   const double coverage = argc > 2 ? std::strtod(argv[2], nullptr) : 20.0;

@@ -12,6 +12,7 @@
 #include "gnumap/core/evaluation.hpp"
 #include "gnumap/genome/sequence.hpp"
 #include "gnumap/io/snp_catalog.hpp"
+#include "gnumap/obs/obs_cli.hpp"
 #include "gnumap/util/error.hpp"
 #include "gnumap/util/string_util.hpp"
 
@@ -61,6 +62,7 @@ std::vector<SnpCall> read_calls_tsv(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::strip_cli_flags(argc, argv);
   std::string calls_path, truth_path;
   bool require_allele = true;
 

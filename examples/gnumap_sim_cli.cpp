@@ -29,6 +29,7 @@
 #include "gnumap/sim/catalog_gen.hpp"
 #include "gnumap/sim/mutator.hpp"
 #include "gnumap/sim/read_sim.hpp"
+#include "gnumap/obs/obs_cli.hpp"
 #include "gnumap/sim/reference_gen.hpp"
 #include "gnumap/util/error.hpp"
 #include "gnumap/util/string_util.hpp"
@@ -62,6 +63,7 @@ std::string genome_to_fasta_seq(const Genome& genome, std::uint32_t contig) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::strip_cli_flags(argc, argv);
   fs::path out_dir;
   ReferenceGenOptions ref_options;
   CatalogGenOptions catalog_options;

@@ -18,6 +18,8 @@
 //   --min-coverage X  minimum accumulated mass to test a site (default 3)
 //   --phred64         read qualities use the legacy +64 offset
 //   --quiet           suppress progress logging
+//   --trace-out FILE  write a Chrome trace (chrome://tracing, Perfetto)
+//   --metrics-out FILE  write metrics (JSON, or Prometheus for .prom/.txt)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -29,6 +31,7 @@
 #include "gnumap/io/fastq.hpp"
 #include "gnumap/io/quality.hpp"
 #include "gnumap/io/snp_writer.hpp"
+#include "gnumap/obs/obs_cli.hpp"
 #include "gnumap/util/error.hpp"
 #include "gnumap/util/log.hpp"
 #include "gnumap/util/string_util.hpp"
@@ -43,7 +46,8 @@ namespace {
                "usage: %s --ref genome.fa --reads reads.fastq [options]\n"
                "  --out FILE --vcf FILE --alpha X --fdr Q --ploidy 1|2\n"
                "  --kmer K --accum norm|chardisc|centdisc --threads N\n"
-               "  --min-coverage X --phred64 --quiet\n",
+               "  --min-coverage X --phred64 --quiet\n"
+               "  --trace-out FILE --metrics-out FILE\n",
                argv0);
   std::exit(2);
 }
@@ -51,6 +55,7 @@ namespace {
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::strip_cli_flags(argc, argv);
   std::string ref_path, reads_path, out_path, vcf_path, sam_path;
   PipelineConfig config;
   config.index.k = 10;

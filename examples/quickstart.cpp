@@ -12,11 +12,13 @@
 #include "gnumap/core/pipeline.hpp"
 #include "gnumap/genome/sequence.hpp"
 #include "gnumap/io/snp_writer.hpp"
+#include "gnumap/obs/obs_cli.hpp"
 #include "gnumap/util/rng.hpp"
 
 using namespace gnumap;
 
-int main() {
+int main(int argc, char** argv) {
+  gnumap::obs::strip_cli_flags(argc, argv);
   // 1. A reference genome.  Real users load FASTA via genome_from_fasta().
   Rng rng(2012);
   std::string sequence;

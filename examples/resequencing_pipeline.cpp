@@ -21,6 +21,7 @@
 #include "gnumap/io/fastq.hpp"
 #include "gnumap/io/snp_catalog.hpp"
 #include "gnumap/io/snp_writer.hpp"
+#include "gnumap/obs/obs_cli.hpp"
 #include "gnumap/sim/catalog_gen.hpp"
 #include "gnumap/sim/mutator.hpp"
 #include "gnumap/sim/read_sim.hpp"
@@ -31,6 +32,7 @@ using namespace gnumap;
 namespace fs = std::filesystem;
 
 int main(int argc, char** argv) {
+  gnumap::obs::strip_cli_flags(argc, argv);
   const std::uint64_t genome_bp =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200'000;
   const double coverage = argc > 2 ? std::strtod(argv[2], nullptr) : 12.0;

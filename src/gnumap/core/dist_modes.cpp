@@ -9,10 +9,13 @@
 #include <span>
 #include <utility>
 
+#include "gnumap/core/obs_bridge.hpp"
 #include "gnumap/core/read_mapper.hpp"
 #include "gnumap/core/snp_caller.hpp"
 #include "gnumap/genome/partition.hpp"
 #include "gnumap/mpsim/communicator.hpp"
+#include "gnumap/obs/trace.hpp"
+#include "gnumap/phmm/batched.hpp"
 #include "gnumap/util/error.hpp"
 #include "gnumap/util/timer.hpp"
 
@@ -147,14 +150,14 @@ void compute_turn(Communicator& comm, bool serialize, Stopwatch& clock,
                   Fn&& fn) {
   if (!serialize) {
     clock.start();
-    fn();
+    { GNUMAP_TRACE_SPAN("compute_turn", "compute"); fn(); }
     clock.stop();
     return;
   }
   for (int turn = 0; turn < comm.size(); ++turn) {
     if (turn == comm.rank()) {
       clock.start();
-      fn();
+      { GNUMAP_TRACE_SPAN("compute_turn", "compute"); fn(); }
       clock.stop();
     }
     comm.barrier();
@@ -298,6 +301,7 @@ void run_read_partition_rank(Communicator& comm, const AttemptContext& ctx) {
   std::uint64_t done = 0;  // reads of this rank's shard completed
   if (ctx.fault_mode) {
     if (const auto cp = ctx.store.latest(rank)) {
+      GNUMAP_TRACE_SPAN("checkpoint_restore", "ckpt");
       accum->from_bytes(cp->accum);
       stats = cp->stats;
       done = cp->progress;
@@ -326,6 +330,8 @@ void run_read_partition_rank(Communicator& comm, const AttemptContext& ctx) {
             comm.step();
             if (ctx.fault_mode && ctx.checkpoint_interval > 0 &&
                 done % ctx.checkpoint_interval == 0 && done < shard_size) {
+              obs::TraceSpan cp_span("checkpoint_save", "ckpt", "progress",
+                                     static_cast<double>(done));
               ctx.store.save(rank, Checkpoint{done, accum->to_bytes(), {},
                                               {}, stats, 0},
                              /*keep_history=*/false);
@@ -342,6 +348,8 @@ void run_read_partition_rank(Communicator& comm, const AttemptContext& ctx) {
       // Final shard snapshot: a crash during the reduction restarts
       // without redoing any mapping.  Taken before reclaimed ranges so a
       // later restore never double-counts them.
+      obs::TraceSpan cp_span("checkpoint_save", "ckpt", "progress",
+                             static_cast<double>(done));
       ctx.store.save(rank, Checkpoint{done, accum->to_bytes(), {}, {},
                                       stats, 0},
                      /*keep_history=*/false);
@@ -452,6 +460,7 @@ void run_genome_partition_rank(Communicator& comm, const AttemptContext& ctx) {
   const std::size_t total_reads = reads.size();
   std::size_t resume_begin = 0;
   if (ctx.fault_mode && ctx.resume_reads > 0) {
+    GNUMAP_TRACE_SPAN("checkpoint_restore", "ckpt");
     const auto cp = ctx.store.at(rank, ctx.resume_reads);
     require(cp.has_value(),
             "run_distributed: missing checkpoint at common resume point");
@@ -528,6 +537,8 @@ void run_genome_partition_rank(Communicator& comm, const AttemptContext& ctx) {
           (batch_end + ctx.options.batch_size - 1) / ctx.options.batch_size;
       if (batches_done % ctx.checkpoint_interval == 0 ||
           batch_end == total_reads) {
+        obs::TraceSpan cp_span("checkpoint_save", "ckpt", "progress",
+                               static_cast<double>(batch_end));
         ctx.store.save(
             rank,
             Checkpoint{batch_end, accum->to_bytes(),
@@ -561,6 +572,7 @@ void run_genome_partition_rank(Communicator& comm, const AttemptContext& ctx) {
     }
   };
   if (p > 1) {
+    GNUMAP_TRACE_SPAN("halo_exchange", "comm");
     // Even/odd phases avoid send/recv ordering deadlock... not needed:
     // mpsim sends are buffered, so everyone sends first, then receives.
     if (rank > 0) {
@@ -645,6 +657,15 @@ DistResult run_distributed(const Genome& genome,
   require(options.max_attempts >= 1,
           "run_distributed: max_attempts must be >= 1");
 
+  obs::set_trace_metadata("ranks", std::to_string(options.ranks));
+  obs::set_trace_metadata("dist_mode",
+                          options.mode == DistMode::kReadPartition
+                              ? "read_partition"
+                              : "genome_partition");
+  obs::set_trace_metadata(
+      "simd_level",
+      phmm::simd_level_name(phmm::resolve_simd_level(config.simd)));
+
   const bool fault_mode = !options.faults.empty();
   FaultState fault_state(options.faults);
   WorldOptions world_options;
@@ -723,6 +744,8 @@ DistResult run_distributed(const Genome& genome,
                        result,
                        result_mutex};
 
+    obs::TraceSpan attempt_span("attempt", "dist", "attempt",
+                                static_cast<double>(attempt));
     const WorldRun run = run_world_collect(
         options.ranks, world_options, [&](Communicator& comm) {
           if (options.mode == DistMode::kReadPartition) {
@@ -751,9 +774,12 @@ DistResult run_distributed(const Genome& genome,
       result.recovery.redone_compute_seconds = rc.redone_compute_seconds;
       result.attempt_costs = std::move(attempt_costs);
       result.wall_seconds = wall.seconds();
+      publish_dist_result(result);
       return result;
     }
 
+    obs::record_instant("attempt_failed", "dist", "failed_rank",
+                        static_cast<double>(run.failed_rank));
     failed_ranks.push_back(run.failed_rank);
     try {
       std::rethrow_exception(run.error);

@@ -1,0 +1,36 @@
+// Bridges the pipeline's value-type statistics (MapStats, CommStats, the
+// run-result structs) into the obs metrics registry.
+//
+// MapStats/CommStats stay plain value types — workers accumulate them
+// thread-locally, `+=` merges shards, and checkpoints serialize them — so the
+// registry cannot be their storage.  Instead the drivers publish a finished
+// run's aggregates here as gauges (set() snapshot semantics: a later run
+// overwrites, exports always describe the most recent run).  Existing code
+// that reads the structs directly is unaffected; --metrics-out readers get
+// the same numbers under stable gnumap_* names.
+#pragma once
+
+#include "gnumap/core/config.hpp"
+#include "gnumap/mpsim/communicator.hpp"
+
+namespace gnumap {
+
+struct PipelineResult;
+struct DistResult;
+
+/// Publishes mapping aggregates (reads, candidates, dp cells, kernel time)
+/// as gnumap_map_* / gnumap_phmm_* gauges.
+void publish_map_stats(const MapStats& stats);
+
+/// Publishes one rank's communication counters as per-rank labelled gauges
+/// (gnumap_rank_bytes_sent_total{rank="3"} …).
+void publish_comm_stats(int rank, const CommStats& stats);
+
+/// publish_map_stats plus the pipeline phase timings and memory footprints.
+void publish_pipeline_result(const PipelineResult& result);
+
+/// Aggregated stats, every rank's CommStats-derived cost counters, and the
+/// recovery summary of a distributed run.
+void publish_dist_result(const DistResult& result);
+
+}  // namespace gnumap

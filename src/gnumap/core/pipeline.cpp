@@ -5,11 +5,13 @@
 #include <ostream>
 #include <span>
 
+#include "gnumap/core/obs_bridge.hpp"
 #include "gnumap/core/read_mapper.hpp"
 #include "gnumap/core/sam_export.hpp"
 #include "gnumap/core/snp_caller.hpp"
 #include "gnumap/io/sam.hpp"
 #include "gnumap/index/hash_index.hpp"
+#include "gnumap/obs/trace.hpp"
 #include "gnumap/util/log.hpp"
 #include "gnumap/util/thread_pool.hpp"
 #include "gnumap/util/timer.hpp"
@@ -23,13 +25,20 @@ PipelineResult run_pipeline_with_accumulator(
   PipelineResult result;
   Timer timer;
 
+  // Phase spans are recorded explicitly (not RAII) because the phases share
+  // one scope; each uses the phase timing the pipeline already measures.
+  double phase_start_us = obs::trace_now_us();
   const HashIndex index(genome, config.index);
   result.index_seconds = timer.seconds();
+  obs::record_complete("index_build", "pipeline", phase_start_us,
+                       obs::trace_now_us() - phase_start_us, "bases",
+                       static_cast<double>(genome.num_bases()));
   result.index_memory_bytes = index.memory_bytes();
   GNUMAP_LOG(kInfo) << "index built: " << index.num_entries()
                     << " entries over " << genome.num_bases() << " bases in "
                     << result.index_seconds << " s";
 
+  phase_start_us = obs::trace_now_us();
   const ReadMapper mapper(genome, index, config);
   auto accum = make_accumulator(config.accum_kind, 0, genome.padded_size(),
                        config.centdisc_quantize);
@@ -88,17 +97,25 @@ PipelineResult run_pipeline_with_accumulator(
         });
   }
   result.map_seconds = timer.seconds();
+  obs::record_complete("map_reads", "pipeline", phase_start_us,
+                       obs::trace_now_us() - phase_start_us, "reads",
+                       static_cast<double>(reads.size()));
   result.accum_memory_bytes = accum->memory_bytes();
   GNUMAP_LOG(kInfo) << "mapped " << result.stats.reads_mapped << "/"
                     << result.stats.reads_total << " reads in "
                     << result.map_seconds << " s";
 
   timer.reset();
+  phase_start_us = obs::trace_now_us();
   result.calls = call_snps(genome, *accum, config);
   result.call_seconds = timer.seconds();
+  obs::record_complete("call_snps", "pipeline", phase_start_us,
+                       obs::trace_now_us() - phase_start_us, "calls",
+                       static_cast<double>(result.calls.size()));
   GNUMAP_LOG(kInfo) << "called " << result.calls.size() << " SNPs in "
                     << result.call_seconds << " s";
 
+  publish_pipeline_result(result);
   if (accum_out != nullptr) *accum_out = std::move(accum);
   return result;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "gnumap/obs/metrics.hpp"
+#include "gnumap/obs/trace.hpp"
 #include "gnumap/phmm/marginal.hpp"
 
 namespace gnumap {
@@ -155,6 +157,7 @@ std::vector<std::vector<ScoredSite>> ReadMapper::score_reads(
   // slots keyed by task id.
   std::vector<ScoredSite> task_sites(pending.size());
   std::vector<unsigned char> task_scored(pending.size(), 0);
+  const double batch_start_us = obs::trace_now_us();
   ws.batch.run([&](std::size_t task) {
     if (!ws.batch.outcome(task).ok) return;
     const Read& read = reads[pending[task].read];
@@ -171,8 +174,19 @@ std::vector<std::vector<ScoredSite>> ReadMapper::score_reads(
                                             config_.marginal);
     task_scored[task] = 1;
   });
+  obs::record_complete("phmm_batch", "phmm", batch_start_us,
+                       obs::trace_now_us() - batch_start_us, "tasks",
+                       static_cast<double>(pending.size()), "reads",
+                       static_cast<double>(reads.size()));
   stats.phmm_forward_seconds += ws.batch.timings().forward_seconds;
   stats.phmm_backward_seconds += ws.batch.timings().backward_seconds;
+  // Per-batch kernel latency; resolved once so per-chunk updates are a pair
+  // of relaxed atomics.
+  static obs::Histogram& batch_histogram = obs::registry().histogram(
+      "gnumap_phmm_batch_seconds", obs::default_time_buckets(),
+      "Forward+backward kernel time per SIMD batch sweep");
+  batch_histogram.observe(ws.batch.timings().forward_seconds +
+                          ws.batch.timings().backward_seconds);
 
   // Phase 3: tasks were added read-major, so walking the slots in id order
   // rebuilds each read's site list in exactly the order the scalar path

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "gnumap/obs/metrics.hpp"
+#include "gnumap/obs/trace.hpp"
 #include "gnumap/stats/fdr.hpp"
 #include "gnumap/stats/lrt.hpp"
 
@@ -10,6 +12,8 @@ namespace gnumap {
 std::vector<SnpCall> call_snps(const Genome& genome, const Accumulator& accum,
                                const PipelineConfig& config,
                                GenomePos begin, GenomePos end) {
+  obs::TraceSpan span("call_snps", "snp", "positions",
+                      static_cast<double>(accum.size()));
   const GenomePos accum_begin = accum.begin();
   const GenomePos accum_end = accum.begin() + accum.size();
   begin = std::max(begin, accum_begin);
@@ -67,6 +71,9 @@ std::vector<SnpCall> call_snps(const Genome& genome, const Accumulator& accum,
       if (call.p_value < config.alpha) calls.push_back(std::move(call));
     }
   }
+  static obs::Counter& calls_counter = obs::registry().counter(
+      "gnumap_snp_calls_total", "SNP calls emitted across all call_snps runs");
+  calls_counter.inc(calls.size());
   return calls;
 }
 

@@ -7,7 +7,9 @@
 #include <string>
 #include <thread>
 
+#include "gnumap/obs/trace.hpp"
 #include "gnumap/util/error.hpp"
+#include "gnumap/util/timer.hpp"
 
 namespace gnumap {
 
@@ -130,7 +132,11 @@ std::vector<std::uint8_t> World::await(int dest, int source, int tag) {
 // Communicator
 
 Communicator::Communicator(World& world, int rank)
-    : world_(world), rank_(rank) {}
+    : world_(world),
+      rank_(rank),
+      wait_histogram_(obs::registry().histogram(
+          "gnumap_comm_wait_seconds", obs::default_time_buckets(),
+          "Blocking receive/collective wait latency across all ranks")) {}
 
 int Communicator::size() const { return world_.size(); }
 
@@ -138,6 +144,8 @@ void Communicator::fault_step() {
   const std::uint64_t step = step_count_++;
   FaultState* faults = world_.options().faults;
   if (faults != nullptr && faults->should_crash(rank_, step)) {
+    obs::record_instant("injected_crash", "fault", "step",
+                        static_cast<double>(step));
     throw InjectedCrash("injected crash: rank " + std::to_string(rank_) +
                             " at step " + std::to_string(step),
                         rank_);
@@ -149,7 +157,10 @@ void Communicator::step() { fault_step(); }
 double Communicator::scaled_compute_seconds() const {
   const FaultState* faults = world_.options().faults;
   const double scale = faults != nullptr ? faults->compute_scale(rank_) : 1.0;
-  return compute_clock_.total_seconds() * scale;
+  // elapsed_including_running, not total_seconds: a sample taken mid-turn
+  // (progress reporting, a rank dying inside a compute phase) must not
+  // silently drop the open interval.
+  return compute_clock_.elapsed_including_running() * scale;
 }
 
 void Communicator::raw_send(int dest, int tag,
@@ -163,6 +174,8 @@ void Communicator::raw_send(int dest, int tag,
     const auto action = faults->on_send(rank_, index, &delay);
     if (action == FaultState::SendAction::kDrop) {
       // Lost on the wire: the sender paid for it, nobody receives it.
+      obs::record_instant("message_dropped", "fault", "dest",
+                          static_cast<double>(dest));
       return;
     }
     if (delay > 0.0) {
@@ -173,9 +186,11 @@ void Communicator::raw_send(int dest, int tag,
 }
 
 std::vector<std::uint8_t> Communicator::await_msg(int source, int tag) {
+  const Timer wait_timer;
   try {
     auto payload = world_.await(rank_, source, tag);
     ++stats_.messages_received;
+    wait_histogram_.observe(wait_timer.seconds());
     return payload;
   } catch (const RankFailedError&) {
     ++stats_.peer_failures_seen;
@@ -189,11 +204,14 @@ std::vector<std::uint8_t> Communicator::await_msg(int source, int tag) {
 void Communicator::send(int dest, int tag, std::vector<std::uint8_t> payload) {
   require(tag >= 0 && tag < kCollectiveTagBase,
           "send: application tags must be < 2^20");
+  obs::TraceSpan span("send", "comm", "peer", static_cast<double>(dest),
+                      "bytes", static_cast<double>(payload.size()));
   fault_step();
   raw_send(dest, tag, std::move(payload));
 }
 
 std::vector<std::uint8_t> Communicator::recv(int source, int tag) {
+  obs::TraceSpan span("recv", "comm", "peer", static_cast<double>(source));
   fault_step();
   auto payload = await_msg(source, tag);
   stats_.bytes_received += payload.size();
@@ -239,6 +257,7 @@ int Communicator::collective_tag() {
 
 void Communicator::barrier() {
   // Reduce-then-broadcast over empty payloads on a binomial tree.
+  obs::TraceSpan span("barrier", "comm");
   fault_step();
   const int tag = collective_tag();
   const int p = size();
@@ -272,6 +291,8 @@ void Communicator::barrier() {
 std::vector<std::uint8_t> Communicator::bcast(int root,
                                               std::vector<std::uint8_t> data) {
   require(root >= 0 && root < size(), "bcast: root out of range");
+  obs::TraceSpan span("bcast", "comm", "root", static_cast<double>(root),
+                      "bytes", static_cast<double>(data.size()));
   fault_step();
   const int tag = collective_tag();
   const int p = size();
@@ -304,6 +325,8 @@ std::vector<std::uint8_t> Communicator::reduce(int root,
                                                std::vector<std::uint8_t> local,
                                                const Combine& combine) {
   require(root >= 0 && root < size(), "reduce: root out of range");
+  obs::TraceSpan span("reduce", "comm", "root", static_cast<double>(root),
+                      "bytes", static_cast<double>(local.size()));
   fault_step();
   const int tag = collective_tag();
   const int p = size();
@@ -348,6 +371,8 @@ void Communicator::reduce_sum(std::span<double> inout, int root) {
 }
 
 void Communicator::allreduce_sum(std::span<double> inout) {
+  obs::TraceSpan span("allreduce", "comm", "doubles",
+                      static_cast<double>(inout.size()));
   reduce_sum(inout, 0);
   std::vector<std::uint8_t> bytes;
   if (rank_ == 0) {
@@ -363,6 +388,8 @@ void Communicator::allreduce_sum(std::span<double> inout) {
 std::vector<std::vector<std::uint8_t>> Communicator::gather(
     int root, std::vector<std::uint8_t> data) {
   require(root >= 0 && root < size(), "gather: root out of range");
+  obs::TraceSpan span("gather", "comm", "root", static_cast<double>(root),
+                      "bytes", static_cast<double>(data.size()));
   fault_step();
   const int tag = collective_tag();
   const int p = size();
@@ -398,6 +425,7 @@ WorldRun run_world_collect(int world_size, const WorldOptions& options,
   threads.reserve(static_cast<std::size_t>(world_size));
   for (int r = 0; r < world_size; ++r) {
     threads.emplace_back([&, r] {
+      obs::set_thread_track(r, "rank " + std::to_string(r));
       Communicator comm(world, r);
       try {
         body(comm);

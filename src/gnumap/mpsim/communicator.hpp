@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "gnumap/mpsim/fault.hpp"
+#include "gnumap/obs/metrics.hpp"
 #include "gnumap/util/timer.hpp"
 
 namespace gnumap {
@@ -110,7 +111,8 @@ class Communicator {
   /// Compute-time attribution for the cost model; the application brackets
   /// its compute phases with start()/stop().
   Stopwatch& compute_clock() { return compute_clock_; }
-  /// Accumulated compute seconds scaled by any injected slowdown.
+  /// Accumulated compute seconds scaled by any injected slowdown.  Safe to
+  /// sample mid-turn: an interval still open on the clock is included.
   double scaled_compute_seconds() const;
 
  private:
@@ -130,6 +132,9 @@ class Communicator {
   int collective_seq_ = 0;
   std::uint64_t step_count_ = 0;
   std::uint64_t send_count_ = 0;
+  /// Message-wait latency (gnumap_comm_wait_seconds); resolved once here so
+  /// the await path never takes the registry lock.
+  obs::Histogram& wait_histogram_;
 };
 
 /// Owns the mailboxes and per-rank liveness state; created by run_world.

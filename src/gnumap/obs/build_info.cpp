@@ -1,0 +1,47 @@
+#include "gnumap/obs/build_info.hpp"
+
+#include <thread>
+
+#include <unistd.h>
+
+#ifndef GNUMAP_GIT_SHA
+#define GNUMAP_GIT_SHA "unknown"
+#endif
+#ifndef GNUMAP_BUILD_TYPE
+#define GNUMAP_BUILD_TYPE "unknown"
+#endif
+
+namespace gnumap::obs {
+
+namespace {
+
+const char* compiler_id() {
+#if defined(__clang__)
+  return "clang " __clang_version__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{GNUMAP_GIT_SHA, GNUMAP_BUILD_TYPE,
+                              compiler_id()};
+  return info;
+}
+
+std::string host_name() {
+  char buf[256] = {};
+  if (gethostname(buf, sizeof(buf) - 1) != 0) return "unknown";
+  return buf[0] != '\0' ? std::string(buf) : std::string("unknown");
+}
+
+int num_cpus() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+}  // namespace gnumap::obs

@@ -1,0 +1,25 @@
+// Build and host identity embedded in every trace and metrics export, so a
+// saved artifact is attributable to the exact binary and machine that
+// produced it (the same fields google-benchmark puts in its JSON context).
+#pragma once
+
+#include <string>
+
+namespace gnumap::obs {
+
+struct BuildInfo {
+  const char* git_sha;     ///< short commit hash at configure time
+  const char* build_type;  ///< CMAKE_BUILD_TYPE ("Release", ...)
+  const char* compiler;    ///< compiler id + version
+};
+
+/// Static build facts baked in by CMake (see src/CMakeLists.txt).
+const BuildInfo& build_info();
+
+/// This machine's hostname ("unknown" if unavailable).
+std::string host_name();
+
+/// Hardware threads visible to this process.
+int num_cpus();
+
+}  // namespace gnumap::obs

@@ -1,0 +1,44 @@
+// Internal JSON string/number formatting shared by the obs exporters.
+// Emission-side only: recording paths never format.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace gnumap::obs::detail {
+
+inline void append_json_escaped(std::string& out, const std::string& text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+inline std::string json_string(const std::string& text) {
+  std::string out = "\"";
+  append_json_escaped(out, text);
+  out += "\"";
+  return out;
+}
+
+/// %.17g round-trips doubles exactly.
+inline std::string json_number(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace gnumap::obs::detail

@@ -1,0 +1,299 @@
+#include "gnumap/obs/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string_view>
+
+#include "gnumap/obs/build_info.hpp"
+#include "gnumap/obs/json_util.hpp"
+#include "gnumap/obs/trace.hpp"
+#include "gnumap/util/error.hpp"
+#include "gnumap/util/log.hpp"
+
+namespace gnumap::obs {
+
+namespace {
+
+using detail::json_number;
+using detail::json_string;
+
+constexpr int kCounter = 0;
+constexpr int kGauge = 1;
+constexpr int kHistogram = 2;
+
+const char* kind_name(int kind) {
+  switch (kind) {
+    case kCounter: return "counter";
+    case kGauge: return "gauge";
+    default: return "histogram";
+  }
+}
+
+/// Splits 'base{label="v"}' into base and label text ("" when unlabeled),
+/// so histogram bucket lines can merge their le label in.
+std::pair<std::string, std::string> split_labels(const std::string& name) {
+  const auto brace = name.find('{');
+  if (brace == std::string::npos || name.back() != '}') return {name, ""};
+  return {name.substr(0, brace),
+          name.substr(brace + 1, name.size() - brace - 2)};
+}
+
+std::string prometheus_bound(double bound) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", bound);
+  return buf;
+}
+
+/// ISO-8601 wall-clock date for the export context (matches the "date"
+/// field of the committed bench JSONs).
+std::string export_date() {
+  const std::time_t now =
+      std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[40];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%S+00:00", &tm);
+  return buf;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  require(!bounds_.empty(), "Histogram: bucket bounds must be non-empty");
+  require(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+              std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                  bounds_.end(),
+          "Histogram: bucket bounds must be strictly ascending");
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+void Histogram::observe(double value) {
+  // First bucket whose upper bound is >= value; past-the-end is +Inf.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<double> default_time_buckets() {
+  return {1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3,
+          2e-3, 5e-3, 1e-2, 2e-2, 5e-2, 0.1,  0.2,  0.5,  1.0,  2.0,
+          5.0,  10.0, 20.0, 50.0, 100.0};
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+struct Registry::Entry {
+  int kind;
+  std::string help;
+  Counter counter;
+  Gauge gauge;
+  std::unique_ptr<Histogram> histogram;
+};
+
+struct Registry::Impl {
+  mutable std::mutex mutex;
+  // std::map: exports iterate in deterministic (sorted) name order.
+  std::map<std::string, std::unique_ptr<Entry>> entries;
+};
+
+Registry::Impl& Registry::impl() const {
+  static Impl* instance = new Impl();  // leaked: metric handles never dangle
+  return *instance;
+}
+
+Registry::Entry& Registry::find_or_create(const std::string& name, int kind,
+                                          const std::string& help) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  auto it = i.entries.find(name);
+  if (it == i.entries.end()) {
+    auto entry = std::make_unique<Entry>();
+    entry->kind = kind;
+    entry->help = help;
+    it = i.entries.emplace(name, std::move(entry)).first;
+  } else {
+    require(it->second->kind == kind,
+            "metrics: '" + name + "' re-registered as a different kind (" +
+                kind_name(it->second->kind) + " vs " + kind_name(kind) + ")");
+  }
+  return *it->second;
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help) {
+  return find_or_create(name, kCounter, help).counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help) {
+  return find_or_create(name, kGauge, help).gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds,
+                               const std::string& help) {
+  Entry& entry = find_or_create(name, kHistogram, help);
+  {
+    std::lock_guard<std::mutex> lock(impl().mutex);
+    if (entry.histogram == nullptr) {
+      require(!bounds.empty(),
+              "metrics: first registration of histogram '" + name +
+                  "' must supply bucket bounds");
+      entry.histogram.reset(new Histogram(std::move(bounds)));
+    }
+  }
+  return *entry.histogram;
+}
+
+void Registry::reset() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  for (auto& [name, entry] : i.entries) {
+    entry->counter.value_.store(0);
+    entry->gauge.value_.store(0.0);
+    if (entry->histogram != nullptr) {
+      Histogram& h = *entry->histogram;
+      for (std::size_t b = 0; b <= h.bounds_.size(); ++b) {
+        h.counts_[b].store(0);
+      }
+      h.count_.store(0);
+      h.sum_.store(0.0);
+    }
+  }
+}
+
+void Registry::write_json(std::ostream& out) const {
+  const BuildInfo& info = build_info();
+  std::string text;
+  text += "{\n\"context\": {\n";
+  text += "\"date\": " + json_string(export_date()) + ",\n";
+  text += "\"host_name\": " + json_string(host_name()) + ",\n";
+  text += "\"num_cpus\": " + std::to_string(num_cpus()) + ",\n";
+  text += "\"git_sha\": " + json_string(info.git_sha) + ",\n";
+  text += "\"library_build_type\": " + json_string(info.build_type) + ",\n";
+  text += "\"compiler\": " + json_string(info.compiler);
+  for (const auto& [key, value] : obs::detail::metadata_snapshot()) {
+    text += ",\n" + json_string(key) + ": " + json_string(value);
+  }
+  text += "\n},\n\"metrics\": {";
+
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  bool first = true;
+  for (const auto& [name, entry] : i.entries) {
+    if (!first) text += ",";
+    first = false;
+    text += "\n" + json_string(name) + ": {\"type\": \"";
+    text += kind_name(entry->kind);
+    text += "\"";
+    if (!entry->help.empty()) {
+      text += ", \"help\": " + json_string(entry->help);
+    }
+    switch (entry->kind) {
+      case kCounter:
+        text += ", \"value\": " + std::to_string(entry->counter.value());
+        break;
+      case kGauge:
+        text += ", \"value\": " + json_number(entry->gauge.value());
+        break;
+      default: {
+        const Histogram& h = *entry->histogram;
+        text += ", \"count\": " + std::to_string(h.count());
+        text += ", \"sum\": " + json_number(h.sum());
+        text += ", \"buckets\": [";
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b <= h.bounds().size(); ++b) {
+          cumulative += h.bucket_count(b);
+          if (b > 0) text += ", ";
+          text += "{\"le\": ";
+          text += b < h.bounds().size()
+                      ? json_number(h.bounds()[b])
+                      : std::string("\"+Inf\"");
+          text += ", \"count\": " + std::to_string(cumulative) + "}";
+        }
+        text += "]";
+      }
+    }
+    text += "}";
+  }
+  text += "\n}\n}\n";
+  out << text;
+}
+
+void Registry::write_prometheus(std::ostream& out) const {
+  std::string text;
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  for (const auto& [name, entry] : i.entries) {
+    const auto [base, labels] = split_labels(name);
+    if (!entry->help.empty()) {
+      text += "# HELP " + base + " " + entry->help + "\n";
+    }
+    text += "# TYPE " + base + " " + kind_name(entry->kind) + "\n";
+    switch (entry->kind) {
+      case kCounter:
+        text += name + " " + std::to_string(entry->counter.value()) + "\n";
+        break;
+      case kGauge:
+        text += name + " " + json_number(entry->gauge.value()) + "\n";
+        break;
+      default: {
+        const Histogram& h = *entry->histogram;
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b <= h.bounds().size(); ++b) {
+          cumulative += h.bucket_count(b);
+          const std::string le =
+              b < h.bounds().size() ? prometheus_bound(h.bounds()[b]) : "+Inf";
+          text += base + "_bucket{";
+          if (!labels.empty()) text += labels + ",";
+          text += "le=\"" + le + "\"} " + std::to_string(cumulative) + "\n";
+        }
+        const std::string suffix = labels.empty() ? "" : "{" + labels + "}";
+        text += base + "_sum" + suffix + " " + json_number(h.sum()) + "\n";
+        text += base + "_count" + suffix + " " + std::to_string(h.count()) +
+                "\n";
+      }
+    }
+  }
+  out << text;
+}
+
+Registry& registry() {
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+bool write_metrics_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    GNUMAP_LOG(kWarn) << "metrics export: cannot open " << path;
+    return false;
+  }
+  const std::string_view view(path);
+  const bool prometheus = view.ends_with(".prom") || view.ends_with(".txt");
+  if (prometheus) {
+    registry().write_prometheus(out);
+  } else {
+    registry().write_json(out);
+  }
+  out.flush();
+  if (!out) {
+    GNUMAP_LOG(kWarn) << "metrics export: write failed for " << path;
+    return false;
+  }
+  GNUMAP_LOG(kInfo) << "metrics written to " << path;
+  return true;
+}
+
+}  // namespace gnumap::obs

@@ -1,0 +1,130 @@
+// Named metrics: counters, gauges, and latency histograms in one
+// process-wide registry, exported as JSON (sharing its context schema with
+// the committed bench JSONs) or Prometheus text exposition.
+//
+// Handles returned by the registry are stable for the process lifetime;
+// callers on hot paths resolve a metric once (by name) and then update it
+// with plain atomics — updates never take the registry lock and never
+// allocate.  MapStats / CommStats remain the value types the pipeline
+// aggregates with; core/obs_bridge.hpp mirrors them into registry entries
+// (gnumap_reads_total, gnumap_rank_messages_sent_total{rank="0"}, ...) so
+// one exporter covers both.
+//
+// Naming scheme (docs/OBSERVABILITY.md): prometheus-style snake_case with
+// a gnumap_ prefix, _total suffix for monotone counters, _seconds/_bytes
+// unit suffixes, and an optional {label="value"} suffix baked into the
+// registered name for per-rank series.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gnumap::obs {
+
+/// Monotonically increasing integer metric.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins floating-point metric, with an accumulate form for
+/// time totals.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double v) { value_.fetch_add(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class Registry;
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-boundary histogram with Prometheus bucket semantics: an
+/// observation lands in every bucket whose upper bound is >= the value
+/// when exported cumulatively; internally each bucket stores its own count
+/// (value <= bounds[i], first match) plus the implicit +Inf overflow.
+class Histogram {
+ public:
+  void observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Non-cumulative count for bucket `i`; i == bounds().size() is +Inf.
+  std::uint64_t bucket_count(std::size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class Registry;
+  explicit Histogram(std::vector<double> bounds);
+
+  std::vector<double> bounds_;  ///< ascending upper bounds, +Inf implicit
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default latency buckets: 1 µs .. ~100 s, quasi-logarithmic (1-2-5).
+std::vector<double> default_time_buckets();
+
+/// Process-wide metric registry.  Lookup is mutex-protected; returned
+/// references stay valid forever (metrics are never removed, only reset).
+class Registry {
+ public:
+  /// Finds or creates the metric `name`.  A name may carry a baked-in
+  /// Prometheus label suffix ('gnumap_rank_bytes_sent_total{rank="3"}').
+  /// `help` is kept from the first registration.  Re-registering an
+  /// existing name with a different metric kind throws ConfigError.
+  Counter& counter(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
+  /// `bounds` must be non-empty and strictly ascending; it is fixed by the
+  /// first registration (later calls may pass an empty vector).
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       const std::string& help = "");
+
+  /// Zeroes every registered metric (counts, sums, gauge values); the set
+  /// of registered names survives.  Tests and multi-run tools use this.
+  void reset();
+
+  /// JSON export: {"context": {...build/host fields...}, "metrics": {...}}.
+  /// The context block carries the same identity fields as the committed
+  /// bench JSONs (host_name, num_cpus, build type, git SHA, SIMD level).
+  void write_json(std::ostream& out) const;
+  /// Prometheus text exposition (histograms with cumulative le buckets).
+  void write_prometheus(std::ostream& out) const;
+
+ private:
+  struct Entry;
+  Entry& find_or_create(const std::string& name, int kind,
+                        const std::string& help);
+
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// The process-wide registry.
+Registry& registry();
+
+/// Writes registry().write_json / write_prometheus to `path`; the
+/// Prometheus form is chosen when `path` ends in ".prom" or ".txt".
+/// Returns false (and logs) on I/O failure.
+bool write_metrics_file(const std::string& path);
+
+}  // namespace gnumap::obs

@@ -1,0 +1,64 @@
+#include "gnumap/obs/obs_cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "gnumap/obs/metrics.hpp"
+#include "gnumap/obs/trace.hpp"
+
+namespace gnumap::obs {
+
+namespace {
+
+std::string& trace_path() {
+  static std::string path;
+  return path;
+}
+
+std::string& metrics_path() {
+  static std::string path;
+  return path;
+}
+
+void atexit_flush() { flush_cli_outputs(); }
+
+}  // namespace
+
+void strip_cli_flags(int& argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const bool is_trace = std::strcmp(argv[i], "--trace-out") == 0;
+    const bool is_metrics = std::strcmp(argv[i], "--metrics-out") == 0;
+    if (!is_trace && !is_metrics) {
+      argv[out++] = argv[i];
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s: %s needs a file argument\n", argv[0],
+                   argv[i]);
+      std::exit(2);
+    }
+    (is_trace ? trace_path() : metrics_path()) = argv[++i];
+  }
+  argv[out] = nullptr;
+  argc = out;
+
+  if (!trace_path().empty() || !metrics_path().empty()) {
+    set_thread_track(900, "main");
+    std::atexit(atexit_flush);
+  }
+  if (!trace_path().empty()) set_trace_enabled(true);
+}
+
+bool flush_cli_outputs() {
+  bool ok = true;
+  if (!trace_path().empty()) ok &= write_chrome_trace_file(trace_path());
+  if (!metrics_path().empty()) ok &= write_metrics_file(metrics_path());
+  return ok;
+}
+
+const std::string& cli_trace_path() { return trace_path(); }
+const std::string& cli_metrics_path() { return metrics_path(); }
+
+}  // namespace gnumap::obs

@@ -1,0 +1,30 @@
+// Shared --trace-out / --metrics-out handling for the CLIs, examples, and
+// bench tools, so every binary exposes the same observability flags with
+// one call at the top of main().
+#pragma once
+
+#include <string>
+
+namespace gnumap::obs {
+
+/// Scans argv for
+///   --trace-out FILE     enable tracing; write Chrome trace JSON to FILE
+///   --metrics-out FILE   write the metrics registry to FILE at exit
+///                        (JSON, or Prometheus text for .prom/.txt)
+/// removes both (flag and value) from argv in place, updates argc, and
+/// names the calling thread's trace track "main".  The files are written by
+/// flush_cli_outputs(), which is also registered via std::atexit so plain
+/// `return`/`exit()` paths export without further wiring.  Call before any
+/// other argument parsing.
+void strip_cli_flags(int& argc, char** argv);
+
+/// Writes any outputs requested via strip_cli_flags; idempotent (a second
+/// call — e.g. the atexit handler after an explicit call — re-exports,
+/// which is harmless).  Returns false if any export failed.
+bool flush_cli_outputs();
+
+/// The paths captured by strip_cli_flags ("" when the flag was absent).
+const std::string& cli_trace_path();
+const std::string& cli_metrics_path();
+
+}  // namespace gnumap::obs

@@ -1,0 +1,320 @@
+#include "gnumap/obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "gnumap/obs/build_info.hpp"
+#include "gnumap/obs/json_util.hpp"
+#include "gnumap/util/log.hpp"
+
+namespace gnumap::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+namespace {
+
+/// Ring capacity per recording thread.  A 4-rank distributed run with
+/// per-message spans lands in the low thousands of events per rank; 64K
+/// leaves two orders of magnitude of headroom before anything is dropped
+/// (drops are counted and reported in the export's otherData).
+constexpr std::size_t kRingCapacity = 1 << 16;
+
+struct TraceEvent {
+  const char* name;
+  const char* category;
+  double ts_us;
+  double dur_us;  ///< < 0 marks an instant event
+  const char* arg1_name;
+  const char* arg2_name;
+  double arg1_value;
+  double arg2_value;
+};
+
+/// One thread's recording state.  Owned jointly by the recording thread
+/// (thread_local handle) and the global registry, so events survive thread
+/// exit — rank threads are joined before the trace is exported.
+struct ThreadBuffer {
+  std::mutex mutex;  ///< recording thread vs. exporter/reset
+  std::vector<TraceEvent> events;  ///< ring once size == kRingCapacity
+  std::size_t next = 0;            ///< ring write cursor
+  std::uint64_t dropped = 0;       ///< events overwritten after wrap
+  int track = -1;                  ///< Chrome tid; -1 until claimed/assigned
+};
+
+struct TraceState {
+  std::mutex mutex;  ///< guards buffers + metadata + track names
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  /// Track id -> displayed row label.  Process-global, last claim wins: a
+  /// track id is one row in the UI, so when successive worlds re-claim the
+  /// same rank tracks the export must carry exactly one name per row (dead
+  /// threads' buffers outlive them and must not resurrect stale labels).
+  std::map<int, std::string> track_names;
+  std::map<std::string, std::string> metadata;
+  std::atomic<int> next_auto_track{1000};
+};
+
+TraceState& state() {
+  static TraceState* s = new TraceState();  // leaked: outlives exiting threads
+  return *s;
+}
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+/// The calling thread's buffer, registered globally on first use.  A thread
+/// that never claims a track gets an auto-assigned "thread-K" row.  On
+/// thread exit an untouched buffer deregisters itself so short-lived worker
+/// threads (every mpsim world spawns a fresh set) do not pile up.
+struct ThreadHandle {
+  std::shared_ptr<ThreadBuffer> buffer;
+
+  ThreadHandle() : buffer(std::make_shared<ThreadBuffer>()) {
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.buffers.push_back(buffer);
+  }
+
+  ~ThreadHandle() {
+    bool empty;
+    {
+      std::lock_guard<std::mutex> lock(buffer->mutex);
+      empty = buffer->events.empty() && buffer->track < 0;
+    }
+    if (!empty) return;
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    std::erase(s.buffers, buffer);
+  }
+};
+
+ThreadBuffer& thread_buffer() {
+  thread_local ThreadHandle handle;
+  return *handle.buffer;
+}
+
+void push_event(ThreadBuffer& buffer, const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  if (buffer.events.size() < kRingCapacity) {
+    buffer.events.push_back(event);
+    return;
+  }
+  buffer.events[buffer.next] = event;
+  buffer.next = (buffer.next + 1) % kRingCapacity;
+  ++buffer.dropped;
+}
+
+using detail::json_number;
+using detail::json_string;
+
+struct ExportRow {
+  TraceEvent event;
+  int track;
+};
+
+}  // namespace
+
+void set_trace_enabled(bool enabled) {
+  if (enabled) trace_epoch();  // pin the epoch before the first span
+  detail::g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void reset_trace() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  for (const auto& buffer : s.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->events.clear();
+    buffer->next = 0;
+    buffer->dropped = 0;
+  }
+  s.metadata.clear();
+}
+
+void set_thread_track(int track, const std::string& name) {
+  ThreadBuffer& buffer = thread_buffer();
+  {
+    // Scoped: the exporter locks state -> buffer, so never hold the buffer
+    // lock while taking the state lock below.
+    std::lock_guard<std::mutex> lock(buffer.mutex);
+    buffer.track = track;
+  }
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.track_names[track] = name;
+}
+
+void set_trace_metadata(const std::string& key, const std::string& value) {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.metadata[key] = value;
+}
+
+namespace detail {
+std::map<std::string, std::string> metadata_snapshot() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.metadata;
+}
+}  // namespace detail
+
+double trace_now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - trace_epoch())
+      .count();
+}
+
+void record_complete(const char* name, const char* category, double ts_us,
+                     double dur_us, const char* arg1_name, double arg1_value,
+                     const char* arg2_name, double arg2_value) {
+  if (!trace_enabled()) return;
+  push_event(thread_buffer(),
+             TraceEvent{name, category, ts_us, dur_us, arg1_name, arg2_name,
+                        arg1_value, arg2_value});
+}
+
+void record_instant(const char* name, const char* category,
+                    const char* arg1_name, double arg1_value) {
+  if (!trace_enabled()) return;
+  push_event(thread_buffer(),
+             TraceEvent{name, category, trace_now_us(), -1.0, arg1_name,
+                        nullptr, arg1_value, 0.0});
+}
+
+void write_chrome_trace(std::ostream& out) {
+  // Snapshot every buffer under its own lock, assigning auto tracks to
+  // threads that never claimed one; then emit a single sorted timeline.
+  TraceState& s = state();
+  std::vector<ExportRow> rows;
+  std::map<int, std::string> tracks;  ///< one name per active track id
+  std::uint64_t dropped_total = 0;
+  std::map<std::string, std::string> metadata;
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    metadata = s.metadata;
+    for (const auto& buffer : s.buffers) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      if (buffer->events.empty() && buffer->track < 0) continue;
+      if (buffer->track < 0) {
+        buffer->track = s.next_auto_track.fetch_add(1);
+        s.track_names[buffer->track] =
+            "thread-" + std::to_string(buffer->track - 1000);
+      }
+      tracks[buffer->track] = s.track_names[buffer->track];
+      dropped_total += buffer->dropped;
+      // Ring order: [next, end) is oldest once wrapped.
+      for (std::size_t i = 0; i < buffer->events.size(); ++i) {
+        const std::size_t at = (buffer->next + i) % buffer->events.size();
+        rows.push_back(ExportRow{buffer->events[at], buffer->track});
+      }
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const ExportRow& a, const ExportRow& b) {
+              if (a.event.ts_us != b.event.ts_us)
+                return a.event.ts_us < b.event.ts_us;
+              return a.track < b.track;
+            });
+
+  const BuildInfo& info = build_info();
+  metadata.emplace("git_sha", info.git_sha);
+  metadata.emplace("build_type", info.build_type);
+  metadata.emplace("host", host_name());
+  if (dropped_total > 0) {
+    metadata["dropped_events"] = std::to_string(dropped_total);
+  }
+
+  std::string text;
+  text.reserve(rows.size() * 96 + 4096);
+  text += "{\n\"traceEvents\": [\n";
+  text += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+          "\"args\":{\"name\":\"gnumap\"}}";
+  for (const auto& [track, name] : tracks) {
+    text += ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    text += std::to_string(track);
+    text += ",\"args\":{\"name\":";
+    text += json_string(name);
+    text += "}}";
+  }
+  // Rank tracks (small tids) sort above the auto tracks in the UI.
+  for (const auto& [track, name] : tracks) {
+    text += ",\n{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,"
+            "\"tid\":";
+    text += std::to_string(track);
+    text += ",\"args\":{\"sort_index\":";
+    text += std::to_string(track);
+    text += "}}";
+  }
+  for (const ExportRow& row : rows) {
+    const TraceEvent& e = row.event;
+    text += ",\n{\"name\":";
+    text += json_string(e.name);
+    text += ",\"cat\":";
+    text += json_string(e.category);
+    if (e.dur_us < 0.0) {
+      text += ",\"ph\":\"i\",\"s\":\"t\"";
+    } else {
+      text += ",\"ph\":\"X\",\"dur\":";
+      text += json_number(e.dur_us);
+    }
+    text += ",\"pid\":1,\"tid\":";
+    text += std::to_string(row.track);
+    text += ",\"ts\":";
+    text += json_number(e.ts_us);
+    if (e.arg1_name != nullptr) {
+      text += ",\"args\":{";
+      text += json_string(e.arg1_name);
+      text += ":";
+      text += json_number(e.arg1_value);
+      if (e.arg2_name != nullptr) {
+        text += ",";
+        text += json_string(e.arg2_name);
+        text += ":";
+        text += json_number(e.arg2_value);
+      }
+      text += "}";
+    }
+    text += "}";
+  }
+  text += "\n],\n\"displayTimeUnit\": \"ms\",\n\"otherData\": {";
+  bool first = true;
+  for (const auto& [key, value] : metadata) {
+    if (!first) text += ",";
+    first = false;
+    text += "\n";
+    text += json_string(key);
+    text += ": ";
+    text += json_string(value);
+  }
+  text += "\n}\n}\n";
+  out << text;
+}
+
+bool write_chrome_trace_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    GNUMAP_LOG(kWarn) << "trace export: cannot open " << path;
+    return false;
+  }
+  write_chrome_trace(out);
+  out.flush();
+  if (!out) {
+    GNUMAP_LOG(kWarn) << "trace export: write failed for " << path;
+    return false;
+  }
+  GNUMAP_LOG(kInfo) << "trace written to " << path;
+  return true;
+}
+
+}  // namespace gnumap::obs

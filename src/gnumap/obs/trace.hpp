@@ -1,0 +1,173 @@
+// Low-overhead tracing: spans and instant events on per-thread ring buffers,
+// exported as Chrome trace-event JSON (chrome://tracing / Perfetto).
+//
+// The recorder is compiled in always and enabled at runtime; when disabled
+// (the default) a span costs one relaxed atomic load and a branch — cheap
+// enough to leave GNUMAP_TRACE_SPAN in every hot path (the disabled-mode
+// bound is asserted in tests/test_obs.cpp).  When enabled, each recording
+// thread appends completed spans to its own fixed-capacity ring buffer
+// (oldest events are overwritten, never blocking the recording thread on a
+// full buffer), and the exporter later merges every thread's ring into one
+// timeline.
+//
+// Tracks: every thread records onto a numbered track that becomes one named
+// row in the trace UI.  mpsim rank threads call set_thread_track(rank,
+// "rank N") (run_world_collect does this), the driving thread is named
+// "main" by the CLI helpers, and threads that never claim a track get an
+// auto-assigned "thread-K" row.  Buffers outlive their threads, so a
+// distributed run's rank tracks survive the world join and show up in the
+// export.
+//
+// Typical use:
+//   obs::set_trace_enabled(true);
+//   { GNUMAP_TRACE_SPAN("map_reads", "pipeline"); ... }   // RAII complete-event
+//   obs::TraceSpan span("send", "comm"); span.arg("bytes", n);  // with args
+//   obs::record_instant("injected_crash", "fault");
+//   obs::write_chrome_trace_file("run.trace.json");
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+namespace gnumap::obs {
+
+// ---------------------------------------------------------------------------
+// Global switches and per-thread track naming.
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+/// Snapshot of the set_trace_metadata map; the metrics exporter includes it
+/// in its context block so both artifacts carry the same run facts.
+std::map<std::string, std::string> metadata_snapshot();
+}  // namespace detail
+
+/// True when spans and events are being recorded.  The fast path every
+/// disabled span takes: one relaxed load.
+inline bool trace_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns recording on/off process-wide.  Enabling does not clear previously
+/// recorded events; call reset_trace() for a fresh timeline.
+void set_trace_enabled(bool enabled);
+
+/// Drops every recorded event and the trace metadata (the clock epoch and
+/// thread tracks persist).  Tests and multi-run tools call this between runs.
+void reset_trace();
+
+/// Claims a track for the calling thread: `track` is the Chrome-trace tid
+/// (one row in the UI) and `name` its displayed label.  Names are
+/// process-global per track id and the most recent claim wins, so when
+/// successive worlds re-claim the same rank tracks the export carries one
+/// name per row.  mpsim names rank threads "rank N" with track == rank; the
+/// CLI helpers name the driving thread "main".  Cheap; callable whether or
+/// not tracing is enabled.
+void set_thread_track(int track, const std::string& name);
+
+/// Key/value attached to the export's otherData block (build info is always
+/// included; callers add run facts: rank count, DistMode, workload).
+/// Overwrites an existing key.
+void set_trace_metadata(const std::string& key, const std::string& value);
+
+/// Microseconds since the process-wide trace epoch (steady clock).
+double trace_now_us();
+
+// ---------------------------------------------------------------------------
+// Recording.
+
+/// Records a completed span [ts_us, ts_us + dur_us) on the calling thread's
+/// track.  `name`/`category`/arg names must be string literals (or otherwise
+/// outlive the trace); values are stored, not formatted, so recording never
+/// allocates.  No-op when tracing is disabled.
+void record_complete(const char* name, const char* category, double ts_us,
+                     double dur_us, const char* arg1_name = nullptr,
+                     double arg1_value = 0.0, const char* arg2_name = nullptr,
+                     double arg2_value = 0.0);
+
+/// Records a zero-duration instant event (rendered as a marker).
+void record_instant(const char* name, const char* category,
+                    const char* arg1_name = nullptr, double arg1_value = 0.0);
+
+/// RAII span: construction stamps the start, destruction records one
+/// complete event covering the scope.  When tracing is disabled at
+/// construction the destructor does nothing (a span is never half-recorded).
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, const char* category)
+      : name_(name), category_(category), active_(trace_enabled()) {
+    if (active_) start_us_ = trace_now_us();
+  }
+
+  /// Convenience: span with one or two args attached up front.  Arg values
+  /// are evaluated by the caller either way; the span itself stays free when
+  /// tracing is disabled.
+  TraceSpan(const char* name, const char* category, const char* arg1_name,
+            double arg1_value)
+      : TraceSpan(name, category) {
+    arg(arg1_name, arg1_value);
+  }
+  TraceSpan(const char* name, const char* category, const char* arg1_name,
+            double arg1_value, const char* arg2_name, double arg2_value)
+      : TraceSpan(name, category) {
+    arg(arg1_name, arg1_value);
+    arg(arg2_name, arg2_value);
+  }
+
+  ~TraceSpan() {
+    if (active_) {
+      record_complete(name_, category_, start_us_, trace_now_us() - start_us_,
+                      arg1_name_, arg1_value_, arg2_name_, arg2_value_);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches up to two numeric args ({"bytes": 4096}) to the span; extra
+  /// calls beyond two are ignored.  `name` must be a string literal.
+  void arg(const char* name, double value) {
+    if (!active_) return;
+    if (arg1_name_ == nullptr) {
+      arg1_name_ = name;
+      arg1_value_ = value;
+    } else if (arg2_name_ == nullptr) {
+      arg2_name_ = name;
+      arg2_value_ = value;
+    }
+  }
+
+ private:
+  const char* name_;
+  const char* category_;
+  const char* arg1_name_ = nullptr;
+  const char* arg2_name_ = nullptr;
+  double arg1_value_ = 0.0;
+  double arg2_value_ = 0.0;
+  double start_us_ = 0.0;
+  bool active_;
+};
+
+// ---------------------------------------------------------------------------
+// Export.
+
+/// Writes the merged timeline as Chrome trace-event JSON: one "X" event per
+/// span, "i" per instant, thread_name metadata per named track, and an
+/// otherData block carrying build info plus set_trace_metadata entries.
+/// Loadable by chrome://tracing and Perfetto.
+void write_chrome_trace(std::ostream& out);
+
+/// write_chrome_trace to `path`; returns false (and logs) on I/O failure.
+bool write_chrome_trace_file(const std::string& path);
+
+}  // namespace gnumap::obs
+
+#define GNUMAP_OBS_CONCAT2(a, b) a##b
+#define GNUMAP_OBS_CONCAT(a, b) GNUMAP_OBS_CONCAT2(a, b)
+
+/// Scoped span covering the rest of the enclosing block.
+#define GNUMAP_TRACE_SPAN(name, category)                 \
+  ::gnumap::obs::TraceSpan GNUMAP_OBS_CONCAT(             \
+      gnumap_obs_span_, __LINE__)((name), (category))

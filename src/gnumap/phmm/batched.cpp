@@ -8,6 +8,7 @@
 #include <numeric>
 #include <string>
 
+#include "gnumap/obs/trace.hpp"
 #include "gnumap/phmm/batched_kernels.hpp"
 #include "gnumap/util/timer.hpp"
 
@@ -128,6 +129,9 @@ const AlignmentMatrices& BatchedForward::matrices(std::size_t task) const {
 
 void BatchedForward::run_impl(const TaskConsumer* consume) {
   const std::size_t count = tasks_.size();
+  obs::TraceSpan span("batched_sweep", "phmm", "tasks",
+                      static_cast<double>(count), "width",
+                      static_cast<double>(backend_for(level_).width));
   outcomes_.assign(count, BatchOutcome{});
   if (consume != nullptr) {
     if (pool_.size() < kMaxWidth) pool_.resize(kMaxWidth);

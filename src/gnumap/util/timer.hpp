@@ -37,8 +37,22 @@ class Stopwatch {
     }
   }
 
-  /// Total accumulated seconds (excluding a currently running interval).
+  /// True while an interval is open (start() without a matching stop()).
+  bool running() const { return running_; }
+
+  /// Total accumulated seconds — closed intervals only.  Footgun: while an
+  /// interval is open this silently under-reports; readers sampling a live
+  /// stopwatch (mpsim cost attribution, progress displays) want
+  /// elapsed_including_running().
   double total_seconds() const { return total_; }
+
+  /// Seconds of the currently open interval (0 when stopped).
+  double running_seconds() const { return running_ ? timer_.seconds() : 0.0; }
+
+  /// Closed intervals plus any open one: safe to sample at any time.
+  double elapsed_including_running() const {
+    return total_ + running_seconds();
+  }
 
   void add_seconds(double s) { total_ += s; }
   void reset() { total_ = 0.0; running_ = false; }

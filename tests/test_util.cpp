@@ -158,6 +158,41 @@ TEST(Stopwatch, Accumulates) {
   EXPECT_DOUBLE_EQ(sw.total_seconds(), 0.0);
 }
 
+TEST(Stopwatch, RunningSecondsCoversTheOpenInterval) {
+  Stopwatch sw;
+  EXPECT_FALSE(sw.running());
+  EXPECT_DOUBLE_EQ(sw.running_seconds(), 0.0);
+
+  sw.start();
+  EXPECT_TRUE(sw.running());
+  volatile double x = 0.0;
+  for (int i = 0; i < 100000; ++i) x = x + 1.0;
+  // total_seconds ignores the open interval (the documented footgun);
+  // elapsed_including_running sees it.
+  EXPECT_DOUBLE_EQ(sw.total_seconds(), 0.0);
+  EXPECT_GE(sw.running_seconds(), 0.0);
+  EXPECT_GE(sw.elapsed_including_running(), sw.running_seconds());
+
+  sw.stop();
+  EXPECT_FALSE(sw.running());
+  EXPECT_DOUBLE_EQ(sw.running_seconds(), 0.0);
+  // Once stopped the two accessors agree.
+  EXPECT_DOUBLE_EQ(sw.elapsed_including_running(), sw.total_seconds());
+  EXPECT_GT(sw.total_seconds(), 0.0);
+}
+
+TEST(Stopwatch, ElapsedIncludingRunningIsMonotoneWhileOpen) {
+  Stopwatch sw;
+  sw.add_seconds(1.0);
+  sw.start();
+  const double first = sw.elapsed_including_running();
+  volatile double x = 0.0;
+  for (int i = 0; i < 100000; ++i) x = x + 1.0;
+  const double second = sw.elapsed_including_running();
+  EXPECT_GE(first, 1.0);
+  EXPECT_GE(second, first);
+}
+
 TEST(ThreadPool, ParallelForCoversRange) {
   ThreadPool pool(4);
   std::vector<std::atomic<int>> hits(1000);
