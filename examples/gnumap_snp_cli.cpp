@@ -15,6 +15,8 @@
 //   --kmer K          mer size, 4..13 (default 10)
 //   --accum KIND      norm | chardisc | centdisc (default norm)
 //   --threads N       mapping threads (default 1)
+//   --batch N         reads per streamed batch (default 256)
+//   --queue-depth N   decoded batches buffered ahead of the mappers (default 4)
 //   --min-coverage X  minimum accumulated mass to test a site (default 3)
 //   --phred64         read qualities use the legacy +64 offset
 //   --quiet           suppress progress logging
@@ -28,8 +30,8 @@
 
 #include "gnumap/core/pipeline.hpp"
 #include "gnumap/io/fasta.hpp"
-#include "gnumap/io/fastq.hpp"
 #include "gnumap/io/quality.hpp"
+#include "gnumap/io/read_stream.hpp"
 #include "gnumap/io/snp_writer.hpp"
 #include "gnumap/obs/obs_cli.hpp"
 #include "gnumap/util/error.hpp"
@@ -46,6 +48,7 @@ namespace {
                "usage: %s --ref genome.fa --reads reads.fastq [options]\n"
                "  --out FILE --vcf FILE --alpha X --fdr Q --ploidy 1|2\n"
                "  --kmer K --accum norm|chardisc|centdisc --threads N\n"
+               "  --batch N --queue-depth N\n"
                "  --min-coverage X --phred64 --quiet\n"
                "  --trace-out FILE --metrics-out FILE\n",
                argv0);
@@ -95,6 +98,16 @@ int main(int argc, char** argv) {
         config.accum_kind = accum_kind_from_string(need_value(i));
       } else if (arg == "--threads") {
         config.threads = static_cast<int>(parse_u64(need_value(i)));
+      } else if (arg == "--batch") {
+        config.stream_batch = static_cast<std::uint32_t>(
+            parse_u64(need_value(i)));
+        if (config.stream_batch == 0) usage(argv[0], "--batch must be >= 1");
+      } else if (arg == "--queue-depth") {
+        config.queue_depth = static_cast<std::uint32_t>(
+            parse_u64(need_value(i)));
+        if (config.queue_depth == 0) {
+          usage(argv[0], "--queue-depth must be >= 1");
+        }
       } else if (arg == "--min-coverage") {
         config.min_coverage = parse_double(need_value(i));
       } else if (arg == "--phred64") {
@@ -113,19 +126,22 @@ int main(int argc, char** argv) {
     set_log_level(quiet ? LogLevel::kWarn : LogLevel::kInfo);
 
     const Genome reference = genome_from_fasta_file(ref_path);
-    const auto reads = read_fastq_file(reads_path, phred_offset);
-    GNUMAP_LOG(kInfo) << "loaded " << reference.num_bases() << " bases, "
-                      << reads.size() << " reads";
+    GNUMAP_LOG(kInfo) << "loaded " << reference.num_bases() << " bases; "
+                      << "streaming reads from " << reads_path;
 
     std::ofstream sam;
     if (!sam_path.empty()) {
       sam.open(sam_path);
       if (!sam) throw ParseError("cannot open SAM output: " + sam_path);
     }
-    const PipelineResult result = run_pipeline_with_accumulator(
+    // The FASTQ is streamed, never materialized: peak read memory is
+    // (queue_depth + threads) x batch reads whatever the file size.
+    FastqReadStream reads(reads_path, config.stream_batch, phred_offset);
+    const PipelineResult result = run_pipeline_stream(
         reference, reads, config, nullptr, sam.is_open() ? &sam : nullptr);
     GNUMAP_LOG(kInfo) << "mapped " << result.stats.reads_mapped << "/"
-                      << result.stats.reads_total << " reads; "
+                      << result.stats.reads_total << " reads in "
+                      << result.batches_decoded << " batches; "
                       << result.calls.size() << " SNP calls";
 
     if (out_path.empty()) {

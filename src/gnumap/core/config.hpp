@@ -58,6 +58,23 @@ struct PipelineConfig {
 
   /// Worker threads for shared-memory mapping (1 = serial).
   int threads = 1;
+
+  // Streaming read pipeline (see DESIGN.md §9).
+  /// Reads per ReadBatch when the pipeline batches a stream or wraps a
+  /// vector in one.  Results are independent of this value (the batched
+  /// PHMM engine is bit-identical at any chunking); it trades queue memory
+  /// against scheduling overhead.
+  std::uint32_t stream_batch = 256;
+  /// Decoded batches the decode->map queue may hold; with the reorder
+  /// window this bounds peak in-flight read memory at about
+  /// 2 * (queue_depth + threads) * stream_batch reads, independent of
+  /// dataset size.
+  std::uint32_t queue_depth = 4;
+  /// Inputs smaller than this run on the serial in-line path even when
+  /// threads > 1 (spinning up the staged pipeline costs more than mapping a
+  /// handful of reads).  Tests set this to 0 to force the parallel path on
+  /// tiny deterministic inputs.
+  std::uint32_t min_parallel_reads = 64;
 };
 
 /// Counters describing one mapping run.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <deque>
 #include <mutex>
 #include <optional>
 #include <set>
@@ -85,6 +86,10 @@ std::vector<std::uint8_t> serialize_reads(const std::vector<Read>& reads,
     out.insert(out.end(), read.quals.begin(), read.quals.end());
   }
   return out;
+}
+
+std::vector<std::uint8_t> serialize_reads(const std::vector<Read>& reads) {
+  return serialize_reads(reads, 0, reads.size());
 }
 
 std::vector<Read> deserialize_reads(const std::vector<std::uint8_t>& bytes) {
@@ -633,6 +638,502 @@ void run_genome_partition_rank(Communicator& comm, const AttemptContext& ctx) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Streaming variants (dist_modes.hpp overload taking a ReadStream).
+//
+// The compute bodies are the legacy ones; only read *delivery* changes.
+// Rank 0 owns the stream and never materializes it: read-partition ships
+// batches point-to-point under an ack window, genome-partition re-batches
+// into the same broadcast payloads the vector path builds.  Compute is
+// never barrier-serialized here (stages are meant to overlap), so
+// serialize_compute is ignored; per-rank compute seconds still bracket only
+// that rank's work.
+
+/// Read-partition delivery protocol: rank 0 -> owner, one message per
+/// shipped piece; the owner acks each piece after mapping it so rank 0
+/// keeps at most `queue_depth` pieces in flight per rank.
+constexpr int kStreamBatchTag = 110;  // serialized reads; empty = end of shard
+constexpr int kStreamAckTag = 111;    // empty payload back per mapped piece
+
+/// Everything one streaming attempt's rank bodies need, fixed for that
+/// attempt.  Only rank 0 may touch `reads`.
+struct StreamAttemptContext {
+  const Genome& genome;
+  ReadStream& reads;
+  const PipelineConfig& config;
+  const DistOptions& options;
+  const HashIndex* shared_index;
+  CheckpointStore& store;
+  bool fault_mode = false;
+  std::uint64_t checkpoint_interval = 0;
+  std::uint64_t resume_reads = 0;  ///< genome-partition common resume offset
+  std::uint32_t max_read_len = 0;  ///< genome-partition margin input
+  DistResult& result;
+  std::mutex& result_mutex;
+};
+
+void run_read_partition_rank_stream(Communicator& comm,
+                                    const StreamAttemptContext& ctx) {
+  const int rank = comm.rank();
+  const int p = comm.size();
+  const PipelineConfig& config = ctx.config;
+  Stopwatch& clock = comm.compute_clock();
+
+  std::optional<HashIndex> own_index;
+  const HashIndex* index = ctx.shared_index;
+  if (index == nullptr) {
+    compute_turn(comm, /*serialize=*/false, clock, [&] {
+      own_index.emplace(ctx.genome, config.index);
+    });
+    index = &*own_index;
+  }
+  const ReadMapper mapper(ctx.genome, *index, config);
+  auto accum = make_accumulator(config.accum_kind, 0, ctx.genome.padded_size(),
+                                config.centdisc_quantize);
+
+  MapStats stats;
+  std::uint64_t done = 0;  // reads of this rank's (virtual) shard completed
+  if (ctx.fault_mode) {
+    if (const auto cp = ctx.store.latest(rank)) {
+      GNUMAP_TRACE_SPAN("checkpoint_restore", "ckpt");
+      accum->from_bytes(cp->accum);
+      stats = cp->stats;
+      done = cp->progress;
+    }
+  }
+
+  MapperWorkspace ws;
+  // Maps one delivered piece of this rank's shard, in delivery order.
+  // Scoring is chunked for the SIMD engine (bit-identical at any chunking,
+  // see phmm/batched.hpp) but accumulated — and stepped past the
+  // fault-injection clock — one read at a time, exactly like the vector
+  // path, so checkpoints and crash points land on the same grid.
+  auto process_reads = [&](const std::vector<Read>& piece) {
+    compute_turn(comm, /*serialize=*/false, clock, [&] {
+      constexpr std::size_t kScoreBatch = 32;
+      std::size_t r = 0;
+      while (r < piece.size()) {
+        const std::size_t len =
+            std::min<std::size_t>(kScoreBatch, piece.size() - r);
+        const auto scored = mapper.score_reads(
+            std::span<const Read>(piece.data() + r, len), ws, stats);
+        for (const auto& sites : scored) {
+          ReadMapper::accumulate(sites, *accum);
+          ++done;
+          comm.step();
+          if (ctx.fault_mode && ctx.checkpoint_interval > 0 &&
+              done % ctx.checkpoint_interval == 0) {
+            obs::TraceSpan cp_span("checkpoint_save", "ckpt", "progress",
+                                   static_cast<double>(done));
+            ctx.store.save(rank,
+                           Checkpoint{done, accum->to_bytes(), {}, {}, stats,
+                                      0},
+                           /*keep_history=*/false);
+          }
+        }
+        r += len;
+      }
+    });
+  };
+
+  if (rank == 0) {
+    // The pump: decode the stream and ship every piece to its owner (its
+    // own pieces are mapped inline).  After a restart, each rank's restored
+    // prefix is dropped at the pump — delivery is deterministic, so the
+    // replayed assignment matches the checkpointed one.
+    const auto size_hint = ctx.reads.size_hint();
+    const std::uint64_t window =
+        std::max<std::uint32_t>(1, config.queue_depth);
+    std::vector<std::uint64_t> skip(static_cast<std::size_t>(p), 0);
+    std::vector<std::uint64_t> outstanding(static_cast<std::size_t>(p), 0);
+    if (ctx.fault_mode) {
+      for (int r = 0; r < p; ++r) {
+        skip[static_cast<std::size_t>(r)] = ctx.store.latest_progress(r);
+      }
+    }
+
+    auto deliver = [&](int dest, std::vector<Read>&& piece) {
+      if (piece.empty()) return;
+      if (dest == 0) {
+        process_reads(piece);
+        return;
+      }
+      auto& pending = outstanding[static_cast<std::size_t>(dest)];
+      while (pending >= window) {
+        comm.recv(dest, kStreamAckTag);
+        --pending;
+      }
+      comm.send(dest, kStreamBatchTag, serialize_reads(piece));
+      ++pending;
+    };
+
+    ReadBatch batch;
+    if (size_hint.has_value()) {
+      // Sized stream: pieces follow the vector path's contiguous shard_of
+      // boundaries, so per-rank read sets — and hence accumulators, the
+      // reduce, and the calls — are byte-identical to it.
+      std::vector<std::pair<std::size_t, std::size_t>> shards(
+          static_cast<std::size_t>(p));
+      for (int r = 0; r < p; ++r) {
+        shards[static_cast<std::size_t>(r)] =
+            shard_of(static_cast<std::size_t>(*size_hint), r, p);
+      }
+      int dest = 0;
+      while (ctx.reads.next(batch)) {
+        std::size_t i = 0;
+        while (i < batch.reads.size()) {
+          const std::uint64_t g = batch.first_index + i;
+          while (dest + 1 < p &&
+                 g >= shards[static_cast<std::size_t>(dest)].second) {
+            ++dest;
+          }
+          const auto& [shard_begin, shard_end] =
+              shards[static_cast<std::size_t>(dest)];
+          const std::size_t len = static_cast<std::size_t>(
+              std::min<std::uint64_t>(batch.reads.size() - i, shard_end - g));
+          const std::uint64_t off = g - shard_begin;  // offset within shard
+          const std::size_t drop =
+              off < skip[static_cast<std::size_t>(dest)]
+                  ? static_cast<std::size_t>(std::min<std::uint64_t>(
+                        len, skip[static_cast<std::size_t>(dest)] - off))
+                  : 0;
+          std::vector<Read> piece(
+              batch.reads.begin() + static_cast<std::ptrdiff_t>(i + drop),
+              batch.reads.begin() + static_cast<std::ptrdiff_t>(i + len));
+          deliver(dest, std::move(piece));
+          i += len;
+        }
+      }
+    } else {
+      // Unsized stream: deal whole batches round-robin.  Deterministic, so
+      // recovery still replays the same assignment — but not the vector
+      // path's shards, so byte-identity with it is not promised here.
+      std::uint64_t seq = 0;
+      std::vector<std::uint64_t> dealt(static_cast<std::size_t>(p), 0);
+      while (ctx.reads.next(batch)) {
+        const int dest = static_cast<int>(seq++ % static_cast<std::uint64_t>(p));
+        const std::uint64_t off = dealt[static_cast<std::size_t>(dest)];
+        dealt[static_cast<std::size_t>(dest)] += batch.reads.size();
+        const std::size_t drop =
+            off < skip[static_cast<std::size_t>(dest)]
+                ? static_cast<std::size_t>(std::min<std::uint64_t>(
+                      batch.reads.size(),
+                      skip[static_cast<std::size_t>(dest)] - off))
+                : 0;
+        std::vector<Read> piece(
+            batch.reads.begin() + static_cast<std::ptrdiff_t>(drop),
+            batch.reads.end());
+        deliver(dest, std::move(piece));
+      }
+    }
+
+    // End-of-stream: an empty payload per rank, then drain the remaining
+    // acks so the attempt's message ledger balances.
+    for (int r = 1; r < p; ++r) {
+      comm.send(r, kStreamBatchTag, serialize_reads(std::vector<Read>{}));
+      auto& pending = outstanding[static_cast<std::size_t>(r)];
+      while (pending > 0) {
+        comm.recv(r, kStreamAckTag);
+        --pending;
+      }
+    }
+  } else {
+    for (;;) {
+      const std::vector<Read> piece =
+          deserialize_reads(comm.recv(0, kStreamBatchTag));
+      if (piece.empty()) break;
+      process_reads(piece);
+      comm.send(0, kStreamAckTag, {});
+    }
+  }
+
+  if (ctx.fault_mode) {
+    // Final shard snapshot, as in the vector path: a crash during the
+    // reduction restarts without redoing any mapping.
+    obs::TraceSpan cp_span("checkpoint_save", "ckpt", "progress",
+                           static_cast<double>(done));
+    ctx.store.save(rank, Checkpoint{done, accum->to_bytes(), {}, {}, stats, 0},
+                   /*keep_history=*/false);
+  }
+
+  // Reduce the genome state at rank 0 (the end-of-run communication).
+  auto reduced = comm.reduce(
+      0, accum->to_bytes(),
+      [&](std::vector<std::uint8_t> a, std::vector<std::uint8_t> b) {
+        auto left = make_accumulator(config.accum_kind, 0,
+                                     ctx.genome.padded_size(),
+                                     config.centdisc_quantize);
+        auto right = make_accumulator(config.accum_kind, 0,
+                                      ctx.genome.padded_size(),
+                                      config.centdisc_quantize);
+        left->from_bytes(a);
+        right->from_bytes(b);
+        left->merge(*right);
+        return left->to_bytes();
+      });
+
+  std::vector<SnpCall> calls;
+  if (rank == 0) {
+    accum->from_bytes(reduced);
+    clock.start();
+    calls = call_snps(ctx.genome, *accum, config);
+    clock.stop();
+  }
+
+  std::lock_guard<std::mutex> lock(ctx.result_mutex);
+  ctx.result.stats += stats;
+  ctx.result.max_rank_accum_bytes =
+      std::max(ctx.result.max_rank_accum_bytes, accum->memory_bytes());
+  ctx.result.total_accum_bytes += accum->memory_bytes();
+  if (index != nullptr) {
+    ctx.result.max_rank_index_bytes =
+        std::max(ctx.result.max_rank_index_bytes, index->memory_bytes());
+  }
+  if (rank == 0) ctx.result.calls = std::move(calls);
+}
+
+void run_genome_partition_rank_stream(Communicator& comm,
+                                      const StreamAttemptContext& ctx) {
+  const int rank = comm.rank();
+  const int p = comm.size();
+  const PipelineConfig& config = ctx.config;
+  Stopwatch& clock = comm.compute_clock();
+
+  // The margin comes from the driver (options.max_read_len or a prescan of
+  // the stream) instead of a pass over an in-memory vector.
+  const std::uint64_t margin =
+      static_cast<std::uint64_t>(ctx.max_read_len) +
+      static_cast<std::uint64_t>(config.window_pad) +
+      static_cast<std::uint64_t>(config.seeder.band_width);
+  const auto segments = partition_genome(ctx.genome, p, margin);
+  for (const auto& s : segments) {
+    require(s.core_end - s.core_begin >= margin,
+            "run_distributed: genome too small for this many ranks "
+            "(segment shorter than the read-length margin)");
+  }
+  const GenomeSegment& seg = segments[static_cast<std::size_t>(rank)];
+
+  std::optional<HashIndex> index;
+  compute_turn(comm, /*serialize=*/false, clock, [&] {
+    index.emplace(ctx.genome, config.index, seg.store_begin, seg.store_end);
+  });
+  const ReadMapper mapper(ctx.genome, *index, config);
+  auto accum = make_accumulator(config.accum_kind, seg.core_begin,
+                                seg.core_end - seg.core_begin,
+                                config.centdisc_quantize);
+  std::unique_ptr<Accumulator> left_halo, right_halo;
+  if (seg.store_begin < seg.core_begin) {
+    left_halo = make_accumulator(config.accum_kind, seg.store_begin,
+                                 seg.core_begin - seg.store_begin,
+                                 config.centdisc_quantize);
+  }
+  if (seg.store_end > seg.core_end) {
+    right_halo = make_accumulator(config.accum_kind, seg.core_end,
+                                  seg.store_end - seg.core_end,
+                                  config.centdisc_quantize);
+  }
+  auto accumulate_everywhere = [&](const ScoredSite& site) {
+    ReadMapper::accumulate_site(site, *accum);
+    if (left_halo) ReadMapper::accumulate_site(site, *left_halo);
+    if (right_halo) ReadMapper::accumulate_site(site, *right_halo);
+  };
+
+  MapStats stats;
+  std::uint64_t mapped_reads = 0;
+  std::uint64_t batch_begin = ctx.resume_reads;  // global read offset
+  if (ctx.fault_mode && ctx.resume_reads > 0) {
+    GNUMAP_TRACE_SPAN("checkpoint_restore", "ckpt");
+    const auto cp = ctx.store.at(rank, ctx.resume_reads);
+    require(cp.has_value(),
+            "run_distributed: missing checkpoint at common resume point");
+    accum->from_bytes(cp->accum);
+    if (left_halo && !cp->left_halo.empty()) {
+      left_halo->from_bytes(cp->left_halo);
+    }
+    if (right_halo && !cp->right_halo.empty()) {
+      right_halo->from_bytes(cp->right_halo);
+    }
+    stats = cp->stats;
+    mapped_reads = cp->mapped_reads;
+  }
+
+  // Rank 0 re-batches the stream into exactly options.batch_size broadcast
+  // payloads — the same batches the vector path slices — carrying leftover
+  // reads between pulls; an empty payload terminates every rank's loop.
+  std::deque<Read> carry;
+  bool exhausted = false;
+  MapperWorkspace ws;
+  for (;;) {
+    std::vector<std::uint8_t> payload;
+    if (rank == 0) {
+      ReadBatch pulled;
+      while (carry.size() < ctx.options.batch_size && !exhausted) {
+        if (ctx.reads.next(pulled)) {
+          for (auto& read : pulled.reads) carry.push_back(std::move(read));
+        } else {
+          exhausted = true;
+        }
+      }
+      const std::size_t n =
+          std::min<std::size_t>(carry.size(), ctx.options.batch_size);
+      std::vector<Read> batch_reads(
+          std::make_move_iterator(carry.begin()),
+          std::make_move_iterator(carry.begin() + static_cast<std::ptrdiff_t>(n)));
+      carry.erase(carry.begin(), carry.begin() + static_cast<std::ptrdiff_t>(n));
+      payload = serialize_reads(batch_reads);
+    }
+    payload = comm.bcast(0, std::move(payload));
+    const std::vector<Read> batch = deserialize_reads(payload);
+    if (batch.empty()) break;
+    const std::uint64_t batch_end = batch_begin + batch.size();
+
+    std::vector<double> likelihood_sum(batch.size(), 0.0);
+    std::vector<std::vector<ScoredSite>> scored(batch.size());
+    compute_turn(comm, /*serialize=*/false, clock, [&] {
+      scored = mapper.score_reads(
+          std::span<const Read>(batch.data(), batch.size()), ws, stats,
+          seg.core_begin, seg.core_end);
+      for (std::size_t r = 0; r < batch.size(); ++r) {
+        for (const auto& site : scored[r]) {
+          likelihood_sum[r] += std::exp(site.log_likelihood);
+        }
+      }
+    });
+
+    comm.allreduce_sum(likelihood_sum);
+
+    compute_turn(comm, /*serialize=*/false, clock, [&] {
+      for (std::size_t r = 0; r < batch.size(); ++r) {
+        const double total = likelihood_sum[r];
+        if (!(total > 0.0)) continue;
+        const double cutoff = std::exp(
+            config.min_loglik_per_base *
+            static_cast<double>(batch[r].length()));
+        if (total < cutoff) continue;
+        if (rank == 0) ++mapped_reads;
+        for (auto& site : scored[r]) {
+          const double weight = std::exp(site.log_likelihood) / total;
+          if (weight < config.min_site_posterior) continue;
+          site.weight = weight;
+          accumulate_everywhere(site);
+        }
+      }
+    });
+
+    comm.step();
+    if (ctx.fault_mode && ctx.checkpoint_interval > 0) {
+      // Same fixed grid as the vector path (multiples of batch_size), so
+      // common_progress() still names a boundary every rank snapshotted.
+      const std::uint64_t batches_done =
+          (batch_end + ctx.options.batch_size - 1) / ctx.options.batch_size;
+      if (batches_done % ctx.checkpoint_interval == 0) {
+        obs::TraceSpan cp_span("checkpoint_save", "ckpt", "progress",
+                               static_cast<double>(batch_end));
+        ctx.store.save(
+            rank,
+            Checkpoint{batch_end, accum->to_bytes(),
+                       left_halo ? left_halo->to_bytes()
+                                 : std::vector<std::uint8_t>{},
+                       right_halo ? right_halo->to_bytes()
+                                  : std::vector<std::uint8_t>{},
+                       stats, mapped_reads},
+            /*keep_history=*/true);
+      }
+    }
+    batch_begin = batch_end;
+  }
+
+  if (ctx.fault_mode) {
+    // The vector path snapshots at batch_end == total_reads inside the
+    // loop; a stream only learns "that was the last batch" after the fact,
+    // so the final snapshot lands here.
+    obs::TraceSpan cp_span("checkpoint_save", "ckpt", "progress",
+                           static_cast<double>(batch_begin));
+    ctx.store.save(
+        rank,
+        Checkpoint{batch_begin, accum->to_bytes(),
+                   left_halo ? left_halo->to_bytes()
+                             : std::vector<std::uint8_t>{},
+                   right_halo ? right_halo->to_bytes()
+                              : std::vector<std::uint8_t>{},
+                   stats, mapped_reads},
+        /*keep_history=*/true);
+  }
+
+  // Halo exchange, segment calls, and the gather are the vector path's.
+  constexpr int kHaloLeftTag = 101;
+  constexpr int kHaloRightTag = 102;
+  auto fold_halo = [&](const std::vector<std::uint8_t>& bytes,
+                       GenomePos begin, GenomePos end) {
+    if (bytes.empty()) return;
+    auto temp = make_accumulator(config.accum_kind, begin, end - begin,
+                                 config.centdisc_quantize);
+    temp->from_bytes(bytes);
+    for (GenomePos pos = begin; pos < end; ++pos) {
+      const TrackVector counts = temp->counts(pos);
+      bool any = false;
+      for (const float v : counts) any |= v > 0.0f;
+      if (any) accum->add(pos, counts);
+    }
+  };
+  if (p > 1) {
+    GNUMAP_TRACE_SPAN("halo_exchange", "comm");
+    if (rank > 0) {
+      comm.send(rank - 1, kHaloLeftTag,
+                left_halo ? left_halo->to_bytes()
+                          : std::vector<std::uint8_t>{});
+    }
+    if (rank + 1 < p) {
+      comm.send(rank + 1, kHaloRightTag,
+                right_halo ? right_halo->to_bytes()
+                           : std::vector<std::uint8_t>{});
+    }
+    if (rank + 1 < p) {
+      const auto& next = segments[static_cast<std::size_t>(rank + 1)];
+      fold_halo(comm.recv(rank + 1, kHaloLeftTag), next.store_begin,
+                next.core_begin);
+    }
+    if (rank > 0) {
+      const auto& prev = segments[static_cast<std::size_t>(rank - 1)];
+      fold_halo(comm.recv(rank - 1, kHaloRightTag), prev.core_end,
+                prev.store_end);
+    }
+  }
+
+  std::vector<SnpCall> local_calls;
+  compute_turn(comm, /*serialize=*/false, clock, [&] {
+    local_calls =
+        call_snps(ctx.genome, *accum, config, seg.core_begin, seg.core_end);
+  });
+  auto gathered = comm.gather(0, serialize_calls(local_calls));
+
+  std::lock_guard<std::mutex> lock(ctx.result_mutex);
+  // Every rank saw every read; count the stream once, at rank 0, where
+  // batch_begin ended up equal to the stream length.
+  stats.reads_total = rank == 0 ? batch_begin : 0;
+  stats.reads_mapped = rank == 0 ? mapped_reads : 0;
+  ctx.result.stats += stats;
+  ctx.result.max_rank_accum_bytes =
+      std::max(ctx.result.max_rank_accum_bytes, accum->memory_bytes());
+  ctx.result.total_accum_bytes += accum->memory_bytes();
+  ctx.result.max_rank_index_bytes =
+      std::max(ctx.result.max_rank_index_bytes, index->memory_bytes());
+  if (rank == 0) {
+    std::vector<SnpCall> all;
+    for (auto& payload : gathered) {
+      auto calls = deserialize_calls(payload);
+      all.insert(all.end(), std::make_move_iterator(calls.begin()),
+                 std::make_move_iterator(calls.end()));
+    }
+    std::sort(all.begin(), all.end(),
+              [](const SnpCall& a, const SnpCall& b) {
+                if (a.contig != b.contig) return a.contig < b.contig;
+                return a.position < b.position;
+              });
+    ctx.result.calls = std::move(all);
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -791,6 +1292,162 @@ DistResult run_distributed(const Genome& genome,
     // Anything that is not a CommError escaped the catch above and has
     // already propagated: real bugs are not retried.
     if (reclaim && run.failed_rank >= 0) lost.insert(run.failed_rank);
+  }
+}
+
+DistResult run_distributed(const Genome& genome, ReadStream& reads,
+                           const PipelineConfig& config,
+                           const DistOptions& options,
+                           const HashIndex* shared_index) {
+  require(options.ranks >= 1, "run_distributed: ranks must be >= 1");
+  require(options.batch_size >= 1, "run_distributed: batch_size must be >= 1");
+  require(options.max_attempts >= 1,
+          "run_distributed: max_attempts must be >= 1");
+  require(reads.cursor() == 0,
+          "run_distributed: stream must be positioned at its start");
+
+  obs::set_trace_metadata("ranks", std::to_string(options.ranks));
+  obs::set_trace_metadata("dist_mode",
+                          options.mode == DistMode::kReadPartition
+                              ? "read_partition"
+                              : "genome_partition");
+  obs::set_trace_metadata(
+      "simd_level",
+      phmm::simd_level_name(phmm::resolve_simd_level(config.simd)));
+
+  const bool fault_mode = !options.faults.empty();
+
+  std::uint32_t max_read_len = options.max_read_len;
+  if (options.mode == DistMode::kGenomePartition && max_read_len == 0) {
+    // The overlap margin needs the longest read before any segment exists;
+    // without the hint, burn one pass over the stream to measure it.
+    ReadBatch prescan;
+    while (reads.next(prescan)) {
+      for (const auto& read : prescan.reads) {
+        max_read_len =
+            std::max(max_read_len, static_cast<std::uint32_t>(read.length()));
+      }
+    }
+    require(reads.reset(),
+            "run_distributed: genome-partition margin prescan needs a "
+            "resettable stream (or set DistOptions::max_read_len)");
+  }
+  if (fault_mode) {
+    require(reads.reset(),
+            "run_distributed: fault tolerance needs a resettable stream "
+            "(recovery rewinds and replays it)");
+  }
+
+  FaultState fault_state(options.faults);
+  WorldOptions world_options;
+  world_options.faults = fault_mode ? &fault_state : nullptr;
+  world_options.recv_timeout_seconds =
+      options.recv_timeout_seconds > 0.0
+          ? options.recv_timeout_seconds
+          : (fault_mode ? 5.0 : 0.0);
+
+  std::uint64_t checkpoint_interval = options.checkpoint_interval;
+  if (fault_mode && checkpoint_interval == 0) {
+    if (options.mode == DistMode::kReadPartition) {
+      const auto hint = reads.size_hint();
+      checkpoint_interval =
+          hint.has_value()
+              ? std::max<std::uint64_t>(
+                    1, *hint / static_cast<std::uint64_t>(options.ranks) / 4)
+              : 1024;
+    } else {
+      checkpoint_interval = 1;  // every broadcast batch
+    }
+  }
+
+  const int max_attempts = fault_mode ? options.max_attempts : 1;
+
+  CheckpointStore store(options.ranks);
+  std::vector<int> failed_ranks;
+  std::vector<std::vector<RankCost>> attempt_costs;
+  Timer wall;
+
+  for (int attempt = 0;; ++attempt) {
+    DistResult result;
+    result.costs.resize(static_cast<std::size_t>(options.ranks));
+    std::mutex result_mutex;
+
+    // Genome-partition recovery rewinds every rank to the last broadcast
+    // boundary they all snapshotted and fast-forwards the stream to it;
+    // read-partition recovery drops each rank's restored prefix at the
+    // pump instead (per-rank progress differs there).
+    std::uint64_t resume_reads = 0;
+    if (fault_mode && options.mode == DistMode::kGenomePartition) {
+      resume_reads = store.common_progress();
+    }
+    if (attempt > 0) {
+      require(reads.reset(),
+              "run_distributed: stream reset failed during recovery");
+      if (resume_reads > 0) {
+        require(reads.skip(resume_reads) == resume_reads,
+                "run_distributed: stream ended before the recovery resume "
+                "point");
+      }
+    }
+
+    StreamAttemptContext ctx{genome,
+                             reads,
+                             config,
+                             options,
+                             shared_index,
+                             store,
+                             fault_mode,
+                             checkpoint_interval,
+                             resume_reads,
+                             max_read_len,
+                             result,
+                             result_mutex};
+
+    obs::TraceSpan attempt_span("attempt", "dist", "attempt",
+                                static_cast<double>(attempt));
+    const WorldRun run = run_world_collect(
+        options.ranks, world_options, [&](Communicator& comm) {
+          if (options.mode == DistMode::kReadPartition) {
+            run_read_partition_rank_stream(comm, ctx);
+          } else {
+            run_genome_partition_rank_stream(comm, ctx);
+          }
+        });
+
+    std::vector<RankCost> costs(static_cast<std::size_t>(options.ranks));
+    for (int r = 0; r < options.ranks; ++r) {
+      costs[static_cast<std::size_t>(r)].compute_seconds =
+          run.compute_seconds[static_cast<std::size_t>(r)];
+      costs[static_cast<std::size_t>(r)].comm =
+          run.stats[static_cast<std::size_t>(r)];
+    }
+    attempt_costs.push_back(std::move(costs));
+
+    if (!run.error) {
+      result.costs = attempt_costs.back();
+      result.recovery.attempts = attempt + 1;
+      result.recovery.failed_ranks = failed_ranks;
+      const RecoveryCost rc = recovery_cost(attempt_costs, CostModelParams{});
+      result.recovery.resent_messages = rc.resent_messages;
+      result.recovery.resent_bytes = rc.resent_bytes;
+      result.recovery.redone_compute_seconds = rc.redone_compute_seconds;
+      result.attempt_costs = std::move(attempt_costs);
+      result.wall_seconds = wall.seconds();
+      publish_dist_result(result);
+      return result;
+    }
+
+    obs::record_instant("attempt_failed", "dist", "failed_rank",
+                        static_cast<double>(run.failed_rank));
+    failed_ranks.push_back(run.failed_rank);
+    try {
+      std::rethrow_exception(run.error);
+    } catch (const CommError&) {
+      // kReclaimReads has no streaming equivalent (a shard cannot be
+      // redistributed after delivery), so every retryable failure takes
+      // the kRestartRank path here.
+      if (attempt + 1 >= max_attempts) throw;
+    }
   }
 }
 

@@ -29,6 +29,7 @@
 #include "gnumap/genome/genome.hpp"
 #include "gnumap/index/hash_index.hpp"
 #include "gnumap/io/read.hpp"
+#include "gnumap/io/read_stream.hpp"
 #include "gnumap/io/snp_writer.hpp"
 #include "gnumap/mpsim/cost_model.hpp"
 
@@ -98,6 +99,13 @@ struct DistOptions {
   /// the first failure is rethrown.
   int max_attempts = 5;
   RecoveryPolicy recovery = RecoveryPolicy::kRestartRank;
+
+  // --- Streaming overload only -----------------------------------------
+  /// Genome-partition mode sizes its overlap margin from the longest read.
+  /// The vector overload measures this directly; the streaming overload
+  /// needs either this hint or a resettable stream it can prescan.  0 =
+  /// prescan.
+  std::uint32_t max_read_len = 0;
 };
 
 /// Runs the pipeline distributed.  `shared_index` may be passed for
@@ -107,6 +115,32 @@ struct DistOptions {
 /// In genome-partition mode each rank always builds its segment index.
 DistResult run_distributed(const Genome& genome,
                            const std::vector<Read>& reads,
+                           const PipelineConfig& config,
+                           const DistOptions& options,
+                           const HashIndex* shared_index = nullptr);
+
+/// Streaming form: reads are pulled from `reads` batch by batch instead of
+/// being materialized up front, so no rank ever holds the whole read set.
+///
+///  * kReadPartition: rank 0 decodes the stream and *ships* batches to
+///    their owning ranks (counted as communication), throttled by a
+///    per-rank ack window of config.queue_depth batches so in-flight read
+///    memory stays O(queue_depth x batch) per rank.  When the stream knows
+///    its size (size_hint), batches follow the vector path's contiguous
+///    1/p shards and the SNP calls are byte-identical to it; unsized
+///    streams are dealt round-robin by batch.
+///  * kGenomePartition: rank 0 re-batches the stream into
+///    options.batch_size broadcast payloads — the same batches the vector
+///    path builds, so calls are byte-identical to it (the margin comes
+///    from options.max_read_len or a prescan).
+///
+/// Checkpoints record the stream cursor (reads completed); recovery resets
+/// the stream and replays, so fault tolerance requires ReadStream::reset()
+/// support.  RecoveryPolicy::kReclaimReads falls back to kRestartRank, and
+/// serialize_compute is ignored (stages overlap by design — per-rank
+/// compute times are still measured, just not barrier-separated).
+/// The stream must be positioned at its start.
+DistResult run_distributed(const Genome& genome, ReadStream& reads,
                            const PipelineConfig& config,
                            const DistOptions& options,
                            const HashIndex* shared_index = nullptr);

@@ -77,6 +77,12 @@ void publish_pipeline_result(const PipelineResult& result) {
             static_cast<double>(result.accum_memory_bytes));
   set_gauge("gnumap_index_memory_bytes", "Hash-index heap bytes",
             static_cast<double>(result.index_memory_bytes));
+  set_gauge("gnumap_stream_reads_in_flight_peak",
+            "High-water mark of reads decoded but not yet drained",
+            static_cast<double>(result.reads_in_flight_peak));
+  set_gauge("gnumap_stream_batches_total",
+            "ReadBatches drained through the pipeline",
+            static_cast<double>(result.batches_decoded));
   set_gauge("gnumap_snp_calls_emitted", "SNP calls in the final output",
             static_cast<double>(result.calls.size()));
 }

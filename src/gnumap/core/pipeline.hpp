@@ -1,10 +1,20 @@
 // The shared-memory GNUMAP-SNP pipeline: build the hash table, map every
 // read through the PHMM, accumulate, then LRT-call SNPs.
 //
-// Shared-memory parallelism follows the read-partition pattern: each worker
-// thread maps a dynamic shard of the reads into a private accumulator
-// (avoiding per-position locking) and the shards are merged before calling.
-// For distributed-memory execution over mpsim see dist_modes.hpp.
+// Mapping runs as a staged streaming pipeline (DESIGN.md §9): a decoder
+// thread pulls fixed-size ReadBatches from a ReadStream into a bounded
+// BatchQueue, N mapper workers score batches concurrently (thread-local
+// workspaces, lock-free on the PHMM hot path), and the caller's thread
+// drains results through a ReorderBuffer in input order.  Consequences:
+//
+//  * peak read memory is O((queue_depth + threads) x stream_batch),
+//    independent of dataset size — IO overlaps the SIMD PHMM sweeps;
+//  * SAM records and accumulator updates are applied in input order, so
+//    output is byte-identical for any thread count (and identical to the
+//    serial path).
+//
+// The std::vector<Read> overloads are compatibility shims over an in-memory
+// VectorReadStream.  For distributed-memory execution see dist_modes.hpp.
 #pragma once
 
 #include <memory>
@@ -14,6 +24,7 @@
 #include "gnumap/core/config.hpp"
 #include "gnumap/genome/genome.hpp"
 #include "gnumap/io/read.hpp"
+#include "gnumap/io/read_stream.hpp"
 #include "gnumap/io/snp_writer.hpp"
 
 namespace gnumap {
@@ -28,18 +39,32 @@ struct PipelineResult {
   /// counts this plus genome + index, reported separately by the bench).
   std::uint64_t accum_memory_bytes = 0;
   std::uint64_t index_memory_bytes = 0;
+  /// High-water mark of reads resident in the mapping stage (decoded but
+  /// not yet drained).  On the streaming path this is bounded by
+  /// (2 * (queue_depth + threads) + 1) * stream_batch whatever the dataset
+  /// size; the bound is asserted in tests/test_stream.cpp and reported by
+  /// bench/bench_pipeline_stream.
+  std::uint64_t reads_in_flight_peak = 0;
+  std::uint64_t batches_decoded = 0;
 };
 
-/// Runs the full pipeline.  The accumulator covers the whole padded genome.
+/// Runs the full pipeline over a read stream (the primary entry point).
+/// The accumulator covers the whole padded genome.  Optionally returns the
+/// final accumulator (tests, experiments inspecting the accumulated z
+/// vectors) via `accum_out` and streams SAM records for every read to
+/// `sam_out` (header included; unmapped reads get unmapped records), always
+/// in input order.
+PipelineResult run_pipeline_stream(
+    const Genome& genome, ReadStream& reads, const PipelineConfig& config,
+    std::unique_ptr<Accumulator>* accum_out = nullptr,
+    std::ostream* sam_out = nullptr);
+
+/// Compatibility overload: wraps `reads` in a VectorReadStream.
 PipelineResult run_pipeline(const Genome& genome,
                             const std::vector<Read>& reads,
                             const PipelineConfig& config);
 
-/// As run_pipeline, but also returns the final accumulator (for tests and
-/// for experiments that inspect the accumulated z vectors directly), and
-/// optionally streams SAM alignment records for every read to `sam_out`
-/// (header included; unmapped reads get unmapped records).  With threads>1
-/// the record order follows chunk completion, not input order.
+/// Compatibility overload of run_pipeline_stream over an in-memory vector.
 PipelineResult run_pipeline_with_accumulator(
     const Genome& genome, const std::vector<Read>& reads,
     const PipelineConfig& config, std::unique_ptr<Accumulator>* accum_out,

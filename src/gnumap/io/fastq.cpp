@@ -3,6 +3,7 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <utility>
 
 #include "gnumap/genome/sequence.hpp"
 #include "gnumap/io/quality.hpp"
@@ -11,8 +12,14 @@
 
 namespace gnumap {
 
-FastqReader::FastqReader(std::istream& in, int phred_offset)
-    : in_(in), offset_(phred_offset) {}
+FastqReader::FastqReader(std::istream& in, int phred_offset,
+                         std::string source)
+    : in_(in), offset_(phred_offset), source_(std::move(source)) {}
+
+std::string FastqReader::where() const {
+  const std::string record = "FASTQ record " + std::to_string(count_ + 1);
+  return source_.empty() ? record : source_ + ": " + record;
+}
 
 bool FastqReader::next(Read& read) {
   std::string header, seq, plus, qual;
@@ -25,24 +32,24 @@ bool FastqReader::next(Read& read) {
   // surrounding whitespace never masquerade as malformed records.
   const auto header_text = strip(header);
   if (header_text[0] != '@') {
-    throw ParseError("FASTQ record " + std::to_string(count_ + 1) +
-                     ": header does not start with '@'");
+    throw ParseError(where() + ": header does not start with '@'");
   }
   if (!std::getline(in_, seq) || !std::getline(in_, plus) ||
       !std::getline(in_, qual)) {
-    throw ParseError("FASTQ record " + std::to_string(count_ + 1) +
-                     ": truncated record");
+    throw ParseError(where() + ": truncated record");
   }
   const auto plus_text = strip(plus);
   if (plus_text.empty() || plus_text[0] != '+') {
-    throw ParseError("FASTQ record " + std::to_string(count_ + 1) +
-                     ": separator line does not start with '+'");
+    throw ParseError(where() + ": separator line does not start with '+'");
   }
   const auto seq_text = strip(seq);
   const auto qual_text = strip(qual);
   if (seq_text.size() != qual_text.size()) {
-    throw ParseError("FASTQ record " + std::to_string(count_ + 1) +
-                     ": sequence/quality length mismatch");
+    // A mismatch means the record (or the file past it) is damaged; never
+    // hand the caller a Read whose qualities do not cover its bases.
+    throw ParseError(where() + ": sequence/quality length mismatch (" +
+                     std::to_string(seq_text.size()) + " bases, " +
+                     std::to_string(qual_text.size()) + " quality values)");
   }
   auto name_field = header_text.substr(1);
   const auto space = name_field.find_first_of(" \t");
@@ -55,8 +62,9 @@ bool FastqReader::next(Read& read) {
   return true;
 }
 
-std::vector<Read> read_fastq(std::istream& in, int phred_offset) {
-  FastqReader reader(in, phred_offset);
+std::vector<Read> read_fastq(std::istream& in, int phred_offset,
+                             const std::string& source) {
+  FastqReader reader(in, phred_offset, source);
   std::vector<Read> reads;
   Read read;
   while (reader.next(read)) reads.push_back(read);
@@ -66,7 +74,7 @@ std::vector<Read> read_fastq(std::istream& in, int phred_offset) {
 std::vector<Read> read_fastq_file(const std::string& path, int phred_offset) {
   std::ifstream in(path);
   if (!in) throw ParseError("cannot open FASTQ file: " + path);
-  return read_fastq(in, phred_offset);
+  return read_fastq(in, phred_offset, path);
 }
 
 void write_fastq(std::ostream& out, const std::vector<Read>& reads,

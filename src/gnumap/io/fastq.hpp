@@ -11,9 +11,12 @@ namespace gnumap {
 
 /// Streaming FASTQ parser.  Throws ParseError on structural damage
 /// (truncated records, length mismatch between sequence and quality lines).
+/// Every error names the source (`source`, e.g. the file path) and the
+/// 1-based index of the offending record.
 class FastqReader {
  public:
-  explicit FastqReader(std::istream& in, int phred_offset = 33);
+  explicit FastqReader(std::istream& in, int phred_offset = 33,
+                       std::string source = "");
 
   /// Reads the next record into `read`; returns false at clean EOF.
   bool next(Read& read);
@@ -21,13 +24,18 @@ class FastqReader {
   std::size_t records_read() const { return count_; }
 
  private:
+  /// "reads.fastq: FASTQ record 7" (or just "FASTQ record 7" source-less).
+  std::string where() const;
+
   std::istream& in_;
   int offset_;
   std::size_t count_ = 0;
+  std::string source_;
 };
 
 /// Reads every record from a stream or file.
-std::vector<Read> read_fastq(std::istream& in, int phred_offset = 33);
+std::vector<Read> read_fastq(std::istream& in, int phred_offset = 33,
+                             const std::string& source = "");
 std::vector<Read> read_fastq_file(const std::string& path,
                                   int phred_offset = 33);
 

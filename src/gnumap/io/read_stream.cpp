@@ -1,0 +1,106 @@
+#include "gnumap/io/read_stream.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "gnumap/util/error.hpp"
+
+namespace gnumap {
+
+ReadStream::ReadStream(std::size_t batch_size) : batch_size_(batch_size) {
+  require(batch_size > 0, "ReadStream: batch_size must be positive");
+}
+
+// ---------------------------------------------------------------------------
+// VectorReadStream
+
+VectorReadStream::VectorReadStream(const std::vector<Read>& reads,
+                                   std::size_t batch_size)
+    : ReadStream(batch_size), reads_(reads) {}
+
+bool VectorReadStream::next(ReadBatch& batch) {
+  batch.first_index = cursor_;
+  batch.reads.clear();
+  if (cursor_ >= reads_.size()) return false;
+  const std::size_t end =
+      std::min(reads_.size(), static_cast<std::size_t>(cursor_) + batch_size_);
+  batch.reads.assign(reads_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+                     reads_.begin() + static_cast<std::ptrdiff_t>(end));
+  cursor_ = end;
+  return true;
+}
+
+bool VectorReadStream::reset() {
+  cursor_ = 0;
+  return true;
+}
+
+std::uint64_t VectorReadStream::skip(std::uint64_t n) {
+  const std::uint64_t skipped =
+      std::min<std::uint64_t>(n, reads_.size() - cursor_);
+  cursor_ += skipped;
+  return skipped;
+}
+
+std::optional<std::uint64_t> VectorReadStream::size_hint() const {
+  return reads_.size();
+}
+
+// ---------------------------------------------------------------------------
+// FastqReadStream
+
+FastqReadStream::FastqReadStream(const std::string& path,
+                                 std::size_t batch_size, int phred_offset)
+    : ReadStream(batch_size),
+      owned_(std::make_unique<std::ifstream>(path)),
+      in_(owned_.get()),
+      phred_offset_(phred_offset),
+      source_(path) {
+  if (!*owned_) throw ParseError("cannot open FASTQ file: " + path);
+  reader_.emplace(*in_, phred_offset_, source_);
+}
+
+FastqReadStream::FastqReadStream(std::istream& in, std::size_t batch_size,
+                                 int phred_offset, std::string source)
+    : ReadStream(batch_size),
+      in_(&in),
+      phred_offset_(phred_offset),
+      source_(std::move(source)) {
+  reader_.emplace(*in_, phred_offset_, source_);
+}
+
+bool FastqReadStream::next(ReadBatch& batch) {
+  batch.first_index = cursor_;
+  batch.reads.clear();
+  Read read;
+  while (batch.reads.size() < batch_size_ && reader_->next(read)) {
+    bytes_decoded_ += read.name.size() + read.bases.size() + read.quals.size();
+    batch.reads.push_back(std::move(read));
+  }
+  cursor_ += batch.reads.size();
+  return !batch.reads.empty();
+}
+
+bool FastqReadStream::reset() {
+  // clear() before seekg: a stream that has hit EOF refuses to seek until
+  // its state flags are reset.
+  in_->clear();
+  in_->seekg(0);
+  if (!*in_) return false;
+  reader_.emplace(*in_, phred_offset_, source_);
+  cursor_ = 0;
+  return true;
+}
+
+std::uint64_t FastqReadStream::skip(std::uint64_t n) {
+  // Skipped records still run through the parser: the cursor semantics
+  // ("read k of this file") must not depend on whether a record was skipped
+  // or delivered, and damaged records are rejected either way.
+  Read read;
+  std::uint64_t skipped = 0;
+  while (skipped < n && reader_->next(read)) ++skipped;
+  cursor_ += skipped;
+  return skipped;
+}
+
+}  // namespace gnumap

@@ -1,0 +1,138 @@
+// Pull-based sources of fixed-size read batches: the input side of the
+// streaming pipeline.
+//
+// A ReadStream replaces the monolithic "load every read into one
+// std::vector<Read>" phase: consumers pull one ReadBatch at a time, so peak
+// input memory is O(batch_size) per holder regardless of dataset size, and
+// decoding can overlap mapping.  Two concrete sources:
+//
+//  * FastqReadStream — FASTQ file or istream, decoded incrementally with
+//    the same structural validation (and error messages) as read_fastq.
+//  * VectorReadStream — adapter over an in-memory std::vector<Read>, used
+//    by the compatibility overloads, the simulator-fed tests, and anywhere
+//    the reads already exist in memory.
+//
+// Cursor support: reads are numbered globally from 0 in delivery order
+// (ReadBatch::first_index).  skip() fast-forwards past already-processed
+// reads and reset() rewinds to the start — together these are what the
+// distributed checkpoint/restart path records and replays.  Streams are not
+// thread-safe; wrap access in a lock (or a BatchQueue) to share one.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gnumap/io/fastq.hpp"
+#include "gnumap/io/read.hpp"
+
+namespace gnumap {
+
+/// One contiguous slice of the read stream.
+struct ReadBatch {
+  /// Global index (0-based, in stream order) of reads.front().
+  std::uint64_t first_index = 0;
+  std::vector<Read> reads;
+
+  std::size_t size() const { return reads.size(); }
+  bool empty() const { return reads.empty(); }
+  /// Decoded heap footprint: name + bases + quals bytes of every read.
+  std::uint64_t bytes() const {
+    std::uint64_t total = 0;
+    for (const auto& read : reads) {
+      total += read.name.size() + read.bases.size() + read.quals.size();
+    }
+    return total;
+  }
+};
+
+class ReadStream {
+ public:
+  virtual ~ReadStream() = default;
+
+  /// Fills `batch` with the next <= batch_size() reads (first_index set).
+  /// Returns false — leaving `batch` empty — at end of stream.
+  virtual bool next(ReadBatch& batch) = 0;
+
+  /// Rewinds to the first read.  Returns false when the source cannot seek
+  /// (e.g. an istream-backed stream on a pipe); the stream is unchanged.
+  virtual bool reset() = 0;
+
+  /// Discards the next `n` reads (cheaper than decoding them into batches
+  /// where the source allows).  Returns the number actually skipped — less
+  /// than `n` only when the stream ends first.
+  virtual std::uint64_t skip(std::uint64_t n) = 0;
+
+  /// Total reads in the stream when known up front (in-memory sources);
+  /// nullopt for sources that only learn the count at EOF.
+  virtual std::optional<std::uint64_t> size_hint() const {
+    return std::nullopt;
+  }
+
+  /// Global index of the next read next() would deliver.
+  std::uint64_t cursor() const { return cursor_; }
+
+  std::size_t batch_size() const { return batch_size_; }
+
+ protected:
+  explicit ReadStream(std::size_t batch_size);
+
+  std::uint64_t cursor_ = 0;
+  std::size_t batch_size_;
+};
+
+/// Default number of reads per batch where the caller does not choose one.
+inline constexpr std::size_t kDefaultReadBatch = 256;
+
+/// In-memory adapter: batches are copied slices of `reads` (the vector must
+/// outlive the stream).  Sized, resettable, O(1) skip.
+class VectorReadStream final : public ReadStream {
+ public:
+  VectorReadStream(const std::vector<Read>& reads,
+                   std::size_t batch_size = kDefaultReadBatch);
+
+  bool next(ReadBatch& batch) override;
+  bool reset() override;
+  std::uint64_t skip(std::uint64_t n) override;
+  std::optional<std::uint64_t> size_hint() const override;
+
+ private:
+  const std::vector<Read>& reads_;
+};
+
+/// FASTQ-backed stream.  Parse errors carry the source label and the
+/// 1-based record index (see FastqReader).  The file-path form owns its
+/// stream and supports reset()/re-parse; the istream form resets only when
+/// the underlying stream can seek.
+class FastqReadStream final : public ReadStream {
+ public:
+  /// Opens `path`; throws ParseError if it cannot be opened.
+  explicit FastqReadStream(const std::string& path,
+                           std::size_t batch_size = kDefaultReadBatch,
+                           int phred_offset = 33);
+  /// Wraps a caller-owned istream (must outlive the stream).  `source` is
+  /// the label used in error messages.
+  FastqReadStream(std::istream& in, std::size_t batch_size = kDefaultReadBatch,
+                  int phred_offset = 33, std::string source = "<stream>");
+
+  bool next(ReadBatch& batch) override;
+  bool reset() override;
+  std::uint64_t skip(std::uint64_t n) override;
+
+  /// Total decoded bytes (name + bases + quals) delivered so far; feeds the
+  /// gnumap_stream_bytes_decoded_total counter.
+  std::uint64_t bytes_decoded() const { return bytes_decoded_; }
+
+ private:
+  std::unique_ptr<std::ifstream> owned_;  ///< set for the file-path form
+  std::istream* in_;
+  int phred_offset_;
+  std::string source_;
+  std::optional<FastqReader> reader_;  ///< re-emplaced by reset()
+  std::uint64_t bytes_decoded_ = 0;
+};
+
+}  // namespace gnumap
