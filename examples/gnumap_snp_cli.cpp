@@ -5,6 +5,9 @@
 //
 //   gnumap_snp_cli --ref genome.fa --reads reads.fastq [options]
 //
+// --reads also accepts gzip-compressed FASTQ (detected by content, so any
+// extension works) when the build found zlib.
+//
 // Options:
 //   --out FILE        TSV output (default: stdout)
 //   --vcf FILE        also write VCF
@@ -30,6 +33,7 @@
 
 #include "gnumap/core/pipeline.hpp"
 #include "gnumap/io/fasta.hpp"
+#include "gnumap/io/gzip_stream.hpp"
 #include "gnumap/io/quality.hpp"
 #include "gnumap/io/read_stream.hpp"
 #include "gnumap/io/snp_writer.hpp"
@@ -59,6 +63,7 @@ namespace {
 
 int main(int argc, char** argv) {
   obs::strip_cli_flags(argc, argv);
+  obs::install_signal_flush();
   std::string ref_path, reads_path, out_path, vcf_path, sam_path;
   PipelineConfig config;
   config.index.k = 10;
@@ -136,9 +141,11 @@ int main(int argc, char** argv) {
     }
     // The FASTQ is streamed, never materialized: peak read memory is
     // (queue_depth + threads) x batch reads whatever the file size.
-    FastqReadStream reads(reads_path, config.stream_batch, phred_offset);
+    // Gzip-compressed inputs are detected by content and inflated inline.
+    auto reads = open_fastq_read_stream(reads_path, config.stream_batch,
+                                        phred_offset);
     const PipelineResult result = run_pipeline_stream(
-        reference, reads, config, nullptr, sam.is_open() ? &sam : nullptr);
+        reference, *reads, config, nullptr, sam.is_open() ? &sam : nullptr);
     GNUMAP_LOG(kInfo) << "mapped " << result.stats.reads_mapped << "/"
                       << result.stats.reads_total << " reads in "
                       << result.batches_decoded << " batches; "

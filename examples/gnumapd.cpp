@@ -1,0 +1,174 @@
+// gnumapd — long-lived mapping service over a hot index.
+//
+// Loads the reference and builds the hash index once, then serves MAP
+// requests over a framed TCP protocol (src/gnumap/serve/wire.hpp) until
+// stopped.  Results are byte-identical to gnumap_snp_cli on the same
+// reads: both run the identical MappingSession.
+//
+//   gnumapd --ref genome.fa [options]
+//
+// Options:
+//   --port N            TCP port (default 0 = pick an ephemeral port)
+//   --port-file FILE    write the bound port to FILE once listening
+//   --bind-any          listen on 0.0.0.0 instead of loopback
+//   --max-connections N concurrent connections (default 16)
+//   --admission-reads N admission window: total in-flight reads (default 1M)
+//   --per-conn-reads N  per-connection share of the window (default 0 = all)
+//   --io-timeout-ms N   per-frame socket deadline (default 30000)
+//   --request-timeout-ms N  whole-request deadline (default 300000, 0 = off)
+//   --alpha X --fdr Q --ploidy 1|2 --kmer K --accum KIND --threads N
+//   --batch N --queue-depth N --min-coverage X   (as in gnumap_snp_cli)
+//   --quiet             suppress progress logging
+//   --trace-out FILE --metrics-out FILE          (flushed on exit)
+//
+// SIGINT/SIGTERM begin a graceful drain: the listener stops accepting,
+// in-flight requests finish, and the process exits through the normal
+// path, so --trace-out/--metrics-out files are still written.
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "gnumap/io/fasta.hpp"
+#include "gnumap/obs/obs_cli.hpp"
+#include "gnumap/serve/server.hpp"
+#include "gnumap/util/error.hpp"
+#include "gnumap/util/log.hpp"
+#include "gnumap/util/string_util.hpp"
+
+using namespace gnumap;
+
+namespace {
+
+std::atomic<serve::MappingServer*> g_server{nullptr};
+
+// Only lock-free atomic ops: store to g_server happens before the
+// handlers are installed, and request_stop() is a relaxed atomic store.
+void drain_handler(int) {
+  if (auto* server = g_server.load(std::memory_order_acquire)) {
+    server->request_stop();
+  }
+}
+
+[[noreturn]] void usage(const char* argv0, const std::string& error = "") {
+  if (!error.empty()) std::fprintf(stderr, "error: %s\n\n", error.c_str());
+  std::fprintf(stderr,
+               "usage: %s --ref genome.fa [options]\n"
+               "  --port N --port-file FILE --bind-any\n"
+               "  --max-connections N --admission-reads N --per-conn-reads N\n"
+               "  --io-timeout-ms N --request-timeout-ms N\n"
+               "  --alpha X --fdr Q --ploidy 1|2 --kmer K\n"
+               "  --accum norm|chardisc|centdisc --threads N\n"
+               "  --batch N --queue-depth N --min-coverage X --quiet\n"
+               "  --trace-out FILE --metrics-out FILE\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  obs::strip_cli_flags(argc, argv);
+  std::string ref_path, port_file;
+  PipelineConfig config;
+  config.index.k = 10;
+  serve::ServeOptions options;
+  bool quiet = false;
+
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(argv[0], std::string(argv[i]) + " needs a value");
+    return argv[++i];
+  };
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--ref") {
+        ref_path = need_value(i);
+      } else if (arg == "--port") {
+        options.port = static_cast<std::uint16_t>(parse_u64(need_value(i)));
+      } else if (arg == "--port-file") {
+        port_file = need_value(i);
+      } else if (arg == "--bind-any") {
+        options.bind_any = true;
+      } else if (arg == "--max-connections") {
+        options.max_connections = static_cast<int>(parse_u64(need_value(i)));
+      } else if (arg == "--admission-reads") {
+        options.admission_reads = parse_u64(need_value(i));
+      } else if (arg == "--per-conn-reads") {
+        options.per_connection_reads = parse_u64(need_value(i));
+      } else if (arg == "--io-timeout-ms") {
+        options.io_timeout_ms = static_cast<int>(parse_u64(need_value(i)));
+      } else if (arg == "--request-timeout-ms") {
+        options.request_timeout_ms =
+            static_cast<int>(parse_u64(need_value(i)));
+      } else if (arg == "--alpha") {
+        config.alpha = parse_double(need_value(i));
+      } else if (arg == "--fdr") {
+        config.use_fdr = true;
+        config.fdr_q = parse_double(need_value(i));
+      } else if (arg == "--ploidy") {
+        const auto p = parse_u64(need_value(i));
+        if (p != 1 && p != 2) usage(argv[0], "--ploidy must be 1 or 2");
+        config.ploidy = p == 1 ? Ploidy::kMonoploid : Ploidy::kDiploid;
+      } else if (arg == "--kmer") {
+        config.index.k = static_cast<int>(parse_u64(need_value(i)));
+      } else if (arg == "--accum") {
+        config.accum_kind = accum_kind_from_string(need_value(i));
+      } else if (arg == "--threads") {
+        config.threads = static_cast<int>(parse_u64(need_value(i)));
+      } else if (arg == "--batch") {
+        config.stream_batch = static_cast<std::uint32_t>(
+            parse_u64(need_value(i)));
+        if (config.stream_batch == 0) usage(argv[0], "--batch must be >= 1");
+      } else if (arg == "--queue-depth") {
+        config.queue_depth = static_cast<std::uint32_t>(
+            parse_u64(need_value(i)));
+        if (config.queue_depth == 0) {
+          usage(argv[0], "--queue-depth must be >= 1");
+        }
+      } else if (arg == "--min-coverage") {
+        config.min_coverage = parse_double(need_value(i));
+      } else if (arg == "--quiet") {
+        quiet = true;
+      } else if (arg == "--help" || arg == "-h") {
+        usage(argv[0]);
+      } else {
+        usage(argv[0], "unknown option: " + arg);
+      }
+    }
+    if (ref_path.empty()) usage(argv[0], "--ref is required");
+    set_log_level(quiet ? LogLevel::kWarn : LogLevel::kInfo);
+
+    const Genome reference = genome_from_fasta_file(ref_path);
+    serve::MappingServer server(reference, config, options);
+
+    if (!port_file.empty()) {
+      std::ofstream out(port_file);
+      if (!out) throw ParseError("cannot write port file: " + port_file);
+      out << server.port() << "\n";
+    }
+
+    g_server.store(&server, std::memory_order_release);
+    std::signal(SIGINT, drain_handler);
+    std::signal(SIGTERM, drain_handler);
+
+    server.run();  // returns after a drain (signal or SHUTDOWN frame)
+
+    g_server.store(nullptr, std::memory_order_release);
+    const auto stats = server.stats();
+    GNUMAP_LOG(kInfo) << "gnumapd: drained after " << stats.requests_total
+                      << " requests (" << stats.reads_total << " reads, "
+                      << stats.requests_rejected << " rejected, "
+                      << stats.requests_failed << " failed)";
+    obs::flush_cli_outputs();
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "gnumapd: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gnumapd: internal error: %s\n", e.what());
+    return 1;
+  }
+}

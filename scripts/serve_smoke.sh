@@ -1,0 +1,53 @@
+#!/bin/sh
+# End-to-end smoke test for the serving path: start gnumapd against a
+# simulated workload, map the same reads through gnumap_client and the
+# offline gnumap_snp_cli, and require byte-identical TSV and SAM outputs,
+# then shut the server down gracefully and check it exits 0.
+#
+#   serve_smoke.sh SIM_CLI SNP_CLI GNUMAPD GNUMAP_CLIENT WORKDIR
+set -eu
+
+SIM_CLI=$1
+SNP_CLI=$2
+GNUMAPD=$3
+CLIENT=$4
+WORK=$5
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+"$SIM_CLI" --out "$WORK/sim" --length 60000 --coverage 8
+
+"$SNP_CLI" --ref "$WORK/sim/reference.fa" --reads "$WORK/sim/reads.fastq" \
+  --out "$WORK/offline.tsv" --sam "$WORK/offline.sam" --threads 2 --quiet
+
+"$GNUMAPD" --ref "$WORK/sim/reference.fa" --threads 2 \
+  --port-file "$WORK/port" --quiet &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+# Wait for the port file (the index build happens before listening).
+tries=0
+while [ ! -s "$WORK/port" ]; do
+  tries=$((tries + 1))
+  if [ "$tries" -gt 300 ]; then
+    echo "serve_smoke: server never wrote its port file" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+"$CLIENT" --port-file "$WORK/port" --reads "$WORK/sim/reads.fastq" \
+  --out "$WORK/served.tsv" --sam "$WORK/served.sam" --quiet
+
+cmp "$WORK/offline.tsv" "$WORK/served.tsv"
+cmp "$WORK/offline.sam" "$WORK/served.sam"
+
+"$CLIENT" --port-file "$WORK/port" --stats > "$WORK/stats.txt"
+grep -q "^requests_total=" "$WORK/stats.txt"
+
+"$CLIENT" --port-file "$WORK/port" --shutdown
+wait "$SERVER_PID"
+trap - EXIT
+
+echo "serve_smoke: OK (served output byte-identical to offline CLI)"

@@ -15,6 +15,9 @@
 //
 // The std::vector<Read> overloads are compatibility shims over an in-memory
 // VectorReadStream.  For distributed-memory execution see dist_modes.hpp.
+// The mapping machinery itself lives behind core/session.hpp: a
+// MappingSession owns the built index + mapper and can run many read sets
+// against them; run_pipeline_stream is the one-shot wrapper.
 #pragma once
 
 #include <memory>

@@ -1,0 +1,274 @@
+#include "gnumap/core/session.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "gnumap/core/obs_bridge.hpp"
+#include "gnumap/core/sam_export.hpp"
+#include "gnumap/core/snp_caller.hpp"
+#include "gnumap/io/sam.hpp"
+#include "gnumap/obs/metrics.hpp"
+#include "gnumap/obs/trace.hpp"
+#include "gnumap/util/batch_queue.hpp"
+#include "gnumap/util/log.hpp"
+#include "gnumap/util/timer.hpp"
+
+namespace gnumap {
+
+namespace {
+
+/// One batch on its way from the decoder to a mapper worker.
+struct DecodedBatch {
+  std::uint64_t seq = 0;  ///< batch sequence number (0, 1, 2, ... in input order)
+  ReadBatch batch;
+};
+
+/// One batch a worker finished, parked until the drain reaches its seq.
+struct MappedBatch {
+  ReadBatch batch;
+  std::vector<std::vector<ScoredSite>> scored;  ///< per read, input order
+  MapStats stats;
+};
+
+/// Everything the mapping stage mutates, shared by the serial and staged
+/// paths so they drain identically.
+struct DrainSink {
+  const Genome& genome;
+  const PipelineConfig& config;
+  Accumulator& accum;
+  std::ostream* sam_out;
+  PipelineResult& result;
+};
+
+/// Applies one scored batch in input order: accumulate, then SAM.  This is
+/// the single ordered consumer — everything it touches is free of locks
+/// because only the draining thread calls it.
+void drain_batch(DrainSink& sink, MappedBatch&& mapped) {
+  GNUMAP_TRACE_SPAN("drain_batch", "stream");
+  for (std::size_t r = 0; r < mapped.batch.reads.size(); ++r) {
+    ReadMapper::accumulate(mapped.scored[r], sink.accum);
+    if (sink.sam_out != nullptr) {
+      for (const auto& record :
+           to_sam_records(sink.genome, mapped.batch.reads[r], mapped.scored[r],
+                          sink.config)) {
+        write_sam_record(*sink.sam_out, sink.genome, record);
+      }
+    }
+  }
+  sink.result.stats += mapped.stats;
+  ++sink.result.batches_decoded;
+}
+
+/// Serial in-line path: decode -> score -> drain on the calling thread.
+/// One batch is resident at a time, so the memory bound holds trivially.
+void map_serial(ReadStream& reads, const ReadMapper& mapper, DrainSink& sink) {
+  MapperWorkspace ws;
+  ReadBatch batch;
+  while (reads.next(batch)) {
+    sink.result.reads_in_flight_peak =
+        std::max<std::uint64_t>(sink.result.reads_in_flight_peak,
+                                batch.size());
+    MappedBatch mapped;
+    mapped.batch = std::move(batch);
+    mapped.scored = mapper.score_reads(
+        std::span<const Read>(mapped.batch.reads.data(),
+                              mapped.batch.reads.size()),
+        ws, mapped.stats);
+    drain_batch(sink, std::move(mapped));
+  }
+}
+
+/// Staged path: decoder thread -> BatchQueue -> N workers -> ReorderBuffer
+/// -> ordered drain on the calling thread.
+void map_staged(ReadStream& reads, const ReadMapper& mapper, DrainSink& sink,
+                int threads) {
+  const PipelineConfig& config = sink.config;
+  const std::size_t queue_depth = std::max<std::size_t>(1, config.queue_depth);
+  BatchQueue<DecodedBatch> queue(queue_depth);
+  // Worst case every worker holds one batch while one more is parked per
+  // in-flight slot; queue_depth + threads admits them all (the drain's next
+  // batch is always admitted, so the window cannot deadlock).
+  ReorderBuffer<MappedBatch> reorder(queue_depth +
+                                     static_cast<std::size_t>(threads));
+
+  auto& bytes_decoded = obs::registry().counter(
+      "gnumap_stream_bytes_decoded_total",
+      "Read bytes (name+bases+quals) decoded by the pipeline decoder");
+  auto& queue_peak = obs::registry().gauge(
+      "gnumap_stream_queue_depth_peak",
+      "High-water mark of the decode->map batch queue");
+  auto& batch_wait = obs::registry().histogram(
+      "gnumap_stream_batch_wait_seconds", obs::default_time_buckets(),
+      "Time mapper workers spend blocked waiting for a decoded batch");
+
+  // First-exception-wins across decoder and workers; the loser stages shut
+  // down via the queue/reorder close() calls.
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  auto capture_error = [&] {
+    std::lock_guard<std::mutex> lock(error_mutex);
+    if (!error) error = std::current_exception();
+    queue.close();
+    reorder.close();
+  };
+
+  // Reads decoded but not yet drained; the peak is the memory-bound test
+  // hook surfaced as PipelineResult::reads_in_flight_peak.
+  std::atomic<std::uint64_t> in_flight{0};
+  std::atomic<std::uint64_t> in_flight_peak{0};
+
+  std::thread decoder([&] {
+    try {
+      ReadBatch batch;
+      std::uint64_t seq = 0;
+      for (;;) {
+        const double start_us = obs::trace_now_us();
+        if (!reads.next(batch)) break;
+        obs::record_complete("decode_batch", "stream", start_us,
+                             obs::trace_now_us() - start_us, "reads",
+                             static_cast<double>(batch.size()));
+        bytes_decoded.inc(batch.bytes());
+        const std::uint64_t now =
+            in_flight.fetch_add(batch.size(), std::memory_order_relaxed) +
+            batch.size();
+        std::uint64_t peak = in_flight_peak.load(std::memory_order_relaxed);
+        while (now > peak &&
+               !in_flight_peak.compare_exchange_weak(
+                   peak, now, std::memory_order_relaxed)) {
+        }
+        if (!queue.push(DecodedBatch{seq++, std::move(batch)})) break;
+      }
+    } catch (...) {
+      capture_error();
+    }
+    queue.close();
+  });
+
+  std::atomic<int> workers_left{threads};
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      try {
+        MapperWorkspace ws;
+        for (;;) {
+          Timer wait;
+          auto item = queue.pop();
+          batch_wait.observe(wait.seconds());
+          if (!item) break;
+          GNUMAP_TRACE_SPAN("map_batch", "stream");
+          MappedBatch mapped;
+          mapped.batch = std::move(item->batch);
+          mapped.scored = mapper.score_reads(
+              std::span<const Read>(mapped.batch.reads.data(),
+                                    mapped.batch.reads.size()),
+              ws, mapped.stats);
+          if (!reorder.push(item->seq, std::move(mapped))) break;
+        }
+      } catch (...) {
+        capture_error();
+      }
+      // The last worker out closes the reorder buffer: every pushed batch
+      // is already parked, so the drain still empties the in-order prefix.
+      if (workers_left.fetch_sub(1) == 1) reorder.close();
+    });
+  }
+
+  while (auto mapped = reorder.pop_next()) {
+    in_flight.fetch_sub(mapped->batch.size(), std::memory_order_relaxed);
+    drain_batch(sink, std::move(*mapped));
+  }
+
+  decoder.join();
+  for (auto& worker : workers) worker.join();
+  queue_peak.set(static_cast<double>(queue.peak_size()));
+  sink.result.reads_in_flight_peak = std::max(
+      sink.result.reads_in_flight_peak,
+      in_flight_peak.load(std::memory_order_relaxed));
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace
+
+MappingSession::MappingSession(const Genome& genome,
+                               const PipelineConfig& config)
+    : genome_(genome),
+      config_(config),
+      index_([&]() -> HashIndex {
+        Timer timer;
+        const double start_us = obs::trace_now_us();
+        HashIndex index(genome, config.index);
+        index_seconds_ = timer.seconds();
+        obs::record_complete("index_build", "pipeline", start_us,
+                             obs::trace_now_us() - start_us, "bases",
+                             static_cast<double>(genome.num_bases()));
+        return index;
+      }()),
+      mapper_(genome_, index_, config_) {
+  GNUMAP_LOG(kInfo) << "index built: " << index_.num_entries()
+                    << " entries over " << genome_.num_bases() << " bases in "
+                    << index_seconds_ << " s";
+}
+
+PipelineResult MappingSession::run(ReadStream& reads,
+                                   std::unique_ptr<Accumulator>* accum_out,
+                                   std::ostream* sam_out) const {
+  PipelineResult result;
+  result.index_seconds = index_seconds_;
+  result.index_memory_bytes = index_.memory_bytes();
+
+  double phase_start_us = obs::trace_now_us();
+  auto accum = make_accumulator(config_.accum_kind, 0, genome_.padded_size(),
+                                config_.centdisc_quantize);
+
+  if (sam_out != nullptr) write_sam_header(*sam_out, genome_);
+
+  Timer timer;
+  const int threads = std::max(1, config_.threads);
+  DrainSink sink{genome_, config_, *accum, sam_out, result};
+  // The sized-stream escape hatch: spinning up the staged pipeline for a
+  // handful of reads costs more than mapping them.  Unsized streams always
+  // take the staged path when threads > 1 (their length is unknowable
+  // before the last batch).
+  const auto total = reads.size_hint();
+  const bool serial =
+      threads == 1 ||
+      (total.has_value() &&
+       *total - std::min<std::uint64_t>(*total, reads.cursor()) <
+           config_.min_parallel_reads);
+  if (serial) {
+    map_serial(reads, mapper_, sink);
+  } else {
+    map_staged(reads, mapper_, sink, threads);
+  }
+  result.map_seconds = timer.seconds();
+  obs::record_complete("map_reads", "pipeline", phase_start_us,
+                       obs::trace_now_us() - phase_start_us, "reads",
+                       static_cast<double>(result.stats.reads_total));
+  result.accum_memory_bytes = accum->memory_bytes();
+  GNUMAP_LOG(kInfo) << "mapped " << result.stats.reads_mapped << "/"
+                    << result.stats.reads_total << " reads in "
+                    << result.map_seconds << " s";
+
+  timer.reset();
+  phase_start_us = obs::trace_now_us();
+  result.calls = call_snps(genome_, *accum, config_);
+  result.call_seconds = timer.seconds();
+  obs::record_complete("call_snps", "pipeline", phase_start_us,
+                       obs::trace_now_us() - phase_start_us, "calls",
+                       static_cast<double>(result.calls.size()));
+  GNUMAP_LOG(kInfo) << "called " << result.calls.size() << " SNPs in "
+                    << result.call_seconds << " s";
+
+  publish_pipeline_result(result);
+  if (accum_out != nullptr) *accum_out = std::move(accum);
+  return result;
+}
+
+}  // namespace gnumap

@@ -1,0 +1,68 @@
+// A resident mapping session: the genome-derived state the pipeline builds
+// once and can reuse across many read sets.
+//
+// The paper's pipeline amortizes one expensive hash-index build over
+// millions of reads; a MappingSession makes that amortization explicit so a
+// long-lived process (gnumapd, notebooks, repeated experiments) pays for
+// the index exactly once.  Construction builds the HashIndex and the
+// ReadMapper against an owned copy of the config; run() then executes the
+// map -> accumulate -> LRT-call phases over any ReadStream with the index
+// hot.  run() is const and safe to call from several threads at once: each
+// call owns its accumulator, result, and staged-pipeline threads, while the
+// genome, index, and mapper are only read.
+//
+// run_pipeline_stream (pipeline.hpp) is now a thin wrapper: construct a
+// session, run it once.  Output is byte-identical between the two entry
+// points by construction — they share every line of mapping code.
+#pragma once
+
+#include <memory>
+#include <ostream>
+
+#include "gnumap/accum/accumulator.hpp"
+#include "gnumap/core/config.hpp"
+#include "gnumap/core/pipeline.hpp"
+#include "gnumap/core/read_mapper.hpp"
+#include "gnumap/genome/genome.hpp"
+#include "gnumap/index/hash_index.hpp"
+#include "gnumap/io/read_stream.hpp"
+
+namespace gnumap {
+
+class MappingSession {
+ public:
+  /// Builds the hash index (the expensive part) and the mapper.  `genome`
+  /// must outlive the session; `config` is copied.
+  MappingSession(const Genome& genome, const PipelineConfig& config);
+
+  MappingSession(const MappingSession&) = delete;
+  MappingSession& operator=(const MappingSession&) = delete;
+
+  /// Maps every read of `reads`, accumulates, and LRT-calls SNPs, reusing
+  /// the resident index.  Semantics and output bytes match
+  /// run_pipeline_stream exactly (serial escape hatch, staged pipeline,
+  /// ordered drain, SAM header + records when `sam_out` is set).
+  /// Thread-safe: concurrent run() calls do not share mutable state.
+  PipelineResult run(ReadStream& reads,
+                     std::unique_ptr<Accumulator>* accum_out = nullptr,
+                     std::ostream* sam_out = nullptr) const;
+
+  const Genome& genome() const { return genome_; }
+  const HashIndex& index() const { return index_; }
+  const PipelineConfig& config() const { return config_; }
+  /// Wall-clock cost of the index build paid at construction; reported in
+  /// every run()'s PipelineResult so per-run results match the one-shot
+  /// pipeline's shape.
+  double index_seconds() const { return index_seconds_; }
+
+ private:
+  const Genome& genome_;
+  PipelineConfig config_;  ///< owned: the mapper keeps a reference into it
+  /// Declared before index_: the constructor's index-building initializer
+  /// assigns it, so it must already be initialized at that point.
+  double index_seconds_ = 0.0;
+  HashIndex index_;
+  ReadMapper mapper_;
+};
+
+}  // namespace gnumap

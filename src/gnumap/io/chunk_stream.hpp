@@ -1,0 +1,52 @@
+// A std::streambuf over a pull-based chunk source, the seam that lets any
+// chunked byte transport (wire-protocol frames, decompressors, test
+// fixtures) feed the existing istream-based parsers.
+//
+// The service front-end is the motivating user: gnumapd wraps "read the
+// next READS_CHUNK frame off the socket" in a ChunkSourceBuf, hands the
+// resulting istream to FastqReadStream, and the whole staged pipeline pulls
+// reads straight off the wire with its usual backpressure — the decoder
+// only fetches another frame when the BatchQueue has room.
+#pragma once
+
+#include <functional>
+#include <streambuf>
+#include <string>
+
+namespace gnumap {
+
+class ChunkSourceBuf final : public std::streambuf {
+ public:
+  /// `next_chunk` fills its argument with the next chunk of bytes and
+  /// returns true, or returns false at end of stream (the argument is then
+  /// ignored).  Empty chunks are allowed and skipped.  The callable may
+  /// throw; the exception propagates out of the istream operation that
+  /// triggered the refill (callers should enable istream exceptions or use
+  /// parsers that call underflow via sgetc/sbumpc directly, as
+  /// FastqReader's line reader does).
+  using ChunkFn = std::function<bool(std::string&)>;
+
+  explicit ChunkSourceBuf(ChunkFn next_chunk)
+      : next_chunk_(std::move(next_chunk)) {}
+
+ protected:
+  int_type underflow() override {
+    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+    if (!next_chunk_) return traits_type::eof();
+    chunk_.clear();
+    while (chunk_.empty()) {
+      if (!next_chunk_(chunk_)) {
+        next_chunk_ = nullptr;
+        return traits_type::eof();
+      }
+    }
+    setg(chunk_.data(), chunk_.data(), chunk_.data() + chunk_.size());
+    return traits_type::to_int_type(*gptr());
+  }
+
+ private:
+  ChunkFn next_chunk_;
+  std::string chunk_;
+};
+
+}  // namespace gnumap

@@ -1,0 +1,220 @@
+#include "gnumap/io/gzip_stream.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "gnumap/util/error.hpp"
+
+#ifdef GNUMAP_HAVE_ZLIB
+#include <zlib.h>
+#endif
+
+namespace gnumap {
+
+bool looks_gzip(std::istream& in) {
+  const int c0 = in.peek();
+  if (c0 != 0x1f) return false;
+  // Need the second byte; get() + unget() keeps the stream position.
+  in.get();
+  const int c1 = in.peek();
+  in.unget();
+  return c1 == 0x8b;
+}
+
+#ifdef GNUMAP_HAVE_ZLIB
+
+bool gzip_available() { return true; }
+
+std::string gzip_compress(const std::string& data) {
+  z_stream strm{};
+  // windowBits 15 + 16 selects a gzip (not zlib) wrapper.
+  if (deflateInit2(&strm, Z_DEFAULT_COMPRESSION, Z_DEFLATED, 15 + 16, 8,
+                   Z_DEFAULT_STRATEGY) != Z_OK) {
+    throw ConfigError("gzip_compress: deflateInit2 failed");
+  }
+  std::string out;
+  out.resize(deflateBound(&strm, static_cast<uLong>(data.size())));
+  strm.next_in =
+      reinterpret_cast<Bytef*>(const_cast<char*>(data.data()));
+  strm.avail_in = static_cast<uInt>(data.size());
+  strm.next_out = reinterpret_cast<Bytef*>(out.data());
+  strm.avail_out = static_cast<uInt>(out.size());
+  const int rc = deflate(&strm, Z_FINISH);
+  deflateEnd(&strm);
+  if (rc != Z_STREAM_END) {
+    throw ConfigError("gzip_compress: deflate failed");
+  }
+  out.resize(out.size() - strm.avail_out);
+  return out;
+}
+
+struct GzipInflateBuf::Impl {
+  std::istream& in;
+  std::string source;
+  z_stream strm{};
+  bool stream_open = false;
+  bool finished = false;
+  char in_buf[1 << 16];
+  char out_buf[1 << 16];
+
+  Impl(std::istream& in, std::string source)
+      : in(in), source(std::move(source)) {
+    open();
+  }
+
+  ~Impl() {
+    if (stream_open) inflateEnd(&strm);
+  }
+
+  void open() {
+    std::memset(&strm, 0, sizeof strm);
+    // windowBits 15 + 32: auto-detect gzip or zlib wrapper.
+    if (inflateInit2(&strm, 15 + 32) != Z_OK) {
+      throw ConfigError(source + ": inflateInit2 failed");
+    }
+    stream_open = true;
+  }
+
+  /// Inflates into out_buf; returns the byte count (0 = end of data).
+  std::size_t fill() {
+    if (finished) return 0;
+    strm.next_out = reinterpret_cast<Bytef*>(out_buf);
+    strm.avail_out = sizeof out_buf;
+    while (strm.avail_out == sizeof out_buf) {
+      if (strm.avail_in == 0) {
+        in.read(in_buf, sizeof in_buf);
+        strm.next_in = reinterpret_cast<Bytef*>(in_buf);
+        strm.avail_in = static_cast<uInt>(in.gcount());
+        if (strm.avail_in == 0) {
+          if (strm.total_in == 0 && strm.total_out == 0) {
+            finished = true;  // empty input: zero decompressed bytes
+            break;
+          }
+          throw ParseError(source + ": truncated gzip stream");
+        }
+      }
+      const int rc = inflate(&strm, Z_NO_FLUSH);
+      if (rc == Z_STREAM_END) {
+        // Possible multi-member file (`cat a.gz b.gz`): more compressed
+        // bytes follow, so restart the inflater on the next member.
+        if (strm.avail_in > 0 || (in.peek(), !in.eof())) {
+          if (inflateReset2(&strm, 15 + 32) != Z_OK) {
+            throw ParseError(source + ": inflateReset2 failed");
+          }
+          continue;
+        }
+        finished = true;
+        break;
+      }
+      if (rc != Z_OK) {
+        throw ParseError(source + ": corrupt gzip stream (" +
+                         (strm.msg != nullptr ? strm.msg : "zlib error") +
+                         ")");
+      }
+    }
+    return sizeof out_buf - strm.avail_out;
+  }
+};
+
+GzipInflateBuf::GzipInflateBuf(std::istream& in, std::string source)
+    : impl_(std::make_unique<Impl>(in, std::move(source))) {}
+
+GzipInflateBuf::~GzipInflateBuf() = default;
+
+GzipInflateBuf::int_type GzipInflateBuf::underflow() {
+  if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+  const std::size_t n = impl_->fill();
+  if (n == 0) return traits_type::eof();
+  setg(impl_->out_buf, impl_->out_buf, impl_->out_buf + n);
+  return traits_type::to_int_type(*gptr());
+}
+
+#else  // !GNUMAP_HAVE_ZLIB
+
+bool gzip_available() { return false; }
+
+namespace {
+[[noreturn]] void no_zlib(const std::string& what) {
+  throw ConfigError(what +
+                    ": gzip support not compiled in (zlib was not found at "
+                    "configure time)");
+}
+}  // namespace
+
+std::string gzip_compress(const std::string&) { no_zlib("gzip_compress"); }
+
+struct GzipInflateBuf::Impl {};
+
+GzipInflateBuf::GzipInflateBuf(std::istream&, std::string source) {
+  no_zlib(source);
+}
+
+GzipInflateBuf::~GzipInflateBuf() = default;
+
+GzipInflateBuf::int_type GzipInflateBuf::underflow() {
+  return traits_type::eof();
+}
+
+#endif  // GNUMAP_HAVE_ZLIB
+
+GzipFastqReadStream::GzipFastqReadStream(const std::string& path,
+                                         std::size_t batch_size,
+                                         int phred_offset)
+    : ReadStream(batch_size), path_(path), phred_offset_(phred_offset) {
+  if (!gzip_available()) {
+    throw ConfigError(path +
+                      ": gzip support not compiled in (zlib was not found "
+                      "at configure time)");
+  }
+  reopen();
+}
+
+void GzipFastqReadStream::reopen() {
+  file_ = std::make_unique<std::ifstream>(path_, std::ios::binary);
+  if (!*file_) throw ParseError("cannot open FASTQ file: " + path_);
+  inflate_ = std::make_unique<GzipInflateBuf>(*file_, path_);
+  text_ = std::make_unique<std::istream>(inflate_.get());
+  // istream operations swallow streambuf exceptions into badbit; with
+  // badbit in the exception mask the original ParseError (truncated or
+  // corrupt gzip) is rethrown instead of masquerading as a clean EOF.
+  text_->exceptions(std::ios::badbit);
+  inner_ = std::make_unique<FastqReadStream>(*text_, batch_size_,
+                                             phred_offset_, path_);
+}
+
+bool GzipFastqReadStream::next(ReadBatch& batch) {
+  const bool ok = inner_->next(batch);
+  cursor_ = inner_->cursor();
+  return ok;
+}
+
+bool GzipFastqReadStream::reset() {
+  // The inflate stage cannot seek, so a reset is a full reopen of the
+  // underlying file plus a fresh decompressor.
+  reopen();
+  cursor_ = 0;
+  return true;
+}
+
+std::uint64_t GzipFastqReadStream::skip(std::uint64_t n) {
+  const std::uint64_t skipped = inner_->skip(n);
+  cursor_ = inner_->cursor();
+  return skipped;
+}
+
+std::unique_ptr<ReadStream> open_fastq_read_stream(const std::string& path,
+                                                   std::size_t batch_size,
+                                                   int phred_offset) {
+  std::ifstream probe(path, std::ios::binary);
+  if (!probe) throw ParseError("cannot open FASTQ file: " + path);
+  const bool gz = looks_gzip(probe);
+  probe.close();
+  if (gz) {
+    return std::make_unique<GzipFastqReadStream>(path, batch_size,
+                                                 phred_offset);
+  }
+  return std::make_unique<FastqReadStream>(path, batch_size, phred_offset);
+}
+
+}  // namespace gnumap

@@ -1,0 +1,93 @@
+// gzip support for the read path: a decompressing streambuf, a gzip-aware
+// FASTQ ReadStream, and the open_fastq_read_stream factory the CLIs and
+// the mapping service use to accept `.fastq` and `.fastq.gz` uniformly.
+//
+// zlib is an optional dependency, resolved at configure time
+// (find_package(ZLIB) -> GNUMAP_HAVE_ZLIB).  Without it everything here
+// still compiles and links; gzip_available() returns false and the
+// gzip-requiring entry points throw ConfigError with a clear message, so
+// callers can gate features at runtime instead of sprouting #ifdefs.
+//
+// Compressed files are detected by content (the 0x1f 0x8b magic), not file
+// extension, so renamed files and process-substitution paths behave.
+// Multi-member gzip files — the output of `cat a.gz b.gz`, which the gzip
+// CLI tools treat as one stream — decompress as their concatenation.
+#pragma once
+
+#include <istream>
+#include <memory>
+#include <optional>
+#include <streambuf>
+#include <string>
+
+#include "gnumap/io/read_stream.hpp"
+
+namespace gnumap {
+
+/// True when zlib was linked in and gzip inputs can be decompressed.
+bool gzip_available();
+
+/// True when `in` starts with the gzip magic bytes.  Peeks without
+/// consuming; the stream must support seeking back (files do).
+bool looks_gzip(std::istream& in);
+
+/// gzip-compresses `data` (one member, default level).  Test and tooling
+/// helper — the library itself only inflates.  Throws ConfigError when
+/// zlib is unavailable.
+std::string gzip_compress(const std::string& data);
+
+/// Decompressing streambuf over a caller-owned source stream positioned at
+/// the start of a gzip member.  read-only, unseekable.
+class GzipInflateBuf final : public std::streambuf {
+ public:
+  /// Throws ConfigError when zlib is unavailable.  `source` is the label
+  /// used in error messages.
+  explicit GzipInflateBuf(std::istream& in, std::string source = "<gzip>");
+  ~GzipInflateBuf() override;
+
+  GzipInflateBuf(const GzipInflateBuf&) = delete;
+  GzipInflateBuf& operator=(const GzipInflateBuf&) = delete;
+
+ protected:
+  int_type underflow() override;
+
+ private:
+  struct Impl;  ///< hides z_stream so zlib stays a .cpp-only dependency
+  std::unique_ptr<Impl> impl_;
+};
+
+/// FASTQ stream over a gzip-compressed file: FastqReadStream behaviour
+/// (batching, cursor, parse errors naming the file and record) with a
+/// zlib inflate stage in front.  reset() reopens from the start of the
+/// file; skip() decodes and discards like the plain stream.
+class GzipFastqReadStream final : public ReadStream {
+ public:
+  /// Throws ConfigError when zlib is unavailable and ParseError when the
+  /// file cannot be opened.
+  explicit GzipFastqReadStream(const std::string& path,
+                               std::size_t batch_size = kDefaultReadBatch,
+                               int phred_offset = 33);
+
+  bool next(ReadBatch& batch) override;
+  bool reset() override;
+  std::uint64_t skip(std::uint64_t n) override;
+
+ private:
+  void reopen();
+
+  std::string path_;
+  int phred_offset_;
+  std::unique_ptr<std::ifstream> file_;
+  std::unique_ptr<GzipInflateBuf> inflate_;
+  std::unique_ptr<std::istream> text_;
+  std::unique_ptr<FastqReadStream> inner_;
+};
+
+/// Opens `path` as a FASTQ read stream, transparently decompressing when
+/// the content is gzip.  This is the front door the CLIs and gnumapd use;
+/// throws ConfigError for a gzip file without zlib support compiled in.
+std::unique_ptr<ReadStream> open_fastq_read_stream(
+    const std::string& path, std::size_t batch_size = kDefaultReadBatch,
+    int phred_offset = 33);
+
+}  // namespace gnumap

@@ -1,5 +1,6 @@
 #include "gnumap/obs/obs_cli.hpp"
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +23,16 @@ std::string& metrics_path() {
 }
 
 void atexit_flush() { flush_cli_outputs(); }
+
+void signal_flush_handler(int sig) {
+  // Not strictly async-signal-safe (it allocates and takes the registry
+  // lock), but the alternative on an interrupted batch run is losing the
+  // trace and metrics entirely; the worst case is the process dying here,
+  // which it was about to do anyway.
+  flush_cli_outputs();
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
 
 }  // namespace
 
@@ -60,5 +71,10 @@ bool flush_cli_outputs() {
 
 const std::string& cli_trace_path() { return trace_path(); }
 const std::string& cli_metrics_path() { return metrics_path(); }
+
+void install_signal_flush() {
+  std::signal(SIGINT, signal_flush_handler);
+  std::signal(SIGTERM, signal_flush_handler);
+}
 
 }  // namespace gnumap::obs

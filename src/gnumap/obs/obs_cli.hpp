@@ -27,4 +27,12 @@ bool flush_cli_outputs();
 const std::string& cli_trace_path();
 const std::string& cli_metrics_path();
 
+/// Installs SIGINT/SIGTERM handlers that write the --trace-out /
+/// --metrics-out files before re-raising the signal with its default
+/// disposition, so an interrupted run still leaves its observability
+/// artifacts behind.  For batch CLIs only — a server that owns its
+/// shutdown (gnumapd) should install a request-stop handler instead and
+/// let the atexit flush run on the normal exit path.
+void install_signal_flush();
+
 }  // namespace gnumap::obs

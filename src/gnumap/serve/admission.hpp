@@ -1,0 +1,92 @@
+// Admission control for the mapping service: a read-denominated window
+// shared by every connection, taken at MAP_BEGIN and returned when the
+// request finishes.
+//
+// Each request reserves its worst-case in-flight read count up front (the
+// staged pipeline's documented bound, see PipelineResult); if the
+// reservation does not fit the remaining window the request is refused —
+// the server answers BUSY with a retry hint instead of buffering without
+// bound.  Two fairness rules temper the window:
+//
+//  * always-admit-one: an idle server admits any request, even one whose
+//    reservation alone exceeds the window, so no configuration can
+//    deadlock the service;
+//  * per-connection cap: a connection may hold at most `per_conn_cap`
+//    reads of the window (0 = uncapped), so one aggressive client cannot
+//    occupy the whole window while others starve.
+//
+// Decisions are O(1) under one mutex; the controller never blocks.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+namespace gnumap::serve {
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(std::uint64_t capacity_reads,
+                               std::uint64_t per_conn_cap = 0)
+      : capacity_(capacity_reads), per_conn_cap_(per_conn_cap) {}
+
+  /// Tries to reserve `reads` for `conn_id`.  Returns false => BUSY.
+  bool try_acquire(int conn_id, std::uint64_t reads) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const bool idle = admitted_ == 0;
+    if (!idle && admitted_ + reads > capacity_) return false;
+    if (per_conn_cap_ != 0 && !idle &&
+        held_[conn_id] + reads > per_conn_cap_) {
+      return false;
+    }
+    admitted_ += reads;
+    held_[conn_id] += reads;
+    if (admitted_ > peak_) peak_ = admitted_;
+    return true;
+  }
+
+  /// Returns a reservation made by try_acquire.
+  void release(int conn_id, std::uint64_t reads) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    admitted_ -= reads < admitted_ ? reads : admitted_;
+    auto it = held_.find(conn_id);
+    if (it != held_.end()) {
+      it->second -= reads < it->second ? reads : it->second;
+      if (it->second == 0) held_.erase(it);
+    }
+  }
+
+  /// Drops the per-connection ledger entry when a connection closes.
+  void forget_connection(int conn_id) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = held_.find(conn_id);
+    if (it != held_.end()) {
+      admitted_ -= it->second < admitted_ ? it->second : admitted_;
+      held_.erase(it);
+    }
+  }
+
+  std::uint64_t admitted() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return admitted_;
+  }
+
+  /// High-water mark of admitted(); the load test asserts it never exceeds
+  /// capacity() (plus one always-admit-one oversized request).
+  std::uint64_t peak() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return peak_;
+  }
+
+  std::uint64_t capacity() const { return capacity_; }
+
+ private:
+  const std::uint64_t capacity_;
+  const std::uint64_t per_conn_cap_;
+  mutable std::mutex mutex_;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t peak_ = 0;
+  std::map<int, std::uint64_t> held_;
+};
+
+}  // namespace gnumap::serve

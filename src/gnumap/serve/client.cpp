@@ -1,0 +1,204 @@
+#include "gnumap/serve/client.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <thread>
+#include <utility>
+
+namespace gnumap::serve {
+
+std::map<std::string, std::string> parse_kv_lines(std::string_view text) {
+  std::map<std::string, std::string> kv;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(start, end - start);
+    const std::size_t eq = line.find('=');
+    if (eq != std::string_view::npos) {
+      kv.emplace(std::string(line.substr(0, eq)),
+                 std::string(line.substr(eq + 1)));
+    }
+    start = end + 1;
+  }
+  return kv;
+}
+
+MappingClient::MappingClient(const ClientOptions& options)
+    : options_(options),
+      sock_(connect_tcp(options.host, options.port, options.io_timeout_ms)) {
+  write_frame(sock_, FrameType::kHello,
+              encode_hello(kProtocolVersion, options_.name),
+              options_.io_timeout_ms);
+  auto reply = read_frame(sock_, options_.max_frame_bytes,
+                          options_.io_timeout_ms);
+  if (!reply.has_value()) {
+    throw WireError(WireErrorCode::kClosed,
+                    "server closed the connection during handshake");
+  }
+  if (reply->type == FrameType::kBusy) {
+    const auto [retry_ms, msg] = decode_busy(reply->payload);
+    throw WireError(WireErrorCode::kShuttingDown,
+                    "server busy: " + msg + " (retry after " +
+                        std::to_string(retry_ms) + " ms)");
+  }
+  if (reply->type == FrameType::kError) {
+    const auto [code, msg] = decode_error(reply->payload);
+    throw WireError(code, "handshake refused: " + msg);
+  }
+  if (reply->type != FrameType::kHelloOk) {
+    throw WireError(WireErrorCode::kProtocol,
+                    "expected HELLO_OK, got frame type " +
+                        std::to_string(static_cast<int>(reply->type)));
+  }
+  const auto [version, banner] = decode_hello(reply->payload);
+  if (version != kProtocolVersion) {
+    throw WireError(WireErrorCode::kBadVersion,
+                    "server speaks protocol version " +
+                        std::to_string(version) + ", client speaks " +
+                        std::to_string(kProtocolVersion));
+  }
+  banner_ = banner;
+}
+
+MapOutcome MappingClient::map(std::istream& fastq, std::ostream& tsv_out,
+                              std::ostream* sam_out, bool phred64) {
+  std::uint8_t flags = 0;
+  if (sam_out != nullptr) flags |= kFlagWantSam;
+  if (phred64) flags |= kFlagPhred64;
+
+  // Admission: MAP_BEGIN until MAP_GO (no reads sent yet, so BUSY retries
+  // are free).
+  MapOutcome outcome;
+  for (int attempt = 0;; ++attempt) {
+    write_frame(sock_, FrameType::kMapBegin,
+                std::string(1, static_cast<char>(flags)),
+                options_.io_timeout_ms);
+    auto reply = read_frame(sock_, options_.max_frame_bytes,
+                            options_.io_timeout_ms);
+    if (!reply.has_value()) {
+      throw WireError(WireErrorCode::kClosed,
+                      "server closed the connection after MAP_BEGIN");
+    }
+    if (reply->type == FrameType::kMapGo) break;
+    if (reply->type == FrameType::kBusy) {
+      const auto [retry_ms, msg] = decode_busy(reply->payload);
+      if (attempt >= options_.busy_retries) {
+        outcome.busy = true;
+        return outcome;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          retry_ms > 0 ? retry_ms : 50u));
+      continue;
+    }
+    if (reply->type == FrameType::kError) {
+      const auto [code, msg] = decode_error(reply->payload);
+      throw WireError(code, msg);
+    }
+    throw WireError(WireErrorCode::kProtocol,
+                    "expected MAP_GO or BUSY, got frame type " +
+                        std::to_string(static_cast<int>(reply->type)));
+  }
+
+  // Upload from a background thread: the server streams RESULT_* frames
+  // while it is still pulling READS_CHUNK frames, and reading those
+  // results here is what keeps the server's sends from blocking.
+  std::atomic<bool> stop_sending{false};
+  std::exception_ptr send_error;
+  std::thread sender([&] {
+    try {
+      std::string chunk(kChunkBytes, '\0');
+      while (!stop_sending.load(std::memory_order_relaxed)) {
+        fastq.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+        const std::size_t got = static_cast<std::size_t>(fastq.gcount());
+        if (got == 0) break;
+        write_frame(sock_, FrameType::kReadsChunk,
+                    std::string_view(chunk.data(), got),
+                    options_.io_timeout_ms);
+      }
+      write_frame(sock_, FrameType::kMapEnd, "", options_.io_timeout_ms);
+    } catch (...) {
+      // Usually the server erroring out mid-upload and closing; the real
+      // diagnosis is the ERROR frame the reader loop is about to see.
+      send_error = std::current_exception();
+    }
+  });
+
+  struct JoinSender {
+    std::atomic<bool>& stop;
+    std::thread& thread;
+    ~JoinSender() {
+      stop.store(true, std::memory_order_relaxed);
+      if (thread.joinable()) thread.join();
+    }
+  } join_sender{stop_sending, sender};
+
+  try {
+    for (;;) {
+      auto frame = read_frame(sock_, options_.max_frame_bytes,
+                              options_.result_timeout_ms);
+      if (!frame.has_value()) {
+        throw WireError(WireErrorCode::kClosed,
+                        "server closed the connection mid-request");
+      }
+      switch (frame->type) {
+        case FrameType::kResultTsv:
+          tsv_out.write(frame->payload.data(),
+                        static_cast<std::streamsize>(frame->payload.size()));
+          outcome.tsv_bytes += frame->payload.size();
+          break;
+        case FrameType::kResultSam:
+          if (sam_out != nullptr) {
+            sam_out->write(
+                frame->payload.data(),
+                static_cast<std::streamsize>(frame->payload.size()));
+          }
+          outcome.sam_bytes += frame->payload.size();
+          break;
+        case FrameType::kMapDone:
+          outcome.stats = parse_kv_lines(frame->payload);
+          // A completed request means the server consumed the whole
+          // upload, so a latched sender error cannot matter here.
+          return outcome;
+        case FrameType::kError: {
+          const auto [code, msg] = decode_error(frame->payload);
+          throw WireError(code, msg);
+        }
+        default:
+          throw WireError(WireErrorCode::kProtocol,
+                          "unexpected frame type " +
+                              std::to_string(static_cast<int>(frame->type)) +
+                              " while waiting for results");
+      }
+    }
+  } catch (...) {
+    // Prefer the upload-side root cause (e.g. a ParseError from a corrupt
+    // local gzip) over the secondary transport error it provoked here.
+    stop_sending.store(true, std::memory_order_relaxed);
+    if (sender.joinable()) sender.join();
+    if (send_error) std::rethrow_exception(send_error);
+    throw;
+  }
+}
+
+std::string MappingClient::stats() {
+  write_frame(sock_, FrameType::kStats, "", options_.io_timeout_ms);
+  auto reply = read_frame(sock_, options_.max_frame_bytes,
+                          options_.io_timeout_ms);
+  if (!reply.has_value() || reply->type != FrameType::kStatsOk) {
+    throw WireError(WireErrorCode::kProtocol, "STATS request failed");
+  }
+  return std::move(reply->payload);
+}
+
+void MappingClient::shutdown_server() {
+  write_frame(sock_, FrameType::kShutdown, "", options_.io_timeout_ms);
+  auto reply = read_frame(sock_, options_.max_frame_bytes,
+                          options_.io_timeout_ms);
+  if (!reply.has_value() || reply->type != FrameType::kShutdownOk) {
+    throw WireError(WireErrorCode::kProtocol, "SHUTDOWN request failed");
+  }
+}
+
+}  // namespace gnumap::serve

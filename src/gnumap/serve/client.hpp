@@ -1,0 +1,88 @@
+// Client side of the gnumap serving protocol (wire.hpp).
+//
+// MappingClient connects, performs the HELLO handshake, and then issues
+// MAP / STATS / SHUTDOWN transactions over the one connection.  map() is
+// the interesting call: FASTQ text is pushed as READS_CHUNK frames from a
+// background sender thread while the calling thread consumes RESULT_*
+// frames — the two directions must run concurrently, because the server
+// streams results as the pipeline drains, long before the upload finishes.
+// BUSY answers to MAP_BEGIN are retried with the server's hint (no reads
+// have been sent at that point, so a retry costs nothing).
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "gnumap/serve/socket.hpp"
+#include "gnumap/serve/wire.hpp"
+
+namespace gnumap::serve {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Per-frame socket deadline for handshake and uploads.
+  int io_timeout_ms = 30'000;
+  /// Deadline while waiting for the next RESULT_* frame (mapping time).
+  int result_timeout_ms = 300'000;
+  /// How many BUSY answers to absorb before giving up (each waits the
+  /// server's retry hint).
+  int busy_retries = 10;
+  std::uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Free-text client name sent in HELLO (shows up in server logs).
+  std::string name = "gnumap-client";
+};
+
+/// Result of one MAP transaction.
+struct MapOutcome {
+  /// True when the server answered BUSY `busy_retries + 1` times and the
+  /// request was never admitted (stats is empty in that case).
+  bool busy = false;
+  /// Parsed MAP_DONE payload (reads_total, reads_mapped, calls, batches,
+  /// in_flight_peak, window_reads, map_seconds).
+  std::map<std::string, std::string> stats;
+  std::uint64_t tsv_bytes = 0;
+  std::uint64_t sam_bytes = 0;
+};
+
+class MappingClient {
+ public:
+  /// Connects and completes the HELLO handshake; throws WireError on
+  /// refusal (including a BUSY connection-limit answer).
+  explicit MappingClient(const ClientOptions& options);
+
+  MappingClient(const MappingClient&) = delete;
+  MappingClient& operator=(const MappingClient&) = delete;
+
+  /// Server banner from HELLO_OK.
+  const std::string& banner() const { return banner_; }
+
+  /// Maps the FASTQ text readable from `fastq`.  SNP calls (TSV, identical
+  /// to the offline CLI's --out bytes) are written to `tsv_out`; when
+  /// `sam_out` is non-null the request also asks for SAM records and
+  /// writes them there (identical to --sam bytes).  Throws WireError on
+  /// typed server errors or transport failure.
+  MapOutcome map(std::istream& fastq, std::ostream& tsv_out,
+                 std::ostream* sam_out = nullptr, bool phred64 = false);
+
+  /// STATS round trip: the server's key=value counter snapshot.
+  std::string stats();
+
+  /// Asks the server to drain and exit (SHUTDOWN / SHUTDOWN_OK).
+  void shutdown_server();
+
+  void close() { sock_.close(); }
+
+ private:
+  ClientOptions options_;
+  Socket sock_;
+  std::string banner_;
+};
+
+/// Parses "key=value\n" lines (MAP_DONE and STATS_OK payloads).
+std::map<std::string, std::string> parse_kv_lines(std::string_view text);
+
+}  // namespace gnumap::serve

@@ -1,0 +1,585 @@
+#include "gnumap/serve/server.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <istream>
+#include <sstream>
+#include <utility>
+
+#include "gnumap/io/chunk_stream.hpp"
+#include "gnumap/io/quality.hpp"
+#include "gnumap/io/read_stream.hpp"
+#include "gnumap/io/snp_writer.hpp"
+#include "gnumap/obs/metrics.hpp"
+#include "gnumap/obs/trace.hpp"
+#include "gnumap/util/log.hpp"
+#include "gnumap/util/timer.hpp"
+
+namespace gnumap::serve {
+
+namespace {
+
+/// Serve-side metric handles, resolved once (registry lookups are
+/// mutex-protected; updates are plain atomics).
+struct ServeMetrics {
+  obs::Histogram& request_seconds;
+  obs::Gauge& queue_depth;
+  obs::Gauge& admitted_peak;
+  obs::Counter& requests_total;
+  obs::Counter& rejected_total;
+  obs::Counter& errors_total;
+  obs::Counter& bytes_rx;
+  obs::Counter& bytes_tx;
+  obs::Counter& connections_total;
+  obs::Gauge& active_connections;
+};
+
+ServeMetrics& serve_metrics() {
+  static ServeMetrics metrics{
+      obs::registry().histogram(
+          "gnumap_serve_request_seconds", obs::default_time_buckets(),
+          "Wall-clock latency of MAP requests (MAP_BEGIN to MAP_DONE)"),
+      obs::registry().gauge(
+          "gnumap_serve_queue_depth",
+          "Reads currently admitted into the serving window"),
+      obs::registry().gauge(
+          "gnumap_serve_admitted_reads_peak",
+          "High-water mark of reads admitted into the serving window"),
+      obs::registry().counter("gnumap_serve_requests_total",
+                              "MAP requests accepted for processing"),
+      obs::registry().counter(
+          "gnumap_serve_rejected_total",
+          "MAP requests refused with BUSY by admission control"),
+      obs::registry().counter(
+          "gnumap_serve_errors_total",
+          "Requests or connections terminated with a typed ERROR frame"),
+      obs::registry().counter("gnumap_serve_bytes_rx_total",
+                              "Frame payload bytes received from clients"),
+      obs::registry().counter("gnumap_serve_bytes_tx_total",
+                              "Frame payload bytes sent to clients"),
+      obs::registry().counter("gnumap_serve_connections_total",
+                              "Client connections accepted"),
+      obs::registry().gauge("gnumap_serve_active_connections",
+                            "Currently open client connections"),
+  };
+  return metrics;
+}
+
+/// streambuf that flushes its buffer to the peer as frames of `type`
+/// whenever it passes kChunkBytes (and on sync()).  Send failures are
+/// latched instead of thrown: ostream formatting must not unwind through
+/// the pipeline's drain loop, and the failure still surfaces — the read
+/// side of a dead socket raises in the decoder, and handle_map rethrows
+/// the latched error after run() returns.
+class FrameSinkBuf final : public std::streambuf {
+ public:
+  FrameSinkBuf(Socket& sock, FrameType type, int timeout_ms,
+               std::atomic<std::uint64_t>& bytes_sent)
+      : sock_(sock),
+        type_(type),
+        timeout_ms_(timeout_ms),
+        bytes_sent_(bytes_sent) {}
+
+  /// Sends any buffered bytes as a final (possibly short) frame.
+  void flush_frames() {
+    if (error_) {
+      buf_.clear();  // the peer is gone; don't buffer without bound
+      return;
+    }
+    if (buf_.empty()) return;
+    try {
+      write_frame(sock_, type_, buf_, timeout_ms_);
+      bytes_sent_.fetch_add(buf_.size(), std::memory_order_relaxed);
+      serve_metrics().bytes_tx.inc(buf_.size());
+    } catch (...) {
+      error_ = std::current_exception();
+    }
+    buf_.clear();
+  }
+
+  void rethrow_if_failed() const {
+    if (error_) std::rethrow_exception(error_);
+  }
+
+ protected:
+  int_type overflow(int_type ch) override {
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+      buf_.push_back(traits_type::to_char_type(ch));
+      if (buf_.size() >= kChunkBytes) flush_frames();
+    }
+    return error_ ? traits_type::eof() : ch;
+  }
+
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    buf_.append(s, static_cast<std::size_t>(n));
+    if (buf_.size() >= kChunkBytes) flush_frames();
+    return n;
+  }
+
+  int sync() override {
+    flush_frames();
+    return error_ ? -1 : 0;
+  }
+
+ private:
+  Socket& sock_;
+  FrameType type_;
+  int timeout_ms_;
+  std::atomic<std::uint64_t>& bytes_sent_;
+  std::string buf_;
+  std::exception_ptr error_;
+};
+
+std::string u64_kv(const std::string& key, std::uint64_t value) {
+  return key + "=" + std::to_string(value) + "\n";
+}
+
+}  // namespace
+
+struct MappingServer::ConnectionSlot {
+  std::thread thread;
+  std::atomic<bool> done{false};
+};
+
+MappingServer::MappingServer(const Genome& genome,
+                             const PipelineConfig& config,
+                             const ServeOptions& options)
+    : genome_(genome),
+      options_(options),
+      session_(std::make_unique<MappingSession>(genome, config)),
+      listener_(std::make_unique<Listener>(options.port, options.bind_any)),
+      admission_(options.admission_reads, options.per_connection_reads) {
+  serve_metrics();  // register the gnumap_serve_* series up front
+  GNUMAP_LOG(kInfo) << "gnumapd: index resident ("
+                    << session_->index().num_entries() << " entries over "
+                    << genome_.num_bases() << " bases), listening on port "
+                    << listener_->port();
+}
+
+MappingServer::~MappingServer() {
+  request_stop();
+  wait();
+}
+
+std::uint16_t MappingServer::port() const { return listener_->port(); }
+
+std::uint64_t MappingServer::request_window_reads() const {
+  const auto& config = session_->config();
+  const std::uint64_t threads =
+      static_cast<std::uint64_t>(std::max(1, config.threads));
+  const std::uint64_t queue_depth =
+      std::max<std::uint64_t>(1, config.queue_depth);
+  const std::uint64_t batch = std::max<std::uint32_t>(1, config.stream_batch);
+  // The staged pipeline's documented in-flight peak bound (pipeline.hpp).
+  return (2 * (queue_depth + threads) + 1) * batch;
+}
+
+void MappingServer::start() {
+  bool expected = false;
+  if (!started_.compare_exchange_strong(expected, true)) return;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void MappingServer::wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // The accept loop has exited; no new slots can appear.
+  std::vector<std::unique_ptr<ConnectionSlot>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    conns.swap(conns_);
+  }
+  for (auto& slot : conns) {
+    if (slot->thread.joinable()) slot->thread.join();
+  }
+}
+
+void MappingServer::run() {
+  start();
+  wait();
+}
+
+void MappingServer::request_stop() {
+  stop_.store(true, std::memory_order_relaxed);
+}
+
+ServerStats MappingServer::stats() const {
+  ServerStats s;
+  s.connections_total = connections_total_.load(std::memory_order_relaxed);
+  s.requests_total = requests_total_.load(std::memory_order_relaxed);
+  s.requests_rejected = requests_rejected_.load(std::memory_order_relaxed);
+  s.requests_failed = requests_failed_.load(std::memory_order_relaxed);
+  s.reads_mapped_total = reads_mapped_total_.load(std::memory_order_relaxed);
+  s.reads_total = reads_total_.load(std::memory_order_relaxed);
+  s.bytes_received = bytes_received_.load(std::memory_order_relaxed);
+  s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::string MappingServer::stats_text() const {
+  const ServerStats s = stats();
+  std::string text;
+  text += u64_kv("protocol_version", kProtocolVersion);
+  text += u64_kv("genome_bases", genome_.num_bases());
+  text += u64_kv("index_entries", session_->index().num_entries());
+  text += u64_kv("admission_capacity_reads", admission_.capacity());
+  text += u64_kv("admitted_reads", admission_.admitted());
+  text += u64_kv("admitted_reads_peak", admission_.peak());
+  text += u64_kv("request_window_reads", request_window_reads());
+  text += u64_kv("active_connections",
+                 static_cast<std::uint64_t>(
+                     active_connections_.load(std::memory_order_relaxed)));
+  text += u64_kv("connections_total", s.connections_total);
+  text += u64_kv("requests_total", s.requests_total);
+  text += u64_kv("requests_rejected", s.requests_rejected);
+  text += u64_kv("requests_failed", s.requests_failed);
+  text += u64_kv("reads_total", s.reads_total);
+  text += u64_kv("reads_mapped_total", s.reads_mapped_total);
+  text += u64_kv("bytes_received", s.bytes_received);
+  text += u64_kv("bytes_sent", s.bytes_sent);
+  return text;
+}
+
+void MappingServer::accept_loop() {
+  while (!stopping()) {
+    auto sock = listener_->accept(200, &stop_);
+    if (!sock.has_value()) continue;
+
+    // Reap finished handlers so conns_ stays proportional to the number of
+    // live connections, not the number ever accepted.
+    {
+      std::lock_guard<std::mutex> lock(conns_mutex_);
+      for (auto it = conns_.begin(); it != conns_.end();) {
+        if ((*it)->done.load(std::memory_order_acquire)) {
+          if ((*it)->thread.joinable()) (*it)->thread.join();
+          it = conns_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+
+    if (active_connections_.load(std::memory_order_relaxed) >=
+        options_.max_connections) {
+      // Typed refusal, not a silent close: the client can back off.
+      try {
+        write_frame(*sock, FrameType::kBusy,
+                    encode_busy(options_.busy_retry_ms,
+                                "connection limit reached"),
+                    options_.io_timeout_ms);
+      } catch (const WireError&) {
+      }
+      requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+      serve_metrics().rejected_total.inc();
+      continue;
+    }
+
+    const int conn_id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+    connections_total_.fetch_add(1, std::memory_order_relaxed);
+    serve_metrics().connections_total.inc();
+    active_connections_.fetch_add(1, std::memory_order_relaxed);
+    serve_metrics().active_connections.set(
+        static_cast<double>(active_connections_.load()));
+
+    auto slot = std::make_unique<ConnectionSlot>();
+    ConnectionSlot* raw = slot.get();
+    {
+      std::lock_guard<std::mutex> lock(conns_mutex_);
+      conns_.push_back(std::move(slot));
+    }
+    raw->thread = std::thread(
+        [this, raw, conn_id](Socket conn) {
+          handle_connection(std::move(conn), conn_id);
+          admission_.forget_connection(conn_id);
+          active_connections_.fetch_sub(1, std::memory_order_relaxed);
+          serve_metrics().active_connections.set(
+              static_cast<double>(active_connections_.load()));
+          raw->done.store(true, std::memory_order_release);
+        },
+        std::move(*sock));
+  }
+  listener_->close();
+}
+
+namespace {
+
+/// Closing a socket with unread bytes pending makes the kernel send RST,
+/// which can destroy a just-queued ERROR frame before the peer reads it.
+/// Half-close instead and drain what the peer already sent (bounded), so
+/// the typed error is actually deliverable.
+void linger_close(Socket& sock) {
+  try {
+    sock.shutdown_write();
+    char discard[4096];
+    Timer elapsed;
+    while (elapsed.seconds() < 2.0) {
+      if (sock.recv_some(discard, sizeof discard, 500) == 0) break;
+    }
+  } catch (const WireError&) {
+    // Timeout or reset: the peer had its chance.
+  }
+  sock.close();
+}
+
+}  // namespace
+
+void MappingServer::send_error(Socket& sock, WireErrorCode code,
+                               const std::string& msg) {
+  serve_metrics().errors_total.inc();
+  try {
+    write_frame(sock, FrameType::kError, encode_error(code, msg),
+                options_.io_timeout_ms);
+  } catch (const WireError&) {
+    // Best effort: the peer may already be gone.
+  }
+}
+
+void MappingServer::handle_connection(Socket sock, int conn_id) {
+  try {
+    // Handshake: exactly one HELLO with a matching protocol version.
+    auto hello = read_frame(sock, options_.max_frame_bytes,
+                            options_.io_timeout_ms, &stop_);
+    if (!hello.has_value()) return;
+    if (hello->type != FrameType::kHello) {
+      send_error(sock, WireErrorCode::kProtocol,
+                 "expected HELLO as the first frame");
+      linger_close(sock);
+      return;
+    }
+    const auto [version, client_name] = decode_hello(hello->payload);
+    if (version != kProtocolVersion) {
+      send_error(sock, WireErrorCode::kBadVersion,
+                 "unsupported protocol version " + std::to_string(version) +
+                     " (server speaks " + std::to_string(kProtocolVersion) +
+                     ")");
+      linger_close(sock);
+      return;
+    }
+    write_frame(sock, FrameType::kHelloOk,
+                encode_hello(kProtocolVersion,
+                             "gnumapd genome_bases=" +
+                                 std::to_string(genome_.num_bases()) +
+                                 " index_entries=" +
+                                 std::to_string(session_->index()
+                                                    .num_entries())),
+                options_.io_timeout_ms);
+    GNUMAP_LOG(kDebug) << "serve: conn " << conn_id << " handshake ok ("
+                       << client_name << ")";
+
+    // Request loop.  Waiting for the next request honours the stop flag
+    // (drain closes idle connections); a request in progress runs to
+    // completion under its own deadline.
+    for (;;) {
+      std::optional<Frame> frame;
+      try {
+        frame = read_frame(sock, options_.max_frame_bytes,
+                           /*timeout_ms=*/0, &stop_);
+      } catch (const WireError& e) {
+        if (e.code() == WireErrorCode::kShuttingDown) {
+          send_error(sock, WireErrorCode::kShuttingDown,
+                     "server is draining");
+        } else if (e.code() != WireErrorCode::kClosed) {
+          // e.g. an oversized frame header: answer with the typed error
+          // and let the peer read it before the close.
+          send_error(sock, e.code(), e.what());
+          linger_close(sock);
+        }
+        return;
+      }
+      if (!frame.has_value()) return;  // clean disconnect
+
+      switch (frame->type) {
+        case FrameType::kMapBegin: {
+          if (frame->payload.size() < 1) {
+            send_error(sock, WireErrorCode::kBadFrame,
+                       "MAP_BEGIN payload must carry a flags byte");
+            linger_close(sock);
+            return;
+          }
+          const auto flags =
+              static_cast<std::uint8_t>(frame->payload[0]);
+          if (!handle_map(sock, conn_id, flags)) {
+            linger_close(sock);
+            return;
+          }
+          break;
+        }
+        case FrameType::kStats:
+          write_frame(sock, FrameType::kStatsOk, stats_text(),
+                      options_.io_timeout_ms);
+          break;
+        case FrameType::kShutdown:
+          write_frame(sock, FrameType::kShutdownOk, "",
+                      options_.io_timeout_ms);
+          GNUMAP_LOG(kInfo) << "serve: shutdown requested by conn "
+                            << conn_id;
+          request_stop();
+          return;
+        default:
+          send_error(sock, WireErrorCode::kProtocol,
+                     "unexpected frame type " +
+                         std::to_string(static_cast<int>(frame->type)));
+          linger_close(sock);
+          return;
+      }
+    }
+  } catch (const WireError& e) {
+    // Transport failure or malformed traffic: answer if possible, close.
+    send_error(sock, e.code(), e.what());
+    linger_close(sock);
+  } catch (const std::exception& e) {
+    send_error(sock, WireErrorCode::kInternal, e.what());
+    linger_close(sock);
+  }
+}
+
+bool MappingServer::handle_map(Socket& sock, int conn_id,
+                               std::uint8_t flags) {
+  if (stopping()) {
+    send_error(sock, WireErrorCode::kShuttingDown, "server is draining");
+    return false;
+  }
+
+  // Admission: reserve this request's worst-case in-flight reads, or
+  // answer BUSY (connection stays open so the client can retry).
+  const std::uint64_t window = request_window_reads();
+  if (!admission_.try_acquire(conn_id, window)) {
+    requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+    serve_metrics().rejected_total.inc();
+    write_frame(sock, FrameType::kBusy,
+                encode_busy(options_.busy_retry_ms,
+                            "admission window full (" +
+                                std::to_string(admission_.admitted()) + "/" +
+                                std::to_string(admission_.capacity()) +
+                                " reads in flight)"),
+                options_.io_timeout_ms);
+    return true;
+  }
+  serve_metrics().queue_depth.set(static_cast<double>(admission_.admitted()));
+  serve_metrics().admitted_peak.set(static_cast<double>(admission_.peak()));
+
+  struct Release {
+    MappingServer& server;
+    int conn_id;
+    std::uint64_t window;
+    ~Release() {
+      server.admission_.release(conn_id, window);
+      serve_metrics().queue_depth.set(
+          static_cast<double>(server.admission_.admitted()));
+    }
+  } release{*this, conn_id, window};
+
+  requests_total_.fetch_add(1, std::memory_order_relaxed);
+  serve_metrics().requests_total.inc();
+  const bool want_sam = (flags & kFlagWantSam) != 0;
+  const int phred_offset = (flags & kFlagPhred64) != 0 ? kPhred64 : kPhred33;
+
+  GNUMAP_TRACE_SPAN("serve_request", "serve");
+  Timer request_timer;
+  write_frame(sock, FrameType::kMapGo, "", options_.io_timeout_ms);
+
+  try {
+    // The wire -> pipeline seam: READS_CHUNK frames are pulled off the
+    // socket only as the pipeline's decoder wants more bytes, so the
+    // BatchQueue's backpressure reaches all the way back to the client.
+    bool saw_end = false;
+    ChunkSourceBuf chunk_buf([&](std::string& chunk) -> bool {
+      if (saw_end) return false;
+      int timeout = options_.io_timeout_ms;
+      if (options_.request_timeout_ms > 0) {
+        const int remaining =
+            options_.request_timeout_ms -
+            static_cast<int>(request_timer.seconds() * 1000.0);
+        if (remaining <= 0) {
+          throw WireError(WireErrorCode::kTimeout,
+                          "request exceeded the " +
+                              std::to_string(options_.request_timeout_ms) +
+                              " ms deadline");
+        }
+        timeout = std::min(timeout, remaining);
+      }
+      auto frame = read_frame(sock, options_.max_frame_bytes, timeout);
+      if (!frame.has_value()) {
+        throw WireError(WireErrorCode::kClosed,
+                        "peer disconnected mid-request");
+      }
+      if (frame->type == FrameType::kMapEnd) {
+        saw_end = true;
+        return false;
+      }
+      if (frame->type != FrameType::kReadsChunk) {
+        throw WireError(WireErrorCode::kProtocol,
+                        "expected READS_CHUNK or MAP_END, got type " +
+                            std::to_string(static_cast<int>(frame->type)));
+      }
+      bytes_received_.fetch_add(frame->payload.size(),
+                                std::memory_order_relaxed);
+      serve_metrics().bytes_rx.inc(frame->payload.size());
+      chunk = std::move(frame->payload);
+      return true;
+    });
+    std::istream fastq_text(&chunk_buf);
+    FastqReadStream reads(fastq_text, session_->config().stream_batch,
+                          phred_offset, "<wire>");
+
+    FrameSinkBuf sam_sink(sock, FrameType::kResultSam,
+                          options_.io_timeout_ms, bytes_sent_);
+    std::ostream sam_stream(&sam_sink);
+
+    const PipelineResult result =
+        session_->run(reads, nullptr, want_sam ? &sam_stream : nullptr);
+    if (want_sam) {
+      sam_sink.flush_frames();
+      sam_sink.rethrow_if_failed();
+    }
+
+    // SNP calls: byte-identical to the offline CLI's --out file.
+    std::ostringstream tsv;
+    write_snps_tsv(tsv, result.calls);
+    const std::string tsv_text = tsv.str();
+    for (std::size_t off = 0; off < tsv_text.size(); off += kChunkBytes) {
+      const std::size_t n = std::min(kChunkBytes, tsv_text.size() - off);
+      write_frame(sock, FrameType::kResultTsv,
+                  std::string_view(tsv_text).substr(off, n),
+                  options_.io_timeout_ms);
+      bytes_sent_.fetch_add(n, std::memory_order_relaxed);
+      serve_metrics().bytes_tx.inc(n);
+    }
+
+    reads_total_.fetch_add(result.stats.reads_total,
+                           std::memory_order_relaxed);
+    reads_mapped_total_.fetch_add(result.stats.reads_mapped,
+                                  std::memory_order_relaxed);
+
+    std::string done;
+    done += u64_kv("reads_total", result.stats.reads_total);
+    done += u64_kv("reads_mapped", result.stats.reads_mapped);
+    done += u64_kv("calls", result.calls.size());
+    done += u64_kv("batches", result.batches_decoded);
+    done += u64_kv("in_flight_peak", result.reads_in_flight_peak);
+    done += u64_kv("window_reads", window);
+    done += "map_seconds=" + std::to_string(result.map_seconds) + "\n";
+    write_frame(sock, FrameType::kMapDone, done, options_.io_timeout_ms);
+
+    serve_metrics().request_seconds.observe(request_timer.seconds());
+    GNUMAP_LOG(kInfo) << "serve: conn " << conn_id << " mapped "
+                      << result.stats.reads_mapped << "/"
+                      << result.stats.reads_total << " reads, "
+                      << result.calls.size() << " calls in "
+                      << request_timer.seconds() << " s";
+    return true;
+  } catch (const WireError& e) {
+    requests_failed_.fetch_add(1, std::memory_order_relaxed);
+    send_error(sock, e.code(), e.what());
+    return false;
+  } catch (const ParseError& e) {
+    requests_failed_.fetch_add(1, std::memory_order_relaxed);
+    send_error(sock, WireErrorCode::kParse, e.what());
+    return false;
+  } catch (const std::exception& e) {
+    requests_failed_.fetch_add(1, std::memory_order_relaxed);
+    send_error(sock, WireErrorCode::kInternal, e.what());
+    return false;
+  }
+}
+
+}  // namespace gnumap::serve

@@ -1,0 +1,156 @@
+// The long-lived mapping server behind gnumapd.
+//
+// A MappingServer owns one MappingSession — the genome and hash index are
+// built at construction and stay hot for the process lifetime — plus a TCP
+// listener and one handler thread per connection.  Each MAP request feeds
+// the wire's READS_CHUNK frames through a ChunkSourceBuf-backed
+// FastqReadStream straight into the staged pipeline, so socket reads are
+// pulled by the pipeline's decoder with its normal backpressure, and the
+// admission window (admission.hpp) bounds total in-flight reads across all
+// concurrent requests; requests that do not fit are answered BUSY with a
+// retry hint.  Results stream back as RESULT_* frames whose concatenated
+// bytes are identical to the offline CLI's outputs for the same input.
+//
+// Robustness: malformed or oversized frames, FASTQ parse failures, and
+// idle peers get a typed ERROR frame and a closed connection — never a
+// dead server.  request_stop() (wired to SIGINT/SIGTERM by gnumapd, or to
+// the SHUTDOWN frame) drains: the listener stops accepting, in-flight
+// requests finish, idle connections close, then wait() returns.
+//
+// Observability (docs/OBSERVABILITY.md): gnumap_serve_* metrics — request
+// latency histogram, admitted-reads and queue-depth gauges, rejected and
+// error counters, bytes on the wire — plus serve_request trace spans.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gnumap/core/config.hpp"
+#include "gnumap/core/session.hpp"
+#include "gnumap/genome/genome.hpp"
+#include "gnumap/serve/admission.hpp"
+#include "gnumap/serve/socket.hpp"
+#include "gnumap/serve/wire.hpp"
+
+namespace gnumap::serve {
+
+struct ServeOptions {
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  std::uint16_t port = 0;
+  /// Bind 0.0.0.0 instead of loopback.
+  bool bind_any = false;
+  /// Concurrent connections; further accepts get BUSY and are closed.
+  int max_connections = 16;
+  /// Admission window: total reads that may be in flight across all
+  /// requests at once (each request reserves its worst-case pipeline
+  /// in-flight bound up front).
+  std::uint64_t admission_reads = 1u << 20;
+  /// Max window share one connection may hold (0 = whole window).
+  std::uint64_t per_connection_reads = 0;
+  /// Largest accepted frame payload.
+  std::uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Per-frame socket deadline: a peer silent this long mid-request is
+  /// timed out with a typed error.
+  int io_timeout_ms = 30'000;
+  /// Whole-request deadline (MAP_BEGIN to MAP_DONE; 0 = unlimited).
+  int request_timeout_ms = 300'000;
+  /// Hint sent with BUSY responses.
+  std::uint32_t busy_retry_ms = 250;
+};
+
+/// Rolled-up service counters (also exported as gnumap_serve_* metrics;
+/// this struct is the STATS frame's source).
+struct ServerStats {
+  std::uint64_t connections_total = 0;
+  std::uint64_t requests_total = 0;
+  std::uint64_t requests_rejected = 0;
+  std::uint64_t requests_failed = 0;
+  std::uint64_t reads_mapped_total = 0;
+  std::uint64_t reads_total = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+class MappingServer {
+ public:
+  /// Builds the resident session (the expensive index build happens here)
+  /// and binds the listener; throws on bind failure.  `genome` must
+  /// outlive the server.
+  MappingServer(const Genome& genome, const PipelineConfig& config,
+                const ServeOptions& options);
+  ~MappingServer();
+
+  MappingServer(const MappingServer&) = delete;
+  MappingServer& operator=(const MappingServer&) = delete;
+
+  /// The bound port (useful with ServeOptions::port == 0).
+  std::uint16_t port() const;
+
+  /// Starts the accept loop on a background thread and returns.
+  void start();
+
+  /// Blocks until the server has fully stopped (all handlers joined).
+  void wait();
+
+  /// start() + wait().
+  void run();
+
+  /// Begins a graceful drain; idempotent and safe from any thread.  The
+  /// SHUTDOWN frame and gnumapd's signal handlers call this.
+  void request_stop();
+
+  bool stopping() const {
+    return stop_.load(std::memory_order_relaxed);
+  }
+
+  const MappingSession& session() const { return *session_; }
+
+  /// Snapshot of the rolled-up counters.
+  ServerStats stats() const;
+
+  /// Worst-case in-flight reads one request reserves from the admission
+  /// window: the staged pipeline's documented peak for this config.
+  std::uint64_t request_window_reads() const;
+
+ private:
+  struct ConnectionSlot;
+
+  void accept_loop();
+  void handle_connection(Socket sock, int conn_id);
+  /// One MAP transaction after its MAP_BEGIN frame; returns false when the
+  /// connection should close.
+  bool handle_map(Socket& sock, int conn_id, std::uint8_t flags);
+  void send_error(Socket& sock, WireErrorCode code, const std::string& msg);
+  std::string stats_text() const;
+
+  const Genome& genome_;
+  ServeOptions options_;
+  std::unique_ptr<MappingSession> session_;
+  std::unique_ptr<Listener> listener_;
+  AdmissionController admission_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> started_{false};
+  std::thread accept_thread_;
+
+  mutable std::mutex conns_mutex_;
+  std::vector<std::unique_ptr<ConnectionSlot>> conns_;
+  std::atomic<int> active_connections_{0};
+  std::atomic<int> next_conn_id_{0};
+
+  // Rolled-up counters (mirrored into the obs registry as they change).
+  std::atomic<std::uint64_t> connections_total_{0};
+  std::atomic<std::uint64_t> requests_total_{0};
+  std::atomic<std::uint64_t> requests_rejected_{0};
+  std::atomic<std::uint64_t> requests_failed_{0};
+  std::atomic<std::uint64_t> reads_mapped_total_{0};
+  std::atomic<std::uint64_t> reads_total_{0};
+  std::atomic<std::uint64_t> bytes_received_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+};
+
+}  // namespace gnumap::serve

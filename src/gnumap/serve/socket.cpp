@@ -1,0 +1,234 @@
+#include "gnumap/serve/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "gnumap/serve/wire.hpp"
+#include "gnumap/util/timer.hpp"
+
+namespace gnumap::serve {
+
+namespace {
+
+/// Poll slice: the longest a blocked operation goes without re-checking
+/// its cancel flag.
+constexpr int kPollSliceMs = 100;
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw WireError(WireErrorCode::kInternal,
+                  what + ": " + std::strerror(errno));
+}
+
+/// Waits for `events` on `fd` within the remaining deadline.  Returns true
+/// when ready; false on timeout.  Throws WireError(kShuttingDown) when the
+/// cancel flag trips.
+bool wait_ready(int fd, short events, int timeout_ms,
+                const std::atomic<bool>* cancel) {
+  Timer elapsed;
+  for (;;) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      throw WireError(WireErrorCode::kShuttingDown, "operation cancelled");
+    }
+    int slice = kPollSliceMs;
+    if (timeout_ms > 0) {
+      const int remaining =
+          timeout_ms - static_cast<int>(elapsed.seconds() * 1000.0);
+      if (remaining <= 0) return false;
+      slice = std::min(slice, remaining);
+    }
+    pollfd pfd{fd, events, 0};
+    const int rc = ::poll(&pfd, 1, slice);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll");
+    }
+    if (rc > 0) return true;
+  }
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void Socket::send_all(const void* data, std::size_t n, int timeout_ms,
+                      const std::atomic<bool>* cancel) {
+  const char* p = static_cast<const char*>(data);
+  std::size_t sent = 0;
+  while (sent < n) {
+    if (!wait_ready(fd_, POLLOUT, timeout_ms, cancel)) {
+      throw WireError(WireErrorCode::kTimeout, "send timed out");
+    }
+    // MSG_NOSIGNAL: a vanished peer must surface as EPIPE, not SIGPIPE.
+    const ssize_t rc = ::send(fd_, p + sent, n - sent, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      if (errno == EPIPE || errno == ECONNRESET) {
+        throw WireError(WireErrorCode::kClosed, "peer closed connection");
+      }
+      throw_errno("send");
+    }
+    sent += static_cast<std::size_t>(rc);
+  }
+}
+
+std::size_t Socket::recv_some(void* data, std::size_t n, int timeout_ms,
+                              const std::atomic<bool>* cancel) {
+  for (;;) {
+    if (!wait_ready(fd_, POLLIN, timeout_ms, cancel)) {
+      throw WireError(WireErrorCode::kTimeout, "recv timed out");
+    }
+    const ssize_t rc = ::recv(fd_, data, n, 0);
+    if (rc < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      if (errno == ECONNRESET) {
+        throw WireError(WireErrorCode::kClosed, "peer reset connection");
+      }
+      throw_errno("recv");
+    }
+    return static_cast<std::size_t>(rc);
+  }
+}
+
+void Socket::recv_exact(void* data, std::size_t n, int timeout_ms,
+                        const std::atomic<bool>* cancel) {
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < n) {
+    const std::size_t rc = recv_some(p + got, n - got, timeout_ms, cancel);
+    if (rc == 0) {
+      throw WireError(WireErrorCode::kClosed,
+                      "peer closed mid-message (" + std::to_string(got) +
+                          "/" + std::to_string(n) + " bytes)");
+    }
+    got += rc;
+  }
+}
+
+Socket connect_tcp(const std::string& host, std::uint16_t port,
+                   int timeout_ms) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw WireError(WireErrorCode::kInternal,
+                    "connect: not an IPv4 address: " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  Socket sock(fd);
+
+  // Non-blocking connect so the timeout is enforceable.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof addr);
+  if (rc != 0 && errno != EINPROGRESS) {
+    throw WireError(WireErrorCode::kClosed,
+                    "connect to " + host + ":" + std::to_string(port) +
+                        " failed: " + std::strerror(errno));
+  }
+  if (rc != 0) {
+    if (!wait_ready(fd, POLLOUT, timeout_ms, nullptr)) {
+      throw WireError(WireErrorCode::kTimeout,
+                      "connect to " + host + ":" + std::to_string(port) +
+                          " timed out");
+    }
+    int err = 0;
+    socklen_t len = sizeof err;
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      throw WireError(WireErrorCode::kClosed,
+                      "connect to " + host + ":" + std::to_string(port) +
+                          " failed: " + std::strerror(err));
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return sock;
+}
+
+Listener::Listener(std::uint16_t port, bool bind_any, int backlog) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(bind_any ? INADDR_ANY : INADDR_LOOPBACK);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string what =
+        "bind to port " + std::to_string(port) + ": " + std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw WireError(WireErrorCode::kInternal, what);
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(fd_, backlog) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw_errno("listen");
+  }
+}
+
+Listener::~Listener() { close(); }
+
+void Listener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::optional<Socket> Listener::accept(int timeout_ms,
+                                       const std::atomic<bool>* cancel) {
+  try {
+    if (!wait_ready(fd_, POLLIN, timeout_ms, cancel)) return std::nullopt;
+  } catch (const WireError&) {
+    return std::nullopt;  // cancelled: the accept loop re-checks its state
+  }
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) return std::nullopt;
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return Socket(fd);
+}
+
+}  // namespace gnumap::serve

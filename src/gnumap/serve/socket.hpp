@@ -1,0 +1,90 @@
+// Minimal POSIX TCP wrappers for the mapping service: an RAII connected
+// socket with deadline-bounded send/recv and a listener with cancellable
+// accept.  Loopback-only by default; no external dependencies.
+//
+// Timeout policy: every blocking operation takes an explicit timeout in
+// milliseconds (<= 0 means wait forever) and polls in short slices so an
+// optional cancel flag — the server's shutdown signal — is honoured within
+// ~100 ms even on an idle connection.  Timeouts and peer resets surface as
+// WireError (wire.hpp) so the connection handler can map them to typed
+// protocol errors.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace gnumap::serve {
+
+class Socket {
+ public:
+  Socket() = default;
+  /// Takes ownership of a connected fd.
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Sends all `n` bytes or throws WireError (timeout, closed peer).
+  void send_all(const void* data, std::size_t n, int timeout_ms,
+                const std::atomic<bool>* cancel = nullptr);
+
+  /// Receives up to `n` bytes.  Returns 0 on orderly peer shutdown.
+  /// Throws WireError on timeout or cancellation.
+  std::size_t recv_some(void* data, std::size_t n, int timeout_ms,
+                        const std::atomic<bool>* cancel = nullptr);
+
+  /// Receives exactly `n` bytes; throws WireError if the peer closes or
+  /// the deadline passes first.
+  void recv_exact(void* data, std::size_t n, int timeout_ms,
+                  const std::atomic<bool>* cancel = nullptr);
+
+  /// Half-closes the write side (signals end of requests to the peer).
+  void shutdown_write();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connects to `host`:`port`; throws WireError on failure or timeout.
+Socket connect_tcp(const std::string& host, std::uint16_t port,
+                   int timeout_ms);
+
+class Listener {
+ public:
+  /// Binds and listens.  `port` 0 picks an ephemeral port (see port()).
+  /// `bind_any` false binds 127.0.0.1 only.  Throws WireError on failure.
+  explicit Listener(std::uint16_t port, bool bind_any = false,
+                    int backlog = 16);
+  ~Listener();
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// The bound port (the chosen one when constructed with port 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Waits up to `timeout_ms` for a connection.  Returns nullopt on
+  /// timeout or cancellation — never throws for those, so an accept loop
+  /// can simply re-check its own state and continue.
+  std::optional<Socket> accept(int timeout_ms,
+                               const std::atomic<bool>* cancel = nullptr);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace gnumap::serve

@@ -1,0 +1,129 @@
+#include "gnumap/serve/wire.hpp"
+
+#include <cstring>
+
+namespace gnumap::serve {
+
+const char* wire_error_code_name(WireErrorCode code) {
+  switch (code) {
+    case WireErrorCode::kBadFrame: return "bad_frame";
+    case WireErrorCode::kBadVersion: return "bad_version";
+    case WireErrorCode::kProtocol: return "protocol";
+    case WireErrorCode::kTooLarge: return "too_large";
+    case WireErrorCode::kParse: return "parse";
+    case WireErrorCode::kTimeout: return "timeout";
+    case WireErrorCode::kShuttingDown: return "shutting_down";
+    case WireErrorCode::kInternal: return "internal";
+    case WireErrorCode::kClosed: return "closed";
+  }
+  return "unknown";
+}
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+std::uint16_t get_u16(std::string_view payload, std::size_t offset) {
+  if (payload.size() < offset + 2) {
+    throw WireError(WireErrorCode::kBadFrame, "payload too short for u16");
+  }
+  const auto* p = reinterpret_cast<const unsigned char*>(payload.data());
+  return static_cast<std::uint16_t>(p[offset] | (p[offset + 1] << 8));
+}
+
+std::uint32_t get_u32(std::string_view payload, std::size_t offset) {
+  if (payload.size() < offset + 4) {
+    throw WireError(WireErrorCode::kBadFrame, "payload too short for u32");
+  }
+  const auto* p = reinterpret_cast<const unsigned char*>(payload.data());
+  return static_cast<std::uint32_t>(p[offset]) |
+         (static_cast<std::uint32_t>(p[offset + 1]) << 8) |
+         (static_cast<std::uint32_t>(p[offset + 2]) << 16) |
+         (static_cast<std::uint32_t>(p[offset + 3]) << 24);
+}
+
+void write_frame(Socket& sock, FrameType type, std::string_view payload,
+                 int timeout_ms, const std::atomic<bool>* cancel) {
+  // One contiguous buffer per frame: header + payload in a single send so
+  // small frames never straddle two TCP pushes.
+  std::string buf;
+  buf.reserve(5 + payload.size());
+  put_u32(buf, static_cast<std::uint32_t>(payload.size()));
+  buf.push_back(static_cast<char>(type));
+  buf.append(payload);
+  sock.send_all(buf.data(), buf.size(), timeout_ms, cancel);
+}
+
+std::optional<Frame> read_frame(Socket& sock, std::uint32_t max_payload,
+                                int timeout_ms,
+                                const std::atomic<bool>* cancel) {
+  unsigned char header[5];
+  // The first byte distinguishes "peer hung up between frames" (fine)
+  // from "peer hung up mid-frame" (an error recv_exact raises).
+  const std::size_t got = sock.recv_some(header, 1, timeout_ms, cancel);
+  if (got == 0) return std::nullopt;
+  sock.recv_exact(header + 1, sizeof header - 1, timeout_ms, cancel);
+
+  const std::uint32_t length = static_cast<std::uint32_t>(header[0]) |
+                               (static_cast<std::uint32_t>(header[1]) << 8) |
+                               (static_cast<std::uint32_t>(header[2]) << 16) |
+                               (static_cast<std::uint32_t>(header[3]) << 24);
+  if (length > max_payload) {
+    throw WireError(WireErrorCode::kTooLarge,
+                    "frame payload of " + std::to_string(length) +
+                        " bytes exceeds the " + std::to_string(max_payload) +
+                        "-byte limit");
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(header[4]);
+  frame.payload.resize(length);
+  if (length > 0) {
+    sock.recv_exact(frame.payload.data(), length, timeout_ms, cancel);
+  }
+  return frame;
+}
+
+std::string encode_hello(std::uint16_t version, std::string_view text) {
+  std::string payload;
+  put_u16(payload, version);
+  payload.append(text);
+  return payload;
+}
+
+std::pair<std::uint16_t, std::string> decode_hello(std::string_view payload) {
+  const std::uint16_t version = get_u16(payload, 0);
+  return {version, std::string(payload.substr(2))};
+}
+
+std::string encode_busy(std::uint32_t retry_after_ms, std::string_view msg) {
+  std::string payload;
+  put_u32(payload, retry_after_ms);
+  payload.append(msg);
+  return payload;
+}
+
+std::pair<std::uint32_t, std::string> decode_busy(std::string_view payload) {
+  const std::uint32_t retry = get_u32(payload, 0);
+  return {retry, std::string(payload.substr(4))};
+}
+
+std::string encode_error(WireErrorCode code, std::string_view msg) {
+  std::string payload;
+  put_u16(payload, static_cast<std::uint16_t>(code));
+  payload.append(msg);
+  return payload;
+}
+
+std::pair<WireErrorCode, std::string> decode_error(std::string_view payload) {
+  const auto code = static_cast<WireErrorCode>(get_u16(payload, 0));
+  return {code, std::string(payload.substr(2))};
+}
+
+}  // namespace gnumap::serve

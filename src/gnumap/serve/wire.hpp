@@ -1,0 +1,141 @@
+// The gnumapd wire protocol: length-prefixed binary frames over TCP.
+//
+// Frame layout (all integers little-endian):
+//
+//   u32 payload_length | u8 frame_type | payload bytes
+//
+// A session is a version handshake followed by any number of requests:
+//
+//   client                          server
+//   ------                          ------
+//   HELLO {u16 version, name}  ->
+//                              <-   HELLO_OK {u16 version, banner}
+//   MAP_BEGIN {u8 flags}       ->
+//                              <-   MAP_GO | BUSY {u32 retry_ms, msg}
+//   READS_CHUNK {fastq bytes}  ->   (repeated; server pulls with
+//   ...                              backpressure — frames are only read
+//   MAP_END                          as the pipeline consumes them)
+//                              <-   RESULT_SAM {sam bytes}   (if requested)
+//                              <-   RESULT_TSV {tsv bytes}   (repeated)
+//                              <-   MAP_DONE {key=value stats lines}
+//   STATS                      ->
+//                              <-   STATS_OK {key=value lines}
+//   SHUTDOWN                   ->
+//                              <-   SHUTDOWN_OK   (server then drains+exits)
+//
+// Any violation — unknown type, oversized frame, FASTQ parse failure,
+// timeout — is answered with ERROR {u16 code, msg} and the connection is
+// closed; the server itself always survives.  RESULT_SAM frames can arrive
+// while the client is still sending READS_CHUNK frames (the pipeline
+// drains as it maps), so clients must read and write concurrently.
+//
+// Byte-identity contract: the RESULT_TSV payloads concatenated equal the
+// offline CLI's --out file for the same reads and pipeline config, and the
+// RESULT_SAM payloads concatenated equal its --sam file.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "gnumap/serve/socket.hpp"
+#include "gnumap/util/error.hpp"
+
+namespace gnumap::serve {
+
+inline constexpr std::uint16_t kProtocolVersion = 1;
+
+/// Hard ceiling on a frame payload; larger frames are a protocol error.
+inline constexpr std::uint32_t kDefaultMaxFrameBytes = 8u << 20;
+
+/// Preferred payload size when chunking bulk data (FASTQ, SAM, TSV).
+inline constexpr std::size_t kChunkBytes = 64u << 10;
+
+enum class FrameType : std::uint8_t {
+  kHello = 0x01,
+  kHelloOk = 0x02,
+  kMapBegin = 0x10,   ///< payload: u8 flags (kFlagWantSam | kFlagPhred64)
+  kReadsChunk = 0x11, ///< payload: raw FASTQ text
+  kMapEnd = 0x12,
+  kMapGo = 0x13,      ///< admission granted; send READS_CHUNK frames
+  kResultTsv = 0x20,  ///< payload: SNP TSV bytes (chunked)
+  kResultSam = 0x21,  ///< payload: SAM bytes (chunked)
+  kMapDone = 0x22,    ///< payload: key=value lines (reads_total, ...)
+  kStats = 0x30,
+  kStatsOk = 0x31,    ///< payload: key=value lines
+  kShutdown = 0x40,
+  kShutdownOk = 0x41,
+  kBusy = 0x50,       ///< payload: u32 retry_after_ms + message
+  kError = 0x51,      ///< payload: u16 WireErrorCode + message
+};
+
+/// MAP_BEGIN flag bits.
+inline constexpr std::uint8_t kFlagWantSam = 0x01;
+inline constexpr std::uint8_t kFlagPhred64 = 0x02;
+
+enum class WireErrorCode : std::uint16_t {
+  kBadFrame = 1,      ///< malformed frame or unknown frame type
+  kBadVersion = 2,    ///< HELLO version mismatch
+  kProtocol = 3,      ///< well-formed frame at the wrong point
+  kTooLarge = 4,      ///< frame exceeds the negotiated maximum
+  kParse = 5,         ///< FASTQ payload failed to parse
+  kTimeout = 6,       ///< peer idle past the per-request deadline
+  kShuttingDown = 7,  ///< server is draining; retry elsewhere/later
+  kInternal = 8,      ///< unexpected server-side failure
+  kClosed = 9,        ///< peer closed mid-frame / mid-request
+};
+
+const char* wire_error_code_name(WireErrorCode code);
+
+/// Transport- or protocol-level failure; `code` is what goes on the wire
+/// when the failure is reportable to the peer.
+class WireError : public Error {
+ public:
+  WireError(WireErrorCode code, const std::string& what)
+      : Error(what), code_(code) {}
+  WireErrorCode code() const { return code_; }
+
+ private:
+  WireErrorCode code_;
+};
+
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::string payload;
+};
+
+/// Writes one frame.  Throws WireError on timeout or a closed peer.
+void write_frame(Socket& sock, FrameType type, std::string_view payload,
+                 int timeout_ms, const std::atomic<bool>* cancel = nullptr);
+
+/// Reads one frame.  Returns nullopt on orderly peer close at a frame
+/// boundary; throws WireError for truncation, oversized payloads
+/// (kTooLarge), timeouts, or cancellation.
+std::optional<Frame> read_frame(Socket& sock, std::uint32_t max_payload,
+                                int timeout_ms,
+                                const std::atomic<bool>* cancel = nullptr);
+
+// --- payload pack/unpack helpers -----------------------------------------
+
+void put_u16(std::string& out, std::uint16_t v);
+void put_u32(std::string& out, std::uint32_t v);
+/// Read little-endian integers at `offset`; throw WireError(kBadFrame) on
+/// short payloads.
+std::uint16_t get_u16(std::string_view payload, std::size_t offset);
+std::uint32_t get_u32(std::string_view payload, std::size_t offset);
+
+/// HELLO / HELLO_OK: u16 version + free-form text.
+std::string encode_hello(std::uint16_t version, std::string_view text);
+std::pair<std::uint16_t, std::string> decode_hello(std::string_view payload);
+
+/// BUSY: u32 retry_after_ms + message.
+std::string encode_busy(std::uint32_t retry_after_ms, std::string_view msg);
+std::pair<std::uint32_t, std::string> decode_busy(std::string_view payload);
+
+/// ERROR: u16 code + message.
+std::string encode_error(WireErrorCode code, std::string_view msg);
+std::pair<WireErrorCode, std::string> decode_error(std::string_view payload);
+
+}  // namespace gnumap::serve

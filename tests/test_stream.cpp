@@ -14,6 +14,7 @@
 #include "gnumap/core/dist_modes.hpp"
 #include "gnumap/core/pipeline.hpp"
 #include "gnumap/io/fastq.hpp"
+#include "gnumap/io/gzip_stream.hpp"
 #include "gnumap/io/quality.hpp"
 #include "gnumap/io/read_stream.hpp"
 #include "gnumap/io/snp_writer.hpp"
@@ -119,6 +120,125 @@ TEST(ReorderBuffer, CloseUnblocksWaitersAndKeepsPrefix) {
   // The in-order prefix parked before close() still drains.
   EXPECT_EQ(reorder.pop_next(), 100);
   EXPECT_FALSE(reorder.pop_next().has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Queue edge cases: degenerate capacities, window wraparound far past the
+// capacity, and close() racing blocked producers and consumers.
+
+TEST(BatchQueue, ZeroCapacityIsRejected) {
+  EXPECT_THROW(BatchQueue<int>(0), ConfigError);
+  EXPECT_THROW(ReorderBuffer<int>(0), ConfigError);
+}
+
+TEST(BatchQueue, CapacityOneStillMovesEveryItem) {
+  BatchQueue<int> queue(1);
+  std::thread producer([&] {
+    for (int i = 0; i < 200; ++i) queue.push(i);
+    queue.close();
+  });
+  int expected = 0;
+  while (auto item = queue.pop()) EXPECT_EQ(*item, expected++);
+  producer.join();
+  EXPECT_EQ(expected, 200);
+  EXPECT_EQ(queue.peak_size(), 1u);
+}
+
+TEST(ReorderBuffer, CapacityOneSerializesProducers) {
+  // With a window of one, only the exact next item is ever admissible, so
+  // out-of-order workers are fully serialized — and must still finish.
+  ReorderBuffer<int> reorder(1);
+  constexpr int kItems = 100;
+  std::atomic<int> next_claim{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&] {
+      for (;;) {
+        const int seq = next_claim.fetch_add(1);
+        if (seq >= kItems) return;
+        EXPECT_TRUE(reorder.push(static_cast<std::uint64_t>(seq), seq));
+      }
+    });
+  }
+  for (int seq = 0; seq < kItems; ++seq) {
+    const auto item = reorder.pop_next();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, seq);
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_LE(reorder.peak_pending(), 1u);
+}
+
+TEST(ReorderBuffer, WindowSlidesFarPastCapacity) {
+  // The admission window wraps around the capacity many times over; order
+  // and the pending bound must hold across every wrap.
+  ReorderBuffer<std::uint64_t> reorder(3);
+  constexpr std::uint64_t kItems = 3000;  // 1000 full window turns
+  std::atomic<std::uint64_t> next_claim{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 3; ++t) {
+    workers.emplace_back([&] {
+      for (;;) {
+        const std::uint64_t seq = next_claim.fetch_add(1);
+        if (seq >= kItems) return;
+        EXPECT_TRUE(reorder.push(seq, seq * 7));
+      }
+    });
+  }
+  for (std::uint64_t seq = 0; seq < kItems; ++seq) {
+    const auto item = reorder.pop_next();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, seq * 7);
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_LE(reorder.peak_pending(), 3u);
+}
+
+TEST(BatchQueue, ConcurrentCloseReleasesBlockedProducersAndConsumers) {
+  BatchQueue<int> queue(2);
+  EXPECT_TRUE(queue.push(0));
+  EXPECT_TRUE(queue.push(1));  // full: further pushes block
+
+  std::atomic<int> refused_pushes{0};
+  std::vector<std::thread> blocked;
+  for (int t = 0; t < 3; ++t) {
+    blocked.emplace_back([&] {
+      if (!queue.push(99)) ++refused_pushes;
+    });
+  }
+  // Two closers racing each other and the blocked producers: close() is
+  // idempotent and must release every waiter exactly once.
+  std::thread closer1([&] { queue.close(); });
+  std::thread closer2([&] { queue.close(); });
+  closer1.join();
+  closer2.join();
+  for (auto& t : blocked) t.join();
+  EXPECT_EQ(refused_pushes.load(), 3);
+
+  // Items queued before the close still drain, then poppers see the end.
+  EXPECT_EQ(queue.pop(), 0);
+  EXPECT_EQ(queue.pop(), 1);
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(ReorderBuffer, ConcurrentCloseWhileProducersBlockedBeyondWindow) {
+  ReorderBuffer<int> reorder(2);
+  std::atomic<int> refused{0};
+  std::vector<std::thread> blocked;
+  for (int t = 0; t < 3; ++t) {
+    blocked.emplace_back([&, t] {
+      // All beyond the [0, 2) window, so all park until close().
+      if (!reorder.push(static_cast<std::uint64_t>(10 + t), t)) ++refused;
+    });
+  }
+  std::thread waiting_drain([&] {
+    // Blocks: seq 0 never arrives; close() must deliver nullopt.
+    EXPECT_FALSE(reorder.pop_next().has_value());
+  });
+  reorder.close();
+  for (auto& t : blocked) t.join();
+  waiting_drain.join();
+  EXPECT_EQ(refused.load(), 3);
 }
 
 // ---------------------------------------------------------------------------
@@ -305,6 +425,117 @@ TEST(FastqRobustness, FilePathAppearsInFileErrors) {
   } catch (const ParseError& e) {
     EXPECT_NE(std::string(e.what()).find(path), std::string::npos) << e.what();
   }
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Gzip FASTQ: content-detected decompression in front of the same stream.
+
+std::vector<Read> drain_stream(ReadStream& stream) {
+  std::vector<Read> all;
+  ReadBatch batch;
+  while (stream.next(batch)) {
+    for (auto& read : batch.reads) all.push_back(std::move(read));
+  }
+  return all;
+}
+
+void expect_same_reads(const std::vector<Read>& expected,
+                       const std::vector<Read>& actual) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].name, actual[i].name);
+    EXPECT_EQ(expected[i].bases, actual[i].bases);
+    EXPECT_EQ(expected[i].quals, actual[i].quals);
+  }
+}
+
+TEST(GzipStream, RoundTripMatchesPlainStream) {
+  if (!gzip_available()) GTEST_SKIP() << "built without zlib";
+  const std::string path = "gzip_roundtrip_tmp.fastq.gz";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << gzip_compress(kFastqThree);
+  }
+  std::istringstream plain_text(kFastqThree);
+  FastqReadStream plain(plain_text, 2);
+  auto gz = open_fastq_read_stream(path, 2);
+  expect_same_reads(drain_stream(plain), drain_stream(*gz));
+  std::remove(path.c_str());
+}
+
+TEST(GzipStream, FactoryDetectsByContentNotExtension) {
+  if (!gzip_available()) GTEST_SKIP() << "built without zlib";
+  // A gzip payload behind a .fastq name still decompresses; a plain
+  // payload behind a .gz name still parses directly.
+  const std::string gz_path = "gzip_detect_tmp.fastq";
+  const std::string plain_path = "gzip_detect_tmp2.fastq.gz";
+  {
+    std::ofstream out(gz_path, std::ios::binary);
+    out << gzip_compress(kFastqThree);
+  }
+  {
+    std::ofstream out(plain_path, std::ios::binary);
+    out << kFastqThree;
+  }
+  auto from_gz = open_fastq_read_stream(gz_path, 2);
+  auto from_plain = open_fastq_read_stream(plain_path, 2);
+  expect_same_reads(drain_stream(*from_gz), drain_stream(*from_plain));
+  std::remove(gz_path.c_str());
+  std::remove(plain_path.c_str());
+}
+
+TEST(GzipStream, MultiMemberFilesConcatenate) {
+  if (!gzip_available()) GTEST_SKIP() << "built without zlib";
+  const std::string path = "gzip_multimember_tmp.fastq.gz";
+  {
+    // `cat a.gz b.gz`: two members, one logical stream.
+    std::ofstream out(path, std::ios::binary);
+    out << gzip_compress("@r1\nACGT\n+\nIIII\n")
+        << gzip_compress("@r2\nGGTT\n+\n!!!!\n");
+  }
+  auto stream = open_fastq_read_stream(path, 4);
+  const auto reads = drain_stream(*stream);
+  ASSERT_EQ(reads.size(), 2u);
+  EXPECT_EQ(reads[0].name, "r1");
+  EXPECT_EQ(reads[1].name, "r2");
+  std::remove(path.c_str());
+}
+
+TEST(GzipStream, ResetAndSkipBehaveLikePlainStream) {
+  if (!gzip_available()) GTEST_SKIP() << "built without zlib";
+  const std::string path = "gzip_reset_tmp.fastq.gz";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << gzip_compress(kFastqThree);
+  }
+  auto stream = open_fastq_read_stream(path, 2);
+  ReadBatch batch;
+  ASSERT_TRUE(stream->next(batch));
+  EXPECT_EQ(batch.first_index, 0u);
+  ASSERT_TRUE(stream->reset());
+  EXPECT_EQ(stream->cursor(), 0u);
+  EXPECT_EQ(stream->skip(2), 2u);
+  ASSERT_TRUE(stream->next(batch));
+  EXPECT_EQ(batch.first_index, 2u);
+  EXPECT_EQ(batch.reads[0].name, "r3");
+  std::remove(path.c_str());
+}
+
+TEST(GzipStream, TruncatedFileRaisesParseError) {
+  if (!gzip_available()) GTEST_SKIP() << "built without zlib";
+  const std::string path = "gzip_truncated_tmp.fastq.gz";
+  const std::string full = gzip_compress(kFastqThree);
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << full.substr(0, full.size() - 6);  // clip the trailer + data
+  }
+  auto stream = open_fastq_read_stream(path, 2);
+  ReadBatch batch;
+  EXPECT_THROW({
+    while (stream->next(batch)) {
+    }
+  }, ParseError);
   std::remove(path.c_str());
 }
 
