@@ -134,6 +134,24 @@ std::string u64_kv(const std::string& key, std::uint64_t value) {
   return key + "=" + std::to_string(value) + "\n";
 }
 
+/// Closing a socket with unread bytes pending makes the kernel send RST,
+/// which can destroy a just-queued ERROR frame before the peer reads it.
+/// Half-close instead and drain what the peer already sent (bounded), so
+/// the typed error is actually deliverable.
+void linger_close(Socket& sock) {
+  try {
+    sock.shutdown_write();
+    char discard[4096];
+    Timer elapsed;
+    while (elapsed.seconds() < 2.0) {
+      if (sock.recv_some(discard, sizeof discard, 500) == 0) break;
+    }
+  } catch (const WireError&) {
+    // Timeout or reset: the peer had its chance.
+  }
+  sock.close();
+}
+
 }  // namespace
 
 struct MappingServer::ConnectionSlot {
@@ -260,7 +278,9 @@ void MappingServer::accept_loop() {
 
     if (active_connections_.load(std::memory_order_relaxed) >=
         options_.max_connections) {
-      // Typed refusal, not a silent close: the client can back off.
+      // Typed refusal, not a silent close: the client can back off.  The
+      // peer's HELLO is still unread, so a plain close would RST the queued
+      // BUSY frame away — linger_close drains it first.
       try {
         write_frame(*sock, FrameType::kBusy,
                     encode_busy(options_.busy_retry_ms,
@@ -268,6 +288,7 @@ void MappingServer::accept_loop() {
                     options_.io_timeout_ms);
       } catch (const WireError&) {
       }
+      linger_close(*sock);
       requests_rejected_.fetch_add(1, std::memory_order_relaxed);
       serve_metrics().rejected_total.inc();
       continue;
@@ -299,28 +320,6 @@ void MappingServer::accept_loop() {
   }
   listener_->close();
 }
-
-namespace {
-
-/// Closing a socket with unread bytes pending makes the kernel send RST,
-/// which can destroy a just-queued ERROR frame before the peer reads it.
-/// Half-close instead and drain what the peer already sent (bounded), so
-/// the typed error is actually deliverable.
-void linger_close(Socket& sock) {
-  try {
-    sock.shutdown_write();
-    char discard[4096];
-    Timer elapsed;
-    while (elapsed.seconds() < 2.0) {
-      if (sock.recv_some(discard, sizeof discard, 500) == 0) break;
-    }
-  } catch (const WireError&) {
-    // Timeout or reset: the peer had its chance.
-  }
-  sock.close();
-}
-
-}  // namespace
 
 void MappingServer::send_error(Socket& sock, WireErrorCode code,
                                const std::string& msg) {
@@ -518,6 +517,12 @@ bool MappingServer::handle_map(Socket& sock, int conn_id,
       return true;
     });
     std::istream fastq_text(&chunk_buf);
+    // istream operations swallow streambuf exceptions into badbit, which
+    // getline reports as plain EOF — a WireError thrown mid-upload (timeout,
+    // oversized frame, disconnect) would silently truncate the batch and be
+    // answered with MAP_DONE.  With badbit in the exception mask, getline
+    // rethrows the original exception and the typed-error paths below apply.
+    fastq_text.exceptions(std::ios::badbit);
     FastqReadStream reads(fastq_text, session_->config().stream_batch,
                           phred_offset, "<wire>");
 

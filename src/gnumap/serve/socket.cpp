@@ -149,7 +149,11 @@ Socket connect_tcp(const std::string& host, std::uint16_t port,
   if (fd < 0) throw_errno("socket");
   Socket sock(fd);
 
-  // Non-blocking connect so the timeout is enforceable.
+  // Non-blocking from the start and forever after: poll+EAGAIN loops in
+  // send_all/recv_some do the waiting, so io_timeout_ms and cancel flags
+  // actually bound every operation.  A blocking ::send of a large frame
+  // could otherwise stall indefinitely once the peer's window fills,
+  // even after POLLOUT reported some space.
   const int flags = ::fcntl(fd, F_GETFL, 0);
   ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
   const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
@@ -174,7 +178,6 @@ Socket connect_tcp(const std::string& host, std::uint16_t port,
                           " failed: " + std::strerror(err));
     }
   }
-  ::fcntl(fd, F_SETFL, flags);
 
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
@@ -206,6 +209,10 @@ Listener::Listener(std::uint16_t port, bool bind_any, int backlog) {
     fd_ = -1;
     throw_errno("listen");
   }
+  // Nonblocking listener: a connection that resets between poll and accept
+  // must yield EAGAIN, not block the accept loop.
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
 }
 
 Listener::~Listener() { close(); }
@@ -226,6 +233,12 @@ std::optional<Socket> Listener::accept(int timeout_ms,
   }
   const int fd = ::accept(fd_, nullptr, nullptr);
   if (fd < 0) return std::nullopt;
+  // Accepted fds don't inherit O_NONBLOCK from the listener; set it so the
+  // poll+EAGAIN loops in send_all/recv_some bound every operation (a
+  // blocking ::send could otherwise pin a handler thread forever when a
+  // client stops reading, hanging the graceful drain).
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
   return Socket(fd);

@@ -410,6 +410,46 @@ TEST(Serve, FastqParseFailureReturnsTypedError) {
   server.wait();
 }
 
+TEST(Serve, TruncatedUploadAtRecordBoundaryIsTypedError) {
+  // Regression: a disconnect mid-upload that lands exactly on a FASTQ
+  // record boundary must NOT be treated as a clean end of input — that
+  // would map the partial batch and answer MAP_DONE success with silently
+  // truncated results.  Half-close keeps our read side open so the reply
+  // is observable.
+  const Workload w = make_workload(8000, 1.0);
+  MappingServer server(w.ref, serve_config(), test_options());
+  server.start();
+
+  Socket sock = raw_hello(server.port());
+  serve::write_frame(sock, FrameType::kMapBegin, std::string(1, '\0'), 5'000);
+  auto go = serve::read_frame(sock, serve::kDefaultMaxFrameBytes, 5'000);
+  ASSERT_TRUE(go.has_value());
+  ASSERT_EQ(go->type, FrameType::kMapGo);
+
+  // Exactly one complete 4-line record, then no MAP_END.
+  std::size_t pos = 0;
+  for (int nl = 0; nl < 4; ++nl) pos = w.fastq.find('\n', pos) + 1;
+  serve::write_frame(sock, FrameType::kReadsChunk, w.fastq.substr(0, pos),
+                     5'000);
+  sock.shutdown_write();
+
+  for (;;) {
+    auto frame = serve::read_frame(sock, serve::kDefaultMaxFrameBytes,
+                                   10'000);
+    ASSERT_TRUE(frame.has_value()) << "connection closed without ERROR";
+    ASSERT_NE(frame->type, FrameType::kMapDone)
+        << "truncated upload was answered with MAP_DONE success";
+    if (frame->type == FrameType::kError) {
+      EXPECT_EQ(serve::decode_error(frame->payload).first,
+                WireErrorCode::kClosed);
+      break;
+    }
+  }
+
+  server.request_stop();
+  server.wait();
+}
+
 // ---------------------------------------------------------------------------
 // Admission over the wire
 
