@@ -12,13 +12,27 @@
 //                       gnumap_snp_cli --out on the same reads
 //   --sam FILE          also request SAM records (identical to --sam)
 //   --stats             print the server's STATS snapshot and exit
+//   --health            print the server's HEALTH snapshot and exit
 //   --shutdown          ask the server to drain and exit
 //   --phred64           read qualities use the legacy +64 offset
 //   --busy-retries N    BUSY retries before giving up (default 10)
+//   --connect-retries N refused/failed connects to retry (default 0)
+//   --retries N         reconnect-and-retry attempts after a transport
+//                       failure, when the input rewinds (default 2)
+//   --deadline-ms N     hard wall-clock budget for the whole map() call,
+//                       propagated to the server (default 0 = unlimited)
+//   --backoff-base-ms N --backoff-max-ms N --backoff-total-ms N
+//                       jittered exponential backoff schedule
+//   --backoff-seed N    pin the backoff jitter (reproducible drills)
+//   --fault-plan SPEC   deterministic wire fault injection on this client's
+//                       sends, for chaos drills against a healthy server
+//                       (same grammar as gnumapd --fault-plan); also read
+//                       from the GNUMAP_WIRE_FAULT_PLAN environment variable
 //   --quiet             suppress the MAP_DONE summary
 //
 // Exit codes: 0 success, 1 error, 3 server stayed busy.
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -40,7 +54,10 @@ namespace {
   std::fprintf(stderr,
                "usage: %s --port N --reads reads.fastq [options]\n"
                "  --host H --port-file FILE --out FILE --sam FILE\n"
-               "  --stats --shutdown --phred64 --busy-retries N --quiet\n",
+               "  --stats --health --shutdown --phred64 --quiet\n"
+               "  --busy-retries N --connect-retries N --retries N\n"
+               "  --deadline-ms N --backoff-base-ms N --backoff-max-ms N\n"
+               "  --backoff-total-ms N --backoff-seed N --fault-plan SPEC\n",
                argv0);
   std::exit(2);
 }
@@ -51,8 +68,14 @@ int main(int argc, char** argv) {
   obs::strip_cli_flags(argc, argv);
   serve::ClientOptions options;
   std::string reads_path, out_path, sam_path, port_file;
-  bool want_stats = false, want_shutdown = false;
+  bool want_stats = false, want_health = false, want_shutdown = false;
   bool phred64 = false, quiet = false;
+  // Same escape hatch as gnumapd: the environment seeds the plan, an
+  // explicit --fault-plan overrides it.
+  std::string fault_spec;
+  if (const char* env = std::getenv("GNUMAP_WIRE_FAULT_PLAN")) {
+    fault_spec = env;
+  }
 
   auto need_value = [&](int& i) -> const char* {
     if (i + 1 >= argc) usage(argv[0], std::string(argv[i]) + " needs a value");
@@ -76,12 +99,35 @@ int main(int argc, char** argv) {
         sam_path = need_value(i);
       } else if (arg == "--stats") {
         want_stats = true;
+      } else if (arg == "--health") {
+        want_health = true;
       } else if (arg == "--shutdown") {
         want_shutdown = true;
       } else if (arg == "--phred64") {
         phred64 = true;
       } else if (arg == "--busy-retries") {
         options.busy_retries = static_cast<int>(parse_u64(need_value(i)));
+      } else if (arg == "--connect-retries") {
+        options.connect_retries = static_cast<int>(parse_u64(need_value(i)));
+      } else if (arg == "--retries") {
+        options.transport_retries =
+            static_cast<int>(parse_u64(need_value(i)));
+      } else if (arg == "--deadline-ms") {
+        options.deadline_ms =
+            static_cast<std::uint32_t>(parse_u64(need_value(i)));
+      } else if (arg == "--backoff-base-ms") {
+        options.backoff_base_ms =
+            static_cast<std::uint32_t>(parse_u64(need_value(i)));
+      } else if (arg == "--backoff-max-ms") {
+        options.backoff_max_ms =
+            static_cast<std::uint32_t>(parse_u64(need_value(i)));
+      } else if (arg == "--backoff-total-ms") {
+        options.backoff_total_ms =
+            static_cast<std::uint32_t>(parse_u64(need_value(i)));
+      } else if (arg == "--backoff-seed") {
+        options.backoff_seed = parse_u64(need_value(i));
+      } else if (arg == "--fault-plan") {
+        fault_spec = need_value(i);
       } else if (arg == "--quiet") {
         quiet = true;
       } else if (arg == "--help" || arg == "-h") {
@@ -99,8 +145,12 @@ int main(int argc, char** argv) {
       options.port = static_cast<std::uint16_t>(port);
     }
     if (options.port == 0) usage(argv[0], "--port or --port-file required");
-    if (reads_path.empty() && !want_stats && !want_shutdown) {
-      usage(argv[0], "--reads (or --stats / --shutdown) required");
+    if (!fault_spec.empty()) {
+      options.fault_plan = serve::WireFaultPlan::parse(fault_spec);
+    }
+    if (reads_path.empty() && !want_stats && !want_health &&
+        !want_shutdown) {
+      usage(argv[0], "--reads (or --stats / --health / --shutdown) required");
     }
 
     serve::MappingClient client(options);
@@ -152,12 +202,19 @@ int main(int argc, char** argv) {
         for (const auto& [key, value] : outcome.stats) {
           summary << " " << key << "=" << value;
         }
+        if (outcome.attempts > 1 || outcome.reconnects > 0) {
+          summary << " attempts=" << outcome.attempts
+                  << " busy_answers=" << outcome.busy_answers
+                  << " reconnects=" << outcome.reconnects
+                  << " backoff_ms=" << outcome.backoff_ms;
+        }
         std::fprintf(stderr, "gnumap_client: done%s\n",
                      summary.str().c_str());
       }
     }
 
     if (want_stats) std::cout << client.stats();
+    if (want_health) std::cout << client.health();
     if (want_shutdown) client.shutdown_server();
     return 0;
   } catch (const Error& e) {

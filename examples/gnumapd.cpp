@@ -15,7 +15,17 @@
 //   --admission-reads N admission window: total in-flight reads (default 1M)
 //   --per-conn-reads N  per-connection share of the window (default 0 = all)
 //   --io-timeout-ms N   per-frame socket deadline (default 30000)
-//   --request-timeout-ms N  whole-request deadline (default 300000, 0 = off)
+//   --request-timeout-ms N  whole-request deadline (default 300000, 0 = off;
+//                       the tighter of this and the client's MAP_BEGIN
+//                       deadline wins)
+//   --busy-retry-ms N   base BUSY retry hint (default 250); scaled by queue
+//                       depth up to --busy-retry-max-ms (default 10000)
+//   --max-conn-seconds S  per-connection lifetime budget (0 = unlimited)
+//   --max-conn-bytes N  per-connection receive budget (0 = unlimited)
+//   --fault-plan SPEC   deterministic wire fault injection for chaos drills
+//                       (fault_shim.hpp grammar, e.g. "corrupt@4096,
+//                       stall@0:250,disconnect@65536"); defaults to the
+//                       GNUMAP_WIRE_FAULT_PLAN environment variable
 //   --alpha X --fdr Q --ploidy 1|2 --kmer K --accum KIND --threads N
 //   --batch N --queue-depth N --min-coverage X   (as in gnumap_snp_cli)
 //   --quiet             suppress progress logging
@@ -27,8 +37,11 @@
 #include <atomic>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
+
+#include "gnumap/serve/fault_shim.hpp"
 
 #include "gnumap/io/fasta.hpp"
 #include "gnumap/obs/obs_cli.hpp"
@@ -58,6 +71,8 @@ void drain_handler(int) {
                "  --port N --port-file FILE --bind-any\n"
                "  --max-connections N --admission-reads N --per-conn-reads N\n"
                "  --io-timeout-ms N --request-timeout-ms N\n"
+               "  --busy-retry-ms N --busy-retry-max-ms N\n"
+               "  --max-conn-seconds S --max-conn-bytes N --fault-plan SPEC\n"
                "  --alpha X --fdr Q --ploidy 1|2 --kmer K\n"
                "  --accum norm|chardisc|centdisc --threads N\n"
                "  --batch N --queue-depth N --min-coverage X --quiet\n"
@@ -75,6 +90,12 @@ int main(int argc, char** argv) {
   config.index.k = 10;
   serve::ServeOptions options;
   bool quiet = false;
+  // Chaos drills default to the environment so a supervisor can batter a
+  // whole fleet without touching each unit's command line.
+  std::string fault_spec;
+  if (const char* env = std::getenv("GNUMAP_WIRE_FAULT_PLAN")) {
+    fault_spec = env;
+  }
 
   auto need_value = [&](int& i) -> const char* {
     if (i + 1 >= argc) usage(argv[0], std::string(argv[i]) + " needs a value");
@@ -103,6 +124,18 @@ int main(int argc, char** argv) {
       } else if (arg == "--request-timeout-ms") {
         options.request_timeout_ms =
             static_cast<int>(parse_u64(need_value(i)));
+      } else if (arg == "--busy-retry-ms") {
+        options.busy_retry_ms =
+            static_cast<std::uint32_t>(parse_u64(need_value(i)));
+      } else if (arg == "--busy-retry-max-ms") {
+        options.busy_retry_max_ms =
+            static_cast<std::uint32_t>(parse_u64(need_value(i)));
+      } else if (arg == "--max-conn-seconds") {
+        options.max_connection_seconds = parse_double(need_value(i));
+      } else if (arg == "--max-conn-bytes") {
+        options.max_connection_bytes = parse_u64(need_value(i));
+      } else if (arg == "--fault-plan") {
+        fault_spec = need_value(i);
       } else if (arg == "--alpha") {
         config.alpha = parse_double(need_value(i));
       } else if (arg == "--fdr") {
@@ -139,6 +172,9 @@ int main(int argc, char** argv) {
       }
     }
     if (ref_path.empty()) usage(argv[0], "--ref is required");
+    if (!fault_spec.empty()) {
+      options.fault_plan = serve::WireFaultPlan::parse(fault_spec);
+    }
     set_log_level(quiet ? LogLevel::kWarn : LogLevel::kInfo);
 
     const Genome reference = genome_from_fasta_file(ref_path);

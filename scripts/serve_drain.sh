@@ -1,0 +1,101 @@
+#!/bin/sh
+# Graceful-drain test for gnumapd: SIGTERM lands while a MAP request's
+# upload is still in flight (fed through a FIFO so the timing is under our
+# control).  The contract: the admitted request either runs to completion
+# with byte-identical output or the client sees a typed error — never a
+# bare connection reset — and the server itself always drains and exits 0.
+#
+#   serve_drain.sh SIM_CLI SNP_CLI GNUMAPD GNUMAP_CLIENT WORKDIR
+set -eu
+
+SIM_CLI=$1
+SNP_CLI=$2
+GNUMAPD=$3
+CLIENT=$4
+WORK=$5
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+SERVER_PID=
+
+dump_server_log() {
+  if [ -s "$WORK/server.log" ]; then
+    echo "serve_drain: ---- server log ----" >&2
+    cat "$WORK/server.log" >&2
+    echo "serve_drain: ---- end server log ----" >&2
+  fi
+}
+
+fail() {
+  echo "serve_drain: $1" >&2
+  dump_server_log
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  exit 1
+}
+
+"$SIM_CLI" --out "$WORK/sim" --length 60000 --coverage 8
+
+"$SNP_CLI" --ref "$WORK/sim/reference.fa" --reads "$WORK/sim/reads.fastq" \
+  --out "$WORK/offline.tsv" --threads 2 --quiet
+
+"$GNUMAPD" --ref "$WORK/sim/reference.fa" --threads 2 \
+  --port-file "$WORK/port" > "$WORK/server.log" 2>&1 &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+tries=0
+while [ ! -s "$WORK/port" ]; do
+  kill -0 "$SERVER_PID" 2>/dev/null || fail "server died before listening"
+  tries=$((tries + 1))
+  [ "$tries" -gt 300 ] && fail "server never wrote its port file"
+  sleep 0.1
+done
+
+# Feed the upload through a FIFO: write half the reads, SIGTERM the server
+# mid-request, then finish the upload.
+mkfifo "$WORK/reads.fifo"
+FASTQ="$WORK/sim/reads.fastq"
+TOTAL_LINES=$(wc -l < "$FASTQ")
+# First half, rounded down to a 4-line FASTQ record boundary.
+HALF_LINES=$(( (TOTAL_LINES / 2) / 4 * 4 ))
+
+"$CLIENT" --port-file "$WORK/port" --reads "$WORK/reads.fifo" \
+  --out "$WORK/served.tsv" --deadline-ms 120000 --quiet \
+  > "$WORK/client.log" 2>&1 &
+CLIENT_PID=$!
+
+{
+  head -n "$HALF_LINES" "$FASTQ"
+  # Let the half-upload reach the server before the drain begins.
+  sleep 1
+  kill -TERM "$SERVER_PID"
+  sleep 0.5
+  tail -n +"$((HALF_LINES + 1))" "$FASTQ"
+} > "$WORK/reads.fifo"
+
+CLIENT_STATUS=0
+wait "$CLIENT_PID" || CLIENT_STATUS=$?
+
+# The server must exit 0 through its normal drain path, SIGTERM or not.
+wait "$SERVER_PID" || fail "server exited nonzero after SIGTERM drain"
+SERVER_PID=
+trap - EXIT
+
+if [ "$CLIENT_STATUS" -eq 0 ]; then
+  # The admitted request ran to completion during the drain: its bytes
+  # must still match the offline pipeline.
+  cmp "$WORK/offline.tsv" "$WORK/served.tsv" \
+    || fail "drained request completed but output differs from offline CLI"
+  echo "serve_drain: OK (in-flight request completed byte-identical)"
+elif [ "$CLIENT_STATUS" -ge 126 ]; then
+  # 126+/128+n means crashed or signalled — a bare reset, not a typed error.
+  dump_server_log
+  cat "$WORK/client.log" >&2 || true
+  fail "client died abnormally (status $CLIENT_STATUS) instead of a typed error"
+else
+  # Nonzero but orderly: must carry a typed gnumap_client error message.
+  grep -q "^gnumap_client: " "$WORK/client.log" \
+    || fail "client failed (status $CLIENT_STATUS) without a typed error message"
+  echo "serve_drain: OK (in-flight request got a typed error during drain)"
+fi

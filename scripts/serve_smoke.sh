@@ -4,6 +4,12 @@
 # offline gnumap_snp_cli, and require byte-identical TSV and SAM outputs,
 # then shut the server down gracefully and check it exits 0.
 #
+# Fails fast: every client call runs under a hard deadline, and any
+# timeout or mismatch dumps the server log before exiting, so a wedged
+# run leaves a diagnosis instead of a hung CI job.  GNUMAP_WIRE_FAULT_PLAN
+# is honoured by gnumapd, so the same script doubles as the chaos-matrix
+# driver.
+#
 #   serve_smoke.sh SIM_CLI SNP_CLI GNUMAPD GNUMAP_CLIENT WORKDIR
 set -eu
 
@@ -13,8 +19,29 @@ GNUMAPD=$3
 CLIENT=$4
 WORK=$5
 
+# Bound every client transaction; generous, because CI machines are slow
+# and a fault plan may be stalling the wire on purpose.
+CLIENT_DEADLINE_MS=${SERVE_SMOKE_DEADLINE_MS:-120000}
+
 rm -rf "$WORK"
 mkdir -p "$WORK"
+
+SERVER_PID=
+
+dump_server_log() {
+  if [ -s "$WORK/server.log" ]; then
+    echo "serve_smoke: ---- server log ----" >&2
+    cat "$WORK/server.log" >&2
+    echo "serve_smoke: ---- end server log ----" >&2
+  fi
+}
+
+fail() {
+  echo "serve_smoke: $1" >&2
+  dump_server_log
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  exit 1
+}
 
 "$SIM_CLI" --out "$WORK/sim" --length 60000 --coverage 8
 
@@ -22,32 +49,42 @@ mkdir -p "$WORK"
   --out "$WORK/offline.tsv" --sam "$WORK/offline.sam" --threads 2 --quiet
 
 "$GNUMAPD" --ref "$WORK/sim/reference.fa" --threads 2 \
-  --port-file "$WORK/port" --quiet &
+  --port-file "$WORK/port" > "$WORK/server.log" 2>&1 &
 SERVER_PID=$!
 trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
 
 # Wait for the port file (the index build happens before listening).
 tries=0
 while [ ! -s "$WORK/port" ]; do
+  kill -0 "$SERVER_PID" 2>/dev/null || fail "server died before listening"
   tries=$((tries + 1))
   if [ "$tries" -gt 300 ]; then
-    echo "serve_smoke: server never wrote its port file" >&2
-    exit 1
+    fail "server never wrote its port file (timed out after 30 s)"
   fi
   sleep 0.1
 done
 
 "$CLIENT" --port-file "$WORK/port" --reads "$WORK/sim/reads.fastq" \
-  --out "$WORK/served.tsv" --sam "$WORK/served.sam" --quiet
+  --out "$WORK/served.tsv" --sam "$WORK/served.sam" \
+  --deadline-ms "$CLIENT_DEADLINE_MS" --connect-retries 5 --quiet \
+  || fail "map request failed"
 
-cmp "$WORK/offline.tsv" "$WORK/served.tsv"
-cmp "$WORK/offline.sam" "$WORK/served.sam"
+cmp "$WORK/offline.tsv" "$WORK/served.tsv" \
+  || fail "served TSV differs from the offline CLI"
+cmp "$WORK/offline.sam" "$WORK/served.sam" \
+  || fail "served SAM differs from the offline CLI"
 
-"$CLIENT" --port-file "$WORK/port" --stats > "$WORK/stats.txt"
-grep -q "^requests_total=" "$WORK/stats.txt"
+"$CLIENT" --port-file "$WORK/port" --health > "$WORK/health.txt" \
+  || fail "HEALTH probe failed"
+grep -q "^ready=1" "$WORK/health.txt" || fail "server not ready after a map"
 
-"$CLIENT" --port-file "$WORK/port" --shutdown
-wait "$SERVER_PID"
+"$CLIENT" --port-file "$WORK/port" --stats > "$WORK/stats.txt" \
+  || fail "STATS probe failed"
+grep -q "^requests_total=" "$WORK/stats.txt" || fail "stats missing counters"
+
+"$CLIENT" --port-file "$WORK/port" --shutdown || fail "SHUTDOWN failed"
+wait "$SERVER_PID" || fail "server exited nonzero after drain"
+SERVER_PID=
 trap - EXIT
 
 echo "serve_smoke: OK (served output byte-identical to offline CLI)"

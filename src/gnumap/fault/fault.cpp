@@ -1,4 +1,4 @@
-#include "gnumap/mpsim/fault.hpp"
+#include "gnumap/fault/fault.hpp"
 
 #include <random>
 

@@ -1,0 +1,128 @@
+// Deterministic fault injection: the shared plan/state core.
+//
+// The paper ran GNUMAP over MPI on a 30-node cluster, where node failure and
+// message loss are the dominant operational risk.  This module is the
+// fault-injection core shared by every chaos surface in the repository: the
+// mpsim runtime consumes FaultPlan/FaultState directly (rank crashes,
+// message drops/delays, stragglers), and the serving stack's wire-level shim
+// (serve/fault_shim.hpp) reuses the same seeded-plan / one-shot-event model
+// for socket faults.  This module lets tests and benches script faults
+// against the in-process substrate:
+//
+//  * crash a rank at a chosen step (a "step" is one communicator operation —
+//    send/recv/collective — or one application-reported progress tick via
+//    Communicator::step(), so crashes can land mid-compute between
+//    checkpoints);
+//  * drop an individual message (it is counted as sent — lost on the wire —
+//    but never delivered, so the receiver times out);
+//  * delay an individual message by a fixed interval (the sender's link
+//    stalls before delivery);
+//  * slow a rank's compute by a factor (scales the rank's attributed compute
+//    time in the cost model, modeling a straggler node).
+//
+// Plans are either scripted event-by-event or generated from a seed
+// (FaultPlan::random) for chaos testing.  A FaultState instance tracks which
+// one-shot events (crash/drop/delay) have fired; it is shared across restart
+// attempts so a consumed fault does not re-fire on the replacement rank —
+// the transient-fault model under which checkpoint/restart converges.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "gnumap/util/error.hpp"
+
+namespace gnumap {
+
+/// Thrown by the communicator on the rank a kCrash event targets; derives
+/// from CommError so recovery loops treat it like any other comm failure.
+class InjectedCrash : public CommError {
+ public:
+  InjectedCrash(const std::string& what, int rank)
+      : CommError(what), rank_(rank) {}
+  int rank() const { return rank_; }
+
+ private:
+  int rank_;
+};
+
+enum class FaultKind : std::uint8_t {
+  kCrash,        ///< rank throws InjectedCrash at step `at`
+  kDropMessage,  ///< rank's `at`-th outgoing message is never delivered
+  kDelayMessage, ///< rank's `at`-th outgoing message is delayed by `seconds`
+  kSlowCompute,  ///< rank's attributed compute time is scaled by `factor`
+};
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  int rank = 0;          ///< the afflicted rank (sender, for message faults)
+  std::uint64_t at = 0;  ///< step index (kCrash) or send index (drop/delay)
+  double seconds = 0.0;  ///< kDelayMessage: delivery delay
+  double factor = 1.0;   ///< kSlowCompute: compute-time multiplier
+};
+
+/// Options for FaultPlan::random.
+struct RandomFaultOptions {
+  int crashes = 1;
+  int drops = 1;
+  int delays = 1;
+  std::uint64_t max_step = 64;     ///< crash steps drawn from [1, max_step]
+  std::uint64_t max_send = 24;     ///< drop/delay send indices from [0, max_send)
+  double max_delay_seconds = 5e-3;
+};
+
+/// An ordered list of fault events; immutable once handed to a FaultState.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  FaultPlan& crash(int rank, std::uint64_t at_step);
+  FaultPlan& drop(int rank, std::uint64_t at_send);
+  FaultPlan& delay(int rank, std::uint64_t at_send, double seconds);
+  FaultPlan& slow(int rank, double factor);
+
+  /// Deterministic chaos plan: same (seed, world_size, options) always
+  /// yields the same events.
+  static FaultPlan random(std::uint64_t seed, int world_size,
+                          const RandomFaultOptions& options = {});
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// Runtime state of a plan: consults events and consumes one-shot ones.
+/// Shared by every rank of a world and across restart attempts; all methods
+/// are thread-safe.
+class FaultState {
+ public:
+  explicit FaultState(FaultPlan plan);
+
+  /// True exactly once for the (rank, step) a pending kCrash event names.
+  bool should_crash(int rank, std::uint64_t step);
+
+  enum class SendAction : std::uint8_t { kDeliver, kDrop };
+  /// Consumes a matching drop/delay event for this rank's `send_index`-th
+  /// outgoing message; on kDeliver, `*delay_seconds` holds any injected
+  /// link stall (0 if none).
+  SendAction on_send(int rank, std::uint64_t send_index,
+                     double* delay_seconds);
+
+  /// Product of kSlowCompute factors for this rank (persistent; a slow node
+  /// stays slow across restarts).
+  double compute_scale(int rank) const;
+
+  /// Number of one-shot events that have fired so far.
+  std::uint64_t fired_count() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<FaultEvent> events_;
+  std::vector<char> fired_;
+};
+
+}  // namespace gnumap

@@ -1,12 +1,35 @@
 #include "gnumap/serve/client.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <exception>
 #include <thread>
 #include <utility>
 
+#include "gnumap/obs/metrics.hpp"
+
 namespace gnumap::serve {
+
+namespace {
+
+/// Client-side retry counter (BUSY backoff rounds + reconnects), exported
+/// alongside the server's gnumap_serve_* series.
+obs::Counter& retries_metric() {
+  static obs::Counter& counter = obs::registry().counter(
+      "gnumap_serve_retries_total",
+      "Client-side retries: BUSY backoff rounds and reconnects");
+  return counter;
+}
+
+bool transport_retryable(WireErrorCode code) {
+  // Peer resets and damaged replies are worth a reconnect; typed server
+  // verdicts (parse failures, protocol violations, evictions) are not —
+  // they would just repeat.
+  return code == WireErrorCode::kClosed || code == WireErrorCode::kCorrupt;
+}
+
+}  // namespace
 
 std::map<std::string, std::string> parse_kv_lines(std::string_view text) {
   std::map<std::string, std::string> kv;
@@ -27,7 +50,69 @@ std::map<std::string, std::string> parse_kv_lines(std::string_view text) {
 
 MappingClient::MappingClient(const ClientOptions& options)
     : options_(options),
-      sock_(connect_tcp(options.host, options.port, options.io_timeout_ms)) {
+      rng_(options.backoff_seed != 0 ? options.backoff_seed
+                                     : std::random_device{}()),
+      injector_(make_injector(options.fault_plan)) {
+  const Timer call_timer;
+  establish(nullptr, call_timer);
+}
+
+int MappingClient::bounded_timeout(int base_ms,
+                                   const Timer& call_timer) const {
+  if (options_.deadline_ms == 0) return base_ms;
+  const std::int64_t remaining =
+      static_cast<std::int64_t>(options_.deadline_ms) -
+      static_cast<std::int64_t>(call_timer.seconds() * 1000.0);
+  if (remaining <= 0) {
+    throw WireError(WireErrorCode::kTimeout,
+                    "client deadline of " +
+                        std::to_string(options_.deadline_ms) +
+                        " ms exceeded");
+  }
+  if (base_ms <= 0) return static_cast<int>(remaining);
+  return static_cast<int>(
+      std::min<std::int64_t>(base_ms, remaining));
+}
+
+bool MappingClient::backoff_sleep(std::uint32_t hint_ms, int consecutive,
+                                  MapOutcome& outcome,
+                                  const Timer& call_timer) {
+  // Exponential base, floored by the server's hint: a saturated server's
+  // queue-depth-scaled hint wins over our own schedule.
+  std::uint64_t delay = std::max<std::uint64_t>(1, options_.backoff_base_ms);
+  for (int i = 0; i < consecutive && delay < options_.backoff_max_ms; ++i) {
+    delay *= 2;
+  }
+  delay = std::min<std::uint64_t>(delay, options_.backoff_max_ms);
+  delay = std::max<std::uint64_t>(delay, hint_ms);
+  // Full-range-halved jitter: [0.5, 1.0] of the computed delay, so a herd
+  // of clients released by the same BUSY wave spreads out.
+  std::uniform_real_distribution<double> jitter(0.5, 1.0);
+  delay = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(static_cast<double>(delay) *
+                                    jitter(rng_)));
+
+  if (options_.backoff_total_ms > 0 &&
+      outcome.backoff_ms + delay > options_.backoff_total_ms) {
+    return false;  // cumulative budget spent
+  }
+  if (options_.deadline_ms > 0) {
+    const std::int64_t remaining =
+        static_cast<std::int64_t>(options_.deadline_ms) -
+        static_cast<std::int64_t>(call_timer.seconds() * 1000.0);
+    if (remaining <= static_cast<std::int64_t>(delay)) return false;
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+  outcome.backoff_ms += delay;
+  retries_metric().inc();
+  return true;
+}
+
+std::optional<std::uint32_t> MappingClient::connect_and_handshake() {
+  sock_ = connect_tcp(options_.host, options_.port, options_.io_timeout_ms);
+  // The injector (and the events it has already fired) outlives the
+  // socket: reconnects do not replay consumed faults.
+  if (injector_) sock_.set_fault_injector(injector_);
   write_frame(sock_, FrameType::kHello,
               encode_hello(kProtocolVersion, options_.name),
               options_.io_timeout_ms);
@@ -39,9 +124,7 @@ MappingClient::MappingClient(const ClientOptions& options)
   }
   if (reply->type == FrameType::kBusy) {
     const auto [retry_ms, msg] = decode_busy(reply->payload);
-    throw WireError(WireErrorCode::kShuttingDown,
-                    "server busy: " + msg + " (retry after " +
-                        std::to_string(retry_ms) + " ms)");
+    return retry_ms;  // connection-limit refusal; caller may back off
   }
   if (reply->type == FrameType::kError) {
     const auto [code, msg] = decode_error(reply->payload);
@@ -53,13 +136,49 @@ MappingClient::MappingClient(const ClientOptions& options)
                         std::to_string(static_cast<int>(reply->type)));
   }
   const auto [version, banner] = decode_hello(reply->payload);
-  if (version != kProtocolVersion) {
+  if (version < kMinProtocolVersion || version > kProtocolVersion) {
     throw WireError(WireErrorCode::kBadVersion,
-                    "server speaks protocol version " +
+                    "server negotiated protocol version " +
                         std::to_string(version) + ", client speaks " +
+                        std::to_string(kMinProtocolVersion) + ".." +
                         std::to_string(kProtocolVersion));
   }
+  version_ = version;
   banner_ = banner;
+  return std::nullopt;
+}
+
+void MappingClient::establish(MapOutcome* outcome, const Timer& call_timer) {
+  MapOutcome scratch;
+  MapOutcome& acc = outcome != nullptr ? *outcome : scratch;
+  for (int attempt = 0;; ++attempt) {
+    std::uint32_t hint_ms = 0;
+    try {
+      const auto busy = connect_and_handshake();
+      if (!busy.has_value()) return;  // connected and negotiated
+      hint_ms = *busy;
+      ++acc.busy_answers;
+      if (attempt >= options_.connect_retries) {
+        throw WireError(WireErrorCode::kShuttingDown,
+                        "server busy: connection limit reached (retry "
+                        "after " +
+                            std::to_string(hint_ms) + " ms)");
+      }
+    } catch (const WireError& e) {
+      sock_.close();
+      // A damaged handshake (kCorrupt) is as transient as a reset: nothing
+      // has been committed, so a fresh connection is always safe.
+      const bool retryable = e.code() == WireErrorCode::kClosed ||
+                             e.code() == WireErrorCode::kTimeout ||
+                             e.code() == WireErrorCode::kCorrupt;
+      if (!retryable || attempt >= options_.connect_retries) throw;
+    }
+    if (!backoff_sleep(hint_ms, attempt, acc, call_timer)) {
+      throw WireError(WireErrorCode::kTimeout,
+                      "connect retry budget exhausted after " +
+                          std::to_string(acc.backoff_ms) + " ms of backoff");
+    }
+  }
 }
 
 MapOutcome MappingClient::map(std::istream& fastq, std::ostream& tsv_out,
@@ -68,15 +187,57 @@ MapOutcome MappingClient::map(std::istream& fastq, std::ostream& tsv_out,
   if (sam_out != nullptr) flags |= kFlagWantSam;
   if (phred64) flags |= kFlagPhred64;
 
-  // Admission: MAP_BEGIN until MAP_GO (no reads sent yet, so BUSY retries
-  // are free).
+  const Timer call_timer;
   MapOutcome outcome;
+  const std::istream::pos_type rewind_pos = fastq.tellg();
+
+  for (int reconnect = 0;; ++reconnect) {
+    try {
+      map_once(fastq, tsv_out, sam_out, flags, outcome, call_timer);
+      return outcome;
+    } catch (const WireError& e) {
+      // Reconnect-and-retry only while the request is idempotent: the
+      // input rewinds and no result bytes reached the caller's streams.
+      const bool idempotent =
+          rewind_pos != std::istream::pos_type(-1) &&
+          outcome.tsv_bytes == 0 && outcome.sam_bytes == 0;
+      if (!transport_retryable(e.code()) || !idempotent ||
+          reconnect >= options_.transport_retries) {
+        throw;
+      }
+      fastq.clear();
+      fastq.seekg(rewind_pos);
+      if (!fastq.good()) throw;
+      if (!backoff_sleep(0, reconnect, outcome, call_timer)) throw;
+      sock_.close();
+      ++outcome.reconnects;
+      retries_metric().inc();
+      establish(&outcome, call_timer);
+    }
+  }
+}
+
+void MappingClient::map_once(std::istream& fastq, std::ostream& tsv_out,
+                             std::ostream* sam_out, std::uint8_t flags,
+                             MapOutcome& outcome, const Timer& call_timer) {
+  // Admission: MAP_BEGIN until MAP_GO (no reads sent yet, so BUSY retries
+  // are free).  The deadline sent along is what remains of ours, so the
+  // server stops working the moment nobody is waiting.
+  outcome.busy = false;
   for (int attempt = 0;; ++attempt) {
+    ++outcome.attempts;
+    std::uint32_t server_deadline_ms = 0;
+    if (options_.deadline_ms > 0) {
+      server_deadline_ms = static_cast<std::uint32_t>(std::max<std::int64_t>(
+          1, static_cast<std::int64_t>(options_.deadline_ms) -
+                 static_cast<std::int64_t>(call_timer.seconds() * 1000.0)));
+    }
     write_frame(sock_, FrameType::kMapBegin,
-                std::string(1, static_cast<char>(flags)),
-                options_.io_timeout_ms);
+                encode_map_begin(flags, server_deadline_ms),
+                bounded_timeout(options_.io_timeout_ms, call_timer));
     auto reply = read_frame(sock_, options_.max_frame_bytes,
-                            options_.io_timeout_ms);
+                            bounded_timeout(options_.io_timeout_ms,
+                                            call_timer));
     if (!reply.has_value()) {
       throw WireError(WireErrorCode::kClosed,
                       "server closed the connection after MAP_BEGIN");
@@ -84,12 +245,12 @@ MapOutcome MappingClient::map(std::istream& fastq, std::ostream& tsv_out,
     if (reply->type == FrameType::kMapGo) break;
     if (reply->type == FrameType::kBusy) {
       const auto [retry_ms, msg] = decode_busy(reply->payload);
-      if (attempt >= options_.busy_retries) {
+      ++outcome.busy_answers;
+      if (attempt >= options_.busy_retries ||
+          !backoff_sleep(retry_ms, attempt, outcome, call_timer)) {
         outcome.busy = true;
-        return outcome;
+        return;
       }
-      std::this_thread::sleep_for(std::chrono::milliseconds(
-          retry_ms > 0 ? retry_ms : 50u));
       continue;
     }
     if (reply->type == FrameType::kError) {
@@ -136,8 +297,9 @@ MapOutcome MappingClient::map(std::istream& fastq, std::ostream& tsv_out,
 
   try {
     for (;;) {
-      auto frame = read_frame(sock_, options_.max_frame_bytes,
-                              options_.result_timeout_ms);
+      auto frame =
+          read_frame(sock_, options_.max_frame_bytes,
+                     bounded_timeout(options_.result_timeout_ms, call_timer));
       if (!frame.has_value()) {
         throw WireError(WireErrorCode::kClosed,
                         "server closed the connection mid-request");
@@ -160,7 +322,7 @@ MapOutcome MappingClient::map(std::istream& fastq, std::ostream& tsv_out,
           outcome.stats = parse_kv_lines(frame->payload);
           // A completed request means the server consumed the whole
           // upload, so a latched sender error cannot matter here.
-          return outcome;
+          return;
         case FrameType::kError: {
           const auto [code, msg] = decode_error(frame->payload);
           throw WireError(code, msg);
@@ -188,6 +350,16 @@ std::string MappingClient::stats() {
                           options_.io_timeout_ms);
   if (!reply.has_value() || reply->type != FrameType::kStatsOk) {
     throw WireError(WireErrorCode::kProtocol, "STATS request failed");
+  }
+  return std::move(reply->payload);
+}
+
+std::string MappingClient::health() {
+  write_frame(sock_, FrameType::kHealth, "", options_.io_timeout_ms);
+  auto reply = read_frame(sock_, options_.max_frame_bytes,
+                          options_.io_timeout_ms);
+  if (!reply.has_value() || reply->type != FrameType::kHealthOk) {
+    throw WireError(WireErrorCode::kProtocol, "HEALTH request failed");
   }
   return std::move(reply->payload);
 }

@@ -1,0 +1,340 @@
+#include "gnumap/serve/fault_shim.hpp"
+
+#include <algorithm>
+#include <random>
+#include <sstream>
+
+#include "gnumap/util/error.hpp"
+
+namespace gnumap::serve {
+
+const char* wire_fault_kind_name(WireFaultKind kind) {
+  switch (kind) {
+    case WireFaultKind::kDisconnect: return "disconnect";
+    case WireFaultKind::kTruncate: return "truncate";
+    case WireFaultKind::kCorrupt: return "corrupt";
+    case WireFaultKind::kStall: return "stall";
+    case WireFaultKind::kShortWrites: return "short";
+    case WireFaultKind::kDelayAccept: return "accept-delay";
+  }
+  return "unknown";
+}
+
+WireFaultPlan& WireFaultPlan::disconnect_at(std::uint64_t tx_offset) {
+  events_.push_back({WireFaultKind::kDisconnect, tx_offset, 0, 0.0});
+  return *this;
+}
+
+WireFaultPlan& WireFaultPlan::truncate_at(std::uint64_t tx_offset,
+                                          std::uint64_t drop) {
+  require(drop > 0, "WireFaultPlan::truncate_at: drop must be >= 1");
+  events_.push_back({WireFaultKind::kTruncate, tx_offset, drop, 0.0});
+  return *this;
+}
+
+WireFaultPlan& WireFaultPlan::corrupt_at(std::uint64_t tx_offset,
+                                         std::uint8_t xor_mask) {
+  require(xor_mask != 0, "WireFaultPlan::corrupt_at: mask must be nonzero");
+  events_.push_back({WireFaultKind::kCorrupt, tx_offset, xor_mask, 0.0});
+  return *this;
+}
+
+WireFaultPlan& WireFaultPlan::stall_at(std::uint64_t tx_offset,
+                                       double seconds) {
+  require(seconds >= 0.0, "WireFaultPlan::stall_at: seconds must be >= 0");
+  events_.push_back({WireFaultKind::kStall, tx_offset, 0, seconds});
+  return *this;
+}
+
+WireFaultPlan& WireFaultPlan::short_writes(std::uint64_t from_tx_offset,
+                                           std::uint64_t chunk_bytes,
+                                           double pause_seconds) {
+  require(chunk_bytes > 0, "WireFaultPlan::short_writes: chunk must be >= 1");
+  require(pause_seconds >= 0.0,
+          "WireFaultPlan::short_writes: pause must be >= 0");
+  events_.push_back({WireFaultKind::kShortWrites, from_tx_offset, chunk_bytes,
+                     pause_seconds});
+  return *this;
+}
+
+WireFaultPlan& WireFaultPlan::delay_accept(double seconds) {
+  require(seconds >= 0.0, "WireFaultPlan::delay_accept: seconds must be >= 0");
+  events_.push_back({WireFaultKind::kDelayAccept, 0, 0, seconds});
+  return *this;
+}
+
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& token, const std::string& why) {
+  throw ConfigError("wire fault spec: bad token '" + token + "': " + why);
+}
+
+std::uint64_t spec_u64(const std::string& token, const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const std::uint64_t v = std::stoull(text, &used, 0);  // base 0: 0x ok
+    if (used != text.size()) bad_spec(token, "trailing junk in '" + text + "'");
+    return v;
+  } catch (const ConfigError&) {
+    throw;
+  } catch (const std::exception&) {
+    bad_spec(token, "not a number: '" + text + "'");
+  }
+}
+
+/// Splits "kind@at:a:b" into kind, optional @at, and ':'-separated args.
+struct SpecToken {
+  std::string kind;
+  bool has_at = false;
+  std::uint64_t at = 0;
+  std::vector<std::string> args;
+};
+
+SpecToken split_token(const std::string& token) {
+  SpecToken out;
+  std::string head = token;
+  // Peel ':'-separated args off the tail first; '@' binds tighter.
+  const std::size_t at_pos = token.find('@');
+  std::size_t colon_from = at_pos == std::string::npos ? 0 : at_pos;
+  std::size_t colon = token.find(':', colon_from);
+  if (colon != std::string::npos) {
+    head = token.substr(0, colon);
+    std::size_t start = colon + 1;
+    while (start <= token.size()) {
+      std::size_t end = token.find(':', start);
+      if (end == std::string::npos) end = token.size();
+      out.args.push_back(token.substr(start, end - start));
+      start = end + 1;
+    }
+  }
+  const std::size_t at_in_head = head.find('@');
+  if (at_in_head != std::string::npos) {
+    out.has_at = true;
+    out.at = spec_u64(token, head.substr(at_in_head + 1));
+    head = head.substr(0, at_in_head);
+  }
+  out.kind = head;
+  return out;
+}
+
+}  // namespace
+
+WireFaultPlan WireFaultPlan::parse(const std::string& spec) {
+  WireFaultPlan plan;
+  std::size_t start = 0;
+  while (start < spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string token = spec.substr(start, end - start);
+    start = end + 1;
+    if (token.empty()) continue;
+    const SpecToken t = split_token(token);
+
+    if (t.kind == "disconnect") {
+      if (!t.has_at || !t.args.empty()) bad_spec(token, "want disconnect@N");
+      plan.disconnect_at(t.at);
+    } else if (t.kind == "truncate") {
+      if (!t.has_at || t.args.size() != 1) bad_spec(token, "want truncate@N:D");
+      plan.truncate_at(t.at, spec_u64(token, t.args[0]));
+    } else if (t.kind == "corrupt") {
+      if (!t.has_at || t.args.size() > 1) {
+        bad_spec(token, "want corrupt@N[:MASK]");
+      }
+      const std::uint64_t mask =
+          t.args.empty() ? 0xFF : spec_u64(token, t.args[0]);
+      if (mask == 0 || mask > 0xFF) bad_spec(token, "mask must be in [1,255]");
+      plan.corrupt_at(t.at, static_cast<std::uint8_t>(mask));
+    } else if (t.kind == "stall") {
+      if (!t.has_at || t.args.size() != 1) bad_spec(token, "want stall@N:MS");
+      plan.stall_at(t.at, static_cast<double>(spec_u64(token, t.args[0])) /
+                              1000.0);
+    } else if (t.kind == "short") {
+      if (!t.has_at || t.args.empty() || t.args.size() > 2) {
+        bad_spec(token, "want short@N:CHUNK[:MS]");
+      }
+      const double pause =
+          t.args.size() == 2
+              ? static_cast<double>(spec_u64(token, t.args[1])) / 1000.0
+              : 0.0;
+      plan.short_writes(t.at, spec_u64(token, t.args[0]), pause);
+    } else if (t.kind == "accept-delay") {
+      if (t.has_at || t.args.size() != 1) {
+        bad_spec(token, "want accept-delay:MS");
+      }
+      plan.delay_accept(static_cast<double>(spec_u64(token, t.args[0])) /
+                        1000.0);
+    } else if (t.kind == "random") {
+      if (t.has_at || t.args.size() != 1) bad_spec(token, "want random:SEED");
+      const WireFaultPlan r = random(spec_u64(token, t.args[0]));
+      for (const WireFaultEvent& e : r.events()) plan.events_.push_back(e);
+    } else {
+      bad_spec(token, "unknown fault kind");
+    }
+  }
+  return plan;
+}
+
+WireFaultPlan WireFaultPlan::random(std::uint64_t seed,
+                                    const RandomWireFaultOptions& options) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::uint64_t> offset_dist(
+      0, options.max_offset > 0 ? options.max_offset - 1 : 0);
+  std::uniform_real_distribution<double> stall_dist(
+      0.0, options.max_stall_seconds);
+  std::uniform_int_distribution<int> mask_dist(1, 255);
+
+  WireFaultPlan plan;
+  for (int i = 0; i < options.corruptions; ++i) {
+    plan.corrupt_at(offset_dist(rng), static_cast<std::uint8_t>(mask_dist(rng)));
+  }
+  for (int i = 0; i < options.stalls; ++i) {
+    plan.stall_at(offset_dist(rng), stall_dist(rng));
+  }
+  for (int i = 0; i < options.truncates; ++i) {
+    plan.truncate_at(offset_dist(rng), 1 + offset_dist(rng) % 64);
+  }
+  for (int i = 0; i < options.disconnects; ++i) {
+    plan.disconnect_at(offset_dist(rng));
+  }
+  return plan;
+}
+
+std::string WireFaultPlan::describe() const {
+  std::ostringstream out;
+  bool first = true;
+  for (const WireFaultEvent& e : events_) {
+    if (!first) out << ",";
+    first = false;
+    out << wire_fault_kind_name(e.kind);
+    if (e.kind != WireFaultKind::kDelayAccept) out << "@" << e.at;
+    switch (e.kind) {
+      case WireFaultKind::kTruncate: out << ":" << e.arg; break;
+      case WireFaultKind::kCorrupt: out << ":0x" << std::hex << e.arg
+                                        << std::dec; break;
+      case WireFaultKind::kStall:
+      case WireFaultKind::kDelayAccept:
+        out << ":" << static_cast<std::uint64_t>(e.seconds * 1000.0);
+        break;
+      case WireFaultKind::kShortWrites:
+        out << ":" << e.arg << ":"
+            << static_cast<std::uint64_t>(e.seconds * 1000.0);
+        break;
+      default: break;
+    }
+  }
+  return first ? "none" : out.str();
+}
+
+WireFaultInjector::WireFaultInjector(WireFaultPlan plan)
+    : events_(plan.events()),
+      pending_(events_.size(), 0),
+      fired_(events_.size(), 0) {}
+
+WireFaultInjector::TxAction WireFaultInjector::next_tx(std::size_t remaining) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TxAction action;
+
+  // A truncate event still swallowing bytes takes priority.
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (pending_[i] > 0) {
+      action.drop = std::min<std::uint64_t>(pending_[i], remaining);
+      return action;
+    }
+  }
+
+  // Fire every armed event whose offset has been reached, in plan order:
+  // stalls accumulate, the first hard event (disconnect/truncate/corrupt)
+  // decides the slice.
+  std::uint64_t next_boundary = UINT64_MAX;
+  std::size_t short_chunk = remaining;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const WireFaultEvent& e = events_[i];
+    if (e.kind == WireFaultKind::kDelayAccept) continue;
+    if (e.kind == WireFaultKind::kShortWrites) {
+      if (e.at <= tx_) {
+        short_chunk = std::min<std::size_t>(short_chunk, e.arg);
+        action.stall_seconds += e.seconds;
+      } else {
+        next_boundary = std::min(next_boundary, e.at);
+      }
+      continue;
+    }
+    if (fired_[i]) continue;
+    if (e.at > tx_) {
+      next_boundary = std::min(next_boundary, e.at);
+      continue;
+    }
+    // Armed one-shot event at (or before) the current offset.
+    switch (e.kind) {
+      case WireFaultKind::kStall:
+        fired_[i] = 1;
+        action.stall_seconds += e.seconds;
+        break;
+      case WireFaultKind::kDisconnect:
+        fired_[i] = 1;
+        action.close = true;
+        return action;
+      case WireFaultKind::kTruncate:
+        fired_[i] = 1;
+        pending_[i] = e.arg;
+        action.drop = std::min<std::uint64_t>(e.arg, remaining);
+        return action;
+      case WireFaultKind::kCorrupt:
+        fired_[i] = 1;
+        action.corrupt_first = true;
+        action.xor_mask = static_cast<std::uint8_t>(e.arg);
+        action.allow = 1;
+        return action;
+      default:
+        break;
+    }
+  }
+
+  std::size_t allow = remaining;
+  if (next_boundary != UINT64_MAX && next_boundary > tx_) {
+    allow = std::min<std::size_t>(allow, next_boundary - tx_);
+  }
+  action.allow = std::max<std::size_t>(1, std::min(allow, short_chunk));
+  return action;
+}
+
+void WireFaultInjector::commit_tx(std::size_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t left = n;
+  for (std::size_t i = 0; i < events_.size() && left > 0; ++i) {
+    if (pending_[i] > 0) {
+      const std::uint64_t take = std::min(pending_[i], left);
+      pending_[i] -= take;
+      left -= take;
+    }
+  }
+  tx_ += n;
+}
+
+double WireFaultInjector::accept_delay() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  double seconds = 0.0;
+  for (const WireFaultEvent& e : events_) {
+    if (e.kind == WireFaultKind::kDelayAccept) seconds += e.seconds;
+  }
+  return seconds;
+}
+
+std::uint64_t WireFaultInjector::fired_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t n = 0;
+  for (const char f : fired_) n += f != 0;
+  return n;
+}
+
+std::uint64_t WireFaultInjector::tx_offset() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tx_;
+}
+
+std::shared_ptr<WireFaultInjector> make_injector(const WireFaultPlan& plan) {
+  if (plan.empty()) return nullptr;
+  return std::make_shared<WireFaultInjector>(plan);
+}
+
+}  // namespace gnumap::serve

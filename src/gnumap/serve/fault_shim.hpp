@@ -1,0 +1,150 @@
+// Deterministic wire-level fault injection for the serving stack.
+//
+// This is the socket-layer twin of the mpsim chaos model (gnumap/fault):
+// a seeded, scriptable plan of one-shot events, consumed by a shared
+// thread-safe state object, so the same plan always damages the same
+// bytes.  Faults are injected on the *sending* side of whichever endpoint
+// owns the injector — tests attach one to a client to batter the server,
+// and `gnumapd --fault-plan` (or GNUMAP_WIRE_FAULT_PLAN) attaches one to
+// every accepted connection for live fleet drills.
+//
+// Event kinds, all triggered by the cumulative transmitted-byte offset of
+// the connection (so a plan is meaningful independent of frame sizes):
+//
+//  * disconnect@N        — deliver exactly N bytes, then hard-close: a
+//                          mid-frame disconnect when N lands inside a frame;
+//  * truncate@N:D        — silently swallow D bytes at offset N (the peer
+//                          sees a hole: CRC mismatch or a recv timeout);
+//  * corrupt@N[:MASK]    — XOR the byte at offset N with MASK (default
+//                          0xFF): CRC framing must catch it;
+//  * stall@N:MS          — sleep MS milliseconds before sending the byte at
+//                          offset N (slow-loris when repeated);
+//  * short@N:CHUNK[:MS]  — from offset N on, fragment every send into
+//                          CHUNK-byte writes with an MS-millisecond pause
+//                          between them (persistent, not one-shot);
+//  * accept-delay:MS     — the listener sleeps MS before completing every
+//                          accept (connection storms meet a slow server).
+//
+// Plans parse from a comma-separated spec string (`parse`), build
+// programmatically, or derive deterministically from a seed (`random`).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gnumap::serve {
+
+enum class WireFaultKind : std::uint8_t {
+  kDisconnect,
+  kTruncate,
+  kCorrupt,
+  kStall,
+  kShortWrites,
+  kDelayAccept,
+};
+
+const char* wire_fault_kind_name(WireFaultKind kind);
+
+struct WireFaultEvent {
+  WireFaultKind kind = WireFaultKind::kDisconnect;
+  std::uint64_t at = 0;    ///< cumulative tx byte offset that arms the event
+  std::uint64_t arg = 0;   ///< truncate: bytes dropped; corrupt: XOR mask;
+                           ///< short: chunk bytes
+  double seconds = 0.0;    ///< stall / accept-delay / short inter-chunk pause
+};
+
+/// Options for WireFaultPlan::random.
+struct RandomWireFaultOptions {
+  int disconnects = 0;
+  int truncates = 0;
+  int corruptions = 1;
+  int stalls = 1;
+  std::uint64_t max_offset = 48u << 10;  ///< offsets drawn from [0, max)
+  double max_stall_seconds = 0.2;
+};
+
+/// An ordered list of wire fault events; immutable once handed to an
+/// injector.  Same builder/seeded-plan shape as gnumap::FaultPlan.
+class WireFaultPlan {
+ public:
+  WireFaultPlan() = default;
+
+  WireFaultPlan& disconnect_at(std::uint64_t tx_offset);
+  WireFaultPlan& truncate_at(std::uint64_t tx_offset, std::uint64_t drop);
+  WireFaultPlan& corrupt_at(std::uint64_t tx_offset,
+                            std::uint8_t xor_mask = 0xFF);
+  WireFaultPlan& stall_at(std::uint64_t tx_offset, double seconds);
+  WireFaultPlan& short_writes(std::uint64_t from_tx_offset,
+                              std::uint64_t chunk_bytes,
+                              double pause_seconds = 0.0);
+  WireFaultPlan& delay_accept(double seconds);
+
+  /// Parses a comma-separated spec, e.g.
+  /// "corrupt@4096,stall@0:250,disconnect@65536,accept-delay:100".
+  /// Throws ConfigError on a malformed spec.
+  static WireFaultPlan parse(const std::string& spec);
+
+  /// Deterministic chaos plan: same (seed, options) => same events.
+  static WireFaultPlan random(std::uint64_t seed,
+                              const RandomWireFaultOptions& options = {});
+
+  /// Human-readable one-line summary for logs.
+  std::string describe() const;
+
+  const std::vector<WireFaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+ private:
+  std::vector<WireFaultEvent> events_;
+};
+
+/// Runtime state of a plan for one connection: tracks the cumulative tx
+/// offset and consumes one-shot events.  Thread-safe (a client's sender
+/// thread and request thread share one socket).  Sockets consult it from
+/// send_all; listeners from accept.
+class WireFaultInjector {
+ public:
+  explicit WireFaultInjector(WireFaultPlan plan);
+
+  /// What send_all should do with the next `remaining` bytes.  Exactly one
+  /// of the fields applies, checked in order: close, drop, then send
+  /// `allow` bytes (after `stall_seconds`, XORing the first byte with
+  /// `xor_mask` when `corrupt_first` is set).
+  struct TxAction {
+    bool close = false;
+    std::uint64_t drop = 0;
+    std::size_t allow = 0;
+    double stall_seconds = 0.0;
+    bool corrupt_first = false;
+    std::uint8_t xor_mask = 0;
+  };
+
+  /// Plans the next slice of an n-byte send at the current tx offset.
+  TxAction next_tx(std::size_t remaining);
+
+  /// Advances the tx offset after `n` bytes were sent (or dropped).
+  void commit_tx(std::size_t n);
+
+  /// Seconds the listener should sleep before completing an accept.
+  double accept_delay() const;
+
+  /// One-shot events consumed so far (persistent kinds never count).
+  std::uint64_t fired_count() const;
+
+  std::uint64_t tx_offset() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<WireFaultEvent> events_;
+  std::vector<std::uint64_t> pending_;  ///< truncate: bytes left to drop
+  std::vector<char> fired_;
+  std::uint64_t tx_ = 0;
+};
+
+/// Convenience: nullptr when the plan is empty, else a fresh injector.
+std::shared_ptr<WireFaultInjector> make_injector(const WireFaultPlan& plan);
+
+}  // namespace gnumap::serve

@@ -1,9 +1,11 @@
 #include "gnumap/serve/server.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <istream>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "gnumap/io/chunk_stream.hpp"
@@ -32,6 +34,9 @@ struct ServeMetrics {
   obs::Counter& bytes_tx;
   obs::Counter& connections_total;
   obs::Gauge& active_connections;
+  obs::Counter& evictions_total;
+  obs::Counter& corrupt_frames_total;
+  obs::Counter& deadline_abandoned_total;
 };
 
 ServeMetrics& serve_metrics() {
@@ -61,8 +66,23 @@ ServeMetrics& serve_metrics() {
                               "Client connections accepted"),
       obs::registry().gauge("gnumap_serve_active_connections",
                             "Currently open client connections"),
+      obs::registry().counter(
+          "gnumap_serve_evictions_total",
+          "Connections evicted by the watchdog or a budget"),
+      obs::registry().counter(
+          "gnumap_serve_corrupt_frames_total",
+          "Frames rejected for a CRC mismatch"),
+      obs::registry().counter(
+          "gnumap_serve_deadline_abandoned_total",
+          "Requests abandoned because their deadline expired"),
   };
   return metrics;
+}
+
+std::int64_t steady_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 /// streambuf that flushes its buffer to the peer as frames of `type`
@@ -74,11 +94,13 @@ ServeMetrics& serve_metrics() {
 class FrameSinkBuf final : public std::streambuf {
  public:
   FrameSinkBuf(Socket& sock, FrameType type, int timeout_ms,
-               std::atomic<std::uint64_t>& bytes_sent)
+               std::atomic<std::uint64_t>& bytes_sent,
+               const std::atomic<bool>* cancel = nullptr)
       : sock_(sock),
         type_(type),
         timeout_ms_(timeout_ms),
-        bytes_sent_(bytes_sent) {}
+        bytes_sent_(bytes_sent),
+        cancel_(cancel) {}
 
   /// Sends any buffered bytes as a final (possibly short) frame.
   void flush_frames() {
@@ -88,7 +110,7 @@ class FrameSinkBuf final : public std::streambuf {
     }
     if (buf_.empty()) return;
     try {
-      write_frame(sock_, type_, buf_, timeout_ms_);
+      write_frame(sock_, type_, buf_, timeout_ms_, cancel_);
       bytes_sent_.fetch_add(buf_.size(), std::memory_order_relaxed);
       serve_metrics().bytes_tx.inc(buf_.size());
     } catch (...) {
@@ -126,6 +148,7 @@ class FrameSinkBuf final : public std::streambuf {
   FrameType type_;
   int timeout_ms_;
   std::atomic<std::uint64_t>& bytes_sent_;
+  const std::atomic<bool>* cancel_;
   std::string buf_;
   std::exception_ptr error_;
 };
@@ -155,8 +178,25 @@ void linger_close(Socket& sock) {
 }  // namespace
 
 struct MappingServer::ConnectionSlot {
+  int conn_id = -1;
+  std::string peer = "?";
   std::thread thread;
   std::atomic<bool> done{false};
+  /// Cancels every socket operation on this connection (threaded into the
+  /// send/recv poll loops); set by the watchdog for drain and evictions.
+  std::atomic<bool> cancel{false};
+  /// Why cancel tripped: 0 while only draining, else a WireErrorCode
+  /// (kEvicted for budget evictions, kTimeout for abandoned deadlines).
+  std::atomic<int> evict_code{0};
+  /// True while a MAP request is in flight: a drain must let it finish.
+  std::atomic<bool> in_request{false};
+  /// Steady-clock ms when the in-flight request must be done (0 = none);
+  /// the watchdog evicts past it even when the handler is wedged in send.
+  std::atomic<std::int64_t> deadline_at_ms{0};
+  /// Frame payload bytes received on this connection (budget accounting).
+  std::atomic<std::uint64_t> rx_bytes{0};
+  /// Connection lifetime (budget accounting); started at accept.
+  Timer age;
 };
 
 MappingServer::MappingServer(const Genome& genome,
@@ -168,6 +208,11 @@ MappingServer::MappingServer(const Genome& genome,
       listener_(std::make_unique<Listener>(options.port, options.bind_any)),
       admission_(options.admission_reads, options.per_connection_reads) {
   serve_metrics();  // register the gnumap_serve_* series up front
+  if (!options_.fault_plan.empty()) {
+    listener_->set_fault_injector(make_injector(options_.fault_plan));
+    GNUMAP_LOG(kWarn) << "gnumapd: wire fault plan active: "
+                      << options_.fault_plan.describe();
+  }
   GNUMAP_LOG(kInfo) << "gnumapd: index resident ("
                     << session_->index().num_entries() << " entries over "
                     << genome_.num_bases() << " bases), listening on port "
@@ -192,23 +237,39 @@ std::uint64_t MappingServer::request_window_reads() const {
   return (2 * (queue_depth + threads) + 1) * batch;
 }
 
+std::uint32_t MappingServer::busy_retry_hint() const {
+  const std::uint64_t window = std::max<std::uint64_t>(
+      1, request_window_reads());
+  // One window ≈ one queued request: the deeper the queue, the longer the
+  // suggested backoff, so a saturated server spreads retries out instead
+  // of synchronizing a thundering herd.
+  const std::uint64_t depth = admission_.admitted() / window;
+  const std::uint64_t hint = options_.busy_retry_ms * (depth + 1);
+  return static_cast<std::uint32_t>(std::min<std::uint64_t>(
+      hint, std::max(options_.busy_retry_ms, options_.busy_retry_max_ms)));
+}
+
 void MappingServer::start() {
   bool expected = false;
   if (!started_.compare_exchange_strong(expected, true)) return;
   accept_thread_ = std::thread([this] { accept_loop(); });
+  watchdog_thread_ = std::thread([this] { watchdog_loop(); });
 }
 
 void MappingServer::wait() {
   if (accept_thread_.joinable()) accept_thread_.join();
-  // The accept loop has exited; no new slots can appear.
-  std::vector<std::unique_ptr<ConnectionSlot>> conns;
-  {
-    std::lock_guard<std::mutex> lock(conns_mutex_);
-    conns.swap(conns_);
+  // The accept loop has exited; no new slots can appear.  Handler threads
+  // finish their in-flight request (or are cancelled by the watchdog once
+  // idle) and the watchdog reaps them; wait for the roster to empty.
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(conns_mutex_);
+      if (conns_.empty()) break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
-  for (auto& slot : conns) {
-    if (slot->thread.joinable()) slot->thread.join();
-  }
+  watchdog_stop_.store(true, std::memory_order_relaxed);
+  if (watchdog_thread_.joinable()) watchdog_thread_.join();
 }
 
 void MappingServer::run() {
@@ -230,6 +291,11 @@ ServerStats MappingServer::stats() const {
   s.reads_total = reads_total_.load(std::memory_order_relaxed);
   s.bytes_received = bytes_received_.load(std::memory_order_relaxed);
   s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+  s.evictions_total = evictions_total_.load(std::memory_order_relaxed);
+  s.corrupt_frames_total =
+      corrupt_frames_total_.load(std::memory_order_relaxed);
+  s.deadline_abandoned_total =
+      deadline_abandoned_total_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -254,26 +320,93 @@ std::string MappingServer::stats_text() const {
   text += u64_kv("reads_mapped_total", s.reads_mapped_total);
   text += u64_kv("bytes_received", s.bytes_received);
   text += u64_kv("bytes_sent", s.bytes_sent);
+  text += u64_kv("evictions_total", s.evictions_total);
+  text += u64_kv("corrupt_frames_total", s.corrupt_frames_total);
+  text += u64_kv("deadline_abandoned_total", s.deadline_abandoned_total);
   return text;
+}
+
+std::string MappingServer::health_text() const {
+  const bool draining = stopping();
+  const int active = active_connections_.load(std::memory_order_relaxed);
+  const std::uint64_t window = request_window_reads();
+  // Ready = a new connection could be accepted AND a fresh request window
+  // would fit the admission budget right now.
+  const bool ready = !draining && active < options_.max_connections &&
+                     admission_.admitted() + window <= admission_.capacity();
+  std::string text;
+  text += u64_kv("ready", ready ? 1 : 0);
+  text += u64_kv("draining", draining ? 1 : 0);
+  text += u64_kv("active_connections", static_cast<std::uint64_t>(active));
+  text += u64_kv("max_connections",
+                 static_cast<std::uint64_t>(options_.max_connections));
+  text += u64_kv("admitted_reads", admission_.admitted());
+  text += u64_kv("admission_capacity_reads", admission_.capacity());
+  text += u64_kv("request_window_reads", window);
+  text += u64_kv("busy_retry_hint_ms", busy_retry_hint());
+  text += u64_kv("protocol_version", kProtocolVersion);
+  text += u64_kv("uptime_seconds",
+                 static_cast<std::uint64_t>(uptime_.seconds()));
+  return text;
+}
+
+void MappingServer::watchdog_loop() {
+  while (!watchdog_stop_.load(std::memory_order_relaxed)) {
+    {
+      std::lock_guard<std::mutex> lock(conns_mutex_);
+      for (auto it = conns_.begin(); it != conns_.end();) {
+        ConnectionSlot& slot = **it;
+        if (slot.done.load(std::memory_order_acquire)) {
+          if (slot.thread.joinable()) slot.thread.join();
+          it = conns_.erase(it);
+          continue;
+        }
+        if (!slot.cancel.load()) {
+          const bool in_request = slot.in_request.load();
+          const std::int64_t deadline = slot.deadline_at_ms.load();
+          if (options_.max_connection_seconds > 0.0 &&
+              slot.age.seconds() > options_.max_connection_seconds) {
+            slot.evict_code.store(
+                static_cast<int>(WireErrorCode::kEvicted));
+            slot.cancel.store(true);
+            evictions_total_.fetch_add(1, std::memory_order_relaxed);
+            serve_metrics().evictions_total.inc();
+            GNUMAP_LOG(kInfo) << "serve: conn " << slot.conn_id << " (peer "
+                              << slot.peer << ") evicted: lifetime budget "
+                              << options_.max_connection_seconds
+                              << " s exhausted";
+          } else if (in_request && deadline > 0 && steady_ms() > deadline) {
+            // The handler may be wedged in a blocking send (peer stopped
+            // reading results); only this thread can abandon the request.
+            slot.evict_code.store(
+                static_cast<int>(WireErrorCode::kTimeout));
+            slot.cancel.store(true);
+            evictions_total_.fetch_add(1, std::memory_order_relaxed);
+            deadline_abandoned_total_.fetch_add(1, std::memory_order_relaxed);
+            serve_metrics().evictions_total.inc();
+            serve_metrics().deadline_abandoned_total.inc();
+            GNUMAP_LOG(kInfo) << "serve: conn " << slot.conn_id << " (peer "
+                              << slot.peer
+                              << ") request deadline expired; abandoning";
+          } else if (!in_request && stopping()) {
+            slot.cancel.store(true);  // drain: close idle connections
+          }
+        }
+        ++it;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
 }
 
 void MappingServer::accept_loop() {
   while (!stopping()) {
     auto sock = listener_->accept(200, &stop_);
     if (!sock.has_value()) continue;
-
-    // Reap finished handlers so conns_ stays proportional to the number of
-    // live connections, not the number ever accepted.
-    {
-      std::lock_guard<std::mutex> lock(conns_mutex_);
-      for (auto it = conns_.begin(); it != conns_.end();) {
-        if ((*it)->done.load(std::memory_order_acquire)) {
-          if ((*it)->thread.joinable()) (*it)->thread.join();
-          it = conns_.erase(it);
-        } else {
-          ++it;
-        }
-      }
+    if (!options_.fault_plan.empty()) {
+      // Fresh injector per connection: the same plan batters every
+      // connection identically, so chaos drills are reproducible.
+      sock->set_fault_injector(make_injector(options_.fault_plan));
     }
 
     if (active_connections_.load(std::memory_order_relaxed) >=
@@ -283,7 +416,7 @@ void MappingServer::accept_loop() {
       // BUSY frame away — linger_close drains it first.
       try {
         write_frame(*sock, FrameType::kBusy,
-                    encode_busy(options_.busy_retry_ms,
+                    encode_busy(busy_retry_hint(),
                                 "connection limit reached"),
                     options_.io_timeout_ms);
       } catch (const WireError&) {
@@ -302,15 +435,17 @@ void MappingServer::accept_loop() {
         static_cast<double>(active_connections_.load()));
 
     auto slot = std::make_unique<ConnectionSlot>();
+    slot->conn_id = conn_id;
+    slot->peer = sock->peer_address();
     ConnectionSlot* raw = slot.get();
     {
       std::lock_guard<std::mutex> lock(conns_mutex_);
       conns_.push_back(std::move(slot));
     }
     raw->thread = std::thread(
-        [this, raw, conn_id](Socket conn) {
-          handle_connection(std::move(conn), conn_id);
-          admission_.forget_connection(conn_id);
+        [this, raw](Socket conn) {
+          handle_connection(std::move(conn), *raw);
+          admission_.forget_connection(raw->conn_id);
           active_connections_.fetch_sub(1, std::memory_order_relaxed);
           serve_metrics().active_connections.set(
               static_cast<double>(active_connections_.load()));
@@ -324,6 +459,10 @@ void MappingServer::accept_loop() {
 void MappingServer::send_error(Socket& sock, WireErrorCode code,
                                const std::string& msg) {
   serve_metrics().errors_total.inc();
+  if (code == WireErrorCode::kCorrupt) {
+    corrupt_frames_total_.fetch_add(1, std::memory_order_relaxed);
+    serve_metrics().corrupt_frames_total.inc();
+  }
   try {
     write_frame(sock, FrameType::kError, encode_error(code, msg),
                 options_.io_timeout_ms);
@@ -332,54 +471,85 @@ void MappingServer::send_error(Socket& sock, WireErrorCode code,
   }
 }
 
-void MappingServer::handle_connection(Socket sock, int conn_id) {
+std::pair<WireErrorCode, std::string> MappingServer::cancel_reason(
+    const ConnectionSlot& slot) const {
+  const auto code = static_cast<WireErrorCode>(slot.evict_code.load());
+  if (code == WireErrorCode::kEvicted) {
+    return {code, "connection evicted: lifetime budget (" +
+                      std::to_string(options_.max_connection_seconds) +
+                      " s) exhausted"};
+  }
+  if (code == WireErrorCode::kTimeout) {
+    return {code, "request deadline expired; server abandoned the request"};
+  }
+  return {WireErrorCode::kShuttingDown, "server is draining"};
+}
+
+void MappingServer::handle_connection(Socket sock, ConnectionSlot& slot) {
+  // Context prefix for every typed error and log line this connection can
+  // produce: chaos-run failures must be attributable to a peer.
+  const std::string who = "[peer " + slot.peer + " conn " +
+                          std::to_string(slot.conn_id) + "] ";
   try {
-    // Handshake: exactly one HELLO with a matching protocol version.
-    auto hello = read_frame(sock, options_.max_frame_bytes,
-                            options_.io_timeout_ms, &stop_);
-    if (!hello.has_value()) return;
+    // Handshake: HEALTH probes are answered even before HELLO (fleet
+    // supervisors need no handshake), then exactly one HELLO with a
+    // version this build can speak.
+    std::optional<Frame> hello;
+    for (;;) {
+      hello = read_frame(sock, options_.max_frame_bytes,
+                         options_.io_timeout_ms, &slot.cancel);
+      if (!hello.has_value()) return;
+      if (hello->type != FrameType::kHealth) break;
+      write_frame(sock, FrameType::kHealthOk, health_text(),
+                  options_.io_timeout_ms, &slot.cancel);
+    }
     if (hello->type != FrameType::kHello) {
       send_error(sock, WireErrorCode::kProtocol,
-                 "expected HELLO as the first frame");
+                 who + "expected HELLO as the first frame");
       linger_close(sock);
       return;
     }
     const auto [version, client_name] = decode_hello(hello->payload);
-    if (version != kProtocolVersion) {
+    if (version < kMinProtocolVersion) {
       send_error(sock, WireErrorCode::kBadVersion,
-                 "unsupported protocol version " + std::to_string(version) +
-                     " (server speaks " + std::to_string(kProtocolVersion) +
-                     ")");
+                 who + "unsupported protocol version " +
+                     std::to_string(version) + " (server speaks " +
+                     std::to_string(kMinProtocolVersion) + ".." +
+                     std::to_string(kProtocolVersion) + ")");
       linger_close(sock);
       return;
     }
+    // Negotiate down to the newer endpoint's floor: a v3 client on a v2
+    // server proceeds with v2 payload semantics.
+    const std::uint16_t agreed =
+        std::min<std::uint16_t>(version, kProtocolVersion);
     write_frame(sock, FrameType::kHelloOk,
-                encode_hello(kProtocolVersion,
+                encode_hello(agreed,
                              "gnumapd genome_bases=" +
                                  std::to_string(genome_.num_bases()) +
                                  " index_entries=" +
                                  std::to_string(session_->index()
                                                     .num_entries())),
-                options_.io_timeout_ms);
-    GNUMAP_LOG(kDebug) << "serve: conn " << conn_id << " handshake ok ("
-                       << client_name << ")";
+                options_.io_timeout_ms, &slot.cancel);
+    GNUMAP_LOG(kDebug) << "serve: conn " << slot.conn_id << " handshake ok ("
+                       << client_name << ", v" << agreed << ")";
 
-    // Request loop.  Waiting for the next request honours the stop flag
-    // (drain closes idle connections); a request in progress runs to
-    // completion under its own deadline.
+    // Request loop.  Waiting for the next request honours the cancel flag
+    // (the watchdog trips it on drain, eviction, or an expired deadline);
+    // a request in progress runs to completion under its own deadline.
     for (;;) {
       std::optional<Frame> frame;
       try {
         frame = read_frame(sock, options_.max_frame_bytes,
-                           /*timeout_ms=*/0, &stop_);
+                           /*timeout_ms=*/0, &slot.cancel);
       } catch (const WireError& e) {
         if (e.code() == WireErrorCode::kShuttingDown) {
-          send_error(sock, WireErrorCode::kShuttingDown,
-                     "server is draining");
+          const auto [code, msg] = cancel_reason(slot);
+          send_error(sock, code, who + msg);
         } else if (e.code() != WireErrorCode::kClosed) {
-          // e.g. an oversized frame header: answer with the typed error
-          // and let the peer read it before the close.
-          send_error(sock, e.code(), e.what());
+          // e.g. an oversized or corrupt frame header: answer with the
+          // typed error and let the peer read it before the close.
+          send_error(sock, e.code(), who + e.what());
           linger_close(sock);
         }
         return;
@@ -388,15 +558,8 @@ void MappingServer::handle_connection(Socket sock, int conn_id) {
 
       switch (frame->type) {
         case FrameType::kMapBegin: {
-          if (frame->payload.size() < 1) {
-            send_error(sock, WireErrorCode::kBadFrame,
-                       "MAP_BEGIN payload must carry a flags byte");
-            linger_close(sock);
-            return;
-          }
-          const auto flags =
-              static_cast<std::uint8_t>(frame->payload[0]);
-          if (!handle_map(sock, conn_id, flags)) {
+          const auto [flags, deadline_ms] = decode_map_begin(frame->payload);
+          if (!handle_map(sock, slot, flags, deadline_ms)) {
             linger_close(sock);
             return;
           }
@@ -404,18 +567,22 @@ void MappingServer::handle_connection(Socket sock, int conn_id) {
         }
         case FrameType::kStats:
           write_frame(sock, FrameType::kStatsOk, stats_text(),
-                      options_.io_timeout_ms);
+                      options_.io_timeout_ms, &slot.cancel);
+          break;
+        case FrameType::kHealth:
+          write_frame(sock, FrameType::kHealthOk, health_text(),
+                      options_.io_timeout_ms, &slot.cancel);
           break;
         case FrameType::kShutdown:
           write_frame(sock, FrameType::kShutdownOk, "",
                       options_.io_timeout_ms);
           GNUMAP_LOG(kInfo) << "serve: shutdown requested by conn "
-                            << conn_id;
+                            << slot.conn_id;
           request_stop();
           return;
         default:
           send_error(sock, WireErrorCode::kProtocol,
-                     "unexpected frame type " +
+                     who + "unexpected frame type " +
                          std::to_string(static_cast<int>(frame->type)));
           linger_close(sock);
           return;
@@ -423,34 +590,47 @@ void MappingServer::handle_connection(Socket sock, int conn_id) {
     }
   } catch (const WireError& e) {
     // Transport failure or malformed traffic: answer if possible, close.
-    send_error(sock, e.code(), e.what());
+    if (e.code() == WireErrorCode::kShuttingDown &&
+        slot.cancel.load(std::memory_order_relaxed)) {
+      const auto [code, msg] = cancel_reason(slot);
+      send_error(sock, code, who + msg);
+    } else {
+      send_error(sock, e.code(), who + e.what());
+    }
     linger_close(sock);
   } catch (const std::exception& e) {
-    send_error(sock, WireErrorCode::kInternal, e.what());
+    send_error(sock, WireErrorCode::kInternal, who + e.what());
     linger_close(sock);
   }
 }
 
-bool MappingServer::handle_map(Socket& sock, int conn_id,
-                               std::uint8_t flags) {
+bool MappingServer::handle_map(Socket& sock, ConnectionSlot& slot,
+                               std::uint8_t flags,
+                               std::uint32_t client_deadline_ms) {
+  const std::uint64_t req_id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::string who = "[peer " + slot.peer + " conn " +
+                          std::to_string(slot.conn_id) + " req " +
+                          std::to_string(req_id) + "] ";
   if (stopping()) {
-    send_error(sock, WireErrorCode::kShuttingDown, "server is draining");
+    send_error(sock, WireErrorCode::kShuttingDown,
+               who + "server is draining");
     return false;
   }
 
   // Admission: reserve this request's worst-case in-flight reads, or
   // answer BUSY (connection stays open so the client can retry).
   const std::uint64_t window = request_window_reads();
-  if (!admission_.try_acquire(conn_id, window)) {
+  if (!admission_.try_acquire(slot.conn_id, window)) {
     requests_rejected_.fetch_add(1, std::memory_order_relaxed);
     serve_metrics().rejected_total.inc();
     write_frame(sock, FrameType::kBusy,
-                encode_busy(options_.busy_retry_ms,
+                encode_busy(busy_retry_hint(),
                             "admission window full (" +
                                 std::to_string(admission_.admitted()) + "/" +
                                 std::to_string(admission_.capacity()) +
                                 " reads in flight)"),
-                options_.io_timeout_ms);
+                options_.io_timeout_ms, &slot.cancel);
     return true;
   }
   serve_metrics().queue_depth.set(static_cast<double>(admission_.admitted()));
@@ -465,18 +645,49 @@ bool MappingServer::handle_map(Socket& sock, int conn_id,
       serve_metrics().queue_depth.set(
           static_cast<double>(server.admission_.admitted()));
     }
-  } release{*this, conn_id, window};
+  } release{*this, slot.conn_id, window};
+
+  // Effective deadline: the tighter of the server's own cap and what the
+  // client asked for in MAP_BEGIN (0 = no client deadline).
+  int effective_timeout_ms = options_.request_timeout_ms;
+  bool client_tighter = false;
+  if (client_deadline_ms > 0 &&
+      (effective_timeout_ms <= 0 ||
+       static_cast<std::int64_t>(client_deadline_ms) <
+           static_cast<std::int64_t>(effective_timeout_ms))) {
+    effective_timeout_ms = static_cast<int>(client_deadline_ms);
+    client_tighter = true;
+  }
+
+  // Publish the in-flight request to the watchdog: the deadline holds even
+  // when this thread is wedged in a blocking send.
+  struct RequestScope {
+    ConnectionSlot& slot;
+    RequestScope(ConnectionSlot& s, int deadline_ms) : slot(s) {
+      slot.deadline_at_ms.store(
+          deadline_ms > 0 ? steady_ms() + deadline_ms : 0);
+      slot.in_request.store(true);
+    }
+    ~RequestScope() {
+      slot.in_request.store(false);
+      slot.deadline_at_ms.store(0);
+    }
+  } scope{slot, effective_timeout_ms};
 
   requests_total_.fetch_add(1, std::memory_order_relaxed);
   serve_metrics().requests_total.inc();
   const bool want_sam = (flags & kFlagWantSam) != 0;
   const int phred_offset = (flags & kFlagPhred64) != 0 ? kPhred64 : kPhred33;
 
-  GNUMAP_TRACE_SPAN("serve_request", "serve");
+  obs::TraceSpan span("serve_request", "serve", "conn",
+                      static_cast<double>(slot.conn_id), "req",
+                      static_cast<double>(req_id));
   Timer request_timer;
-  write_frame(sock, FrameType::kMapGo, "", options_.io_timeout_ms);
 
   try {
+    write_frame(sock, FrameType::kMapGo, "", options_.io_timeout_ms,
+                &slot.cancel);
+
     // The wire -> pipeline seam: READS_CHUNK frames are pulled off the
     // socket only as the pipeline's decoder wants more bytes, so the
     // BatchQueue's backpressure reaches all the way back to the client.
@@ -484,19 +695,43 @@ bool MappingServer::handle_map(Socket& sock, int conn_id,
     ChunkSourceBuf chunk_buf([&](std::string& chunk) -> bool {
       if (saw_end) return false;
       int timeout = options_.io_timeout_ms;
-      if (options_.request_timeout_ms > 0) {
+      bool deadline_bound = false;
+      if (effective_timeout_ms > 0) {
         const int remaining =
-            options_.request_timeout_ms -
+            effective_timeout_ms -
             static_cast<int>(request_timer.seconds() * 1000.0);
         if (remaining <= 0) {
+          deadline_abandoned_total_.fetch_add(1, std::memory_order_relaxed);
+          serve_metrics().deadline_abandoned_total.inc();
           throw WireError(WireErrorCode::kTimeout,
                           "request exceeded the " +
-                              std::to_string(options_.request_timeout_ms) +
-                              " ms deadline");
+                              std::to_string(effective_timeout_ms) + " ms " +
+                              (client_tighter ? "client-requested"
+                                              : "server") +
+                              " deadline");
         }
-        timeout = std::min(timeout, remaining);
+        if (remaining < timeout) {
+          timeout = remaining;
+          deadline_bound = true;
+        }
       }
-      auto frame = read_frame(sock, options_.max_frame_bytes, timeout);
+      std::optional<Frame> frame;
+      try {
+        frame = read_frame(sock, options_.max_frame_bytes, timeout,
+                           &slot.cancel);
+      } catch (const WireError& e) {
+        // When the request deadline (not the per-frame io deadline) was
+        // the binding bound, a silent peer is abandoned work: count it and
+        // name the deadline in the typed error.
+        if (!deadline_bound || e.code() != WireErrorCode::kTimeout) throw;
+        deadline_abandoned_total_.fetch_add(1, std::memory_order_relaxed);
+        serve_metrics().deadline_abandoned_total.inc();
+        throw WireError(WireErrorCode::kTimeout,
+                        "request exceeded the " +
+                            std::to_string(effective_timeout_ms) + " ms " +
+                            (client_tighter ? "client-requested" : "server") +
+                            " deadline");
+      }
       if (!frame.has_value()) {
         throw WireError(WireErrorCode::kClosed,
                         "peer disconnected mid-request");
@@ -513,6 +748,19 @@ bool MappingServer::handle_map(Socket& sock, int conn_id,
       bytes_received_.fetch_add(frame->payload.size(),
                                 std::memory_order_relaxed);
       serve_metrics().bytes_rx.inc(frame->payload.size());
+      const std::uint64_t conn_rx =
+          slot.rx_bytes.fetch_add(frame->payload.size(),
+                                  std::memory_order_relaxed) +
+          frame->payload.size();
+      if (options_.max_connection_bytes > 0 &&
+          conn_rx > options_.max_connection_bytes) {
+        evictions_total_.fetch_add(1, std::memory_order_relaxed);
+        serve_metrics().evictions_total.inc();
+        throw WireError(WireErrorCode::kEvicted,
+                        "connection exceeded its " +
+                            std::to_string(options_.max_connection_bytes) +
+                            "-byte receive budget");
+      }
       chunk = std::move(frame->payload);
       return true;
     });
@@ -527,7 +775,7 @@ bool MappingServer::handle_map(Socket& sock, int conn_id,
                           phred_offset, "<wire>");
 
     FrameSinkBuf sam_sink(sock, FrameType::kResultSam,
-                          options_.io_timeout_ms, bytes_sent_);
+                          options_.io_timeout_ms, bytes_sent_, &slot.cancel);
     std::ostream sam_stream(&sam_sink);
 
     const PipelineResult result =
@@ -545,7 +793,7 @@ bool MappingServer::handle_map(Socket& sock, int conn_id,
       const std::size_t n = std::min(kChunkBytes, tsv_text.size() - off);
       write_frame(sock, FrameType::kResultTsv,
                   std::string_view(tsv_text).substr(off, n),
-                  options_.io_timeout_ms);
+                  options_.io_timeout_ms, &slot.cancel);
       bytes_sent_.fetch_add(n, std::memory_order_relaxed);
       serve_metrics().bytes_tx.inc(n);
     }
@@ -563,26 +811,35 @@ bool MappingServer::handle_map(Socket& sock, int conn_id,
     done += u64_kv("in_flight_peak", result.reads_in_flight_peak);
     done += u64_kv("window_reads", window);
     done += "map_seconds=" + std::to_string(result.map_seconds) + "\n";
-    write_frame(sock, FrameType::kMapDone, done, options_.io_timeout_ms);
+    write_frame(sock, FrameType::kMapDone, done, options_.io_timeout_ms,
+                &slot.cancel);
 
     serve_metrics().request_seconds.observe(request_timer.seconds());
-    GNUMAP_LOG(kInfo) << "serve: conn " << conn_id << " mapped "
-                      << result.stats.reads_mapped << "/"
+    GNUMAP_LOG(kInfo) << "serve: conn " << slot.conn_id << " req " << req_id
+                      << " mapped " << result.stats.reads_mapped << "/"
                       << result.stats.reads_total << " reads, "
                       << result.calls.size() << " calls in "
                       << request_timer.seconds() << " s";
     return true;
   } catch (const WireError& e) {
     requests_failed_.fetch_add(1, std::memory_order_relaxed);
-    send_error(sock, e.code(), e.what());
+    if (e.code() == WireErrorCode::kShuttingDown &&
+        slot.cancel.load(std::memory_order_relaxed)) {
+      // The watchdog cancelled this request (deadline or budget); report
+      // why, not the mechanism.
+      const auto [code, msg] = cancel_reason(slot);
+      send_error(sock, code, who + msg);
+    } else {
+      send_error(sock, e.code(), who + e.what());
+    }
     return false;
   } catch (const ParseError& e) {
     requests_failed_.fetch_add(1, std::memory_order_relaxed);
-    send_error(sock, WireErrorCode::kParse, e.what());
+    send_error(sock, WireErrorCode::kParse, who + e.what());
     return false;
   } catch (const std::exception& e) {
     requests_failed_.fetch_add(1, std::memory_order_relaxed);
-    send_error(sock, WireErrorCode::kInternal, e.what());
+    send_error(sock, WireErrorCode::kInternal, who + e.what());
     return false;
   }
 }

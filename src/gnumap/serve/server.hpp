@@ -8,18 +8,32 @@
 // pulled by the pipeline's decoder with its normal backpressure, and the
 // admission window (admission.hpp) bounds total in-flight reads across all
 // concurrent requests; requests that do not fit are answered BUSY with a
-// retry hint.  Results stream back as RESULT_* frames whose concatenated
-// bytes are identical to the offline CLI's outputs for the same input.
+// queue-depth-scaled retry hint.  Results stream back as RESULT_* frames
+// whose concatenated bytes are identical to the offline CLI's outputs for
+// the same input.
 //
-// Robustness: malformed or oversized frames, FASTQ parse failures, and
-// idle peers get a typed ERROR frame and a closed connection — never a
-// dead server.  request_stop() (wired to SIGINT/SIGTERM by gnumapd, or to
-// the SHUTDOWN frame) drains: the listener stops accepting, in-flight
-// requests finish, idle connections close, then wait() returns.
+// Robustness: malformed, corrupt (CRC), or oversized frames, FASTQ parse
+// failures, and idle peers get a typed ERROR frame and a closed connection
+// — never a dead server.  Every request runs under a deadline that is the
+// tighter of the server's request_timeout_ms and the client's MAP_BEGIN
+// deadline; a watchdog thread evicts connections stalled past that
+// deadline (a peer that stopped reading results can otherwise pin a
+// handler in send) and connections over their lifetime budget.
+// request_stop() (wired to SIGINT/SIGTERM by gnumapd, or to the SHUTDOWN
+// frame) drains: the listener stops accepting, in-flight requests finish,
+// idle connections close, then wait() returns.  HEALTH probes — allowed
+// even before HELLO — report readiness without consuming a request slot.
+//
+// Chaos drills: ServeOptions::fault_plan (gnumapd --fault-plan /
+// GNUMAP_WIRE_FAULT_PLAN) attaches a fresh deterministic fault injector
+// (fault_shim.hpp) to every accepted connection, so eviction, retry, and
+// corruption paths can be exercised against a live server.
 //
 // Observability (docs/OBSERVABILITY.md): gnumap_serve_* metrics — request
-// latency histogram, admitted-reads and queue-depth gauges, rejected and
-// error counters, bytes on the wire — plus serve_request trace spans.
+// latency histogram, admitted-reads and queue-depth gauges, rejected,
+// error, eviction, corrupt-frame, and deadline-abandoned counters, bytes
+// on the wire — plus serve_request trace spans tagged with connection and
+// request ids.
 #pragma once
 
 #include <atomic>
@@ -27,14 +41,17 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "gnumap/core/config.hpp"
 #include "gnumap/core/session.hpp"
 #include "gnumap/genome/genome.hpp"
 #include "gnumap/serve/admission.hpp"
+#include "gnumap/serve/fault_shim.hpp"
 #include "gnumap/serve/socket.hpp"
 #include "gnumap/serve/wire.hpp"
+#include "gnumap/util/timer.hpp"
 
 namespace gnumap::serve {
 
@@ -56,10 +73,25 @@ struct ServeOptions {
   /// Per-frame socket deadline: a peer silent this long mid-request is
   /// timed out with a typed error.
   int io_timeout_ms = 30'000;
-  /// Whole-request deadline (MAP_BEGIN to MAP_DONE; 0 = unlimited).
+  /// Whole-request deadline (MAP_BEGIN to MAP_DONE; 0 = unlimited).  The
+  /// effective deadline is the tighter of this and the client's MAP_BEGIN
+  /// deadline_ms.
   int request_timeout_ms = 300'000;
-  /// Hint sent with BUSY responses.
+  /// Base hint sent with BUSY responses; scaled up with queue depth
+  /// (capped at busy_retry_max_ms) so a saturated server spreads retries
+  /// out instead of inviting a thundering herd.
   std::uint32_t busy_retry_ms = 250;
+  /// Ceiling for the queue-depth-scaled BUSY retry hint.
+  std::uint32_t busy_retry_max_ms = 10'000;
+  /// Lifetime budget per connection in seconds (0 = unlimited); the
+  /// watchdog evicts connections older than this with a typed kEvicted.
+  double max_connection_seconds = 0.0;
+  /// Received-byte budget per connection (0 = unlimited); exceeding it
+  /// mid-upload yields a typed kEvicted.
+  std::uint64_t max_connection_bytes = 0;
+  /// Deterministic wire fault plan applied to every accepted connection
+  /// (and the listener, for accept-delay events).  Empty = no faults.
+  WireFaultPlan fault_plan;
 };
 
 /// Rolled-up service counters (also exported as gnumap_serve_* metrics;
@@ -73,6 +105,9 @@ struct ServerStats {
   std::uint64_t reads_total = 0;
   std::uint64_t bytes_received = 0;
   std::uint64_t bytes_sent = 0;
+  std::uint64_t evictions_total = 0;
+  std::uint64_t corrupt_frames_total = 0;
+  std::uint64_t deadline_abandoned_total = 0;
 };
 
 class MappingServer {
@@ -90,7 +125,7 @@ class MappingServer {
   /// The bound port (useful with ServeOptions::port == 0).
   std::uint16_t port() const;
 
-  /// Starts the accept loop on a background thread and returns.
+  /// Starts the accept loop and watchdog on background threads and returns.
   void start();
 
   /// Blocks until the server has fully stopped (all handlers joined).
@@ -120,12 +155,27 @@ class MappingServer {
   struct ConnectionSlot;
 
   void accept_loop();
-  void handle_connection(Socket sock, int conn_id);
+  /// Scans live connections every ~100 ms: cancels idle connections once a
+  /// drain begins, evicts connections past their lifetime budget, and
+  /// abandons requests whose deadline has expired even when the handler is
+  /// wedged in a blocking send (peer stopped reading).  Also reaps
+  /// finished handler threads so wait() converges.
+  void watchdog_loop();
+  void handle_connection(Socket sock, ConnectionSlot& slot);
   /// One MAP transaction after its MAP_BEGIN frame; returns false when the
   /// connection should close.
-  bool handle_map(Socket& sock, int conn_id, std::uint8_t flags);
+  bool handle_map(Socket& sock, ConnectionSlot& slot, std::uint8_t flags,
+                  std::uint32_t client_deadline_ms);
   void send_error(Socket& sock, WireErrorCode code, const std::string& msg);
+  /// Maps a watchdog cancellation on `slot` to the typed error the peer
+  /// should see (eviction, abandoned deadline, or plain drain).
+  std::pair<WireErrorCode, std::string> cancel_reason(
+      const ConnectionSlot& slot) const;
   std::string stats_text() const;
+  std::string health_text() const;
+  /// BUSY retry hint scaled by how many request windows are already
+  /// admitted, capped at busy_retry_max_ms.
+  std::uint32_t busy_retry_hint() const;
 
   const Genome& genome_;
   ServeOptions options_;
@@ -135,12 +185,16 @@ class MappingServer {
 
   std::atomic<bool> stop_{false};
   std::atomic<bool> started_{false};
+  std::atomic<bool> watchdog_stop_{false};
   std::thread accept_thread_;
+  std::thread watchdog_thread_;
+  Timer uptime_;
 
   mutable std::mutex conns_mutex_;
   std::vector<std::unique_ptr<ConnectionSlot>> conns_;
   std::atomic<int> active_connections_{0};
   std::atomic<int> next_conn_id_{0};
+  std::atomic<std::uint64_t> next_request_id_{0};
 
   // Rolled-up counters (mirrored into the obs registry as they change).
   std::atomic<std::uint64_t> connections_total_{0};
@@ -151,6 +205,9 @@ class MappingServer {
   std::atomic<std::uint64_t> reads_total_{0};
   std::atomic<std::uint64_t> bytes_received_{0};
   std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> evictions_total_{0};
+  std::atomic<std::uint64_t> corrupt_frames_total_{0};
+  std::atomic<std::uint64_t> deadline_abandoned_total_{0};
 };
 
 }  // namespace gnumap::serve

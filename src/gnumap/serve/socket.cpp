@@ -10,9 +10,12 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <string>
+#include <thread>
 
+#include "gnumap/serve/fault_shim.hpp"
 #include "gnumap/serve/wire.hpp"
 #include "gnumap/util/timer.hpp"
 
@@ -60,12 +63,16 @@ bool wait_ready(int fd, short events, int timeout_ms,
 
 Socket::~Socket() { close(); }
 
-Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+Socket::Socket(Socket&& other) noexcept
+    : fd_(other.fd_), fault_(std::move(other.fault_)) {
+  other.fd_ = -1;
+}
 
 Socket& Socket::operator=(Socket&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = other.fd_;
+    fault_ = std::move(other.fault_);
     other.fd_ = -1;
   }
   return *this;
@@ -82,8 +89,75 @@ void Socket::shutdown_write() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
 }
 
+std::string Socket::peer_address() const {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (fd_ < 0 ||
+      ::getpeername(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0 ||
+      addr.sin_family != AF_INET) {
+    return "?";
+  }
+  char ip[INET_ADDRSTRLEN] = {0};
+  if (::inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof ip) == nullptr) {
+    return "?";
+  }
+  return std::string(ip) + ":" + std::to_string(ntohs(addr.sin_port));
+}
+
 void Socket::send_all(const void* data, std::size_t n, int timeout_ms,
                       const std::atomic<bool>* cancel) {
+  if (!fault_) {
+    send_plain(data, n, timeout_ms, cancel);
+    return;
+  }
+  // Fault-injected path: the shim decides, slice by slice, whether bytes
+  // pass, stall, fragment, flip, vanish (truncation — the peer sees a
+  // hole), or whether the connection dies mid-frame.
+  const char* p = static_cast<const char*>(data);
+  std::size_t done = 0;
+  while (done < n) {
+    const WireFaultInjector::TxAction action = fault_->next_tx(n - done);
+    if (action.stall_seconds > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(action.stall_seconds));
+    }
+    if (action.close) {
+      const std::uint64_t at = fault_->tx_offset();
+      // shutdown, not close(): a reader thread may be blocked in poll on
+      // this fd, and close() would free the descriptor number for reuse by
+      // a concurrent connection.  Shutting down both directions wakes the
+      // reader with an orderly EOF while ownership stays with the Socket.
+      if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+      throw WireError(WireErrorCode::kClosed,
+                      "fault injection: disconnected after " +
+                          std::to_string(at) + " tx bytes");
+    }
+    if (action.drop > 0) {
+      const std::size_t k =
+          static_cast<std::size_t>(std::min<std::uint64_t>(action.drop,
+                                                           n - done));
+      fault_->commit_tx(k);  // counted as sent, never delivered
+      done += k;
+      continue;
+    }
+    std::size_t k = std::min(action.allow, n - done);
+    if (k == 0) k = n - done;
+    if (action.corrupt_first) {
+      const char flipped =
+          static_cast<char>(p[done] ^ static_cast<char>(action.xor_mask));
+      send_plain(&flipped, 1, timeout_ms, cancel);
+      fault_->commit_tx(1);
+      done += 1;
+      continue;
+    }
+    send_plain(p + done, k, timeout_ms, cancel);
+    fault_->commit_tx(k);
+    done += k;
+  }
+}
+
+void Socket::send_plain(const void* data, std::size_t n, int timeout_ms,
+                        const std::atomic<bool>* cancel) {
   const char* p = static_cast<const char*>(data);
   std::size_t sent = 0;
   while (sent < n) {
@@ -230,6 +304,14 @@ std::optional<Socket> Listener::accept(int timeout_ms,
     if (!wait_ready(fd_, POLLIN, timeout_ms, cancel)) return std::nullopt;
   } catch (const WireError&) {
     return std::nullopt;  // cancelled: the accept loop re-checks its state
+  }
+  if (fault_) {
+    // Delayed-accept drill: the connection sits in the backlog while a
+    // "slow" server gets around to it.
+    const double delay = fault_->accept_delay();
+    if (delay > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+    }
   }
   const int fd = ::accept(fd_, nullptr, nullptr);
   if (fd < 0) return std::nullopt;

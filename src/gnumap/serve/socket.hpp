@@ -13,10 +13,13 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 
 namespace gnumap::serve {
+
+class WireFaultInjector;
 
 class Socket {
  public:
@@ -52,8 +55,27 @@ class Socket {
 
   void close();
 
+  /// Attaches a deterministic fault injector (fault_shim.hpp): subsequent
+  /// send_all calls route through it and may stall, fragment, corrupt,
+  /// drop, or cut the connection as the plan dictates.  nullptr detaches.
+  void set_fault_injector(std::shared_ptr<WireFaultInjector> injector) {
+    fault_ = std::move(injector);
+  }
+  const std::shared_ptr<WireFaultInjector>& fault_injector() const {
+    return fault_;
+  }
+
+  /// "ip:port" of the connected peer ("?" when unavailable) — stamped into
+  /// typed errors and logs so chaos-run failures are attributable.
+  std::string peer_address() const;
+
  private:
+  /// The untampered send loop (poll + EAGAIN under the deadline).
+  void send_plain(const void* data, std::size_t n, int timeout_ms,
+                  const std::atomic<bool>* cancel);
+
   int fd_ = -1;
+  std::shared_ptr<WireFaultInjector> fault_;
 };
 
 /// Connects to `host`:`port`; throws WireError on failure or timeout.
@@ -80,11 +102,17 @@ class Listener {
   std::optional<Socket> accept(int timeout_ms,
                                const std::atomic<bool>* cancel = nullptr);
 
+  /// Injector consulted for accept-delay faults (slow-accept drills).
+  void set_fault_injector(std::shared_ptr<WireFaultInjector> injector) {
+    fault_ = std::move(injector);
+  }
+
   void close();
 
  private:
   int fd_ = -1;
   std::uint16_t port_ = 0;
+  std::shared_ptr<WireFaultInjector> fault_;
 };
 
 }  // namespace gnumap::serve

@@ -1,5 +1,6 @@
 #include "gnumap/serve/wire.hpp"
 
+#include <array>
 #include <cstring>
 
 namespace gnumap::serve {
@@ -15,8 +16,36 @@ const char* wire_error_code_name(WireErrorCode code) {
     case WireErrorCode::kShuttingDown: return "shutting_down";
     case WireErrorCode::kInternal: return "internal";
     case WireErrorCode::kClosed: return "closed";
+    case WireErrorCode::kCorrupt: return "corrupt";
+    case WireErrorCode::kEvicted: return "evicted";
   }
   return "unknown";
+}
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc32_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
 }
 
 void put_u16(std::string& out, std::uint16_t v) {
@@ -52,11 +81,15 @@ std::uint32_t get_u32(std::string_view payload, std::size_t offset) {
 void write_frame(Socket& sock, FrameType type, std::string_view payload,
                  int timeout_ms, const std::atomic<bool>* cancel) {
   // One contiguous buffer per frame: header + payload in a single send so
-  // small frames never straddle two TCP pushes.
+  // small frames never straddle two TCP pushes.  The CRC covers the
+  // length+type prefix and the payload (the crc field itself is excluded).
   std::string buf;
-  buf.reserve(5 + payload.size());
+  buf.reserve(kFrameHeaderBytes + payload.size());
   put_u32(buf, static_cast<std::uint32_t>(payload.size()));
   buf.push_back(static_cast<char>(type));
+  const std::uint32_t crc =
+      crc32(payload.data(), payload.size(), crc32(buf.data(), 5));
+  put_u32(buf, crc);
   buf.append(payload);
   sock.send_all(buf.data(), buf.size(), timeout_ms, cancel);
 }
@@ -64,7 +97,7 @@ void write_frame(Socket& sock, FrameType type, std::string_view payload,
 std::optional<Frame> read_frame(Socket& sock, std::uint32_t max_payload,
                                 int timeout_ms,
                                 const std::atomic<bool>* cancel) {
-  unsigned char header[5];
+  unsigned char header[kFrameHeaderBytes];
   // The first byte distinguishes "peer hung up between frames" (fine)
   // from "peer hung up mid-frame" (an error recv_exact raises).
   const std::size_t got = sock.recv_some(header, 1, timeout_ms, cancel);
@@ -81,11 +114,25 @@ std::optional<Frame> read_frame(Socket& sock, std::uint32_t max_payload,
                         " bytes exceeds the " + std::to_string(max_payload) +
                         "-byte limit");
   }
+  const std::uint32_t wire_crc =
+      static_cast<std::uint32_t>(header[5]) |
+      (static_cast<std::uint32_t>(header[6]) << 8) |
+      (static_cast<std::uint32_t>(header[7]) << 16) |
+      (static_cast<std::uint32_t>(header[8]) << 24);
   Frame frame;
   frame.type = static_cast<FrameType>(header[4]);
   frame.payload.resize(length);
   if (length > 0) {
     sock.recv_exact(frame.payload.data(), length, timeout_ms, cancel);
+  }
+  const std::uint32_t computed =
+      crc32(frame.payload.data(), frame.payload.size(), crc32(header, 5));
+  if (computed != wire_crc) {
+    throw WireError(WireErrorCode::kCorrupt,
+                    "frame CRC mismatch (type " +
+                        std::to_string(static_cast<int>(frame.type)) + ", " +
+                        std::to_string(length) + " payload bytes): bytes "
+                        "damaged in flight");
   }
   return frame;
 }
@@ -100,6 +147,24 @@ std::string encode_hello(std::uint16_t version, std::string_view text) {
 std::pair<std::uint16_t, std::string> decode_hello(std::string_view payload) {
   const std::uint16_t version = get_u16(payload, 0);
   return {version, std::string(payload.substr(2))};
+}
+
+std::string encode_map_begin(std::uint8_t flags, std::uint32_t deadline_ms) {
+  std::string payload(1, static_cast<char>(flags));
+  put_u32(payload, deadline_ms);
+  return payload;
+}
+
+std::pair<std::uint8_t, std::uint32_t> decode_map_begin(
+    std::string_view payload) {
+  if (payload.empty()) {
+    throw WireError(WireErrorCode::kBadFrame,
+                    "MAP_BEGIN payload must carry a flags byte");
+  }
+  const auto flags = static_cast<std::uint8_t>(payload[0]);
+  const std::uint32_t deadline_ms =
+      payload.size() >= 5 ? get_u32(payload, 1) : 0;
+  return {flags, deadline_ms};
 }
 
 std::string encode_busy(std::uint32_t retry_after_ms, std::string_view msg) {

@@ -1,8 +1,18 @@
-// The gnumapd wire protocol: length-prefixed binary frames over TCP.
+// The gnumapd wire protocol: length-prefixed, CRC-checked binary frames
+// over TCP.
 //
-// Frame layout (all integers little-endian):
+// Frame layout since protocol version 2 (all integers little-endian):
 //
-//   u32 payload_length | u8 frame_type | payload bytes
+//   u32 payload_length | u8 frame_type | u32 crc32 | payload bytes
+//
+// The CRC32 (IEEE/zlib polynomial) covers the first five header bytes
+// (length + type) and the payload, with the crc field itself excluded, so
+// a flipped bit anywhere in the frame — header or body — surfaces as a
+// typed kCorrupt ERROR instead of a garbage parse or a silently wrong
+// length.  v1 (no CRC field) is no longer spoken: the framing change is
+// not wire-compatible, and the HELLO version field now guards payload
+// semantics among CRC-framed versions (the server negotiates down to
+// min(client, server) and answers HELLO_OK with the agreed version).
 //
 // A session is a version handshake followed by any number of requests:
 //
@@ -10,7 +20,8 @@
 //   ------                          ------
 //   HELLO {u16 version, name}  ->
 //                              <-   HELLO_OK {u16 version, banner}
-//   MAP_BEGIN {u8 flags}       ->
+//   MAP_BEGIN {u8 flags,       ->
+//              u32 deadline_ms}
 //                              <-   MAP_GO | BUSY {u32 retry_ms, msg}
 //   READS_CHUNK {fastq bytes}  ->   (repeated; server pulls with
 //   ...                              backpressure — frames are only read
@@ -20,14 +31,22 @@
 //                              <-   MAP_DONE {key=value stats lines}
 //   STATS                      ->
 //                              <-   STATS_OK {key=value lines}
+//   HEALTH                     ->   (also allowed before HELLO, so fleet
+//                              <-   HEALTH_OK {key=value lines} probes
+//                                   need no handshake)
 //   SHUTDOWN                   ->
 //                              <-   SHUTDOWN_OK   (server then drains+exits)
 //
-// Any violation — unknown type, oversized frame, FASTQ parse failure,
-// timeout — is answered with ERROR {u16 code, msg} and the connection is
-// closed; the server itself always survives.  RESULT_SAM frames can arrive
-// while the client is still sending READS_CHUNK frames (the pipeline
-// drains as it maps), so clients must read and write concurrently.
+// MAP_BEGIN's deadline_ms (0 = none) is the client's overall request
+// deadline; the server propagates it into the pipeline and abandons work
+// nobody is waiting for (typed kTimeout, deadline-abandoned counter).
+//
+// Any violation — unknown type, oversized frame, CRC mismatch, FASTQ parse
+// failure, timeout — is answered with ERROR {u16 code, msg} and the
+// connection is closed; the server itself always survives.  RESULT_SAM
+// frames can arrive while the client is still sending READS_CHUNK frames
+// (the pipeline drains as it maps), so clients must read and write
+// concurrently.
 //
 // Byte-identity contract: the RESULT_TSV payloads concatenated equal the
 // offline CLI's --out file for the same reads and pipeline config, and the
@@ -45,7 +64,14 @@
 
 namespace gnumap::serve {
 
-inline constexpr std::uint16_t kProtocolVersion = 1;
+/// v2: CRC32 frame integrity + MAP_BEGIN deadline + HEALTH probes.
+inline constexpr std::uint16_t kProtocolVersion = 2;
+/// Oldest version this build still speaks (v1 framing had no CRC field
+/// and cannot be parsed by a v2 endpoint).
+inline constexpr std::uint16_t kMinProtocolVersion = 2;
+
+/// Frame header bytes on the wire: u32 length + u8 type + u32 crc32.
+inline constexpr std::size_t kFrameHeaderBytes = 9;
 
 /// Hard ceiling on a frame payload; larger frames are a protocol error.
 inline constexpr std::uint32_t kDefaultMaxFrameBytes = 8u << 20;
@@ -56,7 +82,7 @@ inline constexpr std::size_t kChunkBytes = 64u << 10;
 enum class FrameType : std::uint8_t {
   kHello = 0x01,
   kHelloOk = 0x02,
-  kMapBegin = 0x10,   ///< payload: u8 flags (kFlagWantSam | kFlagPhred64)
+  kMapBegin = 0x10,   ///< payload: u8 flags + u32 client deadline_ms
   kReadsChunk = 0x11, ///< payload: raw FASTQ text
   kMapEnd = 0x12,
   kMapGo = 0x13,      ///< admission granted; send READS_CHUNK frames
@@ -65,6 +91,8 @@ enum class FrameType : std::uint8_t {
   kMapDone = 0x22,    ///< payload: key=value lines (reads_total, ...)
   kStats = 0x30,
   kStatsOk = 0x31,    ///< payload: key=value lines
+  kHealth = 0x32,     ///< readiness probe; allowed even before HELLO
+  kHealthOk = 0x33,   ///< payload: key=value lines (ready, draining, ...)
   kShutdown = 0x40,
   kShutdownOk = 0x41,
   kBusy = 0x50,       ///< payload: u32 retry_after_ms + message
@@ -85,6 +113,8 @@ enum class WireErrorCode : std::uint16_t {
   kShuttingDown = 7,  ///< server is draining; retry elsewhere/later
   kInternal = 8,      ///< unexpected server-side failure
   kClosed = 9,        ///< peer closed mid-frame / mid-request
+  kCorrupt = 10,      ///< frame CRC mismatch: bytes damaged in flight
+  kEvicted = 11,      ///< server evicted the connection (watchdog/budget)
 };
 
 const char* wire_error_code_name(WireErrorCode code);
@@ -106,13 +136,18 @@ struct Frame {
   std::string payload;
 };
 
+/// CRC32 (IEEE 802.3 / zlib polynomial, bit-reflected).  `seed` chains
+/// incremental computation: crc32(b, crc32(a)) == crc32(a+b).
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed = 0);
+
 /// Writes one frame.  Throws WireError on timeout or a closed peer.
 void write_frame(Socket& sock, FrameType type, std::string_view payload,
                  int timeout_ms, const std::atomic<bool>* cancel = nullptr);
 
-/// Reads one frame.  Returns nullopt on orderly peer close at a frame
-/// boundary; throws WireError for truncation, oversized payloads
-/// (kTooLarge), timeouts, or cancellation.
+/// Reads one frame and verifies its CRC.  Returns nullopt on orderly peer
+/// close at a frame boundary; throws WireError for truncation, oversized
+/// payloads (kTooLarge), CRC mismatches (kCorrupt), timeouts, or
+/// cancellation.
 std::optional<Frame> read_frame(Socket& sock, std::uint32_t max_payload,
                                 int timeout_ms,
                                 const std::atomic<bool>* cancel = nullptr);
@@ -129,6 +164,12 @@ std::uint32_t get_u32(std::string_view payload, std::size_t offset);
 /// HELLO / HELLO_OK: u16 version + free-form text.
 std::string encode_hello(std::uint16_t version, std::string_view text);
 std::pair<std::uint16_t, std::string> decode_hello(std::string_view payload);
+
+/// MAP_BEGIN: u8 flags + u32 deadline_ms (0 = no client deadline).
+std::string encode_map_begin(std::uint8_t flags, std::uint32_t deadline_ms);
+/// Accepts the 1-byte flags-only form (deadline 0) for hand-rolled peers.
+std::pair<std::uint8_t, std::uint32_t> decode_map_begin(
+    std::string_view payload);
 
 /// BUSY: u32 retry_after_ms + message.
 std::string encode_busy(std::uint32_t retry_after_ms, std::string_view msg);

@@ -330,11 +330,30 @@ TEST(Serve, RejectsWrongProtocolVersion) {
   MappingServer server(w.ref, serve_config(), test_options());
   server.start();
 
-  Socket sock = serve::connect_tcp("127.0.0.1", server.port(), 5'000);
-  serve::write_frame(sock, FrameType::kHello,
-                     serve::encode_hello(serve::kProtocolVersion + 1, "old"),
-                     5'000);
-  EXPECT_EQ(expect_error_frame(sock), WireErrorCode::kBadVersion);
+  {
+    // v1 framing had no CRC and cannot be spoken; the version field draws
+    // a typed refusal.
+    Socket sock = serve::connect_tcp("127.0.0.1", server.port(), 5'000);
+    serve::write_frame(sock, FrameType::kHello,
+                       serve::encode_hello(serve::kMinProtocolVersion - 1,
+                                           "old"),
+                       5'000);
+    EXPECT_EQ(expect_error_frame(sock), WireErrorCode::kBadVersion);
+  }
+  {
+    // A NEWER client is negotiated down to the server's version, not
+    // refused.
+    Socket sock = serve::connect_tcp("127.0.0.1", server.port(), 5'000);
+    serve::write_frame(sock, FrameType::kHello,
+                       serve::encode_hello(serve::kProtocolVersion + 1,
+                                           "new"),
+                       5'000);
+    auto reply = serve::read_frame(sock, serve::kDefaultMaxFrameBytes, 5'000);
+    ASSERT_TRUE(reply.has_value());
+    ASSERT_EQ(reply->type, FrameType::kHelloOk);
+    EXPECT_EQ(serve::decode_hello(reply->payload).first,
+              serve::kProtocolVersion);
+  }
 
   server.request_stop();
   server.wait();
