@@ -65,17 +65,83 @@ void BM_ForwardBackward(benchmark::State& state) {
 }
 BENCHMARK(BM_ForwardBackward)->Arg(36)->Arg(62)->Arg(100)->Arg(150);
 
-/// Batched SIMD engine over a 32-task batch at one dispatch level.
-/// range(0) = read length, range(1) = SimdLevel (0 scalar / 1 sse2 / 2 avx2).
-/// Compare cells/s ("items") against BM_ForwardBackward at the same read
-/// length for the batching + vectorization speedup; results are
-/// bit-identical across levels, so this is a pure throughput knob.
+/// Shared harness for the batched benchmarks: drains a batch of fixtures
+/// through the engine, accumulates kernel timings and cell counts across
+/// iterations, and reports GCUPS (useful DP cells per kernel second / 1e9,
+/// docs/KERNELS.md §9) plus lane occupancy (useful / swept cells).
+/// Mirrors the numbers into the metrics registry so a --metrics-out export
+/// carries the BENCH_phmm.json series under the shared schema.
+void run_batched(benchmark::State& state, const std::vector<Fixture>& fixtures,
+                 phmm::SimdLevel level, phmm::Precision precision,
+                 std::size_t bin_slack, const std::string& series) {
+  phmm::BatchedForward batch((PhmmParams()), BoundaryMode::kSemiGlobal,
+                             phmm::EngineOptions{.simd = level,
+                                                 .precision = precision,
+                                                 .bin_slack = bin_slack});
+  // Drain mode, as the mapper uses it: each pack's matrices are recycled
+  // from a hot pool and handed to the consumer — the analogue of the
+  // scalar loop reusing one AlignmentMatrices.
+  double sink = 0.0;
+  const auto consume = [&](std::size_t task) {
+    sink += batch.matrices(task).log_likelihood;
+  };
+  phmm::KernelTimings total;
+  for (auto _ : state) {
+    batch.clear();  // also resets timings: accumulate them per iteration
+    for (const Fixture& fx : fixtures) batch.add(fx.pwm, fx.window);
+    batch.run(consume);
+    total += batch.timings();
+    benchmark::DoNotOptimize(sink);
+  }
+  const double kernel_seconds = total.forward_seconds + total.backward_seconds;
+  const double gcups =
+      kernel_seconds > 0.0
+          ? static_cast<double>(total.cells) / kernel_seconds / 1e9
+          : 0.0;
+  const double occupancy =
+      total.swept_cells > 0
+          ? static_cast<double>(total.cells) /
+                static_cast<double>(total.swept_cells)
+          : 0.0;
+  const std::string labels = "{" + series + "}";
+  obs::registry()
+      .gauge("gnumap_bench_phmm_forward_seconds" + labels,
+             "Total forward-sweep kernel seconds over all iterations")
+      .set(total.forward_seconds);
+  obs::registry()
+      .gauge("gnumap_bench_phmm_backward_seconds" + labels,
+             "Total backward-sweep kernel seconds over all iterations")
+      .set(total.backward_seconds);
+  obs::registry()
+      .gauge("gnumap_bench_phmm_gcups" + labels,
+             "Useful DP cells per kernel-second / 1e9 (docs/KERNELS.md §9)")
+      .set(gcups);
+  std::size_t batch_cells = 0;
+  for (const Fixture& fx : fixtures) batch_cells += fx.cells();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch_cells));
+  state.counters["cells"] = static_cast<double>(batch_cells);
+  state.counters["gcups"] = gcups;
+  state.counters["lane_occupancy"] = occupancy;
+  state.SetLabel(std::string(phmm::simd_level_name(level)) + "/" +
+                 phmm::precision_name(precision));
+}
+
+/// Batched SIMD engine over a 32-task batch of identical-length reads.
+/// range(0) = read length, range(1) = SimdLevel (0 scalar / 1 sse2 /
+/// 2 avx2), range(2) = lane precision (0 fp64 / 1 fp32).  Compare cells/s
+/// ("items") against BM_ForwardBackward at the same read length for the
+/// batching + vectorization speedup; the fp64 rows are bit-identical
+/// across levels, so that axis is a pure throughput knob, while fp32
+/// doubles the lane count at ~1e-5 relative score error (KERNELS.md §8).
 void BM_BatchedForwardBackward(benchmark::State& state) {
   const auto level = static_cast<phmm::SimdLevel>(state.range(1));
   if (phmm::resolve_simd_level(level) != level) {
     state.SkipWithError("SIMD level not supported on this host");
     return;
   }
+  const auto precision = state.range(2) == 0 ? phmm::Precision::kDouble
+                                             : phmm::Precision::kSingle;
   constexpr std::size_t kBatch = 32;
   // Distinct fixtures per slot so lanes carry independent problems, as in
   // the mapper (every candidate window differs).
@@ -84,45 +150,49 @@ void BM_BatchedForwardBackward(benchmark::State& state) {
   for (std::size_t t = 0; t < kBatch; ++t) {
     fixtures.emplace_back(static_cast<std::size_t>(state.range(0)));
   }
-  phmm::BatchedForward batch((PhmmParams()), BoundaryMode::kSemiGlobal,
-                             level);
-  // Drain mode, as the mapper uses it: each pack's matrices are recycled
-  // from a hot pool and handed to the consumer — the analogue of the
-  // scalar loop above reusing one AlignmentMatrices.
-  double sink = 0.0;
-  const auto consume = [&](std::size_t task) {
-    sink += batch.matrices(task).log_likelihood;
-  };
-  double forward_seconds = 0.0, backward_seconds = 0.0;
-  for (auto _ : state) {
-    batch.clear();  // also resets timings: accumulate them per iteration
-    for (const Fixture& fx : fixtures) batch.add(fx.pwm, fx.window);
-    batch.run(consume);
-    forward_seconds += batch.timings().forward_seconds;
-    backward_seconds += batch.timings().backward_seconds;
-    benchmark::DoNotOptimize(sink);
-  }
-  // Mirror the kernel timings into the metrics registry so a --metrics-out
-  // export carries the BENCH_phmm.json numbers under the shared schema.
-  const std::string labels = std::string("{level=\"") +
-                             phmm::simd_level_name(level) + "\",read_len=\"" +
-                             std::to_string(state.range(0)) + "\"}";
-  obs::registry()
-      .gauge("gnumap_bench_phmm_forward_seconds" + labels,
-             "Total forward-sweep kernel seconds over all iterations")
-      .set(forward_seconds);
-  obs::registry()
-      .gauge("gnumap_bench_phmm_backward_seconds" + labels,
-             "Total backward-sweep kernel seconds over all iterations")
-      .set(backward_seconds);
-  const std::size_t batch_cells = fixtures.front().cells() * kBatch;
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(batch_cells));
-  state.counters["cells"] = static_cast<double>(batch_cells);
-  state.SetLabel(phmm::simd_level_name(level));
+  const std::string series = std::string("level=\"") +
+                             phmm::simd_level_name(level) + "\",prec=\"" +
+                             phmm::precision_name(precision) +
+                             "\",read_len=\"" +
+                             std::to_string(state.range(0)) + "\"";
+  run_batched(state, fixtures, level, precision, phmm::kDefaultBinSlack,
+              series);
 }
 BENCHMARK(BM_BatchedForwardBackward)
-    ->ArgsProduct({{36, 62, 100, 150}, {0, 1, 2}});
+    ->ArgsProduct({{36, 62, 100, 150}, {0, 1, 2}, {0, 1}});
+
+/// The length-binned scheduler on a mapper-realistic mixed batch: 32 tasks
+/// whose read lengths cycle over 36..62 bp.  range(0) = SimdLevel,
+/// range(1) = precision, range(2) = binning (0 = slack 0, i.e. the
+/// identical-shapes-only packing; 1 = default slack).  With binning off,
+/// every length change breaks the pack and lanes go idle; the
+/// lane_occupancy counter shows how much of the sweep was useful either
+/// way.  Results are bit-identical across all four fp64 variants.
+void BM_BatchedMixedLength(benchmark::State& state) {
+  const auto level = static_cast<phmm::SimdLevel>(state.range(0));
+  if (phmm::resolve_simd_level(level) != level) {
+    state.SkipWithError("SIMD level not supported on this host");
+    return;
+  }
+  const auto precision = state.range(1) == 0 ? phmm::Precision::kDouble
+                                             : phmm::Precision::kSingle;
+  const std::size_t bin_slack =
+      state.range(2) == 0 ? 0 : phmm::kDefaultBinSlack;
+  constexpr std::size_t kBatch = 32;
+  std::vector<Fixture> fixtures;
+  fixtures.reserve(kBatch);
+  for (std::size_t t = 0; t < kBatch; ++t) {
+    fixtures.emplace_back(36 + (t * 7) % 27);  // 36..62 bp, shuffled order
+  }
+  const std::string series = std::string("level=\"") +
+                             phmm::simd_level_name(level) + "\",prec=\"" +
+                             phmm::precision_name(precision) +
+                             "\",binning=\"" +
+                             (bin_slack == 0 ? "off" : "on") +
+                             "\",read_len=\"mixed\"";
+  run_batched(state, fixtures, level, precision, bin_slack, series);
+}
+BENCHMARK(BM_BatchedMixedLength)->ArgsProduct({{0, 1, 2}, {0, 1}, {0, 1}});
 
 void BM_MarginalCondense(benchmark::State& state) {
   const Fixture fx(static_cast<std::size_t>(state.range(0)));

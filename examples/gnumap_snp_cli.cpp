@@ -53,6 +53,7 @@ namespace {
                "  --out FILE --vcf FILE --alpha X --fdr Q --ploidy 1|2\n"
                "  --kmer K --accum norm|chardisc|centdisc --threads N\n"
                "  --batch N --queue-depth N\n"
+               "  --phmm-fp32 [--phmm-fp32-margin X] --phmm-bin-slack N\n"
                "  --min-coverage X --phred64 --quiet\n"
                "  --trace-out FILE --metrics-out FILE\n",
                argv0);
@@ -113,6 +114,19 @@ int main(int argc, char** argv) {
         if (config.queue_depth == 0) {
           usage(argv[0], "--queue-depth must be >= 1");
         }
+      } else if (arg == "--phmm-fp32") {
+        // Single-precision PHMM lanes (2x lane count).  Borderline mapping
+        // decisions are recomputed in double, so SNP calls match the
+        // default path; see docs/KERNELS.md §8 for the accuracy model.
+        config.phmm_precision = phmm::Precision::kSingle;
+      } else if (arg == "--phmm-fp32-margin") {
+        config.phmm_fp32_margin = parse_double(need_value(i));
+        if (config.phmm_fp32_margin < 0.0) {
+          usage(argv[0], "--phmm-fp32-margin must be >= 0");
+        }
+      } else if (arg == "--phmm-bin-slack") {
+        config.phmm_bin_slack =
+            static_cast<std::size_t>(parse_u64(need_value(i)));
       } else if (arg == "--min-coverage") {
         config.min_coverage = parse_double(need_value(i));
       } else if (arg == "--phred64") {

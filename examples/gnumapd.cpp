@@ -76,6 +76,7 @@ void drain_handler(int) {
                "  --alpha X --fdr Q --ploidy 1|2 --kmer K\n"
                "  --accum norm|chardisc|centdisc --threads N\n"
                "  --batch N --queue-depth N --min-coverage X --quiet\n"
+               "  --phmm-fp32 [--phmm-fp32-margin X] --phmm-bin-slack N\n"
                "  --trace-out FILE --metrics-out FILE\n",
                argv0);
   std::exit(2);
@@ -163,6 +164,18 @@ int main(int argc, char** argv) {
         }
       } else if (arg == "--min-coverage") {
         config.min_coverage = parse_double(need_value(i));
+      } else if (arg == "--phmm-fp32") {
+        // Single-precision PHMM lanes; borderline mapping decisions are
+        // recomputed in double so served calls match the default path.
+        config.phmm_precision = phmm::Precision::kSingle;
+      } else if (arg == "--phmm-fp32-margin") {
+        config.phmm_fp32_margin = parse_double(need_value(i));
+        if (config.phmm_fp32_margin < 0.0) {
+          usage(argv[0], "--phmm-fp32-margin must be >= 0");
+        }
+      } else if (arg == "--phmm-bin-slack") {
+        config.phmm_bin_slack =
+            static_cast<std::size_t>(parse_u64(need_value(i)));
       } else if (arg == "--quiet") {
         quiet = true;
       } else if (arg == "--help" || arg == "-h") {

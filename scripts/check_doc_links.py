@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in the repo's markdown docs.
+
+Usage: check_doc_links.py [file-or-dir ...]
+
+With no arguments, checks README.md, DESIGN.md, ROADMAP.md, and docs/*.md
+relative to the repository root (the parent of this script's directory).
+
+A link is checked when it is a standard inline markdown link whose target
+is neither an absolute URL (http:, https:, mailto:) nor a pure in-page
+anchor (#...).  The target is resolved relative to the file containing it;
+a missing file — or, for `path#anchor` targets, a missing file before the
+fragment — is reported and the script exits nonzero.  Anchors themselves
+are not validated (section headings move too often for that to stay
+useful), only the file part.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links: [text](target).  Images ![alt](target) share the suffix so
+# the same pattern picks them up.  Angle-bracketed targets <...> are
+# unwrapped; titles ("...") are stripped.
+LINK_RE = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_links(text):
+    for match in LINK_RE.finditer(text):
+        target = match.group(1).strip("<>")
+        if not target or target.startswith(SKIP_PREFIXES):
+            continue
+        if target.startswith("#"):
+            continue  # in-page anchor
+        yield target.split("#", 1)[0], match.start()
+
+
+def check_file(path):
+    text = path.read_text(encoding="utf-8")
+    broken = []
+    for target, offset in iter_links(text):
+        resolved = (path.parent / target).resolve()
+        if not resolved.exists():
+            line = text.count("\n", 0, offset) + 1
+            broken.append((line, target))
+    return broken
+
+
+def main(argv):
+    root = Path(__file__).resolve().parent.parent
+    if argv:
+        candidates = []
+        for arg in argv:
+            p = Path(arg)
+            candidates.extend(sorted(p.glob("*.md")) if p.is_dir() else [p])
+    else:
+        candidates = [root / "README.md", root / "DESIGN.md",
+                      root / "ROADMAP.md"]
+        candidates.extend(sorted((root / "docs").glob("*.md")))
+
+    failures = 0
+    checked = 0
+    for path in candidates:
+        if not path.exists():
+            print(f"error: no such file: {path}", file=sys.stderr)
+            failures += 1
+            continue
+        checked += 1
+        for line, target in check_file(path):
+            print(f"{path}:{line}: broken link -> {target}", file=sys.stderr)
+            failures += 1
+    if failures:
+        print(f"FAIL: {failures} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"ok: {checked} file(s), all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -28,6 +28,23 @@ struct PipelineConfig {
   /// supports; every level produces bit-identical results (see
   /// docs/KERNELS.md), so this is purely a speed knob.
   phmm::SimdLevel simd = phmm::SimdLevel::kAuto;
+  /// Lane precision for the batched PHMM kernel.  kAuto defers to the
+  /// GNUMAP_PHMM_FP32 environment variable and otherwise stays fp64 (the
+  /// bit-identical default).  kSingle doubles the lane count; reads whose
+  /// mapping decisions land within phmm_fp32_margin of a threshold are
+  /// recomputed with the scalar double oracle so call decisions match the
+  /// fp64 pipeline (docs/KERNELS.md §8).
+  phmm::Precision phmm_precision = phmm::Precision::kAuto;
+  /// Length-binning slack for the batched PHMM scheduler: the DP-shape
+  /// spread allowed within one SIMD pack (0 = identical shapes only, the
+  /// pre-binning packing).  Purely a speed knob — results are bit-identical
+  /// at any value (docs/KERNELS.md §7).
+  std::size_t phmm_bin_slack = phmm::kDefaultBinSlack;
+  /// FP32 only: the recompute margin, in log-likelihood units.  A read is
+  /// re-scored with the scalar double oracle when its best score lands
+  /// within this margin of the mapped-at-all cutoff, or any site posterior
+  /// lands within it (in log units) of min_site_posterior.
+  double phmm_fp32_margin = 0.5;
   /// Extra genome bases on each side of a candidate window (absorbs indels
   /// and diagonal binning slack).
   int window_pad = 12;
@@ -89,6 +106,9 @@ struct MapStats {
   /// cost model and the Figure-4 / Table-3 benches.
   double phmm_forward_seconds = 0.0;
   double phmm_backward_seconds = 0.0;
+  /// Reads re-scored with the scalar double oracle because an fp32 mapping
+  /// decision was within the recompute margin (always 0 in fp64 mode).
+  std::uint64_t fp32_recomputed_reads = 0;
 
   MapStats& operator+=(const MapStats& other) {
     reads_total += other.reads_total;
@@ -98,6 +118,7 @@ struct MapStats {
     dp_cells += other.dp_cells;
     phmm_forward_seconds += other.phmm_forward_seconds;
     phmm_backward_seconds += other.phmm_backward_seconds;
+    fp32_recomputed_reads += other.fp32_recomputed_reads;
     return *this;
   }
 };

@@ -16,7 +16,8 @@ ReadMapper::ReadMapper(const Genome& genome, const HashIndex& index,
       config_(config),
       seeder_(index, config.seeder),
       hmm_(config.phmm, BoundaryMode::kSemiGlobal),
-      simd_level_(phmm::resolve_simd_level(config.simd)) {}
+      simd_level_(phmm::resolve_simd_level(config.simd)),
+      precision_(phmm::resolve_precision(config.phmm_precision)) {}
 
 std::vector<ReadMapper::CandidateWindow> ReadMapper::gather_candidates(
     const Read& read, ReadPwms& pwms, MapStats& stats,
@@ -133,7 +134,10 @@ std::vector<std::vector<ScoredSite>> ReadMapper::score_reads(
   // Phase 1: seed every read and queue all candidate alignments.  PWM and
   // candidate storage is pre-sized so the pointers the batch borrows stay
   // put until run() returns.
-  ws.batch.configure(config_.phmm, BoundaryMode::kSemiGlobal, simd_level_);
+  ws.batch.configure(config_.phmm, BoundaryMode::kSemiGlobal,
+                     phmm::EngineOptions{.simd = simd_level_,
+                                         .precision = precision_,
+                                         .bin_slack = config_.phmm_bin_slack});
   std::vector<ReadPwms> pwms(reads.size());
   std::vector<std::vector<CandidateWindow>> candidates(reads.size());
   struct Pending {
@@ -195,10 +199,68 @@ std::vector<std::vector<ScoredSite>> ReadMapper::score_reads(
     if (task_scored[task] == 0) continue;
     scored[pending[task].read].push_back(std::move(task_sites[task]));
   }
+
+  // FP32 guard: before the decisions in finalize_sites are taken on
+  // single-precision scores, re-score any read whose decisions sit within
+  // the configured margin of a threshold with the scalar double oracle —
+  // its candidate windows are still staged, so this reuses the exact
+  // enumeration the batch saw.  Off-margin decisions are unaffected by fp32
+  // rounding by construction, so the calls the pipeline emits match the
+  // fp64 path read for read (docs/KERNELS.md §8).
+  if (precision_ == phmm::Precision::kSingle) {
+    static obs::Counter& recomputed = obs::registry().counter(
+        "gnumap_phmm_fp32_recomputed_total",
+        "Reads re-scored with the scalar double oracle because an fp32 "
+        "mapping decision was within the recompute margin");
+    for (std::size_t r = 0; r < reads.size(); ++r) {
+      if (!fp32_borderline(reads[r], scored[r])) continue;
+      ++stats.fp32_recomputed_reads;
+      recomputed.inc();
+      scored[r].clear();
+      for (const CandidateWindow& cw : candidates[r]) {
+        if (!hmm_.align(*cw.pwm, cw.window, ws.mats)) continue;
+        ScoredSite site;
+        site.window_begin = cw.window_begin;
+        site.log_likelihood = ws.mats.log_likelihood;
+        site.reverse = cw.reverse;
+        site.contributions =
+            condense_marginals(hmm_, *cw.pwm, ws.mats, config_.marginal);
+        scored[r].push_back(std::move(site));
+      }
+    }
+  }
+
   for (std::size_t r = 0; r < reads.size(); ++r) {
     finalize_sites(reads[r], scored[r], stats);
   }
   return scored;
+}
+
+bool ReadMapper::fp32_borderline(const Read& read,
+                                 const std::vector<ScoredSite>& sites) const {
+  // No surviving alignment: ok-ness is a structural zero (no path has
+  // nonzero probability), not a rounding artifact — never borderline.
+  if (sites.empty()) return false;
+  const double margin = config_.phmm_fp32_margin;
+  double best = sites.front().log_likelihood;
+  for (const auto& site : sites) best = std::max(best, site.log_likelihood);
+  // Decision 1: the mapped-at-all cutoff in finalize_sites.
+  const double cutoff =
+      config_.min_loglik_per_base * static_cast<double>(read.length());
+  if (std::abs(best - cutoff) <= margin) return true;
+  if (best < cutoff) return false;  // comfortably unmapped
+  // Decision 2: the per-site posterior prune.  The pre-prune weight is
+  // exp(ll - best) / norm; compare in log space so the margin is in the
+  // same log-likelihood units as the scores.
+  double norm = 0.0;
+  for (const auto& site : sites) norm += std::exp(site.log_likelihood - best);
+  const double log_norm = std::log(norm);
+  const double log_min = std::log(config_.min_site_posterior);
+  for (const auto& site : sites) {
+    const double log_w = (site.log_likelihood - best) - log_norm;
+    if (std::abs(log_w - log_min) <= margin) return true;
+  }
+  return false;
 }
 
 void ReadMapper::accumulate_site(const ScoredSite& site, Accumulator& accum) {

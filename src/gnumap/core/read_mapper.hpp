@@ -95,6 +95,11 @@ class ReadMapper {
   /// Concrete SIMD level the batched path executes at (never kAuto).
   phmm::SimdLevel simd_level() const { return simd_level_; }
 
+  /// Concrete lane precision the batched path executes at (never kAuto).
+  /// kSingle engages the fp32 kernels plus the recompute guard below; the
+  /// scalar score_read path always runs double.
+  phmm::Precision phmm_precision() const { return precision_; }
+
  private:
   /// One candidate alignment problem, ready for the PHMM.  `window` views
   /// genome storage and `pwm` points into a ReadPwms; both stay valid for
@@ -127,12 +132,22 @@ class ReadMapper {
   void finalize_sites(const Read& read, std::vector<ScoredSite>& sites,
                       MapStats& stats) const;
 
+  /// FP32 guard: true when one of `read`'s mapping decisions — the
+  /// mapped-at-all cutoff or a site-posterior prune — lands within
+  /// config.phmm_fp32_margin of its threshold, close enough that fp32
+  /// rounding could flip it.  An empty site list is NOT borderline: no
+  /// candidate produced a nonzero-probability path, which is a structural
+  /// verdict, not a rounding one (docs/KERNELS.md §8).
+  bool fp32_borderline(const Read& read,
+                       const std::vector<ScoredSite>& sites) const;
+
   const Genome& genome_;
   const HashIndex& index_;
   const PipelineConfig& config_;
   Seeder seeder_;
   PairHmm hmm_;
   phmm::SimdLevel simd_level_ = phmm::SimdLevel::kScalar;
+  phmm::Precision precision_ = phmm::Precision::kDouble;
 };
 
 }  // namespace gnumap

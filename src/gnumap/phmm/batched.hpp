@@ -13,23 +13,38 @@
 // routines in forward_backward.cpp remain the reference oracle; the
 // equivalence suite (tests/test_phmm_batched.cpp) holds the two together.
 //
+// Two scheduling/precision knobs sit on top of the lane engine:
+//
+//  * Length binning (on by default, `bin_slack`): tasks are sorted by DP
+//    shape and nearby shapes are packed into one sweep using masked kernels,
+//    so lanes retire together instead of waiting out the longest read of the
+//    batch.  Masking is exact arithmetic (multiply by 1.0/0.0), so binned
+//    results remain bit-identical to the scalar oracle; docs/KERNELS.md §7.
+//  * FP32 lanes (`Precision::kSingle`, off by default): the same recursions
+//    in single precision at twice the lane count, writing widened doubles
+//    downstream.  Scores are approximate; the mapper recomputes any read
+//    whose decision lands within a margin of a call threshold with the
+//    scalar double oracle, keeping SNP output bit-identical (KERNELS.md §8).
+//
 // The full kernel-math spec — the recursion actually implemented, the two
 // documented deviations from the paper's printed equations, the row-
 // rescaling invariant, the SoA batch layout, and the dispatch matrix — lives
 // in docs/KERNELS.md.
 //
 // Dispatch: scalar (1 lane), SSE2 (2 lanes), AVX2 (4 lanes), selected at
-// runtime from CPUID.  The GNUMAP_SIMD environment variable ("scalar",
-// "sse2", "avx2", "auto") overrides the automatic choice for any component
-// that asks for SimdLevel::kAuto; an explicit non-auto request (tests,
-// benchmarks) wins over the environment.  Requests above what the host
-// supports are clamped, never rejected.
+// runtime from CPUID; fp32 doubles each width.  The GNUMAP_SIMD environment
+// variable ("scalar", "sse2", "avx2", "auto") overrides the automatic choice
+// for any component that asks for SimdLevel::kAuto; an explicit non-auto
+// request (tests, benchmarks) wins over the environment.  Requests above
+// what the host supports are clamped, never rejected.  GNUMAP_PHMM_FP32
+// plays the same role for Precision::kAuto.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "gnumap/phmm/forward_backward.hpp"
@@ -42,8 +57,8 @@ namespace gnumap::phmm {
 /// a level can always be clamped downward to a supported one.
 enum class SimdLevel : std::uint8_t {
   kScalar = 0,  ///< one lane; portable reference path
-  kSse2 = 1,    ///< 2 x f64 lanes (baseline on x86-64)
-  kAvx2 = 2,    ///< 4 x f64 lanes
+  kSse2 = 1,    ///< 2 x f64 / 4 x f32 lanes (baseline on x86-64)
+  kAvx2 = 2,    ///< 4 x f64 / 8 x f32 lanes
   kAuto = 3,    ///< resolve from GNUMAP_SIMD, else the best supported level
 };
 
@@ -60,6 +75,39 @@ SimdLevel max_supported_simd_level();
 ///  * explicit levels are honoured but clamped to what the host supports.
 SimdLevel resolve_simd_level(SimdLevel requested = SimdLevel::kAuto);
 
+/// Lane element precision of the batched sweeps.  kDouble lanes are
+/// bit-identical to the scalar oracle; kSingle lanes trade exactness for
+/// twice the lane count (the mapper's recompute margin restores exact call
+/// decisions — docs/KERNELS.md §8).
+enum class Precision : std::uint8_t {
+  kDouble = 0,
+  kSingle = 1,
+  kAuto = 2,  ///< resolve from GNUMAP_PHMM_FP32 (truthy => kSingle)
+};
+
+/// Human-readable name ("fp64", "fp32", "auto").
+const char* precision_name(Precision precision);
+
+/// Resolves kAuto against the GNUMAP_PHMM_FP32 environment variable
+/// ("1"/"true"/"on"/"yes", case-insensitive, selects kSingle; anything else
+/// — including unset — selects kDouble).  Explicit values pass through.
+Precision resolve_precision(Precision requested = Precision::kAuto);
+
+/// Default length-binning slack (DP cells of shape mismatch tolerated
+/// within one pack, both dimensions).  Chosen so one pack never sweeps more
+/// than a few percent padding on Illumina-length reads while still merging
+/// the common off-by-a-few window-length variation the mapper produces.
+inline constexpr std::size_t kDefaultBinSlack = 16;
+
+/// Scheduler/precision options for BatchedForward::configure.
+struct EngineOptions {
+  SimdLevel simd = SimdLevel::kAuto;
+  Precision precision = Precision::kAuto;
+  /// Max (n, m) spread packed into one sweep; 0 disables binning (only
+  /// identical shapes share a pack, the pre-binning behavior).
+  std::size_t bin_slack = kDefaultBinSlack;
+};
+
 /// Wall-clock accounting for one batch of kernel sweeps.  Feeds MapStats and
 /// from there the alpha-beta cost model and the Figure-4/Table-3 benches.
 struct KernelTimings {
@@ -67,13 +115,18 @@ struct KernelTimings {
   /// the per-task result matrices (the copy-out is fused into the sweep).
   double forward_seconds = 0.0;
   double backward_seconds = 0.0;  ///< likewise for the backward sweeps
-  std::uint64_t cells = 0;        ///< DP cells swept, (n+1)*(m+1) per task
-  std::uint64_t tasks = 0;        ///< alignment problems processed
+  std::uint64_t cells = 0;        ///< useful DP cells, (n+1)*(m+1) per task
+  /// DP cells swept including padding: width * (N+1) * (M+1) per pack.
+  /// cells / swept_cells is the lane-occupancy the scheduler maximizes;
+  /// cells / seconds is the GCUPS number reported to obs and the benches.
+  std::uint64_t swept_cells = 0;
+  std::uint64_t tasks = 0;  ///< alignment problems processed
 
   KernelTimings& operator+=(const KernelTimings& other) {
     forward_seconds += other.forward_seconds;
     backward_seconds += other.backward_seconds;
     cells += other.cells;
+    swept_cells += other.swept_cells;
     tasks += other.tasks;
     return *this;
   }
@@ -116,11 +169,18 @@ class BatchedForward {
                           BoundaryMode mode = BoundaryMode::kSemiGlobal,
                           SimdLevel level = SimdLevel::kAuto);
 
+  BatchedForward(const PhmmParams& params, BoundaryMode mode,
+                 const EngineOptions& options);
+
   /// Re-points the engine at (params, mode, level) and clears any pending
   /// tasks, results, and timings.  Scratch capacity is retained.  Throws
   /// ConfigError if the parameters are invalid.
   void configure(const PhmmParams& params, BoundaryMode mode,
                  SimdLevel level = SimdLevel::kAuto);
+
+  /// Full-options configure: SIMD level, lane precision, binning slack.
+  void configure(const PhmmParams& params, BoundaryMode mode,
+                 const EngineOptions& options);
 
   /// Drops pending tasks, results, and timings; keeps configuration and
   /// scratch capacity.
@@ -137,11 +197,12 @@ class BatchedForward {
   /// for the duration of the call; outcome(task) stays valid afterwards.
   using TaskConsumer = std::function<void(std::size_t task)>;
 
-  /// Sweeps every pending task: groups tasks of identical (n, m) shape into
-  /// SIMD packs, runs the forward and backward recursions lane-parallel,
-  /// and streams the results into per-task matrices that stay valid until
-  /// the next clear()/configure().  Idempotent per batch: call once after
-  /// the last add().
+  /// Sweeps every pending task: sorts tasks by DP shape, packs them into
+  /// SIMD lanes (identical shapes into uniform packs; shapes within
+  /// bin_slack of each other into masked packs), runs the forward and
+  /// backward recursions lane-parallel, and streams the results into
+  /// per-task matrices that stay valid until the next clear()/configure().
+  /// Idempotent per batch: call once after the last add().
   void run();
 
   /// Like run(), but recycles a width-sized matrix pool instead of
@@ -173,6 +234,10 @@ class BatchedForward {
 
   /// The concrete dispatch level the engine executes at (never kAuto).
   SimdLevel level() const { return level_; }
+  /// The concrete lane precision (never kAuto).
+  Precision precision() const { return precision_; }
+  /// Length-binning slack in effect (0 = identical shapes only).
+  std::size_t bin_slack() const { return bin_slack_; }
   const PhmmParams& params() const { return params_; }
   BoundaryMode mode() const { return mode_; }
 
@@ -183,16 +248,41 @@ class BatchedForward {
     std::uint64_t tag;
   };
 
-  /// Upper bound on any backend's lane width (AVX-512 would be 8 f64).
+  /// Upper bound on any backend's lane width (AVX2 fp32 packs 8 lanes).
   static constexpr std::size_t kMaxWidth = 8;
+
+  /// Lane-interleaved SoA scratch, one instance per lane element type: the
+  /// full emission table (pstar), two ping-pong DP rows per matrix
+  /// (fm..bgy), the contiguous per-lane rows staged for interleaving
+  /// (row_stage), and the masked-pack column mask / backward-init rows.
+  template <typename T>
+  struct LaneScratch {
+    std::vector<T> pstar, fm, fgx, fgy, bm, bgx, bgy;
+    std::vector<T> row_stage;
+    std::vector<T> colmask, binit_bm, binit_bgx, binit_bgy;
+  };
+
+  template <typename T>
+  LaneScratch<T>& scratch() {
+    if constexpr (std::is_same_v<T, double>) {
+      return scratch64_;
+    } else {
+      return scratch32_;
+    }
+  }
 
   void run_impl(const TaskConsumer* consume);
   void run_pack(std::span<const std::size_t> task_ids, std::size_t n,
                 std::size_t m, const TaskConsumer* consume);
+  template <typename T>
+  void run_pack_impl(std::span<const std::size_t> task_ids, std::size_t n,
+                     std::size_t m, const TaskConsumer* consume);
 
   PhmmParams params_;
   BoundaryMode mode_ = BoundaryMode::kSemiGlobal;
   SimdLevel level_ = SimdLevel::kScalar;
+  Precision precision_ = Precision::kDouble;
+  std::size_t bin_slack_ = kDefaultBinSlack;
 
   std::vector<Task> tasks_;
   std::vector<BatchOutcome> outcomes_;
@@ -205,16 +295,21 @@ class BatchedForward {
   const AlignmentMatrices* pack_mats_[kMaxWidth] = {};
   std::size_t pack_count_ = 0;
 
-  // Lane-interleaved scratch for the pack currently being swept: the full
-  // emission table (pstar_), two ping-pong DP rows per matrix (fm_..bgy_),
-  // and a write-only trash matrix that absorbs padding-lane output.
-  std::vector<double> pstar_, fm_, fgx_, fgy_, bm_, bgx_, bgy_, trash_;
-  // Emission-fill scratch: per-lane mixed-emission tables, decoded window
-  // symbols (lane-major, kMaxWidth x m), and the contiguous per-lane rows
-  // staged for interleaving into pstar_.
+  LaneScratch<double> scratch64_;
+  LaneScratch<float> scratch32_;
+  // Write-only trash matrix absorbing padding-lane output of partial
+  // uniform packs (masked packs never write padding lanes); always double,
+  // like every destination matrix.
+  std::vector<double> trash_;
+  // Emission-fill scratch: per-lane mixed-emission tables and decoded
+  // window symbols (lane-major, kMaxWidth x m); shared by both precisions.
   std::array<std::vector<double>, kMaxWidth> mixed_;
   std::vector<std::uint8_t> ycodes_;
-  std::vector<double> row_stage_;
+  // Per-lane DP shapes of the pack being swept, plus the double-precision
+  // chain row used to stage global-mode backward inits bit-exactly.
+  std::size_t lane_n_[kMaxWidth] = {};
+  std::size_t lane_m_[kMaxWidth] = {};
+  std::vector<double> binit_chain_;
 
   KernelTimings timings_;
 };

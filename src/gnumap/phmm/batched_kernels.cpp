@@ -1,6 +1,14 @@
 // Scalar and SSE2 backends for the batched Pair-HMM kernels, plus the
 // runtime CPU feature checks.  The AVX2 backend lives in
 // batched_kernels_avx2.cpp (compiled with -mavx2).
+//
+// Each ISA contributes two vector-traits types — a double one and a float
+// one at twice the lane count — and the shared template in
+// batched_kernels_impl.hpp is instantiated over both, in uniform and masked
+// flavors.  `store_wide` is the one asymmetric operation: it stores a
+// register of lanes as doubles (identity for the double traits, a widening
+// convert for the float ones), which is how fp32 sweeps fill the
+// always-double destination matrices.
 #include "gnumap/phmm/batched_kernels.hpp"
 
 #include "gnumap/phmm/batched_kernels_impl.hpp"
@@ -16,9 +24,11 @@ namespace {
 
 struct ScalarV {
   static constexpr std::size_t width = 1;
+  using elem = double;
   using reg = double;
   static reg load(const double* p) { return *p; }
   static void store(double* p, reg v) { *p = v; }
+  static void store_wide(double* p, reg v) { *p = v; }
   static reg set1(double x) { return x; }
   static reg zero() { return 0.0; }
   static reg add(reg a, reg b) { return a + b; }
@@ -26,23 +36,61 @@ struct ScalarV {
   static void transpose(reg (&)[1]) {}  // 1x1: nothing to do
 };
 
+struct ScalarVF {
+  static constexpr std::size_t width = 1;
+  using elem = float;
+  using reg = float;
+  static reg load(const float* p) { return *p; }
+  static void store(float* p, reg v) { *p = v; }
+  static void store_wide(double* p, reg v) { *p = static_cast<double>(v); }
+  static reg set1(double x) { return static_cast<float>(x); }
+  static reg zero() { return 0.0f; }
+  static reg add(reg a, reg b) { return a + b; }
+  static reg mul(reg a, reg b) { return a * b; }
+  static void transpose(reg (&)[1]) {}
+};
+
 void scalar_forward(const PackConstants& c, const PackState& s) {
-  forward_pack<ScalarV>(c, s);
+  forward_pack<ScalarV, false>(c, s);
 }
 void scalar_backward(const PackConstants& c, const PackState& s) {
-  backward_pack<ScalarV>(c, s);
+  backward_pack<ScalarV, false>(c, s);
+}
+void scalar_forward_masked(const PackConstants& c, const PackState& s) {
+  forward_pack<ScalarV, true>(c, s);
+}
+void scalar_backward_masked(const PackConstants& c, const PackState& s) {
+  backward_pack<ScalarV, true>(c, s);
 }
 void scalar_interleave(double* dst, const double* const* src,
                        std::size_t count) {
   interleave_row<ScalarV>(dst, src, count);
 }
+void scalar_forward_f32(const PackConstants& c, const PackStateF& s) {
+  forward_pack<ScalarVF, false>(c, s);
+}
+void scalar_backward_f32(const PackConstants& c, const PackStateF& s) {
+  backward_pack<ScalarVF, false>(c, s);
+}
+void scalar_forward_masked_f32(const PackConstants& c, const PackStateF& s) {
+  forward_pack<ScalarVF, true>(c, s);
+}
+void scalar_backward_masked_f32(const PackConstants& c, const PackStateF& s) {
+  backward_pack<ScalarVF, true>(c, s);
+}
+void scalar_interleave_f32(float* dst, const float* const* src,
+                           std::size_t count) {
+  interleave_row<ScalarVF>(dst, src, count);
+}
 
 #if GNUMAP_KERNEL_SSE2
 struct Sse2V {
   static constexpr std::size_t width = 2;
+  using elem = double;
   using reg = __m128d;
   static reg load(const double* p) { return _mm_loadu_pd(p); }
   static void store(double* p, reg v) { _mm_storeu_pd(p, v); }
+  static void store_wide(double* p, reg v) { _mm_storeu_pd(p, v); }
   static reg set1(double x) { return _mm_set1_pd(x); }
   static reg zero() { return _mm_setzero_pd(); }
   static reg add(reg a, reg b) { return _mm_add_pd(a, b); }
@@ -55,28 +103,90 @@ struct Sse2V {
   }
 };
 
+struct Sse2VF {
+  static constexpr std::size_t width = 4;
+  using elem = float;
+  using reg = __m128;
+  static reg load(const float* p) { return _mm_loadu_ps(p); }
+  static void store(float* p, reg v) { _mm_storeu_ps(p, v); }
+  static void store_wide(double* p, reg v) {
+    _mm_storeu_pd(p, _mm_cvtps_pd(v));
+    _mm_storeu_pd(p + 2, _mm_cvtps_pd(_mm_movehl_ps(v, v)));
+  }
+  static reg set1(double x) { return _mm_set1_ps(static_cast<float>(x)); }
+  static reg zero() { return _mm_setzero_ps(); }
+  static reg add(reg a, reg b) { return _mm_add_ps(a, b); }
+  static reg mul(reg a, reg b) { return _mm_mul_ps(a, b); }
+  static void transpose(reg (&r)[4]) {
+    _MM_TRANSPOSE4_PS(r[0], r[1], r[2], r[3]);
+  }
+};
+
 void sse2_forward(const PackConstants& c, const PackState& s) {
-  forward_pack<Sse2V>(c, s);
+  forward_pack<Sse2V, false>(c, s);
 }
 void sse2_backward(const PackConstants& c, const PackState& s) {
-  backward_pack<Sse2V>(c, s);
+  backward_pack<Sse2V, false>(c, s);
+}
+void sse2_forward_masked(const PackConstants& c, const PackState& s) {
+  forward_pack<Sse2V, true>(c, s);
+}
+void sse2_backward_masked(const PackConstants& c, const PackState& s) {
+  backward_pack<Sse2V, true>(c, s);
 }
 void sse2_interleave(double* dst, const double* const* src,
                      std::size_t count) {
   interleave_row<Sse2V>(dst, src, count);
+}
+void sse2_forward_f32(const PackConstants& c, const PackStateF& s) {
+  forward_pack<Sse2VF, false>(c, s);
+}
+void sse2_backward_f32(const PackConstants& c, const PackStateF& s) {
+  backward_pack<Sse2VF, false>(c, s);
+}
+void sse2_forward_masked_f32(const PackConstants& c, const PackStateF& s) {
+  forward_pack<Sse2VF, true>(c, s);
+}
+void sse2_backward_masked_f32(const PackConstants& c, const PackStateF& s) {
+  backward_pack<Sse2VF, true>(c, s);
+}
+void sse2_interleave_f32(float* dst, const float* const* src,
+                         std::size_t count) {
+  interleave_row<Sse2VF>(dst, src, count);
 }
 #endif  // GNUMAP_KERNEL_SSE2
 
 }  // namespace
 
 KernelBackend scalar_backend() {
-  return KernelBackend{1, &scalar_forward, &scalar_backward,
-                       &scalar_interleave};
+  return KernelBackend{.width = 1,
+                       .forward = &scalar_forward,
+                       .backward = &scalar_backward,
+                       .forward_masked = &scalar_forward_masked,
+                       .backward_masked = &scalar_backward_masked,
+                       .interleave = &scalar_interleave,
+                       .width_f32 = 1,
+                       .forward_f32 = &scalar_forward_f32,
+                       .backward_f32 = &scalar_backward_f32,
+                       .forward_masked_f32 = &scalar_forward_masked_f32,
+                       .backward_masked_f32 = &scalar_backward_masked_f32,
+                       .interleave_f32 = &scalar_interleave_f32};
 }
 
 KernelBackend sse2_backend() {
 #if GNUMAP_KERNEL_SSE2
-  return KernelBackend{2, &sse2_forward, &sse2_backward, &sse2_interleave};
+  return KernelBackend{.width = 2,
+                       .forward = &sse2_forward,
+                       .backward = &sse2_backward,
+                       .forward_masked = &sse2_forward_masked,
+                       .backward_masked = &sse2_backward_masked,
+                       .interleave = &sse2_interleave,
+                       .width_f32 = 4,
+                       .forward_f32 = &sse2_forward_f32,
+                       .backward_f32 = &sse2_backward_f32,
+                       .forward_masked_f32 = &sse2_forward_masked_f32,
+                       .backward_masked_f32 = &sse2_backward_masked_f32,
+                       .interleave_f32 = &sse2_interleave_f32};
 #else
   return KernelBackend{};
 #endif

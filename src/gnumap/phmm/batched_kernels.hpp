@@ -1,14 +1,25 @@
 // Internal backend interface for the batched Pair-HMM kernels.
 //
-// A backend is a (width, forward, backward) triple operating on one SIMD
-// pack: `width` independent alignment problems of identical (n, m) shape.
+// A backend is a set of (width, forward, backward) kernel triples operating
+// on one SIMD pack: `width` independent alignment problems swept together.
 // DP rows are lane-interleaved while being computed (cell j of lane l lives
 // at [j * width + l] within the row) and transposed into per-lane row-major
 // destination matrices as each row is finished.  Backends are compiled per
 // instruction set — the AVX2 one in its own translation unit with -mavx2 —
 // and selected at runtime by BatchedForward; a backend whose ISA was not
-// compiled in reports width 0.  See batched_kernels_impl.hpp for the shared
-// templated kernel body and docs/KERNELS.md for the math.
+// compiled in reports width 0.
+//
+// Each backend exposes four kernel variants per sweep direction:
+//   * fp64 uniform  — every lane shares (n, m); the original PR 2 kernels.
+//   * fp64 masked   — lanes carry their own (n_l, m_l) <= (n, m); per-lane
+//     column masks and staged backward-init rows keep every lane's result
+//     bit-identical to a scalar PairHmm::align of that lane alone (the
+//     length-binned scheduler's requirement; see docs/KERNELS.md §7).
+//   * fp32 uniform / fp32 masked — the same recursions in single precision
+//     at twice the lane count, writing widened doubles into the destination
+//     matrices (downstream posterior extraction is unchanged).
+// See batched_kernels_impl.hpp for the shared templated kernel body and
+// docs/KERNELS.md for the math.
 #pragma once
 
 #include <cstddef>
@@ -22,7 +33,7 @@ struct PackConstants {
   bool semi_global;
 };
 
-/// One pack's state.
+/// One pack's state, templated over the lane element type (double or float).
 ///
 /// The DP recursions only ever look one row back (forward) or one row ahead
 /// (backward), so the kernels keep just two lane-interleaved rows of scratch
@@ -31,24 +42,39 @@ struct PackConstants {
 /// copy-out is what makes batching pay: a separate de-interleave pass over
 /// full (n+1)*(m+1)*width buffers used to cost more than the sweeps.
 ///
-/// `fm`..`bgy` therefore point at 2*(m+1)*width doubles of ping-pong scratch
-/// (row i lives at parity i&1); `pstar` is the full n*(m+1)*width emission
-/// table.  `out_*[l]` is the base of lane l's destination matrix, row stride
-/// (m+1); the kernels write every one of its (n+1)*(m+1) cells, including
-/// boundary zeros.  Padding lanes (l >= active) must point at a caller-owned
-/// trash matrix of the same extent, and their pstar lanes must be zero so no
+/// `fm`..`bgy` therefore point at 2*(m+1)*width elements of ping-pong
+/// scratch (row i lives at parity i&1); `pstar` is the full n*(m+1)*width
+/// emission table.  `out_*[l]` is the base of lane l's destination matrix —
+/// always double, regardless of T (fp32 lanes widen on copy-out).
+///
+/// Uniform packs: every lane shares (n, m); `out_*[l]` has row stride m+1
+/// and the kernels write every one of its (n+1)*(m+1) cells, boundary zeros
+/// included.  Padding lanes (l >= active) must point at a caller-owned trash
+/// matrix of the same extent, and their pstar lanes must be zero so no
 /// probability mass (or stray NaN) ever enters them.
-struct PackState {
-  std::size_t n = 0;       ///< read length (>= 1)
-  std::size_t m = 0;       ///< window length (>= 1)
+///
+/// Masked packs (`colmask != nullptr`): lane l solves its own problem of
+/// shape (lane_n[l], lane_m[l]) <= (n, m).  `colmask` is a lane-interleaved
+/// (m+1)-cell row holding exactly 1.0 where j <= lane_m[l] for a live lane
+/// and exactly 0.0 elsewhere (padding lanes are all-zero); `binit_*` are
+/// lane-interleaved backward-initialization rows staged by the caller with
+/// the scalar oracle's row-n_l init values.  The kernels write only the
+/// (lane_n[l]+1) x (lane_m[l]+1) cells of each live lane's destination
+/// (row stride lane_m[l]+1) — padding lanes are never written, so masked
+/// packs need no trash matrix.  pstar cells outside a lane's extent must be
+/// staged as exact zeros.
+template <typename T>
+struct PackStateT {
+  std::size_t n = 0;       ///< pack read length (max over lanes; >= 1)
+  std::size_t m = 0;       ///< pack window length (max over lanes; >= 1)
   std::size_t active = 0;  ///< live lanes, 1 <= active <= width
-  const double* pstar = nullptr;  ///< mixed emissions p*(i, y_j)
-  double* fm = nullptr;   ///< ping-pong scratch, 2*(m+1)*width each
-  double* fgx = nullptr;
-  double* fgy = nullptr;
-  double* bm = nullptr;
-  double* bgx = nullptr;
-  double* bgy = nullptr;
+  const T* pstar = nullptr;  ///< mixed emissions p*(i, y_j)
+  T* fm = nullptr;  ///< ping-pong scratch, 2*(m+1)*width elements each
+  T* fgx = nullptr;
+  T* fgy = nullptr;
+  T* bm = nullptr;
+  T* bgx = nullptr;
+  T* bgy = nullptr;
   double* const* out_fm = nullptr;  ///< [width] per-lane destinations
   double* const* out_fgx = nullptr;
   double* const* out_fgy = nullptr;
@@ -58,21 +84,42 @@ struct PackState {
   double* log_scale = nullptr;       ///< [width] accumulated log row scales
   double* log_likelihood = nullptr;  ///< [width] out: log P(x, y)
   std::uint8_t* ok = nullptr;        ///< [width] out: alignment path exists
+  // Masked (mixed-shape) packs only; all null for uniform packs.
+  const T* colmask = nullptr;    ///< [(m+1)*width] 1.0 where j <= lane_m[l]
+  const T* binit_bm = nullptr;   ///< [(m+1)*width] backward row-n_l init
+  const T* binit_bgx = nullptr;
+  const T* binit_bgy = nullptr;
+  const std::size_t* lane_n = nullptr;  ///< [width] per-lane read length
+  const std::size_t* lane_m = nullptr;  ///< [width] per-lane window length
 };
 
+using PackState = PackStateT<double>;
+using PackStateF = PackStateT<float>;
+
 using PackFn = void (*)(const PackConstants&, const PackState&);
+using PackFnF = void (*)(const PackConstants&, const PackStateF&);
 
 /// Interleaves `width` contiguous source rows (`src[l][j]`, `count` cells)
 /// into one lane-interleaved row (`dst[j * width + l]`) — the inverse of the
 /// kernels' row transpose, used to build the pstar table with vector stores.
 using InterleaveFn = void (*)(double* dst, const double* const* src,
                               std::size_t count);
+using InterleaveFnF = void (*)(float* dst, const float* const* src,
+                               std::size_t count);
 
 struct KernelBackend {
-  std::size_t width = 0;  ///< lanes; 0 = backend not compiled in
+  std::size_t width = 0;  ///< fp64 lanes; 0 = backend not compiled in
   PackFn forward = nullptr;
   PackFn backward = nullptr;
+  PackFn forward_masked = nullptr;
+  PackFn backward_masked = nullptr;
   InterleaveFn interleave = nullptr;
+  std::size_t width_f32 = 0;  ///< fp32 lanes (2x width on SSE2/AVX2)
+  PackFnF forward_f32 = nullptr;
+  PackFnF backward_f32 = nullptr;
+  PackFnF forward_masked_f32 = nullptr;
+  PackFnF backward_masked_f32 = nullptr;
+  InterleaveFnF interleave_f32 = nullptr;
 };
 
 KernelBackend scalar_backend();

@@ -18,9 +18,11 @@ namespace {
 
 struct Avx2V {
   static constexpr std::size_t width = 4;
+  using elem = double;
   using reg = __m256d;
   static reg load(const double* p) { return _mm256_loadu_pd(p); }
   static void store(double* p, reg v) { _mm256_storeu_pd(p, v); }
+  static void store_wide(double* p, reg v) { _mm256_storeu_pd(p, v); }
   static reg set1(double x) { return _mm256_set1_pd(x); }
   static reg zero() { return _mm256_setzero_pd(); }
   static reg add(reg a, reg b) { return _mm256_add_pd(a, b); }
@@ -37,21 +39,97 @@ struct Avx2V {
   }
 };
 
+struct Avx2VF {
+  static constexpr std::size_t width = 8;
+  using elem = float;
+  using reg = __m256;
+  static reg load(const float* p) { return _mm256_loadu_ps(p); }
+  static void store(float* p, reg v) { _mm256_storeu_ps(p, v); }
+  static void store_wide(double* p, reg v) {
+    _mm256_storeu_pd(p, _mm256_cvtps_pd(_mm256_castps256_ps128(v)));
+    _mm256_storeu_pd(p + 4, _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1)));
+  }
+  static reg set1(double x) { return _mm256_set1_ps(static_cast<float>(x)); }
+  static reg zero() { return _mm256_setzero_ps(); }
+  static reg add(reg a, reg b) { return _mm256_add_ps(a, b); }
+  static reg mul(reg a, reg b) { return _mm256_mul_ps(a, b); }
+  static void transpose(reg (&r)[8]) {
+    // 8x8 via pairwise unpacks, 4-wide shuffles, then 128-bit lane swaps.
+    const reg t0 = _mm256_unpacklo_ps(r[0], r[1]);
+    const reg t1 = _mm256_unpackhi_ps(r[0], r[1]);
+    const reg t2 = _mm256_unpacklo_ps(r[2], r[3]);
+    const reg t3 = _mm256_unpackhi_ps(r[2], r[3]);
+    const reg t4 = _mm256_unpacklo_ps(r[4], r[5]);
+    const reg t5 = _mm256_unpackhi_ps(r[4], r[5]);
+    const reg t6 = _mm256_unpacklo_ps(r[6], r[7]);
+    const reg t7 = _mm256_unpackhi_ps(r[6], r[7]);
+    const reg u0 = _mm256_shuffle_ps(t0, t2, _MM_SHUFFLE(1, 0, 1, 0));
+    const reg u1 = _mm256_shuffle_ps(t0, t2, _MM_SHUFFLE(3, 2, 3, 2));
+    const reg u2 = _mm256_shuffle_ps(t1, t3, _MM_SHUFFLE(1, 0, 1, 0));
+    const reg u3 = _mm256_shuffle_ps(t1, t3, _MM_SHUFFLE(3, 2, 3, 2));
+    const reg u4 = _mm256_shuffle_ps(t4, t6, _MM_SHUFFLE(1, 0, 1, 0));
+    const reg u5 = _mm256_shuffle_ps(t4, t6, _MM_SHUFFLE(3, 2, 3, 2));
+    const reg u6 = _mm256_shuffle_ps(t5, t7, _MM_SHUFFLE(1, 0, 1, 0));
+    const reg u7 = _mm256_shuffle_ps(t5, t7, _MM_SHUFFLE(3, 2, 3, 2));
+    r[0] = _mm256_permute2f128_ps(u0, u4, 0x20);
+    r[1] = _mm256_permute2f128_ps(u1, u5, 0x20);
+    r[2] = _mm256_permute2f128_ps(u2, u6, 0x20);
+    r[3] = _mm256_permute2f128_ps(u3, u7, 0x20);
+    r[4] = _mm256_permute2f128_ps(u0, u4, 0x31);
+    r[5] = _mm256_permute2f128_ps(u1, u5, 0x31);
+    r[6] = _mm256_permute2f128_ps(u2, u6, 0x31);
+    r[7] = _mm256_permute2f128_ps(u3, u7, 0x31);
+  }
+};
+
 void avx2_forward(const PackConstants& c, const PackState& s) {
-  forward_pack<Avx2V>(c, s);
+  forward_pack<Avx2V, false>(c, s);
 }
 void avx2_backward(const PackConstants& c, const PackState& s) {
-  backward_pack<Avx2V>(c, s);
+  backward_pack<Avx2V, false>(c, s);
+}
+void avx2_forward_masked(const PackConstants& c, const PackState& s) {
+  forward_pack<Avx2V, true>(c, s);
+}
+void avx2_backward_masked(const PackConstants& c, const PackState& s) {
+  backward_pack<Avx2V, true>(c, s);
 }
 void avx2_interleave(double* dst, const double* const* src,
                      std::size_t count) {
   interleave_row<Avx2V>(dst, src, count);
 }
+void avx2_forward_f32(const PackConstants& c, const PackStateF& s) {
+  forward_pack<Avx2VF, false>(c, s);
+}
+void avx2_backward_f32(const PackConstants& c, const PackStateF& s) {
+  backward_pack<Avx2VF, false>(c, s);
+}
+void avx2_forward_masked_f32(const PackConstants& c, const PackStateF& s) {
+  forward_pack<Avx2VF, true>(c, s);
+}
+void avx2_backward_masked_f32(const PackConstants& c, const PackStateF& s) {
+  backward_pack<Avx2VF, true>(c, s);
+}
+void avx2_interleave_f32(float* dst, const float* const* src,
+                         std::size_t count) {
+  interleave_row<Avx2VF>(dst, src, count);
+}
 
 }  // namespace
 
 KernelBackend avx2_backend() {
-  return KernelBackend{4, &avx2_forward, &avx2_backward, &avx2_interleave};
+  return KernelBackend{.width = 4,
+                       .forward = &avx2_forward,
+                       .backward = &avx2_backward,
+                       .forward_masked = &avx2_forward_masked,
+                       .backward_masked = &avx2_backward_masked,
+                       .interleave = &avx2_interleave,
+                       .width_f32 = 8,
+                       .forward_f32 = &avx2_forward_f32,
+                       .backward_f32 = &avx2_backward_f32,
+                       .forward_masked_f32 = &avx2_forward_masked_f32,
+                       .backward_masked_f32 = &avx2_backward_masked_f32,
+                       .interleave_f32 = &avx2_interleave_f32};
 }
 
 }  // namespace gnumap::phmm::detail

@@ -1,20 +1,39 @@
 // Shared templated body of the batched Pair-HMM forward/backward kernels.
 //
-// Instantiated once per backend (scalar / SSE2 / AVX2) over a vector-traits
-// type V providing `width`, `reg`, load/store/set1/zero/add/mul, and an
-// in-register `transpose` of width x width cells.  The per-lane arithmetic
-// mirrors the scalar kernel in forward_backward.cpp operation for operation
-// — same expression trees, same summation order, no fused multiply-add — so
-// every lane's result is bit-identical to a scalar PairHmm::align on the
-// same task regardless of the lane width.  Any change here must be mirrored
-// there (and in docs/KERNELS.md) to keep the oracle property of the
-// equivalence suite meaningful.
+// Instantiated once per backend (scalar / SSE2 / AVX2) and element type
+// (double / float) over a vector-traits type V providing `elem`, `width`,
+// `reg`, load/store/set1/zero/add/mul, an in-register `transpose` of
+// width x width cells, and `store_wide` (store one reg of `elem` lanes as
+// doubles — identity for double traits, a widening convert for float).  The
+// per-lane arithmetic mirrors the scalar kernel in forward_backward.cpp
+// operation for operation — same expression trees, same summation order, no
+// fused multiply-add — so every double-precision lane's result is
+// bit-identical to a scalar PairHmm::align on the same task regardless of
+// the lane width.  Any change here must be mirrored there (and in
+// docs/KERNELS.md) to keep the oracle property of the equivalence suite
+// meaningful.  Float lanes execute the identical operation sequence in
+// single precision; their accuracy model is docs/KERNELS.md §8.
+//
+// Each kernel comes in a uniform and a masked flavor (the `Masked` template
+// parameter).  Uniform packs share one (n, m) across lanes.  Masked packs
+// carry per-lane shapes (lane_n, lane_m) <= (n, m): per-cell multiplication
+// by a per-lane column mask (exactly 1.0 inside a lane's extent, exactly
+// 0.0 outside) and a per-row lane mask keep all out-of-extent cells at
+// exact +0.0.  Because x * 1.0 and x + 0.0 are bit-exact for the
+// non-negative finite values these recursions produce, and 0.0 * x is
+// exactly +0.0, a masked lane's cells, row sums, rescale factors, and
+// termination are bit-identical to the scalar oracle — the property that
+// lets the length-binned scheduler mix nearby shapes in one pack without
+// perturbing the default path (docs/KERNELS.md §7).
 //
 // Memory layout: the sweeps keep only two lane-interleaved rows per matrix
 // (the recursions look exactly one row back/ahead) and stream each finished,
-// rescaled row into the per-lane destination matrices via deinterleave_row
-// while it is still in L1.  Writing boundary zeros is part of the kernels'
-// contract: every destination cell is stored exactly once.
+// rescaled row into the per-lane destination matrices while it is still in
+// L1 — via the fused transpose of deinterleave_row for uniform packs, or a
+// per-lane bounded copy for masked packs (lanes differ in row stride, so a
+// tile transpose would write past short lanes' rows).  Uniform kernels write
+// every destination cell exactly once, boundary zeros included; masked
+// kernels write exactly the cells of each live lane's own matrix.
 #pragma once
 
 #include <cmath>
@@ -26,10 +45,11 @@
 namespace gnumap::phmm::detail {
 
 /// Transposes one lane-interleaved row (`src[j * width + l]`, `row_len`
-/// cells) into `width` per-lane row-major rows `dst[l][j]`.  Pure data
-/// movement — stored bits are the loaded bits.
+/// cells) into `width` per-lane row-major double rows `dst[l][j]`.  For
+/// double traits this is pure data movement (stored bits are the loaded
+/// bits); float traits widen each value to double on the way out.
 template <class V>
-inline void deinterleave_row(const double* src, double* const* dst,
+inline void deinterleave_row(const typename V::elem* src, double* const* dst,
                              std::size_t row_len) {
   constexpr std::size_t W = V::width;
   std::size_t j = 0;
@@ -38,19 +58,23 @@ inline void deinterleave_row(const double* src, double* const* dst,
       typename V::reg r[W];
       for (std::size_t k = 0; k < W; ++k) r[k] = V::load(src + (j + k) * W);
       V::transpose(r);
-      for (std::size_t k = 0; k < W; ++k) V::store(dst[k] + j, r[k]);
+      for (std::size_t k = 0; k < W; ++k) V::store_wide(dst[k] + j, r[k]);
     }
   }
   for (; j < row_len; ++j) {
-    for (std::size_t k = 0; k < W; ++k) dst[k][j] = src[j * W + k];
+    for (std::size_t k = 0; k < W; ++k) {
+      dst[k][j] = static_cast<double>(src[j * W + k]);
+    }
   }
 }
 
-/// Inverse of deinterleave_row: packs `width` contiguous per-lane rows into
-/// one lane-interleaved row.  The same in-register transpose works in both
-/// directions (it is an involution on a width x width tile).
+/// Inverse of deinterleave_row (same element type on both sides): packs
+/// `width` contiguous per-lane rows into one lane-interleaved row.  The same
+/// in-register transpose works in both directions (it is an involution on a
+/// width x width tile).
 template <class V>
-inline void interleave_row(double* dst, const double* const* src,
+inline void interleave_row(typename V::elem* dst,
+                           const typename V::elem* const* src,
                            std::size_t count) {
   constexpr std::size_t W = V::width;
   std::size_t j = 0;
@@ -71,8 +95,10 @@ inline void interleave_row(double* dst, const double* const* src,
 /// the same per-cell expression tree as scale_row() in forward_backward.cpp
 /// ((a + b) + c, accumulated in j order), so the bits match the scalar sum.
 template <class V>
-inline typename V::reg pack_row_sum(const double* a, const double* b,
-                                    const double* c, std::size_t row_len) {
+inline typename V::reg pack_row_sum(const typename V::elem* a,
+                                    const typename V::elem* b,
+                                    const typename V::elem* c,
+                                    std::size_t row_len) {
   using reg = typename V::reg;
   constexpr std::size_t W = V::width;
   reg sum = V::zero();
@@ -89,31 +115,36 @@ inline typename V::reg pack_row_sum(const double* a, const double* b,
 /// match the scalar kernel's early return.  Also spills the factors to
 /// `invs` for the scalar tail of scale_deinterleave_row.
 template <class V>
-inline typename V::reg row_scale_inverse(typename V::reg sum, double* invs,
+inline typename V::reg row_scale_inverse(typename V::reg sum,
+                                         typename V::elem* invs,
                                          double* log_scale_acc) {
+  using T = typename V::elem;
   constexpr std::size_t W = V::width;
-  alignas(32) double sums[W];
+  alignas(64) T sums[W];
   V::store(sums, sum);
   for (std::size_t l = 0; l < W; ++l) {
-    if (sums[l] > 0.0) {
-      invs[l] = 1.0 / sums[l];
-      if (log_scale_acc != nullptr) log_scale_acc[l] += std::log(sums[l]);
+    if (sums[l] > T(0)) {
+      invs[l] = T(1) / sums[l];
+      if (log_scale_acc != nullptr) {
+        log_scale_acc[l] += std::log(static_cast<double>(sums[l]));
+      }
     } else {
-      invs[l] = 1.0;
+      invs[l] = T(1);
     }
   }
   return V::load(invs);
 }
 
-/// Rescale + flush, fused: multiplies a lane-interleaved row by the per-lane
-/// factors, stores the scaled row back into `src` (the recursions read it
-/// for the adjacent row), and transposes it into the per-lane destination
-/// rows — all in one pass over the row.  Each cell is multiplied exactly
-/// once, so the stored bits match a separate scale-then-copy.
+/// Rescale + flush, fused (uniform packs): multiplies a lane-interleaved row
+/// by the per-lane factors, stores the scaled row back into `src` (the
+/// recursions read it for the adjacent row), and transposes it into the
+/// per-lane destination rows — all in one pass over the row.  Each cell is
+/// multiplied exactly once, so the stored bits match a separate
+/// scale-then-copy; float lanes widen to double on the destination store.
 template <class V>
-inline void scale_deinterleave_row(double* src, typename V::reg inv,
-                                   const double* invs, double* const* dst,
-                                   std::size_t row_len) {
+inline void scale_deinterleave_row(typename V::elem* src, typename V::reg inv,
+                                   const typename V::elem* invs,
+                                   double* const* dst, std::size_t row_len) {
   constexpr std::size_t W = V::width;
   std::size_t j = 0;
   if constexpr (W > 1) {
@@ -124,14 +155,45 @@ inline void scale_deinterleave_row(double* src, typename V::reg inv,
         V::store(src + (j + k) * W, r[k]);
       }
       V::transpose(r);
-      for (std::size_t k = 0; k < W; ++k) V::store(dst[k] + j, r[k]);
+      for (std::size_t k = 0; k < W; ++k) V::store_wide(dst[k] + j, r[k]);
     }
   }
   for (; j < row_len; ++j) {
     for (std::size_t k = 0; k < W; ++k) {
-      const double v = src[j * W + k] * invs[k];
+      const typename V::elem v = src[j * W + k] * invs[k];
       src[j * W + k] = v;
-      dst[k][j] = v;
+      dst[k][j] = static_cast<double>(v);
+    }
+  }
+}
+
+/// In-place per-lane rescale of one lane-interleaved row (masked packs: the
+/// scaling half of scale_deinterleave_row without the transpose).  Each cell
+/// is one full vector, so there is no scalar tail.
+template <class V>
+inline void scale_row_inplace(typename V::elem* src, typename V::reg inv,
+                              std::size_t row_len) {
+  constexpr std::size_t W = V::width;
+  for (std::size_t j = 0; j < row_len; ++j) {
+    V::store(src + j * W, V::mul(V::load(src + j * W), inv));
+  }
+}
+
+/// Masked-pack flush: copies the valid prefix of one (already scaled)
+/// lane-interleaved row into each live lane's destination row at that lane's
+/// own stride (lane_m[l] + 1).  Rows past lane_n[l] and padding lanes are
+/// skipped, so a short lane's matrix is never written out of bounds — the
+/// reason masked packs use per-lane copies instead of the tile transpose.
+template <class V>
+inline void flush_masked_row(const typename V::elem* src, double* const* out,
+                             std::size_t i, const std::size_t* lane_n,
+                             const std::size_t* lane_m, std::size_t active) {
+  constexpr std::size_t W = V::width;
+  for (std::size_t l = 0; l < active; ++l) {
+    if (i > lane_n[l]) continue;
+    double* dst = out[l] + i * (lane_m[l] + 1);
+    for (std::size_t j = 0; j <= lane_m[l]; ++j) {
+      dst[j] = static_cast<double>(src[j * W + l]);
     }
   }
 }
@@ -139,9 +201,11 @@ inline void scale_deinterleave_row(double* src, typename V::reg inv,
 /// Forward sweep + termination.  Streams scaled fm/fgx/fgy rows into the
 /// out_* matrices and fills log_scale, log_likelihood, and ok.  Mirrors
 /// PairHmm::run_forward + the terminal sum in PairHmm::align.
-template <class V>
-void forward_pack(const PackConstants& C, const PackState& S) {
+template <class V, bool Masked>
+void forward_pack(const PackConstants& C,
+                  const PackStateT<typename V::elem>& S) {
   using reg = typename V::reg;
+  using T = typename V::elem;
   constexpr std::size_t W = V::width;
   const std::size_t n = S.n;
   const std::size_t m = S.m;
@@ -154,14 +218,17 @@ void forward_pack(const PackConstants& C, const PackState& S) {
   const reg q = V::set1(C.q);
   const reg zero = V::zero();
 
-  // Per-lane destination cursors, advanced one row per sweep step.
+  // Per-lane destination cursors (uniform packs only; masked packs compute
+  // per-lane offsets in flush_masked_row), advanced one row per sweep step.
   double* dst_fm[W];
   double* dst_fgx[W];
   double* dst_fgy[W];
-  for (std::size_t l = 0; l < W; ++l) {
-    dst_fm[l] = S.out_fm[l];
-    dst_fgx[l] = S.out_fgx[l];
-    dst_fgy[l] = S.out_fgy[l];
+  if constexpr (!Masked) {
+    for (std::size_t l = 0; l < W; ++l) {
+      dst_fm[l] = S.out_fm[l];
+      dst_fgx[l] = S.out_fgx[l];
+      dst_fgy[l] = S.out_fgy[l];
+    }
   }
   const auto advance = [&] {
     for (std::size_t l = 0; l < W; ++l) {
@@ -173,46 +240,74 @@ void forward_pack(const PackConstants& C, const PackState& S) {
 
   // Row-0 initialization.  Global: only (0, 0) is live.  Semi-global: the
   // read may start after any free genome prefix, so every f_M(0, j) is
-  // live.  Padding lanes stay zero so they never acquire probability mass.
+  // live.  Uniform packs gate padding lanes with an active-lane vector;
+  // masked packs load the column mask instead, which is zero both outside a
+  // lane's extent and on padding lanes.
   {
-    double* fm_row = S.fm;
-    double* fgx_row = S.fgx;
-    double* fgy_row = S.fgy;
-    alignas(32) double init[W];
-    for (std::size_t l = 0; l < W; ++l) init[l] = l < S.active ? 1.0 : 0.0;
-    const reg one = V::load(init);
-    for (std::size_t j = 0; j <= m; ++j) {
-      V::store(fm_row + j * W, C.semi_global || j == 0 ? one : zero);
-      V::store(fgx_row + j * W, zero);
-      V::store(fgy_row + j * W, zero);
+    T* fm_row = S.fm;
+    T* fgx_row = S.fgx;
+    T* fgy_row = S.fgy;
+    if constexpr (Masked) {
+      for (std::size_t j = 0; j <= m; ++j) {
+        const reg live = V::load(S.colmask + j * W);
+        V::store(fm_row + j * W, C.semi_global || j == 0 ? live : zero);
+        V::store(fgx_row + j * W, zero);
+        V::store(fgy_row + j * W, zero);
+      }
+      flush_masked_row<V>(fm_row, S.out_fm, 0, S.lane_n, S.lane_m, S.active);
+      flush_masked_row<V>(fgx_row, S.out_fgx, 0, S.lane_n, S.lane_m, S.active);
+      flush_masked_row<V>(fgy_row, S.out_fgy, 0, S.lane_n, S.lane_m, S.active);
+    } else {
+      alignas(64) T init[W];
+      for (std::size_t l = 0; l < W; ++l) init[l] = l < S.active ? T(1) : T(0);
+      const reg one = V::load(init);
+      for (std::size_t j = 0; j <= m; ++j) {
+        V::store(fm_row + j * W, C.semi_global || j == 0 ? one : zero);
+        V::store(fgx_row + j * W, zero);
+        V::store(fgy_row + j * W, zero);
+      }
+      deinterleave_row<V>(fm_row, dst_fm, m + 1);
+      deinterleave_row<V>(fgx_row, dst_fgx, m + 1);
+      deinterleave_row<V>(fgy_row, dst_fgy, m + 1);
+      advance();
     }
-    deinterleave_row<V>(fm_row, dst_fm, m + 1);
-    deinterleave_row<V>(fgx_row, dst_fgx, m + 1);
-    deinterleave_row<V>(fgy_row, dst_fgy, m + 1);
-    advance();
   }
   for (std::size_t l = 0; l < W; ++l) S.log_scale[l] = 0.0;
 
-  alignas(32) double invs[W];
+  alignas(64) T invs[W];
   for (std::size_t i = 1; i <= n; ++i) {
     const std::size_t cur = (i & 1) * SW;
     const std::size_t prev = SW - cur;
-    double* fm_row = S.fm + cur;
-    double* fgx_row = S.fgx + cur;
-    double* fgy_row = S.fgy + cur;
-    const double* fm_prev = S.fm + prev;
-    const double* fgx_prev = S.fgx + prev;
-    const double* fgy_prev = S.fgy + prev;
-    const double* p_row = S.pstar + (i - 1) * SW;
+    T* fm_row = S.fm + cur;
+    T* fgx_row = S.fgx + cur;
+    T* fgy_row = S.fgy + cur;
+    const T* fm_prev = S.fm + prev;
+    const T* fgx_prev = S.fgx + prev;
+    const T* fgy_prev = S.fgy + prev;
+    const T* p_row = S.pstar + (i - 1) * SW;
+    // Per-row lane mask (masked packs): 1.0 while the row is inside the
+    // lane's extent, 0.0 past it.  Multiplying by 1.0 is bit-exact, and one
+    // zeroed row cuts every later row off inductively, so a short lane's
+    // trailing rows carry no mass, contribute nothing to the per-lane row
+    // sums, and add nothing to its log_scale.
+    reg rmask = zero;
+    if constexpr (Masked) {
+      alignas(64) T rm[W];
+      for (std::size_t l = 0; l < W; ++l) {
+        rm[l] = (l < S.active && i <= S.lane_n[l]) ? T(1) : T(0);
+      }
+      rmask = V::load(rm);
+    }
     // Column 0 first: fm/fgy are zero (no leading-gap mass in those states;
     // the j = 1 recurrence reads them) and fgx carries leading read gaps in
     // semi-global mode only (see the scalar kernel).
     V::store(fm_row, zero);
     V::store(fgy_row, zero);
-    const reg fgx_0 =
+    reg fgx_0 =
         C.semi_global ? V::mul(q, V::add(V::mul(t_mg, V::load(fm_prev)),
                                          V::mul(t_gg, V::load(fgx_prev))))
                       : zero;
+    if constexpr (Masked) fgx_0 = V::mul(fgx_0, rmask);
     V::store(fgx_row, fgx_0);
     // The row sum for rescaling accumulates in-register as cells are
     // produced, ascending j with the scalar kernel's (fm + fgx) + fgy tree —
@@ -237,12 +332,22 @@ void forward_pack(const PackConstants& C, const PackState& S) {
           V::add(V::mul(t_mm, fm_pm1), V::mul(t_gm, diag_gaps)));
       V::store(fm_row + j * W, fm_j);
       // Read base x_i against a gap: consumes x only.
-      const reg fgx_j =
+      reg fgx_j =
           V::mul(q, V::add(V::mul(t_mg, fm_pj), V::mul(t_gg, fgx_pj)));
-      V::store(fgx_row + j * W, fgx_j);
       // Genome base y_j against a gap: consumes y only (within-row).
-      const reg fgy_j =
+      reg fgy_j =
           V::mul(q, V::add(V::mul(t_mg, fm_cm1), V::mul(t_gg, fgy_cm1)));
+      if constexpr (Masked) {
+        // fm needs no mask: out-of-extent emissions are staged as exact
+        // zeros.  fgx would leak below a short lane's last row (its inputs
+        // are live row-n_l cells) and fgy would leak one column past a
+        // short lane's last column (its input is the live cell at m_l), so
+        // both are cut by colmask * rmask — an exact 1.0 inside the extent.
+        const reg mask = V::mul(V::load(S.colmask + j * W), rmask);
+        fgx_j = V::mul(fgx_j, mask);
+        fgy_j = V::mul(fgy_j, mask);
+      }
+      V::store(fgx_row + j * W, fgx_j);
       V::store(fgy_row + j * W, fgy_j);
       sum = V::add(sum, V::add(V::add(fm_j, fgx_j), fgy_j));
       fm_pm1 = fm_pj;
@@ -252,36 +357,90 @@ void forward_pack(const PackConstants& C, const PackState& S) {
       fgy_cm1 = fgy_j;
     }
     const reg inv = row_scale_inverse<V>(sum, invs, S.log_scale);
-    scale_deinterleave_row<V>(fm_row, inv, invs, dst_fm, m + 1);
-    scale_deinterleave_row<V>(fgx_row, inv, invs, dst_fgx, m + 1);
-    scale_deinterleave_row<V>(fgy_row, inv, invs, dst_fgy, m + 1);
-    advance();
+    if constexpr (Masked) {
+      scale_row_inplace<V>(fm_row, inv, m + 1);
+      scale_row_inplace<V>(fgx_row, inv, m + 1);
+      scale_row_inplace<V>(fgy_row, inv, m + 1);
+      flush_masked_row<V>(fm_row, S.out_fm, i, S.lane_n, S.lane_m, S.active);
+      flush_masked_row<V>(fgx_row, S.out_fgx, i, S.lane_n, S.lane_m, S.active);
+      flush_masked_row<V>(fgy_row, S.out_fgy, i, S.lane_n, S.lane_m, S.active);
+    } else {
+      scale_deinterleave_row<V>(fm_row, inv, invs, dst_fm, m + 1);
+      scale_deinterleave_row<V>(fgx_row, inv, invs, dst_fgx, m + 1);
+      scale_deinterleave_row<V>(fgy_row, inv, invs, dst_fgy, m + 1);
+      advance();
+    }
   }
 
   // Termination: global ends at (N, M); semi-global sums every genome end
   // column (free suffix) in ascending-j order like the scalar kernel.
-  alignas(32) double term[W];
-  const double* fm_last = S.fm + (n & 1) * SW;
-  const double* fgx_last = S.fgx + (n & 1) * SW;
-  const double* fgy_last = S.fgy + (n & 1) * SW;
-  if (C.semi_global) {
-    reg t = V::zero();
-    for (std::size_t j = 0; j <= m; ++j) {
-      t = V::add(t, V::add(V::load(fm_last + j * W), V::load(fgx_last + j * W)));
+  if constexpr (Masked) {
+    // A short lane's last row has already left the ping-pong scratch, but
+    // every live lane's scaled rows are in its destination matrix — read
+    // the terminal row back from there, per lane, with the scalar kernel's
+    // exact summation order.
+    for (std::size_t l = 0; l < W; ++l) {
+      if (l >= S.active) {
+        S.ok[l] = 0;
+        S.log_likelihood[l] = -std::numeric_limits<double>::infinity();
+        continue;
+      }
+      const std::size_t nl = S.lane_n[l];
+      const std::size_t ml = S.lane_m[l];
+      const std::size_t last = nl * (ml + 1);
+      // Accumulate in T with the uniform kernel's expression tree: the
+      // destination holds exactly-widened lane values, so narrowing them
+      // back is exact and an fp32 lane terminates with the same float
+      // rounding whether it ran in a masked or a uniform pack — which is
+      // what keeps fp32 results bit-identical across dispatch widths.
+      // For T = double the casts are no-ops and this is the oracle's sum.
+      T terminal = T(0);
+      if (C.semi_global) {
+        const double* fm_l = S.out_fm[l] + last;
+        const double* fgx_l = S.out_fgx[l] + last;
+        for (std::size_t j = 0; j <= ml; ++j) {
+          terminal += static_cast<T>(fm_l[j]) + static_cast<T>(fgx_l[j]);
+        }
+      } else {
+        terminal = static_cast<T>(S.out_fm[l][last + ml]) +
+                   static_cast<T>(S.out_fgx[l][last + ml]) +
+                   static_cast<T>(S.out_fgy[l][last + ml]);
+      }
+      if (terminal > T(0)) {
+        S.ok[l] = 1;
+        S.log_likelihood[l] =
+            std::log(static_cast<double>(terminal)) + S.log_scale[l];
+      } else {
+        S.ok[l] = 0;
+        S.log_likelihood[l] = -std::numeric_limits<double>::infinity();
+      }
     }
-    V::store(term, t);
   } else {
-    V::store(term, V::add(V::add(V::load(fm_last + m * W),
-                                 V::load(fgx_last + m * W)),
-                          V::load(fgy_last + m * W)));
-  }
-  for (std::size_t l = 0; l < W; ++l) {
-    if (l < S.active && term[l] > 0.0) {
-      S.ok[l] = 1;
-      S.log_likelihood[l] = std::log(term[l]) + S.log_scale[l];
+    alignas(64) T term[W];
+    const T* fm_last = S.fm + (n & 1) * SW;
+    const T* fgx_last = S.fgx + (n & 1) * SW;
+    const T* fgy_last = S.fgy + (n & 1) * SW;
+    if (C.semi_global) {
+      reg t = V::zero();
+      for (std::size_t j = 0; j <= m; ++j) {
+        t = V::add(t,
+                   V::add(V::load(fm_last + j * W), V::load(fgx_last + j * W)));
+      }
+      V::store(term, t);
     } else {
-      S.ok[l] = 0;
-      S.log_likelihood[l] = -std::numeric_limits<double>::infinity();
+      V::store(term, V::add(V::add(V::load(fm_last + m * W),
+                                   V::load(fgx_last + m * W)),
+                            V::load(fgy_last + m * W)));
+    }
+    for (std::size_t l = 0; l < W; ++l) {
+      if (l < S.active && term[l] > T(0)) {
+        S.ok[l] = 1;
+        S.log_likelihood[l] =
+            std::log(static_cast<double>(term[l])) + S.log_scale[l];
+      } else {
+        S.ok[l] = 0;
+        S.log_likelihood[l] = -std::numeric_limits<double>::infinity();
+      }
     }
   }
 }
@@ -291,9 +450,17 @@ void forward_pack(const PackConstants& C, const PackState& S) {
 /// forward pass failed still compute (the caller re-zeroes their backward
 /// matrices afterwards, matching the scalar kernel's zeroed backward state
 /// for failed alignments).
-template <class V>
-void backward_pack(const PackConstants& C, const PackState& S) {
+///
+/// Masked packs: lane l's sweep starts at its own row lane_n[l] with the
+/// caller-staged oracle init row (binit_*).  Rows above it select exact
+/// zeros, the init row selects binit, and rows below select the recursion —
+/// `cell = raw * rec_sel + binit * init_sel` with {0.0, 1.0} selectors,
+/// which is bit-exact because every operand is finite and non-negative.
+template <class V, bool Masked>
+void backward_pack(const PackConstants& C,
+                   const PackStateT<typename V::elem>& S) {
   using reg = typename V::reg;
+  using T = typename V::elem;
   constexpr std::size_t W = V::width;
   const std::size_t n = S.n;
   const std::size_t m = S.m;
@@ -309,35 +476,64 @@ void backward_pack(const PackConstants& C, const PackState& S) {
   double* dst_bm[W];
   double* dst_bgx[W];
   double* dst_bgy[W];
-  for (std::size_t l = 0; l < W; ++l) {
-    dst_bm[l] = S.out_bm[l] + n * (m + 1);
-    dst_bgx[l] = S.out_bgx[l] + n * (m + 1);
-    dst_bgy[l] = S.out_bgy[l] + n * (m + 1);
+  if constexpr (!Masked) {
+    for (std::size_t l = 0; l < W; ++l) {
+      dst_bm[l] = S.out_bm[l] + n * (m + 1);
+      dst_bgx[l] = S.out_bgx[l] + n * (m + 1);
+      dst_bgy[l] = S.out_bgy[l] + n * (m + 1);
+    }
   }
   // The backward recursion runs j descending while the scalar row sum is
   // accumulated ascending, so the sum stays a separate (read-only) pass; the
-  // rescale multiply is still fused into the transpose flush.
-  alignas(32) double invs[W];
-  const auto scale_flush_row = [&](double* bm_row, double* bgx_row,
-                                   double* bgy_row) {
+  // rescale multiply is still fused into the transpose flush (uniform) or
+  // applied in place before the per-lane copy (masked).
+  alignas(64) T invs[W];
+  const auto scale_flush_row = [&](T* bm_row, T* bgx_row, T* bgy_row,
+                                   std::size_t i) {
     const reg inv = row_scale_inverse<V>(
         pack_row_sum<V>(bm_row, bgx_row, bgy_row, m + 1), invs, nullptr);
-    scale_deinterleave_row<V>(bm_row, inv, invs, dst_bm, m + 1);
-    scale_deinterleave_row<V>(bgx_row, inv, invs, dst_bgx, m + 1);
-    scale_deinterleave_row<V>(bgy_row, inv, invs, dst_bgy, m + 1);
-    for (std::size_t l = 0; l < W; ++l) {
-      dst_bm[l] -= m + 1;
-      dst_bgx[l] -= m + 1;
-      dst_bgy[l] -= m + 1;
+    if constexpr (Masked) {
+      scale_row_inplace<V>(bm_row, inv, m + 1);
+      scale_row_inplace<V>(bgx_row, inv, m + 1);
+      scale_row_inplace<V>(bgy_row, inv, m + 1);
+      flush_masked_row<V>(bm_row, S.out_bm, i, S.lane_n, S.lane_m, S.active);
+      flush_masked_row<V>(bgx_row, S.out_bgx, i, S.lane_n, S.lane_m, S.active);
+      flush_masked_row<V>(bgy_row, S.out_bgy, i, S.lane_n, S.lane_m, S.active);
+    } else {
+      (void)i;
+      scale_deinterleave_row<V>(bm_row, inv, invs, dst_bm, m + 1);
+      scale_deinterleave_row<V>(bgx_row, inv, invs, dst_bgx, m + 1);
+      scale_deinterleave_row<V>(bgy_row, inv, invs, dst_bgy, m + 1);
+      for (std::size_t l = 0; l < W; ++l) {
+        dst_bm[l] -= m + 1;
+        dst_bgx[l] -= m + 1;
+        dst_bgy[l] -= m + 1;
+      }
     }
   };
 
-  double* bm_last = S.bm + (n & 1) * SW;
-  double* bgx_last = S.bgx + (n & 1) * SW;
-  double* bgy_last = S.bgy + (n & 1) * SW;
-  {
-    alignas(32) double init[W];
-    for (std::size_t l = 0; l < W; ++l) init[l] = l < S.active ? 1.0 : 0.0;
+  T* bm_last = S.bm + (n & 1) * SW;
+  T* bgx_last = S.bgx + (n & 1) * SW;
+  T* bgy_last = S.bgy + (n & 1) * SW;
+  if constexpr (Masked) {
+    // Row n of the pack: only lanes whose own length is the pack length
+    // start here; everyone else's cells stay exact zeros until the sweep
+    // descends to their init row.
+    alignas(64) T isel[W];
+    for (std::size_t l = 0; l < W; ++l) {
+      isel[l] = (l < S.active && S.lane_n[l] == n) ? T(1) : T(0);
+    }
+    const reg init_sel = V::load(isel);
+    for (std::size_t j = 0; j <= m; ++j) {
+      V::store(bm_last + j * W, V::mul(V::load(S.binit_bm + j * W), init_sel));
+      V::store(bgx_last + j * W,
+               V::mul(V::load(S.binit_bgx + j * W), init_sel));
+      V::store(bgy_last + j * W,
+               V::mul(V::load(S.binit_bgy + j * W), init_sel));
+    }
+  } else {
+    alignas(64) T init[W];
+    for (std::size_t l = 0; l < W; ++l) init[l] = l < S.active ? T(1) : T(0);
     const reg one = V::load(init);
     if (C.semi_global) {
       // Free genome suffix: finishing anywhere in row N costs nothing; a
@@ -363,17 +559,32 @@ void backward_pack(const PackConstants& C, const PackState& S) {
       }
     }
   }
-  scale_flush_row(bm_last, bgx_last, bgy_last);
+  scale_flush_row(bm_last, bgx_last, bgy_last, n);
 
   for (std::size_t i = n; i-- > 0;) {
     const std::size_t cur = (i & 1) * SW;
     const std::size_t next = SW - cur;
-    double* bm_row = S.bm + cur;
-    double* bgx_row = S.bgx + cur;
-    double* bgy_row = S.bgy + cur;
-    const double* bm_next = S.bm + next;
-    const double* bgx_next = S.bgx + next;
-    const double* p_next = S.pstar + i * SW;  // p*(i+1, .)
+    T* bm_row = S.bm + cur;
+    T* bgx_row = S.bgx + cur;
+    T* bgy_row = S.bgy + cur;
+    const T* bm_next = S.bm + next;
+    const T* bgx_next = S.bgx + next;
+    const T* p_next = S.pstar + i * SW;  // p*(i+1, .)
+    // Row selectors (masked packs): recursion below a lane's init row, the
+    // staged init at it, exact zero above it.
+    reg rec_sel = zero;
+    reg init_sel = zero;
+    if constexpr (Masked) {
+      alignas(64) T rs[W];
+      alignas(64) T is[W];
+      for (std::size_t l = 0; l < W; ++l) {
+        const bool live = l < S.active;
+        rs[l] = (live && i < S.lane_n[l]) ? T(1) : T(0);
+        is[l] = (live && i == S.lane_n[l]) ? T(1) : T(0);
+      }
+      rec_sel = V::load(rs);
+      init_sel = V::load(is);
+    }
     // Column j+1 values roll through registers between the descending
     // iterations (same bits as a reload): the next row's p* and bm for the
     // match term, and the current row's just-computed bgy (the serial
@@ -385,12 +596,20 @@ void backward_pack(const PackConstants& C, const PackState& S) {
       const reg match_next = j < m ? V::mul(p_jp1, bm_n_jp1) : V::zero();
       const reg gx_next = V::mul(q, V::load(bgx_next + j * W));
       const reg gy_next = j < m ? V::mul(q, bgy_jp1) : V::zero();
-      V::store(bm_row + j * W, V::add(V::mul(t_mm, match_next),
-                                      V::mul(t_mg, V::add(gx_next, gy_next))));
-      V::store(bgx_row + j * W,
-               V::add(V::mul(t_gm, match_next), V::mul(t_gg, gx_next)));
-      const reg bgy_j =
-          V::add(V::mul(t_gm, match_next), V::mul(t_gg, gy_next));
+      reg bm_j = V::add(V::mul(t_mm, match_next),
+                        V::mul(t_mg, V::add(gx_next, gy_next)));
+      reg bgx_j = V::add(V::mul(t_gm, match_next), V::mul(t_gg, gx_next));
+      reg bgy_j = V::add(V::mul(t_gm, match_next), V::mul(t_gg, gy_next));
+      if constexpr (Masked) {
+        bm_j = V::add(V::mul(bm_j, rec_sel),
+                      V::mul(V::load(S.binit_bm + j * W), init_sel));
+        bgx_j = V::add(V::mul(bgx_j, rec_sel),
+                       V::mul(V::load(S.binit_bgx + j * W), init_sel));
+        bgy_j = V::add(V::mul(bgy_j, rec_sel),
+                       V::mul(V::load(S.binit_bgy + j * W), init_sel));
+      }
+      V::store(bm_row + j * W, bm_j);
+      V::store(bgx_row + j * W, bgx_j);
       V::store(bgy_row + j * W, bgy_j);
       if (j > 0) {
         p_jp1 = V::load(p_next + j * W);
@@ -398,7 +617,7 @@ void backward_pack(const PackConstants& C, const PackState& S) {
       }
       bgy_jp1 = bgy_j;
     }
-    scale_flush_row(bm_row, bgx_row, bgy_row);
+    scale_flush_row(bm_row, bgx_row, bgy_row, i);
   }
 }
 

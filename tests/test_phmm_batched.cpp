@@ -193,6 +193,83 @@ TEST(PhmmBatched, IdenticalShapesFillFullPacks) {
   }
 }
 
+TEST(PhmmBatched, LengthBinnedMaskedPacksMatchOracleBitwise) {
+  // Shapes within the default bin slack of each other but (mostly) not
+  // identical, so nearly every pack is a masked mixed-shape pack.  The
+  // masking arithmetic is exact, so results must still be bit-identical to
+  // the scalar oracle at every level in both boundary modes.
+  Rng rng(0xB17B17);
+  std::vector<Problem> problems;
+  for (int i = 0; i < 24; ++i) {
+    const std::size_t read_len = 30 + rng.next_below(8);
+    const std::size_t window_len = read_len + 10 + rng.next_below(6);
+    problems.push_back(make_problem(rng, read_len, window_len));
+  }
+  for (const BoundaryMode mode :
+       {BoundaryMode::kSemiGlobal, BoundaryMode::kGlobal}) {
+    for (const SimdLevel level : levels_to_test()) {
+      SCOPED_TRACE(std::string(phmm::simd_level_name(level)) +
+                   (mode == BoundaryMode::kGlobal ? "/global" : "/semi"));
+      check_equivalence(problems, mode, level, /*bitwise=*/true);
+    }
+  }
+}
+
+TEST(PhmmBatched, BinSlackControlsPacking) {
+  // Mixed read lengths: binning merges nearby shapes into shared packs, so
+  // fewer padding lanes are swept; slack 0 restores identical-shapes-only
+  // packing.  Both settings are bit-identical to the oracle (asserted
+  // above), so the observable difference is the occupancy accounting.
+  Rng rng(4242);
+  std::vector<Problem> problems;
+  for (int i = 0; i < 32; ++i) {
+    const std::size_t read_len = 36 + rng.next_below(12);
+    problems.push_back(make_problem(rng, read_len, read_len + 20));
+  }
+  const PhmmParams params;
+  const SimdLevel level = phmm::max_supported_simd_level();
+  auto run_with_slack = [&](std::size_t slack) {
+    BatchedForward batch(
+        params, BoundaryMode::kSemiGlobal,
+        phmm::EngineOptions{.simd = level, .bin_slack = slack});
+    EXPECT_EQ(batch.bin_slack(), slack);
+    for (const auto& p : problems) batch.add(p.pwm, p.window);
+    batch.run();
+    return batch.timings();
+  };
+  const auto binned = run_with_slack(phmm::kDefaultBinSlack);
+  const auto unbinned = run_with_slack(0);
+  // Useful cells are a property of the tasks, not the packing.
+  EXPECT_EQ(binned.cells, unbinned.cells);
+  EXPECT_GE(binned.swept_cells, binned.cells);
+  EXPECT_GE(unbinned.swept_cells, unbinned.cells);
+  if (level != SimdLevel::kScalar) {
+    EXPECT_LT(binned.swept_cells, unbinned.swept_cells);
+  }
+}
+
+TEST(PhmmBatched, PrecisionResolution) {
+  using phmm::Precision;
+  // Explicit requests pass through untouched.
+  EXPECT_EQ(phmm::resolve_precision(Precision::kDouble), Precision::kDouble);
+  EXPECT_EQ(phmm::resolve_precision(Precision::kSingle), Precision::kSingle);
+  // GNUMAP_PHMM_FP32 drives kAuto: truthy values opt in, everything else
+  // (including unset and typos) keeps the exact default path.
+  ::unsetenv("GNUMAP_PHMM_FP32");
+  EXPECT_EQ(phmm::resolve_precision(), Precision::kDouble);
+  ::setenv("GNUMAP_PHMM_FP32", "1", 1);
+  EXPECT_EQ(phmm::resolve_precision(), Precision::kSingle);
+  ::setenv("GNUMAP_PHMM_FP32", "TRUE", 1);
+  EXPECT_EQ(phmm::resolve_precision(), Precision::kSingle);
+  ::setenv("GNUMAP_PHMM_FP32", "0", 1);
+  EXPECT_EQ(phmm::resolve_precision(), Precision::kDouble);
+  ::setenv("GNUMAP_PHMM_FP32", "bogus", 1);
+  EXPECT_EQ(phmm::resolve_precision(), Precision::kDouble);
+  ::setenv("GNUMAP_PHMM_FP32", "1", 1);
+  EXPECT_EQ(phmm::resolve_precision(Precision::kDouble), Precision::kDouble);
+  ::unsetenv("GNUMAP_PHMM_FP32");
+}
+
 TEST(PhmmBatched, DegenerateShapes) {
   const PhmmParams params;
   const Pwm empty_pwm;
@@ -298,6 +375,9 @@ TEST(PhmmBatched, TimingsAccumulate) {
   const auto& t = batch.timings();
   EXPECT_EQ(t.tasks, 8u);
   EXPECT_EQ(t.cells, 8u * 31u * 47u);
+  // Identical shapes and 8 % width == 0 at every level: packs are full, so
+  // no padding cells are swept.
+  EXPECT_EQ(t.swept_cells, 8u * 31u * 47u);
   EXPECT_GE(t.forward_seconds, 0.0);
   EXPECT_GE(t.backward_seconds, 0.0);
   batch.clear();

@@ -1,0 +1,355 @@
+// FP32 lane mode (docs/KERNELS.md §8): accuracy model and the recompute
+// guard that keeps SNP-visible decisions identical to the fp64 pipeline.
+//
+// Three layers are pinned down here:
+//   1. Kernel accuracy — the fp32 engine's log-likelihoods track the
+//      scalar-double oracle within a small absolute bound across the
+//      paper's read-length range (36..150 bp), and the fp32 kernels are
+//      bit-identical *across dispatch levels* (each lane runs the same
+//      float expression tree at every width).
+//   2. The recompute-margin rule in ReadMapper: a huge margin recomputes
+//      every scored read and reproduces the fp64 site lists bit for bit;
+//      an empty candidate set is a structural verdict and is never
+//      recomputed; margin boundary behavior matches fp32_borderline's
+//      contract.
+//   3. End to end: on a simulated SNP catalog, the called variant set
+//      (contig, position, alleles) with phmm_precision = kSingle equals
+//      the default fp64 pipeline's calls.
+//
+// These tests set Precision explicitly (never kAuto), so they are stable
+// under the CI fp32 leg's GNUMAP_PHMM_FP32=1 environment.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "gnumap/core/pipeline.hpp"
+#include "gnumap/core/read_mapper.hpp"
+#include "gnumap/genome/sequence.hpp"
+#include "gnumap/phmm/batched.hpp"
+#include "gnumap/phmm/forward_backward.hpp"
+#include "gnumap/phmm/params.hpp"
+#include "gnumap/phmm/pwm.hpp"
+#include "gnumap/sim/catalog_gen.hpp"
+#include "gnumap/sim/mutator.hpp"
+#include "gnumap/sim/read_sim.hpp"
+#include "gnumap/sim/reference_gen.hpp"
+#include "gnumap/util/rng.hpp"
+
+namespace gnumap {
+namespace {
+
+using phmm::BatchedForward;
+using phmm::EngineOptions;
+using phmm::Precision;
+using phmm::SimdLevel;
+
+Read make_read(const std::string& seq, std::uint8_t qual = 35) {
+  Read read;
+  read.name = "r";
+  read.bases = encode_sequence(seq);
+  read.quals.assign(read.bases.size(), qual);
+  return read;
+}
+
+std::string random_seq(Rng& rng, std::size_t len) {
+  std::string s;
+  s.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    s.push_back("ACGT"[rng.next_below(4)]);
+  }
+  return s;
+}
+
+struct Problem {
+  std::vector<std::uint8_t> window;
+  Pwm pwm;
+};
+
+Problem make_problem(Rng& rng, std::size_t read_len, std::size_t window_len) {
+  Problem p;
+  const std::string win_seq = random_seq(rng, window_len);
+  p.window = encode_sequence(win_seq);
+  const std::size_t offset = rng.next_below(window_len - read_len + 1);
+  std::string read_seq = win_seq.substr(offset, read_len);
+  for (char& ch : read_seq) {
+    if (rng.bernoulli(0.05)) ch = "ACGT"[rng.next_below(4)];
+  }
+  p.pwm = Pwm::from_read(make_read(read_seq));
+  return p;
+}
+
+std::vector<SimdLevel> levels_to_test() {
+  std::vector<SimdLevel> levels = {SimdLevel::kScalar};
+  if (phmm::resolve_simd_level(SimdLevel::kSse2) == SimdLevel::kSse2) {
+    levels.push_back(SimdLevel::kSse2);
+  }
+  if (phmm::resolve_simd_level(SimdLevel::kAvx2) == SimdLevel::kAvx2) {
+    levels.push_back(SimdLevel::kAvx2);
+  }
+  return levels;
+}
+
+/// Runs `problems` through the fp32 engine at `level`; returns per-task
+/// log-likelihoods (quiet NaN for tasks with no surviving path).
+std::vector<double> fp32_scores(const std::vector<Problem>& problems,
+                                SimdLevel level, BoundaryMode mode) {
+  BatchedForward batch((PhmmParams()), mode,
+                       EngineOptions{.simd = level,
+                                     .precision = Precision::kSingle});
+  EXPECT_EQ(batch.precision(), Precision::kSingle);
+  for (std::size_t t = 0; t < problems.size(); ++t) {
+    batch.add(problems[t].pwm, problems[t].window, t);
+  }
+  batch.run();
+  std::vector<double> scores(problems.size(),
+                             std::numeric_limits<double>::quiet_NaN());
+  for (std::size_t t = 0; t < problems.size(); ++t) {
+    if (batch.outcome(t).ok) scores[t] = batch.outcome(t).log_likelihood;
+  }
+  return scores;
+}
+
+// ---------------------------------------------------------------------------
+// 1. Kernel accuracy
+
+// Property test: across the paper's read-length range the fp32 score
+// tracks the double oracle.  The per-row rescale keeps every lane value in
+// [0, 1], so the error is additive in log space: each row contributes
+// O(m * eps_f32) to log_scale, bounding the total at a few 1e-3 even for
+// 150 bp reads (KERNELS.md §8 derives the bound).  We also require that
+// fp32 is *not* bit-equal overall — otherwise this test would silently
+// pass with the fp32 path unplugged.
+TEST(PhmmFp32, ScoreDeltaBoundedAcrossReadLengths) {
+  Rng rng(20260809);
+  const PhmmParams params;
+  for (const BoundaryMode mode :
+       {BoundaryMode::kSemiGlobal, BoundaryMode::kGlobal}) {
+    const PairHmm oracle(params, mode);
+    double max_delta = 0.0;
+    for (const std::size_t read_len : {36u, 62u, 100u, 124u, 150u}) {
+      std::vector<Problem> problems;
+      for (std::size_t i = 0; i < 12; ++i) {
+        problems.push_back(make_problem(rng, read_len, read_len + 24));
+      }
+      for (const SimdLevel level : levels_to_test()) {
+        const auto scores = fp32_scores(problems, level, mode);
+        AlignmentMatrices mats;
+        for (std::size_t t = 0; t < problems.size(); ++t) {
+          const bool ok =
+              oracle.align(problems[t].pwm, problems[t].window, mats);
+          ASSERT_EQ(ok, !std::isnan(scores[t])) << "task " << t;
+          if (!ok) continue;
+          const double delta = std::abs(scores[t] - mats.log_likelihood);
+          EXPECT_LE(delta, 0.02)
+              << "read_len " << read_len << " level "
+              << phmm::simd_level_name(level) << " task " << t << ": fp32 "
+              << scores[t] << " vs fp64 " << mats.log_likelihood;
+          max_delta = std::max(max_delta, delta);
+        }
+      }
+    }
+    // The fp32 lanes really ran in single precision.
+    EXPECT_GT(max_delta, 0.0);
+  }
+}
+
+// The fp32 kernels replicate one float expression tree per lane at every
+// width (no FMA, no reassociation), so SSE2/AVX2 fp32 results must equal
+// scalar fp32 bit for bit — the same contract the fp64 levels honor.
+TEST(PhmmFp32, BitIdenticalAcrossLevels) {
+  Rng rng(99);
+  std::vector<Problem> problems;
+  for (std::size_t i = 0; i < 24; ++i) {
+    // Mixed shapes so pack tails and masked lanes are exercised.
+    const std::size_t read_len = 30 + rng.next_below(12);
+    problems.push_back(make_problem(rng, read_len, read_len + 18));
+  }
+  for (const BoundaryMode mode :
+       {BoundaryMode::kSemiGlobal, BoundaryMode::kGlobal}) {
+    const auto reference = fp32_scores(problems, SimdLevel::kScalar, mode);
+    for (const SimdLevel level : levels_to_test()) {
+      if (level == SimdLevel::kScalar) continue;
+      const auto scores = fp32_scores(problems, level, mode);
+      for (std::size_t t = 0; t < problems.size(); ++t) {
+        if (std::isnan(reference[t])) {
+          EXPECT_TRUE(std::isnan(scores[t])) << "task " << t;
+        } else {
+          EXPECT_EQ(scores[t], reference[t])
+              << "task " << t << " at " << phmm::simd_level_name(level);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 2. The recompute-margin rule
+
+Genome fp32_test_reference(std::size_t length, std::uint64_t seed = 99) {
+  ReferenceGenOptions options;
+  options.length = length;
+  options.repeat_fraction = 0.0;
+  options.n_fraction = 0.0;
+  options.seed = seed;
+  return generate_reference(options);
+}
+
+PipelineConfig fp32_config(Precision precision, double margin) {
+  PipelineConfig config;
+  config.index.k = 9;
+  // Explicit, never kAuto: the CI fp32 leg runs with GNUMAP_PHMM_FP32=1.
+  config.phmm_precision = precision;
+  config.phmm_fp32_margin = margin;
+  return config;
+}
+
+std::vector<Read> simulated_reads(const Genome& g, double coverage = 2.0) {
+  ReadSimOptions sim_options;
+  sim_options.coverage = coverage;
+  sim_options.indel_rate = 0.0;
+  return strip_metadata(simulate_reads(g, sim_options));
+}
+
+// With an unbounded margin every read that scored at least one candidate
+// is borderline, so the whole batch is re-scored by the double oracle and
+// the site lists — scores, weights, contributions — equal the fp64 path's
+// bit for bit.
+TEST(PhmmFp32, HugeMarginReproducesFp64SitesBitwise) {
+  const Genome g = fp32_test_reference(20000);
+  const auto reads = simulated_reads(g);
+  ASSERT_GT(reads.size(), 20u);
+
+  const PipelineConfig config64 = fp32_config(Precision::kDouble, 0.5);
+  const PipelineConfig config32 = fp32_config(Precision::kSingle, 1e9);
+  const HashIndex index64(g, config64.index);
+  const HashIndex index32(g, config32.index);
+  const ReadMapper mapper64(g, index64, config64);
+  const ReadMapper mapper32(g, index32, config32);
+  ASSERT_EQ(mapper32.phmm_precision(), Precision::kSingle);
+
+  MapperWorkspace ws64, ws32;
+  MapStats stats64, stats32;
+  const auto scored64 = mapper64.score_reads(reads, ws64, stats64);
+  const auto scored32 = mapper32.score_reads(reads, ws32, stats32);
+
+  EXPECT_EQ(stats64.fp32_recomputed_reads, 0u);
+  EXPECT_GT(stats32.fp32_recomputed_reads, 0u);
+  ASSERT_EQ(scored64.size(), scored32.size());
+  for (std::size_t r = 0; r < scored64.size(); ++r) {
+    ASSERT_EQ(scored64[r].size(), scored32[r].size()) << "read " << r;
+    for (std::size_t s = 0; s < scored64[r].size(); ++s) {
+      const ScoredSite& a = scored64[r][s];
+      const ScoredSite& b = scored32[r][s];
+      EXPECT_EQ(a.window_begin, b.window_begin);
+      EXPECT_EQ(a.log_likelihood, b.log_likelihood);  // bitwise: recomputed
+      EXPECT_EQ(a.weight, b.weight);
+      EXPECT_EQ(a.reverse, b.reverse);
+    }
+  }
+}
+
+// An empty candidate set is a structural zero, not a rounding artifact:
+// even an unbounded margin must not trigger a recompute.  An empty
+// diagonal partition excludes every candidate, so no read can score.
+TEST(PhmmFp32, StructuralZeroIsNeverBorderline) {
+  const Genome g = fp32_test_reference(20000);
+  const auto reads = simulated_reads(g);
+
+  const PipelineConfig config = fp32_config(Precision::kSingle, 1e9);
+  const HashIndex index(g, config.index);
+  const ReadMapper mapper(g, index, config);
+
+  MapperWorkspace ws;
+  MapStats stats;
+  // A partition entirely past the genome end excludes every candidate
+  // diagonal, so no read can score a single site.
+  const GenomePos beyond = g.num_bases() + 1000;
+  const auto scored = mapper.score_reads(reads, ws, stats,
+                                         /*diagonal_begin=*/beyond,
+                                         /*diagonal_end=*/beyond + 1);
+  for (const auto& sites : scored) EXPECT_TRUE(sites.empty());
+  EXPECT_EQ(stats.fp32_recomputed_reads, 0u);
+}
+
+// Margin 0 still recomputes a read whose decision lands *exactly* on a
+// threshold (the rule is |delta| <= margin), but clean simulated reads sit
+// far from both thresholds, so nothing is borderline — and the mapping
+// decisions still match fp64: which reads mapped, and which sites
+// survived the posterior prune.
+TEST(PhmmFp32, ZeroMarginDecisionsMatchFp64OnCleanReads) {
+  const Genome g = fp32_test_reference(20000, 7);
+  const auto reads = simulated_reads(g);
+  ASSERT_GT(reads.size(), 20u);
+
+  const PipelineConfig config64 = fp32_config(Precision::kDouble, 0.0);
+  const PipelineConfig config32 = fp32_config(Precision::kSingle, 0.0);
+  const HashIndex index(g, config64.index);
+  const ReadMapper mapper64(g, index, config64);
+  const ReadMapper mapper32(g, index, config32);
+
+  MapperWorkspace ws64, ws32;
+  MapStats stats64, stats32;
+  const auto scored64 = mapper64.score_reads(reads, ws64, stats64);
+  const auto scored32 = mapper32.score_reads(reads, ws32, stats32);
+
+  ASSERT_EQ(scored64.size(), scored32.size());
+  for (std::size_t r = 0; r < scored64.size(); ++r) {
+    ASSERT_EQ(scored64[r].size(), scored32[r].size()) << "read " << r;
+    for (std::size_t s = 0; s < scored64[r].size(); ++s) {
+      EXPECT_EQ(scored64[r][s].window_begin, scored32[r][s].window_begin);
+      // Scores carry fp32 noise but stay close.
+      EXPECT_NEAR(scored64[r][s].log_likelihood,
+                  scored32[r][s].log_likelihood, 0.02);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 3. End-to-end SNP regression
+
+// The headline contract of --phmm-fp32: on a simulated catalog the called
+// variant set — contig, position, and genotype — is unchanged from the
+// default fp64 pipeline.  Per-site statistics (coverage, LRT, p-value)
+// may carry fp32 noise from off-margin read weights; the *decisions* may
+// not.
+TEST(PhmmFp32, SnpCallsMatchFp64PipelineOnSimCatalog) {
+  ReferenceGenOptions ref_options;
+  ref_options.length = 30000;
+  ref_options.n_fraction = 0.0;
+  ref_options.seed = 4242;
+  const Genome reference = generate_reference(ref_options);
+
+  CatalogGenOptions catalog_options;
+  catalog_options.count = 20;
+  const auto catalog = generate_catalog(reference, catalog_options);
+  const Genome individual = apply_catalog(reference, catalog);
+
+  ReadSimOptions sim_options;
+  sim_options.coverage = 12.0;
+  const auto reads = strip_metadata(simulate_reads(individual, sim_options));
+
+  const PipelineConfig config64 = fp32_config(Precision::kDouble, 0.5);
+  const PipelineConfig config32 = fp32_config(Precision::kSingle, 0.5);
+  const auto result64 = run_pipeline(reference, reads, config64);
+  const auto result32 = run_pipeline(reference, reads, config32);
+
+  // The catalog is actually being exercised, not trivially empty.
+  ASSERT_GT(result64.calls.size(), 10u);
+  ASSERT_EQ(result64.calls.size(), result32.calls.size());
+  for (std::size_t i = 0; i < result64.calls.size(); ++i) {
+    const SnpCall& a = result64.calls[i];
+    const SnpCall& b = result32.calls[i];
+    EXPECT_EQ(a.contig, b.contig);
+    EXPECT_EQ(a.position, b.position);
+    EXPECT_EQ(a.ref, b.ref);
+    EXPECT_EQ(a.allele1, b.allele1);
+    EXPECT_EQ(a.allele2, b.allele2);
+  }
+}
+
+}  // namespace
+}  // namespace gnumap
