@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_coverage"
+  "../bench/bench_ablation_coverage.pdb"
+  "CMakeFiles/bench_ablation_coverage.dir/bench_ablation_coverage.cpp.o"
+  "CMakeFiles/bench_ablation_coverage.dir/bench_ablation_coverage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_index.cpp" "bench-build/CMakeFiles/bench_ablation_index.dir/bench_ablation_index.cpp.o" "gcc" "bench-build/CMakeFiles/bench_ablation_index.dir/bench_ablation_index.cpp.o.d"
+  "/root/repo/bench/bench_main.cpp" "bench-build/CMakeFiles/bench_ablation_index.dir/bench_main.cpp.o" "gcc" "bench-build/CMakeFiles/bench_ablation_index.dir/bench_main.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/CMakeFiles/gnumap_baseline.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gnumap_sim.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gnumap_serve.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gnumap_core.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gnumap_index.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gnumap_phmm.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gnumap_accum.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gnumap_stats.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gnumap_mpsim.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gnumap_io.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gnumap_genome.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gnumap_obs.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gnumap_fault.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gnumap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

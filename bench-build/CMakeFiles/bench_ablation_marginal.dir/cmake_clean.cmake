@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_marginal"
+  "../bench/bench_ablation_marginal.pdb"
+  "CMakeFiles/bench_ablation_marginal.dir/bench_ablation_marginal.cpp.o"
+  "CMakeFiles/bench_ablation_marginal.dir/bench_ablation_marginal.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_marginal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_phmm"
+  "../bench/bench_ablation_phmm.pdb"
+  "CMakeFiles/bench_ablation_phmm.dir/bench_ablation_phmm.cpp.o"
+  "CMakeFiles/bench_ablation_phmm.dir/bench_ablation_phmm.cpp.o.d"
+  "CMakeFiles/bench_ablation_phmm.dir/bench_main.cpp.o"
+  "CMakeFiles/bench_ablation_phmm.dir/bench_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_phmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_repeats"
+  "../bench/bench_ablation_repeats.pdb"
+  "CMakeFiles/bench_ablation_repeats.dir/bench_ablation_repeats.cpp.o"
+  "CMakeFiles/bench_ablation_repeats.dir/bench_ablation_repeats.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_repeats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

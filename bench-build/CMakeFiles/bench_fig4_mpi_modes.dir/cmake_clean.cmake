@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_mpi_modes"
+  "../bench/bench_fig4_mpi_modes.pdb"
+  "CMakeFiles/bench_fig4_mpi_modes.dir/bench_fig4_mpi_modes.cpp.o"
+  "CMakeFiles/bench_fig4_mpi_modes.dir/bench_fig4_mpi_modes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_mpi_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

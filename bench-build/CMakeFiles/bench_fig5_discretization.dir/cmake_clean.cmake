@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_discretization"
+  "../bench/bench_fig5_discretization.pdb"
+  "CMakeFiles/bench_fig5_discretization.dir/bench_fig5_discretization.cpp.o"
+  "CMakeFiles/bench_fig5_discretization.dir/bench_fig5_discretization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_discretization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

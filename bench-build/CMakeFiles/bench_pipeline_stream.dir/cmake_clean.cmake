@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_pipeline_stream"
+  "../bench/bench_pipeline_stream.pdb"
+  "CMakeFiles/bench_pipeline_stream.dir/bench_pipeline_stream.cpp.o"
+  "CMakeFiles/bench_pipeline_stream.dir/bench_pipeline_stream.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pipeline_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

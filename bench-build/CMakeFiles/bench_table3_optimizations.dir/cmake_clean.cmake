@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_optimizations"
+  "../bench/bench_table3_optimizations.pdb"
+  "CMakeFiles/bench_table3_optimizations.dir/bench_table3_optimizations.cpp.o"
+  "CMakeFiles/bench_table3_optimizations.dir/bench_table3_optimizations.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diploid_calling.dir/diploid_calling.cpp.o"
+  "CMakeFiles/diploid_calling.dir/diploid_calling.cpp.o.d"
+  "diploid_calling"
+  "diploid_calling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diploid_calling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for diploid_calling.
+# This may be replaced when dependencies are built.

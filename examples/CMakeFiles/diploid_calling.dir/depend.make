@@ -1,0 +1,2 @@
+# Empty dependencies file for diploid_calling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_mapping.dir/distributed_mapping.cpp.o"
+  "CMakeFiles/distributed_mapping.dir/distributed_mapping.cpp.o.d"
+  "distributed_mapping"
+  "distributed_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

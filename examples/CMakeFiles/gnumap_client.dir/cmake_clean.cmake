@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnumap_client.dir/gnumap_client.cpp.o"
+  "CMakeFiles/gnumap_client.dir/gnumap_client.cpp.o.d"
+  "gnumap_client"
+  "gnumap_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnumap_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

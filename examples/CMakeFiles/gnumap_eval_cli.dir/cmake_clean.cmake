@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnumap_eval_cli.dir/gnumap_eval_cli.cpp.o"
+  "CMakeFiles/gnumap_eval_cli.dir/gnumap_eval_cli.cpp.o.d"
+  "gnumap_eval_cli"
+  "gnumap_eval_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnumap_eval_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnumap_sim_cli.dir/gnumap_sim_cli.cpp.o"
+  "CMakeFiles/gnumap_sim_cli.dir/gnumap_sim_cli.cpp.o.d"
+  "gnumap_sim_cli"
+  "gnumap_sim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnumap_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnumap_snp_cli.dir/gnumap_snp_cli.cpp.o"
+  "CMakeFiles/gnumap_snp_cli.dir/gnumap_snp_cli.cpp.o.d"
+  "gnumap_snp_cli"
+  "gnumap_snp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnumap_snp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnumapd.dir/gnumapd.cpp.o"
+  "CMakeFiles/gnumapd.dir/gnumapd.cpp.o.d"
+  "gnumapd"
+  "gnumapd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnumapd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

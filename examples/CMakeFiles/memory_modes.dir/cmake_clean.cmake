@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_modes.dir/memory_modes.cpp.o"
+  "CMakeFiles/memory_modes.dir/memory_modes.cpp.o.d"
+  "memory_modes"
+  "memory_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

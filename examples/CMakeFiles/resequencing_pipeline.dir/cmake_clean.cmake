@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resequencing_pipeline.dir/resequencing_pipeline.cpp.o"
+  "CMakeFiles/resequencing_pipeline.dir/resequencing_pipeline.cpp.o.d"
+  "resequencing_pipeline"
+  "resequencing_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resequencing_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_resequencing "/root/repo/examples/resequencing_pipeline" "60000" "12" "/root/repo/example_resequencing_out")
+set_tests_properties(example_resequencing PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_distributed "/root/repo/examples/distributed_mapping" "3" "60000")
+set_tests_properties(example_distributed PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_diploid "/root/repo/examples/diploid_calling" "60000" "20")
+set_tests_properties(example_diploid PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_memory_modes "/root/repo/examples/memory_modes" "60000")
+set_tests_properties(example_memory_modes PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_serve_smoke "sh" "/root/repo/scripts/serve_smoke.sh" "/root/repo/examples/gnumap_sim_cli" "/root/repo/examples/gnumap_snp_cli" "/root/repo/examples/gnumapd" "/root/repo/examples/gnumap_client" "/root/repo/serve_smoke")
+set_tests_properties(example_serve_smoke PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_serve_drain "sh" "/root/repo/scripts/serve_drain.sh" "/root/repo/examples/gnumap_sim_cli" "/root/repo/examples/gnumap_snp_cli" "/root/repo/examples/gnumapd" "/root/repo/examples/gnumap_client" "/root/repo/serve_drain")
+set_tests_properties(example_serve_drain PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;38;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_roundtrip "sh" "-c" "\"/root/repo/examples/gnumap_sim_cli\" --out /root/repo/cli_smoke --length 80000 --coverage 10 && \"/root/repo/examples/gnumap_snp_cli\" --ref /root/repo/cli_smoke/reference.fa --reads /root/repo/cli_smoke/reads.fastq --out /root/repo/cli_smoke/calls.tsv --sam /root/repo/cli_smoke/alignments.sam --vcf /root/repo/cli_smoke/calls.vcf --quiet && \"/root/repo/examples/gnumap_eval_cli\" --calls /root/repo/cli_smoke/calls.tsv --truth /root/repo/cli_smoke/truth.catalog")
+set_tests_properties(example_cli_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;46;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gnumap/accum/accumulator.cpp" "src/CMakeFiles/gnumap_accum.dir/gnumap/accum/accumulator.cpp.o" "gcc" "src/CMakeFiles/gnumap_accum.dir/gnumap/accum/accumulator.cpp.o.d"
+  "/root/repo/src/gnumap/accum/centdisc_accumulator.cpp" "src/CMakeFiles/gnumap_accum.dir/gnumap/accum/centdisc_accumulator.cpp.o" "gcc" "src/CMakeFiles/gnumap_accum.dir/gnumap/accum/centdisc_accumulator.cpp.o.d"
+  "/root/repo/src/gnumap/accum/chardisc_accumulator.cpp" "src/CMakeFiles/gnumap_accum.dir/gnumap/accum/chardisc_accumulator.cpp.o" "gcc" "src/CMakeFiles/gnumap_accum.dir/gnumap/accum/chardisc_accumulator.cpp.o.d"
+  "/root/repo/src/gnumap/accum/codebook.cpp" "src/CMakeFiles/gnumap_accum.dir/gnumap/accum/codebook.cpp.o" "gcc" "src/CMakeFiles/gnumap_accum.dir/gnumap/accum/codebook.cpp.o.d"
+  "/root/repo/src/gnumap/accum/norm_accumulator.cpp" "src/CMakeFiles/gnumap_accum.dir/gnumap/accum/norm_accumulator.cpp.o" "gcc" "src/CMakeFiles/gnumap_accum.dir/gnumap/accum/norm_accumulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/CMakeFiles/gnumap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

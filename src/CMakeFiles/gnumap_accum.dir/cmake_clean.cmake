@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnumap_accum.dir/gnumap/accum/accumulator.cpp.o"
+  "CMakeFiles/gnumap_accum.dir/gnumap/accum/accumulator.cpp.o.d"
+  "CMakeFiles/gnumap_accum.dir/gnumap/accum/centdisc_accumulator.cpp.o"
+  "CMakeFiles/gnumap_accum.dir/gnumap/accum/centdisc_accumulator.cpp.o.d"
+  "CMakeFiles/gnumap_accum.dir/gnumap/accum/chardisc_accumulator.cpp.o"
+  "CMakeFiles/gnumap_accum.dir/gnumap/accum/chardisc_accumulator.cpp.o.d"
+  "CMakeFiles/gnumap_accum.dir/gnumap/accum/codebook.cpp.o"
+  "CMakeFiles/gnumap_accum.dir/gnumap/accum/codebook.cpp.o.d"
+  "CMakeFiles/gnumap_accum.dir/gnumap/accum/norm_accumulator.cpp.o"
+  "CMakeFiles/gnumap_accum.dir/gnumap/accum/norm_accumulator.cpp.o.d"
+  "libgnumap_accum.a"
+  "libgnumap_accum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnumap_accum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

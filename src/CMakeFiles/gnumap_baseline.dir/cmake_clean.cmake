@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnumap_baseline.dir/gnumap/baseline/maq_like.cpp.o"
+  "CMakeFiles/gnumap_baseline.dir/gnumap/baseline/maq_like.cpp.o.d"
+  "libgnumap_baseline.a"
+  "libgnumap_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnumap_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

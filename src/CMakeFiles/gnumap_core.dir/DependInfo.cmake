@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gnumap/core/dist_modes.cpp" "src/CMakeFiles/gnumap_core.dir/gnumap/core/dist_modes.cpp.o" "gcc" "src/CMakeFiles/gnumap_core.dir/gnumap/core/dist_modes.cpp.o.d"
+  "/root/repo/src/gnumap/core/evaluation.cpp" "src/CMakeFiles/gnumap_core.dir/gnumap/core/evaluation.cpp.o" "gcc" "src/CMakeFiles/gnumap_core.dir/gnumap/core/evaluation.cpp.o.d"
+  "/root/repo/src/gnumap/core/obs_bridge.cpp" "src/CMakeFiles/gnumap_core.dir/gnumap/core/obs_bridge.cpp.o" "gcc" "src/CMakeFiles/gnumap_core.dir/gnumap/core/obs_bridge.cpp.o.d"
+  "/root/repo/src/gnumap/core/pipeline.cpp" "src/CMakeFiles/gnumap_core.dir/gnumap/core/pipeline.cpp.o" "gcc" "src/CMakeFiles/gnumap_core.dir/gnumap/core/pipeline.cpp.o.d"
+  "/root/repo/src/gnumap/core/read_mapper.cpp" "src/CMakeFiles/gnumap_core.dir/gnumap/core/read_mapper.cpp.o" "gcc" "src/CMakeFiles/gnumap_core.dir/gnumap/core/read_mapper.cpp.o.d"
+  "/root/repo/src/gnumap/core/sam_export.cpp" "src/CMakeFiles/gnumap_core.dir/gnumap/core/sam_export.cpp.o" "gcc" "src/CMakeFiles/gnumap_core.dir/gnumap/core/sam_export.cpp.o.d"
+  "/root/repo/src/gnumap/core/session.cpp" "src/CMakeFiles/gnumap_core.dir/gnumap/core/session.cpp.o" "gcc" "src/CMakeFiles/gnumap_core.dir/gnumap/core/session.cpp.o.d"
+  "/root/repo/src/gnumap/core/snp_caller.cpp" "src/CMakeFiles/gnumap_core.dir/gnumap/core/snp_caller.cpp.o" "gcc" "src/CMakeFiles/gnumap_core.dir/gnumap/core/snp_caller.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/CMakeFiles/gnumap_index.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gnumap_phmm.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gnumap_accum.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gnumap_stats.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gnumap_mpsim.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gnumap_io.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gnumap_obs.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gnumap_genome.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gnumap_fault.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gnumap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

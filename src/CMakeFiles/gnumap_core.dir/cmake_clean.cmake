@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnumap_core.dir/gnumap/core/dist_modes.cpp.o"
+  "CMakeFiles/gnumap_core.dir/gnumap/core/dist_modes.cpp.o.d"
+  "CMakeFiles/gnumap_core.dir/gnumap/core/evaluation.cpp.o"
+  "CMakeFiles/gnumap_core.dir/gnumap/core/evaluation.cpp.o.d"
+  "CMakeFiles/gnumap_core.dir/gnumap/core/obs_bridge.cpp.o"
+  "CMakeFiles/gnumap_core.dir/gnumap/core/obs_bridge.cpp.o.d"
+  "CMakeFiles/gnumap_core.dir/gnumap/core/pipeline.cpp.o"
+  "CMakeFiles/gnumap_core.dir/gnumap/core/pipeline.cpp.o.d"
+  "CMakeFiles/gnumap_core.dir/gnumap/core/read_mapper.cpp.o"
+  "CMakeFiles/gnumap_core.dir/gnumap/core/read_mapper.cpp.o.d"
+  "CMakeFiles/gnumap_core.dir/gnumap/core/sam_export.cpp.o"
+  "CMakeFiles/gnumap_core.dir/gnumap/core/sam_export.cpp.o.d"
+  "CMakeFiles/gnumap_core.dir/gnumap/core/session.cpp.o"
+  "CMakeFiles/gnumap_core.dir/gnumap/core/session.cpp.o.d"
+  "CMakeFiles/gnumap_core.dir/gnumap/core/snp_caller.cpp.o"
+  "CMakeFiles/gnumap_core.dir/gnumap/core/snp_caller.cpp.o.d"
+  "libgnumap_core.a"
+  "libgnumap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnumap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnumap_fault.dir/gnumap/fault/fault.cpp.o"
+  "CMakeFiles/gnumap_fault.dir/gnumap/fault/fault.cpp.o.d"
+  "libgnumap_fault.a"
+  "libgnumap_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnumap_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

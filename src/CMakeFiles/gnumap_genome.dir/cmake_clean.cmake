@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnumap_genome.dir/gnumap/genome/align_ops.cpp.o"
+  "CMakeFiles/gnumap_genome.dir/gnumap/genome/align_ops.cpp.o.d"
+  "CMakeFiles/gnumap_genome.dir/gnumap/genome/genome.cpp.o"
+  "CMakeFiles/gnumap_genome.dir/gnumap/genome/genome.cpp.o.d"
+  "CMakeFiles/gnumap_genome.dir/gnumap/genome/partition.cpp.o"
+  "CMakeFiles/gnumap_genome.dir/gnumap/genome/partition.cpp.o.d"
+  "CMakeFiles/gnumap_genome.dir/gnumap/genome/sequence.cpp.o"
+  "CMakeFiles/gnumap_genome.dir/gnumap/genome/sequence.cpp.o.d"
+  "libgnumap_genome.a"
+  "libgnumap_genome.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnumap_genome.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgnumap_genome.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gnumap/index/hash_index.cpp" "src/CMakeFiles/gnumap_index.dir/gnumap/index/hash_index.cpp.o" "gcc" "src/CMakeFiles/gnumap_index.dir/gnumap/index/hash_index.cpp.o.d"
+  "/root/repo/src/gnumap/index/kmer.cpp" "src/CMakeFiles/gnumap_index.dir/gnumap/index/kmer.cpp.o" "gcc" "src/CMakeFiles/gnumap_index.dir/gnumap/index/kmer.cpp.o.d"
+  "/root/repo/src/gnumap/index/seeder.cpp" "src/CMakeFiles/gnumap_index.dir/gnumap/index/seeder.cpp.o" "gcc" "src/CMakeFiles/gnumap_index.dir/gnumap/index/seeder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/CMakeFiles/gnumap_genome.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gnumap_io.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gnumap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnumap_index.dir/gnumap/index/hash_index.cpp.o"
+  "CMakeFiles/gnumap_index.dir/gnumap/index/hash_index.cpp.o.d"
+  "CMakeFiles/gnumap_index.dir/gnumap/index/kmer.cpp.o"
+  "CMakeFiles/gnumap_index.dir/gnumap/index/kmer.cpp.o.d"
+  "CMakeFiles/gnumap_index.dir/gnumap/index/seeder.cpp.o"
+  "CMakeFiles/gnumap_index.dir/gnumap/index/seeder.cpp.o.d"
+  "libgnumap_index.a"
+  "libgnumap_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnumap_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gnumap/io/fasta.cpp" "src/CMakeFiles/gnumap_io.dir/gnumap/io/fasta.cpp.o" "gcc" "src/CMakeFiles/gnumap_io.dir/gnumap/io/fasta.cpp.o.d"
+  "/root/repo/src/gnumap/io/fastq.cpp" "src/CMakeFiles/gnumap_io.dir/gnumap/io/fastq.cpp.o" "gcc" "src/CMakeFiles/gnumap_io.dir/gnumap/io/fastq.cpp.o.d"
+  "/root/repo/src/gnumap/io/gzip_stream.cpp" "src/CMakeFiles/gnumap_io.dir/gnumap/io/gzip_stream.cpp.o" "gcc" "src/CMakeFiles/gnumap_io.dir/gnumap/io/gzip_stream.cpp.o.d"
+  "/root/repo/src/gnumap/io/quality.cpp" "src/CMakeFiles/gnumap_io.dir/gnumap/io/quality.cpp.o" "gcc" "src/CMakeFiles/gnumap_io.dir/gnumap/io/quality.cpp.o.d"
+  "/root/repo/src/gnumap/io/read_stream.cpp" "src/CMakeFiles/gnumap_io.dir/gnumap/io/read_stream.cpp.o" "gcc" "src/CMakeFiles/gnumap_io.dir/gnumap/io/read_stream.cpp.o.d"
+  "/root/repo/src/gnumap/io/sam.cpp" "src/CMakeFiles/gnumap_io.dir/gnumap/io/sam.cpp.o" "gcc" "src/CMakeFiles/gnumap_io.dir/gnumap/io/sam.cpp.o.d"
+  "/root/repo/src/gnumap/io/snp_catalog.cpp" "src/CMakeFiles/gnumap_io.dir/gnumap/io/snp_catalog.cpp.o" "gcc" "src/CMakeFiles/gnumap_io.dir/gnumap/io/snp_catalog.cpp.o.d"
+  "/root/repo/src/gnumap/io/snp_writer.cpp" "src/CMakeFiles/gnumap_io.dir/gnumap/io/snp_writer.cpp.o" "gcc" "src/CMakeFiles/gnumap_io.dir/gnumap/io/snp_writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/CMakeFiles/gnumap_util.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gnumap_genome.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnumap_io.dir/gnumap/io/fasta.cpp.o"
+  "CMakeFiles/gnumap_io.dir/gnumap/io/fasta.cpp.o.d"
+  "CMakeFiles/gnumap_io.dir/gnumap/io/fastq.cpp.o"
+  "CMakeFiles/gnumap_io.dir/gnumap/io/fastq.cpp.o.d"
+  "CMakeFiles/gnumap_io.dir/gnumap/io/gzip_stream.cpp.o"
+  "CMakeFiles/gnumap_io.dir/gnumap/io/gzip_stream.cpp.o.d"
+  "CMakeFiles/gnumap_io.dir/gnumap/io/quality.cpp.o"
+  "CMakeFiles/gnumap_io.dir/gnumap/io/quality.cpp.o.d"
+  "CMakeFiles/gnumap_io.dir/gnumap/io/read_stream.cpp.o"
+  "CMakeFiles/gnumap_io.dir/gnumap/io/read_stream.cpp.o.d"
+  "CMakeFiles/gnumap_io.dir/gnumap/io/sam.cpp.o"
+  "CMakeFiles/gnumap_io.dir/gnumap/io/sam.cpp.o.d"
+  "CMakeFiles/gnumap_io.dir/gnumap/io/snp_catalog.cpp.o"
+  "CMakeFiles/gnumap_io.dir/gnumap/io/snp_catalog.cpp.o.d"
+  "CMakeFiles/gnumap_io.dir/gnumap/io/snp_writer.cpp.o"
+  "CMakeFiles/gnumap_io.dir/gnumap/io/snp_writer.cpp.o.d"
+  "libgnumap_io.a"
+  "libgnumap_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnumap_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

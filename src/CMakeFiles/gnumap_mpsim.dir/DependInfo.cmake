@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gnumap/mpsim/communicator.cpp" "src/CMakeFiles/gnumap_mpsim.dir/gnumap/mpsim/communicator.cpp.o" "gcc" "src/CMakeFiles/gnumap_mpsim.dir/gnumap/mpsim/communicator.cpp.o.d"
+  "/root/repo/src/gnumap/mpsim/cost_model.cpp" "src/CMakeFiles/gnumap_mpsim.dir/gnumap/mpsim/cost_model.cpp.o" "gcc" "src/CMakeFiles/gnumap_mpsim.dir/gnumap/mpsim/cost_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/CMakeFiles/gnumap_util.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gnumap_obs.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gnumap_fault.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

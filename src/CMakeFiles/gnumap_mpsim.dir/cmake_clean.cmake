@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnumap_mpsim.dir/gnumap/mpsim/communicator.cpp.o"
+  "CMakeFiles/gnumap_mpsim.dir/gnumap/mpsim/communicator.cpp.o.d"
+  "CMakeFiles/gnumap_mpsim.dir/gnumap/mpsim/cost_model.cpp.o"
+  "CMakeFiles/gnumap_mpsim.dir/gnumap/mpsim/cost_model.cpp.o.d"
+  "libgnumap_mpsim.a"
+  "libgnumap_mpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnumap_mpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gnumap/obs/build_info.cpp" "src/CMakeFiles/gnumap_obs.dir/gnumap/obs/build_info.cpp.o" "gcc" "src/CMakeFiles/gnumap_obs.dir/gnumap/obs/build_info.cpp.o.d"
+  "/root/repo/src/gnumap/obs/metrics.cpp" "src/CMakeFiles/gnumap_obs.dir/gnumap/obs/metrics.cpp.o" "gcc" "src/CMakeFiles/gnumap_obs.dir/gnumap/obs/metrics.cpp.o.d"
+  "/root/repo/src/gnumap/obs/obs_cli.cpp" "src/CMakeFiles/gnumap_obs.dir/gnumap/obs/obs_cli.cpp.o" "gcc" "src/CMakeFiles/gnumap_obs.dir/gnumap/obs/obs_cli.cpp.o.d"
+  "/root/repo/src/gnumap/obs/trace.cpp" "src/CMakeFiles/gnumap_obs.dir/gnumap/obs/trace.cpp.o" "gcc" "src/CMakeFiles/gnumap_obs.dir/gnumap/obs/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/CMakeFiles/gnumap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

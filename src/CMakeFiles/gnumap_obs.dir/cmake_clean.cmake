@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnumap_obs.dir/gnumap/obs/build_info.cpp.o"
+  "CMakeFiles/gnumap_obs.dir/gnumap/obs/build_info.cpp.o.d"
+  "CMakeFiles/gnumap_obs.dir/gnumap/obs/metrics.cpp.o"
+  "CMakeFiles/gnumap_obs.dir/gnumap/obs/metrics.cpp.o.d"
+  "CMakeFiles/gnumap_obs.dir/gnumap/obs/obs_cli.cpp.o"
+  "CMakeFiles/gnumap_obs.dir/gnumap/obs/obs_cli.cpp.o.d"
+  "CMakeFiles/gnumap_obs.dir/gnumap/obs/trace.cpp.o"
+  "CMakeFiles/gnumap_obs.dir/gnumap/obs/trace.cpp.o.d"
+  "libgnumap_obs.a"
+  "libgnumap_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnumap_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gnumap/phmm/batched.cpp" "src/CMakeFiles/gnumap_phmm.dir/gnumap/phmm/batched.cpp.o" "gcc" "src/CMakeFiles/gnumap_phmm.dir/gnumap/phmm/batched.cpp.o.d"
+  "/root/repo/src/gnumap/phmm/batched_kernels.cpp" "src/CMakeFiles/gnumap_phmm.dir/gnumap/phmm/batched_kernels.cpp.o" "gcc" "src/CMakeFiles/gnumap_phmm.dir/gnumap/phmm/batched_kernels.cpp.o.d"
+  "/root/repo/src/gnumap/phmm/batched_kernels_avx2.cpp" "src/CMakeFiles/gnumap_phmm.dir/gnumap/phmm/batched_kernels_avx2.cpp.o" "gcc" "src/CMakeFiles/gnumap_phmm.dir/gnumap/phmm/batched_kernels_avx2.cpp.o.d"
+  "/root/repo/src/gnumap/phmm/forward_backward.cpp" "src/CMakeFiles/gnumap_phmm.dir/gnumap/phmm/forward_backward.cpp.o" "gcc" "src/CMakeFiles/gnumap_phmm.dir/gnumap/phmm/forward_backward.cpp.o.d"
+  "/root/repo/src/gnumap/phmm/marginal.cpp" "src/CMakeFiles/gnumap_phmm.dir/gnumap/phmm/marginal.cpp.o" "gcc" "src/CMakeFiles/gnumap_phmm.dir/gnumap/phmm/marginal.cpp.o.d"
+  "/root/repo/src/gnumap/phmm/nw.cpp" "src/CMakeFiles/gnumap_phmm.dir/gnumap/phmm/nw.cpp.o" "gcc" "src/CMakeFiles/gnumap_phmm.dir/gnumap/phmm/nw.cpp.o.d"
+  "/root/repo/src/gnumap/phmm/params.cpp" "src/CMakeFiles/gnumap_phmm.dir/gnumap/phmm/params.cpp.o" "gcc" "src/CMakeFiles/gnumap_phmm.dir/gnumap/phmm/params.cpp.o.d"
+  "/root/repo/src/gnumap/phmm/pwm.cpp" "src/CMakeFiles/gnumap_phmm.dir/gnumap/phmm/pwm.cpp.o" "gcc" "src/CMakeFiles/gnumap_phmm.dir/gnumap/phmm/pwm.cpp.o.d"
+  "/root/repo/src/gnumap/phmm/viterbi.cpp" "src/CMakeFiles/gnumap_phmm.dir/gnumap/phmm/viterbi.cpp.o" "gcc" "src/CMakeFiles/gnumap_phmm.dir/gnumap/phmm/viterbi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/CMakeFiles/gnumap_genome.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gnumap_io.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gnumap_obs.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gnumap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

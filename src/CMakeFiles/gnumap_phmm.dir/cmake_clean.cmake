@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnumap_phmm.dir/gnumap/phmm/batched.cpp.o"
+  "CMakeFiles/gnumap_phmm.dir/gnumap/phmm/batched.cpp.o.d"
+  "CMakeFiles/gnumap_phmm.dir/gnumap/phmm/batched_kernels.cpp.o"
+  "CMakeFiles/gnumap_phmm.dir/gnumap/phmm/batched_kernels.cpp.o.d"
+  "CMakeFiles/gnumap_phmm.dir/gnumap/phmm/batched_kernels_avx2.cpp.o"
+  "CMakeFiles/gnumap_phmm.dir/gnumap/phmm/batched_kernels_avx2.cpp.o.d"
+  "CMakeFiles/gnumap_phmm.dir/gnumap/phmm/forward_backward.cpp.o"
+  "CMakeFiles/gnumap_phmm.dir/gnumap/phmm/forward_backward.cpp.o.d"
+  "CMakeFiles/gnumap_phmm.dir/gnumap/phmm/marginal.cpp.o"
+  "CMakeFiles/gnumap_phmm.dir/gnumap/phmm/marginal.cpp.o.d"
+  "CMakeFiles/gnumap_phmm.dir/gnumap/phmm/nw.cpp.o"
+  "CMakeFiles/gnumap_phmm.dir/gnumap/phmm/nw.cpp.o.d"
+  "CMakeFiles/gnumap_phmm.dir/gnumap/phmm/params.cpp.o"
+  "CMakeFiles/gnumap_phmm.dir/gnumap/phmm/params.cpp.o.d"
+  "CMakeFiles/gnumap_phmm.dir/gnumap/phmm/pwm.cpp.o"
+  "CMakeFiles/gnumap_phmm.dir/gnumap/phmm/pwm.cpp.o.d"
+  "CMakeFiles/gnumap_phmm.dir/gnumap/phmm/viterbi.cpp.o"
+  "CMakeFiles/gnumap_phmm.dir/gnumap/phmm/viterbi.cpp.o.d"
+  "libgnumap_phmm.a"
+  "libgnumap_phmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnumap_phmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnumap_serve.dir/gnumap/serve/client.cpp.o"
+  "CMakeFiles/gnumap_serve.dir/gnumap/serve/client.cpp.o.d"
+  "CMakeFiles/gnumap_serve.dir/gnumap/serve/fault_shim.cpp.o"
+  "CMakeFiles/gnumap_serve.dir/gnumap/serve/fault_shim.cpp.o.d"
+  "CMakeFiles/gnumap_serve.dir/gnumap/serve/server.cpp.o"
+  "CMakeFiles/gnumap_serve.dir/gnumap/serve/server.cpp.o.d"
+  "CMakeFiles/gnumap_serve.dir/gnumap/serve/socket.cpp.o"
+  "CMakeFiles/gnumap_serve.dir/gnumap/serve/socket.cpp.o.d"
+  "CMakeFiles/gnumap_serve.dir/gnumap/serve/wire.cpp.o"
+  "CMakeFiles/gnumap_serve.dir/gnumap/serve/wire.cpp.o.d"
+  "libgnumap_serve.a"
+  "libgnumap_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnumap_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gnumap/sim/catalog_gen.cpp" "src/CMakeFiles/gnumap_sim.dir/gnumap/sim/catalog_gen.cpp.o" "gcc" "src/CMakeFiles/gnumap_sim.dir/gnumap/sim/catalog_gen.cpp.o.d"
+  "/root/repo/src/gnumap/sim/mutator.cpp" "src/CMakeFiles/gnumap_sim.dir/gnumap/sim/mutator.cpp.o" "gcc" "src/CMakeFiles/gnumap_sim.dir/gnumap/sim/mutator.cpp.o.d"
+  "/root/repo/src/gnumap/sim/read_sim.cpp" "src/CMakeFiles/gnumap_sim.dir/gnumap/sim/read_sim.cpp.o" "gcc" "src/CMakeFiles/gnumap_sim.dir/gnumap/sim/read_sim.cpp.o.d"
+  "/root/repo/src/gnumap/sim/reference_gen.cpp" "src/CMakeFiles/gnumap_sim.dir/gnumap/sim/reference_gen.cpp.o" "gcc" "src/CMakeFiles/gnumap_sim.dir/gnumap/sim/reference_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/CMakeFiles/gnumap_genome.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gnumap_io.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/gnumap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnumap_sim.dir/gnumap/sim/catalog_gen.cpp.o"
+  "CMakeFiles/gnumap_sim.dir/gnumap/sim/catalog_gen.cpp.o.d"
+  "CMakeFiles/gnumap_sim.dir/gnumap/sim/mutator.cpp.o"
+  "CMakeFiles/gnumap_sim.dir/gnumap/sim/mutator.cpp.o.d"
+  "CMakeFiles/gnumap_sim.dir/gnumap/sim/read_sim.cpp.o"
+  "CMakeFiles/gnumap_sim.dir/gnumap/sim/read_sim.cpp.o.d"
+  "CMakeFiles/gnumap_sim.dir/gnumap/sim/reference_gen.cpp.o"
+  "CMakeFiles/gnumap_sim.dir/gnumap/sim/reference_gen.cpp.o.d"
+  "libgnumap_sim.a"
+  "libgnumap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnumap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnumap_stats.dir/gnumap/stats/chi2.cpp.o"
+  "CMakeFiles/gnumap_stats.dir/gnumap/stats/chi2.cpp.o.d"
+  "CMakeFiles/gnumap_stats.dir/gnumap/stats/fdr.cpp.o"
+  "CMakeFiles/gnumap_stats.dir/gnumap/stats/fdr.cpp.o.d"
+  "CMakeFiles/gnumap_stats.dir/gnumap/stats/lrt.cpp.o"
+  "CMakeFiles/gnumap_stats.dir/gnumap/stats/lrt.cpp.o.d"
+  "libgnumap_stats.a"
+  "libgnumap_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnumap_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gnumap/util/log.cpp" "src/CMakeFiles/gnumap_util.dir/gnumap/util/log.cpp.o" "gcc" "src/CMakeFiles/gnumap_util.dir/gnumap/util/log.cpp.o.d"
+  "/root/repo/src/gnumap/util/rng.cpp" "src/CMakeFiles/gnumap_util.dir/gnumap/util/rng.cpp.o" "gcc" "src/CMakeFiles/gnumap_util.dir/gnumap/util/rng.cpp.o.d"
+  "/root/repo/src/gnumap/util/string_util.cpp" "src/CMakeFiles/gnumap_util.dir/gnumap/util/string_util.cpp.o" "gcc" "src/CMakeFiles/gnumap_util.dir/gnumap/util/string_util.cpp.o.d"
+  "/root/repo/src/gnumap/util/thread_pool.cpp" "src/CMakeFiles/gnumap_util.dir/gnumap/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/gnumap_util.dir/gnumap/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnumap_util.dir/gnumap/util/log.cpp.o"
+  "CMakeFiles/gnumap_util.dir/gnumap/util/log.cpp.o.d"
+  "CMakeFiles/gnumap_util.dir/gnumap/util/rng.cpp.o"
+  "CMakeFiles/gnumap_util.dir/gnumap/util/rng.cpp.o.d"
+  "CMakeFiles/gnumap_util.dir/gnumap/util/string_util.cpp.o"
+  "CMakeFiles/gnumap_util.dir/gnumap/util/string_util.cpp.o.d"
+  "CMakeFiles/gnumap_util.dir/gnumap/util/thread_pool.cpp.o"
+  "CMakeFiles/gnumap_util.dir/gnumap/util/thread_pool.cpp.o.d"
+  "libgnumap_util.a"
+  "libgnumap_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnumap_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accum.dir/test_accum.cpp.o"
+  "CMakeFiles/test_accum.dir/test_accum.cpp.o.d"
+  "test_accum"
+  "test_accum.pdb"
+  "test_accum[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phmm.dir/test_phmm.cpp.o"
+  "CMakeFiles/test_phmm.dir/test_phmm.cpp.o.d"
+  "test_phmm"
+  "test_phmm.pdb"
+  "test_phmm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

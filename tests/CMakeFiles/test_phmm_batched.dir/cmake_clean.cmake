@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phmm_batched.dir/test_phmm_batched.cpp.o"
+  "CMakeFiles/test_phmm_batched.dir/test_phmm_batched.cpp.o.d"
+  "test_phmm_batched"
+  "test_phmm_batched.pdb"
+  "test_phmm_batched[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phmm_batched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

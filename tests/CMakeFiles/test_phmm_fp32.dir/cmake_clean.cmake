@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phmm_fp32.dir/test_phmm_fp32.cpp.o"
+  "CMakeFiles/test_phmm_fp32.dir/test_phmm_fp32.cpp.o.d"
+  "test_phmm_fp32"
+  "test_phmm_fp32.pdb"
+  "test_phmm_fp32[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phmm_fp32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_phmm_fp32.
+# This may be replaced when dependencies are built.

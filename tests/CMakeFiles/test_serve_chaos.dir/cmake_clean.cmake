@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_serve_chaos.dir/test_serve_chaos.cpp.o"
+  "CMakeFiles/test_serve_chaos.dir/test_serve_chaos.cpp.o.d"
+  "test_serve_chaos"
+  "test_serve_chaos.pdb"
+  "test_serve_chaos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_serve_chaos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/tests/test_util[1]_include.cmake")
+include("/root/repo/tests/test_obs[1]_include.cmake")
+include("/root/repo/tests/test_genome[1]_include.cmake")
+include("/root/repo/tests/test_io[1]_include.cmake")
+include("/root/repo/tests/test_index[1]_include.cmake")
+include("/root/repo/tests/test_phmm[1]_include.cmake")
+include("/root/repo/tests/test_phmm_batched[1]_include.cmake")
+include("/root/repo/tests/test_phmm_fp32[1]_include.cmake")
+include("/root/repo/tests/test_accum[1]_include.cmake")
+include("/root/repo/tests/test_stats[1]_include.cmake")
+include("/root/repo/tests/test_mpsim[1]_include.cmake")
+include("/root/repo/tests/test_sim[1]_include.cmake")
+include("/root/repo/tests/test_core[1]_include.cmake")
+include("/root/repo/tests/test_stream[1]_include.cmake")
+include("/root/repo/tests/test_dist[1]_include.cmake")
+include("/root/repo/tests/test_fault[1]_include.cmake")
+include("/root/repo/tests/test_baseline[1]_include.cmake")
+include("/root/repo/tests/test_integration[1]_include.cmake")
+include("/root/repo/tests/test_sam[1]_include.cmake")
+include("/root/repo/tests/test_serve[1]_include.cmake")
+include("/root/repo/tests/test_serve_chaos[1]_include.cmake")
