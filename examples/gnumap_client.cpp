@@ -24,6 +24,10 @@
 //   --backoff-base-ms N --backoff-max-ms N --backoff-total-ms N
 //                       jittered exponential backoff schedule
 //   --backoff-seed N    pin the backoff jitter (reproducible drills)
+//   --trace-id N        pin the request trace id sent in MAP_BEGIN
+//                       (default: random per request); pair with
+//                       --trace-out and scripts/merge_traces.py to splice
+//                       this client's timeline with the server's
 //   --fault-plan SPEC   deterministic wire fault injection on this client's
 //                       sends, for chaos drills against a healthy server
 //                       (same grammar as gnumapd --fault-plan); also read
@@ -57,7 +61,8 @@ namespace {
                "  --stats --health --shutdown --phred64 --quiet\n"
                "  --busy-retries N --connect-retries N --retries N\n"
                "  --deadline-ms N --backoff-base-ms N --backoff-max-ms N\n"
-               "  --backoff-total-ms N --backoff-seed N --fault-plan SPEC\n",
+               "  --backoff-total-ms N --backoff-seed N --fault-plan SPEC\n"
+               "  --trace-id N\n",
                argv0);
   std::exit(2);
 }
@@ -126,6 +131,8 @@ int main(int argc, char** argv) {
             static_cast<std::uint32_t>(parse_u64(need_value(i)));
       } else if (arg == "--backoff-seed") {
         options.backoff_seed = parse_u64(need_value(i));
+      } else if (arg == "--trace-id") {
+        options.trace_id = parse_u64(need_value(i));
       } else if (arg == "--fault-plan") {
         fault_spec = need_value(i);
       } else if (arg == "--quiet") {

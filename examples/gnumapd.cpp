@@ -11,6 +11,10 @@
 //   --port N            TCP port (default 0 = pick an ephemeral port)
 //   --port-file FILE    write the bound port to FILE once listening
 //   --bind-any          listen on 0.0.0.0 instead of loopback
+//   --admin-port N      embedded admin HTTP endpoint (/metrics /healthz
+//                       /statusz /tracez; admin_http.hpp); off unless
+//                       given, 0 = pick an ephemeral port
+//   --admin-port-file FILE  write the bound admin port to FILE
 //   --max-connections N concurrent connections (default 16)
 //   --admission-reads N admission window: total in-flight reads (default 1M)
 //   --per-conn-reads N  per-connection share of the window (default 0 = all)
@@ -33,7 +37,9 @@
 //
 // SIGINT/SIGTERM begin a graceful drain: the listener stops accepting,
 // in-flight requests finish, and the process exits through the normal
-// path, so --trace-out/--metrics-out files are still written.
+// path, so --trace-out/--metrics-out files are still written.  A second
+// signal flushes those artifacts immediately and exits with the signal's
+// default disposition (an impatient operator still gets the artifacts).
 #include <atomic>
 #include <csignal>
 #include <cstdio>
@@ -56,12 +62,22 @@ namespace {
 
 std::atomic<serve::MappingServer*> g_server{nullptr};
 
-// Only lock-free atomic ops: store to g_server happens before the
-// handlers are installed, and request_stop() is a relaxed atomic store.
-void drain_handler(int) {
-  if (auto* server = g_server.load(std::memory_order_acquire)) {
+// Only lock-free atomic ops on the drain path: store to g_server happens
+// before the handlers are installed, and request_stop() is a relaxed
+// atomic store.  A second signal means the operator is done waiting for
+// the drain — then we adopt obs::install_signal_flush semantics: write
+// the --trace-out/--metrics-out artifacts and die with the signal's
+// default disposition, so even a cut-short run leaves its artifacts
+// behind (asserted by scripts/serve_drain.sh).
+void drain_handler(int sig) {
+  auto* server = g_server.load(std::memory_order_acquire);
+  if (server != nullptr && !server->stopping()) {
     server->request_stop();
+    return;
   }
+  obs::flush_cli_outputs();
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
 }
 
 [[noreturn]] void usage(const char* argv0, const std::string& error = "") {
@@ -69,6 +85,7 @@ void drain_handler(int) {
   std::fprintf(stderr,
                "usage: %s --ref genome.fa [options]\n"
                "  --port N --port-file FILE --bind-any\n"
+               "  --admin-port N --admin-port-file FILE\n"
                "  --max-connections N --admission-reads N --per-conn-reads N\n"
                "  --io-timeout-ms N --request-timeout-ms N\n"
                "  --busy-retry-ms N --busy-retry-max-ms N\n"
@@ -86,7 +103,7 @@ void drain_handler(int) {
 
 int main(int argc, char** argv) {
   obs::strip_cli_flags(argc, argv);
-  std::string ref_path, port_file;
+  std::string ref_path, port_file, admin_port_file;
   PipelineConfig config;
   config.index.k = 10;
   serve::ServeOptions options;
@@ -114,6 +131,10 @@ int main(int argc, char** argv) {
         port_file = need_value(i);
       } else if (arg == "--bind-any") {
         options.bind_any = true;
+      } else if (arg == "--admin-port") {
+        options.admin_port = static_cast<int>(parse_u64(need_value(i)));
+      } else if (arg == "--admin-port-file") {
+        admin_port_file = need_value(i);
       } else if (arg == "--max-connections") {
         options.max_connections = static_cast<int>(parse_u64(need_value(i)));
       } else if (arg == "--admission-reads") {
@@ -197,6 +218,16 @@ int main(int argc, char** argv) {
       std::ofstream out(port_file);
       if (!out) throw ParseError("cannot write port file: " + port_file);
       out << server.port() << "\n";
+    }
+    if (!admin_port_file.empty()) {
+      if (server.admin_port() < 0) {
+        throw ParseError("--admin-port-file needs --admin-port");
+      }
+      std::ofstream out(admin_port_file);
+      if (!out) {
+        throw ParseError("cannot write admin port file: " + admin_port_file);
+      }
+      out << server.admin_port() << "\n";
     }
 
     g_server.store(&server, std::memory_order_release);

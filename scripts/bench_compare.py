@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Compare a fresh PHMM bench run against the committed baseline.
+
+Guards the kernel's throughput in CI: a fresh google-benchmark JSON (the
+bench-smoke leg runs bench_ablation_phmm with --benchmark_out) is compared
+row-by-row against the committed BENCH_phmm.json, and any benchmark whose
+``gcups`` counter regressed by more than the threshold fails the run.
+
+Only rows present in BOTH files are compared (a renamed or added benchmark
+is reported, not fatal — the committed baseline trails new code by design).
+Rows without a gcups counter (e.g. the scalar BM_ForwardBackward family)
+are skipped.  Context drift (build type, cpu count) is printed so a
+"regression" on noisy shared hardware is diagnosable at a glance.
+
+Usage:
+    bench_compare.py fresh.json [--baseline BENCH_phmm.json]
+                     [--threshold 0.15]
+
+The threshold is a fraction (0.15 = fail below 85% of baseline GCUPS); the
+GNUMAP_BENCH_THRESHOLD environment variable overrides the default, the
+flag overrides both.  Re-baselining after an intentional change is just
+committing the fresh file as BENCH_phmm.json (see docs/OBSERVABILITY.md).
+
+Stdlib only.  Exit codes: 0 ok, 1 regression, 2 bad input.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_rows(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    rows = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        if "gcups" in bench:
+            rows[bench["name"]] = float(bench["gcups"])
+    return doc.get("context", {}), rows
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="fail on PHMM GCUPS regressions vs the committed baseline")
+    parser.add_argument("fresh", help="fresh --benchmark_out JSON")
+    parser.add_argument(
+        "--baseline",
+        default=os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "BENCH_phmm.json"),
+        help="committed baseline (default: repo BENCH_phmm.json)")
+    parser.add_argument(
+        "--threshold", type=float,
+        default=float(os.environ.get("GNUMAP_BENCH_THRESHOLD", "0.15")),
+        help="max tolerated fractional GCUPS drop (default %(default)s, "
+             "or GNUMAP_BENCH_THRESHOLD)")
+    args = parser.parse_args()
+    if not 0.0 < args.threshold < 1.0:
+        print("bench_compare: --threshold must be in (0, 1)", file=sys.stderr)
+        return 2
+
+    base_ctx, base = load_rows(args.baseline)
+    fresh_ctx, fresh = load_rows(args.fresh)
+    if not base or not fresh:
+        print("bench_compare: no gcups rows to compare", file=sys.stderr)
+        return 2
+
+    for key in ("library_build_type", "num_cpus", "host_name"):
+        if base_ctx.get(key) != fresh_ctx.get(key):
+            print(f"bench_compare: context drift: {key} baseline="
+                  f"{base_ctx.get(key)!r} fresh={fresh_ctx.get(key)!r}")
+
+    only_base = sorted(set(base) - set(fresh))
+    only_fresh = sorted(set(fresh) - set(base))
+    for name in only_base:
+        print(f"bench_compare: note: baseline-only row {name} (skipped)")
+    for name in only_fresh:
+        print(f"bench_compare: note: new row {name} (no baseline yet)")
+
+    regressions = []
+    for name in sorted(set(base) & set(fresh)):
+        base_gcups, fresh_gcups = base[name], fresh[name]
+        if base_gcups <= 0.0:
+            continue
+        change = fresh_gcups / base_gcups - 1.0
+        marker = ""
+        if change < -args.threshold:
+            regressions.append(name)
+            marker = "  <-- REGRESSION"
+        print(f"bench_compare: {name}: {base_gcups:.4f} -> "
+              f"{fresh_gcups:.4f} GCUPS ({change:+.1%}){marker}")
+
+    if regressions:
+        print(f"bench_compare: FAIL: {len(regressions)} row(s) regressed "
+              f"more than {args.threshold:.0%}; if intentional, re-baseline "
+              f"by committing the fresh JSON as {args.baseline}",
+              file=sys.stderr)
+        return 1
+    print(f"bench_compare: OK ({len(set(base) & set(fresh))} rows within "
+          f"{args.threshold:.0%} of baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,9 @@
 # control).  The contract: the admitted request either runs to completion
 # with byte-identical output or the client sees a typed error — never a
 # bare connection reset — and the server itself always drains and exits 0.
+# The drain must also flush the observability artifacts: gnumapd runs with
+# --trace-out/--metrics-out, and both files must exist non-empty after the
+# SIGTERM drain (the signal path may not skip the atexit flush).
 #
 #   serve_drain.sh SIM_CLI SNP_CLI GNUMAPD GNUMAP_CLIENT WORKDIR
 set -eu
@@ -40,7 +43,9 @@ fail() {
   --out "$WORK/offline.tsv" --threads 2 --quiet
 
 "$GNUMAPD" --ref "$WORK/sim/reference.fa" --threads 2 \
-  --port-file "$WORK/port" > "$WORK/server.log" 2>&1 &
+  --port-file "$WORK/port" \
+  --trace-out "$WORK/server.trace.json" \
+  --metrics-out "$WORK/server.metrics.json" > "$WORK/server.log" 2>&1 &
 SERVER_PID=$!
 trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
 
@@ -81,6 +86,12 @@ wait "$CLIENT_PID" || CLIENT_STATUS=$?
 wait "$SERVER_PID" || fail "server exited nonzero after SIGTERM drain"
 SERVER_PID=
 trap - EXIT
+
+# The drain path must still flush the observability artifacts.
+[ -s "$WORK/server.trace.json" ] \
+  || fail "SIGTERM drain lost the --trace-out artifact"
+[ -s "$WORK/server.metrics.json" ] \
+  || fail "SIGTERM drain lost the --metrics-out artifact"
 
 if [ "$CLIENT_STATUS" -eq 0 ]; then
   # The admitted request ran to completion during the drain: its bytes

@@ -2,7 +2,10 @@
 # End-to-end smoke test for the serving path: start gnumapd against a
 # simulated workload, map the same reads through gnumap_client and the
 # offline gnumap_snp_cli, and require byte-identical TSV and SAM outputs,
-# then shut the server down gracefully and check it exits 0.
+# then shut the server down gracefully and check it exits 0.  The server
+# runs with its admin HTTP endpoint enabled, so the byte-identity checks
+# double as "admin on changes nothing", and /healthz /metrics /statusz are
+# validated over HTTP (python3 stdlib; skipped if python3 is missing).
 #
 # Fails fast: every client call runs under a hard deadline, and any
 # timeout or mismatch dumps the server log before exiting, so a wedged
@@ -49,7 +52,9 @@ fail() {
   --out "$WORK/offline.tsv" --sam "$WORK/offline.sam" --threads 2 --quiet
 
 "$GNUMAPD" --ref "$WORK/sim/reference.fa" --threads 2 \
-  --port-file "$WORK/port" > "$WORK/server.log" 2>&1 &
+  --port-file "$WORK/port" \
+  --admin-port 0 --admin-port-file "$WORK/admin_port" \
+  > "$WORK/server.log" 2>&1 &
 SERVER_PID=$!
 trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
 
@@ -81,6 +86,42 @@ grep -q "^ready=1" "$WORK/health.txt" || fail "server not ready after a map"
 "$CLIENT" --port-file "$WORK/port" --stats > "$WORK/stats.txt" \
   || fail "STATS probe failed"
 grep -q "^requests_total=" "$WORK/stats.txt" || fail "stats missing counters"
+grep -q "^digest_requests=" "$WORK/stats.txt" \
+  || fail "stats missing the request-digest counters"
+
+# Admin HTTP endpoint: /healthz, /metrics, and /statusz must answer and
+# reflect the request that just ran.
+if command -v python3 > /dev/null 2>&1; then
+  ADMIN_PORT=$(cat "$WORK/admin_port")
+  python3 - "$ADMIN_PORT" <<'EOF' || fail "admin endpoint validation failed"
+import json, sys, urllib.request
+
+port = sys.argv[1]
+base = f"http://127.0.0.1:{port}"
+
+health = urllib.request.urlopen(f"{base}/healthz", timeout=10).read().decode()
+assert health.startswith("ready=1"), f"/healthz not ready:\n{health}"
+
+metrics = urllib.request.urlopen(f"{base}/metrics", timeout=10).read().decode()
+assert "# TYPE gnumap_serve_requests_total counter" in metrics, metrics[:400]
+assert any(
+    line.startswith("gnumap_serve_requests_total ")
+    and float(line.split()[1]) >= 1
+    for line in metrics.splitlines()
+), "/metrics does not count the completed request"
+
+status = json.load(urllib.request.urlopen(f"{base}/statusz", timeout=10))
+assert status["counters"]["requests_total"] >= 1, status
+assert status["session"]["genome_bases"] > 0, status
+assert status["digests"]["recorded"] >= 1, status
+
+tracez = json.load(urllib.request.urlopen(f"{base}/tracez", timeout=10))
+assert tracez["slowest_recent_requests"], tracez
+print("serve_smoke: admin endpoint OK")
+EOF
+else
+  echo "serve_smoke: python3 not found, skipping admin endpoint checks" >&2
+fi
 
 "$CLIENT" --port-file "$WORK/port" --shutdown || fail "SHUTDOWN failed"
 wait "$SERVER_PID" || fail "server exited nonzero after drain"

@@ -49,6 +49,16 @@ struct PipelineResult {
   /// bench/bench_pipeline_stream.
   std::uint64_t reads_in_flight_peak = 0;
   std::uint64_t batches_decoded = 0;
+  /// Per-stage wall-clock totals for the mapping phase, feeding the serve
+  /// layer's per-request latency digests: decode_seconds is time inside
+  /// ReadStream::next on the decoder (serial path: the calling) thread,
+  /// map_stage_seconds sums scoring time across mapper workers (can exceed
+  /// map_seconds when threads > 1), drain_seconds is ordered drain time
+  /// (accumulate + SAM).  Pure observers: timing adds no synchronization
+  /// to the staged pipeline beyond one addition per batch per stage.
+  double decode_seconds = 0.0;
+  double map_stage_seconds = 0.0;
+  double drain_seconds = 0.0;
 };
 
 /// Runs the full pipeline over a read stream (the primary entry point).

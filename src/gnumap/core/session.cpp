@@ -51,6 +51,9 @@ struct DrainSink {
 /// because only the draining thread calls it.
 void drain_batch(DrainSink& sink, MappedBatch&& mapped) {
   GNUMAP_TRACE_SPAN("drain_batch", "stream");
+  // Only the single draining thread calls this, so the stage-seconds
+  // accumulation below needs no lock.
+  Timer stage;
   for (std::size_t r = 0; r < mapped.batch.reads.size(); ++r) {
     ReadMapper::accumulate(mapped.scored[r], sink.accum);
     if (sink.sam_out != nullptr) {
@@ -63,6 +66,7 @@ void drain_batch(DrainSink& sink, MappedBatch&& mapped) {
   }
   sink.result.stats += mapped.stats;
   ++sink.result.batches_decoded;
+  sink.result.drain_seconds += stage.seconds();
 }
 
 /// Serial in-line path: decode -> score -> drain on the calling thread.
@@ -70,16 +74,23 @@ void drain_batch(DrainSink& sink, MappedBatch&& mapped) {
 void map_serial(ReadStream& reads, const ReadMapper& mapper, DrainSink& sink) {
   MapperWorkspace ws;
   ReadBatch batch;
-  while (reads.next(batch)) {
+  Timer stage;
+  for (;;) {
+    stage.reset();
+    const bool more = reads.next(batch);
+    sink.result.decode_seconds += stage.seconds();
+    if (!more) break;
     sink.result.reads_in_flight_peak =
         std::max<std::uint64_t>(sink.result.reads_in_flight_peak,
                                 batch.size());
     MappedBatch mapped;
     mapped.batch = std::move(batch);
+    stage.reset();
     mapped.scored = mapper.score_reads(
         std::span<const Read>(mapped.batch.reads.data(),
                               mapped.batch.reads.size()),
         ws, mapped.stats);
+    sink.result.map_stage_seconds += stage.seconds();
     drain_batch(sink, std::move(mapped));
   }
 }
@@ -123,13 +134,24 @@ void map_staged(ReadStream& reads, const ReadMapper& mapper, DrainSink& sink,
   std::atomic<std::uint64_t> in_flight{0};
   std::atomic<std::uint64_t> in_flight_peak{0};
 
+  // Stage-seconds accounting: the decoder and drain are single threads
+  // (plain doubles), workers sum their local scoring time under a mutex
+  // once at exit — no hot-path synchronization is added.
+  double decode_seconds = 0.0;
+  std::mutex map_stage_mutex;
+  double map_stage_seconds = 0.0;
+
   std::thread decoder([&] {
     try {
       ReadBatch batch;
       std::uint64_t seq = 0;
+      Timer stage;
       for (;;) {
         const double start_us = obs::trace_now_us();
-        if (!reads.next(batch)) break;
+        stage.reset();
+        const bool more = reads.next(batch);
+        decode_seconds += stage.seconds();
+        if (!more) break;
         obs::record_complete("decode_batch", "stream", start_us,
                              obs::trace_now_us() - start_us, "reads",
                              static_cast<double>(batch.size()));
@@ -155,6 +177,7 @@ void map_staged(ReadStream& reads, const ReadMapper& mapper, DrainSink& sink,
   workers.reserve(static_cast<std::size_t>(threads));
   for (int t = 0; t < threads; ++t) {
     workers.emplace_back([&] {
+      double scored_seconds = 0.0;
       try {
         MapperWorkspace ws;
         for (;;) {
@@ -165,14 +188,20 @@ void map_staged(ReadStream& reads, const ReadMapper& mapper, DrainSink& sink,
           GNUMAP_TRACE_SPAN("map_batch", "stream");
           MappedBatch mapped;
           mapped.batch = std::move(item->batch);
+          Timer stage;
           mapped.scored = mapper.score_reads(
               std::span<const Read>(mapped.batch.reads.data(),
                                     mapped.batch.reads.size()),
               ws, mapped.stats);
+          scored_seconds += stage.seconds();
           if (!reorder.push(item->seq, std::move(mapped))) break;
         }
       } catch (...) {
         capture_error();
+      }
+      {
+        std::lock_guard<std::mutex> lock(map_stage_mutex);
+        map_stage_seconds += scored_seconds;
       }
       // The last worker out closes the reorder buffer: every pushed batch
       // is already parked, so the drain still empties the in-order prefix.
@@ -191,6 +220,8 @@ void map_staged(ReadStream& reads, const ReadMapper& mapper, DrainSink& sink,
   sink.result.reads_in_flight_peak = std::max(
       sink.result.reads_in_flight_peak,
       in_flight_peak.load(std::memory_order_relaxed));
+  sink.result.decode_seconds += decode_seconds;
+  sink.result.map_stage_seconds += map_stage_seconds;
   if (error) std::rethrow_exception(error);
 }
 

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <ctime>
 #include <fstream>
+#include <sstream>
 #include <map>
 #include <mutex>
 #include <ostream>
@@ -294,6 +295,18 @@ bool write_metrics_file(const std::string& path) {
   }
   GNUMAP_LOG(kInfo) << "metrics written to " << path;
   return true;
+}
+
+std::string prometheus_text() {
+  std::ostringstream out;
+  registry().write_prometheus(out);
+  return out.str();
+}
+
+std::string metrics_json_text() {
+  std::ostringstream out;
+  registry().write_json(out);
+  return out.str();
 }
 
 }  // namespace gnumap::obs

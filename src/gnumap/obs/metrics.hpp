@@ -127,4 +127,10 @@ Registry& registry();
 /// Returns false (and logs) on I/O failure.
 bool write_metrics_file(const std::string& path);
 
+/// Live snapshots of the process registry, rendered in place — what the
+/// admin endpoint serves at /metrics.  Callable at any time; the exporters
+/// only read relaxed atomics, so scraping a busy server is safe.
+std::string prometheus_text();
+std::string metrics_json_text();
+
 }  // namespace gnumap::obs

@@ -38,6 +38,7 @@ struct TraceEvent {
   const char* arg2_name;
   double arg1_value;
   double arg2_value;
+  std::uint64_t trace_id;  ///< 0 = untagged; exported as args.trace_id hex
 };
 
 /// One thread's recording state.  Owned jointly by the recording thread
@@ -177,11 +178,12 @@ double trace_now_us() {
 
 void record_complete(const char* name, const char* category, double ts_us,
                      double dur_us, const char* arg1_name, double arg1_value,
-                     const char* arg2_name, double arg2_value) {
+                     const char* arg2_name, double arg2_value,
+                     std::uint64_t trace_id) {
   if (!trace_enabled()) return;
   push_event(thread_buffer(),
              TraceEvent{name, category, ts_us, dur_us, arg1_name, arg2_name,
-                        arg1_value, arg2_value});
+                        arg1_value, arg2_value, trace_id});
 }
 
 void record_instant(const char* name, const char* category,
@@ -189,7 +191,7 @@ void record_instant(const char* name, const char* category,
   if (!trace_enabled()) return;
   push_event(thread_buffer(),
              TraceEvent{name, category, trace_now_us(), -1.0, arg1_name,
-                        nullptr, arg1_value, 0.0});
+                        nullptr, arg1_value, 0.0, 0});
 }
 
 void write_chrome_trace(std::ostream& out) {
@@ -272,16 +274,31 @@ void write_chrome_trace(std::ostream& out) {
     text += std::to_string(row.track);
     text += ",\"ts\":";
     text += json_number(e.ts_us);
-    if (e.arg1_name != nullptr) {
+    if (e.arg1_name != nullptr || e.trace_id != 0) {
       text += ",\"args\":{";
-      text += json_string(e.arg1_name);
-      text += ":";
-      text += json_number(e.arg1_value);
-      if (e.arg2_name != nullptr) {
-        text += ",";
-        text += json_string(e.arg2_name);
+      bool first_arg = true;
+      if (e.arg1_name != nullptr) {
+        text += json_string(e.arg1_name);
         text += ":";
-        text += json_number(e.arg2_value);
+        text += json_number(e.arg1_value);
+        first_arg = false;
+        if (e.arg2_name != nullptr) {
+          text += ",";
+          text += json_string(e.arg2_name);
+          text += ":";
+          text += json_number(e.arg2_value);
+        }
+      }
+      if (e.trace_id != 0) {
+        // Hex, not a JSON number: a u64 does not round-trip a double, and
+        // the hex form is what log prefixes and MAP_DONE summaries carry.
+        if (!first_arg) text += ",";
+        char hex[17];
+        std::snprintf(hex, sizeof hex, "%016llx",
+                      static_cast<unsigned long long>(e.trace_id));
+        text += "\"trace_id\":\"";
+        text += hex;
+        text += "\"";
       }
       text += "}";
     }

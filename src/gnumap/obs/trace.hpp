@@ -81,11 +81,14 @@ double trace_now_us();
 /// Records a completed span [ts_us, ts_us + dur_us) on the calling thread's
 /// track.  `name`/`category`/arg names must be string literals (or otherwise
 /// outlive the trace); values are stored, not formatted, so recording never
-/// allocates.  No-op when tracing is disabled.
+/// allocates.  No-op when tracing is disabled.  A non-zero `trace_id` tags
+/// the span with a 64-bit correlation id, exported as a "trace_id" hex
+/// string in the event's args — the hook cross-process span linking
+/// (serve_request / map_request, scripts/merge_traces.py) hangs off.
 void record_complete(const char* name, const char* category, double ts_us,
                      double dur_us, const char* arg1_name = nullptr,
                      double arg1_value = 0.0, const char* arg2_name = nullptr,
-                     double arg2_value = 0.0);
+                     double arg2_value = 0.0, std::uint64_t trace_id = 0);
 
 /// Records a zero-duration instant event (rendered as a marker).
 void record_instant(const char* name, const char* category,
@@ -119,7 +122,8 @@ class TraceSpan {
   ~TraceSpan() {
     if (active_) {
       record_complete(name_, category_, start_us_, trace_now_us() - start_us_,
-                      arg1_name_, arg1_value_, arg2_name_, arg2_value_);
+                      arg1_name_, arg1_value_, arg2_name_, arg2_value_,
+                      trace_id_);
     }
   }
 
@@ -139,6 +143,13 @@ class TraceSpan {
     }
   }
 
+  /// Tags the span with a 64-bit correlation id (0 = untagged), exported
+  /// as args.trace_id.  Free when tracing is disabled — same one-branch
+  /// cost contract as arg() (asserted in tests/test_obs.cpp).
+  void set_id(std::uint64_t trace_id) {
+    if (active_) trace_id_ = trace_id;
+  }
+
  private:
   const char* name_;
   const char* category_;
@@ -146,6 +157,7 @@ class TraceSpan {
   const char* arg2_name_ = nullptr;
   double arg1_value_ = 0.0;
   double arg2_value_ = 0.0;
+  std::uint64_t trace_id_ = 0;
   double start_us_ = 0.0;
   bool active_;
 };

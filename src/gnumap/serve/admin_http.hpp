@@ -1,0 +1,71 @@
+// Embedded admin HTTP endpoint for gnumapd: live fleet introspection over
+// plain HTTP/1.0, with zero dependencies beyond the serve layer's own
+// socket wrappers.  Off by default; ServeOptions::admin_port opens it on a
+// separate listener (loopback unless bind_any), so the mapping wire port
+// carries only framed protocol traffic.
+//
+// Routes (docs/OBSERVABILITY.md "Live introspection"):
+//   /metrics   Prometheus text exposition of the live obs registry.
+//   /healthz   The wire HEALTH payload verbatim; HTTP 200 when ready=1,
+//              503 otherwise, so load balancers need no body parsing.
+//   /statusz   JSON: build identity, genome/session facts, admission
+//              occupancy, rolled-up counters, and the connection table.
+//   /tracez    Without a query: JSON "slowest recent requests" table from
+//              the per-request digest ring.  With ?duration_ms=N (clamped
+//              to 1..60000): enables tracing for N ms, then streams the
+//              captured Chrome-trace JSON.  When tracing was already on,
+//              the window is observed without toggling or clearing it.
+//   /          Plain-text index of the routes above.
+//
+// Deliberately small: one accept/serve thread handles requests
+// sequentially (an admin surface sees humans and scrapers, not fleets), so
+// a /tracez capture blocks other admin requests for its window — never the
+// mapping data path.  Requests are read with a bounded buffer and a short
+// deadline; anything that is not a well-formed GET gets a 4xx and a closed
+// connection.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "gnumap/serve/socket.hpp"
+
+namespace gnumap::serve {
+
+class MappingServer;
+
+class AdminHttpServer {
+ public:
+  /// Binds the admin listener (port 0 picks an ephemeral port); throws
+  /// WireError on bind failure.  `server` must outlive this object.
+  AdminHttpServer(MappingServer& server, int port, bool bind_any);
+  ~AdminHttpServer();
+
+  AdminHttpServer(const AdminHttpServer&) = delete;
+  AdminHttpServer& operator=(const AdminHttpServer&) = delete;
+
+  /// The bound port (useful with port 0).
+  int port() const;
+
+  /// Starts the serve thread; idempotent.
+  void start();
+
+  /// Stops accepting, joins the serve thread, closes the listener.  Safe
+  /// to call without start() and more than once.
+  void stop();
+
+ private:
+  void serve_loop();
+  void handle(Socket sock);
+
+  MappingServer& server_;
+  std::unique_ptr<Listener> listener_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> started_{false};
+};
+
+}  // namespace gnumap::serve

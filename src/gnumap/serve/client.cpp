@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <exception>
 #include <thread>
 #include <utility>
 
 #include "gnumap/obs/metrics.hpp"
+#include "gnumap/obs/trace.hpp"
 
 namespace gnumap::serve {
 
@@ -191,9 +193,17 @@ MapOutcome MappingClient::map(std::istream& fastq, std::ostream& tsv_out,
   MapOutcome outcome;
   const std::istream::pos_type rewind_pos = fastq.tellg();
 
+  // The trace id names the logical request, so it is drawn once per map()
+  // call and survives reconnects; it only reaches the wire on v3.
+  std::uint64_t trace_id = options_.trace_id;
+  while (trace_id == 0) trace_id = rng_();
+  std::uint64_t parent_span_id = 0;
+  while (parent_span_id == 0) parent_span_id = rng_();
+
   for (int reconnect = 0;; ++reconnect) {
     try {
-      map_once(fastq, tsv_out, sam_out, flags, outcome, call_timer);
+      map_once(fastq, tsv_out, sam_out, flags, trace_id, parent_span_id,
+               outcome, call_timer);
       return outcome;
     } catch (const WireError& e) {
       // Reconnect-and-retry only while the request is idempotent: the
@@ -219,7 +229,18 @@ MapOutcome MappingClient::map(std::istream& fastq, std::ostream& tsv_out,
 
 void MappingClient::map_once(std::istream& fastq, std::ostream& tsv_out,
                              std::ostream* sam_out, std::uint8_t flags,
+                             std::uint64_t trace_id,
+                             std::uint64_t parent_span_id,
                              MapOutcome& outcome, const Timer& call_timer) {
+  // The whole transaction under one span carrying the request's trace id,
+  // so a merged timeline (scripts/merge_traces.py) shows the client's view
+  // of the request next to the server's serve_request span.
+  const bool traced = version_ >= 3;
+  outcome.trace_id = traced ? trace_id : 0;
+  obs::TraceSpan span("map_request", "serve", "attempt",
+                      static_cast<double>(outcome.attempts + 1));
+  if (traced) span.set_id(trace_id);
+
   // Admission: MAP_BEGIN until MAP_GO (no reads sent yet, so BUSY retries
   // are free).  The deadline sent along is what remains of ours, so the
   // server stops working the moment nobody is waiting.
@@ -232,8 +253,20 @@ void MappingClient::map_once(std::istream& fastq, std::ostream& tsv_out,
           1, static_cast<std::int64_t>(options_.deadline_ms) -
                  static_cast<std::int64_t>(call_timer.seconds() * 1000.0)));
     }
-    write_frame(sock_, FrameType::kMapBegin,
-                encode_map_begin(flags, server_deadline_ms),
+    // v3 adds the trace fields; a v2 server must see the 5-byte payload it
+    // has always seen (asserted byte-exactly in tests/test_serve.cpp).
+    std::string begin_payload;
+    if (traced) {
+      MapBeginInfo info;
+      info.flags = flags;
+      info.deadline_ms = server_deadline_ms;
+      info.trace_id = trace_id;
+      info.parent_span_id = parent_span_id;
+      begin_payload = encode_map_begin(info);
+    } else {
+      begin_payload = encode_map_begin(flags, server_deadline_ms);
+    }
+    write_frame(sock_, FrameType::kMapBegin, begin_payload,
                 bounded_timeout(options_.io_timeout_ms, call_timer));
     auto reply = read_frame(sock_, options_.max_frame_bytes,
                             bounded_timeout(options_.io_timeout_ms,
@@ -320,6 +353,23 @@ void MappingClient::map_once(std::istream& fastq, std::ostream& tsv_out,
           break;
         case FrameType::kMapDone:
           outcome.stats = parse_kv_lines(frame->payload);
+          // Graft the server's view into the local timeline: MAP_DONE
+          // carries total_seconds, so a span ending now and tagged with
+          // the same trace id shows the server-side window even when the
+          // two processes never share trace files.
+          if (traced && obs::trace_enabled()) {
+            const auto total = outcome.stats.find("total_seconds");
+            if (total != outcome.stats.end()) {
+              const double dur_us =
+                  std::atof(total->second.c_str()) * 1e6;
+              if (dur_us > 0.0) {
+                const double now_us = obs::trace_now_us();
+                obs::record_complete("server_elapsed", "serve",
+                                     now_us - dur_us, dur_us, nullptr, 0.0,
+                                     nullptr, 0.0, trace_id);
+              }
+            }
+          }
           // A completed request means the server consumed the whole
           // upload, so a latched sender error cannot matter here.
           return;

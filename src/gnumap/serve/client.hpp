@@ -74,6 +74,10 @@ struct ClientOptions {
   WireFaultPlan fault_plan;
   /// Free-text client name sent in HELLO (shows up in server logs).
   std::string name = "gnumap-client";
+  /// Trace id sent in MAP_BEGIN on a v3 connection; 0 draws a fresh random
+  /// id per map() call (tests pin it for byte-exact round-trip checks).
+  /// The id survives mid-call reconnects — it names the logical request.
+  std::uint64_t trace_id = 0;
 };
 
 /// Result of one MAP transaction, including retry accounting.
@@ -82,7 +86,10 @@ struct MapOutcome {
   /// until the retry/backoff budget ran out (stats is empty then).
   bool busy = false;
   /// Parsed MAP_DONE payload (reads_total, reads_mapped, calls, batches,
-  /// in_flight_peak, window_reads, map_seconds).
+  /// in_flight_peak, window_reads, map_seconds, plus the server's
+  /// per-stage timing summary — total_seconds, decode_seconds,
+  /// map_stage_seconds, drain_seconds, gcups, ... — and, on a traced v3
+  /// request, the echoed trace_id/parent_span_id as hex strings).
   std::map<std::string, std::string> stats;
   std::uint64_t tsv_bytes = 0;
   std::uint64_t sam_bytes = 0;
@@ -94,6 +101,9 @@ struct MapOutcome {
   int reconnects = 0;
   /// Total milliseconds slept in retry backoff.
   std::uint64_t backoff_ms = 0;
+  /// Trace id this request carried in MAP_BEGIN (0 on a v2 connection,
+  /// where the field does not exist on the wire).
+  std::uint64_t trace_id = 0;
 };
 
 class MappingClient {
@@ -141,6 +151,7 @@ class MappingClient {
   /// One MAP transaction on the live connection.
   void map_once(std::istream& fastq, std::ostream& tsv_out,
                 std::ostream* sam_out, std::uint8_t flags,
+                std::uint64_t trace_id, std::uint64_t parent_span_id,
                 MapOutcome& outcome, const Timer& call_timer);
   /// Sleeps the next jittered exponential delay (at least `hint_ms`).
   /// Returns false — without sleeping — when the cumulative backoff budget

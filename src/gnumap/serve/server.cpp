@@ -12,8 +12,11 @@
 #include "gnumap/io/quality.hpp"
 #include "gnumap/io/read_stream.hpp"
 #include "gnumap/io/snp_writer.hpp"
+#include "gnumap/obs/build_info.hpp"
+#include "gnumap/obs/json_util.hpp"
 #include "gnumap/obs/metrics.hpp"
 #include "gnumap/obs/trace.hpp"
+#include "gnumap/serve/admin_http.hpp"
 #include "gnumap/util/log.hpp"
 #include "gnumap/util/timer.hpp"
 
@@ -95,11 +98,13 @@ class FrameSinkBuf final : public std::streambuf {
  public:
   FrameSinkBuf(Socket& sock, FrameType type, int timeout_ms,
                std::atomic<std::uint64_t>& bytes_sent,
+               std::uint64_t* request_bytes = nullptr,
                const std::atomic<bool>* cancel = nullptr)
       : sock_(sock),
         type_(type),
         timeout_ms_(timeout_ms),
         bytes_sent_(bytes_sent),
+        request_bytes_(request_bytes),
         cancel_(cancel) {}
 
   /// Sends any buffered bytes as a final (possibly short) frame.
@@ -113,6 +118,7 @@ class FrameSinkBuf final : public std::streambuf {
       write_frame(sock_, type_, buf_, timeout_ms_, cancel_);
       bytes_sent_.fetch_add(buf_.size(), std::memory_order_relaxed);
       serve_metrics().bytes_tx.inc(buf_.size());
+      if (request_bytes_ != nullptr) *request_bytes_ += buf_.size();
     } catch (...) {
       error_ = std::current_exception();
     }
@@ -148,12 +154,17 @@ class FrameSinkBuf final : public std::streambuf {
   FrameType type_;
   int timeout_ms_;
   std::atomic<std::uint64_t>& bytes_sent_;
+  std::uint64_t* request_bytes_;  ///< per-request digest counter (optional)
   const std::atomic<bool>* cancel_;
   std::string buf_;
   std::exception_ptr error_;
 };
 
 std::string u64_kv(const std::string& key, std::uint64_t value) {
+  return key + "=" + std::to_string(value) + "\n";
+}
+
+std::string dbl_kv(const std::string& key, double value) {
   return key + "=" + std::to_string(value) + "\n";
 }
 
@@ -206,12 +217,18 @@ MappingServer::MappingServer(const Genome& genome,
       options_(options),
       session_(std::make_unique<MappingSession>(genome, config)),
       listener_(std::make_unique<Listener>(options.port, options.bind_any)),
-      admission_(options.admission_reads, options.per_connection_reads) {
+      admission_(options.admission_reads, options.per_connection_reads),
+      digests_(options.digest_ring_capacity) {
   serve_metrics();  // register the gnumap_serve_* series up front
   if (!options_.fault_plan.empty()) {
     listener_->set_fault_injector(make_injector(options_.fault_plan));
     GNUMAP_LOG(kWarn) << "gnumapd: wire fault plan active: "
                       << options_.fault_plan.describe();
+  }
+  if (options_.admin_port >= 0) {
+    admin_ = std::make_unique<AdminHttpServer>(*this, options_.admin_port,
+                                               options_.bind_any);
+    GNUMAP_LOG(kInfo) << "gnumapd: admin endpoint on port " << admin_->port();
   }
   GNUMAP_LOG(kInfo) << "gnumapd: index resident ("
                     << session_->index().num_entries() << " entries over "
@@ -225,6 +242,10 @@ MappingServer::~MappingServer() {
 }
 
 std::uint16_t MappingServer::port() const { return listener_->port(); }
+
+int MappingServer::admin_port() const {
+  return admin_ ? admin_->port() : -1;
+}
 
 std::uint64_t MappingServer::request_window_reads() const {
   const auto& config = session_->config();
@@ -254,6 +275,7 @@ void MappingServer::start() {
   if (!started_.compare_exchange_strong(expected, true)) return;
   accept_thread_ = std::thread([this] { accept_loop(); });
   watchdog_thread_ = std::thread([this] { watchdog_loop(); });
+  if (admin_) admin_->start();
 }
 
 void MappingServer::wait() {
@@ -270,6 +292,9 @@ void MappingServer::wait() {
   }
   watchdog_stop_.store(true, std::memory_order_relaxed);
   if (watchdog_thread_.joinable()) watchdog_thread_.join();
+  // The admin endpoint answers until the drain completes, so an operator
+  // can watch /statusz while connections finish; stop it last.
+  if (admin_) admin_->stop();
 }
 
 void MappingServer::run() {
@@ -323,7 +348,90 @@ std::string MappingServer::stats_text() const {
   text += u64_kv("evictions_total", s.evictions_total);
   text += u64_kv("corrupt_frames_total", s.corrupt_frames_total);
   text += u64_kv("deadline_abandoned_total", s.deadline_abandoned_total);
+  text += u64_kv("digest_requests", digests_.total_recorded());
+  text += u64_kv("digest_ring_capacity", digests_.capacity());
+  const auto slowest = digests_.slowest(1);
+  text += dbl_kv("slowest_recent_ms",
+                 slowest.empty() ? 0.0 : slowest.front().total_seconds * 1e3);
   return text;
+}
+
+std::vector<MappingServer::ConnectionInfo> MappingServer::connection_table()
+    const {
+  std::vector<ConnectionInfo> table;
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  table.reserve(conns_.size());
+  for (const auto& slot : conns_) {
+    if (slot->done.load(std::memory_order_acquire)) continue;
+    ConnectionInfo info;
+    info.conn_id = slot->conn_id;
+    info.peer = slot->peer;
+    info.in_request = slot->in_request.load(std::memory_order_relaxed);
+    info.cancelled = slot->cancel.load(std::memory_order_relaxed);
+    info.rx_bytes = slot->rx_bytes.load(std::memory_order_relaxed);
+    info.age_seconds = slot->age.seconds();
+    table.push_back(std::move(info));
+  }
+  return table;
+}
+
+std::string MappingServer::statusz_json() const {
+  using obs::detail::json_number;
+  using obs::detail::json_string;
+  const auto u64 = [](std::uint64_t v) { return std::to_string(v); };
+  const ServerStats s = stats();
+  const obs::BuildInfo& build = obs::build_info();
+  const auto& config = session_->config();
+
+  std::string out = "{\n";
+  out += "  \"build\": {\"git_sha\": " + json_string(build.git_sha) +
+         ", \"build_type\": " + json_string(build.build_type) +
+         ", \"compiler\": " + json_string(build.compiler) +
+         ", \"host\": " + json_string(obs::host_name()) +
+         ", \"num_cpus\": " + std::to_string(obs::num_cpus()) + "},\n";
+  out += "  \"server\": {\"port\": " + std::to_string(port()) +
+         ", \"admin_port\": " + std::to_string(admin_port()) +
+         ", \"protocol_version\": " + u64(kProtocolVersion) +
+         ", \"min_protocol_version\": " + u64(kMinProtocolVersion) +
+         ", \"uptime_seconds\": " + json_number(uptime_.seconds()) +
+         ", \"draining\": " + (stopping() ? "true" : "false") + "},\n";
+  out += "  \"session\": {\"genome_bases\": " + u64(genome_.num_bases()) +
+         ", \"index_entries\": " + u64(session_->index().num_entries()) +
+         ", \"threads\": " + std::to_string(config.threads) +
+         ", \"stream_batch\": " + std::to_string(config.stream_batch) + "},\n";
+  out += "  \"admission\": {\"capacity_reads\": " + u64(admission_.capacity()) +
+         ", \"admitted_reads\": " + u64(admission_.admitted()) +
+         ", \"admitted_reads_peak\": " + u64(admission_.peak()) +
+         ", \"request_window_reads\": " + u64(request_window_reads()) + "},\n";
+  out += "  \"counters\": {\"connections_total\": " + u64(s.connections_total) +
+         ", \"requests_total\": " + u64(s.requests_total) +
+         ", \"requests_rejected\": " + u64(s.requests_rejected) +
+         ", \"requests_failed\": " + u64(s.requests_failed) +
+         ", \"reads_total\": " + u64(s.reads_total) +
+         ", \"reads_mapped_total\": " + u64(s.reads_mapped_total) +
+         ", \"bytes_received\": " + u64(s.bytes_received) +
+         ", \"bytes_sent\": " + u64(s.bytes_sent) +
+         ", \"evictions_total\": " + u64(s.evictions_total) +
+         ", \"corrupt_frames_total\": " + u64(s.corrupt_frames_total) +
+         ", \"deadline_abandoned_total\": " + u64(s.deadline_abandoned_total) +
+         "},\n";
+  out += "  \"digests\": {\"recorded\": " + u64(digests_.total_recorded()) +
+         ", \"ring_capacity\": " + u64(digests_.capacity()) + "},\n";
+  out += "  \"connections\": [";
+  const auto table = connection_table();
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const ConnectionInfo& c = table[i];
+    if (i != 0) out += ", ";
+    out += "{\"conn_id\": " + std::to_string(c.conn_id) +
+           ", \"peer\": " + json_string(c.peer) +
+           ", \"state\": " +
+           json_string(c.cancelled ? "cancelling"
+                                   : (c.in_request ? "in_request" : "idle")) +
+           ", \"rx_bytes\": " + u64(c.rx_bytes) +
+           ", \"age_seconds\": " + json_number(c.age_seconds) + "}";
+  }
+  out += "]\n}\n";
+  return out;
 }
 
 std::string MappingServer::health_text() const {
@@ -558,8 +666,8 @@ void MappingServer::handle_connection(Socket sock, ConnectionSlot& slot) {
 
       switch (frame->type) {
         case FrameType::kMapBegin: {
-          const auto [flags, deadline_ms] = decode_map_begin(frame->payload);
-          if (!handle_map(sock, slot, flags, deadline_ms)) {
+          const MapBeginInfo begin = decode_map_begin(frame->payload);
+          if (!handle_map(sock, slot, begin)) {
             linger_close(sock);
             return;
           }
@@ -605,14 +713,54 @@ void MappingServer::handle_connection(Socket sock, ConnectionSlot& slot) {
 }
 
 bool MappingServer::handle_map(Socket& sock, ConnectionSlot& slot,
-                               std::uint8_t flags,
-                               std::uint32_t client_deadline_ms) {
+                               const MapBeginInfo& begin) {
   const std::uint64_t req_id =
       next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
-  const std::string who = "[peer " + slot.peer + " conn " +
-                          std::to_string(slot.conn_id) + " req " +
-                          std::to_string(req_id) + "] ";
+  const std::uint8_t flags = begin.flags;
+  const std::uint32_t client_deadline_ms = begin.deadline_ms;
+  std::string who = "[peer " + slot.peer + " conn " +
+                    std::to_string(slot.conn_id) + " req " +
+                    std::to_string(req_id);
+  if (begin.trace_id != 0) who += " trace " + trace_id_hex(begin.trace_id);
+  who += "] ";
+
+  // The digest outlives every outcome below: finish_digest records it in
+  // the recent-requests ring and emits the structured request_digest line
+  // whether the request completed, was refused BUSY, or died with an error.
+  RequestDigest digest;
+  digest.request_id = req_id;
+  digest.conn_id = slot.conn_id;
+  digest.trace_id = begin.trace_id;
+  Timer request_timer;
+  const auto finish_digest = [&](std::uint16_t error_code) {
+    digest.error_code = error_code;
+    digest.total_seconds = request_timer.seconds();
+    digests_.push(digest);
+    GNUMAP_LOG(kInfo) << "serve: request_digest conn=" << digest.conn_id
+                      << " req=" << digest.request_id << " trace="
+                      << (digest.trace_id != 0 ? trace_id_hex(digest.trace_id)
+                                               : "-")
+                      << " error=" << digest.error_code
+                      << " total_s=" << digest.total_seconds
+                      << " admission_wait_s=" << digest.admission_wait_seconds
+                      << " upload_wait_s=" << digest.upload_wait_seconds
+                      << " decode_s=" << digest.decode_seconds
+                      << " map_stage_s=" << digest.map_stage_seconds
+                      << " drain_s=" << digest.drain_seconds
+                      << " call_s=" << digest.call_seconds
+                      << " upload_bytes=" << digest.upload_bytes
+                      << " result_bytes=" << digest.result_bytes
+                      << " reads=" << digest.reads_total
+                      << " mapped=" << digest.reads_mapped
+                      << " calls=" << digest.calls
+                      << " phmm_cells=" << digest.phmm_cells
+                      << " gcups=" << digest.gcups
+                      << " fp32_recomputed=" << digest.fp32_recomputed;
+  };
+
   if (stopping()) {
+    // Refused before admission: no digest — the ring records requests that
+    // actually entered the pipeline (BUSY refusals likewise stay out).
     send_error(sock, WireErrorCode::kShuttingDown,
                who + "server is draining");
     return false;
@@ -620,6 +768,7 @@ bool MappingServer::handle_map(Socket& sock, ConnectionSlot& slot,
 
   // Admission: reserve this request's worst-case in-flight reads, or
   // answer BUSY (connection stays open so the client can retry).
+  Timer admission_timer;
   const std::uint64_t window = request_window_reads();
   if (!admission_.try_acquire(slot.conn_id, window)) {
     requests_rejected_.fetch_add(1, std::memory_order_relaxed);
@@ -633,6 +782,7 @@ bool MappingServer::handle_map(Socket& sock, ConnectionSlot& slot,
                 options_.io_timeout_ms, &slot.cancel);
     return true;
   }
+  digest.admission_wait_seconds = admission_timer.seconds();
   serve_metrics().queue_depth.set(static_cast<double>(admission_.admitted()));
   serve_metrics().admitted_peak.set(static_cast<double>(admission_.peak()));
 
@@ -682,7 +832,9 @@ bool MappingServer::handle_map(Socket& sock, ConnectionSlot& slot,
   obs::TraceSpan span("serve_request", "serve", "conn",
                       static_cast<double>(slot.conn_id), "req",
                       static_cast<double>(req_id));
-  Timer request_timer;
+  // Tag the span with the client's trace id (protocol v3) so
+  // scripts/merge_traces.py can splice client and server timelines.
+  span.set_id(begin.trace_id);
 
   try {
     write_frame(sock, FrameType::kMapGo, "", options_.io_timeout_ms,
@@ -694,6 +846,10 @@ bool MappingServer::handle_map(Socket& sock, ConnectionSlot& slot,
     bool saw_end = false;
     ChunkSourceBuf chunk_buf([&](std::string& chunk) -> bool {
       if (saw_end) return false;
+      // Upload accounting: this lambda runs on the pipeline's decoder
+      // thread, which run() joins before returning — the handler thread
+      // reads the digest fields only after that, so plain writes are safe.
+      Timer upload_timer;
       int timeout = options_.io_timeout_ms;
       bool deadline_bound = false;
       if (effective_timeout_ms > 0) {
@@ -732,6 +888,7 @@ bool MappingServer::handle_map(Socket& sock, ConnectionSlot& slot,
                             (client_tighter ? "client-requested" : "server") +
                             " deadline");
       }
+      digest.upload_wait_seconds += upload_timer.seconds();
       if (!frame.has_value()) {
         throw WireError(WireErrorCode::kClosed,
                         "peer disconnected mid-request");
@@ -745,6 +902,7 @@ bool MappingServer::handle_map(Socket& sock, ConnectionSlot& slot,
                         "expected READS_CHUNK or MAP_END, got type " +
                             std::to_string(static_cast<int>(frame->type)));
       }
+      digest.upload_bytes += frame->payload.size();
       bytes_received_.fetch_add(frame->payload.size(),
                                 std::memory_order_relaxed);
       serve_metrics().bytes_rx.inc(frame->payload.size());
@@ -775,7 +933,8 @@ bool MappingServer::handle_map(Socket& sock, ConnectionSlot& slot,
                           phred_offset, "<wire>");
 
     FrameSinkBuf sam_sink(sock, FrameType::kResultSam,
-                          options_.io_timeout_ms, bytes_sent_, &slot.cancel);
+                          options_.io_timeout_ms, bytes_sent_,
+                          &digest.result_bytes, &slot.cancel);
     std::ostream sam_stream(&sam_sink);
 
     const PipelineResult result =
@@ -796,6 +955,7 @@ bool MappingServer::handle_map(Socket& sock, ConnectionSlot& slot,
                   options_.io_timeout_ms, &slot.cancel);
       bytes_sent_.fetch_add(n, std::memory_order_relaxed);
       serve_metrics().bytes_tx.inc(n);
+      digest.result_bytes += n;
     }
 
     reads_total_.fetch_add(result.stats.reads_total,
@@ -803,6 +963,25 @@ bool MappingServer::handle_map(Socket& sock, ConnectionSlot& slot,
     reads_mapped_total_.fetch_add(result.stats.reads_mapped,
                                   std::memory_order_relaxed);
 
+    digest.decode_seconds = result.decode_seconds;
+    digest.map_stage_seconds = result.map_stage_seconds;
+    digest.drain_seconds = result.drain_seconds;
+    digest.call_seconds = result.call_seconds;
+    digest.reads_total = result.stats.reads_total;
+    digest.reads_mapped = result.stats.reads_mapped;
+    digest.calls = result.calls.size();
+    digest.phmm_cells = result.stats.dp_cells;
+    digest.fp32_recomputed = result.stats.fp32_recomputed_reads;
+    const double kernel_seconds =
+        result.stats.phmm_forward_seconds + result.stats.phmm_backward_seconds;
+    digest.gcups = kernel_seconds > 0.0
+                       ? static_cast<double>(result.stats.dp_cells) /
+                             kernel_seconds / 1e9
+                       : 0.0;
+
+    // MAP_DONE: the per-stage timing summary mirrors the digest, so a v3
+    // client sees where its request's time went without scraping anything.
+    // v2 clients parse key=value lines and ignore keys they don't know.
     std::string done;
     done += u64_kv("reads_total", result.stats.reads_total);
     done += u64_kv("reads_mapped", result.stats.reads_mapped);
@@ -811,15 +990,27 @@ bool MappingServer::handle_map(Socket& sock, ConnectionSlot& slot,
     done += u64_kv("in_flight_peak", result.reads_in_flight_peak);
     done += u64_kv("window_reads", window);
     done += "map_seconds=" + std::to_string(result.map_seconds) + "\n";
+    done += dbl_kv("total_seconds", request_timer.seconds());
+    done += dbl_kv("admission_wait_seconds", digest.admission_wait_seconds);
+    done += dbl_kv("upload_wait_seconds", digest.upload_wait_seconds);
+    done += dbl_kv("decode_seconds", digest.decode_seconds);
+    done += dbl_kv("map_stage_seconds", digest.map_stage_seconds);
+    done += dbl_kv("drain_seconds", digest.drain_seconds);
+    done += dbl_kv("call_seconds", digest.call_seconds);
+    done += u64_kv("upload_bytes", digest.upload_bytes);
+    done += u64_kv("result_bytes", digest.result_bytes);
+    done += u64_kv("phmm_cells", digest.phmm_cells);
+    done += dbl_kv("gcups", digest.gcups);
+    done += u64_kv("fp32_recomputed", digest.fp32_recomputed);
+    if (begin.trace_id != 0) {
+      done += "trace_id=" + trace_id_hex(begin.trace_id) + "\n";
+      done += "parent_span_id=" + trace_id_hex(begin.parent_span_id) + "\n";
+    }
     write_frame(sock, FrameType::kMapDone, done, options_.io_timeout_ms,
                 &slot.cancel);
 
     serve_metrics().request_seconds.observe(request_timer.seconds());
-    GNUMAP_LOG(kInfo) << "serve: conn " << slot.conn_id << " req " << req_id
-                      << " mapped " << result.stats.reads_mapped << "/"
-                      << result.stats.reads_total << " reads, "
-                      << result.calls.size() << " calls in "
-                      << request_timer.seconds() << " s";
+    finish_digest(0);
     return true;
   } catch (const WireError& e) {
     requests_failed_.fetch_add(1, std::memory_order_relaxed);
@@ -829,17 +1020,21 @@ bool MappingServer::handle_map(Socket& sock, ConnectionSlot& slot,
       // why, not the mechanism.
       const auto [code, msg] = cancel_reason(slot);
       send_error(sock, code, who + msg);
+      finish_digest(static_cast<std::uint16_t>(code));
     } else {
       send_error(sock, e.code(), who + e.what());
+      finish_digest(static_cast<std::uint16_t>(e.code()));
     }
     return false;
   } catch (const ParseError& e) {
     requests_failed_.fetch_add(1, std::memory_order_relaxed);
     send_error(sock, WireErrorCode::kParse, who + e.what());
+    finish_digest(static_cast<std::uint16_t>(WireErrorCode::kParse));
     return false;
   } catch (const std::exception& e) {
     requests_failed_.fetch_add(1, std::memory_order_relaxed);
     send_error(sock, WireErrorCode::kInternal, who + e.what());
+    finish_digest(static_cast<std::uint16_t>(WireErrorCode::kInternal));
     return false;
   }
 }

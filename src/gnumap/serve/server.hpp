@@ -33,7 +33,13 @@
 // latency histogram, admitted-reads and queue-depth gauges, rejected,
 // error, eviction, corrupt-frame, and deadline-abandoned counters, bytes
 // on the wire — plus serve_request trace spans tagged with connection and
-// request ids.
+// request ids and (protocol v3) the client's trace id.  Every finished
+// request leaves a RequestDigest (digest.hpp) in a recent-requests ring
+// and one structured request_digest log line; MAP_DONE carries the same
+// per-stage timing summary back to the client.  ServeOptions::admin_port
+// (default off) additionally starts an embedded admin HTTP endpoint
+// (admin_http.hpp) serving /metrics, /healthz, /statusz, and /tracez for
+// live fleet introspection.
 #pragma once
 
 #include <atomic>
@@ -48,12 +54,15 @@
 #include "gnumap/core/session.hpp"
 #include "gnumap/genome/genome.hpp"
 #include "gnumap/serve/admission.hpp"
+#include "gnumap/serve/digest.hpp"
 #include "gnumap/serve/fault_shim.hpp"
 #include "gnumap/serve/socket.hpp"
 #include "gnumap/serve/wire.hpp"
 #include "gnumap/util/timer.hpp"
 
 namespace gnumap::serve {
+
+class AdminHttpServer;
 
 struct ServeOptions {
   /// TCP port; 0 picks an ephemeral port (read it back via port()).
@@ -92,6 +101,13 @@ struct ServeOptions {
   /// Deterministic wire fault plan applied to every accepted connection
   /// (and the listener, for accept-delay events).  Empty = no faults.
   WireFaultPlan fault_plan;
+  /// Embedded admin HTTP endpoint (admin_http.hpp): -1 disables it (no
+  /// socket is opened), 0 picks an ephemeral port (read back via
+  /// MappingServer::admin_port()), otherwise the fixed port to bind.
+  /// Binds loopback unless bind_any is also set.
+  int admin_port = -1;
+  /// Most recent request digests retained for /tracez and STATS.
+  std::size_t digest_ring_capacity = 256;
 };
 
 /// Rolled-up service counters (also exported as gnumap_serve_* metrics;
@@ -151,6 +167,35 @@ class MappingServer {
   /// window: the staged pipeline's documented peak for this config.
   std::uint64_t request_window_reads() const;
 
+  /// The admin endpoint's bound port, or -1 when ServeOptions::admin_port
+  /// left it disabled (no admin socket exists then).
+  int admin_port() const;
+
+  /// One row of the live connection roster, as served at /statusz.
+  struct ConnectionInfo {
+    int conn_id = -1;
+    std::string peer;
+    bool in_request = false;
+    bool cancelled = false;  ///< watchdog tripped cancel (drain/eviction)
+    std::uint64_t rx_bytes = 0;
+    double age_seconds = 0.0;
+  };
+
+  /// Snapshot of every live connection (taken under the roster mutex).
+  std::vector<ConnectionInfo> connection_table() const;
+
+  /// Recent per-request latency digests (admin /tracez + STATS surface).
+  const DigestRing& digests() const { return digests_; }
+
+  /// The STATS / HEALTH key=value payloads; the admin endpoint reuses
+  /// health_text() verbatim at /healthz.
+  std::string stats_text() const;
+  std::string health_text() const;
+
+  /// The /statusz JSON document: build identity, genome/session facts,
+  /// admission occupancy, rolled-up counters, and the connection table.
+  std::string statusz_json() const;
+
  private:
   struct ConnectionSlot;
 
@@ -164,15 +209,13 @@ class MappingServer {
   void handle_connection(Socket sock, ConnectionSlot& slot);
   /// One MAP transaction after its MAP_BEGIN frame; returns false when the
   /// connection should close.
-  bool handle_map(Socket& sock, ConnectionSlot& slot, std::uint8_t flags,
-                  std::uint32_t client_deadline_ms);
+  bool handle_map(Socket& sock, ConnectionSlot& slot,
+                  const MapBeginInfo& begin);
   void send_error(Socket& sock, WireErrorCode code, const std::string& msg);
   /// Maps a watchdog cancellation on `slot` to the typed error the peer
   /// should see (eviction, abandoned deadline, or plain drain).
   std::pair<WireErrorCode, std::string> cancel_reason(
       const ConnectionSlot& slot) const;
-  std::string stats_text() const;
-  std::string health_text() const;
   /// BUSY retry hint scaled by how many request windows are already
   /// admitted, capped at busy_retry_max_ms.
   std::uint32_t busy_retry_hint() const;
@@ -182,6 +225,8 @@ class MappingServer {
   std::unique_ptr<MappingSession> session_;
   std::unique_ptr<Listener> listener_;
   AdmissionController admission_;
+  DigestRing digests_;
+  std::unique_ptr<AdminHttpServer> admin_;
 
   std::atomic<bool> stop_{false};
   std::atomic<bool> started_{false};

@@ -1,6 +1,7 @@
 #include "gnumap/serve/wire.hpp"
 
 #include <array>
+#include <cstdio>
 #include <cstring>
 
 namespace gnumap::serve {
@@ -59,6 +60,12 @@ void put_u32(std::string& out, std::uint32_t v) {
   }
 }
 
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
 std::uint16_t get_u16(std::string_view payload, std::size_t offset) {
   if (payload.size() < offset + 2) {
     throw WireError(WireErrorCode::kBadFrame, "payload too short for u16");
@@ -76,6 +83,25 @@ std::uint32_t get_u32(std::string_view payload, std::size_t offset) {
          (static_cast<std::uint32_t>(p[offset + 1]) << 8) |
          (static_cast<std::uint32_t>(p[offset + 2]) << 16) |
          (static_cast<std::uint32_t>(p[offset + 3]) << 24);
+}
+
+std::uint64_t get_u64(std::string_view payload, std::size_t offset) {
+  if (payload.size() < offset + 8) {
+    throw WireError(WireErrorCode::kBadFrame, "payload too short for u64");
+  }
+  const auto* p = reinterpret_cast<const unsigned char*>(payload.data());
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | p[offset + static_cast<std::size_t>(i)];
+  }
+  return v;
+}
+
+std::string trace_id_hex(std::uint64_t id) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
 }
 
 void write_frame(Socket& sock, FrameType type, std::string_view payload,
@@ -155,16 +181,26 @@ std::string encode_map_begin(std::uint8_t flags, std::uint32_t deadline_ms) {
   return payload;
 }
 
-std::pair<std::uint8_t, std::uint32_t> decode_map_begin(
-    std::string_view payload) {
+std::string encode_map_begin(const MapBeginInfo& info) {
+  std::string payload = encode_map_begin(info.flags, info.deadline_ms);
+  put_u64(payload, info.trace_id);
+  put_u64(payload, info.parent_span_id);
+  return payload;
+}
+
+MapBeginInfo decode_map_begin(std::string_view payload) {
   if (payload.empty()) {
     throw WireError(WireErrorCode::kBadFrame,
                     "MAP_BEGIN payload must carry a flags byte");
   }
-  const auto flags = static_cast<std::uint8_t>(payload[0]);
-  const std::uint32_t deadline_ms =
-      payload.size() >= 5 ? get_u32(payload, 1) : 0;
-  return {flags, deadline_ms};
+  MapBeginInfo info;
+  info.flags = static_cast<std::uint8_t>(payload[0]);
+  if (payload.size() >= 5) info.deadline_ms = get_u32(payload, 1);
+  if (payload.size() >= 21) {
+    info.trace_id = get_u64(payload, 5);
+    info.parent_span_id = get_u64(payload, 13);
+  }
+  return info;
 }
 
 std::string encode_busy(std::uint32_t retry_after_ms, std::string_view msg) {

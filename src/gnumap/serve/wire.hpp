@@ -21,7 +21,9 @@
 //   HELLO {u16 version, name}  ->
 //                              <-   HELLO_OK {u16 version, banner}
 //   MAP_BEGIN {u8 flags,       ->
-//              u32 deadline_ms}
+//              u32 deadline_ms,
+//              [v3: u64 trace_id,
+//               u64 parent_span_id]}
 //                              <-   MAP_GO | BUSY {u32 retry_ms, msg}
 //   READS_CHUNK {fastq bytes}  ->   (repeated; server pulls with
 //   ...                              backpressure — frames are only read
@@ -40,6 +42,16 @@
 // MAP_BEGIN's deadline_ms (0 = none) is the client's overall request
 // deadline; the server propagates it into the pipeline and abandons work
 // nobody is waiting for (typed kTimeout, deadline-abandoned counter).
+//
+// Since protocol v3 MAP_BEGIN optionally carries two trailing u64 fields:
+// a client-generated trace id (0 = request not traced) and the client's
+// parent span id.  The server tags its serve_request spans and request log
+// lines with the trace id and echoes both ids — plus a per-stage timing
+// summary — in MAP_DONE, so scripts/merge_traces.py can splice the client
+// and server trace files into one timeline.  The fields ride the existing
+// HELLO version negotiation: a v2 peer sends/accepts the 5-byte payload
+// and everything else is unchanged, so v2 interop needs no special cases
+// beyond decode_map_begin's length tolerance.
 //
 // Any violation — unknown type, oversized frame, CRC mismatch, FASTQ parse
 // failure, timeout — is answered with ERROR {u16 code, msg} and the
@@ -64,10 +76,13 @@
 
 namespace gnumap::serve {
 
-/// v2: CRC32 frame integrity + MAP_BEGIN deadline + HEALTH probes.
-inline constexpr std::uint16_t kProtocolVersion = 2;
+/// v3: MAP_BEGIN trace id/parent span id + MAP_DONE timing summary.
+/// (v2 introduced CRC32 frame integrity, the MAP_BEGIN deadline, and
+/// HEALTH probes.)
+inline constexpr std::uint16_t kProtocolVersion = 3;
 /// Oldest version this build still speaks (v1 framing had no CRC field
-/// and cannot be parsed by a v2 endpoint).
+/// and cannot be parsed by a CRC-framed endpoint).  v2 peers negotiate
+/// down via HELLO and simply omit the v3 trace fields.
 inline constexpr std::uint16_t kMinProtocolVersion = 2;
 
 /// Frame header bytes on the wire: u32 length + u8 type + u32 crc32.
@@ -83,6 +98,7 @@ enum class FrameType : std::uint8_t {
   kHello = 0x01,
   kHelloOk = 0x02,
   kMapBegin = 0x10,   ///< payload: u8 flags + u32 client deadline_ms
+                      ///< (+ u64 trace_id + u64 parent_span_id since v3)
   kReadsChunk = 0x11, ///< payload: raw FASTQ text
   kMapEnd = 0x12,
   kMapGo = 0x13,      ///< admission granted; send READS_CHUNK frames
@@ -156,20 +172,40 @@ std::optional<Frame> read_frame(Socket& sock, std::uint32_t max_payload,
 
 void put_u16(std::string& out, std::uint16_t v);
 void put_u32(std::string& out, std::uint32_t v);
+void put_u64(std::string& out, std::uint64_t v);
 /// Read little-endian integers at `offset`; throw WireError(kBadFrame) on
 /// short payloads.
 std::uint16_t get_u16(std::string_view payload, std::size_t offset);
 std::uint32_t get_u32(std::string_view payload, std::size_t offset);
+std::uint64_t get_u64(std::string_view payload, std::size_t offset);
+
+/// 16-digit lowercase hex rendering of a trace/span id — the one form used
+/// in log prefixes, MAP_DONE summaries, and trace-span args, so the ids
+/// can be grepped across client and server artifacts byte-exactly.
+std::string trace_id_hex(std::uint64_t id);
 
 /// HELLO / HELLO_OK: u16 version + free-form text.
 std::string encode_hello(std::uint16_t version, std::string_view text);
 std::pair<std::uint16_t, std::string> decode_hello(std::string_view payload);
 
-/// MAP_BEGIN: u8 flags + u32 deadline_ms (0 = no client deadline).
+/// Decoded MAP_BEGIN payload.  The trace fields are zero when the peer
+/// sent a pre-v3 payload (or chose not to trace the request).
+struct MapBeginInfo {
+  std::uint8_t flags = 0;
+  std::uint32_t deadline_ms = 0;    ///< 0 = no client deadline
+  std::uint64_t trace_id = 0;       ///< 0 = request not traced
+  std::uint64_t parent_span_id = 0; ///< client's enclosing span (v3)
+};
+
+/// MAP_BEGIN, v2 form: u8 flags + u32 deadline_ms (0 = no client deadline).
 std::string encode_map_begin(std::uint8_t flags, std::uint32_t deadline_ms);
-/// Accepts the 1-byte flags-only form (deadline 0) for hand-rolled peers.
-std::pair<std::uint8_t, std::uint32_t> decode_map_begin(
-    std::string_view payload);
+/// MAP_BEGIN, v3 form: appends u64 trace_id + u64 parent_span_id.  Only
+/// send this when HELLO negotiated version >= 3.
+std::string encode_map_begin(const MapBeginInfo& info);
+/// Accepts every historical form: 1-byte flags-only (hand-rolled peers),
+/// the 5-byte v2 payload, and the 21-byte v3 payload; absent fields
+/// decode to zero.
+MapBeginInfo decode_map_begin(std::string_view payload);
 
 /// BUSY: u32 retry_after_ms + message.
 std::string encode_busy(std::uint32_t retry_after_ms, std::string_view msg);

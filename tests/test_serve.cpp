@@ -2,11 +2,15 @@
 // gnumapd server end to end over real sockets — byte-identity with the
 // offline pipeline (alone and under concurrent clients with a mid-stream
 // disconnect), typed errors for malformed traffic, BUSY under a full
-// admission window, bounded in-flight reads, graceful shutdown, and the
-// gnumap_serve_* metrics export.
+// admission window, bounded in-flight reads, graceful shutdown, the
+// gnumap_serve_* metrics export, the embedded admin HTTP endpoint, and
+// protocol-v3 trace-id propagation (with v2 interop).
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -17,6 +21,7 @@
 #include "gnumap/io/read_stream.hpp"
 #include "gnumap/io/snp_writer.hpp"
 #include "gnumap/obs/metrics.hpp"
+#include "gnumap/obs/trace.hpp"
 #include "gnumap/serve/admission.hpp"
 #include "gnumap/serve/client.hpp"
 #include "gnumap/serve/server.hpp"
@@ -135,6 +140,36 @@ WireErrorCode expect_error_frame(Socket& sock) {
   }
 }
 
+/// Minimal HTTP/1.0 GET against the admin endpoint: one request, read to
+/// close (the server always answers Connection: close), split off the
+/// status code and body.
+struct HttpResponse {
+  int status = 0;
+  std::string body;
+};
+
+HttpResponse http_get(int port, const std::string& target) {
+  Socket sock =
+      serve::connect_tcp("127.0.0.1", static_cast<std::uint16_t>(port), 5'000);
+  const std::string request = "GET " + target + " HTTP/1.0\r\n\r\n";
+  sock.send_all(request.data(), request.size(), 5'000);
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const std::size_t n = sock.recv_some(buf, sizeof buf, 30'000);
+    if (n == 0) break;
+    raw.append(buf, n);
+  }
+  HttpResponse resp;
+  const std::size_t space = raw.find(' ');
+  if (space != std::string::npos) {
+    resp.status = std::atoi(raw.c_str() + space + 1);
+  }
+  const std::size_t blank = raw.find("\r\n\r\n");
+  if (blank != std::string::npos) resp.body = raw.substr(blank + 4);
+  return resp;
+}
+
 // ---------------------------------------------------------------------------
 // Wire codec
 
@@ -142,9 +177,54 @@ TEST(Wire, IntegerCodecRoundTrips) {
   std::string payload;
   serve::put_u16(payload, 0xBEEF);
   serve::put_u32(payload, 0xDEADBEEFu);
+  serve::put_u64(payload, 0xDEADBEEFCAFEF00Dull);
   EXPECT_EQ(serve::get_u16(payload, 0), 0xBEEF);
   EXPECT_EQ(serve::get_u32(payload, 2), 0xDEADBEEFu);
-  EXPECT_THROW(serve::get_u32(payload, 3), WireError);  // out of bounds
+  EXPECT_EQ(serve::get_u64(payload, 6), 0xDEADBEEFCAFEF00Dull);
+  EXPECT_THROW(serve::get_u32(payload, 11), WireError);  // out of bounds
+  EXPECT_THROW(serve::get_u64(payload, 7), WireError);   // out of bounds
+}
+
+TEST(Wire, MapBeginCodecAcceptsEveryHistoricalForm) {
+  // v3: flags + deadline + trace id + parent span id, 21 bytes.
+  serve::MapBeginInfo info;
+  info.flags = 0x01;
+  info.deadline_ms = 12'345;
+  info.trace_id = 0xDEADBEEFCAFEF00Dull;
+  info.parent_span_id = 0x0123456789ABCDEFull;
+  const std::string v3 = serve::encode_map_begin(info);
+  EXPECT_EQ(v3.size(), 21u);
+  const serve::MapBeginInfo back = serve::decode_map_begin(v3);
+  EXPECT_EQ(back.flags, info.flags);
+  EXPECT_EQ(back.deadline_ms, info.deadline_ms);
+  EXPECT_EQ(back.trace_id, info.trace_id);
+  EXPECT_EQ(back.parent_span_id, info.parent_span_id);
+
+  // v2: flags + deadline only; the trace fields decode to zero.
+  const std::string v2 = serve::encode_map_begin(0x01, 12'345);
+  EXPECT_EQ(v2.size(), 5u);
+  const serve::MapBeginInfo v2_back = serve::decode_map_begin(v2);
+  EXPECT_EQ(v2_back.flags, 0x01);
+  EXPECT_EQ(v2_back.deadline_ms, 12'345u);
+  EXPECT_EQ(v2_back.trace_id, 0u);
+  EXPECT_EQ(v2_back.parent_span_id, 0u);
+
+  // A v3 payload with zeroed trace fields is byte-identical to v2 plus
+  // sixteen zero bytes — nothing version-dependent hides in the prefix.
+  serve::MapBeginInfo plain;
+  plain.flags = 0x01;
+  plain.deadline_ms = 12'345;
+  EXPECT_EQ(serve::encode_map_begin(plain).substr(0, 5), v2);
+
+  // 1-byte flags-only form from hand-rolled peers.
+  const serve::MapBeginInfo tiny =
+      serve::decode_map_begin(std::string(1, '\x02'));
+  EXPECT_EQ(tiny.flags, 0x02);
+  EXPECT_EQ(tiny.deadline_ms, 0u);
+  EXPECT_EQ(tiny.trace_id, 0u);
+
+  EXPECT_EQ(serve::trace_id_hex(0xDEADBEEFCAFEF00Dull), "deadbeefcafef00d");
+  EXPECT_EQ(serve::trace_id_hex(0x5ull), "0000000000000005");
 }
 
 TEST(Wire, MessageCodecsRoundTrip) {
@@ -598,6 +678,253 @@ TEST(Serve, StatsAndPrometheusExport) {
   EXPECT_NE(text.find("gnumap_serve_queue_depth"), std::string::npos);
   EXPECT_NE(text.find("gnumap_serve_rejected_total"), std::string::npos);
   EXPECT_NE(text.find("gnumap_serve_requests_total"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Admin HTTP endpoint
+
+TEST(Serve, AdminDisabledByDefault) {
+  const Workload w = make_workload(8000, 1.0);
+  MappingServer server(w.ref, serve_config(), test_options());
+  server.start();
+  // No --admin-port means no admin socket exists at all.
+  EXPECT_EQ(server.admin_port(), -1);
+  server.request_stop();
+  server.wait();
+}
+
+TEST(Serve, AdminEndpointsServeLiveState) {
+  const Workload w = make_workload();
+  const PipelineConfig config = serve_config();
+  const OfflineResult offline = offline_outputs(w, config);
+
+  ServeOptions options = test_options();
+  options.admin_port = 0;  // ephemeral
+  MappingServer server(w.ref, config, options);
+  server.start();
+  ASSERT_GT(server.admin_port(), 0);
+
+  // Park a raw connection mid-request so the admin pages have live state
+  // to show: admitted (MAP_GO seen) but never finishing its upload.
+  Socket holder = raw_hello(server.port());
+  serve::write_frame(holder, FrameType::kMapBegin, std::string(1, '\0'),
+                     5'000);
+  auto go = serve::read_frame(holder, serve::kDefaultMaxFrameBytes, 5'000);
+  ASSERT_TRUE(go.has_value());
+  ASSERT_EQ(go->type, FrameType::kMapGo);
+
+  {
+    const HttpResponse health = http_get(server.admin_port(), "/healthz");
+    EXPECT_EQ(health.status, 200);
+    EXPECT_EQ(health.body.rfind("ready=1", 0), 0u) << health.body;
+  }
+  {
+    // /statusz sees the parked request: its connection row is in_request
+    // and the admission window is holding its reservation.
+    const HttpResponse status = http_get(server.admin_port(), "/statusz");
+    EXPECT_EQ(status.status, 200);
+    EXPECT_NE(status.body.find("\"state\": \"in_request\""),
+              std::string::npos)
+        << status.body;
+    EXPECT_EQ(status.body.find("\"admitted_reads\": 0,"), std::string::npos)
+        << status.body;
+    EXPECT_NE(status.body.find("\"genome_bases\""), std::string::npos);
+    EXPECT_NE(status.body.find("\"git_sha\""), std::string::npos);
+  }
+  {
+    // /metrics is a valid live Prometheus page mid-request: every sample
+    // line is "name value" with a parseable value, and the serve family
+    // is present.
+    const HttpResponse metrics = http_get(server.admin_port(), "/metrics");
+    EXPECT_EQ(metrics.status, 200);
+    EXPECT_NE(metrics.body.find("# TYPE gnumap_serve_requests_total counter"),
+              std::string::npos);
+    EXPECT_NE(metrics.body.find("gnumap_serve_queue_depth"),
+              std::string::npos);
+    std::istringstream lines(metrics.body);
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      const std::size_t space = line.rfind(' ');
+      ASSERT_NE(space, std::string::npos) << line;
+      EXPECT_NO_THROW(std::stod(line.substr(space + 1))) << line;
+    }
+  }
+  EXPECT_EQ(http_get(server.admin_port(), "/no-such-page").status, 404);
+
+  // Release the holder (empty request is valid) before the byte-identity
+  // check below.
+  serve::write_frame(holder, FrameType::kMapEnd, "", 5'000);
+  for (;;) {
+    auto frame = serve::read_frame(holder, serve::kDefaultMaxFrameBytes,
+                                   10'000);
+    ASSERT_TRUE(frame.has_value());
+    if (frame->type == FrameType::kMapDone) break;
+  }
+
+  // Mapping with the admin endpoint enabled changes nothing on the wire.
+  ClientOptions client_options;
+  client_options.port = server.port();
+  MappingClient client(client_options);
+  std::istringstream fastq(w.fastq);
+  std::ostringstream tsv, sam;
+  const auto outcome = client.map(fastq, tsv, &sam);
+  EXPECT_FALSE(outcome.busy);
+  EXPECT_EQ(tsv.str(), offline.tsv);
+  EXPECT_EQ(sam.str(), offline.sam);
+
+  // With requests completed, the bare /tracez digest table is non-empty
+  // and carries the per-request latency breakdown.
+  const HttpResponse tracez = http_get(server.admin_port(), "/tracez");
+  EXPECT_EQ(tracez.status, 200);
+  EXPECT_NE(tracez.body.find("\"slowest_recent_requests\""),
+            std::string::npos);
+  EXPECT_NE(tracez.body.find("\"map_stage_seconds\""), std::string::npos);
+  EXPECT_NE(tracez.body.find("\"gcups\""), std::string::npos);
+
+  server.request_stop();
+  server.wait();
+}
+
+TEST(Serve, TracezCapturesAChromeTrace) {
+  const Workload w = make_workload(8000, 2.0);
+  ServeOptions options = test_options();
+  options.admin_port = 0;
+  MappingServer server(w.ref, serve_config(), options);
+  server.start();
+
+  obs::set_trace_enabled(false);
+  obs::reset_trace();
+
+  // Start the capture window, then map while it is open so the trace has
+  // server-side spans in it.
+  std::thread mapper([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ClientOptions client_options;
+    client_options.port = server.port();
+    MappingClient client(client_options);
+    std::istringstream fastq(w.fastq);
+    std::ostringstream tsv;
+    client.map(fastq, tsv);
+  });
+  const HttpResponse trace =
+      http_get(server.admin_port(), "/tracez?duration_ms=2000");
+  mapper.join();
+
+  EXPECT_EQ(trace.status, 200);
+  EXPECT_NE(trace.body.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.body.find("serve_request"), std::string::npos)
+      << trace.body.substr(0, 400);
+  // The window is over: /tracez left tracing the way it found it.
+  EXPECT_FALSE(obs::trace_enabled());
+
+  server.request_stop();
+  server.wait();
+}
+
+// ---------------------------------------------------------------------------
+// Trace-id propagation (protocol v3) and v2 interop
+
+TEST(Serve, TraceIdRoundTripsClientToServer) {
+  const Workload w = make_workload(8000, 2.0);
+  MappingServer server(w.ref, serve_config(), test_options());
+  server.start();
+
+  obs::set_trace_enabled(false);
+  obs::reset_trace();
+  obs::set_trace_enabled(true);
+
+  constexpr std::uint64_t kTraceId = 0xDEADBEEFCAFEF00Dull;
+  ClientOptions client_options;
+  client_options.port = server.port();
+  client_options.trace_id = kTraceId;  // pinned, not random
+  MappingClient client(client_options);
+  std::istringstream fastq(w.fastq);
+  std::ostringstream tsv;
+  const auto outcome = client.map(fastq, tsv);
+  EXPECT_FALSE(outcome.busy);
+
+  // The serve_request span is recorded when the handler leaves the
+  // request scope, which races the client's MAP_DONE receipt — drain the
+  // server before freezing the trace so the span is in the export.
+  server.request_stop();
+  server.wait();
+  obs::set_trace_enabled(false);
+
+  // MAP_DONE echoes the id byte-exactly in its hex form, alongside the
+  // server-side timing summary.
+  EXPECT_EQ(outcome.trace_id, kTraceId);
+  EXPECT_EQ(outcome.stats.at("trace_id"), "deadbeefcafef00d");
+  EXPECT_NE(outcome.stats.at("parent_span_id"), "0000000000000000");
+  for (const char* key :
+       {"total_seconds", "admission_wait_seconds", "upload_wait_seconds",
+        "decode_seconds", "map_stage_seconds", "drain_seconds",
+        "call_seconds", "phmm_cells", "gcups"}) {
+    EXPECT_TRUE(outcome.stats.count(key)) << "MAP_DONE missing " << key;
+  }
+
+  // Server and client run in one process here, so one trace export holds
+  // both sides; the id tags the server's serve_request span and the
+  // client's map_request span alike — that is what merge_traces.py keys on.
+  std::ostringstream exported;
+  obs::write_chrome_trace(exported);
+  const std::string trace = exported.str();
+  EXPECT_NE(trace.find("serve_request"), std::string::npos);
+  EXPECT_NE(trace.find("map_request"), std::string::npos);
+  EXPECT_NE(trace.find("deadbeefcafef00d"), std::string::npos);
+  obs::reset_trace();
+}
+
+TEST(Serve, V2ClientStaysByteIdenticalWithoutTraceFields) {
+  // A peer that negotiates protocol v2 sends the 5-byte MAP_BEGIN and must
+  // get exactly the pre-v3 behaviour: same result bytes, no trace_id key
+  // in MAP_DONE.
+  const Workload w = make_workload();
+  const PipelineConfig config = serve_config();
+  const OfflineResult offline = offline_outputs(w, config);
+
+  MappingServer server(w.ref, config, test_options());
+  server.start();
+
+  Socket sock = serve::connect_tcp("127.0.0.1", server.port(), 5'000);
+  serve::write_frame(sock, FrameType::kHello, serve::encode_hello(2, "v2"),
+                     5'000);
+  auto hello = serve::read_frame(sock, serve::kDefaultMaxFrameBytes, 5'000);
+  ASSERT_TRUE(hello.has_value());
+  ASSERT_EQ(hello->type, FrameType::kHelloOk);
+  EXPECT_EQ(serve::decode_hello(hello->payload).first, 2);
+
+  serve::write_frame(sock, FrameType::kMapBegin,
+                     serve::encode_map_begin(/*flags=*/0, /*deadline_ms=*/0),
+                     5'000);
+  auto go = serve::read_frame(sock, serve::kDefaultMaxFrameBytes, 5'000);
+  ASSERT_TRUE(go.has_value());
+  ASSERT_EQ(go->type, FrameType::kMapGo);
+  serve::write_frame(sock, FrameType::kReadsChunk, w.fastq, 5'000);
+  serve::write_frame(sock, FrameType::kMapEnd, "", 5'000);
+
+  std::string tsv;
+  std::string done_payload;
+  for (;;) {
+    auto frame = serve::read_frame(sock, serve::kDefaultMaxFrameBytes,
+                                   60'000);
+    ASSERT_TRUE(frame.has_value()) << "connection closed before MAP_DONE";
+    ASSERT_NE(frame->type, FrameType::kError);
+    if (frame->type == FrameType::kResultTsv) {
+      tsv += frame->payload;
+    } else if (frame->type == FrameType::kMapDone) {
+      done_payload = frame->payload;
+      break;
+    }
+  }
+  EXPECT_EQ(tsv, offline.tsv);
+  const auto kv = serve::parse_kv_lines(done_payload);
+  EXPECT_EQ(kv.count("trace_id"), 0u)
+      << "v2 MAP_DONE leaked the v3 trace_id field";
+  EXPECT_EQ(kv.at("reads_total"), std::to_string(w.reads.size()));
+
+  server.request_stop();
+  server.wait();
 }
 
 }  // namespace
