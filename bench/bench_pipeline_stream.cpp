@@ -8,6 +8,14 @@
 //    memory O((queue_depth + threads) x stream_batch), IO overlapping the
 //    SIMD PHMM sweeps.
 //
+// A second section measures drain scaling: the same SAM-heavy workload at
+// several thread counts, formatted the legacy way (inside the drain,
+// config.format_in_drain) versus in the mapper workers (the PR 9 output
+// path, where the drain only splices bytes).  SAM goes to a byte-counting
+// null stream so rendering cost is measured without disk noise.  The split
+// timings (format_seconds / splice_seconds) land in BENCH_pipeline.json;
+// the refactor's claim is splice << the legacy drain at high thread counts.
+//
 // Emits BENCH_pipeline.json (reads/sec, peak RSS, in-flight peak per run)
 // next to the table it prints.  Peak RSS is VmHWM from /proc/self/status,
 // reset between phases via /proc/self/clear_refs where the kernel allows;
@@ -15,10 +23,13 @@
 // earlier peaks (flagged in the JSON).
 //
 // Usage: bench_pipeline_stream [threads] [genome_bp]
+//        (--metrics-out FILE / --trace-out FILE via the common obs flags)
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <ostream>
 #include <sstream>
+#include <streambuf>
 #include <string>
 #include <vector>
 
@@ -26,6 +37,7 @@
 #include "gnumap/core/pipeline.hpp"
 #include "gnumap/io/fastq.hpp"
 #include "gnumap/io/read_stream.hpp"
+#include "gnumap/obs/obs_cli.hpp"
 #include "gnumap/util/timer.hpp"
 
 using namespace gnumap;
@@ -64,9 +76,36 @@ struct RunResult {
   std::uint64_t calls = 0;
 };
 
+/// Swallows SAM bytes while counting them: rendering cost without disk IO.
+class CountingNullBuf : public std::streambuf {
+ public:
+  std::uint64_t bytes = 0;
+
+ protected:
+  int overflow(int ch) override {
+    ++bytes;
+    return ch;
+  }
+  std::streamsize xsputn(const char*, std::streamsize n) override {
+    bytes += static_cast<std::uint64_t>(n);
+    return n;
+  }
+};
+
+struct DrainRun {
+  int threads = 0;
+  std::string mode;
+  std::uint64_t reads = 0;
+  double seconds = 0.0;
+  double format_seconds = 0.0;
+  double splice_seconds = 0.0;
+  std::uint64_t output_bytes = 0;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  gnumap::obs::strip_cli_flags(argc, argv);
   const int threads = argc > 1 ? std::atoi(argv[1]) : 4;
   const std::uint64_t genome_bp =
       argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 200'000;
@@ -133,6 +172,51 @@ int main(int argc, char** argv) {
     std::remove(fastq_path.c_str());
   }
 
+  // --- Drain scaling: who pays for output formatting? ---------------------
+  // SAM rendering (with per-record Viterbi) dominates the drain; the legacy
+  // shape serializes it behind one thread, the worker shape leaves only the
+  // byte splice there.
+  std::printf("\ndrain scaling (SAM to null sink, %.2f Mbp genome)\n",
+              static_cast<double>(genome_bp) / 1e6);
+  std::printf("%-8s %-13s %9s %9s %10s %10s %12s\n", "threads", "mode",
+              "seconds", "reads/s", "format s", "splice s", "output MB");
+  bench::print_rule();
+
+  bench::WorkloadOptions drain_options;
+  drain_options.genome_length = genome_bp;
+  drain_options.coverage = 12.0;
+  const bench::Workload drain_w = bench::make_workload(drain_options);
+
+  std::vector<DrainRun> drain_runs;
+  for (const int t : {1, 2, 4, 8}) {
+    for (const bool worker_format : {false, true}) {
+      PipelineConfig drain_config = bench::default_pipeline_config();
+      drain_config.threads = t;
+      drain_config.min_parallel_reads = 0;  // staged path at every size
+      drain_config.format_in_drain = !worker_format;
+
+      CountingNullBuf null_buf;
+      std::ostream sam_sink(&null_buf);
+      Timer timer;
+      const auto result = run_pipeline_with_accumulator(
+          drain_w.reference, drain_w.reads, drain_config, nullptr, &sam_sink);
+      DrainRun run;
+      run.threads = t;
+      run.mode = worker_format ? "worker-format" : "legacy-drain";
+      run.reads = drain_w.reads.size();
+      run.seconds = timer.seconds();
+      run.format_seconds = result.format_seconds;
+      run.splice_seconds = result.splice_seconds;
+      run.output_bytes = result.output_bytes;
+      std::printf("%-8d %-13s %8.2fs %9.0f %9.3fs %9.3fs %9.1f MB\n", t,
+                  run.mode.c_str(), run.seconds,
+                  static_cast<double>(run.reads) / run.seconds,
+                  run.format_seconds, run.splice_seconds,
+                  static_cast<double>(run.output_bytes) / (1024.0 * 1024.0));
+      drain_runs.push_back(run);
+    }
+  }
+
   std::ofstream json("BENCH_pipeline.json");
   json << "{\n"
        << "  \"bench\": \"pipeline_stream\",\n"
@@ -152,6 +236,19 @@ int main(int argc, char** argv) {
          << ", \"reads_in_flight_peak\": " << run.in_flight_peak
          << ", \"calls\": " << run.calls << "}"
          << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"drain_scaling\": [\n";
+  for (std::size_t i = 0; i < drain_runs.size(); ++i) {
+    const DrainRun& run = drain_runs[i];
+    json << "    {\"threads\": " << run.threads << ", \"mode\": \""
+         << run.mode << "\", \"reads\": " << run.reads
+         << ", \"seconds\": " << run.seconds << ", \"reads_per_sec\": "
+         << static_cast<double>(run.reads) / run.seconds
+         << ", \"format_seconds\": " << run.format_seconds
+         << ", \"splice_seconds\": " << run.splice_seconds
+         << ", \"output_bytes\": " << run.output_bytes << "}"
+         << (i + 1 < drain_runs.size() ? "," : "") << "\n";
   }
   json << "  ]\n}\n";
   std::printf("\nwrote BENCH_pipeline.json\n");

@@ -20,6 +20,8 @@
 //   --threads N       mapping threads (default 1)
 //   --batch N         reads per streamed batch (default 256)
 //   --queue-depth N   decoded batches buffered ahead of the mappers (default 4)
+//   --output-buffer-bytes N  cap on worker-rendered output bytes parked in
+//                     the splicer (0 = sized from batch/queue/threads)
 //   --min-coverage X  minimum accumulated mass to test a site (default 3)
 //   --phred64         read qualities use the legacy +64 offset
 //   --quiet           suppress progress logging
@@ -52,7 +54,7 @@ namespace {
                "usage: %s --ref genome.fa --reads reads.fastq [options]\n"
                "  --out FILE --vcf FILE --alpha X --fdr Q --ploidy 1|2\n"
                "  --kmer K --accum norm|chardisc|centdisc --threads N\n"
-               "  --batch N --queue-depth N\n"
+               "  --batch N --queue-depth N --output-buffer-bytes N\n"
                "  --phmm-fp32 [--phmm-fp32-margin X] --phmm-bin-slack N\n"
                "  --min-coverage X --phred64 --quiet\n"
                "  --trace-out FILE --metrics-out FILE\n",
@@ -114,6 +116,8 @@ int main(int argc, char** argv) {
         if (config.queue_depth == 0) {
           usage(argv[0], "--queue-depth must be >= 1");
         }
+      } else if (arg == "--output-buffer-bytes") {
+        config.output_buffer_bytes = parse_u64(need_value(i));
       } else if (arg == "--phmm-fp32") {
         // Single-precision PHMM lanes (2x lane count).  Borderline mapping
         // decisions are recomputed in double, so SNP calls match the

@@ -31,7 +31,8 @@
 //                       stall@0:250,disconnect@65536"); defaults to the
 //                       GNUMAP_WIRE_FAULT_PLAN environment variable
 //   --alpha X --fdr Q --ploidy 1|2 --kmer K --accum KIND --threads N
-//   --batch N --queue-depth N --min-coverage X   (as in gnumap_snp_cli)
+//   --batch N --queue-depth N --output-buffer-bytes N --min-coverage X
+//                       (as in gnumap_snp_cli)
 //   --quiet             suppress progress logging
 //   --trace-out FILE --metrics-out FILE          (flushed on exit)
 //
@@ -92,7 +93,8 @@ void drain_handler(int sig) {
                "  --max-conn-seconds S --max-conn-bytes N --fault-plan SPEC\n"
                "  --alpha X --fdr Q --ploidy 1|2 --kmer K\n"
                "  --accum norm|chardisc|centdisc --threads N\n"
-               "  --batch N --queue-depth N --min-coverage X --quiet\n"
+               "  --batch N --queue-depth N --output-buffer-bytes N\n"
+               "  --min-coverage X --quiet\n"
                "  --phmm-fp32 [--phmm-fp32-margin X] --phmm-bin-slack N\n"
                "  --trace-out FILE --metrics-out FILE\n",
                argv0);
@@ -183,6 +185,8 @@ int main(int argc, char** argv) {
         if (config.queue_depth == 0) {
           usage(argv[0], "--queue-depth must be >= 1");
         }
+      } else if (arg == "--output-buffer-bytes") {
+        config.output_buffer_bytes = parse_u64(need_value(i));
       } else if (arg == "--min-coverage") {
         config.min_coverage = parse_double(need_value(i));
       } else if (arg == "--phmm-fp32") {

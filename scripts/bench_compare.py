@@ -1,25 +1,32 @@
 #!/usr/bin/env python3
-"""Compare a fresh PHMM bench run against the committed baseline.
+"""Compare a fresh bench run against the committed baseline.
 
-Guards the kernel's throughput in CI: a fresh google-benchmark JSON (the
-bench-smoke leg runs bench_ablation_phmm with --benchmark_out) is compared
-row-by-row against the committed BENCH_phmm.json, and any benchmark whose
-``gcups`` counter regressed by more than the threshold fails the run.
+Guards two throughput surfaces in CI:
+
+* PHMM kernel (default): a fresh google-benchmark JSON (the bench-smoke leg
+  runs bench_ablation_phmm with --benchmark_out) is compared row-by-row
+  against the committed BENCH_phmm.json, and any benchmark whose ``gcups``
+  counter regressed by more than the threshold fails the run.
+
+* Pipeline (--pipeline): a fresh BENCH_pipeline.json (written by
+  bench_pipeline_stream) is compared on ``reads_per_sec``, covering both
+  the monolithic-vs-streaming ``runs`` rows and the ``drain_scaling`` rows
+  (threads x legacy-drain/worker-format).
 
 Only rows present in BOTH files are compared (a renamed or added benchmark
 is reported, not fatal — the committed baseline trails new code by design).
-Rows without a gcups counter (e.g. the scalar BM_ForwardBackward family)
-are skipped.  Context drift (build type, cpu count) is printed so a
-"regression" on noisy shared hardware is diagnosable at a glance.
+Rows without the compared counter are skipped.  Context drift (build type,
+cpu count, workload shape) is printed so a "regression" on noisy shared
+hardware is diagnosable at a glance.
 
 Usage:
     bench_compare.py fresh.json [--baseline BENCH_phmm.json]
-                     [--threshold 0.15]
+                     [--threshold 0.15] [--pipeline]
 
-The threshold is a fraction (0.15 = fail below 85% of baseline GCUPS); the
+The threshold is a fraction (0.15 = fail below 85% of baseline); the
 GNUMAP_BENCH_THRESHOLD environment variable overrides the default, the
 flag overrides both.  Re-baselining after an intentional change is just
-committing the fresh file as BENCH_phmm.json (see docs/OBSERVABILITY.md).
+committing the fresh file as the baseline (see docs/OBSERVABILITY.md).
 
 Stdlib only.  Exit codes: 0 ok, 1 regression, 2 bad input.
 """
@@ -30,13 +37,17 @@ import os
 import sys
 
 
-def load_rows(path):
+def load_json(path):
     try:
         with open(path) as f:
-            doc = json.load(f)
+            return json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
+
+
+def load_phmm_rows(path):
+    doc = load_json(path)
     rows = {}
     for bench in doc.get("benchmarks", []):
         if bench.get("run_type") == "aggregate":
@@ -46,32 +57,63 @@ def load_rows(path):
     return doc.get("context", {}), rows
 
 
+def load_pipeline_rows(path):
+    doc = load_json(path)
+    rows = {}
+    for run in doc.get("runs", []):
+        key = f"{run.get('mode')}/r{run.get('reads')}"
+        if "reads_per_sec" in run:
+            rows[key] = float(run["reads_per_sec"])
+    for run in doc.get("drain_scaling", []):
+        key = f"drain_scaling/t{run.get('threads')}/{run.get('mode')}"
+        if "reads_per_sec" in run:
+            rows[key] = float(run["reads_per_sec"])
+    context = {k: doc.get(k)
+               for k in ("genome_bp", "threads", "stream_batch",
+                         "queue_depth")}
+    return context, rows
+
+
 def main():
     parser = argparse.ArgumentParser(
-        description="fail on PHMM GCUPS regressions vs the committed baseline")
-    parser.add_argument("fresh", help="fresh --benchmark_out JSON")
+        description="fail on bench throughput regressions vs the committed "
+                    "baseline")
+    parser.add_argument("fresh", help="fresh bench JSON")
     parser.add_argument(
-        "--baseline",
-        default=os.path.join(os.path.dirname(os.path.dirname(
-            os.path.abspath(__file__))), "BENCH_phmm.json"),
-        help="committed baseline (default: repo BENCH_phmm.json)")
+        "--baseline", default=None,
+        help="committed baseline (default: repo BENCH_phmm.json, or "
+             "BENCH_pipeline.json with --pipeline)")
     parser.add_argument(
         "--threshold", type=float,
         default=float(os.environ.get("GNUMAP_BENCH_THRESHOLD", "0.15")),
-        help="max tolerated fractional GCUPS drop (default %(default)s, "
+        help="max tolerated fractional drop (default %(default)s, "
              "or GNUMAP_BENCH_THRESHOLD)")
+    parser.add_argument(
+        "--pipeline", action="store_true",
+        help="compare BENCH_pipeline.json reads_per_sec rows instead of "
+             "google-benchmark gcups rows")
     args = parser.parse_args()
     if not 0.0 < args.threshold < 1.0:
         print("bench_compare: --threshold must be in (0, 1)", file=sys.stderr)
         return 2
 
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    if args.baseline is None:
+        name = "BENCH_pipeline.json" if args.pipeline else "BENCH_phmm.json"
+        args.baseline = os.path.join(repo, name)
+    load_rows = load_pipeline_rows if args.pipeline else load_phmm_rows
+    unit = "reads/s" if args.pipeline else "GCUPS"
+
     base_ctx, base = load_rows(args.baseline)
     fresh_ctx, fresh = load_rows(args.fresh)
     if not base or not fresh:
-        print("bench_compare: no gcups rows to compare", file=sys.stderr)
+        print(f"bench_compare: no {unit} rows to compare", file=sys.stderr)
         return 2
 
-    for key in ("library_build_type", "num_cpus", "host_name"):
+    drift_keys = (("genome_bp", "threads", "stream_batch", "queue_depth")
+                  if args.pipeline
+                  else ("library_build_type", "num_cpus", "host_name"))
+    for key in drift_keys:
         if base_ctx.get(key) != fresh_ctx.get(key):
             print(f"bench_compare: context drift: {key} baseline="
                   f"{base_ctx.get(key)!r} fresh={fresh_ctx.get(key)!r}")
@@ -85,16 +127,16 @@ def main():
 
     regressions = []
     for name in sorted(set(base) & set(fresh)):
-        base_gcups, fresh_gcups = base[name], fresh[name]
-        if base_gcups <= 0.0:
+        base_val, fresh_val = base[name], fresh[name]
+        if base_val <= 0.0:
             continue
-        change = fresh_gcups / base_gcups - 1.0
+        change = fresh_val / base_val - 1.0
         marker = ""
         if change < -args.threshold:
             regressions.append(name)
             marker = "  <-- REGRESSION"
-        print(f"bench_compare: {name}: {base_gcups:.4f} -> "
-              f"{fresh_gcups:.4f} GCUPS ({change:+.1%}){marker}")
+        print(f"bench_compare: {name}: {base_val:.4f} -> "
+              f"{fresh_val:.4f} {unit} ({change:+.1%}){marker}")
 
     if regressions:
         print(f"bench_compare: FAIL: {len(regressions)} row(s) regressed "

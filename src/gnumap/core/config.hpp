@@ -92,6 +92,21 @@ struct PipelineConfig {
   /// handful of reads).  Tests set this to 0 to force the parallel path on
   /// tiny deterministic inputs.
   std::uint32_t min_parallel_reads = 64;
+  /// Rendered-but-not-yet-spliced output bytes the drain's reorder window
+  /// may buffer (the --output-buffer-bytes knob).  Workers format their own
+  /// batches (DESIGN.md §12), so without this cap a straggler holding the
+  /// in-order batch would let the others park unbounded preformatted
+  /// output; with it a worker whose chunk does not fit blocks until the
+  /// drain catches up.  0 derives a default from stream_batch (roughly
+  /// (queue_depth + threads) average-sized SAM chunks, 1 MiB floor); the
+  /// in-order chunk is always admitted, so any value is deadlock-free.
+  std::uint64_t output_buffer_bytes = 0;
+  /// Legacy output path: keep formatting (SAM rendering + accumulation
+  /// scaling) inside the single ordered drain instead of the mapper
+  /// workers.  Output is byte-identical either way; this exists as the A/B
+  /// baseline for the drain-scaling bench and the equivalence tests, not as
+  /// a supported mode.
+  bool format_in_drain = false;
 };
 
 /// Counters describing one mapping run.

@@ -126,8 +126,7 @@ std::vector<std::uint8_t> serialize_calls(const std::vector<SnpCall>& calls) {
   return out;
 }
 
-std::vector<SnpCall> deserialize_calls(const std::vector<std::uint8_t>& bytes) {
-  Cursor cursor{bytes};
+std::vector<SnpCall> take_calls(Cursor& cursor) {
   const std::uint64_t count = cursor.take<std::uint64_t>();
   std::vector<SnpCall> calls;
   calls.reserve(count);
@@ -145,6 +144,43 @@ std::vector<SnpCall> deserialize_calls(const std::vector<std::uint8_t>& bytes) {
     calls.push_back(std::move(call));
   }
   return calls;
+}
+
+/// Gather payload for the genome-partition root splice: the rank's TSV
+/// rows, preformatted locally with the locale-independent append API
+/// (rank-local formatting — the root never renders another rank's calls),
+/// followed by the structured calls for DistResult::calls.
+std::vector<std::uint8_t> serialize_rank_output(
+    const std::vector<SnpCall>& calls) {
+  std::string tsv;
+  append_snps_tsv_body(tsv, calls);
+  std::vector<std::uint8_t> out;
+  put_u64(out, tsv.size());
+  out.insert(out.end(), tsv.begin(), tsv.end());
+  const auto call_bytes = serialize_calls(calls);
+  out.insert(out.end(), call_bytes.begin(), call_bytes.end());
+  return out;
+}
+
+/// Root-side splice of gathered rank outputs, in rank order.  Genome
+/// segments are assigned to ranks in position order and call_snps scans a
+/// segment in position order, so rank-order concatenation IS global genome
+/// order — the same order the serial caller emits.  (The former sort by
+/// (contig name, position) could disagree with genome order for contig
+/// names that don't sort lexicographically; splicing cannot.)
+void splice_rank_outputs(const std::vector<std::vector<std::uint8_t>>& gathered,
+                         std::string& tsv, std::vector<SnpCall>& calls) {
+  tsv.clear();
+  append_snps_tsv_header(tsv);
+  calls.clear();
+  for (const auto& payload : gathered) {
+    Cursor cursor{payload};
+    const auto tsv_len = cursor.take<std::uint64_t>();
+    tsv += cursor.take_string(static_cast<std::size_t>(tsv_len));
+    auto rank_calls = take_calls(cursor);
+    calls.insert(calls.end(), std::make_move_iterator(rank_calls.begin()),
+                 std::make_move_iterator(rank_calls.end()));
+  }
 }
 
 /// Runs `fn` as this rank's compute turn.  When `serialize` is set, ranks
@@ -398,7 +434,12 @@ void run_read_partition_rank(Communicator& comm, const AttemptContext& ctx) {
     ctx.result.max_rank_index_bytes =
         std::max(ctx.result.max_rank_index_bytes, index->memory_bytes());
   }
-  if (rank == 0) ctx.result.calls = std::move(calls);
+  if (rank == 0) {
+    // Rank-local formatting: only rank 0 holds final calls in this mode, so
+    // it renders the whole document (locale-independent append API).
+    append_snps_tsv(ctx.result.tsv, calls);
+    ctx.result.calls = std::move(calls);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -610,7 +651,7 @@ void run_genome_partition_rank(Communicator& comm, const AttemptContext& ctx) {
     local_calls =
         call_snps(ctx.genome, *accum, config, seg.core_begin, seg.core_end);
   });
-  auto gathered = comm.gather(0, serialize_calls(local_calls));
+  auto gathered = comm.gather(0, serialize_rank_output(local_calls));
 
   std::lock_guard<std::mutex> lock(ctx.result_mutex);
   // In this mode every rank sees every read; count the stream once.
@@ -623,18 +664,7 @@ void run_genome_partition_rank(Communicator& comm, const AttemptContext& ctx) {
   ctx.result.max_rank_index_bytes =
       std::max(ctx.result.max_rank_index_bytes, index->memory_bytes());
   if (rank == 0) {
-    std::vector<SnpCall> all;
-    for (auto& payload : gathered) {
-      auto calls = deserialize_calls(payload);
-      all.insert(all.end(), std::make_move_iterator(calls.begin()),
-                 std::make_move_iterator(calls.end()));
-    }
-    std::sort(all.begin(), all.end(),
-              [](const SnpCall& a, const SnpCall& b) {
-                if (a.contig != b.contig) return a.contig < b.contig;
-                return a.position < b.position;
-              });
-    ctx.result.calls = std::move(all);
+    splice_rank_outputs(gathered, ctx.result.tsv, ctx.result.calls);
   }
 }
 
@@ -889,7 +919,12 @@ void run_read_partition_rank_stream(Communicator& comm,
     ctx.result.max_rank_index_bytes =
         std::max(ctx.result.max_rank_index_bytes, index->memory_bytes());
   }
-  if (rank == 0) ctx.result.calls = std::move(calls);
+  if (rank == 0) {
+    // Rank-local formatting: only rank 0 holds final calls in this mode, so
+    // it renders the whole document (locale-independent append API).
+    append_snps_tsv(ctx.result.tsv, calls);
+    ctx.result.calls = std::move(calls);
+  }
 }
 
 void run_genome_partition_rank_stream(Communicator& comm,
@@ -1105,7 +1140,7 @@ void run_genome_partition_rank_stream(Communicator& comm,
     local_calls =
         call_snps(ctx.genome, *accum, config, seg.core_begin, seg.core_end);
   });
-  auto gathered = comm.gather(0, serialize_calls(local_calls));
+  auto gathered = comm.gather(0, serialize_rank_output(local_calls));
 
   std::lock_guard<std::mutex> lock(ctx.result_mutex);
   // Every rank saw every read; count the stream once, at rank 0, where
@@ -1119,18 +1154,7 @@ void run_genome_partition_rank_stream(Communicator& comm,
   ctx.result.max_rank_index_bytes =
       std::max(ctx.result.max_rank_index_bytes, index->memory_bytes());
   if (rank == 0) {
-    std::vector<SnpCall> all;
-    for (auto& payload : gathered) {
-      auto calls = deserialize_calls(payload);
-      all.insert(all.end(), std::make_move_iterator(calls.begin()),
-                 std::make_move_iterator(calls.end()));
-    }
-    std::sort(all.begin(), all.end(),
-              [](const SnpCall& a, const SnpCall& b) {
-                if (a.contig != b.contig) return a.contig < b.contig;
-                return a.position < b.position;
-              });
-    ctx.result.calls = std::move(all);
+    splice_rank_outputs(gathered, ctx.result.tsv, ctx.result.calls);
   }
 }
 

@@ -61,6 +61,14 @@ struct RecoverySummary {
 
 struct DistResult {
   std::vector<SnpCall> calls;
+  /// The complete TSV document (header + rows), assembled from rank-local
+  /// formatting: in genome-partition mode every rank renders its own
+  /// segment's rows with the locale-independent append API and rank 0
+  /// splices the preformatted bodies in rank order (segments are
+  /// position-ordered, so no re-sort is needed); in read-partition mode
+  /// only rank 0 holds final calls and renders them itself.  Byte-identical
+  /// to write_snps_tsv(calls) — and to the serial pipeline's output.
+  std::string tsv;
   MapStats stats;               ///< aggregated over ranks
   std::vector<RankCost> costs;  ///< per-rank costs of the final attempt
   double wall_seconds = 0.0;    ///< host wall time (diagnostic only)

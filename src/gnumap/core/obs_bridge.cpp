@@ -83,6 +83,19 @@ void publish_pipeline_result(const PipelineResult& result) {
   set_gauge("gnumap_stream_batches_total",
             "ReadBatches drained through the pipeline",
             static_cast<double>(result.batches_decoded));
+  set_gauge("gnumap_output_format_seconds",
+            "Worker-side output rendering (SAM bytes + accumulator-delta "
+            "scaling) summed across mapper workers",
+            result.format_seconds);
+  set_gauge("gnumap_output_splice_seconds",
+            "Ordered-drain splice time (byte writes + replaying "
+            "accumulator adds); with format_in_drain this is the whole "
+            "former drain",
+            result.splice_seconds);
+  obs::registry()
+      .counter("gnumap_output_bytes_total",
+               "Output bytes written to sinks by the ordered drain")
+      .inc(result.output_bytes);
   set_gauge("gnumap_snp_calls_emitted", "SNP calls in the final output",
             static_cast<double>(result.calls.size()));
 }

@@ -53,12 +53,25 @@ struct PipelineResult {
   /// layer's per-request latency digests: decode_seconds is time inside
   /// ReadStream::next on the decoder (serial path: the calling) thread,
   /// map_stage_seconds sums scoring time across mapper workers (can exceed
-  /// map_seconds when threads > 1), drain_seconds is ordered drain time
-  /// (accumulate + SAM).  Pure observers: timing adds no synchronization
-  /// to the staged pipeline beyond one addition per batch per stage.
+  /// map_seconds when threads > 1).  The former drain_seconds is split
+  /// along the worker-format refactor (DESIGN.md §12): format_seconds is
+  /// output rendering (SAM bytes + accumulator-delta scaling), summed
+  /// across workers like map_stage_seconds; splice_seconds is what is left
+  /// on the single ordered drain (byte splicing + replaying accumulator
+  /// adds).  With config.format_in_drain both land in splice_seconds, which
+  /// is then the former drain_seconds.  drain_seconds() is kept as the sum
+  /// for wire/digest compatibility.  Pure observers: timing adds no
+  /// synchronization to the staged pipeline beyond one addition per batch
+  /// per stage.
   double decode_seconds = 0.0;
   double map_stage_seconds = 0.0;
-  double drain_seconds = 0.0;
+  double format_seconds = 0.0;
+  double splice_seconds = 0.0;
+  double drain_seconds() const { return format_seconds + splice_seconds; }
+  /// Output bytes spliced by the drain (SAM on the shared-memory path;
+  /// accumulator deltas are counted by the splicer's buffer budget but not
+  /// here — this is bytes that reach a sink).
+  std::uint64_t output_bytes = 0;
 };
 
 /// Runs the full pipeline over a read stream (the primary entry point).

@@ -263,7 +263,13 @@ bool ReadMapper::fp32_borderline(const Read& read,
   return false;
 }
 
-void ReadMapper::accumulate_site(const ScoredSite& site, Accumulator& accum) {
+namespace {
+
+/// The one traversal of a site's weight-scaled contributions, shared by the
+/// direct accumulate path and the worker-side flattening so the two can
+/// never drift: `emit(pos, delta)` fires in exactly serial add() order.
+template <typename Emit>
+void for_each_contribution(const ScoredSite& site, Emit&& emit) {
   const auto weight = static_cast<float>(site.weight);
   const auto& tracks = site.contributions.tracks;
   for (std::size_t j = 0; j < tracks.size(); ++j) {
@@ -274,13 +280,30 @@ void ReadMapper::accumulate_site(const ScoredSite& site, Accumulator& accum) {
       delta[ks] = tracks[j][ks] * weight;
       any |= delta[ks] > 0.0f;
     }
-    if (any) accum.add(site.window_begin + j, delta);
+    if (any) emit(site.window_begin + j, delta);
   }
+}
+
+}  // namespace
+
+void ReadMapper::accumulate_site(const ScoredSite& site, Accumulator& accum) {
+  for_each_contribution(site, [&](GenomePos pos, const TrackVector& delta) {
+    accum.add(pos, delta);
+  });
 }
 
 void ReadMapper::accumulate(const std::vector<ScoredSite>& sites,
                             Accumulator& accum) {
   for (const auto& site : sites) accumulate_site(site, accum);
+}
+
+void ReadMapper::flatten_contributions(const std::vector<ScoredSite>& sites,
+                                       std::vector<io::AccumDelta>& out) {
+  for (const auto& site : sites) {
+    for_each_contribution(site, [&](GenomePos pos, const TrackVector& delta) {
+      out.push_back(io::AccumDelta{pos, delta});
+    });
+  }
 }
 
 bool ReadMapper::map_read(const Read& read, Accumulator& accum,

@@ -19,6 +19,7 @@
 #include "gnumap/genome/genome.hpp"
 #include "gnumap/index/hash_index.hpp"
 #include "gnumap/index/seeder.hpp"
+#include "gnumap/io/output_chunk.hpp"
 #include "gnumap/io/read.hpp"
 #include "gnumap/phmm/batched.hpp"
 #include "gnumap/phmm/forward_backward.hpp"
@@ -80,6 +81,16 @@ class ReadMapper {
   /// Adds every site's contributions, scaled by its weight, into `accum`.
   static void accumulate(const std::vector<ScoredSite>& sites,
                          Accumulator& accum);
+
+  /// Appends every site's weight-scaled contributions to `out` in exactly
+  /// the order accumulate() would add() them.  This is the worker-side half
+  /// of the split accumulation path: the multiply (order-free) happens
+  /// here, the order-sensitive float adds happen when the ordered drain
+  /// replays the list (io::apply_accum_deltas), so the result is
+  /// bit-identical to serial accumulation.  accumulate()/accumulate_site()
+  /// share the same traversal, keeping the two paths in lockstep.
+  static void flatten_contributions(const std::vector<ScoredSite>& sites,
+                                    std::vector<io::AccumDelta>& out);
 
   /// Convenience: score + accumulate; returns true if the read mapped.
   bool map_read(const Read& read, Accumulator& accum, MapperWorkspace& ws,

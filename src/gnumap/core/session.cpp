@@ -12,6 +12,7 @@
 #include "gnumap/core/obs_bridge.hpp"
 #include "gnumap/core/sam_export.hpp"
 #include "gnumap/core/snp_caller.hpp"
+#include "gnumap/io/output_chunk.hpp"
 #include "gnumap/io/sam.hpp"
 #include "gnumap/obs/metrics.hpp"
 #include "gnumap/obs/trace.hpp"
@@ -30,10 +31,21 @@ struct DecodedBatch {
 };
 
 /// One batch a worker finished, parked until the drain reaches its seq.
-struct MappedBatch {
-  ReadBatch batch;
-  std::vector<std::vector<ScoredSite>> scored;  ///< per read, input order
+/// On the default worker-format path the worker has already rendered the
+/// batch into `chunk` and dropped the reads; with config.format_in_drain
+/// (the legacy A/B baseline) `batch` + `scored` travel to the drain
+/// unrendered and `chunk` stays empty.
+struct WorkedBatch {
+  std::uint64_t reads = 0;  ///< batch size, for in-flight accounting
   MapStats stats;
+  io::OutputChunk chunk;
+  ReadBatch batch;                              ///< legacy mode only
+  std::vector<std::vector<ScoredSite>> scored;  ///< legacy mode only
+
+  /// Byte weight for the splicer's output-buffer budget.  Legacy batches
+  /// weigh nothing — their memory is bounded by the count window alone,
+  /// exactly as before the refactor.
+  std::uint64_t bytes() const { return chunk.bytes(); }
 };
 
 /// Everything the mapping stage mutates, shared by the serial and staged
@@ -46,32 +58,89 @@ struct DrainSink {
   PipelineResult& result;
 };
 
-/// Applies one scored batch in input order: accumulate, then SAM.  This is
-/// the single ordered consumer — everything it touches is free of locks
+/// The --output-buffer-bytes default: room for one average-sized SAM chunk
+/// per admission-window slot (a record is a few hundred bytes for typical
+/// short reads), floored at 1 MiB so tiny configurations never throttle.
+std::uint64_t output_buffer_budget(const PipelineConfig& config,
+                                   int threads) {
+  if (config.output_buffer_bytes != 0) return config.output_buffer_bytes;
+  const std::uint64_t window =
+      std::max<std::uint64_t>(1, config.queue_depth) +
+      static_cast<std::uint64_t>(threads);
+  return std::max<std::uint64_t>(std::uint64_t{1} << 20,
+                                 window * config.stream_batch * 512);
+}
+
+/// Worker-side rendering: one scored batch becomes an OutputChunk — SAM
+/// bytes plus the pre-scaled accumulator delta list, both in input order.
+/// Runs concurrently on every mapper worker; touches nothing shared.
+void render_chunk(const Genome& genome, const PipelineConfig& config,
+                  const ReadBatch& batch,
+                  const std::vector<std::vector<ScoredSite>>& scored,
+                  bool want_sam, io::OutputChunk& chunk) {
+  for (std::size_t r = 0; r < batch.reads.size(); ++r) {
+    ReadMapper::flatten_contributions(scored[r], chunk.accum);
+    if (want_sam) {
+      for (const auto& record :
+           to_sam_records(genome, batch.reads[r], scored[r], config)) {
+        append_sam_record(chunk.sam, genome, record);
+      }
+    }
+  }
+}
+
+/// Drain-side splice of a rendered chunk: replay the accumulator deltas in
+/// order, then write() the preformatted bytes.  This is all that remains
+/// on the single ordered consumer — everything it touches is free of locks
 /// because only the draining thread calls it.
-void drain_batch(DrainSink& sink, MappedBatch&& mapped) {
-  GNUMAP_TRACE_SPAN("drain_batch", "stream");
-  // Only the single draining thread calls this, so the stage-seconds
-  // accumulation below needs no lock.
+void splice_chunk(DrainSink& sink, WorkedBatch&& item) {
+  GNUMAP_TRACE_SPAN("splice_chunk", "stream");
   Timer stage;
+  io::apply_accum_deltas(sink.accum, item.chunk.accum);
+  if (sink.sam_out != nullptr && !item.chunk.sam.empty()) {
+    sink.sam_out->write(item.chunk.sam.data(),
+                        static_cast<std::streamsize>(item.chunk.sam.size()));
+    sink.result.output_bytes += item.chunk.sam.size();
+  }
+  sink.result.stats += item.stats;
+  ++sink.result.batches_decoded;
+  sink.result.splice_seconds += stage.seconds();
+}
+
+/// Legacy drain (config.format_in_drain): accumulate and format each read
+/// inside the ordered consumer, exactly the pre-refactor behaviour.  Kept
+/// as the A/B baseline for the drain-scaling bench; output is byte-identical
+/// to the splice path.
+void drain_batch_legacy(DrainSink& sink, WorkedBatch&& mapped) {
+  GNUMAP_TRACE_SPAN("drain_batch", "stream");
+  Timer stage;
+  std::string rendered;
   for (std::size_t r = 0; r < mapped.batch.reads.size(); ++r) {
     ReadMapper::accumulate(mapped.scored[r], sink.accum);
     if (sink.sam_out != nullptr) {
+      rendered.clear();
       for (const auto& record :
-           to_sam_records(sink.genome, mapped.batch.reads[r], mapped.scored[r],
-                          sink.config)) {
-        write_sam_record(*sink.sam_out, sink.genome, record);
+           to_sam_records(sink.genome, mapped.batch.reads[r],
+                          mapped.scored[r], sink.config)) {
+        append_sam_record(rendered, sink.genome, record);
       }
+      sink.sam_out->write(rendered.data(),
+                          static_cast<std::streamsize>(rendered.size()));
+      sink.result.output_bytes += rendered.size();
     }
   }
   sink.result.stats += mapped.stats;
   ++sink.result.batches_decoded;
-  sink.result.drain_seconds += stage.seconds();
+  sink.result.splice_seconds += stage.seconds();
 }
 
-/// Serial in-line path: decode -> score -> drain on the calling thread.
-/// One batch is resident at a time, so the memory bound holds trivially.
+/// Serial in-line path: decode -> score -> render -> splice on the calling
+/// thread.  One batch is resident at a time, so the memory bound holds
+/// trivially, and going through the same render/splice pair as the staged
+/// path is what makes threaded output byte-identical by construction.
 void map_serial(ReadStream& reads, const ReadMapper& mapper, DrainSink& sink) {
+  const bool worker_format = !sink.config.format_in_drain;
+  const bool want_sam = sink.sam_out != nullptr;
   MapperWorkspace ws;
   ReadBatch batch;
   Timer stage;
@@ -83,30 +152,45 @@ void map_serial(ReadStream& reads, const ReadMapper& mapper, DrainSink& sink) {
     sink.result.reads_in_flight_peak =
         std::max<std::uint64_t>(sink.result.reads_in_flight_peak,
                                 batch.size());
-    MappedBatch mapped;
-    mapped.batch = std::move(batch);
+    WorkedBatch item;
+    item.reads = batch.size();
+    item.batch = std::move(batch);
     stage.reset();
-    mapped.scored = mapper.score_reads(
-        std::span<const Read>(mapped.batch.reads.data(),
-                              mapped.batch.reads.size()),
-        ws, mapped.stats);
+    item.scored = mapper.score_reads(
+        std::span<const Read>(item.batch.reads.data(),
+                              item.batch.reads.size()),
+        ws, item.stats);
     sink.result.map_stage_seconds += stage.seconds();
-    drain_batch(sink, std::move(mapped));
+    if (worker_format) {
+      stage.reset();
+      render_chunk(sink.genome, sink.config, item.batch, item.scored,
+                   want_sam, item.chunk);
+      sink.result.format_seconds += stage.seconds();
+      splice_chunk(sink, std::move(item));
+    } else {
+      drain_batch_legacy(sink, std::move(item));
+    }
   }
 }
 
-/// Staged path: decoder thread -> BatchQueue -> N workers -> ReorderBuffer
-/// -> ordered drain on the calling thread.
+/// Staged path: decoder thread -> BatchQueue -> N workers (score + render)
+/// -> ChunkSplicer -> ordered drain on the calling thread.
 void map_staged(ReadStream& reads, const ReadMapper& mapper, DrainSink& sink,
                 int threads) {
   const PipelineConfig& config = sink.config;
+  const bool worker_format = !config.format_in_drain;
+  const bool want_sam = sink.sam_out != nullptr;
   const std::size_t queue_depth = std::max<std::size_t>(1, config.queue_depth);
   BatchQueue<DecodedBatch> queue(queue_depth);
   // Worst case every worker holds one batch while one more is parked per
   // in-flight slot; queue_depth + threads admits them all (the drain's next
-  // batch is always admitted, so the window cannot deadlock).
-  ReorderBuffer<MappedBatch> reorder(queue_depth +
-                                     static_cast<std::size_t>(threads));
+  // batch is always admitted, so the window cannot deadlock).  The splicer
+  // additionally caps the rendered bytes parked in the window — a worker
+  // whose chunk does not fit blocks until the drain catches up (legacy
+  // batches weigh 0, so format_in_drain keeps the pre-refactor window).
+  io::ChunkSplicer<WorkedBatch> splicer(
+      queue_depth + static_cast<std::size_t>(threads),
+      worker_format ? output_buffer_budget(config, threads) : 0);
 
   auto& bytes_decoded = obs::registry().counter(
       "gnumap_stream_bytes_decoded_total",
@@ -126,7 +210,7 @@ void map_staged(ReadStream& reads, const ReadMapper& mapper, DrainSink& sink,
     std::lock_guard<std::mutex> lock(error_mutex);
     if (!error) error = std::current_exception();
     queue.close();
-    reorder.close();
+    splicer.close();
   };
 
   // Reads decoded but not yet drained; the peak is the memory-bound test
@@ -135,11 +219,12 @@ void map_staged(ReadStream& reads, const ReadMapper& mapper, DrainSink& sink,
   std::atomic<std::uint64_t> in_flight_peak{0};
 
   // Stage-seconds accounting: the decoder and drain are single threads
-  // (plain doubles), workers sum their local scoring time under a mutex
-  // once at exit — no hot-path synchronization is added.
+  // (plain doubles), workers sum their local scoring and formatting time
+  // under a mutex once at exit — no hot-path synchronization is added.
   double decode_seconds = 0.0;
   std::mutex map_stage_mutex;
   double map_stage_seconds = 0.0;
+  double format_seconds = 0.0;
 
   std::thread decoder([&] {
     try {
@@ -178,23 +263,37 @@ void map_staged(ReadStream& reads, const ReadMapper& mapper, DrainSink& sink,
   for (int t = 0; t < threads; ++t) {
     workers.emplace_back([&] {
       double scored_seconds = 0.0;
+      double rendered_seconds = 0.0;
       try {
         MapperWorkspace ws;
         for (;;) {
           Timer wait;
-          auto item = queue.pop();
+          auto decoded = queue.pop();
           batch_wait.observe(wait.seconds());
-          if (!item) break;
+          if (!decoded) break;
           GNUMAP_TRACE_SPAN("map_batch", "stream");
-          MappedBatch mapped;
-          mapped.batch = std::move(item->batch);
+          WorkedBatch worked;
+          worked.reads = decoded->batch.size();
+          worked.batch = std::move(decoded->batch);
           Timer stage;
-          mapped.scored = mapper.score_reads(
-              std::span<const Read>(mapped.batch.reads.data(),
-                                    mapped.batch.reads.size()),
-              ws, mapped.stats);
+          worked.scored = mapper.score_reads(
+              std::span<const Read>(worked.batch.reads.data(),
+                                    worked.batch.reads.size()),
+              ws, worked.stats);
           scored_seconds += stage.seconds();
-          if (!reorder.push(item->seq, std::move(mapped))) break;
+          if (worker_format) {
+            GNUMAP_TRACE_SPAN("render_chunk", "stream");
+            stage.reset();
+            render_chunk(sink.genome, config, worked.batch, worked.scored,
+                         want_sam, worked.chunk);
+            rendered_seconds += stage.seconds();
+            // Rendered: the decoded reads and scored sites are dead weight
+            // now — drop them here instead of shipping them to the drain.
+            worked.batch = ReadBatch{};
+            worked.scored.clear();
+            worked.scored.shrink_to_fit();
+          }
+          if (!splicer.push(decoded->seq, std::move(worked))) break;
         }
       } catch (...) {
         capture_error();
@@ -202,26 +301,37 @@ void map_staged(ReadStream& reads, const ReadMapper& mapper, DrainSink& sink,
       {
         std::lock_guard<std::mutex> lock(map_stage_mutex);
         map_stage_seconds += scored_seconds;
+        format_seconds += rendered_seconds;
       }
-      // The last worker out closes the reorder buffer: every pushed batch
-      // is already parked, so the drain still empties the in-order prefix.
-      if (workers_left.fetch_sub(1) == 1) reorder.close();
+      // The last worker out closes the splicer: every pushed batch is
+      // already parked, so the drain still empties the in-order prefix.
+      if (workers_left.fetch_sub(1) == 1) splicer.close();
     });
   }
 
-  while (auto mapped = reorder.pop_next()) {
-    in_flight.fetch_sub(mapped->batch.size(), std::memory_order_relaxed);
-    drain_batch(sink, std::move(*mapped));
+  while (auto worked = splicer.pop_next()) {
+    in_flight.fetch_sub(worked->reads, std::memory_order_relaxed);
+    if (worker_format) {
+      splice_chunk(sink, std::move(*worked));
+    } else {
+      drain_batch_legacy(sink, std::move(*worked));
+    }
   }
 
   decoder.join();
   for (auto& worker : workers) worker.join();
   queue_peak.set(static_cast<double>(queue.peak_size()));
+  obs::registry()
+      .gauge("gnumap_stream_output_buffered_bytes_peak",
+             "High-water mark of rendered output bytes parked in the "
+             "splice window")
+      .set(static_cast<double>(splicer.peak_pending_bytes()));
   sink.result.reads_in_flight_peak = std::max(
       sink.result.reads_in_flight_peak,
       in_flight_peak.load(std::memory_order_relaxed));
   sink.result.decode_seconds += decode_seconds;
   sink.result.map_stage_seconds += map_stage_seconds;
+  sink.result.format_seconds += format_seconds;
   if (error) std::rethrow_exception(error);
 }
 

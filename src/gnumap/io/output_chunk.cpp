@@ -1,0 +1,12 @@
+#include "gnumap/io/output_chunk.hpp"
+
+namespace gnumap {
+namespace io {
+
+void apply_accum_deltas(Accumulator& accum,
+                        const std::vector<AccumDelta>& deltas) {
+  for (const auto& delta : deltas) accum.add(delta.pos, delta.counts);
+}
+
+}  // namespace io
+}  // namespace gnumap

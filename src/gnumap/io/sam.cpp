@@ -1,66 +1,100 @@
 #include "gnumap/io/sam.hpp"
 
-#include <cstdio>
 #include <ostream>
 
 #include "gnumap/genome/sequence.hpp"
 #include "gnumap/io/quality.hpp"
 #include "gnumap/util/error.hpp"
+#include "gnumap/util/render.hpp"
 
 namespace gnumap {
 
+void append_sam_header(std::string& out, const Genome& genome,
+                       const std::string& program) {
+  out += "@HD\tVN:1.6\tSO:unknown\n";
+  for (std::uint32_t c = 0; c < genome.num_contigs(); ++c) {
+    out += "@SQ\tSN:";
+    out += genome.contig_name(c);
+    out += "\tLN:";
+    append_int(out, genome.contig_size(c));
+    out += '\n';
+  }
+  out += "@PG\tID:";
+  out += program;
+  out += "\tPN:";
+  out += program;
+  out += '\n';
+}
+
+void append_sam_record(std::string& out, const Genome& genome,
+                       const SamRecord& record) {
+  const bool unmapped = (record.flags & SamRecord::kUnmapped) != 0;
+  if (record.qname.empty()) {
+    out += '*';
+  } else {
+    out += record.qname;
+  }
+  out += '\t';
+  append_int(out, record.flags);
+  out += '\t';
+  if (unmapped) {
+    out += "*\t0\t0\t*\t";
+  } else {
+    require(record.contig_id < genome.num_contigs(),
+            "append_sam_record: contig id out of range");
+    out += genome.contig_name(record.contig_id);
+    out += '\t';
+    append_int(out, record.position + 1);  // SAM POS is 1-based
+    out += '\t';
+    append_int(out, static_cast<int>(record.mapq));
+    out += '\t';
+    if (record.cigar.empty()) {
+      out += "*\t";
+    } else {
+      out += ops_to_cigar(record.cigar);
+      out += '\t';
+    }
+  }
+  out += "*\t0\t0\t";  // RNEXT/PNEXT/TLEN: unpaired
+  if (record.bases.empty()) {
+    out += "*\t*";
+  } else {
+    out += decode_sequence(record.bases);
+    out += '\t';
+    if (record.quals.size() == record.bases.size()) {
+      out += encode_quals(record.quals);
+    } else {
+      out += '*';
+    }
+  }
+  out += "\tZW:f:";
+  append_general(out, record.weight, 6);
+  out += '\n';
+}
+
 void write_sam_header(std::ostream& out, const Genome& genome,
                       const std::string& program) {
-  out << "@HD\tVN:1.6\tSO:unknown\n";
-  for (std::uint32_t c = 0; c < genome.num_contigs(); ++c) {
-    out << "@SQ\tSN:" << genome.contig_name(c) << "\tLN:"
-        << genome.contig_size(c) << '\n';
-  }
-  out << "@PG\tID:" << program << "\tPN:" << program << '\n';
+  std::string buf;
+  append_sam_header(buf, genome, program);
+  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
 }
 
 void write_sam_record(std::ostream& out, const Genome& genome,
                       const SamRecord& record) {
-  const bool unmapped = (record.flags & SamRecord::kUnmapped) != 0;
-  out << (record.qname.empty() ? "*" : record.qname.c_str()) << '\t'
-      << record.flags << '\t';
-  if (unmapped) {
-    out << "*\t0\t0\t*\t";
-  } else {
-    require(record.contig_id < genome.num_contigs(),
-            "write_sam_record: contig id out of range");
-    out << genome.contig_name(record.contig_id) << '\t'
-        << record.position + 1 << '\t'  // SAM POS is 1-based
-        << static_cast<int>(record.mapq) << '\t';
-    if (record.cigar.empty()) {
-      out << "*\t";
-    } else {
-      out << ops_to_cigar(record.cigar) << '\t';
-    }
-  }
-  out << "*\t0\t0\t";  // RNEXT/PNEXT/TLEN: unpaired
-  if (record.bases.empty()) {
-    out << "*\t*";
-  } else {
-    out << decode_sequence(record.bases) << '\t';
-    if (record.quals.size() == record.bases.size()) {
-      out << encode_quals(record.quals);
-    } else {
-      out << '*';
-    }
-  }
-  char tag[32];
-  std::snprintf(tag, sizeof(tag), "\tZW:f:%.6g", record.weight);
-  out << tag << '\n';
+  std::string buf;
+  append_sam_record(buf, genome, record);
+  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
 }
 
 void write_sam(std::ostream& out, const Genome& genome,
                const std::vector<SamRecord>& records,
                const std::string& program) {
-  write_sam_header(out, genome, program);
+  std::string buf;
+  append_sam_header(buf, genome, program);
   for (const auto& record : records) {
-    write_sam_record(out, genome, record);
+    append_sam_record(buf, genome, record);
   }
+  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
 }
 
 }  // namespace gnumap

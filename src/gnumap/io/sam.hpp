@@ -36,7 +36,20 @@ struct SamRecord {
   static constexpr std::uint16_t kSecondary = 0x100;
 };
 
-/// Writes the @HD/@SQ/@PG header for `genome`.
+/// Appends the @HD/@SQ/@PG header for `genome` to a byte buffer.  The
+/// append_* family is the hot path: locale-independent std::to_chars
+/// rendering (util/render.hpp) with no ostream in sight, so mapper workers
+/// can format whole batches into io::OutputChunk buffers.
+void append_sam_header(std::string& out, const Genome& genome,
+                       const std::string& program = "gnumap-snp");
+
+/// Appends one record.  Unmapped records emit `*` placeholders.
+void append_sam_record(std::string& out, const Genome& genome,
+                       const SamRecord& record);
+
+/// Writes the @HD/@SQ/@PG header for `genome`.  The ostream writers are
+/// thin wrappers over the append_* family (render, then one write()), so
+/// both spellings produce identical bytes under any locale.
 void write_sam_header(std::ostream& out, const Genome& genome,
                       const std::string& program = "gnumap-snp");
 

@@ -1,26 +1,53 @@
 #include "gnumap/io/snp_writer.hpp"
 
 #include <algorithm>
-#include <cstdio>
 #include <fstream>
 #include <ostream>
 
 #include "gnumap/genome/sequence.hpp"
 #include "gnumap/util/error.hpp"
+#include "gnumap/util/render.hpp"
 
 namespace gnumap {
 
+void append_snps_tsv_header(std::string& out) {
+  out +=
+      "# contig\tposition\tref\tallele1\tallele2\tcoverage\tlrt\tp_value\n";
+}
+
+void append_snps_tsv_row(std::string& out, const SnpCall& call) {
+  out += call.contig;
+  out += '\t';
+  append_int(out, call.position);
+  out += '\t';
+  out += decode_base(call.ref);
+  out += '\t';
+  out += decode_base(call.allele1);
+  out += '\t';
+  out += decode_base(call.allele2);
+  out += '\t';
+  append_fixed(out, call.coverage, 2);
+  out += '\t';
+  append_fixed(out, call.lrt_stat, 4);
+  out += '\t';
+  append_scientific(out, call.p_value, 3);
+  out += '\n';
+}
+
+void append_snps_tsv_body(std::string& out,
+                          const std::vector<SnpCall>& calls) {
+  for (const auto& call : calls) append_snps_tsv_row(out, call);
+}
+
+void append_snps_tsv(std::string& out, const std::vector<SnpCall>& calls) {
+  append_snps_tsv_header(out);
+  append_snps_tsv_body(out, calls);
+}
+
 void write_snps_tsv(std::ostream& out, const std::vector<SnpCall>& calls) {
-  out << "# contig\tposition\tref\tallele1\tallele2\tcoverage\tlrt\tp_value\n";
-  char buffer[64];
-  for (const auto& call : calls) {
-    out << call.contig << '\t' << call.position << '\t'
-        << decode_base(call.ref) << '\t' << decode_base(call.allele1) << '\t'
-        << decode_base(call.allele2) << '\t';
-    std::snprintf(buffer, sizeof(buffer), "%.2f\t%.4f\t%.3e", call.coverage,
-                  call.lrt_stat, call.p_value);
-    out << buffer << '\n';
-  }
+  std::string buf;
+  append_snps_tsv(buf, calls);
+  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
 }
 
 void write_snps_tsv_file(const std::string& path,
@@ -30,16 +57,17 @@ void write_snps_tsv_file(const std::string& path,
   write_snps_tsv(out, calls);
 }
 
-void write_snps_vcf(std::ostream& out, const std::vector<SnpCall>& calls,
-                    const std::string& sample_name) {
-  out << "##fileformat=VCFv4.2\n"
-      << "##source=gnumap-snp\n"
-      << "##INFO=<ID=DP,Number=1,Type=Float,Description=\"Read depth\">\n"
-      << "##INFO=<ID=LRT,Number=1,Type=Float,Description=\"-2 log lambda\">\n"
-      << "##FORMAT=<ID=GT,Number=1,Type=String,Description=\"Genotype\">\n"
-      << "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\t"
-      << sample_name << '\n';
-  char buffer[96];
+void append_snps_vcf(std::string& out, const std::vector<SnpCall>& calls,
+                     const std::string& sample_name) {
+  out +=
+      "##fileformat=VCFv4.2\n"
+      "##source=gnumap-snp\n"
+      "##INFO=<ID=DP,Number=1,Type=Float,Description=\"Read depth\">\n"
+      "##INFO=<ID=LRT,Number=1,Type=Float,Description=\"-2 log lambda\">\n"
+      "##FORMAT=<ID=GT,Number=1,Type=String,Description=\"Genotype\">\n"
+      "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\t";
+  out += sample_name;
+  out += '\n';
   for (const auto& call : calls) {
     // ALT lists the non-reference alleles; genotype indexes REF=0, ALTs=1..
     std::string alt;
@@ -56,14 +84,33 @@ void write_snps_vcf(std::ostream& out, const std::vector<SnpCall>& calls,
     gt1 = alt_index(call.allele1);
     gt2 = alt_index(call.allele2);
     if (alt.empty()) alt.push_back('.');
+    out += call.contig;
+    out += '\t';
     // VCF positions are 1-based.
-    std::snprintf(buffer, sizeof(buffer), "DP=%.1f;LRT=%.3f", call.coverage,
-                  call.lrt_stat);
-    out << call.contig << '\t' << call.position + 1 << "\t.\t"
-        << decode_base(call.ref) << '\t' << alt << '\t'
-        << static_cast<int>(std::min(999.0, call.lrt_stat)) << "\tPASS\t"
-        << buffer << "\tGT\t" << gt1 << '/' << gt2 << '\n';
+    append_int(out, call.position + 1);
+    out += "\t.\t";
+    out += decode_base(call.ref);
+    out += '\t';
+    out += alt;
+    out += '\t';
+    append_int(out, static_cast<int>(std::min(999.0, call.lrt_stat)));
+    out += "\tPASS\tDP=";
+    append_fixed(out, call.coverage, 1);
+    out += ";LRT=";
+    append_fixed(out, call.lrt_stat, 3);
+    out += "\tGT\t";
+    append_int(out, gt1);
+    out += '/';
+    append_int(out, gt2);
+    out += '\n';
   }
+}
+
+void write_snps_vcf(std::ostream& out, const std::vector<SnpCall>& calls,
+                    const std::string& sample_name) {
+  std::string buf;
+  append_snps_vcf(buf, calls, sample_name);
+  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
 }
 
 }  // namespace gnumap

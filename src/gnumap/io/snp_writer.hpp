@@ -25,7 +25,20 @@ struct SnpCall {
   double p_value = 1.0;         ///< multiple-testing-adjusted p-value
 };
 
+/// The append_* family renders into a byte buffer with locale-independent
+/// std::to_chars (util/render.hpp) — the hot path used by per-worker and
+/// per-rank output formatting.  The split header/row/body entry points let
+/// the distributed root splice rank-local bodies under one header.
+void append_snps_tsv_header(std::string& out);
+void append_snps_tsv_row(std::string& out, const SnpCall& call);
+void append_snps_tsv_body(std::string& out, const std::vector<SnpCall>& calls);
+void append_snps_tsv(std::string& out, const std::vector<SnpCall>& calls);
+void append_snps_vcf(std::string& out, const std::vector<SnpCall>& calls,
+                     const std::string& sample_name = "sample");
+
 /// Writes the native TSV format (one header line, then one site per line).
+/// The ostream writers are thin wrappers over the append_* family, so both
+/// spellings produce identical bytes under any locale.
 void write_snps_tsv(std::ostream& out, const std::vector<SnpCall>& calls);
 void write_snps_tsv_file(const std::string& path,
                          const std::vector<SnpCall>& calls);

@@ -130,7 +130,9 @@ std::string digest_table_json(const MappingServer& server) {
            ", \"upload_wait_seconds\": " + json_number(d.upload_wait_seconds) +
            ", \"decode_seconds\": " + json_number(d.decode_seconds) +
            ", \"map_stage_seconds\": " + json_number(d.map_stage_seconds) +
-           ", \"drain_seconds\": " + json_number(d.drain_seconds) +
+           ", \"drain_seconds\": " + json_number(d.drain_seconds()) +
+           ", \"format_seconds\": " + json_number(d.format_seconds) +
+           ", \"splice_seconds\": " + json_number(d.splice_seconds) +
            ", \"call_seconds\": " + json_number(d.call_seconds) +
            ", \"upload_bytes\": " + std::to_string(d.upload_bytes) +
            ", \"result_bytes\": " + std::to_string(d.result_bytes) +

@@ -88,7 +88,8 @@ struct MapOutcome {
   /// Parsed MAP_DONE payload (reads_total, reads_mapped, calls, batches,
   /// in_flight_peak, window_reads, map_seconds, plus the server's
   /// per-stage timing summary — total_seconds, decode_seconds,
-  /// map_stage_seconds, drain_seconds, gcups, ... — and, on a traced v3
+  /// map_stage_seconds, drain_seconds (= format_seconds + splice_seconds,
+  /// also present split), gcups, ... — and, on a traced v3
   /// request, the echoed trace_id/parent_span_id as hex strings).
   std::map<std::string, std::string> stats;
   std::uint64_t tsv_bytes = 0;

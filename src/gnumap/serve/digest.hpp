@@ -36,8 +36,13 @@ struct RequestDigest {
   double upload_wait_seconds = 0.0;     ///< blocked on READS_CHUNK frames
   double decode_seconds = 0.0;          ///< pipeline decoder stage
   double map_stage_seconds = 0.0;       ///< scoring, summed across workers
-  double drain_seconds = 0.0;           ///< ordered drain stage
+  double format_seconds = 0.0;          ///< output rendering, across workers
+  double splice_seconds = 0.0;          ///< ordered drain's byte splice
   double call_seconds = 0.0;            ///< SNP calling
+
+  /// The pre-split "ordered drain stage" total, kept for the wire
+  /// (MAP_DONE drain_seconds key) and /tracez consumers.
+  double drain_seconds() const { return format_seconds + splice_seconds; }
 
   std::uint64_t upload_bytes = 0;  ///< READS_CHUNK payload bytes received
   std::uint64_t result_bytes = 0;  ///< RESULT_TSV + RESULT_SAM bytes sent

@@ -746,7 +746,8 @@ bool MappingServer::handle_map(Socket& sock, ConnectionSlot& slot,
                       << " upload_wait_s=" << digest.upload_wait_seconds
                       << " decode_s=" << digest.decode_seconds
                       << " map_stage_s=" << digest.map_stage_seconds
-                      << " drain_s=" << digest.drain_seconds
+                      << " format_s=" << digest.format_seconds
+                      << " splice_s=" << digest.splice_seconds
                       << " call_s=" << digest.call_seconds
                       << " upload_bytes=" << digest.upload_bytes
                       << " result_bytes=" << digest.result_bytes
@@ -944,10 +945,11 @@ bool MappingServer::handle_map(Socket& sock, ConnectionSlot& slot,
       sam_sink.rethrow_if_failed();
     }
 
-    // SNP calls: byte-identical to the offline CLI's --out file.
-    std::ostringstream tsv;
-    write_snps_tsv(tsv, result.calls);
-    const std::string tsv_text = tsv.str();
+    // SNP calls: byte-identical to the offline CLI's --out file.  Rendered
+    // with the locale-independent append API straight into the frame
+    // buffer — no ostream between the calls and the socket.
+    std::string tsv_text;
+    append_snps_tsv(tsv_text, result.calls);
     for (std::size_t off = 0; off < tsv_text.size(); off += kChunkBytes) {
       const std::size_t n = std::min(kChunkBytes, tsv_text.size() - off);
       write_frame(sock, FrameType::kResultTsv,
@@ -965,7 +967,8 @@ bool MappingServer::handle_map(Socket& sock, ConnectionSlot& slot,
 
     digest.decode_seconds = result.decode_seconds;
     digest.map_stage_seconds = result.map_stage_seconds;
-    digest.drain_seconds = result.drain_seconds;
+    digest.format_seconds = result.format_seconds;
+    digest.splice_seconds = result.splice_seconds;
     digest.call_seconds = result.call_seconds;
     digest.reads_total = result.stats.reads_total;
     digest.reads_mapped = result.stats.reads_mapped;
@@ -995,7 +998,12 @@ bool MappingServer::handle_map(Socket& sock, ConnectionSlot& slot,
     done += dbl_kv("upload_wait_seconds", digest.upload_wait_seconds);
     done += dbl_kv("decode_seconds", digest.decode_seconds);
     done += dbl_kv("map_stage_seconds", digest.map_stage_seconds);
-    done += dbl_kv("drain_seconds", digest.drain_seconds);
+    // drain_seconds (the format+splice sum) predates the worker-format
+    // refactor; v2/v3 clients already parse it, so it stays alongside the
+    // split keys.
+    done += dbl_kv("drain_seconds", digest.drain_seconds());
+    done += dbl_kv("format_seconds", digest.format_seconds);
+    done += dbl_kv("splice_seconds", digest.splice_seconds);
     done += dbl_kv("call_seconds", digest.call_seconds);
     done += u64_kv("upload_bytes", digest.upload_bytes);
     done += u64_kv("result_bytes", digest.result_bytes);

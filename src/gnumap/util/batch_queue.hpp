@@ -14,6 +14,16 @@
 // finished item seq cannot park it while the drain is still more than
 // `capacity` items behind — with the guarantee that the item the drain is
 // waiting for is always accepted, so the window can never deadlock.
+//
+// The optional weight budget extends the same admission window to a second
+// resource: each push may carry a weight (the pipeline uses rendered output
+// bytes), and a push beyond the window's weight budget blocks like a push
+// beyond its count capacity.  The in-order item (seq == next_seq) is exempt
+// from BOTH limits, which is what makes the window deadlock-free: the
+// upstream queue hands sequence numbers to workers in order, so the
+// smallest undrained seq is always held by some worker whose push is
+// admitted unconditionally, and popping it releases budget for everyone
+// else.
 #pragma once
 
 #include <condition_variable>
@@ -107,25 +117,36 @@ class ReorderBuffer {
   /// `capacity` bounds how far ahead of the drain a parked item may be:
   /// push(seq) admits seq < next_seq + capacity.  Choose capacity >= the
   /// number of items that can be in flight upstream (queue depth + workers)
-  /// so every producer's push is eventually admissible.
-  explicit ReorderBuffer(std::size_t capacity) : capacity_(capacity) {
+  /// so every producer's push is eventually admissible.  `weight_capacity`
+  /// additionally bounds the summed weight of parked items (0 = no weight
+  /// limit); the in-order item is exempt so the limit cannot deadlock.
+  explicit ReorderBuffer(std::size_t capacity,
+                         std::uint64_t weight_capacity = 0)
+      : capacity_(capacity), weight_capacity_(weight_capacity) {
     require(capacity > 0, "ReorderBuffer: capacity must be positive");
   }
 
   ReorderBuffer(const ReorderBuffer&) = delete;
   ReorderBuffer& operator=(const ReorderBuffer&) = delete;
 
-  /// Parks `item` as sequence number `seq` (each seq pushed exactly once).
-  /// Blocks while seq is beyond the admission window; the item the drain
-  /// needs next (seq == next_seq) is always admitted immediately.  Returns
-  /// false if the buffer was closed first.
-  bool push(std::uint64_t seq, T item) {
+  /// Parks `item` as sequence number `seq` (each seq pushed exactly once)
+  /// carrying `weight` against the weight budget.  Blocks while seq is
+  /// beyond the admission window or the budget is exhausted; the item the
+  /// drain needs next (seq == next_seq) is always admitted immediately.
+  /// Returns false if the buffer was closed first.
+  bool push(std::uint64_t seq, T item, std::uint64_t weight = 0) {
     std::unique_lock<std::mutex> lock(mutex_);
-    admissible_.wait(lock,
-                     [&] { return seq < next_seq_ + capacity_ || closed_; });
+    admissible_.wait(lock, [&] {
+      if (closed_ || seq == next_seq_) return true;
+      if (seq >= next_seq_ + capacity_) return false;
+      return weight_capacity_ == 0 ||
+             weight_pending_ + weight <= weight_capacity_;
+    });
     if (closed_) return false;
-    pending_.emplace(seq, std::move(item));
+    pending_.emplace(seq, Parked{std::move(item), weight});
+    weight_pending_ += weight;
     peak_pending_ = std::max(peak_pending_, pending_.size());
+    peak_weight_pending_ = std::max(peak_weight_pending_, weight_pending_);
     if (seq == next_seq_) {
       lock.unlock();
       next_ready_.notify_one();
@@ -143,11 +164,13 @@ class ReorderBuffer {
     });
     auto it = pending_.begin();
     if (it == pending_.end() || it->first != next_seq_) return std::nullopt;
-    T item = std::move(it->second);
+    T item = std::move(it->second.item);
+    weight_pending_ -= it->second.weight;
     pending_.erase(it);
     ++next_seq_;
     lock.unlock();
-    // Advancing next_seq_ widens the admission window for every waiter.
+    // Advancing next_seq_ widens the admission window (and popping released
+    // weight budget) for every waiter.
     admissible_.notify_all();
     next_ready_.notify_one();
     return item;
@@ -168,16 +191,32 @@ class ReorderBuffer {
     return peak_pending_;
   }
 
+  /// High-water mark of the summed weight of parked items.  The in-order
+  /// exemption means this can exceed weight_capacity by one item's weight.
+  std::uint64_t peak_weight_pending() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return peak_weight_pending_;
+  }
+
   std::size_t capacity() const { return capacity_; }
+  std::uint64_t weight_capacity() const { return weight_capacity_; }
 
  private:
+  struct Parked {
+    T item;
+    std::uint64_t weight = 0;
+  };
+
   const std::size_t capacity_;
+  const std::uint64_t weight_capacity_;
   mutable std::mutex mutex_;
   std::condition_variable admissible_;
   std::condition_variable next_ready_;
-  std::map<std::uint64_t, T> pending_;
+  std::map<std::uint64_t, Parked> pending_;
   std::uint64_t next_seq_ = 0;
   std::size_t peak_pending_ = 0;
+  std::uint64_t weight_pending_ = 0;
+  std::uint64_t peak_weight_pending_ = 0;
   bool closed_ = false;
 };
 

@@ -1,0 +1,67 @@
+// Locale-independent number-to-text rendering for the output hot path.
+//
+// Every byte the pipeline emits (SAM, TSV, VCF) goes through these helpers
+// instead of std::ostream operator<< or snprintf.  Two reasons:
+//
+//  * Locale independence.  ostream insertion honours the stream's imbued
+//    locale and snprintf honours LC_NUMERIC, so a host running under a
+//    comma-decimal locale would silently corrupt TSV columns ("3,14") and
+//    grouped integers ("1.234.567").  std::to_chars is specified to format
+//    "in the 'C' locale" unconditionally, so output is identical under any
+//    locale the process or thread happens to have.
+//  * Speed.  to_chars writes into a caller-provided buffer with no
+//    virtual-dispatch streambuf hops, no sentry construction and no locale
+//    lookups — the properties that let mapper workers render whole batches
+//    into flat byte buffers (io/output_chunk.hpp).
+//
+// The precision overloads of to_chars are specified as printf-equivalent
+// ("%.Nf" / "%.Ne" / "%.Ng" in the C locale), so replacing the previous
+// snprintf calls is byte-identical where it matters: the regression suite
+// asserts exact equality against reference output.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <string>
+
+#include "gnumap/util/error.hpp"
+
+namespace gnumap {
+
+/// Appends `value` in decimal (any integral type to_chars accepts).
+template <typename Int>
+inline void append_int(std::string& out, Int value) {
+  char buf[24];
+  const auto r = std::to_chars(buf, buf + sizeof(buf), value);
+  require(r.ec == std::errc(), "append_int: value does not fit");
+  out.append(buf, r.ptr);
+}
+
+/// Appends `value` as printf "%.<precision>f" would in the C locale.
+inline void append_fixed(std::string& out, double value, int precision) {
+  char buf[512];  // worst-case fixed rendering of a double is ~330 chars
+  const auto r = std::to_chars(buf, buf + sizeof(buf), value,
+                               std::chars_format::fixed, precision);
+  require(r.ec == std::errc(), "append_fixed: buffer too small");
+  out.append(buf, r.ptr);
+}
+
+/// Appends `value` as printf "%.<precision>e" would in the C locale.
+inline void append_scientific(std::string& out, double value, int precision) {
+  char buf[64];
+  const auto r = std::to_chars(buf, buf + sizeof(buf), value,
+                               std::chars_format::scientific, precision);
+  require(r.ec == std::errc(), "append_scientific: buffer too small");
+  out.append(buf, r.ptr);
+}
+
+/// Appends `value` as printf "%.<precision>g" would in the C locale.
+inline void append_general(std::string& out, double value, int precision) {
+  char buf[512];
+  const auto r = std::to_chars(buf, buf + sizeof(buf), value,
+                               std::chars_format::general, precision);
+  require(r.ec == std::errc(), "append_general: buffer too small");
+  out.append(buf, r.ptr);
+}
+
+}  // namespace gnumap

@@ -6,6 +6,7 @@
 #include <iterator>
 #include <map>
 #include <set>
+#include <sstream>
 
 #include "gnumap/core/dist_modes.hpp"
 #include "gnumap/core/evaluation.hpp"
@@ -119,6 +120,31 @@ TEST_P(GenomePartitionRanks, AgreesWithSerialOnCleanData) {
 
 INSTANTIATE_TEST_SUITE_P(Ranks, GenomePartitionRanks,
                          ::testing::Values(2, 3, 4, 6));
+
+TEST(DistModes, RankLocalTsvSpliceIsByteIdenticalToRootRender) {
+  // Both modes assemble DistResult::tsv from rank-local formatting; the
+  // document must be byte-identical to rendering the final call list at
+  // the root (which is what the serial pipeline would emit for the same
+  // calls).  Genome-partition exercises the rank-order body splice,
+  // read-partition the rank-0 self-render.
+  const Workload w = make_workload();
+  const PipelineConfig config = test_config();
+  for (const DistMode mode :
+       {DistMode::kReadPartition, DistMode::kGenomePartition}) {
+    DistOptions options;
+    options.ranks = 3;
+    options.mode = mode;
+    options.serialize_compute = false;
+    options.batch_size = 128;
+    const auto dist = run_distributed(w.ref, w.reads, config, options);
+    ASSERT_FALSE(dist.calls.empty());
+    std::ostringstream expected;
+    write_snps_tsv(expected, dist.calls);
+    EXPECT_EQ(dist.tsv, expected.str())
+        << (mode == DistMode::kReadPartition ? "read" : "genome")
+        << "-partition";
+  }
+}
 
 TEST(DistModes, SingleRankGenomePartitionMatchesSerial) {
   const Workload w = make_workload(25000, 10.0);

@@ -1,0 +1,313 @@
+// Tests for the worker-side output path: OutputChunk/ChunkSplicer (the
+// order-splicing drain), apply_accum_deltas bit-identity, and the
+// locale-independent to_chars render helpers that keep worker-rendered
+// bytes identical to the historical ostream formatting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <locale>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gnumap/accum/accumulator.hpp"
+#include "gnumap/io/output_chunk.hpp"
+#include "gnumap/io/snp_writer.hpp"
+#include "gnumap/util/render.hpp"
+
+namespace gnumap {
+namespace {
+
+using io::AccumDelta;
+using io::ChunkSplicer;
+using io::OutputChunk;
+
+OutputChunk sam_chunk(const std::string& sam) {
+  OutputChunk chunk;
+  chunk.sam = sam;
+  return chunk;
+}
+
+// ---------------------------------------------------------------------------
+// ChunkSplicer: order restoration, counters, and the two admission limits.
+
+TEST(ChunkSplicer, SplicesOutOfOrderChunksInOrder) {
+  ChunkSplicer<> splicer(8, /*max_buffered_bytes=*/0);
+  // Push 0..7 in reverse from a helper thread; all inside the window.
+  std::thread producer([&] {
+    for (int seq = 7; seq >= 0; --seq) {
+      EXPECT_TRUE(splicer.push(static_cast<std::uint64_t>(seq),
+                               sam_chunk("batch" + std::to_string(seq))));
+    }
+    splicer.close();
+  });
+  std::string stitched;
+  std::uint64_t bytes = 0;
+  while (auto chunk = splicer.pop_next()) {
+    stitched += chunk->sam;
+    bytes += chunk->bytes();
+  }
+  producer.join();
+  EXPECT_EQ(stitched,
+            "batch0batch1batch2batch3batch4batch5batch6batch7");
+  EXPECT_EQ(splicer.chunks_spliced(), 8u);
+  EXPECT_EQ(splicer.spliced_bytes(), bytes);
+}
+
+TEST(ChunkSplicer, EmptyChunksFlowThroughInOrder) {
+  // Batches whose reads all failed to map render zero bytes; the splicer
+  // must still release them in sequence so later batches are not stuck.
+  ChunkSplicer<> splicer(4, 0);
+  std::thread producer([&] {
+    EXPECT_TRUE(splicer.push(1, OutputChunk{}));
+    EXPECT_TRUE(splicer.push(0, sam_chunk("a")));
+    EXPECT_TRUE(splicer.push(2, sam_chunk("c")));
+    splicer.close();
+  });
+  std::vector<std::string> order;
+  while (auto chunk = splicer.pop_next()) order.push_back(chunk->sam);
+  producer.join();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "a");
+  EXPECT_TRUE(order[1].empty());
+  EXPECT_EQ(order[2], "c");
+  EXPECT_EQ(splicer.chunks_spliced(), 3u);
+}
+
+TEST(ChunkSplicer, WindowSlidesFarPastCapacity) {
+  // Many full window turns with competing producers: order and the parked
+  // bound must hold across every wrap.
+  ChunkSplicer<> splicer(3, 0);
+  constexpr std::uint64_t kChunks = 900;
+  std::atomic<std::uint64_t> next_claim{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 3; ++t) {
+    workers.emplace_back([&] {
+      for (;;) {
+        const std::uint64_t seq = next_claim.fetch_add(1);
+        if (seq >= kChunks) return;
+        EXPECT_TRUE(splicer.push(seq, sam_chunk(std::to_string(seq) + "\n")));
+      }
+    });
+  }
+  for (std::uint64_t seq = 0; seq < kChunks; ++seq) {
+    const auto chunk = splicer.pop_next();
+    ASSERT_TRUE(chunk.has_value());
+    EXPECT_EQ(chunk->sam, std::to_string(seq) + "\n");
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_LE(splicer.peak_pending(), 3u);
+  EXPECT_EQ(splicer.chunks_spliced(), kChunks);
+}
+
+TEST(ChunkSplicer, CloseUnblocksBlockedPushAndKeepsPrefix) {
+  ChunkSplicer<> splicer(2, 0);
+  EXPECT_TRUE(splicer.push(0, sam_chunk("keep")));
+  std::thread blocked([&] {
+    // Beyond the [0, 2) window: parks until close(), then reports false.
+    EXPECT_FALSE(splicer.push(5, sam_chunk("drop")));
+  });
+  splicer.close();
+  blocked.join();
+  // The in-order prefix parked before close() still drains.
+  const auto chunk = splicer.pop_next();
+  ASSERT_TRUE(chunk.has_value());
+  EXPECT_EQ(chunk->sam, "keep");
+  EXPECT_FALSE(splicer.pop_next().has_value());
+}
+
+TEST(ChunkSplicer, ByteBudgetBlocksOutOfOrderAndExemptsInOrder) {
+  // Budget far below one chunk: out-of-order pushes must wait for the
+  // drain, while the in-order chunk is always admitted (the exemption that
+  // makes the budget deadlock-free).
+  ChunkSplicer<> splicer(8, /*max_buffered_bytes=*/8);
+  const std::string big(100, 'x');
+
+  std::atomic<bool> parked{false};
+  std::thread over_budget([&] {
+    EXPECT_TRUE(splicer.push(1, sam_chunk(big)));  // 100 bytes > budget
+    parked = true;
+  });
+  // The out-of-order push cannot land while the budget is exceeded.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(parked.load());
+
+  // seq 0 is the in-order chunk: admitted immediately despite its size.
+  EXPECT_TRUE(splicer.push(0, sam_chunk(big)));
+  const auto first = splicer.pop_next();  // next_seq -> 1: seq 1 now in-order
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->sam, big);
+
+  const auto second = splicer.pop_next();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->sam, big);
+  over_budget.join();
+  EXPECT_TRUE(parked.load());
+  splicer.close();
+  EXPECT_EQ(splicer.spliced_bytes(), 200u);
+}
+
+TEST(OutputChunk, BytesCountsEverySegment) {
+  OutputChunk chunk;
+  EXPECT_TRUE(chunk.empty());
+  chunk.sam = "12345";
+  chunk.tsv = "123";
+  chunk.accum.resize(2);
+  EXPECT_EQ(chunk.bytes(), 5u + 3u + 2u * sizeof(AccumDelta));
+  EXPECT_FALSE(chunk.empty());
+  chunk.clear();
+  EXPECT_TRUE(chunk.empty());
+  EXPECT_EQ(chunk.bytes(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// apply_accum_deltas: replaying worker-flattened deltas must reproduce the
+// direct add sequence bit-for-bit, for every accumulator layout.
+
+TEST(OutputChunk, ApplyAccumDeltasMatchesDirectAddsBitForBit) {
+  const std::vector<AccumDelta> deltas = {
+      {10, {0.5f, 0.0f, 0.125f, 0.0f, 0.0f}},
+      {11, {0.0f, 0.33333334f, 0.0f, 0.0f, 0.1f}},
+      {10, {0.25f, 0.0f, 0.0f, 0.0f, 0.0f}},  // same pos twice: adds ordered
+      {63, {0.0f, 0.0f, 0.0f, 0.7f, 0.0f}},
+  };
+  for (const AccumKind kind :
+       {AccumKind::kNorm, AccumKind::kCharDisc, AccumKind::kCentDisc}) {
+    auto direct = make_accumulator(kind, 0, 64);
+    for (const auto& delta : deltas) direct->add(delta.pos, delta.counts);
+
+    auto replayed = make_accumulator(kind, 0, 64);
+    io::apply_accum_deltas(*replayed, deltas);
+
+    EXPECT_EQ(direct->to_bytes(), replayed->to_bytes())
+        << "layout " << accum_kind_name(kind);
+  }
+}
+
+TEST(OutputChunk, ApplyAccumDeltasClipsOutOfRangePositions) {
+  // Genome-partition ranks flatten whole-window deltas; positions outside
+  // the rank's segment must be ignored, exactly as direct adds are.
+  auto accum = make_accumulator(AccumKind::kNorm, 32, 16);  // [32, 48)
+  const std::vector<AccumDelta> deltas = {
+      {10, {1.0f, 0.0f, 0.0f, 0.0f, 0.0f}},   // below the segment
+      {40, {0.0f, 2.0f, 0.0f, 0.0f, 0.0f}},   // inside
+      {100, {0.0f, 0.0f, 3.0f, 0.0f, 0.0f}},  // above
+  };
+  io::apply_accum_deltas(*accum, deltas);
+  EXPECT_EQ(accum->counts(40)[1], 2.0f);
+  EXPECT_EQ(accum->counts(32)[0], 0.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Render helpers: byte-for-byte printf equivalence in the C locale...
+
+std::string printf_double(const char* fmt, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, fmt, value);
+  return buf;
+}
+
+TEST(Render, FixedMatchesPrintf) {
+  const double values[] = {0.0,     -0.0,   1.0,       2.5,    0.125,
+                           3.14159, -17.25, 12345.678, 1e-12,  0.005,
+                           99.995,  1e6,    -1e6,      0.0001, 7.62939453125e-6};
+  for (const double v : values) {
+    for (const int precision : {1, 2, 3, 4}) {
+      std::string rendered;
+      append_fixed(rendered, v, precision);
+      const std::string fmt = "%." + std::to_string(precision) + "f";
+      EXPECT_EQ(rendered, printf_double(fmt.c_str(), v)) << v;
+    }
+  }
+}
+
+TEST(Render, ScientificAndGeneralMatchPrintf) {
+  const double values[] = {0.0,    1.0,   2.5e-8, 3.25e17, -4.5e-300,
+                           6.7e30, 0.125, 1e-4,   9.999999e-3};
+  for (const double v : values) {
+    std::string sci;
+    append_scientific(sci, v, 3);
+    EXPECT_EQ(sci, printf_double("%.3e", v)) << v;
+    std::string gen;
+    append_general(gen, v, 6);
+    EXPECT_EQ(gen, printf_double("%.6g", v)) << v;
+  }
+}
+
+TEST(Render, IntCoversFullRange) {
+  std::string out;
+  append_int(out, std::numeric_limits<std::int64_t>::min());
+  out += ' ';
+  append_int(out, std::numeric_limits<std::uint64_t>::max());
+  out += ' ';
+  append_int(out, 0);
+  EXPECT_EQ(out, "-9223372036854775808 18446744073709551615 0");
+}
+
+// ---------------------------------------------------------------------------
+// ...and independence from the global locale.  A comma-decimal numpunct is
+// installed globally (hermetic: no de_DE locale data needed) and must not
+// leak a single byte into rendered output — the regression that motivated
+// replacing ostream `<<` formatting in the output path.
+
+class CommaNumpunct : public std::numpunct<char> {
+ protected:
+  char do_decimal_point() const override { return ','; }
+  char do_thousands_sep() const override { return '.'; }
+  std::string do_grouping() const override { return "\3"; }
+};
+
+/// Swaps in a comma-decimal global locale for one test body.
+class GlobalLocaleGuard {
+ public:
+  GlobalLocaleGuard()
+      : saved_(std::locale::global(
+            std::locale(std::locale::classic(), new CommaNumpunct))) {}
+  ~GlobalLocaleGuard() { std::locale::global(saved_); }
+
+ private:
+  std::locale saved_;
+};
+
+TEST(Render, CommaDecimalLocaleDoesNotChangeRenderedBytes) {
+  SnpCall call;
+  call.contig = "chr1";
+  call.position = 123456;
+  call.ref = 0;      // A
+  call.allele1 = 2;  // G
+  call.allele2 = 2;
+  call.coverage = 1234.5;
+  call.lrt_stat = 56.78125;
+  call.p_value = 1.25e-7;
+
+  std::string before_row;
+  append_snps_tsv_row(before_row, call);
+  std::string before_fixed;
+  append_fixed(before_fixed, 2.5, 2);
+
+  {
+    GlobalLocaleGuard comma_locale;
+    // Sanity: the facet is live — locale-aware ostream formatting differs.
+    std::ostringstream locale_sensitive;
+    locale_sensitive.imbue(std::locale());
+    locale_sensitive << 2.5;
+    EXPECT_EQ(locale_sensitive.str(), "2,5");
+
+    std::string after_row;
+    append_snps_tsv_row(after_row, call);
+    EXPECT_EQ(after_row, before_row);
+    EXPECT_NE(after_row.find("1234.50"), std::string::npos) << after_row;
+
+    std::string after_fixed;
+    append_fixed(after_fixed, 2.5, 2);
+    EXPECT_EQ(after_fixed, before_fixed);
+    EXPECT_EQ(after_fixed, "2.50");
+  }
+}
+
+}  // namespace
+}  // namespace gnumap

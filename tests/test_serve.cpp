@@ -856,9 +856,12 @@ TEST(Serve, TraceIdRoundTripsClientToServer) {
   EXPECT_EQ(outcome.trace_id, kTraceId);
   EXPECT_EQ(outcome.stats.at("trace_id"), "deadbeefcafef00d");
   EXPECT_NE(outcome.stats.at("parent_span_id"), "0000000000000000");
+  // drain_seconds stays on the wire for old dashboards; format/splice are
+  // its split (worker rendering vs. drain splicing).
   for (const char* key :
        {"total_seconds", "admission_wait_seconds", "upload_wait_seconds",
         "decode_seconds", "map_stage_seconds", "drain_seconds",
+        "format_seconds", "splice_seconds",
         "call_seconds", "phmm_cells", "gcups"}) {
     EXPECT_TRUE(outcome.stats.count(key)) << "MAP_DONE missing " << key;
   }

@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -625,6 +626,82 @@ TEST(StreamPipeline, ThreadedOutputByteIdenticalToSerial) {
   EXPECT_GT(threaded_result.batches_decoded, 1u);
 }
 
+TEST(StreamPipeline, EightThreadsByteIdenticalIncludingAccumulator) {
+  // Same invariant at a higher worker count, and one level deeper: the
+  // final accumulator bytes must match too, which catches any reordering
+  // of the worker-flattened delta replay (float addition is not
+  // associative).
+  const Workload w = make_workload();
+  PipelineConfig serial = stream_config();
+  serial.threads = 1;
+  PipelineConfig threaded = stream_config();
+  threaded.threads = 8;
+
+  std::ostringstream serial_sam, threaded_sam;
+  std::unique_ptr<Accumulator> serial_accum, threaded_accum;
+  const auto serial_result = run_pipeline_with_accumulator(
+      w.ref, w.reads, serial, &serial_accum, &serial_sam);
+  const auto threaded_result = run_pipeline_with_accumulator(
+      w.ref, w.reads, threaded, &threaded_accum, &threaded_sam);
+
+  EXPECT_EQ(serial_sam.str(), threaded_sam.str());
+  EXPECT_EQ(calls_tsv(serial_result.calls), calls_tsv(threaded_result.calls));
+  expect_identical_calls(serial_result.calls, threaded_result.calls);
+  ASSERT_NE(serial_accum, nullptr);
+  ASSERT_NE(threaded_accum, nullptr);
+  EXPECT_EQ(serial_accum->to_bytes(), threaded_accum->to_bytes());
+  // Worker formatting actually ran and was accounted for.
+  EXPECT_GT(threaded_result.output_bytes, 0u);
+  EXPECT_EQ(threaded_result.output_bytes, serial_result.output_bytes);
+}
+
+TEST(StreamPipeline, WorkerFormatMatchesLegacyFormatInDrain) {
+  // A/B the tentpole refactor against the pre-refactor drain: rendering in
+  // the workers and splicing bytes must emit exactly what formatting
+  // inside the drain used to.
+  const Workload w = make_workload();
+  PipelineConfig worker_format = stream_config();
+  worker_format.threads = 4;
+  PipelineConfig legacy = worker_format;
+  legacy.format_in_drain = true;
+
+  std::ostringstream worker_sam, legacy_sam;
+  std::unique_ptr<Accumulator> worker_accum, legacy_accum;
+  const auto worker_result = run_pipeline_with_accumulator(
+      w.ref, w.reads, worker_format, &worker_accum, &worker_sam);
+  const auto legacy_result = run_pipeline_with_accumulator(
+      w.ref, w.reads, legacy, &legacy_accum, &legacy_sam);
+
+  EXPECT_EQ(worker_sam.str(), legacy_sam.str());
+  expect_identical_calls(worker_result.calls, legacy_result.calls);
+  EXPECT_EQ(worker_accum->to_bytes(), legacy_accum->to_bytes());
+  // The legacy path formats inside the drain, so its format time is folded
+  // into splice_seconds; the worker path reports it separately.
+  EXPECT_GT(worker_result.format_seconds, 0.0);
+  EXPECT_EQ(legacy_result.format_seconds, 0.0);
+}
+
+TEST(StreamPipeline, TinyOutputBufferStillByteIdentical) {
+  // A byte budget far below one rendered chunk forces maximal blocking in
+  // the splicer; the in-order exemption must keep the pipeline live and
+  // the output identical.
+  const Workload w = make_workload();
+  PipelineConfig serial = stream_config();
+  serial.threads = 1;
+  PipelineConfig squeezed = stream_config();
+  squeezed.threads = 4;
+  squeezed.output_buffer_bytes = 64;
+
+  std::ostringstream serial_sam, squeezed_sam;
+  const auto serial_result = run_pipeline_with_accumulator(
+      w.ref, w.reads, serial, nullptr, &serial_sam);
+  const auto squeezed_result = run_pipeline_with_accumulator(
+      w.ref, w.reads, squeezed, nullptr, &squeezed_sam);
+
+  EXPECT_EQ(serial_sam.str(), squeezed_sam.str());
+  expect_identical_calls(serial_result.calls, squeezed_result.calls);
+}
+
 TEST(StreamPipeline, FastqStreamMatchesVectorPath) {
   const Workload w = make_workload();
   // Round-trip the simulated reads through FASTQ text so the FASTQ-backed
@@ -693,6 +770,10 @@ TEST(StreamDist, ReadPartitionMatchesVectorPathExactly) {
   EXPECT_EQ(vector_result.stats.reads_total, stream_result.stats.reads_total);
   EXPECT_EQ(vector_result.stats.reads_mapped,
             stream_result.stats.reads_mapped);
+  // Rank-local TSV formatting: the document rank 0 assembled must equal a
+  // root-side render of the final calls — i.e. the serial bytes.
+  EXPECT_EQ(vector_result.tsv, calls_tsv(vector_result.calls));
+  EXPECT_EQ(stream_result.tsv, vector_result.tsv);
 }
 
 TEST(StreamDist, GenomePartitionMatchesVectorPathExactly) {
@@ -713,6 +794,10 @@ TEST(StreamDist, GenomePartitionMatchesVectorPathExactly) {
   EXPECT_EQ(vector_result.stats.reads_total, stream_result.stats.reads_total);
   EXPECT_EQ(vector_result.stats.reads_mapped,
             stream_result.stats.reads_mapped);
+  // Every rank rendered its own segment's rows; the root's rank-order
+  // splice must be byte-identical to rendering the gathered calls.
+  EXPECT_EQ(vector_result.tsv, calls_tsv(vector_result.calls));
+  EXPECT_EQ(stream_result.tsv, vector_result.tsv);
 
   // ...and the hint path (no prescan needed) must agree too.
   std::uint32_t max_len = 0;
@@ -744,6 +829,10 @@ TEST(StreamDist, ReadPartitionCrashRecoveryMatchesFaultFree) {
   EXPECT_GE(faulty.recovery.attempts, 2);
   EXPECT_EQ(faulty.recovery.failed_ranks.front(), 1);
   expect_identical_calls(clean.calls, faulty.calls);
+  // Recovery replays from checkpoints; the rendered TSV must not carry any
+  // bytes from the aborted attempt.
+  EXPECT_EQ(faulty.tsv, clean.tsv);
+  EXPECT_EQ(faulty.tsv, calls_tsv(faulty.calls));
 }
 
 TEST(StreamDist, GenomePartitionCrashRecoveryMatchesFaultFree) {
@@ -765,6 +854,10 @@ TEST(StreamDist, GenomePartitionCrashRecoveryMatchesFaultFree) {
 
   EXPECT_GE(faulty.recovery.attempts, 2);
   expect_identical_calls(clean.calls, faulty.calls);
+  // Same for the genome-partition splice: rank-local bodies gathered on
+  // the final attempt only.
+  EXPECT_EQ(faulty.tsv, clean.tsv);
+  EXPECT_EQ(faulty.tsv, calls_tsv(faulty.calls));
 }
 
 TEST(StreamDist, RequiresStreamAtStart) {
