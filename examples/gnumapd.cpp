@@ -46,10 +46,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "gnumap/serve/fault_shim.hpp"
 
+#include "gnumap/fleet/index_file.hpp"
+#include "gnumap/fleet/registry.hpp"
+#include "gnumap/fleet/router.hpp"
 #include "gnumap/io/fasta.hpp"
 #include "gnumap/obs/obs_cli.hpp"
 #include "gnumap/serve/server.hpp"
@@ -62,6 +69,7 @@ using namespace gnumap;
 namespace {
 
 std::atomic<serve::MappingServer*> g_server{nullptr};
+std::atomic<fleet::RouterServer*> g_router{nullptr};
 
 // Only lock-free atomic ops on the drain path: store to g_server happens
 // before the handlers are installed, and request_stop() is a relaxed
@@ -76,15 +84,62 @@ void drain_handler(int sig) {
     server->request_stop();
     return;
   }
+  auto* router = g_router.load(std::memory_order_acquire);
+  if (router != nullptr && !router->stopping()) {
+    router->request_stop();
+    return;
+  }
   obs::flush_cli_outputs();
   std::signal(sig, SIG_DFL);
   std::raise(sig);
+}
+
+/// "ID=PATH" → GenomeSpec; the loader is chosen by sniffing the file's
+/// magic, so FASTA references and fleet index files mix freely.
+fleet::GenomeSpec parse_genome_spec(const std::string& value) {
+  const auto eq = value.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= value.size()) {
+    throw ParseError("--genome wants ID=PATH, got \"" + value + "\"");
+  }
+  fleet::GenomeSpec spec;
+  spec.id = value.substr(0, eq);
+  spec.path = value.substr(eq + 1);
+  std::ifstream probe(spec.path, std::ios::binary);
+  char magic[8] = {};
+  probe.read(magic, sizeof magic);
+  spec.is_index_file =
+      probe.gcount() == sizeof magic &&
+      std::string_view(magic, 8) == std::string_view("GNFLDX\x01\x00", 8);
+  return spec;
+}
+
+/// "HOST:PORT" (host optional, defaults to loopback) → ShardBackend.
+fleet::ShardBackend parse_backend(const std::string& value) {
+  fleet::ShardBackend backend;
+  const auto colon = value.rfind(':');
+  if (colon == std::string::npos) {
+    backend.port = static_cast<std::uint16_t>(parse_u64(value));
+  } else {
+    if (colon > 0) backend.host = value.substr(0, colon);
+    backend.port =
+        static_cast<std::uint16_t>(parse_u64(value.substr(colon + 1)));
+  }
+  return backend;
 }
 
 [[noreturn]] void usage(const char* argv0, const std::string& error = "") {
   if (!error.empty()) std::fprintf(stderr, "error: %s\n\n", error.c_str());
   std::fprintf(stderr,
                "usage: %s --ref genome.fa [options]\n"
+               "       %s --index genome.gidx [options]\n"
+               "       %s --route HOST:PORT[,HOST:PORT...] --ref genome.fa\n"
+               "  --genome ID=PATH     additional registry genome (repeatable;\n"
+               "                       PATH is a FASTA or a gnumap_index file)\n"
+               "  --memory-budget N    registry resident-bytes budget (0 = off)\n"
+               "  --evicted-retry-ms N retry hint on kEvicted answers\n"
+               "  --per-genome-admission-reads N  per-genome window\n"
+               "  --shard I/N          serve shard I of N of each genome\n"
+               "  --shard-max-read-len N  margin sizing for shard mode\n"
                "  --port N --port-file FILE --bind-any\n"
                "  --admin-port N --admin-port-file FILE\n"
                "  --max-connections N --admission-reads N --per-conn-reads N\n"
@@ -97,7 +152,7 @@ void drain_handler(int sig) {
                "  --min-coverage X --quiet\n"
                "  --phmm-fp32 [--phmm-fp32-margin X] --phmm-bin-slack N\n"
                "  --trace-out FILE --metrics-out FILE\n",
-               argv0);
+               argv0, argv0, argv0);
   std::exit(2);
 }
 
@@ -106,6 +161,12 @@ void drain_handler(int sig) {
 int main(int argc, char** argv) {
   obs::strip_cli_flags(argc, argv);
   std::string ref_path, port_file, admin_port_file;
+  std::string index_path;
+  std::vector<fleet::GenomeSpec> extra_genomes;
+  std::vector<fleet::ShardBackend> route_backends;
+  int shard_index = -1;
+  int shard_count = 0;
+  std::uint32_t shard_max_read_len = 512;
   PipelineConfig config;
   config.index.k = 10;
   serve::ServeOptions options;
@@ -127,6 +188,46 @@ int main(int argc, char** argv) {
       const std::string arg = argv[i];
       if (arg == "--ref") {
         ref_path = need_value(i);
+      } else if (arg == "--index") {
+        index_path = need_value(i);
+      } else if (arg == "--genome") {
+        extra_genomes.push_back(parse_genome_spec(need_value(i)));
+      } else if (arg == "--memory-budget") {
+        options.registry_memory_budget_bytes = parse_u64(need_value(i));
+      } else if (arg == "--evicted-retry-ms") {
+        options.evicted_retry_ms =
+            static_cast<std::uint32_t>(parse_u64(need_value(i)));
+      } else if (arg == "--per-genome-admission-reads") {
+        options.per_genome_admission_reads = parse_u64(need_value(i));
+      } else if (arg == "--shard") {
+        const std::string spec = need_value(i);
+        const auto slash = spec.find('/');
+        if (slash == std::string::npos) {
+          usage(argv[0], "--shard wants I/N, e.g. --shard 0/2");
+        }
+        shard_index = static_cast<int>(parse_u64(spec.substr(0, slash)));
+        shard_count = static_cast<int>(parse_u64(spec.substr(slash + 1)));
+        if (shard_count <= 0 || shard_index < 0 ||
+            shard_index >= shard_count) {
+          usage(argv[0], "--shard I/N needs 0 <= I < N");
+        }
+      } else if (arg == "--shard-max-read-len") {
+        shard_max_read_len =
+            static_cast<std::uint32_t>(parse_u64(need_value(i)));
+      } else if (arg == "--route") {
+        // Comma-separated and repeatable both work.
+        std::string list = need_value(i);
+        std::size_t start = 0;
+        while (start <= list.size()) {
+          const auto comma = list.find(',', start);
+          const std::string one =
+              list.substr(start, comma == std::string::npos
+                                     ? std::string::npos
+                                     : comma - start);
+          if (!one.empty()) route_backends.push_back(parse_backend(one));
+          if (comma == std::string::npos) break;
+          start = comma + 1;
+        }
       } else if (arg == "--port") {
         options.port = static_cast<std::uint16_t>(parse_u64(need_value(i)));
       } else if (arg == "--port-file") {
@@ -209,39 +310,109 @@ int main(int argc, char** argv) {
         usage(argv[0], "unknown option: " + arg);
       }
     }
-    if (ref_path.empty()) usage(argv[0], "--ref is required");
     if (!fault_spec.empty()) {
       options.fault_plan = serve::WireFaultPlan::parse(fault_spec);
     }
     set_log_level(quiet ? LogLevel::kWarn : LogLevel::kInfo);
 
-    const Genome reference = genome_from_fasta_file(ref_path);
-    serve::MappingServer server(reference, config, options);
+    // Router mode: scatter/gather over backend shards.  The genome is
+    // needed only for SAM headers and SNP calling — no index is built.
+    if (!route_backends.empty()) {
+      if (shard_index >= 0) {
+        usage(argv[0], "--route and --shard are mutually exclusive");
+      }
+      std::unique_ptr<fleet::LoadedIndex> loaded;
+      std::optional<Genome> fasta_genome;
+      const Genome* genome = nullptr;
+      if (!index_path.empty()) {
+        loaded = std::make_unique<fleet::LoadedIndex>(
+            fleet::load_index_file(index_path));
+        genome = &loaded->genome;
+      } else if (!ref_path.empty()) {
+        fasta_genome.emplace(genome_from_fasta_file(ref_path));
+        genome = &*fasta_genome;
+      } else {
+        usage(argv[0], "router mode needs --ref or --index for the genome");
+      }
+      fleet::RouterOptions ropt;
+      ropt.port = options.port;
+      ropt.bind_any = options.bind_any;
+      ropt.io_timeout_ms = options.io_timeout_ms;
+      ropt.max_frame_bytes = options.max_frame_bytes;
+      ropt.backends = route_backends;
+      fleet::RouterServer router(*genome, config, ropt);
+      if (!port_file.empty()) {
+        std::ofstream out(port_file);
+        if (!out) throw ParseError("cannot write port file: " + port_file);
+        out << router.port() << "\n";
+      }
+      g_router.store(&router, std::memory_order_release);
+      std::signal(SIGINT, drain_handler);
+      std::signal(SIGTERM, drain_handler);
+      router.run();
+      g_router.store(nullptr, std::memory_order_release);
+      GNUMAP_LOG(kInfo) << "gnumapd: router drained";
+      obs::flush_cli_outputs();
+      return 0;
+    }
+
+    options.shard_index = shard_index;
+    options.shard_count = shard_count;
+    options.shard_max_read_len = shard_max_read_len;
+
+    // Registry mode whenever an index file or extra genomes are involved;
+    // the plain --ref path stays on the legacy eager constructor.
+    std::optional<Genome> reference;
+    std::unique_ptr<serve::MappingServer> server;
+    if (!index_path.empty() || !extra_genomes.empty()) {
+      std::vector<fleet::GenomeSpec> specs;
+      if (!index_path.empty() || !ref_path.empty()) {
+        fleet::GenomeSpec def;
+        def.id = "default";
+        if (!index_path.empty()) {
+          def.path = index_path;
+          def.is_index_file = true;
+        } else {
+          def.path = ref_path;
+        }
+        specs.push_back(std::move(def));
+      }
+      // With only --genome entries, the first one doubles as the default
+      // genome that v3 clients (no genome id on the wire) map against.
+      for (auto& g : extra_genomes) specs.push_back(std::move(g));
+      server = std::make_unique<serve::MappingServer>(std::move(specs),
+                                                      config, options);
+    } else {
+      if (ref_path.empty()) usage(argv[0], "--ref is required");
+      reference.emplace(genome_from_fasta_file(ref_path));
+      server =
+          std::make_unique<serve::MappingServer>(*reference, config, options);
+    }
 
     if (!port_file.empty()) {
       std::ofstream out(port_file);
       if (!out) throw ParseError("cannot write port file: " + port_file);
-      out << server.port() << "\n";
+      out << server->port() << "\n";
     }
     if (!admin_port_file.empty()) {
-      if (server.admin_port() < 0) {
+      if (server->admin_port() < 0) {
         throw ParseError("--admin-port-file needs --admin-port");
       }
       std::ofstream out(admin_port_file);
       if (!out) {
         throw ParseError("cannot write admin port file: " + admin_port_file);
       }
-      out << server.admin_port() << "\n";
+      out << server->admin_port() << "\n";
     }
 
-    g_server.store(&server, std::memory_order_release);
+    g_server.store(server.get(), std::memory_order_release);
     std::signal(SIGINT, drain_handler);
     std::signal(SIGTERM, drain_handler);
 
-    server.run();  // returns after a drain (signal or SHUTDOWN frame)
+    server->run();  // returns after a drain (signal or SHUTDOWN frame)
 
     g_server.store(nullptr, std::memory_order_release);
-    const auto stats = server.stats();
+    const auto stats = server->stats();
     GNUMAP_LOG(kInfo) << "gnumapd: drained after " << stats.requests_total
                       << " requests (" << stats.reads_total << " reads, "
                       << stats.requests_rejected << " rejected, "

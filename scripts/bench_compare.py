@@ -13,6 +13,14 @@ Guards two throughput surfaces in CI:
   the monolithic-vs-streaming ``runs`` rows and the ``drain_scaling`` rows
   (threads x legacy-drain/worker-format).
 
+* Fleet startup (--startup): the JSON written by ``gnumap_index
+  --startup-json`` is gated on its own two timings, no committed baseline:
+  the mmap instant-start load must be at least ``--startup-factor`` times
+  faster than rebuilding the index from FASTA (default 10x, or the
+  GNUMAP_STARTUP_FACTOR environment variable).  This is the contract the
+  fleet index file exists to honour — a cold gnumapd restart costing a
+  rebuild is a regression even when every throughput row is green.
+
 Only rows present in BOTH files are compared (a renamed or added benchmark
 is reported, not fatal — the committed baseline trails new code by design).
 Rows without the compared counter are skipped.  Context drift (build type,
@@ -74,6 +82,28 @@ def load_pipeline_rows(path):
     return context, rows
 
 
+def check_startup(path, factor):
+    doc = load_json(path)
+    build = doc.get("build_seconds")
+    load = doc.get("load_seconds")
+    if not isinstance(build, (int, float)) or not isinstance(
+            load, (int, float)) or build <= 0.0 or load < 0.0:
+        print(f"bench_compare: {path} has no usable build_seconds/"
+              f"load_seconds", file=sys.stderr)
+        return 2
+    speedup = build / load if load > 0.0 else float("inf")
+    detail = (f"build {build:.4f}s vs mmap load {load:.6f}s "
+              f"({speedup:.1f}x, need >={factor:.1f}x; "
+              f"file_bytes={doc.get('file_bytes')}, "
+              f"index_entries={doc.get('index_entries')})")
+    if speedup < factor:
+        print(f"bench_compare: FAIL: instant start too slow: {detail}",
+              file=sys.stderr)
+        return 1
+    print(f"bench_compare: OK: {detail}")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="fail on bench throughput regressions vs the committed "
@@ -92,7 +122,22 @@ def main():
         "--pipeline", action="store_true",
         help="compare BENCH_pipeline.json reads_per_sec rows instead of "
              "google-benchmark gcups rows")
+    parser.add_argument(
+        "--startup", action="store_true",
+        help="gate a gnumap_index --startup-json file: mmap load must be "
+             "--startup-factor times faster than the index rebuild")
+    parser.add_argument(
+        "--startup-factor", type=float,
+        default=float(os.environ.get("GNUMAP_STARTUP_FACTOR", "10")),
+        help="required build/load speedup with --startup (default "
+             "%(default)s, or GNUMAP_STARTUP_FACTOR)")
     args = parser.parse_args()
+    if args.startup:
+        if args.startup_factor <= 1.0:
+            print("bench_compare: --startup-factor must be > 1",
+                  file=sys.stderr)
+            return 2
+        return check_startup(args.fresh, args.startup_factor)
     if not 0.0 < args.threshold < 1.0:
         print("bench_compare: --threshold must be in (0, 1)", file=sys.stderr)
         return 2

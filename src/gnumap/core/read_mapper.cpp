@@ -21,7 +21,8 @@ ReadMapper::ReadMapper(const Genome& genome, const HashIndex& index,
 
 std::vector<ReadMapper::CandidateWindow> ReadMapper::gather_candidates(
     const Read& read, ReadPwms& pwms, MapStats& stats,
-    GenomePos diagonal_begin, GenomePos diagonal_end) const {
+    GenomePos diagonal_begin, GenomePos diagonal_end,
+    bool keep_filtered) const {
   ++stats.reads_total;
   std::vector<CandidateWindow> out;
   if (read.length() < static_cast<std::size_t>(index_.k())) return out;
@@ -38,11 +39,21 @@ std::vector<ReadMapper::CandidateWindow> ReadMapper::gather_candidates(
                                candidate.diagonal >= diagonal_end)) {
       continue;
     }
+    CandidateWindow cw;
+    cw.reverse = candidate.reverse;
+    cw.diagonal = candidate.diagonal;
+    cw.votes = candidate.votes;
     const GenomePos win_begin =
         candidate.diagonal >= pad ? candidate.diagonal - pad : 0;
     const GenomePos win_end = candidate.diagonal + read_len + pad;
     const auto window = genome_.window(win_begin, win_end);
-    if (window.size() < read.length() / 2) continue;
+    if (window.size() < read.length() / 2) {
+      if (keep_filtered) {
+        cw.skip = true;
+        out.push_back(std::move(cw));
+      }
+      continue;
+    }
 
     ++stats.candidates_evaluated;
     const Pwm* pwm;
@@ -59,20 +70,22 @@ std::vector<ReadMapper::CandidateWindow> ReadMapper::gather_candidates(
       }
       pwm = &pwms.fwd;
     }
-    out.push_back(CandidateWindow{win_begin, window, pwm, candidate.reverse});
+    cw.window_begin = win_begin;
+    cw.window = window;
+    cw.pwm = pwm;
+    out.push_back(std::move(cw));
   }
   return out;
 }
 
-void ReadMapper::finalize_sites(const Read& read,
-                                std::vector<ScoredSite>& sites,
-                                MapStats& stats) const {
+void finalize_scored_sites(const PipelineConfig& config, const Read& read,
+                           std::vector<ScoredSite>& sites, MapStats& stats) {
   if (sites.empty()) return;
 
   // Mapped-at-all test: best per-base log-likelihood above the cutoff.
   double best_ll = sites.front().log_likelihood;
   for (const auto& site : sites) best_ll = std::max(best_ll, site.log_likelihood);
-  if (best_ll < config_.min_loglik_per_base *
+  if (best_ll < config.min_loglik_per_base *
                     static_cast<double>(read.length())) {
     sites.clear();
     return;
@@ -88,7 +101,7 @@ void ReadMapper::finalize_sites(const Read& read,
   }
   // Prune negligible sites, then renormalize the survivors.
   std::erase_if(sites, [&](const ScoredSite& site) {
-    return site.weight < config_.min_site_posterior;
+    return site.weight < config.min_site_posterior;
   });
   double kept = 0.0;
   for (const auto& site : sites) kept += site.weight;
@@ -97,6 +110,12 @@ void ReadMapper::finalize_sites(const Read& read,
   }
   if (!sites.empty()) ++stats.reads_mapped;
   stats.sites_accumulated += sites.size();
+}
+
+void ReadMapper::finalize_sites(const Read& read,
+                                std::vector<ScoredSite>& sites,
+                                MapStats& stats) const {
+  finalize_scored_sites(config_, read, sites, stats);
 }
 
 std::vector<ScoredSite> ReadMapper::score_read(const Read& read,
@@ -234,6 +253,39 @@ std::vector<std::vector<ScoredSite>> ReadMapper::score_reads(
     finalize_sites(reads[r], scored[r], stats);
   }
   return scored;
+}
+
+std::vector<std::vector<RawCandidate>> ReadMapper::score_reads_raw(
+    std::span<const Read> reads, MapperWorkspace& ws, MapStats& stats,
+    GenomePos diagonal_begin, GenomePos diagonal_end) const {
+  std::vector<std::vector<RawCandidate>> out(reads.size());
+  for (std::size_t r = 0; r < reads.size(); ++r) {
+    ReadPwms pwms;
+    const auto candidates =
+        gather_candidates(reads[r], pwms, stats, diagonal_begin, diagonal_end,
+                          /*keep_filtered=*/true);
+    out[r].reserve(candidates.size());
+    for (const CandidateWindow& cw : candidates) {
+      RawCandidate raw;
+      raw.diagonal = cw.diagonal;
+      raw.votes = cw.votes;
+      raw.reverse = cw.reverse;
+      raw.filtered = cw.skip;
+      if (!cw.skip) {
+        raw.ok = hmm_.align(*cw.pwm, cw.window, ws.mats);
+        if (raw.ok) {
+          stats.dp_cells += (reads[r].length() + 1) * (cw.window.size() + 1);
+          raw.site.window_begin = cw.window_begin;
+          raw.site.log_likelihood = ws.mats.log_likelihood;
+          raw.site.reverse = cw.reverse;
+          raw.site.contributions =
+              condense_marginals(hmm_, *cw.pwm, ws.mats, config_.marginal);
+        }
+      }
+      out[r].push_back(std::move(raw));
+    }
+  }
+  return out;
 }
 
 bool ReadMapper::fp32_borderline(const Read& read,

@@ -44,6 +44,30 @@ struct ScoredSite {
   ColumnContributions contributions;
 };
 
+/// One candidate in pre-epilogue form: the seeder's identity fields plus the
+/// alignment outcome, *before* truncation-aware merging and the posterior
+/// softmax.  This is what a shard daemon ships to the fleet router: the
+/// router merges per-shard lists in seeder order, truncates to
+/// max_candidates (filtered/failed entries still consume a slot, exactly as
+/// they do in a single-daemon run), and only then finalizes — which is what
+/// makes router output byte-identical to the single-daemon answer.
+struct RawCandidate {
+  GenomePos diagonal = 0;  ///< band representative (seeder identity)
+  std::int32_t votes = 0;
+  bool reverse = false;
+  bool filtered = false;  ///< window too small; no alignment attempted
+  bool ok = false;        ///< alignment produced a finite likelihood
+  ScoredSite site;        ///< valid only when ok
+};
+
+/// The per-read epilogue shared by every scoring path: mapped-at-all
+/// cutoff, posterior softmax, pruning, renormalization, and the
+/// mapped/site counters.  Empties `sites` for unmapped reads.  Exposed as
+/// a free function so the fleet router replays bit-identical float
+/// arithmetic on merged shard partials.
+void finalize_scored_sites(const PipelineConfig& config, const Read& read,
+                           std::vector<ScoredSite>& sites, MapStats& stats);
+
 class ReadMapper {
  public:
   /// The mapper holds references; genome/index/config must outlive it.
@@ -72,6 +96,18 @@ class ReadMapper {
   /// condensing each task's marginals while its matrices are cache-hot;
   /// see docs/KERNELS.md §5.
   std::vector<std::vector<ScoredSite>> score_reads(
+      std::span<const Read> reads, MapperWorkspace& ws, MapStats& stats,
+      GenomePos diagonal_begin = 0, GenomePos diagonal_end = 0) const;
+
+  /// Shard-partial scoring: one RawCandidate per surviving seeder candidate
+  /// of each read, in seeder order, *without* the finalize epilogue.
+  /// Window-filtered candidates are kept as `filtered` placeholders and
+  /// failed alignments as `ok == false` ones, because both consume a
+  /// max_candidates slot in a single-daemon run and the router must see
+  /// them to truncate identically.  Always runs the scalar double kernel
+  /// (the oracle path), so partials are independent of the daemon's SIMD
+  /// and precision settings.
+  std::vector<std::vector<RawCandidate>> score_reads_raw(
       std::span<const Read> reads, MapperWorkspace& ws, MapStats& stats,
       GenomePos diagonal_begin = 0, GenomePos diagonal_end = 0) const;
 
@@ -120,6 +156,12 @@ class ReadMapper {
     std::span<const std::uint8_t> window;
     const Pwm* pwm = nullptr;
     bool reverse = false;
+    // Seeder identity, carried so score_reads_raw can ship it to the
+    // router's merge; `skip` marks a window-filtered candidate kept only
+    // for its max_candidates slot (pwm stays null).
+    GenomePos diagonal = 0;
+    std::int32_t votes = 0;
+    bool skip = false;
   };
   /// Lazily-built per-orientation PWMs for one read.
   struct ReadPwms {
@@ -130,16 +172,15 @@ class ReadMapper {
   /// Seeds `read` and materializes every surviving candidate window.  The
   /// single source of candidate enumeration: both the scalar and the
   /// batched scoring paths consume its output, which is what keeps them
-  /// bit-identical.  Updates reads_total / candidates_evaluated.
-  std::vector<CandidateWindow> gather_candidates(const Read& read,
-                                                 ReadPwms& pwms,
-                                                 MapStats& stats,
-                                                 GenomePos diagonal_begin,
-                                                 GenomePos diagonal_end) const;
+  /// bit-identical.  Updates reads_total / candidates_evaluated.  With
+  /// `keep_filtered`, window-filtered candidates stay in the list as
+  /// `skip` placeholders (the shard-partial path needs their slots).
+  std::vector<CandidateWindow> gather_candidates(
+      const Read& read, ReadPwms& pwms, MapStats& stats,
+      GenomePos diagonal_begin, GenomePos diagonal_end,
+      bool keep_filtered = false) const;
 
-  /// The per-read epilogue shared by both paths: mapped-at-all cutoff,
-  /// posterior softmax, pruning, renormalization, and the mapped/site
-  /// counters.  Empties `sites` for unmapped reads.
+  /// Member shim over finalize_scored_sites (the free function above).
   void finalize_sites(const Read& read, std::vector<ScoredSite>& sites,
                       MapStats& stats) const;
 

@@ -357,6 +357,22 @@ MappingSession::MappingSession(const Genome& genome,
                     << index_seconds_ << " s";
 }
 
+MappingSession::MappingSession(const Genome& genome,
+                               const PipelineConfig& config, HashIndex&& index,
+                               double index_seconds)
+    : genome_(genome),
+      config_(config),
+      index_seconds_(index_seconds),
+      index_(std::move(index)),
+      mapper_(genome_, index_, config_) {
+  require(index_.k() == config_.index.k,
+          "MappingSession: prebuilt index k=" + std::to_string(index_.k()) +
+              " disagrees with config k=" + std::to_string(config_.index.k));
+  GNUMAP_LOG(kInfo) << "index adopted: " << index_.num_entries()
+                    << " entries over " << genome_.num_bases()
+                    << " bases (produced in " << index_seconds_ << " s)";
+}
+
 PipelineResult MappingSession::run(ReadStream& reads,
                                    std::unique_ptr<Accumulator>* accum_out,
                                    std::ostream* sam_out) const {

@@ -35,6 +35,14 @@ class MappingSession {
   /// must outlive the session; `config` is copied.
   MappingSession(const Genome& genome, const PipelineConfig& config);
 
+  /// Adopts a prebuilt index instead of building one — the fleet
+  /// instant-start path (mmap'ed index file) and shard daemons (segment
+  /// index) use this.  `index_seconds` records what producing the index
+  /// cost (e.g. the mmap load time) and is reported exactly like a build
+  /// time.  The index's k must match `config.index.k`.
+  MappingSession(const Genome& genome, const PipelineConfig& config,
+                 HashIndex&& index, double index_seconds);
+
   MappingSession(const MappingSession&) = delete;
   MappingSession& operator=(const MappingSession&) = delete;
 
@@ -50,6 +58,9 @@ class MappingSession {
   const Genome& genome() const { return genome_; }
   const HashIndex& index() const { return index_; }
   const PipelineConfig& config() const { return config_; }
+  /// The resident mapper; shard daemons drive it directly (score_reads_raw)
+  /// to produce per-read partials without the run() epilogue.
+  const ReadMapper& mapper() const { return mapper_; }
   /// Wall-clock cost of the index build paid at construction; reported in
   /// every run()'s PipelineResult so per-run results match the one-shot
   /// pipeline's shape.

@@ -1,0 +1,377 @@
+#include "gnumap/fleet/index_file.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "gnumap/serve/wire.hpp"  // crc32
+#include "gnumap/util/error.hpp"
+#include "gnumap/util/timer.hpp"
+
+namespace gnumap::fleet {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x0158444c464e47ull;        // "GNFLDX\x01"
+constexpr std::uint64_t kFooterMagic = 0x52544f4f46584c46ull;  // "FLXFOOTR"
+constexpr std::size_t kHeaderBytes = 80;
+constexpr std::size_t kSectionEntryBytes = 24;
+constexpr std::size_t kFooterBytes = 16;
+constexpr std::uint32_t kMaxSections = 16;
+
+enum SectionKind : std::uint32_t {
+  kSectionContigMeta = 1,
+  kSectionGenomeData = 2,
+  kSectionIndexOffsets = 3,
+  kSectionIndexPositions = 4,
+  kSectionIndexMask = 5,
+};
+
+void append_u32(std::string& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+std::uint32_t load_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t load_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+struct Section {
+  std::uint32_t kind = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t bytes = 0;
+};
+
+[[noreturn]] void damaged(const std::string& path, const std::string& why) {
+  throw ParseError("fleet index " + path + ": " + why);
+}
+
+}  // namespace
+
+void write_index_file(const std::string& path, const Genome& genome,
+                      const HashIndex& index, GenomePos build_begin,
+                      GenomePos build_end) {
+  require(std::endian::native == std::endian::little,
+          "fleet index files are little-endian only");
+
+  // Contig metadata: u16 name length + name, u64 start, u64 end per contig.
+  std::string contig_meta;
+  for (std::uint32_t id = 0; id < genome.num_contigs(); ++id) {
+    const std::string& name = genome.contig_name(id);
+    require(name.size() <= 0xffff, "contig name too long for index file");
+    contig_meta.push_back(static_cast<char>(name.size() & 0xff));
+    contig_meta.push_back(static_cast<char>((name.size() >> 8) & 0xff));
+    contig_meta.append(name);
+    append_u64(contig_meta, genome.contig_start(id));
+    append_u64(contig_meta, genome.contig_start(id) + genome.contig_size(id));
+  }
+
+  const auto genome_data = genome.data();
+  const auto offsets = index.offsets_span();
+  const auto positions = index.positions_span();
+  const auto mask = index.mask_span();
+
+  struct Payload {
+    std::uint32_t kind;
+    const void* data;
+    std::uint64_t bytes;
+  };
+  const Payload payloads[] = {
+      {kSectionContigMeta, contig_meta.data(), contig_meta.size()},
+      {kSectionGenomeData, genome_data.data(), genome_data.size()},
+      {kSectionIndexOffsets, offsets.data(),
+       offsets.size() * sizeof(std::uint64_t)},
+      {kSectionIndexPositions, positions.data(),
+       positions.size() * sizeof(GenomePos)},
+      {kSectionIndexMask, mask.data(), mask.size()},
+  };
+  constexpr std::uint32_t section_count = 5;
+
+  // Lay sections out 8-byte aligned after header + table.
+  std::uint64_t cursor = kHeaderBytes + section_count * kSectionEntryBytes;
+  std::vector<Section> table;
+  for (const Payload& p : payloads) {
+    cursor = (cursor + 7) & ~std::uint64_t{7};
+    table.push_back({p.kind, cursor, p.bytes});
+    cursor += p.bytes;
+  }
+  const std::uint64_t file_bytes = cursor + kFooterBytes;
+
+  std::string meta;
+  meta.reserve(kHeaderBytes + section_count * kSectionEntryBytes);
+  append_u64(meta, kMagic);
+  append_u32(meta, kIndexFileVersion);
+  append_u32(meta, section_count);
+  append_u64(meta, file_bytes);
+  append_u32(meta, static_cast<std::uint32_t>(index.k()));
+  append_u32(meta, index.options().max_positions);
+  append_u64(meta, index.num_distinct_kmers());
+  append_u64(meta, genome.num_bases());
+  append_u64(meta, genome.padded_size());
+  append_u32(meta, genome.num_contigs());
+  append_u32(meta, 0);  // reserved
+  append_u64(meta, build_begin);
+  append_u64(meta, build_end);
+  for (const Section& s : table) {
+    append_u32(meta, s.kind);
+    append_u32(meta, 0);  // reserved
+    append_u64(meta, s.offset);
+    append_u64(meta, s.bytes);
+  }
+  const std::uint32_t meta_crc = serve::crc32(meta.data(), meta.size());
+  std::uint32_t payload_crc = 0;
+  for (const Payload& p : payloads) {
+    payload_crc = serve::crc32(p.data, p.bytes, payload_crc);
+  }
+
+  // Write to a sibling tmp file and rename into place so a crashed build
+  // never leaves a half-written file at the published path.
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) throw ParseError("cannot write index file: " + tmp_path);
+    out.write(meta.data(), static_cast<std::streamsize>(meta.size()));
+    std::uint64_t written = meta.size();
+    for (const Payload& p : payloads) {
+      const Section& s = table[static_cast<std::size_t>(&p - payloads)];
+      while (written < s.offset) {
+        out.put('\0');
+        ++written;
+      }
+      out.write(static_cast<const char*>(p.data),
+                static_cast<std::streamsize>(p.bytes));
+      written += p.bytes;
+    }
+    std::string footer;
+    append_u32(footer, meta_crc);
+    append_u32(footer, payload_crc);
+    append_u64(footer, kFooterMagic);
+    out.write(footer.data(), static_cast<std::streamsize>(footer.size()));
+    out.flush();
+    if (!out) throw ParseError("short write on index file: " + tmp_path);
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    throw ParseError("cannot rename " + tmp_path + " into place");
+  }
+}
+
+LoadedIndex load_index_file(const std::string& path, bool verify_payload) {
+  if (std::endian::native != std::endian::little) {
+    throw ParseError("fleet index files require a little-endian host");
+  }
+  const Timer timer;
+  LoadedIndex loaded;
+  loaded.file = MappedFile::open(path);
+  const std::uint8_t* base = loaded.file.data();
+  const std::uint64_t size = loaded.file.size();
+
+  if (size < kHeaderBytes + kFooterBytes) {
+    damaged(path, "truncated (" + std::to_string(size) +
+                      " bytes, header alone needs " +
+                      std::to_string(kHeaderBytes + kFooterBytes) + ")");
+  }
+  if (load_u64(base) != kMagic) {
+    damaged(path, "bad magic (not a fleet index file)");
+  }
+  IndexFileInfo& info = loaded.info;
+  info.version = load_u32(base + 8);
+  if (info.version != kIndexFileVersion) {
+    damaged(path, "unsupported format version " +
+                      std::to_string(info.version) + " (this build reads " +
+                      std::to_string(kIndexFileVersion) + ")");
+  }
+  const std::uint32_t section_count = load_u32(base + 12);
+  if (section_count == 0 || section_count > kMaxSections) {
+    damaged(path, "implausible section count " +
+                      std::to_string(section_count));
+  }
+  info.file_bytes = load_u64(base + 16);
+  if (info.file_bytes != size) {
+    damaged(path, "size mismatch: header says " +
+                      std::to_string(info.file_bytes) + " bytes, file has " +
+                      std::to_string(size) + " (truncated or grown)");
+  }
+  const std::uint64_t table_end =
+      kHeaderBytes +
+      static_cast<std::uint64_t>(section_count) * kSectionEntryBytes;
+  if (table_end + kFooterBytes > size) {
+    damaged(path, "truncated inside the section table");
+  }
+
+  // Footer first: a meta CRC mismatch means nothing else is trustworthy.
+  const std::uint8_t* footer = base + size - kFooterBytes;
+  if (load_u64(footer + 8) != kFooterMagic) {
+    damaged(path, "missing footer magic (truncated?)");
+  }
+  const std::uint32_t meta_crc = load_u32(footer);
+  const std::uint32_t payload_crc = load_u32(footer + 4);
+  if (serve::crc32(base, table_end) != meta_crc) {
+    damaged(path, "header/section-table CRC mismatch");
+  }
+
+  info.k = static_cast<int>(load_u32(base + 24));
+  info.max_positions = load_u32(base + 28);
+  info.distinct = load_u64(base + 32);
+  info.genome_bases = load_u64(base + 40);
+  info.padded_size = load_u64(base + 48);
+  info.num_contigs = load_u32(base + 56);
+  info.build_begin = load_u64(base + 64);
+  info.build_end = load_u64(base + 72);
+
+  Section sections[kMaxSections + 1] = {};  // indexed by kind
+  for (std::uint32_t i = 0; i < section_count; ++i) {
+    const std::uint8_t* entry = base + kHeaderBytes + i * kSectionEntryBytes;
+    Section s;
+    s.kind = load_u32(entry);
+    s.offset = load_u64(entry + 8);
+    s.bytes = load_u64(entry + 16);
+    if (s.offset < table_end || s.bytes > size ||
+        s.offset > size - kFooterBytes ||
+        s.bytes > size - kFooterBytes - s.offset) {
+      damaged(path, "section " + std::to_string(s.kind) +
+                        " extends outside the file body");
+    }
+    if (s.kind >= 1 && s.kind <= kMaxSections) {
+      if (sections[s.kind].kind != 0) {
+        damaged(path, "duplicate section kind " + std::to_string(s.kind));
+      }
+      sections[s.kind] = s;
+    }
+  }
+  for (std::uint32_t kind :
+       {kSectionContigMeta, kSectionGenomeData, kSectionIndexOffsets,
+        kSectionIndexPositions, kSectionIndexMask}) {
+    if (sections[kind].kind == 0) {
+      damaged(path, "missing section kind " + std::to_string(kind));
+    }
+  }
+
+  if (verify_payload) {
+    std::uint32_t crc = 0;
+    for (std::uint32_t kind :
+         {kSectionContigMeta, kSectionGenomeData, kSectionIndexOffsets,
+          kSectionIndexPositions, kSectionIndexMask}) {
+      const Section& s = sections[kind];
+      crc = serve::crc32(base + s.offset, s.bytes, crc);
+    }
+    if (crc != payload_crc) {
+      damaged(path, "payload CRC mismatch (bit rot or partial write)");
+    }
+  } else {
+    // The fast path deliberately skips the payload CRC: checksumming the
+    // body would fault in every page and erase the instant start.  The
+    // structural checks above (plus from_borrowed's shape validation) keep
+    // metadata damage typed; payload bit rot is what --verify is for.
+  }
+
+  // Contig metadata.
+  const Section& meta = sections[kSectionContigMeta];
+  std::vector<std::string> names;
+  std::vector<std::uint64_t> starts, ends;
+  {
+    const std::uint8_t* p = base + meta.offset;
+    std::uint64_t remaining = meta.bytes;
+    for (std::uint32_t c = 0; c < info.num_contigs; ++c) {
+      if (remaining < 2) damaged(path, "contig metadata truncated");
+      const std::uint16_t name_len =
+          static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+      p += 2;
+      remaining -= 2;
+      if (remaining < static_cast<std::uint64_t>(name_len) + 16) {
+        damaged(path, "contig metadata truncated");
+      }
+      names.emplace_back(reinterpret_cast<const char*>(p), name_len);
+      p += name_len;
+      starts.push_back(load_u64(p));
+      ends.push_back(load_u64(p + 8));
+      p += 16;
+      remaining -= static_cast<std::uint64_t>(name_len) + 16;
+    }
+    if (remaining != 0) {
+      damaged(path, "trailing bytes after contig metadata");
+    }
+  }
+
+  // Genome array.
+  const Section& gdata = sections[kSectionGenomeData];
+  if (gdata.bytes != info.padded_size) {
+    damaged(path, "genome section size disagrees with the header");
+  }
+
+  // Index arrays.  Offsets/positions are reinterpreted in place, so their
+  // file offsets must preserve 8-byte alignment on top of the page-aligned
+  // mapping.
+  if (info.k < 4 || info.k > 13) {
+    damaged(path, "index k out of range");
+  }
+  const std::uint64_t space = kmer_space(info.k);
+  const Section& soff = sections[kSectionIndexOffsets];
+  const Section& spos = sections[kSectionIndexPositions];
+  const Section& smask = sections[kSectionIndexMask];
+  if (soff.offset % 8 != 0 || spos.offset % 8 != 0) {
+    damaged(path, "index arrays are misaligned");
+  }
+  if (soff.bytes != (space + 1) * sizeof(std::uint64_t)) {
+    damaged(path, "index offsets section size disagrees with k");
+  }
+  if (spos.bytes % sizeof(GenomePos) != 0) {
+    damaged(path, "index positions section is not a whole number of entries");
+  }
+  if (smask.bytes != (space + 7) / 8) {
+    damaged(path, "index mask section size disagrees with k");
+  }
+
+  try {
+    loaded.genome = Genome::from_borrowed(
+        {base + gdata.offset, static_cast<std::size_t>(gdata.bytes)},
+        std::move(names), std::move(starts), std::move(ends));
+    HashIndexOptions options;
+    options.k = info.k;
+    options.max_positions = info.max_positions;
+    loaded.index = HashIndex::from_borrowed(
+        options, info.distinct,
+        {reinterpret_cast<const std::uint64_t*>(base + soff.offset),
+         static_cast<std::size_t>(space + 1)},
+        {reinterpret_cast<const GenomePos*>(base + spos.offset),
+         static_cast<std::size_t>(spos.bytes / sizeof(GenomePos))},
+        {base + smask.offset, static_cast<std::size_t>(smask.bytes)});
+  } catch (const Error& e) {
+    // Wrap the component validators' ConfigError/ParseError so every
+    // corrupt-file failure surfaces under one typed banner.
+    damaged(path, e.what());
+  }
+  if (loaded.genome.num_bases() != info.genome_bases) {
+    damaged(path, "contig metadata disagrees with the header base count");
+  }
+  if (verify_payload) {
+    const GenomePos limit =
+        info.build_end == 0 ? info.padded_size : info.build_end;
+    for (const GenomePos pos : loaded.index.positions_span()) {
+      if (pos >= limit) {
+        damaged(path, "index position past the build range");
+      }
+    }
+  }
+  loaded.load_seconds = timer.seconds();
+  return loaded;
+}
+
+}  // namespace gnumap::fleet

@@ -1,0 +1,94 @@
+// Versioned, CRC-footed on-disk format for a byte-encoded genome plus its
+// serialized HashIndex — the fleet "instant start" artifact.
+//
+// A cold (or crash-restarted) gnumapd mmap()s this file and serves in
+// milliseconds instead of re-hashing the reference: the genome array and
+// the index's three arrays are embedded in their in-memory shapes, 8-byte
+// aligned, so the loader wraps them with Genome::from_borrowed /
+// HashIndex::from_borrowed without copying a byte.
+//
+// File layout (all integers little-endian; the loader refuses big-endian
+// hosts rather than byte-swap in place):
+//
+//   fixed header (80 bytes)
+//     u64 magic            "GNFLIDX\x01"
+//     u32 version          (currently 1)
+//     u32 section_count
+//     u64 file_bytes       total file size, cross-checked against stat()
+//     u32 k                index k-mer length
+//     u32 max_positions    index repeat-mask threshold
+//     u64 distinct         distinct k-mers in the index
+//     u64 genome_num_bases bases across contigs (excludes padding)
+//     u64 genome_padded_size
+//     u32 num_contigs
+//     u32 reserved         (0)
+//     u64 build_begin      index build range; 0,0 = whole genome, a shard
+//     u64 build_end        file records its store range for validation
+//   section table (section_count x 24 bytes)
+//     u32 kind, u32 reserved, u64 offset, u64 bytes
+//   section payloads (each 8-byte aligned, zero-padded between)
+//   footer (last 16 bytes)
+//     u32 meta_crc         CRC32 over header + section table
+//     u32 payload_crc      CRC32 chained over every section body
+//     u64 footer_magic
+//
+// The meta CRC is always verified on load; the payload CRC only when
+// `verify_payload` is set (gnumap_index --verify and tests), because
+// checksumming the body would fault in every page and defeat the point of
+// the instant start.  Every failure mode — truncation, bad magic, wrong
+// version, corrupt metadata, out-of-bounds section — throws a typed
+// ParseError, never UB.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gnumap/fleet/mapped_file.hpp"
+#include "gnumap/genome/genome.hpp"
+#include "gnumap/index/hash_index.hpp"
+
+namespace gnumap::fleet {
+
+constexpr std::uint32_t kIndexFileVersion = 1;
+
+/// Header fields surfaced to callers (STATS, /statusz, gnumap_index).
+struct IndexFileInfo {
+  std::uint32_t version = 0;
+  int k = 0;
+  std::uint32_t max_positions = 0;
+  std::uint64_t distinct = 0;
+  std::uint64_t genome_bases = 0;
+  std::uint64_t padded_size = 0;
+  std::uint32_t num_contigs = 0;
+  GenomePos build_begin = 0;  ///< 0,0 = built over the whole genome
+  GenomePos build_end = 0;
+  std::uint64_t file_bytes = 0;
+};
+
+/// A successfully mapped index file.  `genome` and `index` borrow the mmap
+/// in `file`; keep the struct at a stable address (heap) for as long as
+/// either is referenced.  Movable: the borrowed spans point into the
+/// mapping, not into this struct.
+struct LoadedIndex {
+  MappedFile file;
+  Genome genome;
+  HashIndex index;
+  IndexFileInfo info;
+  double load_seconds = 0.0;
+};
+
+/// Serializes `genome` + `index` to `path` (atomically: tmp file + rename).
+/// `build_begin/build_end` record a shard index's store range so a daemon
+/// can validate the file against its own partition arithmetic; leave 0,0
+/// for a whole-genome index.
+void write_index_file(const std::string& path, const Genome& genome,
+                      const HashIndex& index, GenomePos build_begin = 0,
+                      GenomePos build_end = 0);
+
+/// mmap()s and validates an index file written by write_index_file().
+/// Throws ParseError on any structural damage; see the format note above
+/// for what `verify_payload` adds.
+LoadedIndex load_index_file(const std::string& path,
+                            bool verify_payload = false);
+
+}  // namespace gnumap::fleet

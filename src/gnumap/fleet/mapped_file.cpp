@@ -1,0 +1,53 @@
+#include "gnumap/fleet/mapped_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "gnumap/util/error.hpp"
+
+namespace gnumap::fleet {
+
+MappedFile MappedFile::open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    throw ParseError("cannot open " + path + ": " + std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw ParseError("cannot stat " + path + ": " + std::strerror(err));
+  }
+  if (st.st_size <= 0) {
+    ::close(fd);
+    throw ParseError("refusing to map empty file: " + path);
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  // The mapping pins the inode; the descriptor has done its job.
+  ::close(fd);
+  if (base == MAP_FAILED) {
+    throw ParseError("cannot mmap " + path + ": " + std::strerror(errno));
+  }
+  MappedFile file;
+  file.data_ = static_cast<const std::uint8_t*>(base);
+  file.size_ = size;
+  return file;
+}
+
+void MappedFile::unmap() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(data_), size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+MappedFile::~MappedFile() { unmap(); }
+
+}  // namespace gnumap::fleet

@@ -1,0 +1,50 @@
+// Read-only mmap() of a whole file, RAII-owned.
+//
+// The fleet instant-start path maps a serialized genome+index file and
+// serves straight out of the page cache: no byte is copied, no page is
+// touched until the mapper actually reads it, and a warm restart finds
+// everything already resident.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace gnumap::fleet {
+
+/// Move-only read-only file mapping.  open() throws ParseError when the
+/// file is missing, empty, or unmappable.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+  MappedFile& operator=(MappedFile&& other) noexcept {
+    if (this != &other) {
+      unmap();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  static MappedFile open(const std::string& path);
+
+  const std::uint8_t* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool valid() const { return data_ != nullptr; }
+
+ private:
+  void unmap();
+
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace gnumap::fleet

@@ -1,0 +1,331 @@
+#include "gnumap/fleet/registry.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "gnumap/genome/partition.hpp"
+#include "gnumap/io/fasta.hpp"
+#include "gnumap/obs/metrics.hpp"
+#include "gnumap/util/log.hpp"
+#include "gnumap/util/timer.hpp"
+
+namespace gnumap::fleet {
+
+namespace {
+
+struct RegistryMetrics {
+  obs::Gauge& resident = obs::registry().gauge(
+      "gnumap_registry_resident", "Genomes currently resident in the registry");
+  obs::Gauge& bytes = obs::registry().gauge(
+      "gnumap_registry_bytes",
+      "Resident bytes (genome + index arrays) across registry genomes");
+  obs::Counter& evictions = obs::registry().counter(
+      "gnumap_registry_evictions_total",
+      "Genomes evicted from the registry to stay under the memory budget");
+  obs::Gauge& load_seconds = obs::registry().gauge(
+      "gnumap_index_load_seconds",
+      "Wall-clock seconds the most recent index load/build took");
+};
+
+RegistryMetrics& metrics() {
+  static RegistryMetrics m;
+  return m;
+}
+
+std::uint64_t index_bytes(const HashIndex& index) {
+  return index.offsets_span().size() * sizeof(std::uint64_t) +
+         index.positions_span().size() * sizeof(GenomePos) +
+         index.mask_span().size();
+}
+
+}  // namespace
+
+std::uint64_t shard_margin(const PipelineConfig& config,
+                           std::uint32_t shard_max_read_len) {
+  return static_cast<std::uint64_t>(shard_max_read_len) +
+         static_cast<std::uint64_t>(config.window_pad) +
+         static_cast<std::uint64_t>(config.seeder.band_width);
+}
+
+GenomeRegistry::GenomeRegistry(std::vector<GenomeSpec> specs,
+                               const PipelineConfig& config,
+                               RegistryOptions options)
+    : config_(config), options_(options) {
+  require(!specs.empty(), "GenomeRegistry: at least one genome spec required");
+  entries_.reserve(specs.size());
+  for (auto& spec : specs) {
+    require(!spec.id.empty(), "GenomeRegistry: genome id must be non-empty");
+    require(find(spec.id) == nullptr,
+            "GenomeRegistry: duplicate genome id \"" + spec.id + "\"");
+    Entry e;
+    e.spec = std::move(spec);
+    entries_.push_back(std::move(e));
+  }
+  if (options_.shard_index >= 0) {
+    require(options_.shard_count > options_.shard_index,
+            "GenomeRegistry: shard_index must be < shard_count");
+  }
+}
+
+GenomeRegistry::GenomeRegistry(const Genome& genome,
+                               const PipelineConfig& config,
+                               RegistryOptions options, const std::string& id)
+    : config_(config), options_(options) {
+  require(!id.empty(), "GenomeRegistry: genome id must be non-empty");
+  if (options_.shard_index >= 0) {
+    require(options_.shard_count > options_.shard_index,
+            "GenomeRegistry: shard_index must be < shard_count");
+  }
+  auto res = std::make_shared<ResidentGenome>();
+  res->id = id;
+  res->pinned = true;
+  if (options_.shard_index >= 0) {
+    const auto segments = partition_genome(
+        genome, options_.shard_count,
+        shard_margin(config_, options_.shard_max_read_len));
+    const GenomeSegment& seg =
+        segments[static_cast<std::size_t>(options_.shard_index)];
+    Timer timer;
+    HashIndex index = HashIndex::build_shard(genome, config_.index,
+                                             seg.store_begin, seg.store_end);
+    res->session = std::make_unique<MappingSession>(
+        genome, config_, std::move(index), timer.seconds());
+    res->core_begin = seg.core_begin;
+    res->core_end = seg.core_end;
+  } else {
+    res->session = std::make_unique<MappingSession>(genome, config_);
+  }
+  res->index_load_seconds = res->session->index_seconds();
+  res->resident_bytes =
+      genome.padded_size() + index_bytes(res->session->index());
+  res->admission = std::make_unique<serve::AdmissionController>(
+      options_.admission_reads, options_.per_connection_reads);
+  Entry e;
+  e.spec.id = id;
+  e.state = Entry::State::kResident;
+  e.resident = std::move(res);
+  e.last_used = ++clock_;
+  resident_bytes_ = e.resident->resident_bytes;
+  entries_.push_back(std::move(e));
+  metrics().load_seconds.set(entries_[0].resident->index_load_seconds);
+  publish_metrics();
+}
+
+const std::string& GenomeRegistry::default_id() const {
+  return entries_.front().spec.id;
+}
+
+GenomeRegistry::Entry* GenomeRegistry::find(const std::string& id) {
+  for (auto& e : entries_) {
+    if (e.spec.id == id) return &e;
+  }
+  return nullptr;
+}
+
+GenomeLease GenomeRegistry::acquire(const std::string& id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  Entry* e = find(id.empty() ? entries_.front().spec.id : id);
+  if (e == nullptr) {
+    throw UnknownGenomeError("unknown genome id \"" + id +
+                             "\" (this daemon serves " +
+                             std::to_string(entries_.size()) + " genome(s))");
+  }
+  for (;;) {
+    if (e->state == Entry::State::kResident) {
+      e->last_used = ++clock_;
+      return e->resident;
+    }
+    if (e->state == Entry::State::kLoading) {
+      cv_.wait(lock);
+      continue;
+    }
+    // Cold: this thread loads it, without the lock — an index build can
+    // take seconds and other genomes' requests must not stall behind it.
+    e->state = Entry::State::kLoading;
+    lock.unlock();
+    GenomeLease res;
+    try {
+      res = load_resident(e->spec);
+    } catch (...) {
+      lock.lock();
+      e->state = Entry::State::kCold;
+      cv_.notify_all();
+      throw;
+    }
+    lock.lock();
+    if (!evict_to_fit(res->resident_bytes, e)) {
+      e->state = Entry::State::kCold;
+      cv_.notify_all();
+      throw EvictedError(
+          "genome \"" + e->spec.id + "\" (" +
+              std::to_string(res->resident_bytes) +
+              " bytes) cannot be made resident under the " +
+              std::to_string(options_.memory_budget_bytes) +
+              "-byte budget: every idle genome is already evicted; "
+              "retry_after_ms=" +
+              std::to_string(options_.evicted_retry_ms),
+          options_.evicted_retry_ms);
+    }
+    e->resident = std::move(res);
+    e->state = Entry::State::kResident;
+    e->last_used = ++clock_;
+    resident_bytes_ += e->resident->resident_bytes;
+    metrics().load_seconds.set(e->resident->index_load_seconds);
+    publish_metrics();
+    GNUMAP_LOG(kInfo) << "registry: genome \"" << e->spec.id << "\" resident ("
+                      << e->resident->resident_bytes << " bytes, "
+                      << (e->resident->from_index_file ? "index file"
+                                                       : "fasta build")
+                      << ", " << e->resident->index_load_seconds << "s load)";
+    cv_.notify_all();
+    return e->resident;
+  }
+}
+
+GenomeLease GenomeRegistry::load_resident(const GenomeSpec& spec) const {
+  auto res = std::make_shared<ResidentGenome>();
+  res->id = spec.id;
+  if (spec.is_index_file) {
+    res->from_index_file = true;
+    res->loaded = std::make_unique<LoadedIndex>(load_index_file(spec.path));
+    LoadedIndex& li = *res->loaded;
+    require(li.info.k == config_.index.k,
+            "fleet index " + spec.path + ": built with k=" +
+                std::to_string(li.info.k) + " but the daemon runs k=" +
+                std::to_string(config_.index.k));
+    if (options_.shard_index >= 0) {
+      const auto segments = partition_genome(
+          li.genome, options_.shard_count,
+          shard_margin(config_, options_.shard_max_read_len));
+      const GenomeSegment& seg =
+          segments[static_cast<std::size_t>(options_.shard_index)];
+      require(li.info.build_begin == seg.store_begin &&
+                  li.info.build_end == seg.store_end,
+              "fleet index " + spec.path + ": built over [" +
+                  std::to_string(li.info.build_begin) + ", " +
+                  std::to_string(li.info.build_end) +
+                  ") but shard " + std::to_string(options_.shard_index) +
+                  "/" + std::to_string(options_.shard_count) +
+                  " stores [" + std::to_string(seg.store_begin) + ", " +
+                  std::to_string(seg.store_end) + ")");
+      res->core_begin = seg.core_begin;
+      res->core_end = seg.core_end;
+    } else {
+      require(li.info.build_begin == 0 && li.info.build_end == 0,
+              "fleet index " + spec.path +
+                  ": is a shard index (build range [" +
+                  std::to_string(li.info.build_begin) + ", " +
+                  std::to_string(li.info.build_end) +
+                  ")) but this daemon is not in shard mode");
+    }
+    res->index_load_seconds = li.load_seconds;
+    // The session adopts the HashIndex by move; its spans keep viewing the
+    // mmap inside res->loaded->file, which res keeps alive.
+    res->session = std::make_unique<MappingSession>(
+        li.genome, config_, std::move(li.index), li.load_seconds);
+    res->resident_bytes = li.info.file_bytes;
+  } else {
+    res->owned_genome =
+        std::make_unique<Genome>(genome_from_fasta_file(spec.path));
+    const Genome& genome = *res->owned_genome;
+    if (options_.shard_index >= 0) {
+      const auto segments = partition_genome(
+          genome, options_.shard_count,
+          shard_margin(config_, options_.shard_max_read_len));
+      const GenomeSegment& seg =
+          segments[static_cast<std::size_t>(options_.shard_index)];
+      Timer timer;
+      HashIndex index = HashIndex::build_shard(genome, config_.index,
+                                               seg.store_begin, seg.store_end);
+      res->session = std::make_unique<MappingSession>(
+          genome, config_, std::move(index), timer.seconds());
+      res->core_begin = seg.core_begin;
+      res->core_end = seg.core_end;
+    } else {
+      res->session = std::make_unique<MappingSession>(genome, config_);
+    }
+    res->index_load_seconds = res->session->index_seconds();
+    res->resident_bytes =
+        genome.padded_size() + index_bytes(res->session->index());
+  }
+  res->admission = std::make_unique<serve::AdmissionController>(
+      options_.admission_reads, options_.per_connection_reads);
+  return res;
+}
+
+bool GenomeRegistry::evict_to_fit(std::uint64_t incoming_bytes,
+                                  const Entry* keep) {
+  if (options_.memory_budget_bytes == 0) return true;
+  // A genome larger than the whole budget is admitted alone: the budget
+  // bounds the fleet, not one genome.
+  const std::uint64_t budget =
+      std::max(options_.memory_budget_bytes, incoming_bytes);
+  while (resident_bytes_ + incoming_bytes > budget) {
+    Entry* victim = nullptr;
+    for (auto& e : entries_) {
+      if (&e == keep || e.state != Entry::State::kResident) continue;
+      if (e.resident->pinned) continue;
+      if (e.resident.use_count() != 1) continue;  // leased: busy, skip
+      if (victim == nullptr || e.last_used < victim->last_used) victim = &e;
+    }
+    if (victim == nullptr) return false;
+    GNUMAP_LOG(kInfo) << "registry: evicting genome \"" << victim->spec.id
+                      << "\" (" << victim->resident->resident_bytes
+                      << " bytes, idle) to fit " << incoming_bytes
+                      << " incoming bytes under the "
+                      << options_.memory_budget_bytes << "-byte budget";
+    resident_bytes_ -= victim->resident->resident_bytes;
+    victim->resident.reset();
+    victim->state = Entry::State::kCold;
+    ++victim->evictions;
+    ++evictions_;
+    metrics().evictions.inc();
+  }
+  publish_metrics();
+  return true;
+}
+
+void GenomeRegistry::publish_metrics() const {
+  std::size_t resident = 0;
+  for (const auto& e : entries_) {
+    if (e.state == Entry::State::kResident) ++resident;
+  }
+  metrics().resident.set(static_cast<double>(resident));
+  metrics().bytes.set(static_cast<double>(resident_bytes_));
+}
+
+std::vector<RegistryRow> GenomeRegistry::rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RegistryRow> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    RegistryRow row;
+    row.id = e.spec.id;
+    row.path = e.spec.path;
+    row.resident = e.state == Entry::State::kResident;
+    row.last_used = e.last_used;
+    row.evictions = e.evictions;
+    if (row.resident) {
+      row.from_index_file = e.resident->from_index_file;
+      row.pinned = e.resident->pinned;
+      row.bytes = e.resident->resident_bytes;
+      row.load_seconds = e.resident->index_load_seconds;
+      row.active_leases =
+          static_cast<std::uint64_t>(std::max<long>(0, e.resident.use_count() - 1));
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::uint64_t GenomeRegistry::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_bytes_;
+}
+
+std::uint64_t GenomeRegistry::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+}  // namespace gnumap::fleet

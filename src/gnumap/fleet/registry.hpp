@@ -1,0 +1,196 @@
+// The fleet genome registry: several resident MappingSessions in one
+// gnumapd, keyed by the genome id a v4 MAP_BEGIN carries.
+//
+// Each genome is loaded lazily on first use — from a FASTA (index built in
+// process) or from a fleet index file (mmap instant start) — and stays
+// resident until the global memory budget forces it out.  Eviction is LRU
+// over idle genomes only: a genome with an outstanding lease is never
+// unloaded under a running request.  When the budget cannot admit the
+// requested genome even after evicting every idle one, acquire() throws
+// EvictedError and the server answers a typed kEvicted ERROR with a
+// retry-after hint; the client treats it like BUSY (nothing was uploaded
+// yet) and retries.
+//
+// Each resident genome also carries its own AdmissionController, so one
+// hot genome's request burst cannot starve the others beyond the server's
+// global connection admission.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "gnumap/core/config.hpp"
+#include "gnumap/core/session.hpp"
+#include "gnumap/fleet/index_file.hpp"
+#include "gnumap/genome/genome.hpp"
+#include "gnumap/serve/admission.hpp"
+#include "gnumap/util/error.hpp"
+
+namespace gnumap::fleet {
+
+/// One genome the daemon may serve.  `is_index_file` selects the loader:
+/// a fleet index file (mmap instant start) vs a FASTA whose index is built
+/// in process on first acquire.
+struct GenomeSpec {
+  std::string id;
+  std::string path;
+  bool is_index_file = false;
+};
+
+/// The requested genome cannot be made resident under the memory budget
+/// right now (every idle genome was already evicted and the busy ones
+/// cannot be).  Carries the retry hint the server forwards to the client.
+class EvictedError : public Error {
+ public:
+  EvictedError(const std::string& what, std::uint32_t retry_after_ms)
+      : Error(what), retry_after_ms_(retry_after_ms) {}
+  std::uint32_t retry_after_ms() const { return retry_after_ms_; }
+
+ private:
+  std::uint32_t retry_after_ms_;
+};
+
+/// The MAP_BEGIN named a genome id the registry has no spec for.  The
+/// server answers kProtocol (a client bug, not a capacity problem).
+class UnknownGenomeError : public Error {
+ public:
+  using Error::Error;
+};
+
+struct RegistryOptions {
+  /// Global ceiling on resident bytes (genome array + index arrays) across
+  /// genomes; 0 = unlimited.  A single genome larger than the budget is
+  /// still admitted alone — the budget bounds the *fleet*, not one genome.
+  std::uint64_t memory_budget_bytes = 0;
+  /// Per-genome admission window in reads (the per-genome
+  /// AdmissionController's capacity); 0 lets the server derive it the same
+  /// way it derives the global window.
+  std::uint64_t admission_reads = 0;
+  /// Per-connection read cap within one genome's window (0 = no cap).
+  std::uint64_t per_connection_reads = 0;
+  /// Hint sent with kEvicted ERRORs.
+  std::uint32_t evicted_retry_ms = 2'000;
+  /// Shard mode: this daemon owns segment `shard_index` of `shard_count`
+  /// (shard_index < 0 = whole-genome daemon).  Indexes are built (or
+  /// validated, for index files) over the segment's store range and
+  /// mapping is restricted to diagonals in the core range.
+  int shard_index = -1;
+  int shard_count = 0;
+  /// Longest read the shard margin must absorb; the margin is
+  /// shard_max_read_len + window_pad + seeder band_width, which covers
+  /// every window of a core-owned candidate.
+  std::uint32_t shard_max_read_len = 512;
+};
+
+/// One resident genome: the session plus everything that keeps its borrowed
+/// storage alive.  Handed out as a shared_ptr lease; the registry's own
+/// reference is the last one (use_count()==1) exactly when the genome is
+/// idle and therefore evictable.
+struct ResidentGenome {
+  std::string id;
+  /// Loader provenance: exactly one of these owns the genome bytes (both
+  /// null for the pinned external-genome entry).
+  std::unique_ptr<Genome> owned_genome;
+  std::unique_ptr<LoadedIndex> loaded;  ///< heap-stable: session borrows it
+  std::unique_ptr<MappingSession> session;
+  std::unique_ptr<serve::AdmissionController> admission;
+  /// Shard ownership in global coordinates; [0, 0) = whole genome.
+  GenomePos core_begin = 0;
+  GenomePos core_end = 0;
+  std::uint64_t resident_bytes = 0;
+  double index_load_seconds = 0.0;
+  bool from_index_file = false;
+  bool pinned = false;  ///< externally owned; never evicted
+};
+
+using GenomeLease = std::shared_ptr<ResidentGenome>;
+
+/// One /statusz / STATS row describing a registry entry.
+struct RegistryRow {
+  std::string id;
+  std::string path;
+  bool resident = false;
+  bool from_index_file = false;
+  bool pinned = false;
+  std::uint64_t bytes = 0;
+  double load_seconds = 0.0;
+  std::uint64_t active_leases = 0;  ///< outstanding beyond the registry's
+  std::uint64_t last_used = 0;      ///< LRU clock tick (0 = never)
+  std::uint64_t evictions = 0;      ///< times this entry was evicted
+};
+
+class GenomeRegistry {
+ public:
+  /// Spec-backed registry: genomes load lazily on first acquire().  The
+  /// first spec is the default genome (an empty MAP_BEGIN id maps to it).
+  /// `config` is copied; throws ConfigError on empty/duplicate ids.
+  GenomeRegistry(std::vector<GenomeSpec> specs, const PipelineConfig& config,
+                 RegistryOptions options);
+
+  /// Single-genome registry over an externally owned genome — the legacy
+  /// gnumapd path.  The entry is pinned (never evicted), built eagerly,
+  /// and registered under `id` ("default" by convention).
+  GenomeRegistry(const Genome& genome, const PipelineConfig& config,
+                 RegistryOptions options, const std::string& id = "default");
+
+  GenomeRegistry(const GenomeRegistry&) = delete;
+  GenomeRegistry& operator=(const GenomeRegistry&) = delete;
+
+  /// Resolves `id` ("" = default) to a resident genome, loading it first if
+  /// needed.  The lease pins the genome against eviction; hold it for the
+  /// duration of the request.  Throws UnknownGenomeError for an unknown id,
+  /// EvictedError when the budget cannot admit the genome right now, and
+  /// whatever the loader throws (ParseError for a damaged index file).
+  GenomeLease acquire(const std::string& id);
+
+  /// Number of specs (resident or not) and the default genome's id.
+  std::size_t size() const { return entries_.size(); }
+  const std::string& default_id() const;
+
+  /// Snapshot for /statusz and STATS.
+  std::vector<RegistryRow> rows() const;
+
+  std::uint64_t resident_bytes() const;
+  std::uint64_t evictions() const;
+
+  const RegistryOptions& options() const { return options_; }
+  const PipelineConfig& config() const { return config_; }
+
+ private:
+  struct Entry {
+    GenomeSpec spec;
+    enum class State { kCold, kLoading, kResident } state = State::kCold;
+    GenomeLease resident;
+    std::uint64_t last_used = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  Entry* find(const std::string& id);
+  /// Loads one spec into a ResidentGenome (no registry lock held).
+  GenomeLease load_resident(const GenomeSpec& spec) const;
+  /// Evicts idle LRU entries (not `keep`) until `incoming_bytes` fits the
+  /// budget; returns false when it still does not fit.  Lock held.
+  bool evict_to_fit(std::uint64_t incoming_bytes, const Entry* keep);
+  void publish_metrics() const;  ///< lock held
+
+  PipelineConfig config_;
+  RegistryOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Entry> entries_;  ///< stable; [0] is the default genome
+  std::uint64_t clock_ = 0;
+  std::uint64_t resident_bytes_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+/// The shard overlap margin for `config`: the longest read plus window pad
+/// plus seeder band slack — every genome window the PHMM would extract for
+/// a candidate whose diagonal a shard owns lies within its store range.
+std::uint64_t shard_margin(const PipelineConfig& config,
+                           std::uint32_t shard_max_read_len);
+
+}  // namespace gnumap::fleet

@@ -8,6 +8,8 @@ namespace gnumap {
 
 std::uint32_t Genome::add_contig(std::string name,
                                  std::vector<std::uint8_t> codes) {
+  require(view_.data() == nullptr,
+          "cannot add a contig to a borrowed (mmap-backed) genome");
   require(!name.empty(), "contig name must not be empty");
   for (const auto& existing : names_) {
     require(existing != name, "duplicate contig name: " + name);
@@ -26,11 +28,39 @@ std::uint32_t Genome::add_contig(std::string name, std::string_view ascii) {
   return add_contig(std::move(name), encode_sequence(ascii));
 }
 
+Genome Genome::from_borrowed(std::span<const std::uint8_t> data,
+                             std::vector<std::string> names,
+                             std::vector<std::uint64_t> starts,
+                             std::vector<std::uint64_t> ends) {
+  require(names.size() == starts.size() && names.size() == ends.size(),
+          "borrowed genome: contig metadata arrays disagree in length");
+  Genome genome;
+  std::uint64_t prev_end = 0;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    require(!names[i].empty(), "borrowed genome: empty contig name");
+    for (std::size_t j = 0; j < i; ++j) {
+      require(names[j] != names[i],
+              "borrowed genome: duplicate contig name: " + names[i]);
+    }
+    require(starts[i] >= prev_end && starts[i] <= ends[i] &&
+                ends[i] <= data.size(),
+            "borrowed genome: contig bounds out of order or past the array");
+    prev_end = ends[i];
+    genome.num_bases_ += ends[i] - starts[i];
+  }
+  genome.view_ = data;
+  genome.names_ = std::move(names);
+  genome.starts_ = std::move(starts);
+  genome.ends_ = std::move(ends);
+  return genome;
+}
+
 std::span<const std::uint8_t> Genome::window(GenomePos begin,
                                              GenomePos end) const {
-  begin = std::min<GenomePos>(begin, data_.size());
-  end = std::clamp<GenomePos>(end, begin, data_.size());
-  return {data_.data() + begin, static_cast<std::size_t>(end - begin)};
+  const auto data = storage();
+  begin = std::min<GenomePos>(begin, data.size());
+  end = std::clamp<GenomePos>(end, begin, data.size());
+  return {data.data() + begin, static_cast<std::size_t>(end - begin)};
 }
 
 bool Genome::in_contig(GenomePos pos) const {

@@ -29,9 +29,19 @@ class Genome {
  public:
   Genome() = default;
 
-  /// Appends a contig; returns its id.  Name must be unique.
+  /// Appends a contig; returns its id.  Name must be unique.  Rejected on a
+  /// borrowed genome (see from_borrowed).
   std::uint32_t add_contig(std::string name, std::vector<std::uint8_t> codes);
   std::uint32_t add_contig(std::string name, std::string_view ascii);
+
+  /// Wraps a pre-encoded concatenated array (padding included) without
+  /// copying — the zero-copy path for the mmap'ed fleet index file.  `data`
+  /// must outlive the Genome; `starts`/`ends` are global contig bounds into
+  /// it.  Throws ConfigError when the metadata is inconsistent.
+  static Genome from_borrowed(std::span<const std::uint8_t> data,
+                              std::vector<std::string> names,
+                              std::vector<std::uint64_t> starts,
+                              std::vector<std::uint64_t> ends);
 
   std::uint32_t num_contigs() const {
     return static_cast<std::uint32_t>(names_.size());
@@ -39,7 +49,7 @@ class Genome {
   /// Total bases across contigs (excludes inter-contig padding).
   std::uint64_t num_bases() const { return num_bases_; }
   /// Size of the concatenated coded array (includes padding).
-  std::uint64_t padded_size() const { return data_.size(); }
+  std::uint64_t padded_size() const { return storage().size(); }
 
   const std::string& contig_name(std::uint32_t id) const { return names_[id]; }
   std::uint64_t contig_size(std::uint32_t id) const {
@@ -49,10 +59,10 @@ class Genome {
   GenomePos contig_start(std::uint32_t id) const { return starts_[id]; }
 
   /// Base code at a global position (N for padding).
-  std::uint8_t at(GenomePos pos) const { return data_[pos]; }
+  std::uint8_t at(GenomePos pos) const { return storage()[pos]; }
 
   /// Read-only view of the concatenated coded array.
-  std::span<const std::uint8_t> data() const { return {data_.data(), data_.size()}; }
+  std::span<const std::uint8_t> data() const { return storage(); }
 
   /// View of a window [begin, end) clamped to the array.
   std::span<const std::uint8_t> window(GenomePos begin, GenomePos end) const;
@@ -70,7 +80,15 @@ class Genome {
   static constexpr std::uint64_t kContigPad = 32;
 
  private:
+  /// Either the owned array or the borrowed view, whichever is active.
+  std::span<const std::uint8_t> storage() const {
+    return view_.data() != nullptr
+               ? view_
+               : std::span<const std::uint8_t>(data_.data(), data_.size());
+  }
+
   std::vector<std::uint8_t> data_;
+  std::span<const std::uint8_t> view_;  // non-null => borrowed storage
   std::vector<std::string> names_;
   std::vector<std::uint64_t> starts_;  // global start of each contig
   std::vector<std::uint64_t> ends_;    // global one-past-end of each contig

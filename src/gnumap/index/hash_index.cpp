@@ -8,33 +8,15 @@
 
 namespace gnumap {
 
-HashIndex::HashIndex(const Genome& genome, const HashIndexOptions& options,
-                     GenomePos begin, GenomePos end)
-    : options_(options) {
-  require(options.k >= 4 && options.k <= 13,
-          "HashIndex: k must be in [4, 13] for the dense CSR layout");
-  require(options.max_positions >= 1, "HashIndex: max_positions must be >= 1");
-  if (end == 0) end = genome.padded_size();
-  require(begin <= end && end <= genome.padded_size(),
-          "HashIndex: invalid build range");
+namespace {
 
-  const auto data = genome.data();
-  const int k = options.k;
-  const std::uint64_t space = kmer_space(k);
-  offsets_.assign(space + 1, 0);
-  masked_.assign(space, false);
-
-  if (end - begin < static_cast<std::uint64_t>(k)) {
-    return;  // nothing indexable
-  }
-  const GenomePos last = end - static_cast<std::uint64_t>(k);
-
-  // Pass 1: count occurrences per k-mer with a rolling pack.  `valid` tracks
-  // how many of the trailing bases are concrete (non-N).
-  std::vector<std::uint32_t> counts(space, 0);
+/// One rolling pass over [begin, end): counts[kmer] += 1 for every concrete
+/// (N-free) k-mer window.
+void count_kmers(std::span<const std::uint8_t> data, int k, GenomePos begin,
+                 GenomePos end, std::vector<std::uint32_t>& counts) {
   Kmer kmer = 0;
   int valid = 0;
-  for (GenomePos pos = begin; pos <= last + k - 1 && pos < end; ++pos) {
+  for (GenomePos pos = begin; pos < end; ++pos) {
     const std::uint8_t base = data[pos];
     if (base >= 4) {
       valid = 0;
@@ -46,26 +28,89 @@ HashIndex::HashIndex(const Genome& genome, const HashIndexOptions& options,
       ++counts[kmer];
     }
   }
+}
+
+}  // namespace
+
+HashIndex::HashIndex(const Genome& genome, const HashIndexOptions& options,
+                     GenomePos begin, GenomePos end)
+    : HashIndex(genome, options, begin, end, /*global_mask=*/false) {}
+
+HashIndex HashIndex::build_shard(const Genome& genome,
+                                 const HashIndexOptions& options,
+                                 GenomePos store_begin, GenomePos store_end) {
+  return HashIndex(genome, options, store_begin, store_end,
+                   /*global_mask=*/true);
+}
+
+HashIndex::HashIndex(const Genome& genome, const HashIndexOptions& options,
+                     GenomePos begin, GenomePos end, bool global_mask)
+    : options_(options) {
+  require(options.k >= 4 && options.k <= 13,
+          "HashIndex: k must be in [4, 13] for the dense CSR layout");
+  require(options.max_positions >= 1, "HashIndex: max_positions must be >= 1");
+  if (end == 0) end = genome.padded_size();
+  require(begin <= end && end <= genome.padded_size(),
+          "HashIndex: invalid build range");
+
+  const auto data = genome.data();
+  const int k = options.k;
+  const std::uint64_t space = kmer_space(k);
+  offsets_own_.assign(space + 1, 0);
+  mask_bits_ = space;
+  mask_own_.assign((space + 7) / 8, 0);
+
+  const auto publish = [&] {
+    offsets_ = offsets_own_;
+    positions_ = positions_own_;
+    mask_ = mask_own_;
+  };
+
+  if (end - begin < static_cast<std::uint64_t>(k)) {
+    publish();
+    return;  // nothing indexable
+  }
+
+  std::vector<std::uint32_t> counts(space, 0);
+
+  // Shard builds decide masking from whole-genome counts so every shard
+  // masks exactly the k-mers a full-genome index would mask; positions are
+  // still filled only from the shard's own store range.
+  if (global_mask) {
+    count_kmers(data, k, 0, genome.padded_size(), counts);
+    for (std::uint64_t key = 0; key < space; ++key) {
+      if (counts[key] > options.max_positions) {
+        mask_own_[key / 8] |= static_cast<std::uint8_t>(1u << (key % 8));
+      }
+    }
+    std::fill(counts.begin(), counts.end(), 0);
+  }
+
+  // Pass 1: count occurrences per k-mer within the build range.
+  count_kmers(data, k, begin, end, counts);
 
   // Mask repeats and compute prefix offsets.
   std::uint64_t total = 0;
   for (std::uint64_t key = 0; key < space; ++key) {
     if (counts[key] > 0) ++distinct_;
     if (counts[key] > options.max_positions) {
-      masked_[key] = true;
+      mask_own_[key / 8] |= static_cast<std::uint8_t>(1u << (key % 8));
+    }
+    if ((mask_own_[key / 8] >> (key % 8)) & 1u) {
       counts[key] = 0;
     }
-    offsets_[key] = total;
+    offsets_own_[key] = total;
     total += counts[key];
   }
-  offsets_[space] = total;
+  offsets_own_[space] = total;
 
   // Pass 2: fill positions.  Fill cursors reuse the counts array.
-  positions_.resize(total);
-  std::vector<std::uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
-  kmer = 0;
-  valid = 0;
-  for (GenomePos pos = begin; pos <= last + k - 1 && pos < end; ++pos) {
+  positions_own_.resize(total);
+  std::vector<std::uint64_t> cursor(offsets_own_.begin(),
+                                    offsets_own_.end() - 1);
+  Kmer kmer = 0;
+  int valid = 0;
+  for (GenomePos pos = begin; pos < end; ++pos) {
     const std::uint8_t base = data[pos];
     if (base >= 4) {
       valid = 0;
@@ -73,27 +118,87 @@ HashIndex::HashIndex(const Genome& genome, const HashIndexOptions& options,
       continue;
     }
     kmer = roll_kmer(kmer, base, k);
-    if (++valid >= k && !masked_[kmer]) {
+    if (++valid >= k && !((mask_own_[kmer / 8] >> (kmer % 8)) & 1u)) {
       // The k-mer ends at `pos`; its start is pos - k + 1.
-      positions_[cursor[kmer]++] = pos - static_cast<GenomePos>(k) + 1;
+      if (cursor[kmer] < offsets_own_[kmer + 1]) {
+        positions_own_[cursor[kmer]++] = pos - static_cast<GenomePos>(k) + 1;
+      }
     }
   }
+  publish();
+}
+
+HashIndex HashIndex::from_borrowed(const HashIndexOptions& options,
+                                   std::uint64_t distinct,
+                                   std::span<const std::uint64_t> offsets,
+                                   std::span<const GenomePos> positions,
+                                   std::span<const std::uint8_t> mask_bytes) {
+  if (options.k < 4 || options.k > 13) {
+    throw ParseError("HashIndex::from_borrowed: k out of range");
+  }
+  const std::uint64_t space = kmer_space(options.k);
+  if (offsets.size() != space + 1) {
+    throw ParseError("HashIndex::from_borrowed: offsets array size mismatch");
+  }
+  if (mask_bytes.size() != (space + 7) / 8) {
+    throw ParseError("HashIndex::from_borrowed: mask size mismatch");
+  }
+  if (offsets[space] != positions.size()) {
+    throw ParseError(
+        "HashIndex::from_borrowed: offsets do not sum to the positions "
+        "array size");
+  }
+  HashIndex index;
+  index.options_ = options;
+  index.distinct_ = distinct;
+  index.mask_bits_ = space;
+  index.offsets_ = offsets;
+  index.positions_ = positions;
+  index.mask_ = mask_bytes;
+  return index;
+}
+
+HashIndex& HashIndex::operator=(HashIndex&& other) noexcept {
+  if (this == &other) return *this;
+  const bool owned = other.offsets_.data() == other.offsets_own_.data() &&
+                     !other.offsets_own_.empty();
+  options_ = other.options_;
+  distinct_ = other.distinct_;
+  mask_bits_ = other.mask_bits_;
+  offsets_own_ = std::move(other.offsets_own_);
+  positions_own_ = std::move(other.positions_own_);
+  mask_own_ = std::move(other.mask_own_);
+  if (owned) {
+    offsets_ = offsets_own_;
+    positions_ = positions_own_;
+    mask_ = mask_own_;
+  } else {
+    offsets_ = other.offsets_;
+    positions_ = other.positions_;
+    mask_ = other.mask_;
+  }
+  other.offsets_ = {};
+  other.positions_ = {};
+  other.mask_ = {};
+  other.mask_bits_ = 0;
+  other.distinct_ = 0;
+  return *this;
 }
 
 std::span<const GenomePos> HashIndex::lookup(Kmer kmer) const {
-  if (kmer >= masked_.size()) return {};
+  if (kmer >= mask_bits_) return {};
   const std::uint64_t begin = offsets_[kmer];
   const std::uint64_t end = offsets_[kmer + 1];
   return {positions_.data() + begin, static_cast<std::size_t>(end - begin)};
 }
 
 bool HashIndex::is_repeat_masked(Kmer kmer) const {
-  return kmer < masked_.size() && masked_[kmer];
+  return kmer < mask_bits_ && mask_bit(kmer);
 }
 
 std::uint64_t HashIndex::memory_bytes() const {
   return offsets_.size() * sizeof(std::uint64_t) +
-         positions_.size() * sizeof(GenomePos) + masked_.size() / 8;
+         positions_.size() * sizeof(GenomePos) + mask_.size();
 }
 
 namespace {
@@ -124,14 +229,10 @@ void HashIndex::save(std::ostream& out) const {
   write_pod(out, static_cast<std::uint64_t>(positions_.size()));
   out.write(reinterpret_cast<const char*>(positions_.data()),
             static_cast<std::streamsize>(positions_.size() * sizeof(GenomePos)));
-  // vector<bool> has no contiguous storage; pack manually.
-  write_pod(out, static_cast<std::uint64_t>(masked_.size()));
-  std::vector<std::uint8_t> packed((masked_.size() + 7) / 8, 0);
-  for (std::size_t i = 0; i < masked_.size(); ++i) {
-    if (masked_[i]) packed[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
-  }
-  out.write(reinterpret_cast<const char*>(packed.data()),
-            static_cast<std::streamsize>(packed.size()));
+  // The mask is stored packed (LSB-first), exactly as held in memory.
+  write_pod(out, mask_bits_);
+  out.write(reinterpret_cast<const char*>(mask_.data()),
+            static_cast<std::streamsize>(mask_.size()));
 }
 
 HashIndex HashIndex::load(std::istream& in) {
@@ -148,26 +249,26 @@ HashIndex HashIndex::load(std::istream& in) {
   const auto offsets_size = read_pod<std::uint64_t>(in);
   require(offsets_size == kmer_space(index.options_.k) + 1,
           "HashIndex::load: offsets array size mismatch");
-  index.offsets_.resize(offsets_size);
-  in.read(reinterpret_cast<char*>(index.offsets_.data()),
+  index.offsets_own_.resize(offsets_size);
+  in.read(reinterpret_cast<char*>(index.offsets_own_.data()),
           static_cast<std::streamsize>(offsets_size * sizeof(std::uint64_t)));
 
   const auto positions_size = read_pod<std::uint64_t>(in);
-  index.positions_.resize(positions_size);
-  in.read(reinterpret_cast<char*>(index.positions_.data()),
+  index.positions_own_.resize(positions_size);
+  in.read(reinterpret_cast<char*>(index.positions_own_.data()),
           static_cast<std::streamsize>(positions_size * sizeof(GenomePos)));
 
-  const auto masked_size = read_pod<std::uint64_t>(in);
-  require(masked_size == kmer_space(index.options_.k),
+  const auto mask_size = read_pod<std::uint64_t>(in);
+  require(mask_size == kmer_space(index.options_.k),
           "HashIndex::load: mask size mismatch");
-  std::vector<std::uint8_t> packed((masked_size + 7) / 8, 0);
-  in.read(reinterpret_cast<char*>(packed.data()),
-          static_cast<std::streamsize>(packed.size()));
+  index.mask_bits_ = mask_size;
+  index.mask_own_.assign((mask_size + 7) / 8, 0);
+  in.read(reinterpret_cast<char*>(index.mask_own_.data()),
+          static_cast<std::streamsize>(index.mask_own_.size()));
   if (!in) throw ParseError("HashIndex::load: truncated stream");
-  index.masked_.assign(masked_size, false);
-  for (std::uint64_t i = 0; i < masked_size; ++i) {
-    index.masked_[i] = (packed[i / 8] >> (i % 8)) & 1u;
-  }
+  index.offsets_ = index.offsets_own_;
+  index.positions_ = index.positions_own_;
+  index.mask_ = index.mask_own_;
   return index;
 }
 

@@ -9,11 +9,16 @@
 // passes, and trivially serializable for the genome-partition MPI mode.
 // K-mers occurring more often than `max_positions` (repeats) keep an empty
 // list but are flagged, so the seeder can distinguish "repeat" from "absent".
+//
+// The three arrays (offsets, positions, packed mask bits) can either be
+// owned or borrowed: the fleet instant-start path mmap()s a serialized
+// index and wraps the file bytes via from_borrowed() without copying.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "gnumap/genome/genome.hpp"
@@ -29,11 +34,41 @@ struct HashIndexOptions {
 
 class HashIndex {
  public:
+  /// An empty index: every lookup misses.  Placeholder state for containers
+  /// (e.g. fleet::LoadedIndex) that move a real index in later.
+  HashIndex() = default;
+
   /// Builds over every indexable position of [begin, end) in the genome.
   /// The default range covers the whole padded array (padding k-mers contain
   /// N and index nothing).
   HashIndex(const Genome& genome, const HashIndexOptions& options,
             GenomePos begin = 0, GenomePos end = 0);
+
+  /// Builds a shard-segment index over [store_begin, store_end) whose
+  /// repeat mask is decided by *whole-genome* occurrence counts, so a
+  /// shard's seeding decisions agree bit-for-bit with a full-genome index:
+  /// a k-mer that is a repeat globally is masked on every shard even when
+  /// the shard's own segment holds only a few of its copies.
+  static HashIndex build_shard(const Genome& genome,
+                               const HashIndexOptions& options,
+                               GenomePos store_begin, GenomePos store_end);
+
+  /// Wraps externally owned arrays (the mmap'ed fleet index file) without
+  /// copying.  `offsets` must have 4^k + 1 entries, `mask_bytes` must pack
+  /// 4^k bits; all three spans must outlive the HashIndex.  Throws
+  /// ParseError when the shapes disagree.
+  static HashIndex from_borrowed(const HashIndexOptions& options,
+                                 std::uint64_t distinct,
+                                 std::span<const std::uint64_t> offsets,
+                                 std::span<const GenomePos> positions,
+                                 std::span<const std::uint8_t> mask_bytes);
+
+  // Spans into owned vectors must follow the vectors on move; the default
+  // member-wise move would leave them pointing into the moved-from object.
+  HashIndex(HashIndex&& other) noexcept { *this = std::move(other); }
+  HashIndex& operator=(HashIndex&& other) noexcept;
+  HashIndex(const HashIndex&) = delete;
+  HashIndex& operator=(const HashIndex&) = delete;
 
   int k() const { return options_.k; }
   const HashIndexOptions& options() const { return options_; }
@@ -48,8 +83,16 @@ class HashIndex {
   std::uint64_t num_entries() const { return positions_.size(); }
   /// Number of distinct k-mers present (including masked ones).
   std::uint64_t num_distinct_kmers() const { return distinct_; }
-  /// Approximate memory footprint in bytes.
+  /// Approximate memory footprint in bytes (borrowed spans count too: the
+  /// mmap'ed pages are resident once touched).
   std::uint64_t memory_bytes() const;
+
+  /// Raw array views, in the exact shapes save() serializes — the fleet
+  /// index-file writer embeds them verbatim.
+  std::span<const std::uint64_t> offsets_span() const { return offsets_; }
+  std::span<const GenomePos> positions_span() const { return positions_; }
+  /// Packed repeat-mask bits, LSB-first within each byte.
+  std::span<const std::uint8_t> mask_span() const { return mask_; }
 
   /// Serializes the index (binary, versioned).  Building the hash table for
   /// a large genome dominates startup, so GNUMAP persists it between runs.
@@ -59,15 +102,24 @@ class HashIndex {
   static HashIndex load(std::istream& in);
 
  private:
-  HashIndex() = default;  // for load()
+  HashIndex(const Genome& genome, const HashIndexOptions& options,
+            GenomePos begin, GenomePos end, bool global_mask);
+
+  bool mask_bit(std::uint64_t key) const {
+    return (mask_[key / 8] >> (key % 8)) & 1u;
+  }
 
   HashIndexOptions options_;
-  // Dense CSR over the 4^k key space (k <= 13 keeps the offsets array within
-  // a few hundred MB for the genome sizes we target; larger k is rejected).
-  std::vector<std::uint64_t> offsets_;  // size 4^k + 1
-  std::vector<GenomePos> positions_;
-  std::vector<bool> masked_;
   std::uint64_t distinct_ = 0;
+  std::uint64_t mask_bits_ = 0;  // number of mask bits = 4^k
+  // Owned storage (empty when the index borrows an mmap'ed file).
+  std::vector<std::uint64_t> offsets_own_;   // size 4^k + 1
+  std::vector<GenomePos> positions_own_;
+  std::vector<std::uint8_t> mask_own_;       // packed bits
+  // Active views: point into the *_own_ vectors or into borrowed memory.
+  std::span<const std::uint64_t> offsets_;
+  std::span<const GenomePos> positions_;
+  std::span<const std::uint8_t> mask_;
 };
 
 }  // namespace gnumap

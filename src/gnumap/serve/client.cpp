@@ -253,8 +253,11 @@ void MappingClient::map_once(std::istream& fastq, std::ostream& tsv_out,
           1, static_cast<std::int64_t>(options_.deadline_ms) -
                  static_cast<std::int64_t>(call_timer.seconds() * 1000.0)));
     }
-    // v3 adds the trace fields; a v2 server must see the 5-byte payload it
-    // has always seen (asserted byte-exactly in tests/test_serve.cpp).
+    // v3 adds the trace fields and v4 the genome id; a v2 server must see
+    // the 5-byte payload it has always seen (asserted byte-exactly in
+    // tests/test_serve.cpp).  encode_map_begin throws kBadVersion when a
+    // genome id is requested on a pre-v4 connection — better a typed error
+    // than silently mapping against the wrong genome.
     std::string begin_payload;
     if (traced) {
       MapBeginInfo info;
@@ -262,8 +265,15 @@ void MappingClient::map_once(std::istream& fastq, std::ostream& tsv_out,
       info.deadline_ms = server_deadline_ms;
       info.trace_id = trace_id;
       info.parent_span_id = parent_span_id;
-      begin_payload = encode_map_begin(info);
+      info.genome_id = options_.genome_id;
+      begin_payload = encode_map_begin(info, version_);
     } else {
+      if (!options_.genome_id.empty()) {
+        throw WireError(WireErrorCode::kBadVersion,
+                        "genome id \"" + options_.genome_id +
+                            "\" requires protocol v4, but the server "
+                            "negotiated v" + std::to_string(version_));
+      }
       begin_payload = encode_map_begin(flags, server_deadline_ms);
     }
     write_frame(sock_, FrameType::kMapBegin, begin_payload,
@@ -288,6 +298,23 @@ void MappingClient::map_once(std::istream& fastq, std::ostream& tsv_out,
     }
     if (reply->type == FrameType::kError) {
       const auto [code, msg] = decode_error(reply->payload);
+      if (code == WireErrorCode::kEvicted) {
+        // The genome was evicted under memory pressure.  Nothing has been
+        // uploaded yet, so this is retryable exactly like BUSY; honour the
+        // server's retry_after_ms=N hint embedded in the message.
+        std::uint32_t retry_ms = 0;
+        const auto pos = msg.find("retry_after_ms=");
+        if (pos != std::string::npos) {
+          retry_ms = static_cast<std::uint32_t>(
+              std::strtoul(msg.c_str() + pos + 15, nullptr, 10));
+        }
+        ++outcome.busy_answers;
+        if (attempt >= options_.busy_retries ||
+            !backoff_sleep(retry_ms, attempt, outcome, call_timer)) {
+          throw WireError(code, msg);
+        }
+        continue;
+      }
       throw WireError(code, msg);
     }
     throw WireError(WireErrorCode::kProtocol,

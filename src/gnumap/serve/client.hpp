@@ -78,6 +78,11 @@ struct ClientOptions {
   /// id per map() call (tests pin it for byte-exact round-trip checks).
   /// The id survives mid-call reconnects — it names the logical request.
   std::uint64_t trace_id = 0;
+  /// Registry genome id sent in MAP_BEGIN ("" = the server's default
+  /// genome).  Requires a v4 connection; map() throws
+  /// WireError(kBadVersion) when set against an older server rather than
+  /// silently mapping to its default genome.
+  std::string genome_id;
 };
 
 /// Result of one MAP transaction, including retry accounting.

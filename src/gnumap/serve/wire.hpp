@@ -53,6 +53,18 @@
 // and everything else is unchanged, so v2 interop needs no special cases
 // beyond decode_map_begin's length tolerance.
 //
+// Since protocol v4 MAP_BEGIN additionally carries a genome id (u16 length
+// + bytes) selecting one of the daemon's resident genomes; an empty id —
+// and every pre-v4 payload — means the daemon's default genome.  Unknown
+// ids are answered with a kProtocol ERROR; a genome the registry evicted
+// to stay under its memory budget is answered with a kEvicted ERROR whose
+// message carries "retry_after_ms=N" (the connection stays open, and the
+// client retries MAP_BEGIN like a BUSY since no reads were uploaded yet).
+// v4 also adds the fleet shard frames: a router MAP_BEGINs with the
+// kFlagShardPartials flag, streams SHARD_READS frames (each a serialized
+// read batch), and receives one RESULT_PARTIAL per batch carrying the
+// shard's pre-epilogue candidate scores for merging (fleet/partials.hpp).
+//
 // Any violation — unknown type, oversized frame, CRC mismatch, FASTQ parse
 // failure, timeout — is answered with ERROR {u16 code, msg} and the
 // connection is closed; the server itself always survives.  RESULT_SAM
@@ -76,10 +88,11 @@
 
 namespace gnumap::serve {
 
-/// v3: MAP_BEGIN trace id/parent span id + MAP_DONE timing summary.
-/// (v2 introduced CRC32 frame integrity, the MAP_BEGIN deadline, and
-/// HEALTH probes.)
-inline constexpr std::uint16_t kProtocolVersion = 3;
+/// v4: MAP_BEGIN genome id (multi-genome registry) + fleet shard frames
+/// (SHARD_READS / RESULT_PARTIAL).  (v3 added MAP_BEGIN trace ids + the
+/// MAP_DONE timing summary; v2 introduced CRC32 frame integrity, the
+/// MAP_BEGIN deadline, and HEALTH probes.)
+inline constexpr std::uint16_t kProtocolVersion = 4;
 /// Oldest version this build still speaks (v1 framing had no CRC field
 /// and cannot be parsed by a CRC-framed endpoint).  v2 peers negotiate
 /// down via HELLO and simply omit the v3 trace fields.
@@ -98,13 +111,18 @@ enum class FrameType : std::uint8_t {
   kHello = 0x01,
   kHelloOk = 0x02,
   kMapBegin = 0x10,   ///< payload: u8 flags + u32 client deadline_ms
-                      ///< (+ u64 trace_id + u64 parent_span_id since v3)
+                      ///< (+ u64 trace_id + u64 parent_span_id since v3;
+                      ///< + u16 genome id length + bytes since v4)
   kReadsChunk = 0x11, ///< payload: raw FASTQ text
   kMapEnd = 0x12,
   kMapGo = 0x13,      ///< admission granted; send READS_CHUNK frames
+  kShardReads = 0x14, ///< payload: serialized read batch (fleet router ->
+                      ///< shard; requires kFlagShardPartials, v4)
   kResultTsv = 0x20,  ///< payload: SNP TSV bytes (chunked)
   kResultSam = 0x21,  ///< payload: SAM bytes (chunked)
   kMapDone = 0x22,    ///< payload: key=value lines (reads_total, ...)
+  kResultPartial = 0x24, ///< payload: serialized per-read candidate
+                         ///< partials for one SHARD_READS batch (v4)
   kStats = 0x30,
   kStatsOk = 0x31,    ///< payload: key=value lines
   kHealth = 0x32,     ///< readiness probe; allowed even before HELLO
@@ -118,6 +136,10 @@ enum class FrameType : std::uint8_t {
 /// MAP_BEGIN flag bits.
 inline constexpr std::uint8_t kFlagWantSam = 0x01;
 inline constexpr std::uint8_t kFlagPhred64 = 0x02;
+/// Shard-partial mode (v4): the peer is a fleet router; reads arrive as
+/// SHARD_READS frames and results leave as RESULT_PARTIAL frames instead
+/// of TSV/SAM.  Mutually exclusive with kFlagWantSam.
+inline constexpr std::uint8_t kFlagShardPartials = 0x04;
 
 enum class WireErrorCode : std::uint16_t {
   kBadFrame = 1,      ///< malformed frame or unknown frame type
@@ -195,16 +217,21 @@ struct MapBeginInfo {
   std::uint32_t deadline_ms = 0;    ///< 0 = no client deadline
   std::uint64_t trace_id = 0;       ///< 0 = request not traced
   std::uint64_t parent_span_id = 0; ///< client's enclosing span (v3)
+  std::string genome_id;            ///< v4; empty = the default genome
 };
 
 /// MAP_BEGIN, v2 form: u8 flags + u32 deadline_ms (0 = no client deadline).
 std::string encode_map_begin(std::uint8_t flags, std::uint32_t deadline_ms);
-/// MAP_BEGIN, v3 form: appends u64 trace_id + u64 parent_span_id.  Only
-/// send this when HELLO negotiated version >= 3.
-std::string encode_map_begin(const MapBeginInfo& info);
+/// MAP_BEGIN, versioned form: encodes the fields the negotiated `version`
+/// carries — flags+deadline always, the trace ids at v3+, the genome id
+/// (u16 length + bytes) at v4+.  Throws WireError(kBadVersion) if
+/// `info.genome_id` is non-empty but `version` < 4: silently dropping the
+/// id would map against the wrong genome.
+std::string encode_map_begin(const MapBeginInfo& info,
+                             std::uint16_t version = kProtocolVersion);
 /// Accepts every historical form: 1-byte flags-only (hand-rolled peers),
-/// the 5-byte v2 payload, and the 21-byte v3 payload; absent fields
-/// decode to zero.
+/// the 5-byte v2 payload, the 21-byte v3 payload, and the 23+-byte v4
+/// payload; absent fields decode to zero / empty.
 MapBeginInfo decode_map_begin(std::string_view payload);
 
 /// BUSY: u32 retry_after_ms + message.

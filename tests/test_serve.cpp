@@ -192,13 +192,36 @@ TEST(Wire, MapBeginCodecAcceptsEveryHistoricalForm) {
   info.deadline_ms = 12'345;
   info.trace_id = 0xDEADBEEFCAFEF00Dull;
   info.parent_span_id = 0x0123456789ABCDEFull;
-  const std::string v3 = serve::encode_map_begin(info);
+  const std::string v3 = serve::encode_map_begin(info, /*version=*/3);
   EXPECT_EQ(v3.size(), 21u);
   const serve::MapBeginInfo back = serve::decode_map_begin(v3);
   EXPECT_EQ(back.flags, info.flags);
   EXPECT_EQ(back.deadline_ms, info.deadline_ms);
   EXPECT_EQ(back.trace_id, info.trace_id);
   EXPECT_EQ(back.parent_span_id, info.parent_span_id);
+  EXPECT_TRUE(back.genome_id.empty());
+
+  // v4: the same payload plus a u16 genome-id length and the id bytes;
+  // an empty id is just the two-byte length trailer (23 bytes total).
+  const std::string v4_plain = serve::encode_map_begin(info);
+  EXPECT_EQ(v4_plain.size(), 23u);
+  EXPECT_EQ(v4_plain.substr(0, 21), v3);
+  EXPECT_TRUE(serve::decode_map_begin(v4_plain).genome_id.empty());
+
+  info.genome_id = "hg38";
+  const std::string v4 = serve::encode_map_begin(info);
+  EXPECT_EQ(v4.size(), 23u + 4u);
+  const serve::MapBeginInfo v4_back = serve::decode_map_begin(v4);
+  EXPECT_EQ(v4_back.genome_id, "hg38");
+  EXPECT_EQ(v4_back.trace_id, info.trace_id);
+  // A non-empty genome id cannot be narrowed onto a v3 wire — dropping
+  // it silently would map against the wrong genome.
+  EXPECT_THROW(serve::encode_map_begin(info, /*version=*/3),
+               serve::WireError);
+  // A length trailer that disagrees with the remaining bytes is typed.
+  EXPECT_THROW(serve::decode_map_begin(v4.substr(0, v4.size() - 1)),
+               serve::WireError);
+  info.genome_id.clear();
 
   // v2: flags + deadline only; the trace fields decode to zero.
   const std::string v2 = serve::encode_map_begin(0x01, 12'345);
